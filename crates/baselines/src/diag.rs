@@ -1,0 +1,238 @@
+//! Diagonal baseline in the classic Wozniak / Parasail style.
+//!
+//! Unlike the paper's kernel (which linearizes whole anti-diagonals in
+//! memory), the classic formulation processes the matrix in **stripes
+//! of `LANES` query rows**, sweeping a skewed column index: lane `k`
+//! works on row `i0+k`, column `t-k`. Every step needs two cross-lane
+//! shifts to realign neighbours, per-step boundary extraction into
+//! row buffers between stripes, and edge masking at the skew triangles
+//! — the per-cell overhead that makes Parasail's `diag` the slowest of
+//! its kernels (the paper's 3.9× headline, Fig 14). It is, however,
+//! fully deterministic, like the paper's kernel.
+
+use swsimd_core::diag::{KernelWidth, W16, W32};
+use swsimd_core::params::{GapModel, Scoring};
+use swsimd_core::stats::KernelStats;
+use swsimd_simd::{EngineKind, ScoreElem, SimdEngine, SimdVec};
+
+use crate::striped::BaselineOut;
+
+#[inline(always)]
+fn gap_pair(gaps: GapModel) -> (i32, i32) {
+    match gaps {
+        GapModel::Linear { gap } => (gap, gap),
+        GapModel::Affine(g) => (g.open, g.extend),
+    }
+}
+
+/// The striped-rows diagonal kernel body.
+#[inline(always)]
+fn diag_stripe_kernel<En: SimdEngine, W: KernelWidth<En>>(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    stats: &mut KernelStats,
+) -> BaselineOut {
+    type Elem<En2, W2> = <<W2 as KernelWidth<En2>>::V as SimdVec>::Elem;
+
+    let (m, n) = (query.len(), target.len());
+    if m == 0 || n == 0 {
+        return BaselineOut { score: 0, saturated: false };
+    }
+    let lanes = <W::V as SimdVec>::LANES;
+
+    let (go32, ge32) = gap_pair(gaps);
+    let vgo = W::V::splat(Elem::<En, W>::from_i32(go32));
+    let vge = W::V::splat(Elem::<En, W>::from_i32(ge32));
+    let vzero = W::V::zero();
+    let vneg = W::V::splat(Elem::<En, W>::NEG_INF);
+
+    // Inter-stripe row boundaries.
+    let mut hrow = vec![Elem::<En, W>::ZERO; n + 1];
+    let mut frow = vec![Elem::<En, W>::NEG_INF; n + 1];
+    let mut hrow_next = vec![Elem::<En, W>::ZERO; n + 1];
+    let mut frow_next = vec![Elem::<En, W>::NEG_INF; n + 1];
+
+    // Padded index arrays: reversed target with `lanes` guards on both
+    // sides (the skew sweep reads before/after the real range), and the
+    // query padded above.
+    let mut qpad = vec![0u8; m + lanes];
+    qpad[..m].copy_from_slice(query);
+    let mut rrevbuf = vec![0u8; n + 2 * lanes];
+    for t in 0..n {
+        rrevbuf[lanes + t] = target[n - 1 - t];
+    }
+    let (qel, rrevel, vmatch, vmismatch) = match scoring {
+        Scoring::Fixed { r#match, mismatch } => {
+            let qel: Vec<_> = qpad.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            let rel: Vec<_> =
+                rrevbuf.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            (
+                qel,
+                rel,
+                W::V::splat(Elem::<En, W>::from_i32(*r#match)),
+                W::V::splat(Elem::<En, W>::from_i32(*mismatch)),
+            )
+        }
+        Scoring::Matrix(_) => (Vec::new(), Vec::new(), vzero, vzero),
+    };
+
+    let mut vmax = vzero;
+    let mut scratch = vec![Elem::<En, W>::ZERO; lanes];
+
+    let stripes = m.div_ceil(lanes);
+    for stripe in 0..stripes {
+        let i0 = stripe * lanes;
+        let rows_here = (m - i0).min(lanes);
+
+        let mut vh_prev1 = vzero; // H at sweep step t-1
+        let mut vh_prev2 = vzero; // H at sweep step t-2
+        let mut vf_prev1 = vneg; // F at sweep step t-1
+        let mut ve = vneg; // E(i, j-1) per lane
+
+        for t in 1..=(n + lanes - 1) {
+            // Neighbour realignment: two cross-lane shifts per step.
+            let up_boundary = if t <= n { hrow[t] } else { Elem::<En, W>::ZERO };
+            let diag_boundary = hrow[(t - 1).min(n)];
+            let f_boundary = if t <= n { frow[t] } else { Elem::<En, W>::NEG_INF };
+            let up = vh_prev1.shift_in_first(up_boundary);
+            let diag = vh_prev2.shift_in_first(diag_boundary);
+            let f_up = vf_prev1.shift_in_first(f_boundary);
+            let left = vh_prev1;
+
+            // Scores: S[q[i0+k], r[t-k-1]] — the same gather primitive
+            // as the main kernel, but issued per skewed step.
+            // SAFETY: qpad/rrevbuf carry `lanes` guards; indices < 32.
+            let s = unsafe {
+                match scoring {
+                    Scoring::Matrix(mat) => {
+                        stats.gather_ops += 1;
+                        W::gather(
+                            mat,
+                            qpad.as_ptr().add(i0),
+                            rrevbuf.as_ptr().add(lanes + n - t),
+                        )
+                    }
+                    Scoring::Fixed { .. } => {
+                        let qv = W::V::load(qel.as_ptr().add(i0));
+                        let rv = W::V::load(rrevel.as_ptr().add(lanes + n - t));
+                        W::V::blend(qv.cmpeq(rv), vmatch, vmismatch)
+                    }
+                }
+            };
+
+            let e_new = ve.subs(vge).max(left.subs(vgo));
+            let f_new = f_up.subs(vge).max(up.subs(vgo));
+            let h = diag.adds(s).max(vzero).max(e_new).max(f_new);
+
+            // Edge masking: lane k is valid iff 1 <= t-k <= n and the
+            // row exists (k < rows_here).
+            let lower = W::V::iota()
+                .cmpgt(W::V::splat(Elem::<En, W>::from_i32(t as i32 - n as i32 - 1)));
+            let valid = lower
+                .and(W::V::mask_first(t.min(lanes)))
+                .and(W::V::mask_first(rows_here));
+
+            let h = W::V::blend(valid, h, vzero);
+            let e_new = W::V::blend(valid, e_new, vneg);
+            let f_new = W::V::blend(valid, f_new, vneg);
+
+            vmax = vmax.max(h);
+
+            // Boundary export: the stripe's last row feeds the next
+            // stripe; extract lane `rows_here - 1` each step.
+            let j_last = (t + 1).checked_sub(rows_here);
+            if let Some(j) = j_last {
+                if (1..=n).contains(&j) {
+                    h.store_slice(&mut scratch);
+                    hrow_next[j] = scratch[rows_here - 1];
+                    f_new.store_slice(&mut scratch);
+                    frow_next[j] = scratch[rows_here - 1];
+                }
+            }
+
+            vh_prev2 = vh_prev1;
+            vh_prev1 = h;
+            vf_prev1 = f_new;
+            ve = e_new;
+
+            stats.vector_steps += 1;
+            stats.vector_lane_slots += lanes as u64;
+            stats.vector_loads += 3;
+            stats.vector_stores += 2;
+        }
+        stats.diagonals += (n + lanes - 1) as u64;
+
+        std::mem::swap(&mut hrow, &mut hrow_next);
+        std::mem::swap(&mut frow, &mut frow_next);
+        hrow[0] = Elem::<En, W>::ZERO;
+        frow[0] = Elem::<En, W>::NEG_INF;
+    }
+
+    stats.cells += (m * n) as u64;
+    let best = vmax.hmax().to_i32();
+    let saturated = Elem::<En, W>::BITS < 32 && best >= Elem::<En, W>::MAX.to_i32();
+    BaselineOut { score: best, saturated }
+}
+
+macro_rules! diag_wrappers {
+    ($mod_:ident, $en:ty, $($feat:literal)?) => {
+        mod $mod_ {
+            use super::*;
+            $(#[target_feature(enable = $feat)])?
+            pub(super) unsafe fn w16(
+                q: &[u8], t: &[u8], sc: &Scoring, g: GapModel, s: &mut KernelStats,
+            ) -> BaselineOut {
+                diag_stripe_kernel::<$en, W16>(q, t, sc, g, s)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(super) unsafe fn w32(
+                q: &[u8], t: &[u8], sc: &Scoring, g: GapModel, s: &mut KernelStats,
+            ) -> BaselineOut {
+                diag_stripe_kernel::<$en, W32>(q, t, sc, g, s)
+            }
+        }
+    };
+}
+
+diag_wrappers!(scalar_w, swsimd_simd::Scalar,);
+#[cfg(target_arch = "x86_64")]
+diag_wrappers!(sse41_w, swsimd_simd::Sse41, "sse4.1,ssse3");
+#[cfg(target_arch = "x86_64")]
+diag_wrappers!(avx2_w, swsimd_simd::Avx2, "avx2");
+#[cfg(target_arch = "x86_64")]
+diag_wrappers!(avx512_w, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+
+macro_rules! diag_entry {
+    ($fn_name:ident, $w:ident) => {
+        /// Classic striped-rows diagonal Smith-Waterman at this precision.
+        pub fn $fn_name(
+            engine: EngineKind,
+            query: &[u8],
+            target: &[u8],
+            scoring: &Scoring,
+            gaps: GapModel,
+            stats: &mut KernelStats,
+        ) -> BaselineOut {
+            let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+            // SAFETY: availability checked above.
+            unsafe {
+                match engine {
+                    EngineKind::Scalar => scalar_w::$w(query, target, scoring, gaps, stats),
+                    #[cfg(target_arch = "x86_64")]
+                    EngineKind::Sse41 => sse41_w::$w(query, target, scoring, gaps, stats),
+                    #[cfg(target_arch = "x86_64")]
+                    EngineKind::Avx2 => avx2_w::$w(query, target, scoring, gaps, stats),
+                    #[cfg(target_arch = "x86_64")]
+                    EngineKind::Avx512 => avx512_w::$w(query, target, scoring, gaps, stats),
+                    #[cfg(not(target_arch = "x86_64"))]
+                    _ => scalar_w::$w(query, target, scoring, gaps, stats),
+                }
+            }
+        }
+    };
+}
+
+diag_entry!(sw_diag_classic_i16, w16);
+diag_entry!(sw_diag_classic_i32, w32);

@@ -1,0 +1,212 @@
+#![allow(clippy::needless_range_loop)] // kernel loops index several parallel arrays by design
+#![allow(clippy::too_many_arguments)] // kernel entry points mirror the paper's parameter lists
+
+#![warn(missing_docs)]
+
+//! # swsimd-baselines
+//!
+//! From-scratch implementations of the Parasail comparators the paper
+//! benchmarks against (Fig 14): Farrar's **striped** kernel with the
+//! lazy-F correction loop, Rognes-style **scan** with prefix-scan F and
+//! cross-lane carry correction, and the classic Wozniak-style **diag**
+//! kernel (row stripes + per-step shifts). All are generic over the
+//! same SIMD engines as the main kernel, instrumented with
+//! [`swsimd_core::KernelStats`] — in particular `correction_loops`,
+//! which exposes the speculation the paper contrasts with its
+//! deterministic kernel.
+
+pub mod diag;
+pub mod scan;
+pub mod striped;
+
+pub use diag::{sw_diag_classic_i16, sw_diag_classic_i32};
+pub use scan::{sw_scan_i16, sw_scan_i32};
+pub use striped::{sw_striped_i16, sw_striped_i32, sw_striped_i8, BaselineOut};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use swsimd_core::params::{GapModel, GapPenalties, Scoring};
+    use swsimd_core::scalar_ref::sw_scalar;
+    use swsimd_core::stats::KernelStats;
+    use swsimd_matrices::blosum62;
+    use swsimd_simd::EngineKind;
+
+    fn rand_seq(rng: &mut StdRng, len: usize) -> Vec<u8> {
+        (0..len).map(|_| rng.gen_range(0..20u8)).collect()
+    }
+
+    type BaselineFn = fn(
+        EngineKind,
+        &[u8],
+        &[u8],
+        &Scoring,
+        GapModel,
+        &mut KernelStats,
+    ) -> BaselineOut;
+
+    const BASELINES: [(&str, BaselineFn); 5] = [
+        ("striped16", sw_striped_i16 as BaselineFn),
+        ("striped32", sw_striped_i32 as BaselineFn),
+        ("scan16", sw_scan_i16 as BaselineFn),
+        ("scan32", sw_scan_i32 as BaselineFn),
+        ("diag16", sw_diag_classic_i16 as BaselineFn),
+    ];
+
+    fn check_all(q: &[u8], t: &[u8], scoring: &Scoring, gaps: GapModel, label: &str) {
+        let want = sw_scalar(q, t, scoring, gaps).score;
+        for engine in EngineKind::available() {
+            for (name, f) in BASELINES {
+                let mut st = KernelStats::default();
+                let got = f(engine, q, t, scoring, gaps, &mut st);
+                if got.saturated {
+                    continue;
+                }
+                assert_eq!(
+                    got.score, want,
+                    "{label}: {name} on {engine:?} (m={}, n={})",
+                    q.len(),
+                    t.len()
+                );
+            }
+            // diag32 too
+            let mut st = KernelStats::default();
+            let got = sw_diag_classic_i32(engine, q, t, scoring, gaps, &mut st);
+            assert_eq!(got.score, want, "{label}: diag32 on {engine:?}");
+        }
+    }
+
+    #[test]
+    fn baselines_match_reference_random() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::Affine(GapPenalties::new(11, 1));
+        for round in 0..25 {
+            let (lm, ln) = (rng.gen_range(1..110), rng.gen_range(1..110));
+            let q = rand_seq(&mut rng, lm);
+            let t = rand_seq(&mut rng, ln);
+            check_all(&q, &t, &scoring, gaps, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn baselines_match_reference_gappy() {
+        // Low gap penalties force many gap paths through lazy-F / scan.
+        let mut rng = StdRng::seed_from_u64(4321);
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::Affine(GapPenalties::new(3, 1));
+        for round in 0..20 {
+            let (lm, ln) = (rng.gen_range(1..90), rng.gen_range(1..90));
+            let q = rand_seq(&mut rng, lm);
+            let t = rand_seq(&mut rng, ln);
+            check_all(&q, &t, &scoring, gaps, &format!("gappy {round}"));
+        }
+    }
+
+    #[test]
+    fn baselines_linear_gaps() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::Linear { gap: 4 };
+        for round in 0..15 {
+            let (lm, ln) = (rng.gen_range(1..80), rng.gen_range(1..80));
+            let q = rand_seq(&mut rng, lm);
+            let t = rand_seq(&mut rng, ln);
+            check_all(&q, &t, &scoring, gaps, &format!("linear {round}"));
+        }
+    }
+
+    #[test]
+    fn baselines_fixed_scoring() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let scoring = Scoring::Fixed { r#match: 2, mismatch: -3 };
+        let gaps = GapModel::Affine(GapPenalties::new(5, 2));
+        for round in 0..15 {
+            let (lm, ln) = (rng.gen_range(1..80), rng.gen_range(1..80));
+            let q = rand_seq(&mut rng, lm);
+            let t = rand_seq(&mut rng, ln);
+            check_all(&q, &t, &scoring, gaps, &format!("fixed {round}"));
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::default_affine();
+        let mut rng = StdRng::seed_from_u64(9);
+        for (m, n) in [(1, 1), (1, 40), (40, 1), (2, 3), (65, 2), (2, 65), (33, 33)] {
+            let q = rand_seq(&mut rng, m);
+            let t = rand_seq(&mut rng, n);
+            check_all(&q, &t, &scoring, gaps, &format!("shape {m}x{n}"));
+        }
+    }
+
+    #[test]
+    fn striped_i8_saturates_or_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::default_affine();
+        for _ in 0..10 {
+            let (lm, ln) = (rng.gen_range(1..60), rng.gen_range(1..60));
+            let q = rand_seq(&mut rng, lm);
+            let t = rand_seq(&mut rng, ln);
+            let want = sw_scalar(&q, &t, &scoring, gaps).score;
+            for engine in EngineKind::available() {
+                let mut st = KernelStats::default();
+                let got = sw_striped_i8(engine, &q, &t, &scoring, gaps, &mut st);
+                if !got.saturated {
+                    assert_eq!(got.score, want, "{engine:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn striped_counts_correction_loops() {
+        // A long gappy alignment must exercise lazy-F at least once.
+        let mut rng = StdRng::seed_from_u64(13);
+        let q = rand_seq(&mut rng, 200);
+        let t = rand_seq(&mut rng, 200);
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::Affine(GapPenalties::new(3, 1));
+        let mut st = KernelStats::default();
+        let _ = sw_striped_i16(EngineKind::best(), &q, &t, &scoring, gaps, &mut st);
+        assert!(st.correction_loops > 0, "lazy-F never ran");
+    }
+
+    #[test]
+    fn correction_count_is_input_dependent() {
+        // The paper's determinism argument: striped/scan correction work
+        // varies with the data, not just its size.
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::Affine(GapPenalties::new(3, 1));
+        let mut rng = StdRng::seed_from_u64(21);
+        let q1 = rand_seq(&mut rng, 150);
+        let t1 = rand_seq(&mut rng, 150);
+        let q2: Vec<u8> = vec![17; 150]; // homopolymer: very different F behaviour
+        let t2: Vec<u8> = vec![17; 150];
+        let mut s1 = KernelStats::default();
+        let mut s2 = KernelStats::default();
+        let _ = sw_striped_i16(EngineKind::best(), &q1, &t1, &scoring, gaps, &mut s1);
+        let _ = sw_striped_i16(EngineKind::best(), &q2, &t2, &scoring, gaps, &mut s2);
+        assert_ne!(
+            s1.correction_loops, s2.correction_loops,
+            "same-size inputs should produce different correction work"
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::default_affine();
+        let mut st = KernelStats::default();
+        for (name, f) in BASELINES {
+            let r = f(EngineKind::best(), &[], &[1, 2], &scoring, gaps, &mut st);
+            assert_eq!(r.score, 0, "{name}");
+            let r = f(EngineKind::best(), &[1], &[], &scoring, gaps, &mut st);
+            assert_eq!(r.score, 0, "{name}");
+        }
+    }
+}

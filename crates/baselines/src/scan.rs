@@ -1,0 +1,219 @@
+//! Scan-based Smith-Waterman (Rognes 2011 / Parasail "scan").
+//!
+//! Per database column the kernel runs two passes over the striped
+//! query: pass 1 computes `Ht = max(0, diag + s, E)` ignoring the
+//! vertical F state entirely; pass 2 derives F with a *prefix max-scan*
+//! (lane-local scan over segments, then a cross-lane carry-propagation
+//! loop). Like striped's lazy-F, the carry loop's iteration count is
+//! data-dependent — speculation plus correction — which is what the
+//! paper means by scan/striped being non-deterministic. Every carry
+//! pass increments [`KernelStats::correction_loops`].
+
+use swsimd_core::params::{GapModel, Scoring};
+use swsimd_core::stats::KernelStats;
+use swsimd_matrices::StripedProfile;
+use swsimd_simd::{EngineKind, ScoreElem, SimdEngine, SimdVec};
+
+use crate::striped::BaselineOut;
+
+#[inline(always)]
+fn gap_pair(gaps: GapModel) -> (i32, i32) {
+    match gaps {
+        GapModel::Linear { gap } => (gap, gap),
+        GapModel::Affine(g) => (g.open, g.extend),
+    }
+}
+
+/// The scan kernel body.
+#[inline(always)]
+fn scan_kernel<V: SimdVec>(
+    profile: &StripedProfile<V::Elem>,
+    target: &[u8],
+    gaps: GapModel,
+    stats: &mut KernelStats,
+) -> BaselineOut
+where
+    V::Elem: swsimd_matrices::ProfileElem,
+{
+    let m = profile.query_len();
+    let n = target.len();
+    if m == 0 || n == 0 {
+        return BaselineOut { score: 0, saturated: false };
+    }
+    let lanes = V::LANES;
+    let seglen = profile.segments();
+
+    let (go32, ge32) = gap_pair(gaps);
+    let vgo = V::splat(V::Elem::from_i32(go32));
+    let vge = V::splat(V::Elem::from_i32(ge32));
+    let vzero = V::zero();
+    let vneg = V::splat(V::Elem::NEG_INF);
+
+    let mut h_arr = vec![vzero; seglen]; // H of previous column
+    let mut e_arr = vec![vneg; seglen]; // E of previous column
+    let mut ht_arr = vec![vzero; seglen]; // tentative H (pass 1)
+    let mut f_arr = vec![vneg; seglen]; // F (pass 2)
+    let mut vmax = vzero;
+
+    for &tres in target.iter() {
+        let row = profile.row(tres);
+
+        // ---- pass 1: E update and F-free tentative H ----------------
+        let mut vh_diag = h_arr[seglen - 1].shift_in_first(V::Elem::ZERO);
+        for i in 0..seglen {
+            let s = V::load_slice(&row[i * lanes..(i + 1) * lanes]);
+            let ve = e_arr[i].subs(vge).max(h_arr[i].subs(vgo));
+            let ht = vh_diag.adds(s).max(vzero).max(ve);
+            vh_diag = h_arr[i];
+            e_arr[i] = ve;
+            ht_arr[i] = ht;
+            stats.vector_loads += 3;
+            stats.vector_stores += 2;
+        }
+        stats.vector_steps += seglen as u64;
+        stats.vector_lane_slots += (seglen * lanes) as u64;
+        stats.lut_ops += seglen as u64;
+
+        // ---- pass 2: F via lane-local scan ---------------------------
+        // F(p) = max over t < p of Ht(t) - go - (p-1-t)*ge. Within a
+        // lane, consecutive positions are consecutive segments, so a
+        // sequential pass over segments scans all lanes at once.
+        let mut vf = vneg;
+        for i in 0..seglen {
+            f_arr[i] = vf;
+            vf = vf.subs(vge).max(ht_arr[i].subs(vgo));
+        }
+
+        // Cross-lane carry propagation. The exit value of lane k enters
+        // lane k+1; applying a carry can create a new, larger exit
+        // value, so iterate until the exits stop improving (at most
+        // `lanes` passes — typically one).
+        let mut tail = vf;
+        for _pass in 0..lanes {
+            stats.correction_loops += 1;
+            let carry = tail.shift_in_first(V::Elem::NEG_INF);
+            let mut vc = carry;
+            for i in 0..seglen {
+                f_arr[i] = f_arr[i].max(vc);
+                vc = vc.subs(vge);
+            }
+            let new_tail = tail.max(vc);
+            if !V::any(new_tail.cmpgt(tail)) {
+                break;
+            }
+            tail = new_tail;
+        }
+
+        // ---- final H = max(Ht, F) ------------------------------------
+        for i in 0..seglen {
+            let h = ht_arr[i].max(f_arr[i]);
+            h_arr[i] = h;
+            vmax = vmax.max(h);
+        }
+    }
+
+    stats.cells += (m * n) as u64;
+    stats.diagonals += n as u64;
+    let best = vmax.hmax().to_i32();
+    let saturated = V::Elem::BITS < 32 && best >= V::Elem::MAX.to_i32();
+    BaselineOut { score: best, saturated }
+}
+
+macro_rules! scan_dispatch {
+    ($fn_name:ident, $elem:ty, $vsel:ident) => {
+        /// Scan Smith-Waterman at this lane precision.
+        pub fn $fn_name(
+            engine: EngineKind,
+            query: &[u8],
+            target: &[u8],
+            scoring: &Scoring,
+            gaps: GapModel,
+            stats: &mut KernelStats,
+        ) -> BaselineOut {
+            let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+
+            fn profile_for(
+                query: &[u8],
+                scoring: &Scoring,
+                lanes: usize,
+            ) -> StripedProfile<$elem> {
+                match scoring {
+                    Scoring::Matrix(m) => {
+                        StripedProfile::build(query, m, lanes, swsimd_matrices::PAD_SCORE)
+                    }
+                    Scoring::Fixed { r#match, mismatch } => {
+                        let alphabet = swsimd_matrices::Alphabet::protein();
+                        let mm = swsimd_matrices::SubstitutionMatrix::match_mismatch(
+                            "fixed",
+                            alphabet,
+                            (*r#match).clamp(i8::MIN as i32, i8::MAX as i32) as i8,
+                            (*mismatch).clamp(i8::MIN as i32, i8::MAX as i32) as i8,
+                        );
+                        StripedProfile::build(
+                            query,
+                            &mm.reorganized(),
+                            lanes,
+                            swsimd_matrices::PAD_SCORE,
+                        )
+                    }
+                }
+            }
+
+            macro_rules! run {
+                ($en:ty, $feat:literal) => {{
+                    #[target_feature(enable = $feat)]
+                    unsafe fn go(
+                        p: &StripedProfile<$elem>,
+                        t: &[u8],
+                        g: GapModel,
+                        s: &mut KernelStats,
+                    ) -> BaselineOut {
+                        scan_kernel::<<$en as SimdEngine>::$vsel>(p, t, g, s)
+                    }
+                    let p = profile_for(
+                        query,
+                        scoring,
+                        <<$en as SimdEngine>::$vsel as SimdVec>::LANES,
+                    );
+                    // SAFETY: availability checked by the dispatcher.
+                    unsafe { go(&p, target, gaps, stats) }
+                }};
+            }
+
+            match engine {
+                EngineKind::Scalar => {
+                    let p = profile_for(
+                        query,
+                        scoring,
+                        <<swsimd_simd::Scalar as SimdEngine>::$vsel as SimdVec>::LANES,
+                    );
+                    scan_kernel::<<swsimd_simd::Scalar as SimdEngine>::$vsel>(
+                        &p, target, gaps, stats,
+                    )
+                }
+                #[cfg(target_arch = "x86_64")]
+                EngineKind::Sse41 => run!(swsimd_simd::Sse41, "sse4.1,ssse3"),
+                #[cfg(target_arch = "x86_64")]
+                EngineKind::Avx2 => run!(swsimd_simd::Avx2, "avx2"),
+                #[cfg(target_arch = "x86_64")]
+                EngineKind::Avx512 => {
+                    run!(swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => {
+                    let p = profile_for(
+                        query,
+                        scoring,
+                        <<swsimd_simd::Scalar as SimdEngine>::$vsel as SimdVec>::LANES,
+                    );
+                    scan_kernel::<<swsimd_simd::Scalar as SimdEngine>::$vsel>(
+                        &p, target, gaps, stats,
+                    )
+                }
+            }
+        }
+    };
+}
+
+scan_dispatch!(sw_scan_i16, i16, V16);
+scan_dispatch!(sw_scan_i32, i32, V32);

@@ -1,0 +1,354 @@
+//! Farrar's striped Smith-Waterman (Bioinformatics 2007) — the best-
+//! performing Parasail comparator in the paper (Fig 14).
+//!
+//! The query is split into `segments = ceil(m / lanes)` segments and
+//! vector lane `k` handles query positions `k·segments + i`. The F
+//! (vertical gap) dependency is **speculatively ignored** in the main
+//! pass and repaired afterwards by the *lazy-F loop*, whose iteration
+//! count depends on the data — this is the source of the
+//! non-determinism the paper contrasts against its diagonal kernel. We
+//! count every correction pass in [`KernelStats::correction_loops`].
+
+use swsimd_core::params::{GapModel, Scoring};
+use swsimd_core::stats::KernelStats;
+use swsimd_matrices::StripedProfile;
+use swsimd_simd::{EngineKind, ScoreElem, SimdEngine, SimdVec};
+
+/// Result of a striped run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BaselineOut {
+    /// Best local score (clamped to the lane precision).
+    pub score: i32,
+    /// True if the lane precision saturated.
+    pub saturated: bool,
+}
+
+#[inline(always)]
+fn gap_pair(gaps: GapModel) -> (i32, i32) {
+    match gaps {
+        GapModel::Linear { gap } => (gap, gap),
+        GapModel::Affine(g) => (g.open, g.extend),
+    }
+}
+
+/// Build a striped profile matching vector type `V` for an encoded query.
+pub fn build_profile<V: SimdVec>(
+    query: &[u8],
+    scoring: &Scoring,
+) -> StripedProfile<V::Elem>
+where
+    V::Elem: swsimd_matrices::ProfileElem,
+{
+    match scoring {
+        Scoring::Matrix(m) => StripedProfile::build(query, m, V::LANES, swsimd_matrices::PAD_SCORE),
+        Scoring::Fixed { r#match, mismatch } => {
+            // Synthesize a match/mismatch matrix over the padded alphabet
+            // once; tiny (32x32) so build cost is negligible.
+            let alphabet = swsimd_matrices::Alphabet::protein();
+            let mm = swsimd_matrices::SubstitutionMatrix::match_mismatch(
+                "fixed",
+                alphabet,
+                (*r#match).clamp(i8::MIN as i32, i8::MAX as i32) as i8,
+                (*mismatch).clamp(i8::MIN as i32, i8::MAX as i32) as i8,
+            );
+            StripedProfile::build(query, &mm.reorganized(), V::LANES, swsimd_matrices::PAD_SCORE)
+        }
+    }
+}
+
+/// The striped kernel body.
+#[inline(always)]
+fn striped_kernel<V: SimdVec>(
+    profile: &StripedProfile<V::Elem>,
+    target: &[u8],
+    gaps: GapModel,
+    stats: &mut KernelStats,
+) -> BaselineOut
+where
+    V::Elem: swsimd_matrices::ProfileElem,
+{
+    let m = profile.query_len();
+    let n = target.len();
+    if m == 0 || n == 0 {
+        return BaselineOut { score: 0, saturated: false };
+    }
+    let lanes = V::LANES;
+    let seglen = profile.segments();
+
+    let (go32, ge32) = gap_pair(gaps);
+    let vgo = V::splat(V::Elem::from_i32(go32));
+    let vge = V::splat(V::Elem::from_i32(ge32));
+    let vzero = V::zero();
+    let vneg = V::splat(V::Elem::NEG_INF);
+
+    let mut h_store = vec![vzero; seglen];
+    let mut h_load = vec![vzero; seglen];
+    let mut e_arr = vec![vneg; seglen];
+    let mut vmax = vzero;
+
+    for &tres in target.iter() {
+        let row = profile.row(tres);
+        let mut vf = vneg;
+        // Diagonal carry: last segment of the previous column, lanes
+        // shifted up by one (query position p-1 feeds p).
+        let mut vh = h_store[seglen - 1].shift_in_first(V::Elem::ZERO);
+        std::mem::swap(&mut h_store, &mut h_load);
+
+        for i in 0..seglen {
+            let s = V::load_slice(&row[i * lanes..(i + 1) * lanes]);
+            vh = vh.adds(s).max(vzero);
+            let ve = e_arr[i];
+            vh = vh.max(ve).max(vf);
+            vmax = vmax.max(vh);
+            h_store[i] = vh;
+
+            let vh_gap = vh.subs(vgo);
+            e_arr[i] = ve.subs(vge).max(vh_gap);
+            vf = vf.subs(vge).max(vh_gap);
+            vh = h_load[i];
+            stats.vector_loads += 2;
+            stats.vector_stores += 2;
+        }
+        stats.vector_steps += seglen as u64;
+        stats.vector_lane_slots += (seglen * lanes) as u64;
+        stats.lut_ops += seglen as u64; // profile row loads stand in for score fetches
+
+        // Lazy-F: repair the speculatively-ignored vertical dependency.
+        // Each outer pass shifts F across the lane boundary; the loop
+        // exits as soon as F can no longer improve any H — the
+        // data-dependent iteration count the paper calls out.
+        // Farrar's published exit (`!any(F > H - open)`) drops a live
+        // carry when `open == extend` and the final check lands on a
+        // just-raised cell — one of the lazy-F fragilities Snytsar
+        // (paper ref. [29]) documents. This port uses the robust
+        // variant: F is regenerated from the repaired H inside the
+        // loop and a pass that improves nothing is a fixpoint.
+        for _ in 0..lanes {
+            stats.correction_loops += 1;
+            vf = vf.shift_in_first(V::Elem::NEG_INF);
+            let mut improved = false;
+            for i in 0..seglen {
+                let vh_old = h_store[i];
+                if V::any(vf.cmpgt(vh_old)) {
+                    improved = true;
+                }
+                let vh_new = vh_old.max(vf);
+                h_store[i] = vh_new;
+                vmax = vmax.max(vh_new);
+                // E must also see the repaired H for the next column.
+                e_arr[i] = e_arr[i].max(vh_new.subs(vgo));
+                vf = vf.subs(vge).max(vh_new.subs(vgo));
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+
+    stats.cells += (m * n) as u64;
+    stats.diagonals += n as u64;
+    let best = vmax.hmax().to_i32();
+    let saturated = V::Elem::BITS < 32 && best >= V::Elem::MAX.to_i32();
+    BaselineOut { score: best, saturated }
+}
+
+macro_rules! striped_wrappers {
+    ($mod_:ident, $en:ty, $($feat:literal)?) => {
+        mod $mod_ {
+            use super::*;
+            $(#[target_feature(enable = $feat)])?
+            pub(super) unsafe fn w8(
+                p: &StripedProfile<i8>, t: &[u8], g: GapModel, s: &mut KernelStats,
+            ) -> BaselineOut {
+                striped_kernel::<<$en as SimdEngine>::V8>(p, t, g, s)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(super) unsafe fn w16(
+                p: &StripedProfile<i16>, t: &[u8], g: GapModel, s: &mut KernelStats,
+            ) -> BaselineOut {
+                striped_kernel::<<$en as SimdEngine>::V16>(p, t, g, s)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(super) unsafe fn w32(
+                p: &StripedProfile<i32>, t: &[u8], g: GapModel, s: &mut KernelStats,
+            ) -> BaselineOut {
+                striped_kernel::<<$en as SimdEngine>::V32>(p, t, g, s)
+            }
+        }
+    };
+}
+
+striped_wrappers!(scalar_w, swsimd_simd::Scalar,);
+#[cfg(target_arch = "x86_64")]
+striped_wrappers!(sse41_w, swsimd_simd::Sse41, "sse4.1,ssse3");
+#[cfg(target_arch = "x86_64")]
+striped_wrappers!(avx2_w, swsimd_simd::Avx2, "avx2");
+#[cfg(target_arch = "x86_64")]
+striped_wrappers!(avx512_w, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+
+/// Striped Smith-Waterman at 16-bit lanes (the configuration Parasail
+/// benchmarks by default).
+pub fn sw_striped_i16(
+    engine: EngineKind,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    stats: &mut KernelStats,
+) -> BaselineOut {
+    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    // SAFETY: availability checked above.
+    unsafe {
+        match engine {
+            EngineKind::Scalar => {
+                let p = build_profile::<<swsimd_simd::Scalar as SimdEngine>::V16>(query, scoring);
+                scalar_w::w16(&p, target, gaps, stats)
+            }
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Sse41 => {
+                let p = build_profile::<<swsimd_simd::Sse41 as SimdEngine>::V16>(query, scoring);
+                sse41_w::w16(&p, target, gaps, stats)
+            }
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx2 => {
+                let p = build_profile::<<swsimd_simd::Avx2 as SimdEngine>::V16>(query, scoring);
+                avx2_w::w16(&p, target, gaps, stats)
+            }
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx512 => {
+                let p = build_profile::<<swsimd_simd::Avx512 as SimdEngine>::V16>(query, scoring);
+                avx512_w::w16(&p, target, gaps, stats)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => {
+                let p = build_profile::<<swsimd_simd::Scalar as SimdEngine>::V16>(query, scoring);
+                scalar_w::w16(&p, target, gaps, stats)
+            }
+        }
+    }
+}
+
+/// Striped Smith-Waterman at 8-bit lanes (saturating; check
+/// [`BaselineOut::saturated`]).
+pub fn sw_striped_i8(
+    engine: EngineKind,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    stats: &mut KernelStats,
+) -> BaselineOut {
+    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    // SAFETY: availability checked above.
+    unsafe {
+        match engine {
+            EngineKind::Scalar => {
+                let p = build_profile::<<swsimd_simd::Scalar as SimdEngine>::V8>(query, scoring);
+                scalar_w::w8(&p, target, gaps, stats)
+            }
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Sse41 => {
+                let p = build_profile::<<swsimd_simd::Sse41 as SimdEngine>::V8>(query, scoring);
+                sse41_w::w8(&p, target, gaps, stats)
+            }
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx2 => {
+                let p = build_profile::<<swsimd_simd::Avx2 as SimdEngine>::V8>(query, scoring);
+                avx2_w::w8(&p, target, gaps, stats)
+            }
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx512 => {
+                let p = build_profile::<<swsimd_simd::Avx512 as SimdEngine>::V8>(query, scoring);
+                avx512_w::w8(&p, target, gaps, stats)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => {
+                let p = build_profile::<<swsimd_simd::Scalar as SimdEngine>::V8>(query, scoring);
+                scalar_w::w8(&p, target, gaps, stats)
+            }
+        }
+    }
+}
+
+/// Striped Smith-Waterman at 32-bit lanes (never saturates in practice).
+pub fn sw_striped_i32(
+    engine: EngineKind,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    stats: &mut KernelStats,
+) -> BaselineOut {
+    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    // SAFETY: availability checked above.
+    unsafe {
+        match engine {
+            EngineKind::Scalar => {
+                let p = build_profile::<<swsimd_simd::Scalar as SimdEngine>::V32>(query, scoring);
+                scalar_w::w32(&p, target, gaps, stats)
+            }
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Sse41 => {
+                let p = build_profile::<<swsimd_simd::Sse41 as SimdEngine>::V32>(query, scoring);
+                sse41_w::w32(&p, target, gaps, stats)
+            }
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx2 => {
+                let p = build_profile::<<swsimd_simd::Avx2 as SimdEngine>::V32>(query, scoring);
+                avx2_w::w32(&p, target, gaps, stats)
+            }
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx512 => {
+                let p = build_profile::<<swsimd_simd::Avx512 as SimdEngine>::V32>(query, scoring);
+                avx512_w::w32(&p, target, gaps, stats)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => {
+                let p = build_profile::<<swsimd_simd::Scalar as SimdEngine>::V32>(query, scoring);
+                scalar_w::w32(&p, target, gaps, stats)
+            }
+        }
+    }
+}
+
+/// Profile-reusing entry points: Parasail builds the striped query
+/// profile once per query and reuses it across every database sequence;
+/// the figure harness grants the baselines the same amortization.
+pub mod with_profile {
+    use super::*;
+
+    macro_rules! entry {
+        ($fn_name:ident, $elem:ty, $wfn:ident) => {
+            /// Run the striped kernel against a prebuilt profile.
+            pub fn $fn_name(
+                engine: EngineKind,
+                profile: &StripedProfile<$elem>,
+                target: &[u8],
+                gaps: GapModel,
+                stats: &mut KernelStats,
+            ) -> BaselineOut {
+                let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+                // SAFETY: availability checked above; the profile's lane
+                // count is validated against the engine inside the kernel
+                // via the slice loads.
+                unsafe {
+                    match engine {
+                        EngineKind::Scalar => scalar_w::$wfn(profile, target, gaps, stats),
+                        #[cfg(target_arch = "x86_64")]
+                        EngineKind::Sse41 => sse41_w::$wfn(profile, target, gaps, stats),
+                        #[cfg(target_arch = "x86_64")]
+                        EngineKind::Avx2 => avx2_w::$wfn(profile, target, gaps, stats),
+                        #[cfg(target_arch = "x86_64")]
+                        EngineKind::Avx512 => avx512_w::$wfn(profile, target, gaps, stats),
+                        #[cfg(not(target_arch = "x86_64"))]
+                        _ => scalar_w::$wfn(profile, target, gaps, stats),
+                    }
+                }
+            }
+        };
+    }
+
+    entry!(striped_i8, i8, w8);
+    entry!(striped_i16, i16, w16);
+    entry!(striped_i32, i32, w32);
+}

@@ -1,0 +1,49 @@
+//! Criterion bench behind Fig 6: the diagonal kernel at 16-bit lanes on
+//! each available ISA (AVX2 vs AVX-512 is the paper's comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swsimd_bench::{Scale, Workload};
+use swsimd_core::{diag_score, GapModel, GapPenalties, KernelStats, Precision, Scoring};
+use swsimd_matrices::blosum62;
+use swsimd_simd::EngineKind;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::standard(Scale::Quick);
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::Affine(GapPenalties::new(11, 1));
+    let targets = w.db_sample(8, 500);
+    let cells: u64 = targets.iter().map(|t| t.len() as u64).sum();
+
+    let mut g = c.benchmark_group("fig06_isa");
+    g.sample_size(10);
+    for engine in EngineKind::available() {
+        for (label, q) in w.queries.iter().step_by(2) {
+            g.throughput(Throughput::Elements(cells * q.len() as u64));
+            g.bench_with_input(
+                BenchmarkId::new(engine.name(), label),
+                q,
+                |b, q| {
+                    b.iter(|| {
+                        let mut st = KernelStats::default();
+                        for t in &targets {
+                            std::hint::black_box(diag_score(
+                                engine,
+                                Precision::I16,
+                                q,
+                                t,
+                                &scoring,
+                                gaps,
+                                16,
+                                &mut st,
+                            ));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench behind Fig 7: affine vs linear gap models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swsimd_bench::{Scale, Workload};
+use swsimd_core::{diag_score, GapModel, GapPenalties, KernelStats, Precision, Scoring};
+use swsimd_matrices::blosum62;
+use swsimd_simd::EngineKind;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::standard(Scale::Quick);
+    let scoring = Scoring::matrix(blosum62());
+    let engine = EngineKind::best();
+    let targets = w.db_sample(8, 500);
+
+    let mut g = c.benchmark_group("fig07_gaps");
+    g.sample_size(10);
+    for (model_name, gaps) in [
+        ("affine", GapModel::Affine(GapPenalties::new(11, 1))),
+        ("linear", GapModel::Linear { gap: 4 }),
+    ] {
+        for (label, q) in w.queries.iter().step_by(2) {
+            g.bench_with_input(BenchmarkId::new(model_name, label), q, |b, q| {
+                b.iter(|| {
+                    let mut st = KernelStats::default();
+                    for t in &targets {
+                        std::hint::black_box(diag_score(
+                            engine, Precision::I16, q, t, &scoring, gaps, 16, &mut st,
+                        ));
+                    }
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench behind Fig 8: traceback on vs off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swsimd_bench::{Scale, Workload};
+use swsimd_core::{diag_score, diag_traceback, GapModel, KernelStats, Precision, Scoring};
+use swsimd_matrices::blosum62;
+use swsimd_simd::EngineKind;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::standard(Scale::Quick);
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::default_affine();
+    let engine = EngineKind::best();
+    let targets = w.db_sample(6, 400);
+
+    let mut g = c.benchmark_group("fig08_traceback");
+    g.sample_size(10);
+    for (label, q) in w.queries.iter().take(4) {
+        g.bench_with_input(BenchmarkId::new("score_only", label), q, |b, q| {
+            b.iter(|| {
+                let mut st = KernelStats::default();
+                for t in &targets {
+                    std::hint::black_box(
+                        diag_score(engine, Precision::I16, q, t, &scoring, gaps, 16, &mut st)
+                            .score,
+                    );
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_traceback", label), q, |b, q| {
+            b.iter(|| {
+                let mut st = KernelStats::default();
+                for t in &targets {
+                    std::hint::black_box(
+                        diag_traceback(engine, Precision::I16, q, t, &scoring, gaps, 16, &mut st)
+                            .score,
+                    );
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

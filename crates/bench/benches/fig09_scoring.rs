@@ -1,0 +1,48 @@
+//! Criterion bench behind Fig 9: substitution matrix vs fixed scores,
+//! plus the 8/16-bit paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swsimd_bench::{Scale, Workload};
+use swsimd_core::{diag_score, Aligner, GapModel, KernelStats, Precision, Scoring};
+use swsimd_matrices::blosum62;
+use swsimd_simd::EngineKind;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::standard(Scale::Quick);
+    let gaps = GapModel::default_affine();
+    let engine = EngineKind::best();
+    let targets = w.db_sample(8, 500);
+    let matrix = Scoring::matrix(blosum62());
+    let fixed = Scoring::Fixed { r#match: 5, mismatch: -4 };
+
+    let mut g = c.benchmark_group("fig09_scoring");
+    g.sample_size(10);
+    for (scoring_name, scoring) in [("matrix", &matrix), ("fixed", &fixed)] {
+        for (label, q) in w.queries.iter().take(4).step_by(2) {
+            g.bench_with_input(BenchmarkId::new(scoring_name, label), q, |b, q| {
+                b.iter(|| {
+                    let mut st = KernelStats::default();
+                    for t in &targets {
+                        std::hint::black_box(
+                            diag_score(engine, Precision::I16, q, t, scoring, gaps, 16, &mut st)
+                                .score,
+                        );
+                    }
+                })
+            });
+        }
+    }
+    // 8-bit LUT batch path (the repaired 8-bit, §IV-C).
+    for (label, q) in w.queries.iter().take(2) {
+        g.bench_with_input(BenchmarkId::new("i8_batch_search", label), q, |b, q| {
+            let mut aligner = Aligner::builder().matrix(blosum62()).build();
+            b.iter(|| {
+                std::hint::black_box(aligner.search(q, &w.db, 1));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

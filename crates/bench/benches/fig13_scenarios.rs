@@ -1,0 +1,33 @@
+//! Criterion bench behind Fig 13: the three usage scenarios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swsimd_bench::{Scale, Workload};
+use swsimd_core::Aligner;
+use swsimd_matrices::blosum62;
+use swsimd_runner::{scenario1, scenario2, scenario3};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::standard(Scale::Quick);
+    let builder = || Aligner::builder().matrix(blosum62());
+    let q = w.queries[2].1.clone();
+    let batch: Vec<Vec<u8>> = w.queries.iter().take(4).map(|(_, q)| q.clone()).collect();
+    let small_records: Vec<swsimd_seq::SeqRecord> =
+        (0..32).map(|i| swsimd_seq::generate_exact(80, i)).collect();
+    let small_db = swsimd_seq::Database::from_records(small_records, blosum62().alphabet());
+
+    let mut g = c.benchmark_group("fig13_scenarios");
+    g.sample_size(10);
+    g.bench_function("scenario1_single_query", |b| {
+        b.iter(|| std::hint::black_box(scenario1(&q, &w.db, 1, builder).alignments))
+    });
+    g.bench_function("scenario2_query_batch", |b| {
+        b.iter(|| std::hint::black_box(scenario2(&batch, &w.db, 1, builder).alignments))
+    });
+    g.bench_function("scenario3_small_sets", |b| {
+        b.iter(|| std::hint::black_box(scenario3(&batch, &small_db, builder).alignments))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

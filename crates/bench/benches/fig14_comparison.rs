@@ -1,0 +1,55 @@
+//! Criterion bench behind Fig 14: ours vs the Parasail-style baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swsimd_baselines::{sw_diag_classic_i16, sw_scan_i16, sw_striped_i16};
+use swsimd_bench::{Scale, Workload};
+use swsimd_core::adaptive::adaptive_score;
+use swsimd_core::{GapModel, KernelStats, Scoring};
+use swsimd_matrices::blosum62;
+use swsimd_simd::EngineKind;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::standard(Scale::Quick);
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::default_affine();
+    let engine = EngineKind::best();
+    let targets = w.db_sample(8, 400);
+
+    type Impl = (
+        &'static str,
+        fn(EngineKind, &[u8], &[u8], &Scoring, GapModel, &mut KernelStats) -> i32,
+    );
+    fn ours(e: EngineKind, q: &[u8], t: &[u8], s: &Scoring, g: GapModel, st: &mut KernelStats) -> i32 {
+        adaptive_score(e, q, t, s, g, 16, st).0
+    }
+    fn striped(e: EngineKind, q: &[u8], t: &[u8], s: &Scoring, g: GapModel, st: &mut KernelStats) -> i32 {
+        sw_striped_i16(e, q, t, s, g, st).score
+    }
+    fn scan(e: EngineKind, q: &[u8], t: &[u8], s: &Scoring, g: GapModel, st: &mut KernelStats) -> i32 {
+        sw_scan_i16(e, q, t, s, g, st).score
+    }
+    fn classic(e: EngineKind, q: &[u8], t: &[u8], s: &Scoring, g: GapModel, st: &mut KernelStats) -> i32 {
+        sw_diag_classic_i16(e, q, t, s, g, st).score
+    }
+    let impls: [Impl; 4] =
+        [("ours", ours), ("striped", striped), ("scan", scan), ("diag_classic", classic)];
+
+    let mut g = c.benchmark_group("fig14_comparison");
+    g.sample_size(10);
+    for (name, f) in impls {
+        for (label, q) in w.queries.iter().take(4).step_by(3) {
+            g.bench_with_input(BenchmarkId::new(name, label), q, |b, q| {
+                b.iter(|| {
+                    let mut st = KernelStats::default();
+                    for t in &targets {
+                        std::hint::black_box(f(engine, q, t, &scoring, gaps, &mut st));
+                    }
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Regenerate every table/figure of the paper's evaluation section.
+
+use swsimd_bench::{ablation_batching, ablation_threshold, portability, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, segments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let figs: Vec<String> = {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--fig" {
+                if let Some(v) = it.next() {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    };
+    let want = |name: &str| figs.is_empty() || figs.iter().any(|f| f == name);
+
+    println!("swsimd figure harness — scale {scale:?}");
+    println!(
+        "host engines: {:?}\n",
+        swsimd_simd::EngineKind::available()
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+    );
+
+    if want("6") {
+        print_json("Fig 6  (AVX2 vs AVX-512)", &fig06(scale));
+    }
+    if want("7") {
+        print_json("Fig 7  (affine vs linear gaps)", &fig07(scale));
+    }
+    if want("8") {
+        print_json("Fig 8  (traceback on/off)", &fig08(scale));
+    }
+    if want("9") {
+        print_json("Fig 9  (substitution matrix on/off + bit widths)", &fig09(scale));
+    }
+    if want("10") {
+        print_json("Fig 10 (GA hyperparameter tuning)", &fig10(scale));
+    }
+    if want("11") {
+        print_json("Fig 11 (thread scaling)", &fig11(scale));
+    }
+    if want("12") {
+        print_json("Fig 12 (top-down pipeline analysis)", &fig12(scale));
+    }
+    if want("13") {
+        print_json("Fig 13 (usage scenarios)", &fig13(scale));
+    }
+    if want("14") {
+        print_json("Fig 14 (vs Parasail baselines)", &fig14(scale));
+    }
+    if want("segments") {
+        print_json("§III-B (segment census)", &segments(scale));
+    }
+    if want("portability") {
+        print_json("Portability (contribution vi)", &portability(scale));
+    }
+    if want("ablations") {
+        print_json("Ablation (scalar threshold)", &ablation_threshold(scale));
+        print_json("Ablation (batch sorting)", &ablation_batching(scale));
+    }
+    println!("\nrecords written under results/");
+}
+
+fn print_json(title: &str, v: &serde_json::Value) {
+    println!("== {title} ==");
+    println!("{}\n", serde_json::to_string_pretty(v).unwrap());
+}

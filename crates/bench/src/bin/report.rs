@@ -1,0 +1,103 @@
+//! Render the `results/*.json` experiment records into one markdown
+//! report (written to `results/REPORT.md` and echoed to stdout).
+//!
+//! ```text
+//! cargo run -p swsimd-bench --release --bin report
+//! ```
+
+use std::fmt::Write as _;
+
+use serde_json::Value;
+
+fn f(v: &Value) -> String {
+    match v.as_f64() {
+        Some(x) if x.abs() >= 100.0 => format!("{x:.0}"),
+        Some(x) if x.abs() >= 1.0 => format!("{x:.2}"),
+        Some(x) => format!("{x:.4}"),
+        None => v.to_string().trim_matches('"').to_string(),
+    }
+}
+
+fn main() {
+    let dir = std::env::var_os("SWSIMD_RESULTS")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| "results".into());
+    let mut out = String::from("# swsimd experiment report\n\n");
+    let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("no results directory ({e}); run the figures binary first");
+            std::process::exit(1);
+        }
+    };
+    entries.sort_by_key(|e| e.file_name());
+
+    for entry in entries {
+        let Ok(text) = std::fs::read_to_string(entry.path()) else { continue };
+        let Ok(rec) = serde_json::from_str::<Value>(&text) else { continue };
+        let figure = rec["figure"].as_str().unwrap_or("?");
+        let title = rec["title"].as_str().unwrap_or("?");
+        let scale = rec["scale"].as_str().unwrap_or("?");
+        let _ = writeln!(out, "## {figure} — {title} ({scale})\n");
+        render_value(&mut out, &rec["series"], 0);
+        out.push('\n');
+    }
+
+    let path = dir.join("REPORT.md");
+    if let Err(e) = std::fs::write(&path, &out) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+    println!("{out}");
+}
+
+/// Render JSON: arrays of flat objects become markdown tables, nested
+/// objects become bullet trees.
+fn render_value(out: &mut String, v: &Value, depth: usize) {
+    match v {
+        Value::Array(rows) if rows.iter().all(|r| r.is_object()) && !rows.is_empty() => {
+            // Union of keys, stable order from the first row.
+            let mut cols: Vec<String> = Vec::new();
+            for r in rows {
+                for k in r.as_object().unwrap().keys() {
+                    if !cols.contains(k) {
+                        cols.push(k.clone());
+                    }
+                }
+            }
+            let _ = writeln!(out, "| {} |", cols.join(" | "));
+            let _ = writeln!(out, "|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+            for r in rows {
+                let cells: Vec<String> = cols
+                    .iter()
+                    .map(|c| {
+                        let cell = &r[c.as_str()];
+                        if cell.is_object() || cell.is_array() {
+                            serde_json::to_string(cell).unwrap_or_default()
+                        } else {
+                            f(cell)
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(out, "| {} |", cells.join(" | "));
+            }
+        }
+        Value::Object(map) => {
+            for (k, val) in map {
+                if val.is_object() || val.is_array() {
+                    let _ = writeln!(out, "{}- **{k}**:", "  ".repeat(depth));
+                    render_value(out, val, depth + 1);
+                } else {
+                    let _ = writeln!(out, "{}- **{k}**: {}", "  ".repeat(depth), f(val));
+                }
+            }
+        }
+        other => {
+            let _ = writeln!(out, "{}{}", "  ".repeat(depth), f(other));
+        }
+    }
+}

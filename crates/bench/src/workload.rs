@@ -1,0 +1,116 @@
+//! Benchmark workloads: the paper's methodology (§IV-A) — ten query
+//! proteins spanning a range of lengths against a Swiss-Prot-like
+//! database — at two scales (quick for CI, full for real runs).
+
+use swsimd_matrices::Alphabet;
+use swsimd_seq::{generate_database, standard_queries, Database, SynthConfig};
+
+/// Workload scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small: seconds per figure; used by tests and `--quick`.
+    Quick,
+    /// Paper-like: a 2^14-sequence database.
+    Full,
+}
+
+impl Scale {
+    /// Database size for this scale.
+    pub fn db_seqs(self) -> usize {
+        match self {
+            Scale::Quick => 192,
+            Scale::Full => 1 << 14,
+        }
+    }
+
+    /// Cap on database sequence length.
+    pub fn db_max_len(self) -> usize {
+        match self {
+            Scale::Quick => 400,
+            Scale::Full => 8_000,
+        }
+    }
+
+    /// Which of the ten standard queries to use.
+    pub fn query_subset(self) -> std::ops::Range<usize> {
+        match self {
+            Scale::Quick => 0..6, // up to ~700 aa
+            Scale::Full => 0..10,
+        }
+    }
+}
+
+/// A ready-to-run workload.
+pub struct Workload {
+    /// `(label, encoded query)` pairs, ascending length.
+    pub queries: Vec<(String, Vec<u8>)>,
+    /// The database.
+    pub db: Database,
+    /// Scale it was built at.
+    pub scale: Scale,
+}
+
+impl Workload {
+    /// Build the standard workload at a scale. Deterministic.
+    pub fn standard(scale: Scale) -> Self {
+        let alphabet = Alphabet::protein();
+        let queries: Vec<(String, Vec<u8>)> = standard_queries()
+            [scale.query_subset()]
+        .iter()
+        .map(|r| (format!("q{}", r.seq.len()), alphabet.encode(&r.seq)))
+        .collect();
+        let db = generate_database(&SynthConfig {
+            n_seqs: scale.db_seqs(),
+            max_len: scale.db_max_len(),
+            ..Default::default()
+        });
+        Self { queries, db, scale }
+    }
+
+    /// Total DP cells for one query index against the whole database.
+    pub fn cells(&self, query_idx: usize) -> u64 {
+        self.queries[query_idx].1.len() as u64 * self.db.total_residues() as u64
+    }
+
+    /// A small sample of database sequences (for pairwise experiments
+    /// like the traceback figure, where O(mn) memory is materialized).
+    pub fn db_sample(&self, count: usize, max_len: usize) -> Vec<Vec<u8>> {
+        self.db
+            .iter_encoded()
+            .filter(|e| e.len() <= max_len && !e.is_empty())
+            .take(count)
+            .map(|e| e.idx.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workload_builds() {
+        let w = Workload::standard(Scale::Quick);
+        assert_eq!(w.queries.len(), 6);
+        assert_eq!(w.db.len(), 192);
+        assert!(w.cells(0) > 0);
+        // Ascending query lengths.
+        assert!(w.queries.windows(2).all(|p| p[0].1.len() < p[1].1.len()));
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = Workload::standard(Scale::Quick);
+        let b = Workload::standard(Scale::Quick);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.db.total_residues(), b.db.total_residues());
+    }
+
+    #[test]
+    fn db_sample_respects_bounds() {
+        let w = Workload::standard(Scale::Quick);
+        let s = w.db_sample(10, 150);
+        assert!(s.len() <= 10);
+        assert!(s.iter().all(|t| t.len() <= 150));
+    }
+}

@@ -1,0 +1,156 @@
+//! Adaptive 8→16→32-bit precision — contribution (iii), the "variable
+//! (8/16) bit width implementation".
+//!
+//! Strategy: if a static bound proves 8-bit cannot saturate, or
+//! optimistically otherwise, run the fast 8-bit kernel; on saturation
+//! rerun the same pair at 16-bit, and (for pathological scores above
+//! 32767) at 32-bit. Each promotion is counted in
+//! [`KernelStats::promotions`]. Because scores are clamped, a saturated
+//! run is detected with certainty — the promotion never misses.
+
+use swsimd_simd::EngineKind;
+
+use crate::diag::dispatch::{diag_score, diag_traceback};
+use crate::diag::tb::TbOut;
+use crate::params::{GapModel, Precision, Scoring};
+use crate::stats::KernelStats;
+
+/// Upper bound on the achievable local score for a pair: every aligned
+/// position can gain at most `max_score`.
+pub fn score_upper_bound(m: usize, n: usize, scoring: &Scoring) -> i64 {
+    m.min(n) as i64 * scoring.max_score().max(1) as i64
+}
+
+/// Smallest precision whose range provably holds the score bound.
+pub fn minimal_safe_precision(m: usize, n: usize, scoring: &Scoring) -> Precision {
+    let bound = score_upper_bound(m, n, scoring);
+    if bound < i8::MAX as i64 {
+        Precision::I8
+    } else if bound < i16::MAX as i64 {
+        Precision::I16
+    } else {
+        Precision::I32
+    }
+}
+
+/// Score-only alignment with adaptive precision. Returns the exact
+/// score and the precision that finally produced it.
+pub fn adaptive_score(
+    engine: EngineKind,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> (i32, Precision) {
+    let r8 = diag_score(engine, Precision::I8, query, target, scoring, gaps, scalar_threshold, stats);
+    if !r8.saturated {
+        return (r8.score, Precision::I8);
+    }
+    stats.promotions += 1;
+    let r16 =
+        diag_score(engine, Precision::I16, query, target, scoring, gaps, scalar_threshold, stats);
+    if !r16.saturated {
+        return (r16.score, Precision::I16);
+    }
+    stats.promotions += 1;
+    let r32 =
+        diag_score(engine, Precision::I32, query, target, scoring, gaps, scalar_threshold, stats);
+    (r32.score, Precision::I32)
+}
+
+/// Traceback alignment with adaptive precision.
+pub fn adaptive_traceback(
+    engine: EngineKind,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> (TbOut, Precision) {
+    // Start at the provably-safe precision: rerunning a traceback kernel
+    // costs O(mn) memory traffic twice, so the static bound is worth it.
+    let start = minimal_safe_precision(query.len(), target.len(), scoring);
+    let order: &[Precision] = match start {
+        Precision::I8 => &[Precision::I8, Precision::I16, Precision::I32],
+        Precision::I16 => &[Precision::I16, Precision::I32],
+        _ => &[Precision::I32],
+    };
+    let mut last = None;
+    for (k, &p) in order.iter().enumerate() {
+        if k > 0 {
+            stats.promotions += 1;
+        }
+        let r = diag_traceback(engine, p, query, target, scoring, gaps, scalar_threshold, stats);
+        let saturated = r.saturated;
+        last = Some((r, p));
+        if !saturated {
+            break;
+        }
+    }
+    last.expect("order is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GapPenalties;
+    use crate::scalar_ref::sw_scalar;
+    use swsimd_matrices::blosum62;
+
+    #[test]
+    fn bounds_and_minimal_precision() {
+        let s = Scoring::matrix(blosum62());
+        assert_eq!(minimal_safe_precision(5, 1000, &s), Precision::I8); // 5*11=55
+        assert_eq!(minimal_safe_precision(100, 100, &s), Precision::I16); // 1100
+        assert_eq!(minimal_safe_precision(5000, 5000, &s), Precision::I32); // 55000
+    }
+
+    #[test]
+    fn adaptive_promotes_and_returns_exact_score() {
+        let q = vec![17u8; 400]; // W x 400 → 4400 > 127
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::Affine(GapPenalties::new(11, 1));
+        let mut stats = KernelStats::default();
+        let (score, prec) =
+            adaptive_score(EngineKind::best(), &q, &q, &scoring, gaps, 8, &mut stats);
+        assert_eq!(score, 4400);
+        assert_eq!(prec, Precision::I16);
+        assert_eq!(stats.promotions, 1);
+    }
+
+    #[test]
+    fn adaptive_stays_at_i8_when_possible() {
+        let q = vec![0u8; 10]; // A x 10 → 40 < 127
+        let scoring = Scoring::matrix(blosum62());
+        let mut stats = KernelStats::default();
+        let (score, prec) = adaptive_score(
+            EngineKind::best(),
+            &q,
+            &q,
+            &scoring,
+            GapModel::default_affine(),
+            8,
+            &mut stats,
+        );
+        assert_eq!(score, 40);
+        assert_eq!(prec, Precision::I8);
+        assert_eq!(stats.promotions, 0);
+    }
+
+    #[test]
+    fn adaptive_traceback_promotes() {
+        let q = vec![17u8; 400];
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::default_affine();
+        let mut stats = KernelStats::default();
+        let (out, prec) =
+            adaptive_traceback(EngineKind::best(), &q, &q, &scoring, gaps, 8, &mut stats);
+        assert_eq!(out.score, sw_scalar(&q, &q, &scoring, gaps).score);
+        assert_eq!(prec, Precision::I16);
+        let aln = out.alignment.unwrap();
+        assert_eq!(aln.rescore(&q, &q, &scoring, gaps), out.score);
+    }
+}

@@ -1,0 +1,641 @@
+//! High-level alignment API: the [`Aligner`].
+//!
+//! ```
+//! use swsimd_core::{Aligner, GapPenalties};
+//! use swsimd_matrices::blosum62;
+//!
+//! let mut aligner = Aligner::builder()
+//!     .matrix(blosum62())
+//!     .gaps(GapPenalties::new(11, 1))
+//!     .traceback(true)
+//!     .build();
+//! let r = aligner.align_ascii(b"MKVLAADTW", b"MKVLADTWGG");
+//! assert!(r.score > 0);
+//! println!("{}", r.alignment.unwrap().cigar());
+//! ```
+
+use swsimd_matrices::{blosum62, Alphabet, SubstitutionMatrix};
+use swsimd_seq::{BatchedDatabase, Database};
+use swsimd_simd::EngineKind;
+
+use crate::adaptive::{adaptive_score, adaptive_traceback, minimal_safe_precision};
+use crate::batch::{batch_score, lanes_for, LaneScore};
+use crate::diag::dispatch::{diag_score, diag_traceback};
+use crate::modes::{adaptive_mode_score, diag_mode_score, sw_scalar_mode_traceback, AlignMode};
+use crate::params::{AlignResult, GapModel, GapPenalties, Precision, Scoring};
+use crate::stats::KernelStats;
+
+/// One database hit from [`Aligner::search`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hit {
+    /// Index of the sequence in the searched database.
+    pub db_index: usize,
+    /// Exact local alignment score.
+    pub score: i32,
+    /// Precision that produced the final score.
+    pub precision: Precision,
+}
+
+/// Builder for [`Aligner`].
+pub struct AlignerBuilder {
+    scoring: Scoring,
+    gaps: GapModel,
+    engine: EngineKind,
+    precision: Precision,
+    scalar_threshold: Option<usize>,
+    traceback: bool,
+    mode: AlignMode,
+}
+
+impl Default for AlignerBuilder {
+    fn default() -> Self {
+        Self {
+            scoring: Scoring::matrix(blosum62()),
+            gaps: GapModel::default_affine(),
+            engine: EngineKind::best(),
+            precision: Precision::Adaptive,
+            scalar_threshold: None,
+            traceback: false,
+            mode: AlignMode::Local,
+        }
+    }
+}
+
+impl AlignerBuilder {
+    /// Use a substitution matrix (reorganized internally).
+    pub fn matrix(mut self, m: &SubstitutionMatrix) -> Self {
+        self.scoring = Scoring::matrix(m);
+        self
+    }
+
+    /// Use fixed match/mismatch scores instead of a matrix (Fig 9's
+    /// "without substitution matrix" configuration).
+    pub fn fixed_scores(mut self, r#match: i32, mismatch: i32) -> Self {
+        self.scoring = Scoring::Fixed { r#match, mismatch };
+        self
+    }
+
+    /// Arbitrary scoring.
+    pub fn scoring(mut self, s: Scoring) -> Self {
+        self.scoring = s;
+        self
+    }
+
+    /// Affine gap penalties.
+    pub fn gaps(mut self, g: GapPenalties) -> Self {
+        self.gaps = GapModel::Affine(g);
+        self
+    }
+
+    /// Linear gap penalty (Fig 7's "without affine" configuration).
+    pub fn linear_gap(mut self, gap: i32) -> Self {
+        self.gaps = GapModel::Linear { gap };
+        self
+    }
+
+    /// Arbitrary gap model.
+    pub fn gap_model(mut self, g: GapModel) -> Self {
+        self.gaps = g;
+        self
+    }
+
+    /// Pin the SIMD engine (default: widest available).
+    pub fn engine(mut self, e: EngineKind) -> Self {
+        self.engine = e;
+        self
+    }
+
+    /// Pin the lane precision (default: adaptive 8→16→32).
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+
+    /// Segments shorter than this run on the scalar unit (default: the
+    /// engine's 8-bit lane count; a GA-tunable knob, see `swsimd-tune`).
+    pub fn scalar_threshold(mut self, t: usize) -> Self {
+        self.scalar_threshold = Some(t);
+        self
+    }
+
+    /// Record tracebacks (Fig 8 configuration).
+    pub fn traceback(mut self, on: bool) -> Self {
+        self.traceback = on;
+        self
+    }
+
+    /// Alignment class: local (default), global, or semi-global.
+    pub fn mode(mut self, mode: AlignMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Aligner {
+        let threshold = self.scalar_threshold.unwrap_or_else(|| lanes_for(self.engine));
+        // `align_ascii` must encode with the same alphabet the scoring
+        // matrix is indexed by (protein vs DNA differ).
+        let alphabet = match &self.scoring {
+            Scoring::Matrix(m) => m.alphabet().clone(),
+            Scoring::Fixed { .. } => Alphabet::protein(),
+        };
+        Aligner {
+            scoring: self.scoring,
+            gaps: self.gaps,
+            engine: self.engine,
+            precision: self.precision,
+            scalar_threshold: threshold,
+            traceback: self.traceback,
+            mode: self.mode,
+            alphabet,
+            stats: KernelStats::default(),
+        }
+    }
+}
+
+/// A configured Smith-Waterman aligner (the paper's kernel behind a
+/// stable API). Accumulates [`KernelStats`] across calls.
+pub struct Aligner {
+    scoring: Scoring,
+    gaps: GapModel,
+    engine: EngineKind,
+    precision: Precision,
+    scalar_threshold: usize,
+    traceback: bool,
+    mode: AlignMode,
+    alphabet: Alphabet,
+    stats: KernelStats,
+}
+
+impl Aligner {
+    /// Start building an aligner.
+    pub fn builder() -> AlignerBuilder {
+        AlignerBuilder::default()
+    }
+
+    /// An aligner with all defaults (BLOSUM62, affine 11/1, adaptive
+    /// precision, best engine).
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// The configured scoring.
+    pub fn scoring(&self) -> &Scoring {
+        &self.scoring
+    }
+
+    /// The configured gap model.
+    pub fn gap_model(&self) -> GapModel {
+        self.gaps
+    }
+
+    /// The engine actually used.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Accumulated kernel statistics.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Reset accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = KernelStats::default();
+    }
+
+    /// The configured alignment mode.
+    pub fn mode(&self) -> AlignMode {
+        self.mode
+    }
+
+    /// Align two **encoded** sequences (residue indices `< 32`).
+    pub fn align(&mut self, query: &[u8], target: &[u8]) -> AlignResult {
+        debug_assert!(query.iter().chain(target).all(|&b| b < 32), "sequences must be encoded");
+        if self.mode != AlignMode::Local {
+            return self.align_mode(query, target);
+        }
+        if self.traceback {
+            let (out, prec) = match self.precision {
+                Precision::Adaptive => adaptive_traceback(
+                    self.engine,
+                    query,
+                    target,
+                    &self.scoring,
+                    self.gaps,
+                    self.scalar_threshold,
+                    &mut self.stats,
+                ),
+                p => (
+                    diag_traceback(
+                        self.engine,
+                        p,
+                        query,
+                        target,
+                        &self.scoring,
+                        self.gaps,
+                        self.scalar_threshold,
+                        &mut self.stats,
+                    ),
+                    p,
+                ),
+            };
+            AlignResult {
+                score: out.score,
+                end: out.end,
+                alignment: out.alignment,
+                precision_used: prec,
+            }
+        } else {
+            let (score, prec) = match self.precision {
+                Precision::Adaptive => adaptive_score(
+                    self.engine,
+                    query,
+                    target,
+                    &self.scoring,
+                    self.gaps,
+                    self.scalar_threshold,
+                    &mut self.stats,
+                ),
+                p => (
+                    diag_score(
+                        self.engine,
+                        p,
+                        query,
+                        target,
+                        &self.scoring,
+                        self.gaps,
+                        self.scalar_threshold,
+                        &mut self.stats,
+                    )
+                    .score,
+                    p,
+                ),
+            };
+            AlignResult::score_only(score, prec)
+        }
+    }
+
+    /// Global / semi-global paths: vectorized scores with adaptive
+    /// precision; tracebacks via the scalar reference implementation
+    /// (global tracebacks must reach the matrix edges, so the local
+    /// direction store cannot be reused).
+    fn align_mode(&mut self, query: &[u8], target: &[u8]) -> AlignResult {
+        if self.traceback {
+            let mut r = sw_scalar_mode_traceback(query, target, &self.scoring, self.gaps, self.mode);
+            self.stats.cells += (query.len() * target.len()) as u64;
+            self.stats.traceback_cells += (query.len() * target.len()) as u64;
+            r.precision_used = Precision::I32;
+            return r;
+        }
+        let (score, prec) = match self.precision {
+            Precision::Adaptive => adaptive_mode_score(
+                self.engine,
+                query,
+                target,
+                &self.scoring,
+                self.gaps,
+                self.mode,
+                self.scalar_threshold,
+                &mut self.stats,
+            ),
+            p => (
+                diag_mode_score(
+                    self.engine,
+                    p,
+                    query,
+                    target,
+                    &self.scoring,
+                    self.gaps,
+                    self.mode,
+                    self.scalar_threshold,
+                    &mut self.stats,
+                )
+                .score,
+                p,
+            ),
+        };
+        AlignResult::score_only(score, prec)
+    }
+
+    /// The alphabet `align_ascii` encodes with (the scoring matrix's
+    /// own alphabet; protein for fixed scoring).
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Banded local alignment of two encoded sequences: only cells with
+    /// `|i - j| <= width` are computed (Scenario-3 subroutine use). The
+    /// score is exact whenever the optimal alignment fits the band and
+    /// never exceeds the unbanded score. Local mode only.
+    pub fn align_banded(&mut self, query: &[u8], target: &[u8], width: usize) -> AlignResult {
+        assert_eq!(
+            self.mode,
+            AlignMode::Local,
+            "banded alignment is implemented for local mode"
+        );
+        let (score, prec) = match self.precision {
+            Precision::Adaptive => {
+                let mut out = None;
+                for (k, p) in [Precision::I8, Precision::I16, Precision::I32].into_iter().enumerate() {
+                    if k > 0 {
+                        self.stats.promotions += 1;
+                    }
+                    let r = crate::banded::banded_score(
+                        self.engine,
+                        p,
+                        query,
+                        target,
+                        &self.scoring,
+                        self.gaps,
+                        width,
+                        self.scalar_threshold,
+                        &mut self.stats,
+                    );
+                    if !r.saturated {
+                        out = Some((r.score, p));
+                        break;
+                    }
+                }
+                out.expect("I32 never saturates")
+            }
+            p => (
+                crate::banded::banded_score(
+                    self.engine,
+                    p,
+                    query,
+                    target,
+                    &self.scoring,
+                    self.gaps,
+                    width,
+                    self.scalar_threshold,
+                    &mut self.stats,
+                )
+                .score,
+                p,
+            ),
+        };
+        AlignResult::score_only(score, prec)
+    }
+
+    /// Align two raw ASCII sequences (encoded with the scoring
+    /// alphabet — see [`Aligner::alphabet`]).
+    pub fn align_ascii(&mut self, query: &[u8], target: &[u8]) -> AlignResult {
+        let q = self.alphabet.encode(query);
+        let t = self.alphabet.encode(target);
+        self.align(&q, &t)
+    }
+
+    /// Search an encoded query against a pre-batched database using the
+    /// 8-bit inter-sequence kernel, promoting saturated lanes through
+    /// the 16/32-bit diagonal kernel. Returns exact scores for every
+    /// database sequence, unsorted.
+    pub fn search_batched(&mut self, query: &[u8], db: &Database, batched: &BatchedDatabase) -> Vec<Hit> {
+        let mut lane_scores: Vec<LaneScore> = Vec::with_capacity(db.len());
+        if batched.lanes() == lanes_for(self.engine) {
+            for b in batched.batches() {
+                batch_score(
+                    self.engine,
+                    query,
+                    b,
+                    &self.scoring,
+                    self.gaps,
+                    &mut self.stats,
+                    &mut lane_scores,
+                );
+            }
+        } else {
+            // Lane-count mismatch (batches built for another engine):
+            // fall back to per-sequence diagonal alignment.
+            for (i, e) in db.iter_encoded().enumerate() {
+                let (score, _) = adaptive_score(
+                    self.engine,
+                    query,
+                    &e.idx,
+                    &self.scoring,
+                    self.gaps,
+                    self.scalar_threshold,
+                    &mut self.stats,
+                );
+                lane_scores.push(LaneScore {
+                    db_index: i as u32,
+                    score,
+                    saturated: false,
+                });
+            }
+        }
+
+        lane_scores
+            .into_iter()
+            .map(|ls| {
+                if ls.saturated {
+                    self.stats.promotions += 1;
+                    let target = &db.encoded(ls.db_index as usize).idx;
+                    let prec =
+                        minimal_safe_precision(query.len(), target.len(), &self.scoring)
+                            .max_with_i16();
+                    let r = diag_score(
+                        self.engine,
+                        prec,
+                        query,
+                        target,
+                        &self.scoring,
+                        self.gaps,
+                        self.scalar_threshold,
+                        &mut self.stats,
+                    );
+                    let (score, prec) = if r.saturated {
+                        self.stats.promotions += 1;
+                        (
+                            diag_score(
+                                self.engine,
+                                Precision::I32,
+                                query,
+                                target,
+                                &self.scoring,
+                                self.gaps,
+                                self.scalar_threshold,
+                                &mut self.stats,
+                            )
+                            .score,
+                            Precision::I32,
+                        )
+                    } else {
+                        (r.score, prec)
+                    };
+                    Hit { db_index: ls.db_index as usize, score, precision: prec }
+                } else {
+                    Hit { db_index: ls.db_index as usize, score: ls.score, precision: Precision::I8 }
+                }
+            })
+            .collect()
+    }
+
+    /// Search an encoded query against a database, batching on the fly.
+    /// Returns the top `top_k` hits, best first (all hits if 0).
+    pub fn search(&mut self, query: &[u8], db: &Database, top_k: usize) -> Vec<Hit> {
+        let batched = BatchedDatabase::build(db, lanes_for(self.engine), true);
+        let mut hits = self.search_batched(query, db, &batched);
+        hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+        if top_k > 0 {
+            hits.truncate(top_k);
+        }
+        hits
+    }
+}
+
+impl Default for Aligner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Precision {
+    /// Promote I8 to I16 (used when rerunning saturated 8-bit lanes).
+    fn max_with_i16(self) -> Precision {
+        match self {
+            Precision::I8 => Precision::I16,
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar_ref::sw_scalar;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use swsimd_matrices::PROTEIN_LETTERS;
+    use swsimd_seq::SeqRecord;
+
+    fn rand_ascii(rng: &mut StdRng, len: usize) -> Vec<u8> {
+        (0..len).map(|_| PROTEIN_LETTERS[rng.gen_range(0..20)]).collect()
+    }
+
+    #[test]
+    fn align_ascii_smoke() {
+        let mut a = Aligner::new();
+        let r = a.align_ascii(b"MKVLAADTW", b"MKVLAADTW");
+        assert!(r.score > 0);
+        assert_eq!(r.precision_used, Precision::I8);
+    }
+
+    #[test]
+    fn traceback_through_api() {
+        let mut a = Aligner::builder().traceback(true).build();
+        let r = a.align_ascii(b"MKVLAADTWGHK", b"MKVLADTWGHK");
+        let aln = r.alignment.expect("traceback requested");
+        assert!(!aln.cigar().is_empty());
+    }
+
+    #[test]
+    fn search_returns_exact_scores() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let records: Vec<SeqRecord> = (0..50)
+            .map(|i| {
+                let l = rng.gen_range(5..60);
+                SeqRecord::new(format!("s{i}"), rand_ascii(&mut rng, l))
+            })
+            .collect();
+        let alphabet = Alphabet::protein();
+        let db = Database::from_records(records, &alphabet);
+        let query = alphabet.encode(&rand_ascii(&mut rng, 30));
+
+        let mut a = Aligner::new();
+        let hits = a.search(&query, &db, 0);
+        assert_eq!(hits.len(), 50);
+        for h in &hits {
+            let want = sw_scalar(
+                &query,
+                &db.encoded(h.db_index).idx,
+                a.scoring(),
+                a.gap_model(),
+            )
+            .score;
+            assert_eq!(h.score, want, "hit {}", h.db_index);
+        }
+        // Sorted best-first.
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn search_promotes_saturated_lanes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hot: Vec<u8> = vec![b'W'; 300];
+        let mut records: Vec<SeqRecord> = (0..20)
+            .map(|i| {
+                let l = rng.gen_range(5..40);
+                SeqRecord::new(format!("s{i}"), rand_ascii(&mut rng, l))
+            })
+            .collect();
+        records.push(SeqRecord::new("hot", hot.clone()));
+        let alphabet = Alphabet::protein();
+        let db = Database::from_records(records, &alphabet);
+        let query = alphabet.encode(&hot);
+
+        let mut a = Aligner::new();
+        let hits = a.search(&query, &db, 3);
+        assert_eq!(hits[0].db_index, 20);
+        assert_eq!(hits[0].score, 3300); // 300 × 11
+        assert_ne!(hits[0].precision, Precision::I8);
+        assert!(a.stats().promotions >= 1);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let records: Vec<SeqRecord> = (0..30)
+            .map(|i| SeqRecord::new(format!("s{i}"), rand_ascii(&mut rng, 20)))
+            .collect();
+        let alphabet = Alphabet::protein();
+        let db = Database::from_records(records, &alphabet);
+        let query = alphabet.encode(&rand_ascii(&mut rng, 15));
+        let mut a = Aligner::new();
+        assert_eq!(a.search(&query, &db, 5).len(), 5);
+    }
+
+    #[test]
+    fn fixed_precision_i16() {
+        let mut a = Aligner::builder().precision(Precision::I16).build();
+        let r = a.align_ascii(b"MKV", b"MKV");
+        assert_eq!(r.precision_used, Precision::I16);
+    }
+
+    #[test]
+    fn banded_through_api() {
+        let mut a = Aligner::new();
+        let alphabet = Alphabet::protein();
+        let q = alphabet.encode(b"MKVLAADTWGHK");
+        let full = a.align(&q, &q).score;
+        let banded = a.align_banded(&q, &q, 2).score;
+        assert_eq!(banded, full, "identical pair stays on the diagonal");
+        let zero_band = a.align_banded(&q, &q, 0).score;
+        assert_eq!(zero_band, full);
+    }
+
+    #[test]
+    fn dna_matrix_uses_dna_alphabet() {
+        let dna = swsimd_matrices::SubstitutionMatrix::match_mismatch(
+            "dna", Alphabet::dna(), 2, -3,
+        );
+        let mut a = Aligner::builder().matrix(&dna).linear_gap(4).build();
+        assert_eq!(a.alphabet().len(), 5);
+        let r = a.align_ascii(b"ACGTACGT", b"ACGTACGT");
+        assert_eq!(r.score, 16); // 8 matches x 2
+        let r2 = a.align_ascii(b"ACGT", b"TGCA");
+        assert!(r2.score <= 2);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut a = Aligner::new();
+        a.align_ascii(b"MKVLLL", b"MKVLLL");
+        assert!(a.stats().cells > 0);
+        let c1 = a.stats().cells;
+        a.align_ascii(b"MKVLLL", b"MKVLLL");
+        assert!(a.stats().cells > c1);
+        a.reset_stats();
+        assert_eq!(a.stats().cells, 0);
+    }
+}

@@ -1,0 +1,530 @@
+//! Banded Smith-Waterman — the classic subroutine-scenario accelerator.
+//!
+//! The paper's Scenario 3 (§II-C) cites the SSW library's use of SW as
+//! an inner subroutine on small, similar sequences; in that regime a
+//! *band* restricts the DP to cells with `|i - j| <= width`, cutting
+//! work from `O(mn)` to `O(width·(m+n))`. The diagonal layout makes
+//! banding trivial: on anti-diagonal `d` the band is just an extra
+//! clamp on the `i` range (`|2i - d| <= width`), so the banded kernel
+//! is the main kernel with tighter bounds — same memory layout, same
+//! zero-padding, same deferred maximum.
+//!
+//! Banded scores are a lower bound on the unbanded score and exact
+//! whenever the optimal alignment stays inside the band (guaranteed if
+//! `width >= |m - n| + longest gap run`). With `width >= m + n` the
+//! result equals the unbanded kernel exactly (tested).
+
+use swsimd_simd::{EngineKind, ScoreElem, SimdEngine, SimdVec};
+
+use crate::diag::kernel::ScoreOut;
+use crate::diag::{diag_bounds, gap_elems, KernelWidth, W16, W32, W8};
+use crate::params::{GapModel, Precision, Scoring};
+use crate::stats::KernelStats;
+
+/// Interior band bounds on anti-diagonal `d`: the cells of
+/// [`diag_bounds`] further clamped to `|i - j| <= width` (with `j = d - i`).
+#[inline(always)]
+pub fn banded_bounds(d: usize, m: usize, n: usize, width: usize) -> Option<(usize, usize)> {
+    let (lo, hi) = diag_bounds(d, m, n);
+    // |2i - d| <= width  =>  (d - width)/2 <= i <= (d + width)/2
+    let blo = d.saturating_sub(width).div_ceil(2).max(lo);
+    let bhi = ((d + width) / 2).min(hi);
+    (blo <= bhi).then_some((blo, bhi))
+}
+
+/// Scalar reference for banded local alignment.
+pub fn sw_banded_scalar(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    width: usize,
+) -> i32 {
+    let (m, n) = (query.len(), target.len());
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    let (go, ge) = match gaps {
+        GapModel::Linear { gap } => (gap, gap),
+        GapModel::Affine(g) => (g.open, g.extend),
+    };
+    const NEG: i32 = i32::MIN / 4;
+    // Row-major banded DP with per-row windows.
+    let mut best = 0i32;
+    let mut h_prev: Vec<i32> = Vec::new(); // window for row i-1
+    let mut f_prev: Vec<i32> = Vec::new();
+    let mut prev_start = 0i64;
+    for i in 1..=m {
+        let j_start = (i as i64 - width as i64).max(1);
+        let j_end = ((i + width) as i64).min(n as i64);
+        if j_start > j_end {
+            continue;
+        }
+        let wlen = (j_end - j_start + 1) as usize;
+        let mut h_cur = vec![0i32; wlen];
+        let mut e_cur = vec![NEG; wlen];
+        let mut f_cur = vec![NEG; wlen];
+        for (k, j) in (j_start..=j_end).enumerate() {
+            let ju = j as usize;
+            // In-band neighbours; out-of-band reads as H = 0 (a local
+            // alignment may always restart) and E/F = -inf.
+            let fetch_h_prev = |jj: i64| -> i32 {
+                // Boundary column/row both read as the local-restart 0.
+                if jj == 0 || i == 1 {
+                    0
+                } else {
+                    let idx = jj - prev_start;
+                    if idx < 0 || idx as usize >= h_prev.len() {
+                        0 // outside band: local restart value
+                    } else {
+                        h_prev[idx as usize]
+                    }
+                }
+            };
+            let fetch_f_prev = |jj: i64| -> i32 {
+                if i == 1 {
+                    NEG
+                } else {
+                    let idx = jj - prev_start;
+                    if idx < 0 || idx as usize >= f_prev.len() {
+                        NEG
+                    } else {
+                        f_prev[idx as usize]
+                    }
+                }
+            };
+            // Left neighbour: out-of-band or boundary => restart at 0.
+            let h_left = if k == 0 { 0 } else { h_cur[k - 1] };
+            let e_left = if k == 0 { NEG } else { e_cur[k - 1] };
+            let s = scoring.score(query[i - 1], target[ju - 1]);
+            let e = (e_left - ge).max(h_left - go);
+            let f = (fetch_f_prev(j) - ge).max(fetch_h_prev(j) - go);
+            let diag = fetch_h_prev(j - 1) + s;
+            let h = 0.max(diag).max(e).max(f);
+            h_cur[k] = h;
+            e_cur[k] = e;
+            f_cur[k] = f;
+            best = best.max(h);
+        }
+        h_prev = h_cur;
+        f_prev = f_cur;
+        let _ = e_cur;
+        prev_start = j_start;
+    }
+    best
+}
+
+/// Vectorized banded kernel: the diagonal kernel with band-clamped
+/// bounds (scores only).
+#[inline(always)]
+fn sw_banded_kernel<En: SimdEngine, W: KernelWidth<En>>(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    width: usize,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> ScoreOut {
+    type Elem<En2, W2> = <<W2 as KernelWidth<En2>>::V as SimdVec>::Elem;
+
+    let (m, n) = (query.len(), target.len());
+    if m == 0 || n == 0 {
+        return ScoreOut { score: 0, saturated: false };
+    }
+    let lanes = <W::V as SimdVec>::LANES;
+    let scalar_threshold = scalar_threshold.max(1);
+
+    let vzero = W::V::zero();
+    let vneg = W::V::splat(Elem::<En, W>::NEG_INF);
+    let (go, ge, affine) = gap_elems::<Elem<En, W>>(gaps);
+    let vgo = W::V::splat(go);
+    let vge = W::V::splat(ge);
+    let (go32, ge32) = (go.to_i32(), ge.to_i32());
+
+    let blen = m + 2 + lanes;
+    let mut hp = vec![Elem::<En, W>::ZERO; blen];
+    let mut hpp = vec![Elem::<En, W>::ZERO; blen];
+    let mut hc = vec![Elem::<En, W>::ZERO; blen];
+    let mut ep = vec![Elem::<En, W>::NEG_INF; blen];
+    let mut ec = vec![Elem::<En, W>::NEG_INF; blen];
+    let mut fp = vec![Elem::<En, W>::NEG_INF; blen];
+    let mut fc = vec![Elem::<En, W>::NEG_INF; blen];
+
+    let mut qpad = vec![0u8; m + lanes];
+    qpad[..m].copy_from_slice(query);
+    let mut rrev = vec![0u8; n + lanes];
+    for (t, slot) in rrev[..n].iter_mut().enumerate() {
+        *slot = target[n - 1 - t];
+    }
+    let (qel, rrevel, vmatch, vmismatch) = match scoring {
+        Scoring::Fixed { r#match, mismatch } => {
+            let qel: Vec<_> = qpad.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            let rel: Vec<_> = rrev.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            (
+                qel,
+                rel,
+                W::V::splat(Elem::<En, W>::from_i32(*r#match)),
+                W::V::splat(Elem::<En, W>::from_i32(*mismatch)),
+            )
+        }
+        Scoring::Matrix(_) => (Vec::new(), Vec::new(), vzero, vzero),
+    };
+
+    let mut vmax = vzero;
+    let mut scalar_best = 0i32;
+    let mut prev_lo_opt: Option<usize> = None;
+    let mut prev_hi = 0usize;
+
+    for d in 2..=(m + n) {
+        let Some((lo, hi)) = banded_bounds(d, m, n, width) else {
+            // No in-band cells on this diagonal (narrow bands skip
+            // alternate diagonals). The rolling invariant still needs a
+            // rotation, with the skipped diagonal reading as
+            // out-of-band everywhere its neighbours might look.
+            let clo = (d.saturating_sub(width) / 2).saturating_sub(2);
+            let chi = ((d + width) / 2 + 2).min(m + 1);
+            for i in clo..=chi {
+                hc[i] = Elem::<En, W>::ZERO;
+                ec[i] = Elem::<En, W>::NEG_INF;
+                fc[i] = Elem::<En, W>::NEG_INF;
+            }
+            std::mem::swap(&mut hpp, &mut hp);
+            std::mem::swap(&mut hp, &mut hc);
+            std::mem::swap(&mut ep, &mut ec);
+            std::mem::swap(&mut fp, &mut fc);
+            prev_lo_opt = None;
+            continue;
+        };
+        let len = hi - lo + 1;
+        stats.diagonals += 1;
+        stats.cells += len as u64;
+
+        // Out-of-band neighbours must read as "local restart" (H = 0,
+        // E/F = -inf). The band edge moves by at most one position per
+        // diagonal, so refreshing the cells just outside the previous
+        // window keeps all reads correct.
+        if let Some(prev_lo) = prev_lo_opt {
+            if prev_lo > 0 {
+                hp[prev_lo - 1] = Elem::<En, W>::ZERO;
+                ep[prev_lo - 1] = Elem::<En, W>::NEG_INF;
+                fp[prev_lo - 1] = Elem::<En, W>::NEG_INF;
+            }
+            if prev_hi + 1 < blen {
+                hp[prev_hi + 1] = Elem::<En, W>::ZERO;
+                ep[prev_hi + 1] = Elem::<En, W>::NEG_INF;
+                fp[prev_hi + 1] = Elem::<En, W>::NEG_INF;
+            }
+        }
+
+        if len < scalar_threshold {
+            for i in lo..=hi {
+                let j = d - i;
+                let s = scoring.score(query[i - 1], target[j - 1]);
+                let h_l = hp[i].to_i32();
+                let h_u = hp[i - 1].to_i32();
+                let h_d = hpp[i - 1].to_i32();
+                let (e_new, f_new) = if affine {
+                    (
+                        (ep[i].to_i32() - ge32).max(h_l - go32),
+                        (fp[i - 1].to_i32() - ge32).max(h_u - go32),
+                    )
+                } else {
+                    (h_l - go32, h_u - go32)
+                };
+                let h = Elem::<En, W>::from_i32(0.max(h_d + s).max(e_new).max(f_new));
+                hc[i] = h;
+                if affine {
+                    ec[i] = Elem::<En, W>::from_i32(e_new);
+                    fc[i] = Elem::<En, W>::from_i32(f_new);
+                }
+                scalar_best = scalar_best.max(h.to_i32());
+            }
+            stats.scalar_cells += len as u64;
+        } else {
+            let mut base = lo;
+            while base <= hi {
+                let rem = hi + 1 - base;
+                // SAFETY: same invariants as the main kernel (the band
+                // only narrows the range).
+                unsafe {
+                    let h_l = W::V::load(hp.as_ptr().add(base));
+                    let h_u = W::V::load(hp.as_ptr().add(base - 1));
+                    let h_d = W::V::load(hpp.as_ptr().add(base - 1));
+                    let s = match scoring {
+                        Scoring::Matrix(mat) => {
+                            stats.gather_ops += 1;
+                            W::gather(
+                                mat,
+                                qpad.as_ptr().add(base - 1),
+                                rrev.as_ptr().add(base + n - d),
+                            )
+                        }
+                        Scoring::Fixed { .. } => {
+                            let qv = W::V::load(qel.as_ptr().add(base - 1));
+                            let rv = W::V::load(rrevel.as_ptr().add(base + n - d));
+                            W::V::blend(qv.cmpeq(rv), vmatch, vmismatch)
+                        }
+                    };
+                    let (e_new, f_new) = if affine {
+                        let e_in = W::V::load(ep.as_ptr().add(base));
+                        let f_in = W::V::load(fp.as_ptr().add(base - 1));
+                        (e_in.subs(vge).max(h_l.subs(vgo)), f_in.subs(vge).max(h_u.subs(vgo)))
+                    } else {
+                        (h_l.subs(vgo), h_u.subs(vgo))
+                    };
+                    let mut h = h_d.adds(s).max(vzero).max(e_new).max(f_new);
+                    let mut e_st = e_new;
+                    let mut f_st = f_new;
+                    if rem < lanes {
+                        let mask = W::V::mask_first(rem);
+                        h = W::V::blend(mask, h, vzero);
+                        e_st = W::V::blend(mask, e_new, vneg);
+                        f_st = W::V::blend(mask, f_new, vneg);
+                        stats.padded_lanes += (lanes - rem) as u64;
+                    }
+                    h.store(hc.as_mut_ptr().add(base));
+                    if affine {
+                        e_st.store(ec.as_mut_ptr().add(base));
+                        f_st.store(fc.as_mut_ptr().add(base));
+                    }
+                    vmax = vmax.max(h);
+                }
+                stats.vector_steps += 1;
+                stats.vector_lane_slots += lanes as u64;
+                base += lanes;
+            }
+        }
+
+        // Band-edge guards on the freshly written diagonal.
+        hc[lo - 1] = Elem::<En, W>::ZERO;
+        fc[lo - 1] = Elem::<En, W>::NEG_INF;
+        ec[lo - 1] = Elem::<En, W>::NEG_INF;
+        if hi + 1 < blen {
+            hc[hi + 1] = Elem::<En, W>::ZERO;
+            ec[hi + 1] = Elem::<En, W>::NEG_INF;
+            fc[hi + 1] = Elem::<En, W>::NEG_INF;
+        }
+
+        std::mem::swap(&mut hpp, &mut hp);
+        std::mem::swap(&mut hp, &mut hc);
+        std::mem::swap(&mut ep, &mut ec);
+        std::mem::swap(&mut fp, &mut fc);
+        prev_lo_opt = Some(lo);
+        prev_hi = hi;
+    }
+
+    let best = vmax.hmax().to_i32().max(scalar_best);
+    let saturated = Elem::<En, W>::BITS < 32 && best >= Elem::<En, W>::MAX.to_i32();
+    ScoreOut { score: best, saturated }
+}
+
+macro_rules! banded_wrappers {
+    ($mod_:ident, $en:ty, $($feat:literal)?) => {
+        mod $mod_ {
+            use super::*;
+            $(#[target_feature(enable = $feat)])?
+            pub(super) unsafe fn w8(
+                q: &[u8], t: &[u8], sc: &Scoring, g: GapModel, w: usize, th: usize,
+                st: &mut KernelStats,
+            ) -> ScoreOut {
+                sw_banded_kernel::<$en, W8>(q, t, sc, g, w, th, st)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(super) unsafe fn w16(
+                q: &[u8], t: &[u8], sc: &Scoring, g: GapModel, w: usize, th: usize,
+                st: &mut KernelStats,
+            ) -> ScoreOut {
+                sw_banded_kernel::<$en, W16>(q, t, sc, g, w, th, st)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(super) unsafe fn w32(
+                q: &[u8], t: &[u8], sc: &Scoring, g: GapModel, w: usize, th: usize,
+                st: &mut KernelStats,
+            ) -> ScoreOut {
+                sw_banded_kernel::<$en, W32>(q, t, sc, g, w, th, st)
+            }
+        }
+    };
+}
+
+banded_wrappers!(scalar_w, swsimd_simd::Scalar,);
+#[cfg(target_arch = "x86_64")]
+banded_wrappers!(sse41_w, swsimd_simd::Sse41, "sse4.1,ssse3");
+#[cfg(target_arch = "x86_64")]
+banded_wrappers!(avx2_w, swsimd_simd::Avx2, "avx2");
+#[cfg(target_arch = "x86_64")]
+banded_wrappers!(avx512_w, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+
+/// Banded local alignment score on a chosen engine and precision.
+pub fn banded_score(
+    engine: EngineKind,
+    precision: Precision,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    width: usize,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> ScoreOut {
+    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    // SAFETY: availability checked above.
+    unsafe {
+        macro_rules! call {
+            ($m:ident) => {
+                match precision {
+                    Precision::I8 => {
+                        $m::w8(query, target, scoring, gaps, width, scalar_threshold, stats)
+                    }
+                    Precision::I16 => {
+                        $m::w16(query, target, scoring, gaps, width, scalar_threshold, stats)
+                    }
+                    _ => $m::w32(query, target, scoring, gaps, width, scalar_threshold, stats),
+                }
+            };
+        }
+        match engine {
+            EngineKind::Scalar => call!(scalar_w),
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Sse41 => call!(sse41_w),
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx2 => call!(avx2_w),
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx512 => call!(avx512_w),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => call!(scalar_w),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar_ref::sw_scalar;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use swsimd_matrices::blosum62;
+
+    fn b62() -> Scoring {
+        Scoring::matrix(blosum62())
+    }
+
+    fn aff() -> GapModel {
+        GapModel::default_affine()
+    }
+
+    #[test]
+    fn banded_bounds_inside_diag_bounds() {
+        for (m, n, w) in [(10, 10, 3), (5, 20, 4), (20, 5, 2), (7, 7, 0)] {
+            for d in 2..=(m + n) {
+                if let Some((lo, hi)) = banded_bounds(d, m, n, w) {
+                    let (flo, fhi) = diag_bounds(d, m, n);
+                    assert!(lo >= flo && hi <= fhi);
+                    for i in lo..=hi {
+                        let j = d - i;
+                        assert!((i as i64 - j as i64).unsigned_abs() as usize <= w + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_band_equals_unbanded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..15 {
+            let (lm, ln) = (rng.gen_range(1..80), rng.gen_range(1..80));
+            let q: Vec<u8> = (0..lm).map(|_| rng.gen_range(0..20)).collect();
+            let t: Vec<u8> = (0..ln).map(|_| rng.gen_range(0..20)).collect();
+            let want = sw_scalar(&q, &t, &b62(), aff()).score;
+            let width = lm + ln;
+            for engine in EngineKind::available() {
+                let mut st = KernelStats::default();
+                let got = banded_score(
+                    engine, Precision::I32, &q, &t, &b62(), aff(), width, 8, &mut st,
+                );
+                assert_eq!(got.score, want, "{engine:?} m={lm} n={ln}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_banded_matches_scalar_banded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for round in 0..20 {
+            let (lm, ln) = (rng.gen_range(2..90), rng.gen_range(2..90));
+            let q: Vec<u8> = (0..lm).map(|_| rng.gen_range(0..20)).collect();
+            let t: Vec<u8> = (0..ln).map(|_| rng.gen_range(0..20)).collect();
+            for width in [0usize, 1, 3, 8, 24] {
+                let want = sw_banded_scalar(&q, &t, &b62(), aff(), width);
+                for engine in EngineKind::available() {
+                    let mut st = KernelStats::default();
+                    let got = banded_score(
+                        engine, Precision::I32, &q, &t, &b62(), aff(), width, 4, &mut st,
+                    );
+                    assert_eq!(
+                        got.score, want,
+                        "round {round} {engine:?} w={width} m={lm} n={ln}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banded_never_exceeds_unbanded() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..15 {
+            let (lm, ln) = (rng.gen_range(2..70), rng.gen_range(2..70));
+            let q: Vec<u8> = (0..lm).map(|_| rng.gen_range(0..20)).collect();
+            let t: Vec<u8> = (0..ln).map(|_| rng.gen_range(0..20)).collect();
+            let full = sw_scalar(&q, &t, &b62(), aff()).score;
+            let mut prev = 0i32;
+            for width in [0usize, 2, 4, 8, 16, 32, 200] {
+                let mut st = KernelStats::default();
+                let got = banded_score(
+                    EngineKind::best(), Precision::I32, &q, &t, &b62(), aff(), width, 8, &mut st,
+                )
+                .score;
+                assert!(got <= full, "w={width}: banded {got} > full {full}");
+                assert!(got >= prev, "w={width}: band widening lowered the score");
+                prev = got;
+            }
+            assert_eq!(prev, full);
+        }
+    }
+
+    #[test]
+    fn banded_does_less_work() {
+        let q = vec![3u8; 400];
+        let t = vec![5u8; 400];
+        let mut full = KernelStats::default();
+        let mut banded = KernelStats::default();
+        let _ = banded_score(
+            EngineKind::best(), Precision::I16, &q, &t, &b62(), aff(), 1_000, 8, &mut full,
+        );
+        let _ = banded_score(
+            EngineKind::best(), Precision::I16, &q, &t, &b62(), aff(), 16, 8, &mut banded,
+        );
+        assert!(banded.cells < full.cells / 5, "{} vs {}", banded.cells, full.cells);
+    }
+
+    #[test]
+    fn similar_sequences_exact_with_small_band() {
+        // A pair differing by scattered substitutions stays on the main
+        // diagonal; a tiny band is already exact.
+        let mut rng = StdRng::seed_from_u64(21);
+        let q: Vec<u8> = (0..200).map(|_| rng.gen_range(0..20)).collect();
+        let mut t = q.clone();
+        for k in (0..t.len()).step_by(11) {
+            t[k] = (t[k] + 1) % 20;
+        }
+        let full = sw_scalar(&q, &t, &b62(), aff()).score;
+        let mut st = KernelStats::default();
+        let got = banded_score(
+            EngineKind::best(), Precision::I16, &q, &t, &b62(), aff(), 4, 8, &mut st,
+        );
+        assert_eq!(got.score, full);
+    }
+}

@@ -1,0 +1,361 @@
+//! Inter-sequence batch kernel — the paper's 8-bit database-search path
+//! (§III-C, Fig 5).
+//!
+//! A batch holds `LANES` database sequences in transposed layout
+//! (`swsimd-seq::DbBatch`): one contiguous load yields the next residue
+//! of every sequence. Each vector lane then runs an independent DP
+//! matrix in lockstep, and the per-cell substitution scores for all
+//! lanes come from a **single 32-byte matrix row** (the reorganized
+//! layout) looked up with a shuffle (`vpshufb`/`vpermb`) — no gather,
+//! which is exactly how the paper repairs the missing 8-bit gather
+//! ("the performance is now comparable", §IV-C).
+//!
+//! Lanes whose sequence has ended read the poisoned padding residue, so
+//! their H stays clamped at 0 and their recorded maximum is unaffected.
+//! Saturated lanes (score = 127) are reported so the caller can rerun
+//! just those sequences through the 16/32-bit diagonal kernel — the
+//! "variable (8/16) bit width implementation" (contribution iii).
+
+use swsimd_seq::DbBatch;
+use swsimd_simd::{EngineKind, ScoreElem, SimdEngine, SimdVec};
+
+use crate::diag::gap_elems;
+use crate::params::{GapModel, Scoring};
+use crate::stats::KernelStats;
+
+/// Per-sequence outcome of one batch run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneScore {
+    /// Index of the sequence in the source database.
+    pub db_index: u32,
+    /// Best local score for this lane (clamped at `i8::MAX`).
+    pub score: i32,
+    /// True if this lane saturated and needs a wider rerun.
+    pub saturated: bool,
+}
+
+/// The inter-sequence kernel body, generic over engine (8-bit lanes).
+///
+/// `#[inline(always)]` so the dispatch wrappers compile it per-ISA.
+#[inline(always)]
+fn batch_kernel<En: SimdEngine>(
+    query: &[u8],
+    batch: &DbBatch,
+    scoring: &Scoring,
+    gaps: GapModel,
+    stats: &mut KernelStats,
+    out: &mut Vec<LaneScore>,
+) {
+    let lanes = <En::V8 as SimdVec>::LANES;
+    assert_eq!(
+        batch.lanes(),
+        lanes,
+        "batch built for {} lanes, engine {} has {}",
+        batch.lanes(),
+        En::NAME,
+        lanes
+    );
+    let m = query.len();
+    let cols = batch.max_len();
+
+    let vzero = En::V8::zero();
+    let vneg = En::V8::splat(i8::NEG_INF);
+    let (go, ge, affine) = gap_elems::<i8>(gaps);
+    let vgo = En::V8::splat(go);
+    let vge = En::V8::splat(ge);
+
+    // Per-query-position state: H and E of the previous column.
+    // h_arr[0] is the H(0, j) = 0 boundary and never changes.
+    let mut h_arr = vec![vzero; m + 1];
+    let mut e_arr = vec![vneg; m + 1];
+    let mut vmax = vzero;
+
+    let (vmatch, vmismatch) = match scoring {
+        Scoring::Fixed { r#match, mismatch } => {
+            (En::V8::splat(i8::from_i32(*r#match)), En::V8::splat(i8::from_i32(*mismatch)))
+        }
+        Scoring::Matrix(_) => (vzero, vzero),
+    };
+
+    for j in 0..cols {
+        let col = batch.column(j);
+        debug_assert_eq!(col.len(), lanes);
+        // Residue indices are < 32 and reinterpret cleanly as i8 lanes.
+        let dbres = En::V8::load_slice(bytes_as_i8(col));
+
+        let mut h_diag = h_arr[0]; // H(0, j-1) = 0
+        let mut h_up = vzero; // H(0, j) = 0
+        let mut f = vneg;
+
+        for i in 1..=m {
+            let s = match scoring {
+                Scoring::Matrix(mat) => {
+                    stats.lut_ops += 1;
+                    En::lut32(mat.row8(query[i - 1]), dbres)
+                }
+                Scoring::Fixed { .. } => {
+                    let qv = En::V8::splat(query[i - 1] as i8);
+                    En::V8::blend(qv.cmpeq(dbres), vmatch, vmismatch)
+                }
+            };
+            let h = if affine {
+                let e = e_arr[i].subs(vge).max(h_arr[i].subs(vgo));
+                f = f.subs(vge).max(h_up.subs(vgo));
+                e_arr[i] = e;
+                h_diag.adds(s).max(vzero).max(e).max(f)
+            } else {
+                // Linear model: E/F collapse to one-step penalties from
+                // the left/up neighbours.
+                h_diag.adds(s).max(vzero).max(h_arr[i].subs(vgo)).max(h_up.subs(vgo))
+            };
+            h_diag = h_arr[i];
+            h_arr[i] = h;
+            h_up = h;
+            vmax = vmax.max(h);
+        }
+        stats.vector_steps += m as u64;
+        stats.vector_lane_slots += (m * lanes) as u64;
+        stats.vector_loads += 2 * m as u64 + 1;
+        stats.vector_stores += 2 * m as u64;
+    }
+
+    // Deferred per-lane maxima → one store + scatter at the end (§III-D).
+    let mut lane_max = vec![0i8; lanes];
+    vmax.store_slice(&mut lane_max);
+    for (k, &db_index) in batch.members().iter().enumerate() {
+        let score = lane_max[k] as i32;
+        let real_cells = batch.lens()[k] as u64 * m as u64;
+        stats.cells += real_cells;
+        out.push(LaneScore { db_index, score, saturated: score >= i8::MAX as i32 });
+    }
+    // Lane slots burned on padding (ragged tails and short batches).
+    let real: u64 = batch.lens().iter().map(|&l| l as u64 * m as u64).sum();
+    stats.padded_lanes += (cols * lanes * m) as u64 - real;
+}
+
+#[inline(always)]
+fn bytes_as_i8(b: &[u8]) -> &[i8] {
+    // SAFETY: u8 and i8 have identical layout.
+    unsafe { std::slice::from_raw_parts(b.as_ptr() as *const i8, b.len()) }
+}
+
+macro_rules! batch_wrapper {
+    ($name:ident, $en:ty, $($feat:literal)?) => {
+        $(#[target_feature(enable = $feat)])?
+        unsafe fn $name(
+            query: &[u8],
+            batch: &DbBatch,
+            scoring: &Scoring,
+            gaps: GapModel,
+            stats: &mut KernelStats,
+            out: &mut Vec<LaneScore>,
+        ) {
+            batch_kernel::<$en>(query, batch, scoring, gaps, stats, out)
+        }
+    };
+}
+
+batch_wrapper!(batch_scalar, swsimd_simd::Scalar,);
+#[cfg(target_arch = "x86_64")]
+batch_wrapper!(batch_sse41, swsimd_simd::Sse41, "sse4.1,ssse3");
+#[cfg(target_arch = "x86_64")]
+batch_wrapper!(batch_avx2, swsimd_simd::Avx2, "avx2");
+#[cfg(target_arch = "x86_64")]
+batch_wrapper!(batch_avx512, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+
+/// Number of 8-bit lanes (and therefore required batch width) for an
+/// engine kind.
+pub fn lanes_for(engine: EngineKind) -> usize {
+    match engine {
+        EngineKind::Scalar | EngineKind::Sse41 => 16,
+        EngineKind::Avx2 => 32,
+        EngineKind::Avx512 => 64,
+    }
+}
+
+/// Score one query against one transposed batch with the 8-bit
+/// inter-sequence kernel, appending per-sequence results to `out`.
+///
+/// The batch must have been built with [`lanes_for`]`(engine)` lanes.
+/// Falls back to the scalar engine if `engine` is unavailable.
+pub fn batch_score(
+    engine: EngineKind,
+    query: &[u8],
+    batch: &DbBatch,
+    scoring: &Scoring,
+    gaps: GapModel,
+    stats: &mut KernelStats,
+    out: &mut Vec<LaneScore>,
+) {
+    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    // SAFETY: availability checked above.
+    unsafe {
+        match engine {
+            EngineKind::Scalar => batch_scalar(query, batch, scoring, gaps, stats, out),
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Sse41 => batch_sse41(query, batch, scoring, gaps, stats, out),
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx2 => batch_avx2(query, batch, scoring, gaps, stats, out),
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx512 => batch_avx512(query, batch, scoring, gaps, stats, out),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => batch_scalar(query, batch, scoring, gaps, stats, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GapPenalties;
+    use crate::scalar_ref::sw_scalar;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use swsimd_matrices::{blosum62, Alphabet};
+    use swsimd_seq::{BatchedDatabase, Database, SeqRecord};
+
+    fn mk_db(seqs: Vec<Vec<u8>>) -> Database {
+        let records = seqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| SeqRecord::new(format!("s{i}"), s))
+            .collect();
+        Database::from_records(records, &Alphabet::protein())
+    }
+
+    fn rand_ascii(rng: &mut StdRng, len: usize) -> Vec<u8> {
+        (0..len).map(|_| swsimd_matrices::PROTEIN_LETTERS[rng.gen_range(0..20)]).collect()
+    }
+
+    #[test]
+    fn batch_matches_scalar_reference_all_engines() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::Affine(GapPenalties::new(11, 1));
+        let alphabet = Alphabet::protein();
+
+        let seqs: Vec<Vec<u8>> = (0..70)
+            .map(|_| {
+                let l = rng.gen_range(1..40);
+                rand_ascii(&mut rng, l)
+            })
+            .collect();
+        let db = mk_db(seqs);
+        let query = alphabet.encode(&rand_ascii(&mut rng, 25));
+
+        for engine in EngineKind::available() {
+            let batched = BatchedDatabase::build(&db, lanes_for(engine), true);
+            let mut out = Vec::new();
+            let mut stats = KernelStats::default();
+            for b in batched.batches() {
+                batch_score(engine, &query, b, &scoring, gaps, &mut stats, &mut out);
+            }
+            assert_eq!(out.len(), db.len());
+            for ls in &out {
+                assert!(!ls.saturated, "{engine:?}: unexpected saturation");
+                let want =
+                    sw_scalar(&query, &db.encoded(ls.db_index as usize).idx, &scoring, gaps)
+                        .score;
+                assert_eq!(ls.score, want, "{engine:?} seq {}", ls.db_index);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_scoring_batch() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let scoring = Scoring::Fixed { r#match: 3, mismatch: -2 };
+        let gaps = GapModel::Linear { gap: 2 };
+        let alphabet = Alphabet::protein();
+        let seqs: Vec<Vec<u8>> = (0..20)
+            .map(|_| {
+                let l = rng.gen_range(1..30);
+                rand_ascii(&mut rng, l)
+            })
+            .collect();
+        let db = mk_db(seqs);
+        let query = alphabet.encode(&rand_ascii(&mut rng, 12));
+        for engine in EngineKind::available() {
+            let batched = BatchedDatabase::build(&db, lanes_for(engine), false);
+            let mut out = Vec::new();
+            let mut stats = KernelStats::default();
+            for b in batched.batches() {
+                batch_score(engine, &query, b, &scoring, gaps, &mut stats, &mut out);
+            }
+            for ls in &out {
+                let want =
+                    sw_scalar(&query, &db.encoded(ls.db_index as usize).idx, &scoring, gaps)
+                        .score;
+                assert_eq!(ls.score, want, "{engine:?} seq {}", ls.db_index);
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_flagged_per_lane() {
+        // One long identical sequence (saturates), many short ones (fine).
+        let alphabet = Alphabet::protein();
+        let hot = vec![b'W'; 300];
+        let mut seqs = vec![hot.clone()];
+        for _ in 0..10 {
+            seqs.push(b"ARND".to_vec());
+        }
+        let db = mk_db(seqs);
+        let query = alphabet.encode(&hot);
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::default_affine();
+        let engine = EngineKind::best();
+        let batched = BatchedDatabase::build(&db, lanes_for(engine), false);
+        let mut out = Vec::new();
+        let mut stats = KernelStats::default();
+        for b in batched.batches() {
+            batch_score(engine, &query, b, &scoring, gaps, &mut stats, &mut out);
+        }
+        let hot_lane = out.iter().find(|l| l.db_index == 0).unwrap();
+        assert!(hot_lane.saturated);
+        assert!(out.iter().filter(|l| l.db_index != 0).all(|l| !l.saturated));
+    }
+
+    #[test]
+    fn empty_query_scores_zero() {
+        let db = mk_db(vec![b"ARN".to_vec()]);
+        let engine = EngineKind::best();
+        let batched = BatchedDatabase::build(&db, lanes_for(engine), false);
+        let mut out = Vec::new();
+        let mut stats = KernelStats::default();
+        for b in batched.batches() {
+            batch_score(
+                engine,
+                &[],
+                b,
+                &Scoring::matrix(blosum62()),
+                GapModel::default_affine(),
+                &mut stats,
+                &mut out,
+            );
+        }
+        assert!(out.iter().all(|l| l.score == 0));
+    }
+
+    #[test]
+    fn padding_lanes_never_score() {
+        // A batch with a single short sequence: all other lanes padded.
+        let db = mk_db(vec![b"WWWWW".to_vec()]);
+        let engine = EngineKind::best();
+        let batched = BatchedDatabase::build(&db, lanes_for(engine), false);
+        let query = Alphabet::protein().encode(b"WWWWW");
+        let mut out = Vec::new();
+        let mut stats = KernelStats::default();
+        batch_score(
+            engine,
+            &query,
+            &batched.batches()[0],
+            &Scoring::matrix(blosum62()),
+            GapModel::default_affine(),
+            &mut stats,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].score, 55); // 5 × W:W = 5 × 11
+    }
+}

@@ -1,0 +1,168 @@
+//! Runtime dispatch: monomorphized `#[target_feature]` entry points for
+//! every (engine, width) pair.
+//!
+//! The generic kernels are `#[inline(always)]`; instantiating them inside
+//! a `#[target_feature]` wrapper compiles the whole body with that ISA
+//! enabled. Dispatchers check availability before selecting an engine,
+//! which is the safety contract for calling the wrappers.
+
+use swsimd_simd::EngineKind;
+
+use crate::diag::kernel::{sw_diag, ScoreOut};
+use crate::diag::tb::{sw_diag_tb, TbOut};
+use crate::diag::{W16, W32, W8};
+use crate::params::{GapModel, Precision, Scoring};
+use crate::stats::KernelStats;
+
+type Args<'a, 'b> = (&'a [u8], &'a [u8], &'b Scoring, GapModel, usize, &'b mut KernelStats);
+
+macro_rules! engine_wrappers {
+    ($mod_:ident, $en:ty, $($feat:literal)?) => {
+        pub(crate) mod $mod_ {
+            use super::*;
+
+            $(#[target_feature(enable = $feat)])?
+            pub(crate) unsafe fn score_w8(a: Args) -> ScoreOut {
+                sw_diag::<$en, W8>(a.0, a.1, a.2, a.3, a.4, a.5)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(crate) unsafe fn score_w16(a: Args) -> ScoreOut {
+                sw_diag::<$en, W16>(a.0, a.1, a.2, a.3, a.4, a.5)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(crate) unsafe fn score_w32(a: Args) -> ScoreOut {
+                sw_diag::<$en, W32>(a.0, a.1, a.2, a.3, a.4, a.5)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(crate) unsafe fn tb_w8(a: Args) -> TbOut {
+                sw_diag_tb::<$en, W8>(a.0, a.1, a.2, a.3, a.4, a.5)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(crate) unsafe fn tb_w16(a: Args) -> TbOut {
+                sw_diag_tb::<$en, W16>(a.0, a.1, a.2, a.3, a.4, a.5)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(crate) unsafe fn tb_w32(a: Args) -> TbOut {
+                sw_diag_tb::<$en, W32>(a.0, a.1, a.2, a.3, a.4, a.5)
+            }
+        }
+    };
+}
+
+engine_wrappers!(scalar, swsimd_simd::Scalar,);
+#[cfg(target_arch = "x86_64")]
+engine_wrappers!(sse41, swsimd_simd::Sse41, "sse4.1,ssse3");
+#[cfg(target_arch = "x86_64")]
+engine_wrappers!(avx2, swsimd_simd::Avx2, "avx2");
+#[cfg(target_arch = "x86_64")]
+engine_wrappers!(avx512, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+
+fn check_engine(engine: EngineKind) -> EngineKind {
+    if engine.is_available() {
+        engine
+    } else {
+        EngineKind::Scalar
+    }
+}
+
+/// Width for a fixed (non-adaptive) precision.
+fn fixed_width(p: Precision) -> Precision {
+    match p {
+        Precision::Adaptive => {
+            unreachable!("adaptive precision is resolved by the caller (api::Aligner)")
+        }
+        other => other,
+    }
+}
+
+/// Run the score-only diagonal kernel on a chosen engine and precision.
+///
+/// Falls back to the scalar engine if `engine` is not available on the
+/// running CPU. `precision` must not be `Adaptive` (resolved upstream).
+pub fn diag_score(
+    engine: EngineKind,
+    precision: Precision,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> ScoreOut {
+    let engine = check_engine(engine);
+    let a: Args = (query, target, scoring, gaps, scalar_threshold, stats);
+    let p = fixed_width(precision);
+    // SAFETY: the engine was availability-checked above; wrappers only
+    // require their ISA to be present.
+    unsafe {
+        match (engine, p) {
+            (EngineKind::Scalar, Precision::I8) => scalar::score_w8(a),
+            (EngineKind::Scalar, Precision::I16) => scalar::score_w16(a),
+            (EngineKind::Scalar, _) => scalar::score_w32(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Sse41, Precision::I8) => sse41::score_w8(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Sse41, Precision::I16) => sse41::score_w16(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Sse41, _) => sse41::score_w32(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx2, Precision::I8) => avx2::score_w8(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx2, Precision::I16) => avx2::score_w16(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx2, _) => avx2::score_w32(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx512, Precision::I8) => avx512::score_w8(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx512, Precision::I16) => avx512::score_w16(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx512, _) => avx512::score_w32(a),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => scalar::score_w32(a),
+        }
+    }
+}
+
+/// Run the traceback diagonal kernel on a chosen engine and precision.
+pub fn diag_traceback(
+    engine: EngineKind,
+    precision: Precision,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> TbOut {
+    let engine = check_engine(engine);
+    let a: Args = (query, target, scoring, gaps, scalar_threshold, stats);
+    let p = fixed_width(precision);
+    // SAFETY: as in `diag_score`.
+    unsafe {
+        match (engine, p) {
+            (EngineKind::Scalar, Precision::I8) => scalar::tb_w8(a),
+            (EngineKind::Scalar, Precision::I16) => scalar::tb_w16(a),
+            (EngineKind::Scalar, _) => scalar::tb_w32(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Sse41, Precision::I8) => sse41::tb_w8(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Sse41, Precision::I16) => sse41::tb_w16(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Sse41, _) => sse41::tb_w32(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx2, Precision::I8) => avx2::tb_w8(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx2, Precision::I16) => avx2::tb_w16(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx2, _) => avx2::tb_w32(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx512, Precision::I8) => avx512::tb_w8(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx512, Precision::I16) => avx512::tb_w16(a),
+            #[cfg(target_arch = "x86_64")]
+            (EngineKind::Avx512, _) => avx512::tb_w32(a),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => scalar::tb_w32(a),
+        }
+    }
+}

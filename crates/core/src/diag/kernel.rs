@@ -1,0 +1,218 @@
+//! Score-only diagonal kernel, generic over engine and lane width.
+
+use swsimd_simd::{ScoreElem, SimdEngine, SimdVec};
+
+use crate::diag::{diag_bounds, gap_elems, KernelWidth};
+use crate::params::{GapModel, Scoring};
+use crate::stats::KernelStats;
+
+/// Outcome of a score-only kernel run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScoreOut {
+    /// Best local score, clamped to the lane precision.
+    pub score: i32,
+    /// True if the lane precision saturated — rerun at a wider width.
+    pub saturated: bool,
+}
+
+/// How often (in diagonals) the kernel checks for early saturation so
+/// adaptive mode can abandon doomed 8-bit runs quickly.
+const SATURATION_CHECK_PERIOD: usize = 128;
+
+/// The diagonal Smith-Waterman kernel (scores only).
+///
+/// Must be instantiated inside a `#[target_feature]` wrapper matching
+/// `En` (see `diag::dispatch`); `#[inline(always)]` makes the engine's
+/// ops compile under that wrapper's ISA.
+#[inline(always)]
+pub(crate) fn sw_diag<En: SimdEngine, W: KernelWidth<En>>(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> ScoreOut {
+    type Elem<En2, W2> = <<W2 as KernelWidth<En2>>::V as SimdVec>::Elem;
+
+    let (m, n) = (query.len(), target.len());
+    if m == 0 || n == 0 {
+        return ScoreOut { score: 0, saturated: false };
+    }
+    let lanes = <W::V as SimdVec>::LANES;
+    let scalar_threshold = scalar_threshold.max(1);
+
+    let vzero = W::V::zero();
+    let vneg = W::V::splat(Elem::<En, W>::NEG_INF);
+    let (go, ge, affine) = gap_elems::<Elem<En, W>>(gaps);
+    let vgo = W::V::splat(go);
+    let vge = W::V::splat(ge);
+    let (go32, ge32) = (go.to_i32(), ge.to_i32());
+
+    // Rolling diagonal buffers indexed by the query coordinate `i`, with
+    // one guard cell below (`i-1` loads at `i = 1` hit index 0) and
+    // `lanes` of slack above so ragged tail vectors can store freely.
+    let blen = m + 2 + lanes;
+    let mut hp = vec![Elem::<En, W>::ZERO; blen]; // H on diagonal d-1
+    let mut hpp = vec![Elem::<En, W>::ZERO; blen]; // H on diagonal d-2
+    let mut hc = vec![Elem::<En, W>::ZERO; blen];
+    let mut ep = vec![Elem::<En, W>::NEG_INF; blen]; // E on d-1
+    let mut ec = vec![Elem::<En, W>::NEG_INF; blen];
+    let mut fp = vec![Elem::<En, W>::NEG_INF; blen]; // F on d-1
+    let mut fc = vec![Elem::<En, W>::NEG_INF; blen];
+
+    // Index arrays padded with `lanes` guard bytes so over-reads by
+    // ragged tail vectors stay in bounds (guard residue 0 is a valid
+    // table index; the lanes are masked out anyway).
+    let mut qpad = vec![0u8; m + lanes];
+    qpad[..m].copy_from_slice(query);
+    let mut rrev = vec![0u8; n + lanes];
+    for (t, slot) in rrev[..n].iter_mut().enumerate() {
+        *slot = target[n - 1 - t];
+    }
+
+    // Element-typed copies for the compare-based fixed-score path.
+    let (qel, rrevel, vmatch, vmismatch) = match scoring {
+        Scoring::Fixed { r#match, mismatch } => {
+            let qel: Vec<_> = qpad.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            let rel: Vec<_> = rrev.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            (
+                qel,
+                rel,
+                W::V::splat(Elem::<En, W>::from_i32(*r#match)),
+                W::V::splat(Elem::<En, W>::from_i32(*mismatch)),
+            )
+        }
+        Scoring::Matrix(_) => (Vec::new(), Vec::new(), vzero, vzero),
+    };
+
+    let mut vmax = vzero;
+    let mut scalar_best = 0i32;
+
+    for d in 2..=(m + n) {
+        let (lo, hi) = diag_bounds(d, m, n);
+        debug_assert!(lo <= hi);
+        let len = hi - lo + 1;
+        stats.diagonals += 1;
+        stats.cells += len as u64;
+
+        if len < scalar_threshold {
+            // Short segment: revert to standard CPU instructions (Fig 3).
+            for i in lo..=hi {
+                let j = d - i;
+                let s = scoring.score(query[i - 1], target[j - 1]);
+                let h_l = hp[i].to_i32();
+                let h_u = hp[i - 1].to_i32();
+                let h_d = hpp[i - 1].to_i32();
+                let (e_new, f_new) = if affine {
+                    (
+                        (ep[i].to_i32() - ge32).max(h_l - go32),
+                        (fp[i - 1].to_i32() - ge32).max(h_u - go32),
+                    )
+                } else {
+                    (h_l - go32, h_u - go32)
+                };
+                let h = Elem::<En, W>::from_i32(0.max(h_d + s).max(e_new).max(f_new));
+                hc[i] = h;
+                if affine {
+                    ec[i] = Elem::<En, W>::from_i32(e_new);
+                    fc[i] = Elem::<En, W>::from_i32(f_new);
+                }
+                scalar_best = scalar_best.max(h.to_i32());
+            }
+            stats.scalar_cells += len as u64;
+        } else {
+            let mut base = lo;
+            while base <= hi {
+                let rem = hi + 1 - base;
+                // SAFETY: all loads/stores stay within the `blen`-sized
+                // buffers (`base ≤ hi ≤ m`, slack of `lanes` above, guard
+                // at 0); the index-array reads stay within their `lanes`
+                // guard bytes, and every residue byte is `< 32`.
+                unsafe {
+                    let h_l = W::V::load(hp.as_ptr().add(base));
+                    let h_u = W::V::load(hp.as_ptr().add(base - 1));
+                    let h_d = W::V::load(hpp.as_ptr().add(base - 1));
+
+                    let s = match scoring {
+                        Scoring::Matrix(mat) => {
+                            if W::HARDWARE_GATHER {
+                                stats.gather_ops += 1;
+                            } else {
+                                stats.emulated_gathers += 1;
+                            }
+                            W::gather(
+                                mat,
+                                qpad.as_ptr().add(base - 1),
+                                rrev.as_ptr().add(base + n - d),
+                            )
+                        }
+                        Scoring::Fixed { .. } => {
+                            let qv = W::V::load(qel.as_ptr().add(base - 1));
+                            let rv = W::V::load(rrevel.as_ptr().add(base + n - d));
+                            W::V::blend(qv.cmpeq(rv), vmatch, vmismatch)
+                        }
+                    };
+
+                    let (e_new, f_new) = if affine {
+                        let e_in = W::V::load(ep.as_ptr().add(base));
+                        let f_in = W::V::load(fp.as_ptr().add(base - 1));
+                        (e_in.subs(vge).max(h_l.subs(vgo)), f_in.subs(vge).max(h_u.subs(vgo)))
+                    } else {
+                        (h_l.subs(vgo), h_u.subs(vgo))
+                    };
+
+                    let mut h = h_d.adds(s).max(vzero).max(e_new).max(f_new);
+                    let mut e_st = e_new;
+                    let mut f_st = f_new;
+                    if rem < lanes {
+                        // Zero-pad the unused lanes (Fig 3, yellow cells).
+                        let mask = W::V::mask_first(rem);
+                        h = W::V::blend(mask, h, vzero);
+                        e_st = W::V::blend(mask, e_new, vneg);
+                        f_st = W::V::blend(mask, f_new, vneg);
+                        stats.padded_lanes += (lanes - rem) as u64;
+                    }
+
+                    h.store(hc.as_mut_ptr().add(base));
+                    if affine {
+                        e_st.store(ec.as_mut_ptr().add(base));
+                        f_st.store(fc.as_mut_ptr().add(base));
+                    }
+                    vmax = vmax.max(h);
+                }
+                stats.vector_steps += 1;
+                stats.vector_lane_slots += lanes as u64;
+                stats.vector_loads += if affine { 5 } else { 3 };
+                stats.vector_stores += if affine { 3 } else { 1 };
+                base += lanes;
+            }
+        }
+
+        // Boundary guards for the next two diagonals' reads.
+        if lo == 1 {
+            hc[0] = Elem::<En, W>::ZERO; // H(0, d) = 0
+            fc[0] = Elem::<En, W>::NEG_INF; // F(0, d) = -inf
+        }
+        if hi < m {
+            hc[hi + 1] = Elem::<En, W>::ZERO; // H(d, 0) = 0
+            ec[hi + 1] = Elem::<En, W>::NEG_INF; // E(d, 0) = -inf
+        }
+
+        std::mem::swap(&mut hpp, &mut hp);
+        std::mem::swap(&mut hp, &mut hc);
+        std::mem::swap(&mut ep, &mut ec);
+        std::mem::swap(&mut fp, &mut fc);
+
+        if Elem::<En, W>::BITS < 32
+            && d % SATURATION_CHECK_PERIOD == 0
+            && vmax.hmax() == Elem::<En, W>::MAX
+        {
+            return ScoreOut { score: Elem::<En, W>::MAX.to_i32(), saturated: true };
+        }
+    }
+
+    let best = vmax.hmax().to_i32().max(scalar_best);
+    let saturated = Elem::<En, W>::BITS < 32 && best >= Elem::<En, W>::MAX.to_i32();
+    ScoreOut { score: best, saturated }
+}

@@ -1,0 +1,178 @@
+//! The paper's diagonal (anti-diagonal wavefront) Smith-Waterman kernel.
+//!
+//! Design recap (§III):
+//!
+//! * **Diagonal-based memory indexing (Fig 2)** — the DP state is stored
+//!   per anti-diagonal; three rolling buffers (H at `d-1`, H at `d-2`,
+//!   and the E/F gap states at `d-1`) are indexed directly by the query
+//!   coordinate `i`, so every dependency of a cell is an *unaligned
+//!   contiguous load* at `i` or `i-1`. No lane shuffles are needed in
+//!   the inner loop, and the buffer written for diagonal `d` is re-read
+//!   (cache-hot) as the neighbour of diagonals `d+1` and `d+2`.
+//! * **Variable-length segments (Fig 3)** — diagonals shorter than a
+//!   tunable threshold run on the scalar unit; ragged tail vectors are
+//!   zero-padded via lane masks so padding can never produce a score.
+//! * **Substitution scores (Figs 4, 5)** — matrix mode fetches scores
+//!   with the reorganized-matrix gather (32/16-bit; 8-bit is emulated,
+//!   which is exactly why the paper routes 8-bit work to the
+//!   query-profile batch kernel in `crate::batch`); fixed mode scores
+//!   with a compare + blend and touches no tables.
+//! * **Deferred maximum (§III-D)** — per-lane maxima accumulate in one
+//!   register; a single horizontal reduction runs at the end.
+//!
+//! The kernel is deterministic: its instruction sequence depends only on
+//! sequence lengths, never on cell values (no lazy-F correction loops).
+
+pub mod dispatch;
+pub mod kernel;
+pub mod tb;
+
+use swsimd_matrices::ReorganizedMatrix;
+use swsimd_simd::{ScoreElem, SimdEngine, SimdVec};
+
+use crate::params::Precision;
+
+/// Ties one lane precision to one engine's vector type and the
+/// matching score-gather primitive.
+pub trait KernelWidth<En: SimdEngine>: 'static {
+    /// The vector type at this width.
+    type V: SimdVec;
+    /// The precision this width implements.
+    const PRECISION: Precision;
+    /// True when this width's gather is hardware-accelerated (the paper's
+    /// 8-bit path is not — no byte gather exists).
+    const HARDWARE_GATHER: bool;
+
+    /// Gather `LANES` substitution scores `S[q[k], r[k]]`.
+    ///
+    /// # Safety
+    /// `q` and `r` must be valid for `LANES` byte reads and every byte
+    /// must be `< 32`.
+    unsafe fn gather(m: &ReorganizedMatrix, q: *const u8, r: *const u8) -> Self::V;
+}
+
+/// 8-bit lanes.
+pub struct W8;
+/// 16-bit lanes.
+pub struct W16;
+/// 32-bit lanes.
+pub struct W32;
+
+impl<En: SimdEngine> KernelWidth<En> for W8 {
+    type V = En::V8;
+    const PRECISION: Precision = Precision::I8;
+    const HARDWARE_GATHER: bool = false;
+
+    #[inline(always)]
+    unsafe fn gather(m: &ReorganizedMatrix, q: *const u8, r: *const u8) -> Self::V {
+        En::gather_scores_i8(m.flat8(), q, r)
+    }
+}
+
+impl<En: SimdEngine> KernelWidth<En> for W16 {
+    type V = En::V16;
+    const PRECISION: Precision = Precision::I16;
+    const HARDWARE_GATHER: bool = true;
+
+    #[inline(always)]
+    unsafe fn gather(m: &ReorganizedMatrix, q: *const u8, r: *const u8) -> Self::V {
+        En::gather_scores_i16(m.flat16(), q, r)
+    }
+}
+
+impl<En: SimdEngine> KernelWidth<En> for W32 {
+    type V = En::V32;
+    const PRECISION: Precision = Precision::I32;
+    const HARDWARE_GATHER: bool = true;
+
+    #[inline(always)]
+    unsafe fn gather(m: &ReorganizedMatrix, q: *const u8, r: *const u8) -> Self::V {
+        En::gather_scores_i32(m.flat32(), q, r)
+    }
+}
+
+/// Open/extend costs widened to the lane element.
+#[inline(always)]
+pub(crate) fn gap_elems<E: ScoreElem>(gaps: crate::params::GapModel) -> (E, E, bool) {
+    match gaps {
+        crate::params::GapModel::Linear { gap } => (E::from_i32(gap), E::from_i32(gap), false),
+        crate::params::GapModel::Affine(g) => {
+            (E::from_i32(g.open), E::from_i32(g.extend), true)
+        }
+    }
+}
+
+/// Interior bounds of anti-diagonal `d` over an `m×n` DP matrix:
+/// cells `(i, d-i)` with `i` in `lo..=hi`, all with `i ≥ 1, j ≥ 1`.
+#[inline(always)]
+pub(crate) fn diag_bounds(d: usize, m: usize, n: usize) -> (usize, usize) {
+    (d.saturating_sub(n).max(1), m.min(d - 1))
+}
+
+/// Census of diagonal segment lengths for an `m×n` problem: how many
+/// cells fall in segments shorter than `threshold` (the paper's
+/// "roughly around 15%" §III-B claim, reproduced by the figure harness).
+pub fn segment_census(m: usize, n: usize, threshold: usize) -> (u64, u64) {
+    let mut short = 0u64;
+    let mut total = 0u64;
+    if m == 0 || n == 0 {
+        return (0, 0);
+    }
+    for d in 2..=(m + n) {
+        let (lo, hi) = diag_bounds(d, m, n);
+        if lo > hi {
+            continue;
+        }
+        let len = (hi - lo + 1) as u64;
+        total += len;
+        if (len as usize) < threshold {
+            short += len;
+        }
+    }
+    (short, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diag_bounds_cover_matrix_exactly() {
+        for (m, n) in [(1, 1), (3, 7), (7, 3), (5, 5), (1, 9)] {
+            let mut cells = 0usize;
+            for d in 2..=(m + n) {
+                let (lo, hi) = diag_bounds(d, m, n);
+                if lo > hi {
+                    continue;
+                }
+                for i in lo..=hi {
+                    let j = d - i;
+                    assert!((1..=m).contains(&i) && (1..=n).contains(&j));
+                    cells += 1;
+                }
+            }
+            assert_eq!(cells, m * n, "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn census_counts_all_cells() {
+        let (short, total) = segment_census(10, 20, 8);
+        assert_eq!(total, 200);
+        assert!(short > 0 && short < total);
+    }
+
+    #[test]
+    fn census_short_fraction_shrinks_with_size() {
+        let (s1, t1) = segment_census(50, 100, 16);
+        let (s2, t2) = segment_census(500, 1000, 16);
+        let f1 = s1 as f64 / t1 as f64;
+        let f2 = s2 as f64 / t2 as f64;
+        assert!(f2 < f1, "{f2} !< {f1}");
+    }
+
+    #[test]
+    fn census_empty() {
+        assert_eq!(segment_census(0, 5, 4), (0, 0));
+    }
+}

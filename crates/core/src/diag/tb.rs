@@ -1,0 +1,370 @@
+//! Diagonal kernel with traceback (Fig 8 configuration).
+//!
+//! On top of the score kernel this records, per cell, a 4-bit direction
+//! code (same encoding as the scalar reference) into a **diagonal-
+//! linearized** direction matrix — the Fig 2 memory mapping applied to
+//! the traceback store, so direction writes are the same contiguous
+//! vector stores as the DP state. Position tracking uses one horizontal
+//! max per diagonal plus a rescan of the current buffer only when the
+//! global best improves.
+
+use swsimd_simd::{ScoreElem, SimdEngine, SimdVec};
+
+use crate::diag::{diag_bounds, gap_elems, KernelWidth};
+use crate::params::{Alignment, GapModel, Op, Scoring};
+use crate::scalar_ref::dir;
+use crate::stats::KernelStats;
+
+/// Outcome of a traceback kernel run.
+#[derive(Clone, Debug)]
+pub struct TbOut {
+    /// Best local score (clamped to the lane precision).
+    pub score: i32,
+    /// True if the precision saturated.
+    pub saturated: bool,
+    /// 1-based DP coordinates of the best cell.
+    pub end: Option<(usize, usize)>,
+    /// The walked path (None when the score is 0 or saturated).
+    pub alignment: Option<Alignment>,
+}
+
+/// Diagonal-linearized direction matrix: per-diagonal regions with each
+/// region padded to a whole number of vectors.
+struct DirMatrix<E> {
+    data: Vec<E>,
+    /// `offset[d]` = start of diagonal `d`'s region.
+    offsets: Vec<usize>,
+    m: usize,
+    n: usize,
+}
+
+impl<E: ScoreElem> DirMatrix<E> {
+    fn new(m: usize, n: usize, lanes: usize) -> Self {
+        let mut offsets = vec![0usize; m + n + 2];
+        let mut acc = 0usize;
+        for d in 2..=(m + n) {
+            offsets[d] = acc;
+            let (lo, hi) = diag_bounds(d, m, n);
+            if lo <= hi {
+                let len = hi - lo + 1;
+                acc += len.div_ceil(lanes) * lanes;
+            }
+        }
+        offsets[m + n + 1] = acc;
+        Self { data: vec![E::ZERO; acc], offsets, m, n }
+    }
+
+    /// Flat index of cell `(i, j)` (1-based).
+    #[inline(always)]
+    fn index(&self, i: usize, j: usize) -> usize {
+        let d = i + j;
+        let (lo, _) = diag_bounds(d, self.m, self.n);
+        self.offsets[d] + (i - lo)
+    }
+
+    #[inline(always)]
+    fn code(&self, i: usize, j: usize) -> i32 {
+        self.data[self.index(i, j)].to_i32()
+    }
+}
+
+/// The diagonal Smith-Waterman kernel with traceback recording.
+#[inline(always)]
+pub(crate) fn sw_diag_tb<En: SimdEngine, W: KernelWidth<En>>(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> TbOut {
+    type Elem<En2, W2> = <<W2 as KernelWidth<En2>>::V as SimdVec>::Elem;
+
+    let (m, n) = (query.len(), target.len());
+    if m == 0 || n == 0 {
+        return TbOut { score: 0, saturated: false, end: None, alignment: None };
+    }
+    let lanes = <W::V as SimdVec>::LANES;
+    let scalar_threshold = scalar_threshold.max(1);
+
+    let vzero = W::V::zero();
+    let vneg = W::V::splat(Elem::<En, W>::NEG_INF);
+    let (go, ge, affine) = gap_elems::<Elem<En, W>>(gaps);
+    let vgo = W::V::splat(go);
+    let vge = W::V::splat(ge);
+    let (go32, ge32) = (go.to_i32(), ge.to_i32());
+
+    let c_diag = W::V::splat(Elem::<En, W>::from_i32(dir::H_DIAG));
+    let c_e = W::V::splat(Elem::<En, W>::from_i32(dir::H_E));
+    let c_f = W::V::splat(Elem::<En, W>::from_i32(dir::H_F));
+    let c_eext = W::V::splat(Elem::<En, W>::from_i32(dir::E_EXT));
+    let c_fext = W::V::splat(Elem::<En, W>::from_i32(dir::F_EXT));
+
+    let blen = m + 2 + lanes;
+    let mut hp = vec![Elem::<En, W>::ZERO; blen];
+    let mut hpp = vec![Elem::<En, W>::ZERO; blen];
+    let mut hc = vec![Elem::<En, W>::ZERO; blen];
+    let mut ep = vec![Elem::<En, W>::NEG_INF; blen];
+    let mut ec = vec![Elem::<En, W>::NEG_INF; blen];
+    let mut fp = vec![Elem::<En, W>::NEG_INF; blen];
+    let mut fc = vec![Elem::<En, W>::NEG_INF; blen];
+
+    let mut qpad = vec![0u8; m + lanes];
+    qpad[..m].copy_from_slice(query);
+    let mut rrev = vec![0u8; n + lanes];
+    for (t, slot) in rrev[..n].iter_mut().enumerate() {
+        *slot = target[n - 1 - t];
+    }
+    let (qel, rrevel, vmatch, vmismatch) = match scoring {
+        Scoring::Fixed { r#match, mismatch } => {
+            let qel: Vec<_> = qpad.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            let rel: Vec<_> = rrev.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            (
+                qel,
+                rel,
+                W::V::splat(Elem::<En, W>::from_i32(*r#match)),
+                W::V::splat(Elem::<En, W>::from_i32(*mismatch)),
+            )
+        }
+        Scoring::Matrix(_) => (Vec::new(), Vec::new(), vzero, vzero),
+    };
+
+    let mut dirs = DirMatrix::<Elem<En, W>>::new(m, n, lanes);
+    let mut best = 0i32;
+    let mut best_cell = (0usize, 0usize);
+
+    for d in 2..=(m + n) {
+        let (lo, hi) = diag_bounds(d, m, n);
+        let len = hi - lo + 1;
+        stats.diagonals += 1;
+        stats.cells += len as u64;
+        stats.traceback_cells += len as u64;
+        let doff = dirs.offsets[d];
+
+        let mut dmax = vzero;
+        let mut dscalar = 0i32;
+
+        if len < scalar_threshold {
+            for i in lo..=hi {
+                let j = d - i;
+                let s = scoring.score(query[i - 1], target[j - 1]);
+                let h_l = hp[i].to_i32();
+                let h_u = hp[i - 1].to_i32();
+                let h_d = hpp[i - 1].to_i32();
+                let (e_ext_v, e_open_v, f_ext_v, f_open_v) = if affine {
+                    (
+                        ep[i].to_i32() - ge32,
+                        h_l - go32,
+                        fp[i - 1].to_i32() - ge32,
+                        h_u - go32,
+                    )
+                } else {
+                    (i32::MIN / 4, h_l - go32, i32::MIN / 4, h_u - go32)
+                };
+                let e_new = e_ext_v.max(e_open_v);
+                let f_new = f_ext_v.max(f_open_v);
+                let diag_v = h_d + s;
+                let h32 = 0.max(diag_v).max(e_new).max(f_new);
+                let h = Elem::<En, W>::from_i32(h32);
+                let hi32 = h.to_i32();
+
+                let mut code = dir::H_ZERO;
+                if hi32 == Elem::<En, W>::from_i32(diag_v).to_i32() {
+                    code = dir::H_DIAG;
+                }
+                if hi32 == Elem::<En, W>::from_i32(e_new).to_i32() {
+                    code = dir::H_E;
+                }
+                if hi32 == Elem::<En, W>::from_i32(f_new).to_i32() {
+                    code = dir::H_F;
+                }
+                if hi32 == 0 {
+                    code = dir::H_ZERO;
+                }
+                if e_ext_v > e_open_v {
+                    code |= dir::E_EXT;
+                }
+                if f_ext_v > f_open_v {
+                    code |= dir::F_EXT;
+                }
+
+                hc[i] = h;
+                if affine {
+                    ec[i] = Elem::<En, W>::from_i32(e_new);
+                    fc[i] = Elem::<En, W>::from_i32(f_new);
+                }
+                dirs.data[doff + (i - lo)] = Elem::<En, W>::from_i32(code);
+                if hi32 > dscalar {
+                    dscalar = hi32;
+                }
+                if hi32 > best {
+                    best = hi32;
+                    best_cell = (i, d - i);
+                }
+            }
+            stats.scalar_cells += len as u64;
+        } else {
+            let mut base = lo;
+            while base <= hi {
+                let rem = hi + 1 - base;
+                // SAFETY: same bounds argument as the score kernel; the
+                // direction store fits because each diagonal's region is
+                // padded to whole vectors.
+                unsafe {
+                    let h_l = W::V::load(hp.as_ptr().add(base));
+                    let h_u = W::V::load(hp.as_ptr().add(base - 1));
+                    let h_d = W::V::load(hpp.as_ptr().add(base - 1));
+
+                    let s = match scoring {
+                        Scoring::Matrix(mat) => {
+                            if W::HARDWARE_GATHER {
+                                stats.gather_ops += 1;
+                            } else {
+                                stats.emulated_gathers += 1;
+                            }
+                            W::gather(
+                                mat,
+                                qpad.as_ptr().add(base - 1),
+                                rrev.as_ptr().add(base + n - d),
+                            )
+                        }
+                        Scoring::Fixed { .. } => {
+                            let qv = W::V::load(qel.as_ptr().add(base - 1));
+                            let rv = W::V::load(rrevel.as_ptr().add(base + n - d));
+                            W::V::blend(qv.cmpeq(rv), vmatch, vmismatch)
+                        }
+                    };
+
+                    let (e_new, f_new, e_ext_m, f_ext_m) = if affine {
+                        let e_in = W::V::load(ep.as_ptr().add(base));
+                        let f_in = W::V::load(fp.as_ptr().add(base - 1));
+                        let e_ext = e_in.subs(vge);
+                        let e_open = h_l.subs(vgo);
+                        let f_ext = f_in.subs(vge);
+                        let f_open = h_u.subs(vgo);
+                        (
+                            e_ext.max(e_open),
+                            f_ext.max(f_open),
+                            e_ext.cmpgt(e_open),
+                            f_ext.cmpgt(f_open),
+                        )
+                    } else {
+                        (h_l.subs(vgo), h_u.subs(vgo), vzero.cmpgt(vzero), vzero.cmpgt(vzero))
+                    };
+
+                    let diag_v = h_d.adds(s);
+                    let mut h = diag_v.max(vzero).max(e_new).max(f_new);
+
+                    let mut code = vzero;
+                    code = W::V::blend(diag_v.cmpeq(h), c_diag, code);
+                    code = W::V::blend(e_new.cmpeq(h), c_e, code);
+                    code = W::V::blend(f_new.cmpeq(h), c_f, code);
+                    code = W::V::blend(h.cmpeq(vzero), vzero, code);
+                    code = code.or(W::V::blend(e_ext_m, c_eext, vzero));
+                    code = code.or(W::V::blend(f_ext_m, c_fext, vzero));
+
+                    let mut e_st = e_new;
+                    let mut f_st = f_new;
+                    if rem < lanes {
+                        let mask = W::V::mask_first(rem);
+                        h = W::V::blend(mask, h, vzero);
+                        e_st = W::V::blend(mask, e_new, vneg);
+                        f_st = W::V::blend(mask, f_new, vneg);
+                        stats.padded_lanes += (lanes - rem) as u64;
+                    }
+
+                    h.store(hc.as_mut_ptr().add(base));
+                    if affine {
+                        e_st.store(ec.as_mut_ptr().add(base));
+                        f_st.store(fc.as_mut_ptr().add(base));
+                    }
+                    code.store(dirs.data.as_mut_ptr().add(doff + (base - lo)));
+                    dmax = dmax.max(h);
+                }
+                stats.vector_steps += 1;
+                stats.vector_lane_slots += lanes as u64;
+                stats.vector_loads += if affine { 5 } else { 3 };
+                stats.vector_stores += if affine { 4 } else { 2 };
+                base += lanes;
+            }
+        }
+
+        // Position tracking: one reduction per diagonal, one rescan only
+        // on improvement (§III-D deferred-max, adapted for traceback).
+        let dbest = dmax.hmax().to_i32().max(dscalar);
+        if dbest > best {
+            for i in lo..=hi {
+                if hc[i].to_i32() == dbest {
+                    best = dbest;
+                    best_cell = (i, d - i);
+                    break;
+                }
+            }
+        }
+
+        if lo == 1 {
+            hc[0] = Elem::<En, W>::ZERO;
+            fc[0] = Elem::<En, W>::NEG_INF;
+        }
+        if hi < m {
+            hc[hi + 1] = Elem::<En, W>::ZERO;
+            ec[hi + 1] = Elem::<En, W>::NEG_INF;
+        }
+
+        std::mem::swap(&mut hpp, &mut hp);
+        std::mem::swap(&mut hp, &mut hc);
+        std::mem::swap(&mut ep, &mut ec);
+        std::mem::swap(&mut fp, &mut fc);
+    }
+
+    let saturated = Elem::<En, W>::BITS < 32 && best >= Elem::<En, W>::MAX.to_i32();
+    let alignment = (best > 0 && !saturated).then(|| walk_diag(&dirs, best_cell.0, best_cell.1));
+    TbOut { score: best, saturated, end: Some(best_cell), alignment }
+}
+
+/// Walk the diagonal-linearized direction matrix (same state machine as
+/// the scalar reference walk).
+fn walk_diag<E: ScoreElem>(dirs: &DirMatrix<E>, mut i: usize, mut j: usize) -> Alignment {
+    let (ie, je) = (i, j);
+    let mut ops = Vec::new();
+    #[derive(Clone, Copy)]
+    enum St {
+        H,
+        E,
+        F,
+    }
+    let mut st = St::H;
+    while i > 0 && j > 0 {
+        let code = dirs.code(i, j);
+        match st {
+            St::H => match code & dir::H_MASK {
+                dir::H_ZERO => break,
+                dir::H_DIAG => {
+                    ops.push(Op::Match);
+                    i -= 1;
+                    j -= 1;
+                }
+                dir::H_E => st = St::E,
+                _ => st = St::F,
+            },
+            St::E => {
+                ops.push(Op::Delete);
+                let ext = code & dir::E_EXT != 0;
+                j -= 1;
+                if !ext {
+                    st = St::H;
+                }
+            }
+            St::F => {
+                ops.push(Op::Insert);
+                let ext = code & dir::F_EXT != 0;
+                i -= 1;
+                if !ext {
+                    st = St::H;
+                }
+            }
+        }
+    }
+    ops.reverse();
+    Alignment { query_start: i, query_end: ie, target_start: j, target_end: je, ops }
+}

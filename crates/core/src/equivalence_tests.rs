@@ -1,0 +1,244 @@
+//! Cross-implementation equivalence: every (engine, precision) diagonal
+//! kernel must return the scalar reference's score on random and
+//! adversarial inputs, and traceback paths must rescore to the reported
+//! score.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swsimd_matrices::blosum62;
+use swsimd_simd::EngineKind;
+
+use crate::diag::dispatch::{diag_score, diag_traceback};
+use crate::params::{GapModel, GapPenalties, Precision, Scoring};
+use crate::scalar_ref::{sw_scalar, sw_scalar_traceback};
+use crate::stats::KernelStats;
+
+fn rand_seq(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen_range(0..20u8)).collect()
+}
+
+fn engines() -> Vec<EngineKind> {
+    EngineKind::available()
+}
+
+fn check_pair(
+    q: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    threshold: usize,
+    label: &str,
+) {
+    let want = sw_scalar(q, t, scoring, gaps).score;
+    for engine in engines() {
+        for prec in [Precision::I16, Precision::I32] {
+            let mut st = KernelStats::default();
+            let got = diag_score(engine, prec, q, t, scoring, gaps, threshold, &mut st);
+            assert!(!got.saturated, "{label}: {engine:?} {prec:?} saturated unexpectedly");
+            assert_eq!(
+                got.score, want,
+                "{label}: {engine:?} {prec:?} thr={threshold} m={} n={}",
+                q.len(),
+                t.len()
+            );
+        }
+        // 8-bit agrees when it does not saturate.
+        let mut st = KernelStats::default();
+        let got = diag_score(engine, Precision::I8, q, t, scoring, gaps, threshold, &mut st);
+        if !got.saturated {
+            assert_eq!(got.score, want, "{label}: {engine:?} I8");
+        } else {
+            assert!(want >= (i8::MAX as i32), "{label}: spurious saturation (want {want})");
+        }
+    }
+}
+
+#[test]
+fn random_pairs_match_reference() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::Affine(GapPenalties::new(11, 1));
+    for round in 0..40 {
+        let m = rng.gen_range(1..120);
+        let n = rng.gen_range(1..120);
+        let q = rand_seq(&mut rng, m);
+        let t = rand_seq(&mut rng, n);
+        check_pair(&q, &t, &scoring, gaps, 8, &format!("round {round}"));
+    }
+}
+
+#[test]
+fn fixed_scoring_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let scoring = Scoring::Fixed { r#match: 2, mismatch: -3 };
+    let gaps = GapModel::Affine(GapPenalties::new(5, 2));
+    for round in 0..25 {
+        let (lm, ln) = (rng.gen_range(1..90), rng.gen_range(1..90));
+        let q = rand_seq(&mut rng, lm);
+        let t = rand_seq(&mut rng, ln);
+        check_pair(&q, &t, &scoring, gaps, 4, &format!("fixed {round}"));
+    }
+}
+
+#[test]
+fn linear_gaps_match_reference() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::Linear { gap: 4 };
+    for round in 0..25 {
+        let (lm, ln) = (rng.gen_range(1..90), rng.gen_range(1..90));
+        let q = rand_seq(&mut rng, lm);
+        let t = rand_seq(&mut rng, ln);
+        check_pair(&q, &t, &scoring, gaps, 8, &format!("linear {round}"));
+    }
+}
+
+#[test]
+fn threshold_extremes_are_equivalent() {
+    // threshold = 1 forces all-vector; a huge threshold forces all-scalar;
+    // both must agree with the reference and each other.
+    let mut rng = StdRng::seed_from_u64(5);
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::default_affine();
+    for _ in 0..10 {
+        let (lm, ln) = (rng.gen_range(1..70), rng.gen_range(1..70));
+        let q = rand_seq(&mut rng, lm);
+        let t = rand_seq(&mut rng, ln);
+        for threshold in [1, 3, 17, 10_000] {
+            check_pair(&q, &t, &scoring, gaps, threshold, &format!("thr {threshold}"));
+        }
+    }
+}
+
+#[test]
+fn degenerate_shapes() {
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::default_affine();
+    let mut rng = StdRng::seed_from_u64(3);
+    // 1xN, Nx1, tiny, query longer than target and vice versa.
+    for (m, n) in [(1, 1), (1, 50), (50, 1), (2, 3), (3, 2), (200, 5), (5, 200)] {
+        let q = rand_seq(&mut rng, m);
+        let t = rand_seq(&mut rng, n);
+        check_pair(&q, &t, &scoring, gaps, 8, &format!("shape {m}x{n}"));
+    }
+}
+
+#[test]
+fn empty_sequences_score_zero() {
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::default_affine();
+    for engine in engines() {
+        let mut st = KernelStats::default();
+        let r = diag_score(engine, Precision::I16, &[], &[1, 2], &scoring, gaps, 8, &mut st);
+        assert_eq!(r.score, 0);
+        let r = diag_score(engine, Precision::I16, &[3], &[], &scoring, gaps, 8, &mut st);
+        assert_eq!(r.score, 0);
+    }
+}
+
+#[test]
+fn identical_long_sequences_saturate_i8_not_i16() {
+    // 500 tryptophans: score 500*11 = 5500 > 127, < 32767.
+    let q = vec![17u8; 500]; // W
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::default_affine();
+    for engine in engines() {
+        let mut st = KernelStats::default();
+        let r8 = diag_score(engine, Precision::I8, &q, &q, &scoring, gaps, 8, &mut st);
+        assert!(r8.saturated, "{engine:?} I8 must saturate");
+        let r16 = diag_score(engine, Precision::I16, &q, &q, &scoring, gaps, 8, &mut st);
+        assert!(!r16.saturated);
+        assert_eq!(r16.score, 5500);
+        let r32 = diag_score(engine, Precision::I32, &q, &q, &scoring, gaps, 8, &mut st);
+        assert_eq!(r32.score, 5500);
+    }
+}
+
+#[test]
+fn traceback_scores_and_paths_are_valid() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::Affine(GapPenalties::new(11, 1));
+    for round in 0..20 {
+        let (lm, ln) = (rng.gen_range(2..80), rng.gen_range(2..80));
+        let q = rand_seq(&mut rng, lm);
+        let t = rand_seq(&mut rng, ln);
+        let want = sw_scalar_traceback(&q, &t, &scoring, gaps);
+        for engine in engines() {
+            for prec in [Precision::I16, Precision::I32] {
+                let mut st = KernelStats::default();
+                let got =
+                    diag_traceback(engine, prec, &q, &t, &scoring, gaps, 8, &mut st);
+                assert_eq!(got.score, want.score, "round {round} {engine:?} {prec:?}");
+                if want.score > 0 {
+                    let aln = got.alignment.as_ref().expect("alignment for positive score");
+                    assert_eq!(
+                        aln.rescore(&q, &t, &scoring, gaps),
+                        got.score,
+                        "round {round} {engine:?} {prec:?} path does not rescore"
+                    );
+                    // End cell must actually be the end of the path.
+                    assert_eq!(aln.query_end, got.end.unwrap().0);
+                    assert_eq!(aln.target_end, got.end.unwrap().1);
+                } else {
+                    assert!(got.alignment.is_none());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn traceback_linear_gap_paths() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::Linear { gap: 3 };
+    for _ in 0..10 {
+        let (lm, ln) = (rng.gen_range(2..60), rng.gen_range(2..60));
+        let q = rand_seq(&mut rng, lm);
+        let t = rand_seq(&mut rng, ln);
+        let want = sw_scalar(&q, &t, &scoring, gaps).score;
+        for engine in engines() {
+            let mut st = KernelStats::default();
+            let got = diag_traceback(engine, Precision::I16, &q, &t, &scoring, gaps, 8, &mut st);
+            assert_eq!(got.score, want);
+            if let Some(aln) = &got.alignment {
+                assert_eq!(aln.rescore(&q, &t, &scoring, gaps), want);
+            }
+        }
+    }
+}
+
+#[test]
+fn determinism_same_inputs_same_stats() {
+    // The paper's determinism claim: identical inputs produce identical
+    // instruction counts (stats), not just identical scores.
+    let mut rng = StdRng::seed_from_u64(8);
+    let q = rand_seq(&mut rng, 73);
+    let t = rand_seq(&mut rng, 101);
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::default_affine();
+    for engine in engines() {
+        let mut s1 = KernelStats::default();
+        let mut s2 = KernelStats::default();
+        let r1 = diag_score(engine, Precision::I16, &q, &t, &scoring, gaps, 8, &mut s1);
+        let r2 = diag_score(engine, Precision::I16, &q, &t, &scoring, gaps, 8, &mut s2);
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2, "{engine:?} stats differ between identical runs");
+        assert_eq!(s1.correction_loops, 0, "diagonal kernel must have no correction loops");
+    }
+}
+
+#[test]
+fn stats_cell_count_is_exact() {
+    let q = vec![0u8; 37];
+    let t = vec![1u8; 53];
+    let scoring = Scoring::matrix(blosum62());
+    for engine in engines() {
+        let mut st = KernelStats::default();
+        let _ = diag_score(engine, Precision::I16, &q, &t, &scoring, GapModel::default_affine(), 8, &mut st);
+        assert_eq!(st.cells, 37 * 53, "{engine:?}");
+        assert_eq!(st.diagonals, (37 + 53 - 1) as u64);
+        assert_eq!(st.cells, st.scalar_cells + (st.vector_lane_slots - st.padded_lanes));
+    }
+}

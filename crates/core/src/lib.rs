@@ -1,0 +1,39 @@
+#![allow(clippy::needless_range_loop)] // kernel loops index several parallel arrays by design
+#![allow(clippy::too_many_arguments)] // kernel entry points mirror the paper's parameter lists
+
+#![warn(missing_docs)]
+
+//! # swsimd-core
+//!
+//! The paper's contribution: a deterministic, diagonal-vectorized
+//! Smith-Waterman implementation with a diagonal-linearized memory
+//! layout, reorganized-substitution-matrix scoring (gather and
+//! LUT/profile paths), zero-padded variable-length segments, deferred
+//! per-lane maxima, optional traceback, adaptive 8/16/32-bit precision,
+//! and an inter-sequence batch kernel for database search.
+
+pub mod adaptive;
+pub mod api;
+pub mod banded;
+pub mod batch;
+pub mod diag;
+pub mod modes;
+pub mod params;
+pub mod scalar_ref;
+pub mod stats;
+
+pub use api::{Aligner, AlignerBuilder, Hit};
+pub use diag::dispatch::{diag_score, diag_traceback};
+pub use banded::{banded_score, sw_banded_scalar};
+pub use diag::segment_census;
+pub use modes::{
+    adaptive_mode_score, diag_mode_score, sw_scalar_mode, sw_scalar_mode_traceback, AlignMode,
+};
+pub use params::{
+    AlignResult, Alignment, GapModel, GapPenalties, Op, Precision, Scoring,
+};
+pub use scalar_ref::{sw_scalar, sw_scalar_traceback};
+pub use stats::KernelStats;
+
+#[cfg(test)]
+mod equivalence_tests;

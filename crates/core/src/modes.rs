@@ -1,0 +1,791 @@
+//! Global (Needleman-Wunsch) and semi-global alignment on the same
+//! diagonal-vectorized machinery.
+//!
+//! The paper's comparator, Parasail, is a "global, semi-global, and
+//! local" library and §II-B discusses global tracebacks, so a usable
+//! reproduction carries all three alignment classes. This module
+//! generalizes the diagonal kernel:
+//!
+//! * **Global** — both sequences align end to end: gap-cost boundary
+//!   conditions on row 0 and column 0, no zero clamp, answer at
+//!   `H(m, n)`.
+//! * **Semi-global** (query-global, target-free ends) — the query must
+//!   align fully but leading/trailing target residues are free: row 0
+//!   is zero, column 0 carries gap costs, answer is the best cell of
+//!   the last query row. This is the read-mapping/glocal convention.
+//!
+//! Narrow-lane saturation differs from local alignment: global scores
+//! can legitimately be very negative, so the kernel tracks whether any
+//! `H` lane pinned at the representation limits and flags the run for
+//! promotion, exactly like the 8-bit local path.
+
+use swsimd_simd::{EngineKind, ScoreElem, SimdEngine, SimdVec};
+
+use crate::diag::kernel::ScoreOut;
+use crate::diag::{diag_bounds, gap_elems, KernelWidth, W16, W32, W8};
+use crate::params::{AlignResult, Alignment, GapModel, Op, Precision, Scoring};
+use crate::stats::KernelStats;
+
+/// Alignment class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum AlignMode {
+    /// Smith-Waterman local alignment (the paper's subject).
+    #[default]
+    Local,
+    /// Needleman-Wunsch global alignment.
+    Global,
+    /// Query-global, target-free-ends ("glocal") alignment.
+    SemiGlobal,
+}
+
+const NEG32: i32 = i32::MIN / 4;
+
+/// Cost of a leading gap of length `len` (boundary condition).
+#[inline(always)]
+fn boundary_cost(gaps: GapModel, len: usize) -> i32 {
+    if len == 0 {
+        return 0;
+    }
+    match gaps {
+        GapModel::Linear { gap } => -(gap * len as i32),
+        GapModel::Affine(g) => -(g.open + g.extend * (len as i32 - 1)),
+    }
+}
+
+/// Scalar reference for global/semi-global modes (also the traceback
+/// provider). Local mode delegates to [`crate::scalar_ref`].
+pub fn sw_scalar_mode(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    mode: AlignMode,
+) -> AlignResult {
+    if mode == AlignMode::Local {
+        return crate::scalar_ref::sw_scalar(query, target, scoring, gaps);
+    }
+    let (m, n) = (query.len(), target.len());
+    let (go, ge) = match gaps {
+        GapModel::Linear { gap } => (gap, gap),
+        GapModel::Affine(g) => (g.open, g.extend),
+    };
+
+    // Row 0 boundary.
+    let mut h_row: Vec<i32> = (0..=n)
+        .map(|j| match mode {
+            AlignMode::Global => boundary_cost(gaps, j),
+            _ => 0,
+        })
+        .collect();
+    let mut f_row = vec![NEG32; n + 1];
+    let mut best = NEG32;
+    let mut best_cell = (m, n);
+
+    if m == 0 || n == 0 {
+        let score = match mode {
+            AlignMode::Global => boundary_cost(gaps, m.max(n)),
+            AlignMode::SemiGlobal => boundary_cost(gaps, m),
+            AlignMode::Local => 0,
+        };
+        return AlignResult {
+            score,
+            end: Some((m, n)),
+            alignment: None,
+            precision_used: Precision::I32,
+        };
+    }
+
+    for i in 1..=m {
+        let mut h_diag = h_row[0];
+        // Column 0 carries gap costs in both non-local modes (the query
+        // must pay to start late).
+        h_row[0] = boundary_cost(gaps, i);
+        let mut h_left = h_row[0];
+        let mut e = NEG32;
+        let qi = query[i - 1];
+        for j in 1..=n {
+            let s = scoring.score(qi, target[j - 1]);
+            e = (e - ge).max(h_left - go);
+            let f = (f_row[j] - ge).max(h_row[j] - go);
+            f_row[j] = f;
+            let h = (h_diag + s).max(e).max(f);
+            h_diag = h_row[j];
+            h_row[j] = h;
+            h_left = h;
+        }
+        if mode == AlignMode::SemiGlobal && i == m {
+            for (j, &h) in h_row.iter().enumerate().skip(1) {
+                if h > best {
+                    best = h;
+                    best_cell = (m, j);
+                }
+            }
+        }
+    }
+    if mode == AlignMode::Global {
+        best = h_row[n];
+        best_cell = (m, n);
+    }
+    AlignResult { score: best, end: Some(best_cell), alignment: None, precision_used: Precision::I32 }
+}
+
+/// Scalar global/semi-global alignment **with traceback**.
+pub fn sw_scalar_mode_traceback(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    mode: AlignMode,
+) -> AlignResult {
+    if mode == AlignMode::Local {
+        return crate::scalar_ref::sw_scalar_traceback(query, target, scoring, gaps);
+    }
+    let (m, n) = (query.len(), target.len());
+    if m == 0 || n == 0 {
+        let mut r = sw_scalar_mode(query, target, scoring, gaps, mode);
+        r.alignment = Some(Alignment {
+            query_start: 0,
+            query_end: m,
+            target_start: 0,
+            target_end: if mode == AlignMode::Global { n } else { 0 },
+            ops: match mode {
+                AlignMode::Global => std::iter::repeat_n(Op::Insert, m)
+                    .chain(std::iter::repeat_n(Op::Delete, n))
+                    .collect(),
+                _ => vec![Op::Insert; m],
+            },
+        });
+        return r;
+    }
+    let (go, ge) = match gaps {
+        GapModel::Linear { gap } => (gap, gap),
+        GapModel::Affine(g) => (g.open, g.extend),
+    };
+    use crate::scalar_ref::dir;
+
+    let mut h_row: Vec<i32> = (0..=n)
+        .map(|j| match mode {
+            AlignMode::Global => boundary_cost(gaps, j),
+            _ => 0,
+        })
+        .collect();
+    let mut f_row = vec![NEG32; n + 1];
+    let mut dirs = vec![0u8; m * n];
+    let mut best = NEG32;
+    let mut best_cell = (m, n);
+
+    for i in 1..=m {
+        let mut h_diag = h_row[0];
+        h_row[0] = boundary_cost(gaps, i);
+        let mut h_left = h_row[0];
+        let mut e = NEG32;
+        let qi = query[i - 1];
+        for j in 1..=n {
+            let s = scoring.score(qi, target[j - 1]);
+            let e_ext = e - ge;
+            let e_open = h_left - go;
+            e = e_ext.max(e_open);
+            let f_ext = f_row[j] - ge;
+            let f_open = h_row[j] - go;
+            let f = f_ext.max(f_open);
+            f_row[j] = f;
+            let diag = h_diag + s;
+            let h = diag.max(e).max(f);
+
+            let mut code = dir::H_DIAG;
+            if h == e {
+                code = dir::H_E;
+            }
+            if h == f {
+                code = dir::H_F;
+            }
+            if h == diag {
+                // Prefer diagonal on ties for shorter, cleaner paths.
+                code = dir::H_DIAG;
+            }
+            if e_ext > e_open {
+                code |= dir::E_EXT;
+            }
+            if f_ext > f_open {
+                code |= dir::F_EXT;
+            }
+            dirs[(i - 1) * n + (j - 1)] = code as u8;
+
+            h_diag = h_row[j];
+            h_row[j] = h;
+            h_left = h;
+        }
+        if mode == AlignMode::SemiGlobal && i == m {
+            for (j, &h) in h_row.iter().enumerate().skip(1) {
+                if h > best {
+                    best = h;
+                    best_cell = (m, j);
+                }
+            }
+        }
+    }
+    if mode == AlignMode::Global {
+        best = h_row[n];
+        best_cell = (m, n);
+    }
+
+    // Walk to (0, 0) for global; to row 0 for semi-global (free target
+    // prefix); emit boundary gap runs when an edge is reached.
+    let (mut i, mut j) = best_cell;
+    let (ie, je) = (i, j);
+    let mut ops = Vec::new();
+    #[derive(Clone, Copy)]
+    enum St {
+        H,
+        E,
+        F,
+    }
+    let mut st = St::H;
+    while i > 0 && j > 0 {
+        let code = dirs[(i - 1) * n + (j - 1)] as i32;
+        match st {
+            St::H => match code & dir::H_MASK {
+                dir::H_DIAG => {
+                    ops.push(Op::Match);
+                    i -= 1;
+                    j -= 1;
+                }
+                dir::H_E => st = St::E,
+                dir::H_F => st = St::F,
+                _ => unreachable!("global modes never emit H_ZERO"),
+            },
+            St::E => {
+                ops.push(Op::Delete);
+                let ext = code & dir::E_EXT != 0;
+                j -= 1;
+                if !ext {
+                    st = St::H;
+                }
+            }
+            St::F => {
+                ops.push(Op::Insert);
+                let ext = code & dir::F_EXT != 0;
+                i -= 1;
+                if !ext {
+                    st = St::H;
+                }
+            }
+        }
+    }
+    // Boundary runs.
+    for _ in 0..i {
+        ops.push(Op::Insert);
+    }
+    let target_start = if mode == AlignMode::Global {
+        for _ in 0..j {
+            ops.push(Op::Delete);
+        }
+        0
+    } else {
+        j
+    };
+    ops.reverse();
+    AlignResult {
+        score: best,
+        end: Some(best_cell),
+        alignment: Some(Alignment {
+            query_start: 0,
+            query_end: ie,
+            target_start,
+            target_end: je,
+            ops,
+        }),
+        precision_used: Precision::I32,
+    }
+}
+
+/// Vectorized diagonal kernel for global/semi-global modes (scores
+/// only; tracebacks route to the scalar implementation).
+#[inline(always)]
+fn sw_diag_mode<En: SimdEngine, W: KernelWidth<En>>(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    mode: AlignMode,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> ScoreOut {
+    type Elem<En2, W2> = <<W2 as KernelWidth<En2>>::V as SimdVec>::Elem;
+
+    debug_assert_ne!(mode, AlignMode::Local, "local mode uses the main kernel");
+    let (m, n) = (query.len(), target.len());
+    if m == 0 || n == 0 {
+        let score = match mode {
+            AlignMode::Global => boundary_cost(gaps, m.max(n)),
+            _ => boundary_cost(gaps, m),
+        };
+        return ScoreOut { score, saturated: false };
+    }
+    let lanes = <W::V as SimdVec>::LANES;
+    let scalar_threshold = scalar_threshold.max(1);
+
+    let vneg = W::V::splat(Elem::<En, W>::NEG_INF);
+    let vlimit_lo = W::V::splat(Elem::<En, W>::MIN);
+    let (go, ge, affine) = gap_elems::<Elem<En, W>>(gaps);
+    let vgo = W::V::splat(go);
+    let vge = W::V::splat(ge);
+    let (go32, ge32) = (go.to_i32(), ge.to_i32());
+
+    let blen = m + 2 + lanes;
+    let bc = |len: usize| Elem::<En, W>::from_i32(boundary_cost(gaps, len));
+    let row0 = |j: usize| match mode {
+        AlignMode::Global => bc(j),
+        _ => Elem::<En, W>::ZERO,
+    };
+
+    let mut hp = vec![Elem::<En, W>::ZERO; blen];
+    let mut hpp = vec![Elem::<En, W>::ZERO; blen];
+    let mut hc = vec![Elem::<En, W>::ZERO; blen];
+    let mut ep = vec![Elem::<En, W>::NEG_INF; blen];
+    let mut ec = vec![Elem::<En, W>::NEG_INF; blen];
+    let mut fp = vec![Elem::<En, W>::NEG_INF; blen];
+    let mut fc = vec![Elem::<En, W>::NEG_INF; blen];
+    // d = 1 boundary: H(0,1) and H(1,0); d = 0: H(0,0) = 0.
+    hp[0] = row0(1);
+    hp[1] = bc(1);
+
+    let mut qpad = vec![0u8; m + lanes];
+    qpad[..m].copy_from_slice(query);
+    let mut rrev = vec![0u8; n + lanes];
+    for (t, slot) in rrev[..n].iter_mut().enumerate() {
+        *slot = target[n - 1 - t];
+    }
+    let (qel, rrevel, vmatch, vmismatch) = match scoring {
+        Scoring::Fixed { r#match, mismatch } => {
+            let qel: Vec<_> = qpad.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            let rel: Vec<_> = rrev.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            (
+                qel,
+                rel,
+                W::V::splat(Elem::<En, W>::from_i32(*r#match)),
+                W::V::splat(Elem::<En, W>::from_i32(*mismatch)),
+            )
+        }
+        Scoring::Matrix(_) => (Vec::new(), Vec::new(), vneg, vneg),
+    };
+
+    let mut sat = W::V::zero().cmpgt(W::V::zero()); // all-false mask
+    let mut sg_best = NEG32; // semi-global: best of row m
+    let mut final_h = NEG32; // global: H(m, n)
+
+    for d in 2..=(m + n) {
+        let (lo, hi) = diag_bounds(d, m, n);
+        let len = hi - lo + 1;
+        stats.diagonals += 1;
+        stats.cells += len as u64;
+
+        if len < scalar_threshold {
+            for i in lo..=hi {
+                let j = d - i;
+                let s = scoring.score(query[i - 1], target[j - 1]);
+                let h_l = hp[i].to_i32();
+                let h_u = hp[i - 1].to_i32();
+                let h_d = hpp[i - 1].to_i32();
+                let (e_new, f_new) = if affine {
+                    (
+                        (ep[i].to_i32() - ge32).max(h_l - go32),
+                        (fp[i - 1].to_i32() - ge32).max(h_u - go32),
+                    )
+                } else {
+                    (h_l - go32, h_u - go32)
+                };
+                let h = Elem::<En, W>::from_i32((h_d + s).max(e_new).max(f_new));
+                hc[i] = h;
+                if affine {
+                    ec[i] = Elem::<En, W>::from_i32(e_new);
+                    fc[i] = Elem::<En, W>::from_i32(f_new);
+                }
+                if h == Elem::<En, W>::MIN || h == Elem::<En, W>::MAX {
+                    sat = sat.or(W::V::mask_first(1));
+                }
+            }
+            stats.scalar_cells += len as u64;
+        } else {
+            let mut base = lo;
+            while base <= hi {
+                let rem = hi + 1 - base;
+                // SAFETY: same bounds invariants as the local kernel.
+                unsafe {
+                    let h_l = W::V::load(hp.as_ptr().add(base));
+                    let h_u = W::V::load(hp.as_ptr().add(base - 1));
+                    let h_d = W::V::load(hpp.as_ptr().add(base - 1));
+                    let s = match scoring {
+                        Scoring::Matrix(mat) => {
+                            if W::HARDWARE_GATHER {
+                                stats.gather_ops += 1;
+                            } else {
+                                stats.emulated_gathers += 1;
+                            }
+                            W::gather(
+                                mat,
+                                qpad.as_ptr().add(base - 1),
+                                rrev.as_ptr().add(base + n - d),
+                            )
+                        }
+                        Scoring::Fixed { .. } => {
+                            let qv = W::V::load(qel.as_ptr().add(base - 1));
+                            let rv = W::V::load(rrevel.as_ptr().add(base + n - d));
+                            W::V::blend(qv.cmpeq(rv), vmatch, vmismatch)
+                        }
+                    };
+                    let (e_new, f_new) = if affine {
+                        let e_in = W::V::load(ep.as_ptr().add(base));
+                        let f_in = W::V::load(fp.as_ptr().add(base - 1));
+                        (e_in.subs(vge).max(h_l.subs(vgo)), f_in.subs(vge).max(h_u.subs(vgo)))
+                    } else {
+                        (h_l.subs(vgo), h_u.subs(vgo))
+                    };
+                    let mut h = h_d.adds(s).max(e_new).max(f_new);
+                    let mut e_st = e_new;
+                    let mut f_st = f_new;
+                    if rem < lanes {
+                        let mask = W::V::mask_first(rem);
+                        h = W::V::blend(mask, h, vneg);
+                        e_st = W::V::blend(mask, e_new, vneg);
+                        f_st = W::V::blend(mask, f_new, vneg);
+                        stats.padded_lanes += (lanes - rem) as u64;
+                        sat = sat.or(mask.and(h.cmpeq(vlimit_lo)));
+                    } else {
+                        sat = sat.or(h.cmpeq(vlimit_lo));
+                    }
+                    h.store(hc.as_mut_ptr().add(base));
+                    if affine {
+                        e_st.store(ec.as_mut_ptr().add(base));
+                        f_st.store(fc.as_mut_ptr().add(base));
+                    }
+                }
+                stats.vector_steps += 1;
+                stats.vector_lane_slots += lanes as u64;
+                base += lanes;
+            }
+        }
+
+        // Mode-dependent boundary guards.
+        if lo == 1 {
+            hc[0] = row0(d); // H(0, d)
+            fc[0] = Elem::<En, W>::NEG_INF;
+        }
+        if hi < m {
+            hc[hi + 1] = bc(d); // H(d, 0)
+            ec[hi + 1] = Elem::<En, W>::NEG_INF;
+        }
+
+        if hi == m {
+            let h = hc[m].to_i32();
+            if mode == AlignMode::SemiGlobal && h > sg_best {
+                sg_best = h;
+            }
+            if d == m + n {
+                final_h = h;
+            }
+        }
+
+        std::mem::swap(&mut hpp, &mut hp);
+        std::mem::swap(&mut hp, &mut hc);
+        std::mem::swap(&mut ep, &mut ec);
+        std::mem::swap(&mut fp, &mut fc);
+    }
+
+    let score = match mode {
+        AlignMode::Global => final_h,
+        _ => sg_best,
+    };
+    let saturated = Elem::<En, W>::BITS < 32
+        && (W::V::any(sat)
+            || score >= Elem::<En, W>::MAX.to_i32()
+            || score <= Elem::<En, W>::MIN.to_i32());
+    ScoreOut { score, saturated }
+}
+
+macro_rules! mode_wrappers {
+    ($mod_:ident, $en:ty, $($feat:literal)?) => {
+        mod $mod_ {
+            use super::*;
+            $(#[target_feature(enable = $feat)])?
+            pub(super) unsafe fn w8(
+                q: &[u8], t: &[u8], sc: &Scoring, g: GapModel, m: AlignMode, th: usize,
+                st: &mut KernelStats,
+            ) -> ScoreOut {
+                sw_diag_mode::<$en, W8>(q, t, sc, g, m, th, st)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(super) unsafe fn w16(
+                q: &[u8], t: &[u8], sc: &Scoring, g: GapModel, m: AlignMode, th: usize,
+                st: &mut KernelStats,
+            ) -> ScoreOut {
+                sw_diag_mode::<$en, W16>(q, t, sc, g, m, th, st)
+            }
+            $(#[target_feature(enable = $feat)])?
+            pub(super) unsafe fn w32(
+                q: &[u8], t: &[u8], sc: &Scoring, g: GapModel, m: AlignMode, th: usize,
+                st: &mut KernelStats,
+            ) -> ScoreOut {
+                sw_diag_mode::<$en, W32>(q, t, sc, g, m, th, st)
+            }
+        }
+    };
+}
+
+mode_wrappers!(scalar_w, swsimd_simd::Scalar,);
+#[cfg(target_arch = "x86_64")]
+mode_wrappers!(sse41_w, swsimd_simd::Sse41, "sse4.1,ssse3");
+#[cfg(target_arch = "x86_64")]
+mode_wrappers!(avx2_w, swsimd_simd::Avx2, "avx2");
+#[cfg(target_arch = "x86_64")]
+mode_wrappers!(avx512_w, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+
+/// Vectorized global/semi-global score on a chosen engine and precision
+/// (falls back to scalar engine when unavailable; `Adaptive` resolved by
+/// the caller).
+pub fn diag_mode_score(
+    engine: EngineKind,
+    precision: Precision,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    mode: AlignMode,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> ScoreOut {
+    if mode == AlignMode::Local {
+        return crate::diag::dispatch::diag_score(
+            engine, precision, query, target, scoring, gaps, scalar_threshold, stats,
+        );
+    }
+    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    // SAFETY: availability checked above.
+    unsafe {
+        macro_rules! call {
+            ($m:ident) => {
+                match precision {
+                    Precision::I8 => $m::w8(query, target, scoring, gaps, mode, scalar_threshold, stats),
+                    Precision::I16 => $m::w16(query, target, scoring, gaps, mode, scalar_threshold, stats),
+                    _ => $m::w32(query, target, scoring, gaps, mode, scalar_threshold, stats),
+                }
+            };
+        }
+        match engine {
+            EngineKind::Scalar => call!(scalar_w),
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Sse41 => call!(sse41_w),
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx2 => call!(avx2_w),
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Avx512 => call!(avx512_w),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => call!(scalar_w),
+        }
+    }
+}
+
+/// Adaptive-precision global/semi-global score.
+pub fn adaptive_mode_score(
+    engine: EngineKind,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    mode: AlignMode,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> (i32, Precision) {
+    for (k, p) in [Precision::I8, Precision::I16, Precision::I32].into_iter().enumerate() {
+        if k > 0 {
+            stats.promotions += 1;
+        }
+        let r =
+            diag_mode_score(engine, p, query, target, scoring, gaps, mode, scalar_threshold, stats);
+        if !r.saturated {
+            return (r.score, p);
+        }
+    }
+    unreachable!("I32 never reports saturation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GapPenalties;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use swsimd_matrices::{blosum62, Alphabet};
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        Alphabet::protein().encode(s)
+    }
+
+    fn b62() -> Scoring {
+        Scoring::matrix(blosum62())
+    }
+
+    fn aff() -> GapModel {
+        GapModel::Affine(GapPenalties::new(11, 1))
+    }
+
+    #[test]
+    fn global_identical_is_diagonal_sum() {
+        let q = enc(b"ARNDCQEGHILKMFPSTWYV");
+        let want: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+        let r = sw_scalar_mode(&q, &q, &b62(), aff(), AlignMode::Global);
+        assert_eq!(r.score, want);
+    }
+
+    #[test]
+    fn global_forced_end_gap() {
+        // q fully matches a prefix of t; global must pay for the tail.
+        let q = enc(b"ARNDC");
+        let t = enc(b"ARNDCQEG");
+        let prefix: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+        let r = sw_scalar_mode(&q, &t, &b62(), aff(), AlignMode::Global);
+        assert_eq!(r.score, prefix - (11 + 1 + 1)); // gap of 3
+        // Semi-global forgives the target tail entirely.
+        let sg = sw_scalar_mode(&q, &t, &b62(), aff(), AlignMode::SemiGlobal);
+        assert_eq!(sg.score, prefix);
+    }
+
+    #[test]
+    fn mode_ordering_local_ge_semiglobal_ge_global() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..20 {
+            let (lm, ln) = (rng.gen_range(1..60), rng.gen_range(1..60));
+            let q: Vec<u8> = (0..lm).map(|_| rng.gen_range(0..20)).collect();
+            let t: Vec<u8> = (0..ln).map(|_| rng.gen_range(0..20)).collect();
+            let local = crate::scalar_ref::sw_scalar(&q, &t, &b62(), aff()).score;
+            let sg = sw_scalar_mode(&q, &t, &b62(), aff(), AlignMode::SemiGlobal).score;
+            let global = sw_scalar_mode(&q, &t, &b62(), aff(), AlignMode::Global).score;
+            assert!(local >= sg, "local {local} < semiglobal {sg}");
+            assert!(sg >= global, "semiglobal {sg} < global {global}");
+        }
+    }
+
+    #[test]
+    fn vector_modes_match_scalar() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for round in 0..25 {
+            let (lm, ln) = (rng.gen_range(1..100), rng.gen_range(1..100));
+            let q: Vec<u8> = (0..lm).map(|_| rng.gen_range(0..20)).collect();
+            let t: Vec<u8> = (0..ln).map(|_| rng.gen_range(0..20)).collect();
+            for mode in [AlignMode::Global, AlignMode::SemiGlobal] {
+                let want = sw_scalar_mode(&q, &t, &b62(), aff(), mode).score;
+                for engine in EngineKind::available() {
+                    for prec in [Precision::I16, Precision::I32] {
+                        let mut st = KernelStats::default();
+                        let got = diag_mode_score(
+                            engine, prec, &q, &t, &b62(), aff(), mode, 8, &mut st,
+                        );
+                        if got.saturated {
+                            continue;
+                        }
+                        assert_eq!(
+                            got.score, want,
+                            "{mode:?} {engine:?} {prec:?} round {round} m={lm} n={ln}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_modes_i8_saturates_or_matches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let (lm, ln) = (rng.gen_range(1..50), rng.gen_range(1..50));
+            let q: Vec<u8> = (0..lm).map(|_| rng.gen_range(0..20)).collect();
+            let t: Vec<u8> = (0..ln).map(|_| rng.gen_range(0..20)).collect();
+            for mode in [AlignMode::Global, AlignMode::SemiGlobal] {
+                let want = sw_scalar_mode(&q, &t, &b62(), aff(), mode).score;
+                let mut st = KernelStats::default();
+                let got = diag_mode_score(
+                    EngineKind::best(),
+                    Precision::I8,
+                    &q,
+                    &t,
+                    &b62(),
+                    aff(),
+                    mode,
+                    8,
+                    &mut st,
+                );
+                if !got.saturated {
+                    assert_eq!(got.score, want, "{mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_mode_score_is_exact() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let (lm, ln) = (rng.gen_range(50..200), rng.gen_range(50..200));
+            let q: Vec<u8> = (0..lm).map(|_| rng.gen_range(0..20)).collect();
+            let t: Vec<u8> = (0..ln).map(|_| rng.gen_range(0..20)).collect();
+            for mode in [AlignMode::Global, AlignMode::SemiGlobal] {
+                let want = sw_scalar_mode(&q, &t, &b62(), aff(), mode).score;
+                let mut st = KernelStats::default();
+                let (got, _) = adaptive_mode_score(
+                    EngineKind::best(), &q, &t, &b62(), aff(), mode, 8, &mut st,
+                );
+                assert_eq!(got, want, "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn global_traceback_spans_everything() {
+        let q = enc(b"ARNDCQEGHILKM");
+        let t = enc(b"ARNDCEGHILKMF");
+        let r = sw_scalar_mode_traceback(&q, &t, &b62(), aff(), AlignMode::Global);
+        let aln = r.alignment.unwrap();
+        assert_eq!(aln.query_start, 0);
+        assert_eq!(aln.query_end, q.len());
+        assert_eq!(aln.target_start, 0);
+        assert_eq!(aln.target_end, t.len());
+        assert_eq!(aln.rescore(&q, &t, &b62(), aff()), r.score);
+    }
+
+    #[test]
+    fn semiglobal_traceback_covers_query() {
+        let q = enc(b"CQEGHIL");
+        let t = enc(b"ARNDCQEGHILKMFP"); // query sits inside the target
+        let r = sw_scalar_mode_traceback(&q, &t, &b62(), aff(), AlignMode::SemiGlobal);
+        let aln = r.alignment.unwrap();
+        assert_eq!(aln.query_start, 0);
+        assert_eq!(aln.query_end, q.len());
+        assert!(aln.target_start > 0, "free leading target gap expected");
+        assert_eq!(aln.rescore(&q, &t, &b62(), aff()), r.score);
+        // Perfect interior match, no gap cost.
+        let want: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+        assert_eq!(r.score, want);
+    }
+
+    #[test]
+    fn empty_inputs_by_mode() {
+        let q = enc(b"ARN");
+        assert_eq!(
+            sw_scalar_mode(&q, &[], &b62(), aff(), AlignMode::Global).score,
+            -(11 + 1 + 1)
+        );
+        assert_eq!(
+            sw_scalar_mode(&[], &q, &b62(), aff(), AlignMode::SemiGlobal).score,
+            0
+        );
+        let mut st = KernelStats::default();
+        assert_eq!(
+            diag_mode_score(
+                EngineKind::best(), Precision::I32, &q, &[], &b62(), aff(),
+                AlignMode::Global, 8, &mut st,
+            )
+            .score,
+            -(11 + 1 + 1)
+        );
+    }
+}

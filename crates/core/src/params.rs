@@ -1,0 +1,377 @@
+//! Alignment parameters and result types.
+
+use std::sync::Arc;
+
+use swsimd_matrices::{ReorganizedMatrix, SubstitutionMatrix};
+
+/// Affine gap penalties, Parasail convention: the first residue of a gap
+/// costs `open`, each further residue `extend`; a gap of length `L`
+/// costs `open + (L-1)·extend`. Both are positive costs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GapPenalties {
+    /// Cost of the first gap residue.
+    pub open: i32,
+    /// Cost of each subsequent gap residue.
+    pub extend: i32,
+}
+
+impl GapPenalties {
+    /// The BLOSUM62 community default (11, 1).
+    pub const BLOSUM62_DEFAULT: GapPenalties = GapPenalties { open: 11, extend: 1 };
+
+    /// Construct, validating positivity and `extend <= open`.
+    pub fn new(open: i32, extend: i32) -> Self {
+        assert!(open > 0 && extend > 0, "gap penalties must be positive costs");
+        assert!(extend <= open, "extend > open makes affine gaps incoherent");
+        Self { open, extend }
+    }
+}
+
+/// Gap model: linear (every gap residue costs the same) or affine
+/// (opening is more expensive than extending) — the paper's Fig 7 axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GapModel {
+    /// Every gap residue costs `gap`.
+    Linear {
+        /// Per-residue gap cost (positive).
+        gap: i32,
+    },
+    /// Affine open/extend penalties (Eq. 1 of the paper).
+    Affine(GapPenalties),
+}
+
+impl GapModel {
+    /// Default affine model.
+    pub fn default_affine() -> Self {
+        GapModel::Affine(GapPenalties::BLOSUM62_DEFAULT)
+    }
+
+    /// Worst single-step penalty, used for precision bounds.
+    pub fn max_step_cost(&self) -> i32 {
+        match *self {
+            GapModel::Linear { gap } => gap,
+            GapModel::Affine(g) => g.open.max(g.extend),
+        }
+    }
+}
+
+/// How cells are scored — the paper's Fig 9 axis.
+#[derive(Clone)]
+pub enum Scoring {
+    /// Full substitution matrix (BLOSUM/PAM), reorganized for vector
+    /// access. Exercises the gather / LUT machinery.
+    Matrix(Arc<ReorganizedMatrix>),
+    /// Fixed match/mismatch scores ("without substitution matrix"):
+    /// scored with a vector compare + blend, no table traffic.
+    Fixed {
+        /// Score for identical residues (positive).
+        r#match: i32,
+        /// Score for differing residues (negative).
+        mismatch: i32,
+    },
+}
+
+impl Scoring {
+    /// Wrap a substitution matrix.
+    pub fn matrix(m: &SubstitutionMatrix) -> Self {
+        Scoring::Matrix(Arc::new(m.reorganized()))
+    }
+
+    /// The reorganized matrix, if this is matrix scoring.
+    pub fn as_matrix(&self) -> Option<&ReorganizedMatrix> {
+        match self {
+            Scoring::Matrix(m) => Some(m),
+            Scoring::Fixed { .. } => None,
+        }
+    }
+
+    /// Largest per-cell score gain, for 8-bit saturation bounds.
+    pub fn max_score(&self) -> i32 {
+        match self {
+            Scoring::Matrix(m) => m.max_score() as i32,
+            Scoring::Fixed { r#match, .. } => *r#match,
+        }
+    }
+
+    /// Score a residue-index pair (scalar reference path).
+    #[inline(always)]
+    pub fn score(&self, q: u8, r: u8) -> i32 {
+        match self {
+            Scoring::Matrix(m) => m.score(q, r) as i32,
+            Scoring::Fixed { r#match, mismatch } => {
+                if q == r {
+                    *r#match
+                } else {
+                    *mismatch
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Scoring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scoring::Matrix(m) => write!(f, "Scoring::Matrix({})", m.name()),
+            Scoring::Fixed { r#match, mismatch } => {
+                write!(f, "Scoring::Fixed({match}, {mismatch})", r#match = r#match, mismatch = mismatch)
+            }
+        }
+    }
+}
+
+/// Lane precision for the vector kernels — the paper's "variable (8/16)
+/// bit width implementation" (contribution iii).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 8-bit saturating lanes; fastest, scores cap at 127.
+    I8,
+    /// 16-bit saturating lanes.
+    I16,
+    /// 32-bit lanes; effectively unbounded for real sequences.
+    I32,
+    /// Start at 8-bit; on saturation rerun the pair at 16-bit, then
+    /// 32-bit (§IV-C: "the performance is now comparable").
+    Adaptive,
+}
+
+/// One alignment move for traceback paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Diagonal move: query and target residue aligned (match or sub).
+    Match,
+    /// Vertical move: query residue against a gap (insertion in query).
+    Insert,
+    /// Horizontal move: target residue against a gap (deletion from query).
+    Delete,
+}
+
+/// A full local alignment with path information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alignment {
+    /// 0-based inclusive start in the query.
+    pub query_start: usize,
+    /// 0-based exclusive end in the query.
+    pub query_end: usize,
+    /// 0-based inclusive start in the target.
+    pub target_start: usize,
+    /// 0-based exclusive end in the target.
+    pub target_end: usize,
+    /// Alignment operations from start to end.
+    pub ops: Vec<Op>,
+}
+
+impl Alignment {
+    /// Compact CIGAR string (`M`/`I`/`D` with run-length counts).
+    pub fn cigar(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut iter = self.ops.iter().peekable();
+        while let Some(&op) = iter.next() {
+            let mut run = 1usize;
+            while iter.peek() == Some(&&op) {
+                iter.next();
+                run += 1;
+            }
+            let c = match op {
+                Op::Match => 'M',
+                Op::Insert => 'I',
+                Op::Delete => 'D',
+            };
+            let _ = write!(out, "{run}{c}");
+        }
+        out
+    }
+
+    /// Number of aligned pairs (M ops).
+    pub fn matches(&self) -> usize {
+        self.ops.iter().filter(|&&o| o == Op::Match).count()
+    }
+
+    /// Total gap residues (I + D ops).
+    pub fn gap_residues(&self) -> usize {
+        self.ops.len() - self.matches()
+    }
+
+    /// Fraction of aligned pairs with identical residues, given the
+    /// encoded sequences. 0.0 for empty alignments.
+    pub fn identity(&self, query: &[u8], target: &[u8]) -> f64 {
+        let mut same = 0usize;
+        let mut pairs = 0usize;
+        let (mut qi, mut ti) = (self.query_start, self.target_start);
+        for &op in &self.ops {
+            match op {
+                Op::Match => {
+                    if query[qi] == target[ti] {
+                        same += 1;
+                    }
+                    pairs += 1;
+                    qi += 1;
+                    ti += 1;
+                }
+                Op::Insert => qi += 1,
+                Op::Delete => ti += 1,
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            same as f64 / pairs as f64
+        }
+    }
+
+    /// Recompute the alignment score against sequences and parameters —
+    /// the traceback validity oracle used by tests.
+    pub fn rescore(&self, query: &[u8], target: &[u8], scoring: &Scoring, gaps: GapModel) -> i32 {
+        let mut score = 0i32;
+        let mut qi = self.query_start;
+        let mut ti = self.target_start;
+        let mut prev: Option<Op> = None;
+        for &op in &self.ops {
+            match op {
+                Op::Match => {
+                    score += scoring.score(query[qi], target[ti]);
+                    qi += 1;
+                    ti += 1;
+                }
+                Op::Insert => {
+                    score -= gap_step_cost(gaps, prev == Some(Op::Insert));
+                    qi += 1;
+                }
+                Op::Delete => {
+                    score -= gap_step_cost(gaps, prev == Some(Op::Delete));
+                    ti += 1;
+                }
+            }
+            prev = Some(op);
+        }
+        debug_assert_eq!(qi, self.query_end);
+        debug_assert_eq!(ti, self.target_end);
+        score
+    }
+}
+
+fn gap_step_cost(gaps: GapModel, extending: bool) -> i32 {
+    match gaps {
+        GapModel::Linear { gap } => gap,
+        GapModel::Affine(g) => {
+            if extending {
+                g.extend
+            } else {
+                g.open
+            }
+        }
+    }
+}
+
+/// Result of one pairwise alignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlignResult {
+    /// The optimal local alignment score (≥ 0).
+    pub score: i32,
+    /// 0-based coordinates of the maximum cell (end of alignment), if
+    /// the kernel tracks positions (traceback or scalar reference).
+    pub end: Option<(usize, usize)>,
+    /// Full path, if traceback was requested.
+    pub alignment: Option<Alignment>,
+    /// Lane precision that produced the result (after any adaptive
+    /// promotion).
+    pub precision_used: Precision,
+}
+
+impl AlignResult {
+    /// A score-only result.
+    pub fn score_only(score: i32, precision_used: Precision) -> Self {
+        Self { score, end: None, alignment: None, precision_used }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swsimd_matrices::blosum62;
+
+    #[test]
+    fn gap_penalties_validate() {
+        let g = GapPenalties::new(11, 1);
+        assert_eq!(g.open, 11);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_gap_rejected() {
+        GapPenalties::new(-1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn extend_above_open_rejected() {
+        GapPenalties::new(1, 5);
+    }
+
+    #[test]
+    fn scoring_matrix_lookup() {
+        let s = Scoring::matrix(blosum62());
+        assert_eq!(s.score(0, 0), 4); // A vs A
+        assert_eq!(s.max_score(), 11);
+    }
+
+    #[test]
+    fn scoring_fixed_lookup() {
+        let s = Scoring::Fixed { r#match: 2, mismatch: -3 };
+        assert_eq!(s.score(5, 5), 2);
+        assert_eq!(s.score(5, 6), -3);
+    }
+
+    #[test]
+    fn cigar_compaction() {
+        let a = Alignment {
+            query_start: 0,
+            query_end: 4,
+            target_start: 0,
+            target_end: 3,
+            ops: vec![Op::Match, Op::Match, Op::Insert, Op::Insert, Op::Match],
+        };
+        assert_eq!(a.cigar(), "2M2I1M");
+    }
+
+    #[test]
+    fn rescore_affine_gap_run() {
+        // 2 matches (A vs A = 4 each), then a 2-long delete run.
+        let a = Alignment {
+            query_start: 0,
+            query_end: 2,
+            target_start: 0,
+            target_end: 4,
+            ops: vec![Op::Match, Op::Match, Op::Delete, Op::Delete],
+        };
+        let s = Scoring::matrix(blosum62());
+        let gaps = GapModel::Affine(GapPenalties::new(11, 1));
+        // 4 + 4 - 11 - 1
+        assert_eq!(a.rescore(&[0, 0], &[0, 0, 1, 1], &s, gaps), -4);
+    }
+
+    #[test]
+    fn alignment_quality_helpers() {
+        let a = Alignment {
+            query_start: 0,
+            query_end: 3,
+            target_start: 0,
+            target_end: 4,
+            ops: vec![Op::Match, Op::Match, Op::Delete, Op::Match],
+        };
+        assert_eq!(a.matches(), 3);
+        assert_eq!(a.gap_residues(), 1);
+        // q = AAB, t = AAXB (delete skips X); identities: A=A, A=A, B=B.
+        let id = a.identity(&[0, 0, 1], &[0, 0, 9, 1]);
+        assert!((id - 1.0).abs() < 1e-12);
+        let id2 = a.identity(&[0, 5, 1], &[0, 0, 9, 1]);
+        assert!((id2 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_step_cost() {
+        assert_eq!(GapModel::Linear { gap: 4 }.max_step_cost(), 4);
+        assert_eq!(GapModel::default_affine().max_step_cost(), 11);
+    }
+}

@@ -1,0 +1,344 @@
+//! Reference Smith-Waterman: a plain, full-matrix scalar implementation.
+//!
+//! This is the correctness oracle every vector kernel is tested against,
+//! and the "no vector extensions" baseline in the figure harness. It
+//! implements the paper's Eq. 1 recurrence with either gap model,
+//! optional traceback, and the exact tie-breaking rules the vector
+//! kernels use (priority F > E > diag, H forced to source "stop" when
+//! its value is zero), so paths — not just scores — are comparable.
+
+use crate::params::{AlignResult, Alignment, GapModel, Op, Precision, Scoring};
+
+/// Direction-code bits shared with the vector traceback kernel.
+pub(crate) mod dir {
+    /// Mask for the H-source field.
+    pub const H_MASK: i32 = 0b11;
+    /// H came from nowhere (cell value 0) — stop.
+    pub const H_ZERO: i32 = 0;
+    /// H came from the diagonal.
+    pub const H_DIAG: i32 = 1;
+    /// H came from E (horizontal gap state).
+    pub const H_E: i32 = 2;
+    /// H came from F (vertical gap state).
+    pub const H_F: i32 = 3;
+    /// E was an extension (came from E, not from H-open).
+    pub const E_EXT: i32 = 4;
+    /// F was an extension.
+    pub const F_EXT: i32 = 8;
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Score-only scalar Smith-Waterman. Returns the optimal local score
+/// and the coordinates of the first maximal cell in row-major order.
+pub fn sw_scalar(query: &[u8], target: &[u8], scoring: &Scoring, gaps: GapModel) -> AlignResult {
+    let (m, n) = (query.len(), target.len());
+    if m == 0 || n == 0 {
+        return AlignResult::score_only(0, Precision::I32);
+    }
+    let (go, ge) = open_extend(gaps);
+
+    // One rolling row of H and of the vertical gap state F (both indexed
+    // by j); the horizontal gap state E is carried along the row.
+    let mut h_row = vec![0i32; n + 1];
+    let mut f_row = vec![NEG; n + 1];
+    let mut best = 0i32;
+    let mut best_cell = (0usize, 0usize);
+
+    for i in 1..=m {
+        let mut h_diag = 0i32; // H(i-1, j-1)
+        let mut h_left = 0i32; // H(i, j-1); boundary H(i, 0) = 0
+        let mut e = NEG; // E(i, 0)
+        let qi = query[i - 1];
+        for j in 1..=n {
+            let s = scoring.score(qi, target[j - 1]);
+            // E(i,j) = max(E(i,j-1) - ge, H(i,j-1) - go)
+            e = (e - ge).max(h_left - go);
+            // F(i,j) = max(F(i-1,j) - ge, H(i-1,j) - go); h_row[j] still
+            // holds row i-1 here.
+            let f = (f_row[j] - ge).max(h_row[j] - go);
+            f_row[j] = f;
+            let h = 0.max(h_diag + s).max(e).max(f);
+            h_diag = h_row[j];
+            h_row[j] = h;
+            h_left = h;
+            if h > best {
+                best = h;
+                best_cell = (i, j);
+            }
+        }
+    }
+    AlignResult {
+        score: best,
+        end: Some((best_cell.0, best_cell.1)),
+        alignment: None,
+        precision_used: Precision::I32,
+    }
+}
+
+fn open_extend(gaps: GapModel) -> (i32, i32) {
+    match gaps {
+        GapModel::Linear { gap } => (gap, gap),
+        GapModel::Affine(g) => (g.open, g.extend),
+    }
+}
+
+/// Full scalar Smith-Waterman with traceback.
+///
+/// Stores an `m×n` byte matrix of direction codes (see [`dir`]) and
+/// walks it from the best cell.
+pub fn sw_scalar_traceback(
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+) -> AlignResult {
+    let (m, n) = (query.len(), target.len());
+    if m == 0 || n == 0 {
+        return AlignResult::score_only(0, Precision::I32);
+    }
+    let (go, ge) = open_extend(gaps);
+
+    let mut h_row = vec![0i32; n + 1];
+    let mut f_row = vec![NEG; n + 1];
+    let mut dirs = vec![0u8; m * n];
+    let mut best = 0i32;
+    let mut best_cell = (0usize, 0usize);
+
+    for i in 1..=m {
+        let mut h_diag = 0i32;
+        let mut h_left = 0i32;
+        let mut e = NEG;
+        let qi = query[i - 1];
+        for j in 1..=n {
+            let s = scoring.score(qi, target[j - 1]);
+            let e_ext = e - ge;
+            let e_open = h_left - go;
+            e = e_ext.max(e_open);
+            let f_ext = f_row[j] - ge;
+            let f_open = h_row[j] - go;
+            let f = f_ext.max(f_open);
+            f_row[j] = f;
+            let diag = h_diag + s;
+            let h = 0.max(diag).max(e).max(f);
+
+            // Same priority as the vector kernel: F > E > diag, zero last.
+            let mut code = dir::H_ZERO;
+            if h == diag {
+                code = dir::H_DIAG;
+            }
+            if h == e {
+                code = dir::H_E;
+            }
+            if h == f {
+                code = dir::H_F;
+            }
+            if h == 0 {
+                code = dir::H_ZERO;
+            }
+            if e_ext > e_open {
+                code |= dir::E_EXT;
+            }
+            if f_ext > f_open {
+                code |= dir::F_EXT;
+            }
+            dirs[(i - 1) * n + (j - 1)] = code as u8;
+
+            h_diag = h_row[j];
+            h_row[j] = h;
+            h_left = h;
+            if h > best {
+                best = h;
+                best_cell = (i, j);
+            }
+        }
+    }
+
+    let alignment = (best > 0).then(|| {
+        walk(&dirs, n, best_cell.0, best_cell.1)
+    });
+    AlignResult {
+        score: best,
+        end: Some(best_cell),
+        alignment,
+        precision_used: Precision::I32,
+    }
+}
+
+/// Walk a row-major direction matrix from cell `(i, j)` (1-based).
+pub(crate) fn walk(dirs: &[u8], n: usize, mut i: usize, mut j: usize) -> Alignment {
+    let (ie, je) = (i, j);
+    let mut ops = Vec::new();
+    /// Walker states: in H, or inside an E / F gap run.
+    #[derive(PartialEq, Clone, Copy)]
+    enum St {
+        H,
+        E,
+        F,
+    }
+    let mut st = St::H;
+    while i > 0 && j > 0 {
+        let code = dirs[(i - 1) * n + (j - 1)] as i32;
+        match st {
+            St::H => match code & dir::H_MASK {
+                dir::H_ZERO => break,
+                dir::H_DIAG => {
+                    ops.push(Op::Match);
+                    i -= 1;
+                    j -= 1;
+                }
+                dir::H_E => st = St::E,
+                _ => st = St::F,
+            },
+            St::E => {
+                ops.push(Op::Delete);
+                let ext = code & dir::E_EXT != 0;
+                j -= 1;
+                if !ext {
+                    st = St::H;
+                }
+            }
+            St::F => {
+                ops.push(Op::Insert);
+                let ext = code & dir::F_EXT != 0;
+                i -= 1;
+                if !ext {
+                    st = St::H;
+                }
+            }
+        }
+    }
+    ops.reverse();
+    Alignment { query_start: i, query_end: ie, target_start: j, target_end: je, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GapPenalties;
+    use swsimd_matrices::{blosum62, Alphabet};
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        Alphabet::protein().encode(s)
+    }
+
+    fn b62() -> Scoring {
+        Scoring::matrix(blosum62())
+    }
+
+    fn affine() -> GapModel {
+        GapModel::Affine(GapPenalties::new(11, 1))
+    }
+
+    #[test]
+    fn identical_sequences_score_sum_of_diagonal() {
+        let q = enc(b"ARNDCQEGHILKMFPSTWYV");
+        let r = sw_scalar(&q, &q, &b62(), affine());
+        let want: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+        assert_eq!(r.score, want);
+        assert_eq!(r.end, Some((20, 20)));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sw_scalar(&[], &[1, 2], &b62(), affine()).score, 0);
+        assert_eq!(sw_scalar(&[1], &[], &b62(), affine()).score, 0);
+        assert_eq!(sw_scalar_traceback(&[], &[], &b62(), affine()).score, 0);
+    }
+
+    #[test]
+    fn unrelated_sequences_zero_or_small() {
+        // P vs W scores -4; best local score of all-mismatch pair is 0.
+        let q = enc(b"PPPP");
+        let t = enc(b"WWWW");
+        assert_eq!(sw_scalar(&q, &t, &b62(), affine()).score, 0);
+    }
+
+    #[test]
+    fn known_small_alignment() {
+        // Classic textbook check with fixed scores, linear gaps:
+        // q=TGTTACGG t=GGTTGACTA, match=3 mismatch=-3 gap=2 → best 13.
+        let a = Alphabet::dna();
+        let q = a.encode(b"TGTTACGG");
+        let t = a.encode(b"GGTTGACTA");
+        let scoring = Scoring::Fixed { r#match: 3, mismatch: -3 };
+        let r = sw_scalar(&q, &t, &scoring, GapModel::Linear { gap: 2 });
+        assert_eq!(r.score, 13);
+    }
+
+    #[test]
+    fn traceback_score_matches_score_only() {
+        let q = enc(b"MKVLAADTWGHK");
+        let t = enc(b"MKVLADTWGHKRRR");
+        let a = sw_scalar(&q, &t, &b62(), affine());
+        let b = sw_scalar_traceback(&q, &t, &b62(), affine());
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.end, b.end);
+    }
+
+    #[test]
+    fn traceback_rescores_to_reported_score() {
+        let q = enc(b"MKVLAADTWGHKMKVLAADTWGHK");
+        let t = enc(b"MKVLADTWWGHKXMKVLAADTGHK");
+        let r = sw_scalar_traceback(&q, &t, &b62(), affine());
+        let aln = r.alignment.expect("positive score must have a path");
+        assert_eq!(aln.rescore(&q, &t, &b62(), affine()), r.score);
+    }
+
+    #[test]
+    fn traceback_with_gap() {
+        // Force a deletion: query matches target with 3 residues missing.
+        let q = enc(b"ARNDCQEGHILKMFPSTWYV");
+        let mut t_raw = b"ARNDCQEGHILKMFPSTWYV".to_vec();
+        t_raw.splice(10..10, b"GGG".iter().copied());
+        let t = enc(&t_raw);
+        let r = sw_scalar_traceback(&q, &t, &b62(), affine());
+        let aln = r.alignment.unwrap();
+        assert!(aln.ops.contains(&Op::Delete), "cigar {}", aln.cigar());
+        assert_eq!(aln.rescore(&q, &t, &b62(), affine()), r.score);
+    }
+
+    #[test]
+    fn traceback_with_insertion() {
+        let mut q_raw = b"ARNDCQEGHILKMFPSTWYV".to_vec();
+        q_raw.splice(8..8, b"WW".iter().copied());
+        let q = enc(&q_raw);
+        let t = enc(b"ARNDCQEGHILKMFPSTWYV");
+        let r = sw_scalar_traceback(&q, &t, &b62(), affine());
+        let aln = r.alignment.unwrap();
+        assert!(aln.ops.contains(&Op::Insert), "cigar {}", aln.cigar());
+        assert_eq!(aln.rescore(&q, &t, &b62(), affine()), r.score);
+    }
+
+    #[test]
+    fn linear_vs_affine_ordering() {
+        // With gap=extend, linear gaps are never worse than affine.
+        let q = enc(b"MKVLAADTWGHKAAA");
+        let t = enc(b"MKVDTWGHKAAA");
+        let lin = sw_scalar(&q, &t, &b62(), GapModel::Linear { gap: 1 }).score;
+        let aff = sw_scalar(&q, &t, &b62(), GapModel::Affine(GapPenalties::new(11, 1))).score;
+        assert!(lin >= aff, "linear {lin} < affine {aff}");
+    }
+
+    #[test]
+    fn score_is_nonnegative_and_monotone_in_match_bonus() {
+        let q = enc(b"MKV");
+        let t = enc(b"WWW");
+        for mm in [-10, -3, -1] {
+            let s = Scoring::Fixed { r#match: 5, mismatch: mm };
+            let r = sw_scalar(&q, &t, &s, affine());
+            assert!(r.score >= 0);
+        }
+    }
+
+    #[test]
+    fn local_alignment_ignores_flanks() {
+        // The common core should dominate regardless of junk flanks.
+        let core = b"DTWGHKMKVL";
+        let q = enc(&[b"PPPP".as_ref(), core, b"CCCC".as_ref()].concat());
+        let t = enc(&[b"WWWW".as_ref(), core, b"HHHH".as_ref()].concat());
+        let just_core = sw_scalar(&enc(core), &enc(core), &b62(), affine()).score;
+        let flanked = sw_scalar(&q, &t, &b62(), affine()).score;
+        assert!(flanked >= just_core);
+    }
+}

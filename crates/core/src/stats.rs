@@ -1,0 +1,115 @@
+//! Kernel operation counters.
+//!
+//! Kernels increment these as they run (per diagonal / per vector step,
+//! so the overhead is a few scalar adds per 32+ cells). The counters
+//! drive `swsimd-perf`'s top-down pipeline model — the repo's stand-in
+//! for the paper's VTune analysis (Fig 12) — and the segment-padding
+//! census backing the §III-B "roughly 15%" claim.
+
+/// Operation counts accumulated across one or more alignments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Logical DP cells computed (the GCUPS numerator).
+    pub cells: u64,
+    /// Cells computed inside vector lanes, including masked padding lanes.
+    pub vector_lane_slots: u64,
+    /// Cells computed by the short-segment scalar fallback (Fig 3).
+    pub scalar_cells: u64,
+    /// Vector lanes that were masked off (zero-padding of ragged tails).
+    pub padded_lanes: u64,
+    /// Anti-diagonals processed.
+    pub diagonals: u64,
+    /// Inner vector iterations.
+    pub vector_steps: u64,
+    /// Hardware gather instructions issued.
+    pub gather_ops: u64,
+    /// Emulated (scalar-loop) gathers — the missing 8-bit gather.
+    pub emulated_gathers: u64,
+    /// Shuffle/LUT score lookups (`vpshufb`/`vpermb` path, Fig 5).
+    pub lut_ops: u64,
+    /// Vector loads issued by the kernel proper.
+    pub vector_loads: u64,
+    /// Vector stores issued by the kernel proper.
+    pub vector_stores: u64,
+    /// Speculation-correction loop iterations (striped/scan baselines
+    /// only; always zero for the deterministic diagonal kernel).
+    pub correction_loops: u64,
+    /// Adaptive-precision reruns (8-bit saturated, promoted to 16/32).
+    pub promotions: u64,
+    /// Traceback direction bytes written.
+    pub traceback_cells: u64,
+}
+
+impl KernelStats {
+    /// Fold another stats block into this one.
+    pub fn merge(&mut self, o: &KernelStats) {
+        self.cells += o.cells;
+        self.vector_lane_slots += o.vector_lane_slots;
+        self.scalar_cells += o.scalar_cells;
+        self.padded_lanes += o.padded_lanes;
+        self.diagonals += o.diagonals;
+        self.vector_steps += o.vector_steps;
+        self.gather_ops += o.gather_ops;
+        self.emulated_gathers += o.emulated_gathers;
+        self.lut_ops += o.lut_ops;
+        self.vector_loads += o.vector_loads;
+        self.vector_stores += o.vector_stores;
+        self.correction_loops += o.correction_loops;
+        self.promotions += o.promotions;
+        self.traceback_cells += o.traceback_cells;
+    }
+
+    /// Fraction of vector lane slots that were padding — the quantity
+    /// the paper bounds at "roughly around 15%" (§III-B).
+    pub fn padding_fraction(&self) -> f64 {
+        if self.vector_lane_slots == 0 {
+            0.0
+        } else {
+            self.padded_lanes as f64 / self.vector_lane_slots as f64
+        }
+    }
+
+    /// Fraction of cells handled by the scalar fallback.
+    pub fn scalar_fraction(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.scalar_cells as f64 / self.cells as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds() {
+        let mut a = KernelStats { cells: 10, gather_ops: 2, ..Default::default() };
+        let b = KernelStats { cells: 5, gather_ops: 1, promotions: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cells, 15);
+        assert_eq!(a.gather_ops, 3);
+        assert_eq!(a.promotions, 1);
+    }
+
+    #[test]
+    fn fractions() {
+        let s = KernelStats {
+            cells: 100,
+            scalar_cells: 20,
+            vector_lane_slots: 96,
+            padded_lanes: 16,
+            ..Default::default()
+        };
+        assert!((s.padding_fraction() - 16.0 / 96.0).abs() < 1e-12);
+        assert!((s.scalar_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let s = KernelStats::default();
+        assert_eq!(s.padding_fraction(), 0.0);
+        assert_eq!(s.scalar_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Residue alphabets and byte-level encoding.
+//!
+//! The paper (§III-C) reorganizes the substitution matrix so that each row
+//! holds 32 residue columns — the 20 amino acids, the ambiguity codes
+//! (B, Z, X), the stop `*`, and padding entries for "characters that don't
+//! represent an amino acid". 32 signed bytes fit exactly in one 256-bit
+//! AVX2 register, so a full row is a single vector load.
+
+/// Number of residue columns in the reorganized (padded) alphabet.
+///
+/// Chosen so one matrix row of `i8` scores is exactly one AVX2 register
+/// (and half an AVX-512 register).
+pub const PADDED_ALPHABET: usize = 32;
+
+/// The canonical 24-letter protein alphabet in NCBI matrix order.
+pub const PROTEIN_LETTERS: &[u8; 24] = b"ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// Index of the unknown/any residue `X` in [`PROTEIN_LETTERS`].
+pub const X_INDEX: u8 = 22;
+
+/// Index reserved for batch padding.
+///
+/// Database batches that do not fill all vector lanes are padded with this
+/// residue; its substitution score against everything is strongly negative
+/// so a local alignment can never extend into padding (see
+/// `swsimd-seq::batch`).
+pub const PAD_INDEX: u8 = 31;
+
+/// The 4-letter nucleotide alphabet plus `N`.
+pub const DNA_LETTERS: &[u8; 5] = b"ACGTN";
+
+/// A residue alphabet: a mapping between ASCII bytes and small dense
+/// indices suitable for substitution-matrix lookup.
+#[derive(Clone)]
+pub struct Alphabet {
+    letters: Vec<u8>,
+    /// `encode_table[b]` is the index for ASCII byte `b` (case-insensitive),
+    /// or `unknown` if the byte is not a residue.
+    encode_table: [u8; 256],
+    unknown: u8,
+}
+
+impl Alphabet {
+    /// Build an alphabet from an ordered list of residue letters.
+    ///
+    /// `unknown` is the index assigned to bytes outside the alphabet
+    /// (and must itself be a valid index).
+    pub fn new(letters: &[u8], unknown: u8) -> Self {
+        assert!(
+            (unknown as usize) < letters.len(),
+            "unknown index {unknown} out of range for {}-letter alphabet",
+            letters.len()
+        );
+        assert!(
+            letters.len() <= PADDED_ALPHABET,
+            "alphabet larger than the padded width"
+        );
+        let mut encode_table = [unknown; 256];
+        for (i, &c) in letters.iter().enumerate() {
+            encode_table[c.to_ascii_uppercase() as usize] = i as u8;
+            encode_table[c.to_ascii_lowercase() as usize] = i as u8;
+        }
+        Self { letters: letters.to_vec(), encode_table, unknown }
+    }
+
+    /// The standard 24-letter protein alphabet (NCBI order), unknowns map
+    /// to `X`.
+    pub fn protein() -> Self {
+        Self::new(PROTEIN_LETTERS, X_INDEX)
+    }
+
+    /// The 5-letter DNA alphabet, unknowns map to `N`.
+    pub fn dna() -> Self {
+        Self::new(DNA_LETTERS, 4)
+    }
+
+    /// Number of real (unpadded) residues.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// True if the alphabet has no residues (never the case for the
+    /// built-in alphabets).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// Index used for unknown input bytes.
+    #[inline]
+    pub fn unknown(&self) -> u8 {
+        self.unknown
+    }
+
+    /// The ordered residue letters.
+    #[inline]
+    pub fn letters(&self) -> &[u8] {
+        &self.letters
+    }
+
+    /// Encode one ASCII byte to its residue index.
+    #[inline(always)]
+    pub fn encode_byte(&self, b: u8) -> u8 {
+        self.encode_table[b as usize]
+    }
+
+    /// Decode a residue index back to its ASCII letter.
+    ///
+    /// Padding and out-of-range indices decode to `'?'`.
+    #[inline]
+    pub fn decode_index(&self, idx: u8) -> u8 {
+        self.letters.get(idx as usize).copied().unwrap_or(b'?')
+    }
+
+    /// Encode an ASCII sequence into residue indices.
+    pub fn encode(&self, seq: &[u8]) -> Vec<u8> {
+        seq.iter().map(|&b| self.encode_byte(b)).collect()
+    }
+
+    /// Encode into a caller-provided buffer (cleared first). Useful for
+    /// workhorse buffers in hot paths.
+    pub fn encode_into(&self, seq: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(seq.len());
+        out.extend(seq.iter().map(|&b| self.encode_byte(b)));
+    }
+
+    /// Decode residue indices back into ASCII letters.
+    pub fn decode(&self, idx: &[u8]) -> Vec<u8> {
+        idx.iter().map(|&i| self.decode_index(i)).collect()
+    }
+
+    /// True if the byte is a letter of this alphabet (not mapped to
+    /// unknown by fallback).
+    pub fn contains_byte(&self, b: u8) -> bool {
+        let up = b.to_ascii_uppercase();
+        self.letters.contains(&up)
+    }
+}
+
+impl std::fmt::Debug for Alphabet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Alphabet({}, unknown={})",
+            String::from_utf8_lossy(&self.letters),
+            self.letters[self.unknown as usize] as char
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protein_roundtrip() {
+        let a = Alphabet::protein();
+        assert_eq!(a.len(), 24);
+        for (i, &c) in PROTEIN_LETTERS.iter().enumerate() {
+            assert_eq!(a.encode_byte(c), i as u8);
+            assert_eq!(a.decode_index(i as u8), c);
+        }
+    }
+
+    #[test]
+    fn lowercase_maps_like_uppercase() {
+        let a = Alphabet::protein();
+        for &c in PROTEIN_LETTERS.iter() {
+            assert_eq!(a.encode_byte(c.to_ascii_lowercase()), a.encode_byte(c));
+        }
+    }
+
+    #[test]
+    fn unknown_bytes_map_to_x() {
+        let a = Alphabet::protein();
+        assert_eq!(a.encode_byte(b'J'), X_INDEX);
+        assert_eq!(a.encode_byte(b'1'), X_INDEX);
+        assert_eq!(a.encode_byte(b' '), X_INDEX);
+        assert_eq!(a.encode_byte(0), X_INDEX);
+        assert_eq!(a.encode_byte(255), X_INDEX);
+    }
+
+    #[test]
+    fn dna_alphabet() {
+        let a = Alphabet::dna();
+        assert_eq!(a.encode(b"ACGTacgt"), vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(a.encode_byte(b'R'), 4); // ambiguity -> N
+    }
+
+    #[test]
+    fn encode_decode_sequence() {
+        let a = Alphabet::protein();
+        let seq = b"MKVLAADTW*";
+        let enc = a.encode(seq);
+        assert_eq!(a.decode(&enc), seq.to_vec());
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer() {
+        let a = Alphabet::protein();
+        let mut buf = Vec::with_capacity(64);
+        a.encode_into(b"ARND", &mut buf);
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        a.encode_into(b"C", &mut buf);
+        assert_eq!(buf, vec![4]);
+    }
+
+    #[test]
+    fn contains_byte() {
+        let a = Alphabet::protein();
+        assert!(a.contains_byte(b'A'));
+        assert!(a.contains_byte(b'w'));
+        assert!(!a.contains_byte(b'J'));
+        assert!(!a.contains_byte(b'?'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_out_of_range_panics() {
+        let _ = Alphabet::new(b"ACGT", 9);
+    }
+
+    #[test]
+    fn decode_padding_is_question_mark() {
+        let a = Alphabet::protein();
+        assert_eq!(a.decode_index(PAD_INDEX), b'?');
+    }
+}

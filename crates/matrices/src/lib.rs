@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # swsimd-matrices
+//!
+//! Substitution matrices for the swsimd workspace: the standard BLOSUM
+//! and PAM families (transcribed from the NCBI distributions), DNA
+//! match/mismatch matrices, an NCBI-format parser, the paper's
+//! reorganized 32-column vector layout (§III-C, Fig 4), and query
+//! profiles (sequential and Farrar-striped).
+//!
+//! ```
+//! use swsimd_matrices::blosum62;
+//!
+//! let m = blosum62();
+//! assert_eq!(m.score(b'W', b'W'), 11);
+//! let reorg = m.reorganized();
+//! // Each row of the reorganized matrix is one AVX2 load:
+//! assert_eq!(reorg.row8(0).len(), 32);
+//! ```
+
+pub mod alphabet;
+pub mod matrix;
+pub mod parser;
+pub mod profile;
+pub mod reorganized;
+
+pub use alphabet::{Alphabet, DNA_LETTERS, PADDED_ALPHABET, PAD_INDEX, PROTEIN_LETTERS, X_INDEX};
+pub use matrix::{
+    blosum45, blosum50, blosum62, blosum80, blosum90, by_name, pam120, pam250, pam30, pam70,
+    SubstitutionMatrix, BUILTIN_NAMES,
+};
+pub use parser::{parse_ncbi, to_ncbi_text, ParseError};
+pub use profile::{ProfileElem, QueryProfile, StripedProfile};
+pub use reorganized::{ReorganizedMatrix, PAD_SCORE};

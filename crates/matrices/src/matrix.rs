@@ -1,0 +1,255 @@
+//! The substitution matrix type and the built-in matrix catalog.
+
+use std::sync::OnceLock;
+
+use crate::alphabet::Alphabet;
+use crate::parser::parse_ncbi;
+use crate::reorganized::ReorganizedMatrix;
+
+/// A residue substitution matrix (e.g. BLOSUM62) in its natural, dense
+/// row-major form, addressed by residue index.
+///
+/// This is the "logical" matrix; kernels use [`ReorganizedMatrix`] (the
+/// paper's 32-column layout, §III-C) obtained via
+/// [`SubstitutionMatrix::reorganized`].
+#[derive(Clone)]
+pub struct SubstitutionMatrix {
+    name: String,
+    alphabet: Alphabet,
+    /// `scores[r * n + c]`, `n = alphabet.len()`.
+    scores: Vec<i8>,
+    min_score: i8,
+    max_score: i8,
+}
+
+impl SubstitutionMatrix {
+    /// Build from an alphabet and a dense `n*n` row-major score table.
+    pub fn from_raw(name: &str, alphabet: Alphabet, scores: Vec<i8>) -> Self {
+        let n = alphabet.len();
+        assert_eq!(scores.len(), n * n, "score table must be {n}x{n}");
+        let min_score = scores.iter().copied().min().unwrap_or(0);
+        let max_score = scores.iter().copied().max().unwrap_or(0);
+        Self { name: name.to_string(), alphabet, scores, min_score, max_score }
+    }
+
+    /// Build a uniform match/mismatch matrix over an alphabet — the
+    /// paper's "fixed alignment scores" configuration (Fig 9 contrast).
+    ///
+    /// Every identical residue pair scores `match_score`, every differing
+    /// pair `mismatch_score`. The unknown residue mismatches everything,
+    /// including itself.
+    pub fn match_mismatch(
+        name: &str,
+        alphabet: Alphabet,
+        match_score: i8,
+        mismatch_score: i8,
+    ) -> Self {
+        let n = alphabet.len();
+        let unk = alphabet.unknown() as usize;
+        let mut scores = vec![mismatch_score; n * n];
+        for i in 0..n {
+            if i != unk {
+                scores[i * n + i] = match_score;
+            }
+        }
+        Self::from_raw(name, alphabet, scores)
+    }
+
+    /// Human-readable matrix name ("BLOSUM62", ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The residue alphabet this matrix is indexed by.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Score for two residue *indices* (not ASCII bytes).
+    #[inline(always)]
+    pub fn score_by_index(&self, a: u8, b: u8) -> i8 {
+        let n = self.alphabet.len();
+        self.scores[a as usize * n + b as usize]
+    }
+
+    /// Score for two ASCII residue letters.
+    #[inline]
+    pub fn score(&self, a: u8, b: u8) -> i8 {
+        self.score_by_index(self.alphabet.encode_byte(a), self.alphabet.encode_byte(b))
+    }
+
+    /// One row of the matrix, by residue index.
+    pub fn row(&self, a: u8) -> &[i8] {
+        let n = self.alphabet.len();
+        &self.scores[a as usize * n..(a as usize + 1) * n]
+    }
+
+    /// Smallest score in the matrix.
+    pub fn min_score(&self) -> i8 {
+        self.min_score
+    }
+
+    /// Largest score in the matrix (the best possible per-cell gain; used
+    /// for 8-bit saturation bounds).
+    pub fn max_score(&self) -> i8 {
+        self.max_score
+    }
+
+    /// True if `scores[a][b] == scores[b][a]` for all pairs.
+    pub fn is_symmetric(&self) -> bool {
+        let n = self.alphabet.len();
+        (0..n).all(|a| (0..n).all(|b| self.scores[a * n + b] == self.scores[b * n + a]))
+    }
+
+    /// The paper's reorganized 32-column layout (§III-C, Fig 4): rows
+    /// padded to [`crate::alphabet::PADDED_ALPHABET`] columns so each row
+    /// is one 256-bit load, with extra rows for non-residue characters
+    /// and a poisoned padding row/column for batch padding.
+    pub fn reorganized(&self) -> ReorganizedMatrix {
+        ReorganizedMatrix::new(self)
+    }
+}
+
+impl std::fmt::Debug for SubstitutionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SubstitutionMatrix({}, {}x{}, scores {}..={})",
+            self.name,
+            self.alphabet.len(),
+            self.alphabet.len(),
+            self.min_score,
+            self.max_score
+        )
+    }
+}
+
+macro_rules! builtin {
+    ($fn_name:ident, $static_name:ident, $pretty:literal, $file:literal) => {
+        /// Built-in matrix, parsed once on first use from embedded NCBI data.
+        pub fn $fn_name() -> &'static SubstitutionMatrix {
+            static M: OnceLock<SubstitutionMatrix> = OnceLock::new();
+            M.get_or_init(|| {
+                parse_ncbi($pretty, include_str!(concat!("data/", $file)))
+                    .unwrap_or_else(|e| panic!("embedded {} is invalid: {e}", $pretty))
+            })
+        }
+    };
+}
+
+builtin!(blosum45, BLOSUM45, "BLOSUM45", "blosum45.txt");
+builtin!(blosum50, BLOSUM50, "BLOSUM50", "blosum50.txt");
+builtin!(blosum62, BLOSUM62, "BLOSUM62", "blosum62.txt");
+builtin!(blosum80, BLOSUM80, "BLOSUM80", "blosum80.txt");
+builtin!(blosum90, BLOSUM90, "BLOSUM90", "blosum90.txt");
+builtin!(pam30, PAM30, "PAM30", "pam30.txt");
+builtin!(pam70, PAM70, "PAM70", "pam70.txt");
+builtin!(pam120, PAM120, "PAM120", "pam120.txt");
+builtin!(pam250, PAM250, "PAM250", "pam250.txt");
+
+/// Look up a built-in matrix by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<&'static SubstitutionMatrix> {
+    match name.to_ascii_uppercase().as_str() {
+        "BLOSUM45" => Some(blosum45()),
+        "BLOSUM50" => Some(blosum50()),
+        "BLOSUM62" => Some(blosum62()),
+        "BLOSUM80" => Some(blosum80()),
+        "BLOSUM90" => Some(blosum90()),
+        "PAM30" => Some(pam30()),
+        "PAM70" => Some(pam70()),
+        "PAM120" => Some(pam120()),
+        "PAM250" => Some(pam250()),
+        _ => None,
+    }
+}
+
+/// Names of all built-in matrices.
+pub const BUILTIN_NAMES: [&str; 9] = [
+    "BLOSUM45", "BLOSUM50", "BLOSUM62", "BLOSUM80", "BLOSUM90", "PAM30", "PAM70", "PAM120",
+    "PAM250",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtins_parse_and_are_symmetric() {
+        for name in BUILTIN_NAMES {
+            let m = by_name(name).unwrap();
+            assert_eq!(m.alphabet().len(), 24, "{name}");
+            assert!(m.is_symmetric(), "{name} is not symmetric");
+        }
+    }
+
+    #[test]
+    fn blosum62_spot_checks() {
+        let m = blosum62();
+        assert_eq!(m.score(b'A', b'A'), 4);
+        assert_eq!(m.score(b'W', b'W'), 11);
+        assert_eq!(m.score(b'A', b'R'), -1);
+        assert_eq!(m.score(b'L', b'I'), 2);
+        assert_eq!(m.score(b'*', b'*'), 1);
+        assert_eq!(m.score(b'A', b'*'), -4);
+    }
+
+    #[test]
+    fn diagonal_dominance_for_real_residues() {
+        // Self-match must be the row maximum among the 20 standard amino
+        // acids for every BLOSUM matrix.
+        for name in ["BLOSUM45", "BLOSUM50", "BLOSUM62", "BLOSUM80", "BLOSUM90"] {
+            let m = by_name(name).unwrap();
+            for a in 0..20u8 {
+                let diag = m.score_by_index(a, a);
+                for b in 0..20u8 {
+                    assert!(
+                        m.score_by_index(a, b) <= diag,
+                        "{name}: S[{a},{b}] > S[{a},{a}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn positive_diagonal() {
+        for name in BUILTIN_NAMES {
+            let m = by_name(name).unwrap();
+            for a in 0..20u8 {
+                assert!(m.score_by_index(a, a) > 0, "{name}: S[{a},{a}] <= 0");
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_consistent() {
+        let m = blosum62();
+        assert_eq!(m.min_score(), -4);
+        assert_eq!(m.max_score(), 11);
+    }
+
+    #[test]
+    fn match_mismatch_matrix() {
+        let m = SubstitutionMatrix::match_mismatch("dna", Alphabet::dna(), 2, -3);
+        assert_eq!(m.score(b'A', b'A'), 2);
+        assert_eq!(m.score(b'A', b'C'), -3);
+        // N (unknown) mismatches itself.
+        assert_eq!(m.score(b'N', b'N'), -3);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn row_access() {
+        let m = blosum62();
+        let row_a = m.row(0);
+        assert_eq!(row_a.len(), 24);
+        assert_eq!(row_a[0], 4);
+    }
+
+    #[test]
+    fn by_name_case_insensitive() {
+        assert!(by_name("blosum62").is_some());
+        assert!(by_name("Pam250").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

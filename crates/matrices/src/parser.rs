@@ -1,0 +1,265 @@
+//! Parser for NCBI-format substitution matrix files.
+//!
+//! The format is the one shipped with BLAST and Parasail: `#` comment
+//! lines, then a header line listing the column residues, then one row
+//! per residue beginning with its letter.
+
+use crate::alphabet::Alphabet;
+use crate::matrix::SubstitutionMatrix;
+
+/// Errors produced while parsing a matrix file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No header line with column letters was found.
+    MissingHeader,
+    /// A row listed a residue missing from the header, or vice versa.
+    RowColumnMismatch {
+        /// The row's residue letter.
+        row: char,
+        /// Scores expected (header width).
+        expected: usize,
+        /// Scores found.
+        got: usize,
+    },
+    /// A score failed to parse as an integer in `i8` range.
+    BadScore {
+        /// The row's residue letter.
+        row: char,
+        /// Zero-based column of the bad token.
+        col: usize,
+        /// The token that failed to parse.
+        token: String,
+    },
+    /// Two rows started with the same residue letter.
+    DuplicateRow(char),
+    /// The matrix had no rows.
+    Empty,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing matrix header line"),
+            ParseError::RowColumnMismatch { row, expected, got } => {
+                write!(f, "row '{row}': expected {expected} scores, got {got}")
+            }
+            ParseError::BadScore { row, col, token } => {
+                write!(f, "row '{row}' column {col}: bad score '{token}'")
+            }
+            ParseError::DuplicateRow(c) => write!(f, "duplicate row '{c}'"),
+            ParseError::Empty => write!(f, "matrix has no rows"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse an NCBI-format matrix from text.
+///
+/// The returned matrix uses an alphabet whose residue order is the file's
+/// header order, with unknown bytes mapped to `X` if present (else to the
+/// last residue).
+pub fn parse_ncbi(name: &str, text: &str) -> Result<SubstitutionMatrix, ParseError> {
+    let mut header: Option<Vec<u8>> = None;
+    let mut rows: Vec<(u8, Vec<i8>)> = Vec::new();
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match &header {
+            None => {
+                let cols: Vec<u8> = line
+                    .split_whitespace()
+                    .filter_map(|t| {
+                        let b = t.as_bytes();
+                        (b.len() == 1).then(|| b[0])
+                    })
+                    .collect();
+                if cols.is_empty() {
+                    return Err(ParseError::MissingHeader);
+                }
+                header = Some(cols);
+            }
+            Some(cols) => {
+                let mut it = line.split_whitespace();
+                let row_letter = match it.next() {
+                    Some(t) if t.len() == 1 => t.as_bytes()[0],
+                    _ => return Err(ParseError::MissingHeader),
+                };
+                if rows.iter().any(|(r, _)| *r == row_letter) {
+                    return Err(ParseError::DuplicateRow(row_letter as char));
+                }
+                let mut scores = Vec::with_capacity(cols.len());
+                for (col, tok) in it.enumerate() {
+                    let v: i8 = tok.parse().map_err(|_| ParseError::BadScore {
+                        row: row_letter as char,
+                        col,
+                        token: tok.to_string(),
+                    })?;
+                    scores.push(v);
+                }
+                if scores.len() != cols.len() {
+                    return Err(ParseError::RowColumnMismatch {
+                        row: row_letter as char,
+                        expected: cols.len(),
+                        got: scores.len(),
+                    });
+                }
+                rows.push((row_letter, scores));
+            }
+        }
+    }
+
+    let header = header.ok_or(ParseError::MissingHeader)?;
+    if rows.is_empty() {
+        return Err(ParseError::Empty);
+    }
+
+    // Assemble in header order; rows may appear in any order in the file.
+    let n = header.len();
+    let mut scores = vec![0i8; n * n];
+    for (letter, row_scores) in &rows {
+        let Some(ri) = header.iter().position(|c| c == letter) else {
+            return Err(ParseError::RowColumnMismatch {
+                row: *letter as char,
+                expected: n,
+                got: 0,
+            });
+        };
+        if row_scores.len() != n {
+            return Err(ParseError::RowColumnMismatch {
+                row: *letter as char,
+                expected: n,
+                got: row_scores.len(),
+            });
+        }
+        scores[ri * n..(ri + 1) * n].copy_from_slice(row_scores);
+    }
+
+    let unknown = header
+        .iter()
+        .position(|&c| c == b'X')
+        .unwrap_or(n - 1) as u8;
+    let alphabet = Alphabet::new(&header, unknown);
+    Ok(SubstitutionMatrix::from_raw(name, alphabet, scores))
+}
+
+/// Serialize a matrix back to NCBI text format (used by tests and the
+/// `matrix_dump` example).
+pub fn to_ncbi_text(m: &SubstitutionMatrix) -> String {
+    use std::fmt::Write as _;
+    let letters = m.alphabet().letters().to_vec();
+    let n = letters.len();
+    let mut out = String::new();
+    out.push_str("  ");
+    for &c in &letters {
+        let _ = write!(out, " {:>3}", c as char);
+    }
+    out.push('\n');
+    for (ri, &r) in letters.iter().enumerate() {
+        let _ = write!(out, "{:<2}", r as char);
+        for ci in 0..n {
+            let _ = write!(out, " {:>3}", m.score_by_index(ri as u8, ci as u8));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "\
+# tiny test matrix
+   A C G T
+A  2 -1 -1 -1
+C -1  2 -1 -1
+G -1 -1  2 -1
+T -1 -1 -1  2
+";
+
+    #[test]
+    fn parses_tiny_matrix() {
+        let m = parse_ncbi("tiny", TINY).unwrap();
+        assert_eq!(m.alphabet().len(), 4);
+        assert_eq!(m.score(b'A', b'A'), 2);
+        assert_eq!(m.score(b'A', b'C'), -1);
+        assert_eq!(m.score(b'G', b'G'), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = format!("\n# c1\n\n{TINY}\n# trailing\n");
+        assert!(parse_ncbi("tiny", &text).is_ok());
+    }
+
+    #[test]
+    fn row_count_mismatch_rejected() {
+        let bad = "   A C\nA 1 2\nC 1\n";
+        match parse_ncbi("bad", bad) {
+            Err(ParseError::RowColumnMismatch { row: 'C', expected: 2, got: 1 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_score_rejected() {
+        let bad = "   A C\nA 1 x\nC 1 2\n";
+        assert!(matches!(parse_ncbi("bad", bad), Err(ParseError::BadScore { .. })));
+    }
+
+    #[test]
+    fn duplicate_row_rejected() {
+        let bad = "   A C\nA 1 2\nA 1 2\n";
+        assert!(matches!(parse_ncbi("bad", bad), Err(ParseError::DuplicateRow('A'))));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(parse_ncbi("bad", "# only comments\n"), Err(ParseError::MissingHeader)));
+        assert!(matches!(parse_ncbi("bad", "   A C\n"), Err(ParseError::Empty)));
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let m = parse_ncbi("tiny", TINY).unwrap();
+        let text = to_ncbi_text(&m);
+        let m2 = parse_ncbi("tiny2", &text).unwrap();
+        for a in [b'A', b'C', b'G', b'T'] {
+            for b in [b'A', b'C', b'G', b'T'] {
+                assert_eq!(m.score(a, b), m2.score(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn all_builtins_roundtrip_through_text() {
+        for name in crate::matrix::BUILTIN_NAMES {
+            let m = crate::matrix::by_name(name).unwrap();
+            let text = to_ncbi_text(m);
+            let back = parse_ncbi(name, &text).unwrap();
+            let n = m.alphabet().len() as u8;
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(
+                        m.score_by_index(a, b),
+                        back.score_by_index(a, b),
+                        "{name} [{a},{b}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_in_any_order() {
+        let shuffled = "   A C\nC 3 4\nA 1 2\n";
+        let m = parse_ncbi("s", shuffled).unwrap();
+        assert_eq!(m.score(b'A', b'A'), 1);
+        assert_eq!(m.score(b'C', b'A'), 3);
+        assert_eq!(m.score(b'C', b'C'), 4);
+    }
+}

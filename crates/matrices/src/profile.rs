@@ -1,0 +1,239 @@
+//! Query profiles (§III-C).
+//!
+//! A query profile trades the per-cell matrix lookup `S[q[i], r]` for a
+//! precomputed table `P[r][i]` built once per query: for each possible
+//! database residue `r`, the scores against every query position `i` lie
+//! consecutively in memory. This is the paper's fix for the missing 8-bit
+//! gather — score vectors become plain contiguous loads.
+//!
+//! Two layouts are provided:
+//!
+//! * [`QueryProfile`] — row-per-residue, sequential in `i`. Used by the
+//!   scan baseline and by the diagonal kernel's scratch interleaving.
+//! * [`StripedProfile`] — Farrar's striped layout (query positions
+//!   interleaved across vector segments). Used by the striped baseline.
+
+use crate::alphabet::PADDED_ALPHABET;
+use crate::reorganized::ReorganizedMatrix;
+
+/// Profile element: a signed score type profiles can be widened to.
+pub trait ProfileElem: Copy + Default + PartialEq + std::fmt::Debug + 'static {
+    /// Widen an `i8` matrix score.
+    fn from_i8(v: i8) -> Self;
+    /// Bias applied when the kernel runs on unsigned arithmetic
+    /// (Farrar's 8-bit trick); zero for signed kernels.
+    fn zero() -> Self {
+        Self::default()
+    }
+}
+
+impl ProfileElem for i8 {
+    #[inline(always)]
+    fn from_i8(v: i8) -> Self {
+        v
+    }
+}
+impl ProfileElem for i16 {
+    #[inline(always)]
+    fn from_i8(v: i8) -> Self {
+        v as i16
+    }
+}
+impl ProfileElem for i32 {
+    #[inline(always)]
+    fn from_i8(v: i8) -> Self {
+        v as i32
+    }
+}
+
+/// Sequential query profile: `row(r)[i] == S[q[i], r]`.
+///
+/// Rows are padded to a multiple of `pad_to` elements with `pad_value` so
+/// kernels can over-read a full vector at the tail.
+pub struct QueryProfile<T> {
+    data: Vec<T>,
+    stride: usize,
+    query_len: usize,
+}
+
+impl<T: ProfileElem> QueryProfile<T> {
+    /// Build a profile from an *encoded* query and a reorganized matrix.
+    ///
+    /// `pad_to` is the vector width in elements (use the kernel's lane
+    /// count); `pad_value` should be the poisoned padding score.
+    pub fn build(query: &[u8], matrix: &ReorganizedMatrix, pad_to: usize, pad_value: i8) -> Self {
+        assert!(pad_to > 0);
+        let stride = query.len().div_ceil(pad_to.max(1)).max(1) * pad_to;
+        let mut data = vec![T::from_i8(pad_value); stride * PADDED_ALPHABET];
+        for (r, chunk) in data.chunks_exact_mut(stride).enumerate() {
+            for (i, &q) in query.iter().enumerate() {
+                chunk[i] = T::from_i8(matrix.score(q, r as u8));
+            }
+        }
+        Self { data, stride, query_len: query.len() }
+    }
+
+    /// Scores of db residue `r` against all query positions (padded row).
+    #[inline(always)]
+    pub fn row(&self, r: u8) -> &[T] {
+        let s = r as usize * self.stride;
+        &self.data[s..s + self.stride]
+    }
+
+    /// Padded row length (multiple of the vector width).
+    #[inline(always)]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Unpadded query length.
+    #[inline(always)]
+    pub fn query_len(&self) -> usize {
+        self.query_len
+    }
+}
+
+/// Farrar striped profile.
+///
+/// The query is split into `segments = ceil(m / lanes)` segments; vector
+/// `v` of residue row `r` holds scores for query positions
+/// `v, v + segments, v + 2*segments, ...` — one per lane. See Farrar 2007.
+pub struct StripedProfile<T> {
+    data: Vec<T>,
+    lanes: usize,
+    segments: usize,
+    query_len: usize,
+}
+
+impl<T: ProfileElem> StripedProfile<T> {
+    /// Build a striped profile for a kernel with `lanes` vector lanes.
+    ///
+    /// Positions past the query end are filled with `pad_value` (use 0 for
+    /// the classic Farrar biasing, or the poison score for signed kernels).
+    pub fn build(query: &[u8], matrix: &ReorganizedMatrix, lanes: usize, pad_value: i8) -> Self {
+        assert!(lanes > 0);
+        let segments = query.len().div_ceil(lanes).max(1);
+        let row_len = segments * lanes;
+        let mut data = vec![T::from_i8(pad_value); row_len * PADDED_ALPHABET];
+        for r in 0..PADDED_ALPHABET {
+            let row = &mut data[r * row_len..(r + 1) * row_len];
+            for seg in 0..segments {
+                for lane in 0..lanes {
+                    let qpos = seg + lane * segments;
+                    if qpos < query.len() {
+                        row[seg * lanes + lane] = T::from_i8(matrix.score(query[qpos], r as u8));
+                    }
+                }
+            }
+        }
+        Self { data, lanes, segments, query_len: query.len() }
+    }
+
+    /// The striped row for db residue `r`: `segments` consecutive vectors
+    /// of `lanes` elements each.
+    #[inline(always)]
+    pub fn row(&self, r: u8) -> &[T] {
+        let row_len = self.segments * self.lanes;
+        let s = r as usize * row_len;
+        &self.data[s..s + row_len]
+    }
+
+    /// Vector lane count the profile was striped for.
+    #[inline(always)]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of vector segments per row.
+    #[inline(always)]
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Unpadded query length.
+    #[inline(always)]
+    pub fn query_len(&self) -> usize {
+        self.query_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::blosum62;
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        blosum62().alphabet().encode(s)
+    }
+
+    #[test]
+    fn sequential_profile_matches_matrix() {
+        let m = blosum62();
+        let r = m.reorganized();
+        let q = enc(b"MKVLAW");
+        let p: QueryProfile<i16> = QueryProfile::build(&q, &r, 8, -64);
+        for res in 0..24u8 {
+            for (i, &qi) in q.iter().enumerate() {
+                assert_eq!(p.row(res)[i], m.score_by_index(qi, res) as i16);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_profile_padding() {
+        let r = blosum62().reorganized();
+        let q = enc(b"MKV");
+        let p: QueryProfile<i8> = QueryProfile::build(&q, &r, 16, -64);
+        assert_eq!(p.stride(), 16);
+        for res in 0..32u8 {
+            for i in 3..16 {
+                assert_eq!(p.row(res)[i], -64, "residue {res} pos {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn striped_profile_matches_matrix() {
+        let m = blosum62();
+        let r = m.reorganized();
+        let q = enc(b"ARNDCQEGHILKM"); // 13 residues
+        let lanes = 4;
+        let p: StripedProfile<i16> = StripedProfile::build(&q, &r, lanes, 0);
+        assert_eq!(p.segments(), 4); // ceil(13/4)
+        for res in 0..24u8 {
+            let row = p.row(res);
+            for seg in 0..p.segments() {
+                for lane in 0..lanes {
+                    let qpos = seg + lane * p.segments();
+                    let got = row[seg * lanes + lane];
+                    if qpos < q.len() {
+                        assert_eq!(got, m.score_by_index(q[qpos], res) as i16);
+                    } else {
+                        assert_eq!(got, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_profiles() {
+        let r = blosum62().reorganized();
+        let p: QueryProfile<i8> = QueryProfile::build(&[], &r, 8, 0);
+        assert_eq!(p.query_len(), 0);
+        assert_eq!(p.stride(), 8);
+        let sp: StripedProfile<i8> = StripedProfile::build(&[], &r, 8, 0);
+        assert_eq!(sp.segments(), 1);
+    }
+
+    #[test]
+    fn i32_profile_widens() {
+        let r = blosum62().reorganized();
+        let q = enc(b"WW");
+        let p: QueryProfile<i32> = QueryProfile::build(&q, &r, 4, -64);
+        // W vs W scores 11 in BLOSUM62.
+        let w = blosum62().alphabet().encode_byte(b'W');
+        assert_eq!(p.row(w)[0], 11);
+        assert_eq!(p.row(w)[1], 11);
+    }
+}

@@ -1,0 +1,204 @@
+//! The paper's reorganized substitution-matrix layout (§III-C, Fig 4).
+//!
+//! The matrix is padded to 32 rows × 32 columns of `i8`:
+//!
+//! * each **row is exactly 32 bytes** — one AVX2 register, half an
+//!   AVX-512 register — so a full row of scores is a single vector load
+//!   (used by the shuffle/LUT scoring path, Fig 5);
+//! * a **flat 1024-entry table** indexed by `q * 32 + r` supports the
+//!   AVX2 `gather` path: the lane index is computed as
+//!   `query_index << 5 | db_index` with shifts instead of multiplies
+//!   (Fig 4 "index calculation");
+//! * the table is replicated at **`i16` and `i32`** element widths because
+//!   Intel gathers exist only for 32/64-bit elements (and the paper notes
+//!   the 8-bit degradation this causes, motivating the query profile);
+//! * **padding rows/columns are poisoned** with a strongly negative score
+//!   so batch-padding residues (index 31) can never take part in a local
+//!   alignment.
+
+use crate::alphabet::{Alphabet, PADDED_ALPHABET, PAD_INDEX};
+use crate::matrix::SubstitutionMatrix;
+
+/// Score assigned to any pairing that involves a padding index.
+///
+/// Chosen so that `i16`/`i32` kernels can still add it without wrapping
+/// (it saturates naturally in `i8` kernels) while guaranteeing the cell
+/// score clamps to zero in local alignment.
+pub const PAD_SCORE: i8 = -64;
+
+/// A substitution matrix reorganized for vector access.
+#[derive(Clone)]
+pub struct ReorganizedMatrix {
+    name: String,
+    alphabet: Alphabet,
+    /// Flat `32*32` i8 table, row-major: `flat8[q * 32 + r]`.
+    flat8: Box<[i8; PADDED_ALPHABET * PADDED_ALPHABET]>,
+    /// Same scores widened to i16, plus two guard elements so vectorized
+    /// 16-bit gathers (synthesized from dword gathers) never read past
+    /// the allocation.
+    flat16: Box<[i16; PADDED_ALPHABET * PADDED_ALPHABET + 2]>,
+    /// Same scores widened to i32 (for `vpgatherdd`).
+    flat32: Box<[i32; PADDED_ALPHABET * PADDED_ALPHABET]>,
+    min_score: i8,
+    max_score: i8,
+}
+
+impl ReorganizedMatrix {
+    /// Reorganize a logical matrix into the padded vector layout.
+    pub fn new(m: &SubstitutionMatrix) -> Self {
+        let n = m.alphabet().len();
+        assert!(n <= PADDED_ALPHABET);
+        let mut flat8 = Box::new([PAD_SCORE; PADDED_ALPHABET * PADDED_ALPHABET]);
+        for q in 0..n {
+            for r in 0..n {
+                flat8[q * PADDED_ALPHABET + r] = m.score_by_index(q as u8, r as u8);
+            }
+        }
+        // Poison every pairing involving the dedicated padding index, even
+        // if the source alphabet were 32 residues wide.
+        for i in 0..PADDED_ALPHABET {
+            flat8[PAD_INDEX as usize * PADDED_ALPHABET + i] = PAD_SCORE;
+            flat8[i * PADDED_ALPHABET + PAD_INDEX as usize] = PAD_SCORE;
+        }
+        let mut flat16 = Box::new([0i16; PADDED_ALPHABET * PADDED_ALPHABET + 2]);
+        let mut flat32 = Box::new([0i32; PADDED_ALPHABET * PADDED_ALPHABET]);
+        for i in 0..PADDED_ALPHABET * PADDED_ALPHABET {
+            flat16[i] = flat8[i] as i16;
+            flat32[i] = flat8[i] as i32;
+        }
+        Self {
+            name: m.name().to_string(),
+            alphabet: m.alphabet().clone(),
+            flat8,
+            flat16,
+            flat32,
+            min_score: m.min_score().min(PAD_SCORE),
+            max_score: m.max_score(),
+        }
+    }
+
+    /// Matrix name, inherited from the source matrix.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The residue alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Flat gather index for a (query residue, db residue) pair — the
+    /// paper's Fig 4 index computation.
+    #[inline(always)]
+    pub fn gather_index(q: u8, r: u8) -> usize {
+        ((q as usize) << 5) | (r as usize & 31)
+    }
+
+    /// Score lookup through the flat table.
+    #[inline(always)]
+    pub fn score(&self, q: u8, r: u8) -> i8 {
+        self.flat8[Self::gather_index(q, r)]
+    }
+
+    /// One 32-byte row: scores of query residue `q` against every padded
+    /// db residue. Exactly one AVX2 load.
+    #[inline(always)]
+    pub fn row8(&self, q: u8) -> &[i8; PADDED_ALPHABET] {
+        let start = (q as usize) << 5;
+        self.flat8[start..start + PADDED_ALPHABET].try_into().unwrap()
+    }
+
+    /// The full flat i8 table (`32*32`).
+    #[inline(always)]
+    pub fn flat8(&self) -> &[i8; PADDED_ALPHABET * PADDED_ALPHABET] {
+        &self.flat8
+    }
+
+    /// The full flat i16 table (with two trailing guard elements).
+    #[inline(always)]
+    pub fn flat16(&self) -> &[i16; PADDED_ALPHABET * PADDED_ALPHABET + 2] {
+        &self.flat16
+    }
+
+    /// The full flat i32 table (gather target).
+    #[inline(always)]
+    pub fn flat32(&self) -> &[i32; PADDED_ALPHABET * PADDED_ALPHABET] {
+        &self.flat32
+    }
+
+    /// Smallest score in the padded table (includes [`PAD_SCORE`]).
+    pub fn min_score(&self) -> i8 {
+        self.min_score
+    }
+
+    /// Largest score in the padded table.
+    pub fn max_score(&self) -> i8 {
+        self.max_score
+    }
+}
+
+impl std::fmt::Debug for ReorganizedMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReorganizedMatrix({}, 32x32)", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::blosum62;
+
+    #[test]
+    fn row_is_32_bytes() {
+        let r = blosum62().reorganized();
+        assert_eq!(r.row8(0).len(), 32);
+        assert_eq!(std::mem::size_of_val(r.row8(0)), 32);
+    }
+
+    #[test]
+    fn matches_source_matrix() {
+        let m = blosum62();
+        let r = m.reorganized();
+        for q in 0..24u8 {
+            for c in 0..24u8 {
+                assert_eq!(r.score(q, c), m.score_by_index(q, c));
+                assert_eq!(r.flat16()[ReorganizedMatrix::gather_index(q, c)], m.score_by_index(q, c) as i16);
+                assert_eq!(r.flat32()[ReorganizedMatrix::gather_index(q, c)], m.score_by_index(q, c) as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn padding_is_poisoned() {
+        let r = blosum62().reorganized();
+        for i in 0..32u8 {
+            assert_eq!(r.score(PAD_INDEX, i), PAD_SCORE);
+            assert_eq!(r.score(i, PAD_INDEX), PAD_SCORE);
+        }
+        // Padded columns beyond the 24-letter alphabet are poisoned too.
+        for q in 0..24u8 {
+            for c in 24..32u8 {
+                assert_eq!(r.score(q, c), PAD_SCORE);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_index_layout() {
+        assert_eq!(ReorganizedMatrix::gather_index(0, 0), 0);
+        assert_eq!(ReorganizedMatrix::gather_index(1, 0), 32);
+        assert_eq!(ReorganizedMatrix::gather_index(2, 5), 69);
+        assert_eq!(ReorganizedMatrix::gather_index(31, 31), 1023);
+    }
+
+    #[test]
+    fn row_equals_flat_slice() {
+        let r = blosum62().reorganized();
+        for q in 0..32u8 {
+            let row = r.row8(q);
+            for c in 0..32u8 {
+                assert_eq!(row[c as usize], r.score(q, c));
+            }
+        }
+    }
+}

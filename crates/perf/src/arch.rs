@@ -1,0 +1,293 @@
+//! Architecture profiles for the paper's five-machine testbed.
+//!
+//! The paper measured on Haswell E5-2660 v3, Broadwell E5-2680 v4,
+//! Skylake Gold 6132, Cascade Lake Gold 6242 and (for memory analysis)
+//! Alder Lake i9-12900HK. This repo runs on one machine; these profiles
+//! capture the *published* parameters of each part — base/turbo
+//! frequency as a function of active cores, AVX licence offsets, issue
+//! width, gather cost, cache sizes — so measured single-machine results
+//! can be re-scaled per architecture and the cross-architecture figure
+//! shapes reproduced (DESIGN.md §2, substitution 2).
+//!
+//! Frequency tables follow Intel's published per-active-core turbo
+//! bins; AVX-512 offsets for Skylake-SP/Cascade Lake are the documented
+//! licence-based downclocks that flatten the Fig 6 comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier for a modeled microarchitecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchId {
+    /// Intel Xeon E5-2660 v3 (Haswell, 2014).
+    HaswellE52660,
+    /// Intel Xeon E5-2680 v4 (Broadwell, 2016).
+    BroadwellE52680,
+    /// Intel Xeon Gold 6132 (Skylake-SP, 2017).
+    SkylakeGold6132,
+    /// Intel Xeon Gold 6242 (Cascade Lake, 2019).
+    CascadeLakeGold6242,
+    /// Intel Core i9-12900HK (Alder Lake, 2022; P-cores modeled).
+    AlderLakeI912900HK,
+}
+
+impl ArchId {
+    /// All modeled architectures, oldest first.
+    pub const ALL: [ArchId; 5] = [
+        ArchId::HaswellE52660,
+        ArchId::BroadwellE52680,
+        ArchId::SkylakeGold6132,
+        ArchId::CascadeLakeGold6242,
+        ArchId::AlderLakeI912900HK,
+    ];
+
+    /// Short display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchId::HaswellE52660 => "Haswell",
+            ArchId::BroadwellE52680 => "Broadwell",
+            ArchId::SkylakeGold6132 => "Skylake",
+            ArchId::CascadeLakeGold6242 => "Cascadelake",
+            ArchId::AlderLakeI912900HK => "Alderlake",
+        }
+    }
+}
+
+impl std::fmt::Display for ArchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Published microarchitectural parameters of one part.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ArchProfile {
+    /// Which part this is.
+    pub id: ArchId,
+    /// Full marketing name.
+    pub model: &'static str,
+    /// Physical cores per socket.
+    pub cores: usize,
+    /// SMT ways per core (2 = Hyper-Threading).
+    pub smt: usize,
+    /// Base frequency in GHz.
+    pub base_ghz: f64,
+    /// Max single-core turbo in GHz (SSE licence).
+    pub max_turbo_ghz: f64,
+    /// All-core turbo in GHz (SSE licence).
+    pub all_core_turbo_ghz: f64,
+    /// Frequency penalty factor under heavy AVX2 (multiplier ≤ 1).
+    pub avx2_factor: f64,
+    /// Frequency penalty factor under heavy AVX-512 (multiplier ≤ 1;
+    /// 1.0 where AVX-512 is absent).
+    pub avx512_factor: f64,
+    /// True if the part executes AVX-512.
+    pub has_avx512: bool,
+    /// Number of 256-bit FMA/ALU vector ports usable by integer SIMD.
+    pub vec_ports: f64,
+    /// Pipeline issue width (slots/cycle) for top-down accounting.
+    pub issue_width: f64,
+    /// Approximate reciprocal throughput of `vpgatherdd` (cycles per
+    /// 8-lane gather) — Haswell's gather is microcoded and slow.
+    pub gather_rtp: f64,
+    /// L2 size per core, KiB.
+    pub l2_kib: usize,
+    /// Shared L3 size, MiB.
+    pub l3_mib: usize,
+    /// Sustained per-socket memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+}
+
+impl ArchProfile {
+    /// Profile for one of the paper's machines.
+    pub fn get(id: ArchId) -> &'static ArchProfile {
+        &PROFILES[ArchId::ALL.iter().position(|&a| a == id).unwrap()]
+    }
+
+    /// SSE-licence frequency with `active` cores busy: linear
+    /// interpolation between single-core max turbo and all-core turbo —
+    /// the droop the paper's microbenchmark measured (§IV-E).
+    pub fn freq_at(&self, active: usize) -> f64 {
+        let active = active.clamp(1, self.cores) as f64;
+        if self.cores == 1 {
+            return self.max_turbo_ghz;
+        }
+        let t = (active - 1.0) / (self.cores as f64 - 1.0);
+        self.max_turbo_ghz + t * (self.all_core_turbo_ghz - self.max_turbo_ghz)
+    }
+
+    /// Frequency under a vector licence with `active` cores busy.
+    pub fn freq_at_licence(&self, active: usize, licence: VectorLicence) -> f64 {
+        let f = self.freq_at(active);
+        match licence {
+            VectorLicence::Sse => f,
+            VectorLicence::Avx2 => f * self.avx2_factor,
+            VectorLicence::Avx512 => f * self.avx512_factor,
+        }
+    }
+
+    /// Logical CPUs (cores × SMT).
+    pub fn logical_cpus(&self) -> usize {
+        self.cores * self.smt
+    }
+}
+
+/// Frequency licence classes (Intel's AVX frequency levels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VectorLicence {
+    /// Scalar / SSE / light AVX.
+    Sse,
+    /// Heavy 256-bit.
+    Avx2,
+    /// Heavy 512-bit.
+    Avx512,
+}
+
+static PROFILES: [ArchProfile; 5] = [
+    ArchProfile {
+        id: ArchId::HaswellE52660,
+        model: "Intel Xeon E5-2660 v3 (Haswell)",
+        cores: 10,
+        smt: 2,
+        base_ghz: 2.6,
+        max_turbo_ghz: 3.3,
+        all_core_turbo_ghz: 2.9,
+        avx2_factor: 0.90,
+        avx512_factor: 1.0,
+        has_avx512: false,
+        vec_ports: 2.0,
+        issue_width: 4.0,
+        gather_rtp: 12.0,
+        l2_kib: 256,
+        l3_mib: 25,
+        mem_bw_gbs: 68.0,
+    },
+    ArchProfile {
+        id: ArchId::BroadwellE52680,
+        model: "Intel Xeon E5-2680 v4 (Broadwell)",
+        cores: 14,
+        smt: 2,
+        base_ghz: 2.4,
+        max_turbo_ghz: 3.3,
+        all_core_turbo_ghz: 2.9,
+        avx2_factor: 0.92,
+        avx512_factor: 1.0,
+        has_avx512: false,
+        vec_ports: 2.0,
+        issue_width: 4.0,
+        gather_rtp: 7.0,
+        l2_kib: 256,
+        l3_mib: 35,
+        mem_bw_gbs: 77.0,
+    },
+    ArchProfile {
+        id: ArchId::SkylakeGold6132,
+        model: "Intel Xeon Gold 6132 (Skylake-SP)",
+        cores: 14,
+        smt: 2,
+        base_ghz: 2.6,
+        max_turbo_ghz: 3.7,
+        all_core_turbo_ghz: 3.0,
+        avx2_factor: 0.92,
+        avx512_factor: 0.80,
+        has_avx512: true,
+        vec_ports: 2.0,
+        issue_width: 4.0,
+        gather_rtp: 5.0,
+        l2_kib: 1024,
+        l3_mib: 19,
+        mem_bw_gbs: 115.0,
+    },
+    ArchProfile {
+        id: ArchId::CascadeLakeGold6242,
+        model: "Intel Xeon Gold 6242 (Cascade Lake)",
+        cores: 16,
+        smt: 2,
+        base_ghz: 2.8,
+        max_turbo_ghz: 3.9,
+        all_core_turbo_ghz: 3.3,
+        avx2_factor: 0.93,
+        avx512_factor: 0.83,
+        has_avx512: true,
+        vec_ports: 2.0,
+        issue_width: 4.0,
+        gather_rtp: 5.0,
+        l2_kib: 1024,
+        l3_mib: 22,
+        mem_bw_gbs: 131.0,
+    },
+    ArchProfile {
+        id: ArchId::AlderLakeI912900HK,
+        model: "Intel Core i9-12900HK (Alder Lake, P-cores)",
+        cores: 6,
+        smt: 2,
+        base_ghz: 2.5,
+        max_turbo_ghz: 5.0,
+        all_core_turbo_ghz: 4.4,
+        avx2_factor: 0.95,
+        avx512_factor: 1.0,
+        has_avx512: false,
+        vec_ports: 3.0,
+        issue_width: 6.0,
+        gather_rtp: 4.0,
+        l2_kib: 1280,
+        l3_mib: 24,
+        mem_bw_gbs: 76.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_resolve() {
+        for id in ArchId::ALL {
+            let p = ArchProfile::get(id);
+            assert_eq!(p.id, id);
+            assert!(p.base_ghz > 1.0 && p.max_turbo_ghz >= p.base_ghz);
+            assert!(p.all_core_turbo_ghz <= p.max_turbo_ghz);
+            assert!(p.avx2_factor <= 1.0 && p.avx512_factor <= 1.0);
+        }
+    }
+
+    #[test]
+    fn frequency_droops_with_active_cores() {
+        for id in ArchId::ALL {
+            let p = ArchProfile::get(id);
+            let f1 = p.freq_at(1);
+            let fall = p.freq_at(p.cores);
+            assert!(fall < f1, "{id}: {fall} !< {f1}");
+            assert_eq!(fall, p.all_core_turbo_ghz);
+            // Monotone non-increasing.
+            let mut prev = f1;
+            for c in 2..=p.cores {
+                let f = p.freq_at(c);
+                assert!(f <= prev + 1e-12);
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn avx512_licence_slower_than_avx2_on_skylake() {
+        let p = ArchProfile::get(ArchId::SkylakeGold6132);
+        let a2 = p.freq_at_licence(p.cores, VectorLicence::Avx2);
+        let a5 = p.freq_at_licence(p.cores, VectorLicence::Avx512);
+        assert!(a5 < a2);
+    }
+
+    #[test]
+    fn only_sky_cascade_have_avx512() {
+        assert!(ArchProfile::get(ArchId::SkylakeGold6132).has_avx512);
+        assert!(ArchProfile::get(ArchId::CascadeLakeGold6242).has_avx512);
+        assert!(!ArchProfile::get(ArchId::HaswellE52660).has_avx512);
+        assert!(!ArchProfile::get(ArchId::AlderLakeI912900HK).has_avx512);
+    }
+
+    #[test]
+    fn active_core_clamping() {
+        let p = ArchProfile::get(ArchId::HaswellE52660);
+        assert_eq!(p.freq_at(0), p.freq_at(1));
+        assert_eq!(p.freq_at(999), p.freq_at(p.cores));
+    }
+}

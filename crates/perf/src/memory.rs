@@ -1,0 +1,172 @@
+//! Working-set analysis — the paper's "Memory and Microarchitecture
+//! Analysis" contribution.
+//!
+//! The diagonal kernel's hot state is seven rolling buffers of query
+//! length plus the reorganized matrix and index arrays; the batch
+//! kernel's is two vector arrays of query length plus the current
+//! database column. This module sizes those working sets against each
+//! architecture's cache hierarchy and answers the paper's §I question —
+//! *"has SW transitioned from being compute-bound to memory-bound?"* —
+//! the same way the paper does: for realistic protein queries the
+//! working set is cache-resident, so SW stays CPU bound (§IV-E/F).
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::ArchProfile;
+
+/// Which level of the hierarchy a working set fits in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CacheLevel {
+    /// Fits in L1D (32-48 KiB on the modeled parts).
+    L1,
+    /// Fits in the per-core L2.
+    L2,
+    /// Fits in the shared L3.
+    L3,
+    /// Spills to DRAM.
+    Memory,
+}
+
+impl std::fmt::Display for CacheLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CacheLevel::L1 => "L1",
+            CacheLevel::L2 => "L2",
+            CacheLevel::L3 => "L3",
+            CacheLevel::Memory => "DRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Sized working set of one kernel configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkingSet {
+    /// Hot bytes touched per DP step's steady state.
+    pub bytes: usize,
+    /// Level it fits in on the given architecture.
+    pub level: CacheLevel,
+}
+
+/// L1D size assumed for every modeled part (KiB). (All five parts have
+/// 32 KiB except Alder Lake P-cores at 48; we use the conservative 32.)
+pub const L1D_KIB: usize = 32;
+
+fn classify(arch: &ArchProfile, bytes: usize) -> CacheLevel {
+    if bytes <= L1D_KIB * 1024 {
+        CacheLevel::L1
+    } else if bytes <= arch.l2_kib * 1024 {
+        CacheLevel::L2
+    } else if bytes <= arch.l3_mib * 1024 * 1024 {
+        CacheLevel::L3
+    } else {
+        CacheLevel::Memory
+    }
+}
+
+/// Working set of the diagonal kernel (score-only) for a query of
+/// `query_len` residues at `elem_bytes` lane width.
+///
+/// Seven rolling buffers (H×3, E×2, F×2) of `m+2+lanes` elements, the
+/// padded query/reversed-target index bytes (target counted at one
+/// streaming cache line, since it is consumed sequentially), and the
+/// 1 KiB reorganized matrix + its widened twin.
+pub fn diag_working_set(arch: &ArchProfile, query_len: usize, elem_bytes: usize, lanes: usize) -> WorkingSet {
+    let buf = (query_len + 2 + lanes) * elem_bytes;
+    let bytes = 7 * buf          // rolling DP state
+        + (query_len + lanes)    // query indices
+        + 64                     // streaming window of the target
+        + 1024 + 1024 * elem_bytes.min(2); // flat matrix tables
+    WorkingSet { bytes, level: classify(arch, bytes) }
+}
+
+/// Working set of the traceback variant: adds the O(m·n) direction
+/// matrix, which is what actually grows with the database sequence.
+pub fn traceback_working_set(
+    arch: &ArchProfile,
+    query_len: usize,
+    target_len: usize,
+    elem_bytes: usize,
+    lanes: usize,
+) -> WorkingSet {
+    let base = diag_working_set(arch, query_len, elem_bytes, lanes).bytes;
+    let bytes = base + query_len * target_len * elem_bytes;
+    WorkingSet { bytes, level: classify(arch, bytes) }
+}
+
+/// Working set of the 8-bit batch kernel: H and E vector arrays of
+/// query length (one vector per position) plus the transposed column.
+pub fn batch_working_set(arch: &ArchProfile, query_len: usize, lanes: usize) -> WorkingSet {
+    let bytes = 2 * (query_len + 1) * lanes + lanes + 1024;
+    WorkingSet { bytes, level: classify(arch, bytes) }
+}
+
+/// The paper's question, answered per configuration: memory-bound only
+/// if the steady-state working set spills past L2 (DRAM-resident DP
+/// state would flip the kernel to bandwidth-limited).
+pub fn is_memory_bound(ws: &WorkingSet) -> bool {
+    ws.level > CacheLevel::L2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchId;
+
+    fn sky() -> &'static ArchProfile {
+        ArchProfile::get(ArchId::SkylakeGold6132)
+    }
+
+    #[test]
+    fn typical_protein_queries_are_l1_resident() {
+        // Median Swiss-Prot query (~290 aa) at 16-bit: well inside L1.
+        let ws = diag_working_set(sky(), 290, 2, 16);
+        assert_eq!(ws.level, CacheLevel::L1, "{ws:?}");
+        assert!(!is_memory_bound(&ws));
+    }
+
+    #[test]
+    fn even_titin_stays_on_chip() {
+        // The longest real protein (~34k aa) still fits L2 on Skylake —
+        // the paper's "SW remains CPU bound" conclusion.
+        let ws = diag_working_set(sky(), 34_000, 2, 16);
+        assert!(ws.level <= CacheLevel::L2, "{ws:?}");
+        assert!(!is_memory_bound(&ws));
+    }
+
+    #[test]
+    fn traceback_matrices_do_spill() {
+        // 2k x 8k traceback at 16-bit = 32 MB: past L3 → the memory
+        // pressure Fig 8 flirts with.
+        let ws = traceback_working_set(sky(), 2_000, 8_000, 2, 16);
+        assert_eq!(ws.level, CacheLevel::Memory);
+        assert!(is_memory_bound(&ws));
+        // A Scenario-3-sized traceback stays cached.
+        let small = traceback_working_set(sky(), 100, 400, 2, 16);
+        assert!(small.level <= CacheLevel::L2);
+    }
+
+    #[test]
+    fn batch_kernel_scales_with_lanes() {
+        let narrow = batch_working_set(sky(), 500, 16);
+        let wide = batch_working_set(sky(), 500, 64);
+        assert!(wide.bytes > narrow.bytes);
+        assert!(narrow.level <= CacheLevel::L2);
+    }
+
+    #[test]
+    fn levels_order() {
+        assert!(CacheLevel::L1 < CacheLevel::L2);
+        assert!(CacheLevel::L3 < CacheLevel::Memory);
+    }
+
+    #[test]
+    fn classification_respects_arch_sizes() {
+        // Haswell's 256 KiB L2 vs Skylake's 1 MiB: a ~600 KiB set is L2
+        // on Skylake, L3 on Haswell.
+        let has = ArchProfile::get(ArchId::HaswellE52660);
+        let ws_sky = diag_working_set(sky(), 40_000, 2, 16);
+        let ws_has = diag_working_set(has, 40_000, 2, 16);
+        assert!(ws_has.level > ws_sky.level, "{ws_has:?} vs {ws_sky:?}");
+    }
+}

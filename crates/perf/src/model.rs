@@ -1,0 +1,147 @@
+//! Analytic throughput model: predicts GCUPS per architecture and
+//! re-scales single-machine measurements across the paper's testbed
+//! (DESIGN.md substitution 2).
+//!
+//! The model is deliberately simple — frequency × lanes ÷ critical-path
+//! cycles per vector step — because the paper's cross-architecture
+//! *shapes* (AVX-512 ≈ AVX2 on Skylake/Cascade Lake, Haswell trailing
+//! from its microcoded gather, newer parts ahead on clocks) all follow
+//! from exactly these published parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::{ArchId, ArchProfile, VectorLicence};
+use crate::topdown::OpMix;
+
+/// Cycles consumed per vector step on `arch` for the given op mix
+/// (single thread): critical-path resource demand plus stall exposure.
+pub fn cycles_per_step(arch: &ArchProfile, mix: &OpMix) -> f64 {
+    let (exec, stall) = crate::topdown::resource_cycles(arch, mix);
+    exec + stall
+}
+
+/// A kernel configuration to predict for.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Vector lanes (cells per step).
+    pub lanes: usize,
+    /// Frequency licence class the kernel triggers.
+    pub licence: VectorLicence,
+    /// Operation mix.
+    pub mix: OpMix,
+}
+
+/// Predicted single-thread GCUPS (billions of cell updates per second).
+pub fn predict_gcups(arch: &ArchProfile, cfg: &KernelConfig) -> f64 {
+    let ghz = arch.freq_at_licence(1, cfg.licence);
+    let effective_lanes = cfg.lanes as f64 * (1.0 - 0.6 * cfg.mix.scalar_fraction);
+    ghz * effective_lanes / cycles_per_step(arch, &cfg.mix)
+}
+
+/// Ratio `predict(target) / predict(reference)` used to re-scale a
+/// measurement taken on this host (treated as `reference`) onto the
+/// paper's machines.
+pub fn scale_factor(target: ArchId, reference: ArchId, cfg: &KernelConfig) -> f64 {
+    predict_gcups(ArchProfile::get(target), cfg) / predict_gcups(ArchProfile::get(reference), cfg)
+}
+
+/// Project a host measurement onto every modeled architecture.
+pub fn project_all(host_gcups: f64, reference: ArchId, cfg: &KernelConfig) -> Vec<(ArchId, f64)> {
+    ArchId::ALL
+        .iter()
+        .map(|&a| (a, host_gcups * scale_factor(a, reference, cfg)))
+        .collect()
+}
+
+/// The standard AVX2 16-bit diagonal-kernel configuration.
+pub fn avx2_diag_i16(scalar_fraction: f64) -> KernelConfig {
+    KernelConfig {
+        lanes: 16,
+        licence: VectorLicence::Avx2,
+        mix: OpMix::diag_matrix(2, 16, scalar_fraction),
+    }
+}
+
+/// The AVX-512 16-bit diagonal-kernel configuration (32 lanes, heavier
+/// licence).
+pub fn avx512_diag_i16(scalar_fraction: f64) -> KernelConfig {
+    KernelConfig {
+        lanes: 32,
+        licence: VectorLicence::Avx512,
+        mix: OpMix::diag_matrix(2, 32, scalar_fraction),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avx512_not_double_avx2() {
+        // Fig 6: despite 2x lanes, AVX-512 lands well short of 2x on
+        // the AVX-512-capable parts (licence downclock + same port
+        // count + bigger state per step).
+        for id in [ArchId::SkylakeGold6132, ArchId::CascadeLakeGold6242] {
+            let arch = ArchProfile::get(id);
+            let a2 = predict_gcups(arch, &avx2_diag_i16(0.05));
+            let a5 = predict_gcups(arch, &avx512_diag_i16(0.05));
+            let ratio = a5 / a2;
+            assert!(
+                (0.7..1.6).contains(&ratio),
+                "{id}: AVX-512/AVX2 ratio {ratio} out of the paper's band"
+            );
+            assert!(ratio < 1.9, "{id}: ratio {ratio} should be well below 2x");
+        }
+    }
+
+    #[test]
+    fn haswell_trails_on_gather_path() {
+        let cfg = avx2_diag_i16(0.05);
+        let has = predict_gcups(ArchProfile::get(ArchId::HaswellE52660), &cfg);
+        let sky = predict_gcups(ArchProfile::get(ArchId::SkylakeGold6132), &cfg);
+        assert!(has < sky, "Haswell {has} !< Skylake {sky}");
+    }
+
+    #[test]
+    fn scale_factors_are_consistent() {
+        let cfg = avx2_diag_i16(0.1);
+        let f = scale_factor(ArchId::HaswellE52660, ArchId::SkylakeGold6132, &cfg);
+        let back = scale_factor(ArchId::SkylakeGold6132, ArchId::HaswellE52660, &cfg);
+        assert!((f * back - 1.0).abs() < 1e-9);
+        assert!((scale_factor(ArchId::SkylakeGold6132, ArchId::SkylakeGold6132, &cfg) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_covers_all_archs() {
+        let cfg = avx2_diag_i16(0.1);
+        let proj = project_all(10.0, ArchId::SkylakeGold6132, &cfg);
+        assert_eq!(proj.len(), 5);
+        for (_, g) in proj {
+            assert!(g > 0.0);
+        }
+    }
+
+    #[test]
+    fn scalar_fraction_reduces_throughput() {
+        let arch = ArchProfile::get(ArchId::SkylakeGold6132);
+        let clean = predict_gcups(arch, &avx2_diag_i16(0.0));
+        let ragged = predict_gcups(arch, &avx2_diag_i16(0.3));
+        assert!(ragged < clean);
+    }
+
+    #[test]
+    fn fixed_scoring_faster_than_matrix() {
+        // Fig 9: the substitution matrix costs throughput.
+        let arch = ArchProfile::get(ArchId::SkylakeGold6132);
+        let matrix = predict_gcups(arch, &avx2_diag_i16(0.05));
+        let fixed = predict_gcups(
+            arch,
+            &KernelConfig {
+                lanes: 16,
+                licence: VectorLicence::Avx2,
+                mix: OpMix::diag_fixed(2, 16, 0.05),
+            },
+        );
+        assert!(fixed > matrix, "fixed {fixed} !> matrix {matrix}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Roofline placement — the compact answer to the paper's §I question
+//! ("has SW transitioned from being compute-bound to memory-bound?").
+//!
+//! The roofline model bounds attainable throughput by
+//! `min(peak_compute, arithmetic_intensity × memory_bandwidth)`. For
+//! each kernel we compute cells/byte of *DRAM* traffic (cache-resident
+//! state costs no bandwidth — see [`crate::memory`]) and place it
+//! against each architecture's ridge point. Every realistic SW
+//! configuration lands far right of the ridge: compute bound, the
+//! paper's conclusion.
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::{ArchProfile, VectorLicence};
+use crate::memory::{CacheLevel, WorkingSet};
+use crate::topdown::OpMix;
+
+/// Where a kernel sits on an architecture's roofline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Cells per byte of DRAM traffic (arithmetic intensity, with cells
+    /// as the work unit).
+    pub cells_per_byte: f64,
+    /// Peak cell throughput from the compute roof, GCUPS.
+    pub compute_roof_gcups: f64,
+    /// Cell throughput ceiling from the bandwidth roof, GCUPS.
+    pub bandwidth_roof_gcups: f64,
+    /// The binding constraint.
+    pub bound: Bound,
+}
+
+/// Which roof binds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Execution resources bind (right of the ridge point).
+    Compute,
+    /// DRAM bandwidth binds (left of the ridge point).
+    Memory,
+}
+
+/// DRAM bytes per cell for a kernel whose hot state has the given
+/// residency: cache-resident state streams only the database residues
+/// (one byte per column, amortized over `lanes`-or-1 cells); spilled
+/// state re-reads its working set.
+pub fn dram_bytes_per_cell(ws: &WorkingSet, query_len: usize, elem_bytes: usize) -> f64 {
+    match ws.level {
+        CacheLevel::L1 | CacheLevel::L2 | CacheLevel::L3 => {
+            // Streaming the target once: 1 byte / (query_len cells per
+            // column), plus write-back noise.
+            1.0 / query_len.max(1) as f64
+        }
+        CacheLevel::Memory => {
+            // Rolling state spills: each diagonal re-touches ~7 buffers.
+            (7 * elem_bytes) as f64
+        }
+    }
+}
+
+/// Place a kernel on an architecture's roofline.
+pub fn place(
+    arch: &ArchProfile,
+    licence: VectorLicence,
+    lanes: usize,
+    mix: &OpMix,
+    ws: &WorkingSet,
+    query_len: usize,
+    elem_bytes: usize,
+) -> RooflinePoint {
+    let ghz = arch.freq_at_licence(1, licence);
+    let cycles = crate::model::cycles_per_step(arch, mix);
+    let compute_roof = ghz * lanes as f64 / cycles;
+
+    let bpc = dram_bytes_per_cell(ws, query_len, elem_bytes);
+    let cells_per_byte = 1.0 / bpc.max(1e-12);
+    let bandwidth_roof = arch.mem_bw_gbs * cells_per_byte; // GB/s × cells/B = Gcells/s
+
+    RooflinePoint {
+        cells_per_byte,
+        compute_roof_gcups: compute_roof,
+        bandwidth_roof_gcups: bandwidth_roof,
+        bound: if bandwidth_roof < compute_roof { Bound::Memory } else { Bound::Compute },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchId;
+    use crate::memory::{diag_working_set, traceback_working_set};
+
+    #[test]
+    fn protein_search_is_compute_bound_everywhere() {
+        // The paper's conclusion: for every modeled machine and every
+        // realistic query size, SW sits on the compute roof.
+        for id in ArchId::ALL {
+            let arch = ArchProfile::get(id);
+            for qlen in [47usize, 290, 1_021, 5_012] {
+                let ws = diag_working_set(arch, qlen, 2, 16);
+                let p = place(
+                    arch,
+                    VectorLicence::Avx2,
+                    16,
+                    &OpMix::diag_matrix(2, 16, 0.05),
+                    &ws,
+                    qlen,
+                    2,
+                );
+                assert_eq!(p.bound, Bound::Compute, "{id} q={qlen}: {p:?}");
+                assert!(p.bandwidth_roof_gcups > 10.0 * p.compute_roof_gcups);
+            }
+        }
+    }
+
+    #[test]
+    fn spilled_traceback_can_flip_memory_bound() {
+        // A giant traceback matrix is the one configuration that can
+        // cross the ridge on a bandwidth-poor part.
+        let arch = ArchProfile::get(ArchId::AlderLakeI912900HK);
+        let ws = traceback_working_set(arch, 5_000, 8_000, 2, 16);
+        let p = place(
+            arch,
+            VectorLicence::Avx2,
+            16,
+            &OpMix::diag_matrix(2, 16, 0.02),
+            &ws,
+            5_000,
+            2,
+        );
+        assert_eq!(p.bound, Bound::Memory, "{p:?}");
+    }
+
+    #[test]
+    fn roofs_are_positive_and_consistent() {
+        let arch = ArchProfile::get(ArchId::SkylakeGold6132);
+        let ws = diag_working_set(arch, 300, 2, 16);
+        let p = place(arch, VectorLicence::Avx2, 16, &OpMix::diag_matrix(2, 16, 0.1), &ws, 300, 2);
+        assert!(p.compute_roof_gcups > 0.0);
+        assert!(p.bandwidth_roof_gcups > 0.0);
+        assert!(p.cells_per_byte > 1.0);
+    }
+}

@@ -1,0 +1,20 @@
+#![allow(clippy::needless_range_loop)] // kernel loops index several parallel arrays by design
+#![warn(missing_docs)]
+
+//! # swsimd-runner
+//!
+//! Deployment layer: residue-balanced database partitioning across
+//! scoped threads, the paper's three usage scenarios (§II-C, §IV-G),
+//! the centralized batch server (§VI), and GCUPS metrics.
+
+pub mod metrics;
+pub mod msa;
+pub mod pool;
+pub mod scenarios;
+pub mod server;
+
+pub use metrics::{CellTimer, Throughput};
+pub use msa::{pairwise_scores, upgma, GuideTree, ScoreMatrix};
+pub use pool::{parallel_pairs, parallel_search, PoolConfig, SearchOutput};
+pub use scenarios::{scenario1, scenario2, scenario3, ScenarioReport};
+pub use server::{BatchServer, ServerClient, ServerConfig, ServerStats};

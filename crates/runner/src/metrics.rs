@@ -1,0 +1,84 @@
+//! Throughput metrics: GCUPS (billions of cell updates per second),
+//! the unit every figure in the paper reports.
+
+use std::time::{Duration, Instant};
+
+/// A completed measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Throughput {
+    /// DP cells computed.
+    pub cells: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl Throughput {
+    /// Giga cell updates per second.
+    pub fn gcups(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.cells as f64 / self.seconds / 1e9
+        }
+    }
+
+    /// Mega cell updates per second.
+    pub fn mcups(&self) -> f64 {
+        self.gcups() * 1e3
+    }
+}
+
+/// Stopwatch helper around a cell count.
+pub struct CellTimer {
+    start: Instant,
+    cells: u64,
+}
+
+impl CellTimer {
+    /// Start timing a region that will compute `cells` DP cells.
+    pub fn start(cells: u64) -> Self {
+        Self { start: Instant::now(), cells }
+    }
+
+    /// Add late-discovered cells (e.g. adaptive reruns).
+    pub fn add_cells(&mut self, cells: u64) {
+        self.cells += cells;
+    }
+
+    /// Stop and report.
+    pub fn stop(self) -> Throughput {
+        Throughput { cells: self.cells, seconds: self.start.elapsed().as_secs_f64() }
+    }
+
+    /// Elapsed so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcups_math() {
+        let t = Throughput { cells: 2_000_000_000, seconds: 2.0 };
+        assert!((t.gcups() - 1.0).abs() < 1e-12);
+        assert!((t.mcups() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_seconds_is_zero() {
+        let t = Throughput { cells: 10, seconds: 0.0 };
+        assert_eq!(t.gcups(), 0.0);
+    }
+
+    #[test]
+    fn timer_accumulates() {
+        let mut t = CellTimer::start(100);
+        t.add_cells(50);
+        let out = t.stop();
+        assert_eq!(out.cells, 150);
+        assert!(out.seconds >= 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Database-partitioned parallel search.
+//!
+//! The paper's threading model (§IV-E, §IV-G): "each thread handles a
+//! different segment of the database". A query (or batch of queries)
+//! is aligned against residue-balanced database partitions on scoped
+//! threads, each with its own [`Aligner`] (kernels are stateless apart
+//! from stats, which are merged afterwards).
+
+use swsimd_core::{AlignerBuilder, Hit, KernelStats};
+use swsimd_seq::{BatchedDatabase, Database};
+
+/// Configuration for parallel search.
+#[derive(Clone)]
+pub struct PoolConfig {
+    /// Worker threads (1 = run inline on the caller).
+    pub threads: usize,
+    /// Sort each partition's sequences by length before batching.
+    pub sort_batches: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            sort_batches: true,
+        }
+    }
+}
+
+/// Result of a parallel search: exact hits plus merged kernel stats.
+pub struct SearchOutput {
+    /// One hit per database sequence, sorted best-first.
+    pub hits: Vec<Hit>,
+    /// Merged kernel statistics from all workers.
+    pub stats: KernelStats,
+}
+
+/// Search one encoded query against a database with `cfg.threads`
+/// workers over residue-balanced partitions.
+///
+/// `make_aligner` builds each worker's aligner (so callers control
+/// matrix/gaps/precision). Results are exact and deterministic: the
+/// partitioning depends only on the database, and each sequence's score
+/// is computed by the same kernels regardless of thread count.
+pub fn parallel_search<F>(
+    query: &[u8],
+    db: &Database,
+    cfg: &PoolConfig,
+    make_aligner: F,
+) -> SearchOutput
+where
+    F: Fn() -> AlignerBuilder + Sync,
+{
+    let threads = cfg.threads.max(1);
+    if threads == 1 {
+        let mut aligner = make_aligner().build();
+        let mut hits = aligner.search(query, db, 0);
+        hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+        return SearchOutput { hits, stats: aligner.stats().clone() };
+    }
+
+    let parts = db.partition(threads);
+    let mut outputs: Vec<(Vec<Hit>, KernelStats)> = Vec::with_capacity(parts.len());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(parts.len());
+        for range in &parts {
+            let range = range.clone();
+            let make_aligner = &make_aligner;
+            handles.push(scope.spawn(move || {
+                let mut aligner = make_aligner().build();
+                // Build this partition's view: reuse encoded sequences.
+                let sub_records: Vec<_> =
+                    (range.clone()).map(|i| db.record(i).clone()).collect();
+                let sub =
+                    Database::from_records(sub_records, db_alphabet());
+                let lanes = swsimd_core::batch::lanes_for(aligner.engine());
+                let batched = BatchedDatabase::build(&sub, lanes, true);
+                let mut hits = aligner.search_batched(query, &sub, &batched);
+                // Remap to global indices.
+                for h in &mut hits {
+                    h.db_index += range.start;
+                }
+                (hits, aligner.stats().clone())
+            }));
+        }
+        for h in handles {
+            outputs.push(h.join().expect("search worker panicked"));
+        }
+    });
+
+    let mut hits = Vec::with_capacity(db.len());
+    let mut stats = KernelStats::default();
+    for (mut h, s) in outputs {
+        hits.append(&mut h);
+        stats.merge(&s);
+    }
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+    SearchOutput { hits, stats }
+}
+
+fn db_alphabet() -> &'static swsimd_matrices::Alphabet {
+    use std::sync::OnceLock;
+    static A: OnceLock<swsimd_matrices::Alphabet> = OnceLock::new();
+    A.get_or_init(swsimd_matrices::Alphabet::protein)
+}
+
+/// Align many (query, target) pairs across threads — the many-to-many
+/// primitive behind Scenario 2.
+pub fn parallel_pairs<F>(
+    pairs: &[(Vec<u8>, Vec<u8>)],
+    threads: usize,
+    make_aligner: F,
+) -> Vec<i32>
+where
+    F: Fn() -> AlignerBuilder + Sync,
+{
+    let threads = threads.max(1);
+    let chunk = pairs.len().div_ceil(threads).max(1);
+    let mut scores = vec![0i32; pairs.len()];
+    std::thread::scope(|scope| {
+        for (slot_chunk, pair_chunk) in scores.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
+            let make_aligner = &make_aligner;
+            scope.spawn(move || {
+                let mut aligner = make_aligner().build();
+                for (slot, (q, t)) in slot_chunk.iter_mut().zip(pair_chunk) {
+                    *slot = aligner.align(q, t).score;
+                }
+            });
+        }
+    });
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swsimd_core::Aligner;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use swsimd_matrices::{blosum62, Alphabet, PROTEIN_LETTERS};
+    use swsimd_seq::SeqRecord;
+
+    fn small_db(n: usize, seed: u64) -> Database {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records: Vec<SeqRecord> = (0..n)
+            .map(|i| {
+                let l = rng.gen_range(5..80);
+                let s: Vec<u8> =
+                    (0..l).map(|_| PROTEIN_LETTERS[rng.gen_range(0..20)]).collect();
+                SeqRecord::new(format!("s{i}"), s)
+            })
+            .collect();
+        Database::from_records(records, &Alphabet::protein())
+    }
+
+    #[test]
+    fn threaded_matches_single_thread() {
+        let db = small_db(60, 3);
+        let q = Alphabet::protein().encode(b"MKVLAADTWGHKDDTWGHK");
+        let builder = || Aligner::builder().matrix(blosum62());
+        let single = parallel_search(&q, &db, &PoolConfig { threads: 1, sort_batches: true }, builder);
+        for threads in [2, 3, 7] {
+            let multi =
+                parallel_search(&q, &db, &PoolConfig { threads, sort_batches: true }, builder);
+            assert_eq!(single.hits, multi.hits, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stats_merge_across_threads() {
+        let db = small_db(40, 5);
+        let q = Alphabet::protein().encode(b"MKVLAADTW");
+        let out = parallel_search(
+            &q,
+            &db,
+            &PoolConfig { threads: 4, sort_batches: true },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        assert!(out.stats.cells > 0);
+        assert_eq!(out.hits.len(), 40);
+    }
+
+    #[test]
+    fn parallel_pairs_match_sequential() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let alphabet = Alphabet::protein();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..20)
+            .map(|_| {
+                let l1 = rng.gen_range(3..40);
+                let l2 = rng.gen_range(3..40);
+                let a: Vec<u8> = (0..l1).map(|_| rng.gen_range(0..20u8)).collect();
+                let b: Vec<u8> = (0..l2).map(|_| rng.gen_range(0..20u8)).collect();
+                (a, b)
+            })
+            .collect();
+        let _ = alphabet;
+        let builder = || Aligner::builder().matrix(blosum62());
+        let seq = parallel_pairs(&pairs, 1, builder);
+        let par = parallel_pairs(&pairs, 4, builder);
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,287 @@
+//! Centralized batch-alignment server (§IV-G, §VI).
+//!
+//! The paper: "in environments with a centralized server handling
+//! multiple queries, it may be more efficient to accumulate several
+//! queries before beginning the computation". This module implements
+//! that deployment: clients submit queries over a channel; the server
+//! accumulates up to `batch_size` queries (or until `max_wait`
+//! expires), then processes the whole batch against the shared,
+//! pre-batched database, amortizing database traffic across queries.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use swsimd_core::{Aligner, AlignerBuilder, Hit};
+use swsimd_seq::{BatchedDatabase, Database};
+
+/// A submitted query awaiting results.
+struct Job {
+    query: Vec<u8>,
+    reply: Sender<Vec<Hit>>,
+    top_k: usize,
+}
+
+/// Channel protocol: jobs, or an explicit shutdown marker (needed
+/// because outstanding `ServerClient` clones keep the channel
+/// connected, so disconnect alone cannot signal shutdown).
+enum Msg {
+    Job(Job),
+    Shutdown,
+}
+
+/// Handle for submitting queries to a running server.
+#[derive(Clone)]
+pub struct ServerClient {
+    tx: Sender<Msg>,
+}
+
+impl ServerClient {
+    /// Submit an encoded query; blocks until the batch containing it is
+    /// processed and returns the top `top_k` hits (all if 0).
+    ///
+    /// # Panics
+    /// Panics if the server has been shut down.
+    pub fn query(&self, query: Vec<u8>, top_k: usize) -> Vec<Hit> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Msg::Job(Job { query, reply: reply_tx, top_k }))
+            .expect("server is down");
+        reply_rx.recv().expect("server shut down before answering")
+    }
+}
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Queries accumulated before a batch is processed.
+    pub batch_size: usize,
+    /// Maximum time the first query in a batch waits for company.
+    pub max_wait: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { batch_size: 8, max_wait: Duration::from_millis(20) }
+    }
+}
+
+/// Statistics the server keeps about its batching behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Batches processed.
+    pub batches: u64,
+    /// Queries served.
+    pub queries: u64,
+    /// Batches that were full (vs. flushed by timeout/shutdown).
+    pub full_batches: u64,
+}
+
+/// A running batch server. Dropping the handle shuts the worker down
+/// after it drains pending queries.
+pub struct BatchServer {
+    client_tx: Option<Sender<Msg>>,
+    worker: Option<std::thread::JoinHandle<ServerStats>>,
+}
+
+impl BatchServer {
+    /// Start a server over `db` with per-batch processing by an aligner
+    /// built from `make_aligner`.
+    pub fn start<F>(db: Arc<Database>, cfg: ServerConfig, make_aligner: F) -> Self
+    where
+        F: Fn() -> AlignerBuilder + Send + 'static,
+    {
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(1024);
+        let worker = std::thread::spawn(move || {
+            let mut aligner: Aligner = make_aligner().build();
+            let batched = BatchedDatabase::build(
+                &db,
+                swsimd_core::batch::lanes_for(aligner.engine()),
+                true,
+            );
+            let mut stats = ServerStats::default();
+            let mut pending: Vec<Job> = Vec::with_capacity(cfg.batch_size);
+            let mut shutting_down = false;
+
+            while !shutting_down {
+                // Wait for the first job of a batch.
+                match rx.recv() {
+                    Ok(Msg::Job(job)) => pending.push(job),
+                    Ok(Msg::Shutdown) | Err(_) => break,
+                }
+                // Accumulate until full, the wait budget expires, or a
+                // shutdown arrives (the batch still completes).
+                let deadline = std::time::Instant::now() + cfg.max_wait;
+                while pending.len() < cfg.batch_size.max(1) {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(Msg::Job(job)) => pending.push(job),
+                        Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                            shutting_down = true;
+                            break;
+                        }
+                        Err(RecvTimeoutError::Timeout) => break,
+                    }
+                }
+                process_batch(&mut aligner, &db, &batched, &mut pending, &mut stats, cfg.batch_size);
+            }
+            // Drain jobs that raced with the shutdown marker.
+            while let Ok(Msg::Job(job)) = rx.try_recv() {
+                pending.push(job);
+            }
+            process_batch(&mut aligner, &db, &batched, &mut pending, &mut stats, cfg.batch_size);
+            stats
+        });
+        Self { client_tx: Some(tx), worker: Some(worker) }
+    }
+
+    /// A client handle (cloneable, usable from many threads).
+    pub fn client(&self) -> ServerClient {
+        ServerClient { tx: self.client_tx.clone().expect("server already shut down") }
+    }
+
+    /// Shut down: stop accepting, drain, and return batching stats.
+    /// Outstanding [`ServerClient`] clones panic on later use.
+    pub fn shutdown(mut self) -> ServerStats {
+        if let Some(tx) = self.client_tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        self.worker.take().expect("already joined").join().expect("server panicked")
+    }
+}
+
+impl Drop for BatchServer {
+    fn drop(&mut self) {
+        if let Some(tx) = self.client_tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+fn process_batch(
+    aligner: &mut Aligner,
+    db: &Database,
+    batched: &BatchedDatabase,
+    pending: &mut Vec<Job>,
+    stats: &mut ServerStats,
+    batch_size: usize,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    stats.batches += 1;
+    if pending.len() >= batch_size {
+        stats.full_batches += 1;
+    }
+    for job in pending.drain(..) {
+        stats.queries += 1;
+        let mut hits = aligner.search_batched(&job.query, db, batched);
+        hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+        if job.top_k > 0 {
+            hits.truncate(job.top_k);
+        }
+        // A disappeared client is not an error.
+        let _ = job.reply.send(hits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swsimd_matrices::{blosum62, Alphabet};
+    use swsimd_seq::{generate_database, generate_exact, SynthConfig};
+
+    fn tiny_db() -> Arc<Database> {
+        Arc::new(generate_database(&SynthConfig {
+            n_seqs: 24,
+            max_len: 100,
+            median_len: 50.0,
+            ..Default::default()
+        }))
+    }
+
+    fn enc(len: usize, seed: u64) -> Vec<u8> {
+        Alphabet::protein().encode(&generate_exact(len, seed).seq)
+    }
+
+    #[test]
+    fn serves_queries_correctly() {
+        let db = tiny_db();
+        let server = BatchServer::start(db.clone(), ServerConfig::default(), || {
+            Aligner::builder().matrix(blosum62())
+        });
+        let client = server.client();
+        let q = enc(30, 7);
+        let hits = client.query(q.clone(), 3);
+        assert_eq!(hits.len(), 3);
+
+        // Compare against a direct search.
+        let mut direct = Aligner::builder().matrix(blosum62()).build();
+        let want = direct.search(&q, &db, 3);
+        assert_eq!(hits, want);
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 1);
+    }
+
+    #[test]
+    fn batches_accumulate_from_concurrent_clients() {
+        let db = tiny_db();
+        let server = BatchServer::start(
+            db,
+            ServerConfig { batch_size: 4, max_wait: Duration::from_millis(200) },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let c = client.clone();
+                scope.spawn(move || {
+                    let hits = c.query(enc(25, i), 1);
+                    assert_eq!(hits.len(), 1);
+                });
+            }
+        });
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 8);
+        assert!(
+            stats.batches <= 4,
+            "8 concurrent queries should batch: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn timeout_flushes_partial_batch() {
+        let db = tiny_db();
+        let server = BatchServer::start(
+            db,
+            ServerConfig { batch_size: 64, max_wait: Duration::from_millis(10) },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        let hits = client.query(enc(20, 3), 2); // would wait forever without the timeout
+        assert_eq!(hits.len(), 2);
+        let stats = server.shutdown();
+        assert_eq!(stats.full_batches, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_pending() {
+        let db = tiny_db();
+        let server = BatchServer::start(db, ServerConfig::default(), || {
+            Aligner::builder().matrix(blosum62())
+        });
+        let client = server.client();
+        let h = std::thread::spawn(move || client.query(enc(15, 1), 1));
+        std::thread::sleep(Duration::from_millis(5));
+        let stats = server.shutdown();
+        let hits = h.join().unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(stats.queries, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Minimal, strict FASTA reader/writer.
+
+use std::io::{self, BufRead, Write};
+
+use crate::record::SeqRecord;
+
+/// Errors from FASTA parsing.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence data encountered before any `>` header.
+    DataBeforeHeader {
+        /// 1-based line number of the offending data.
+        line: usize,
+    },
+    /// A header line with an empty identifier.
+    EmptyHeader {
+        /// 1-based line number of the empty header.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::DataBeforeHeader { line } => {
+                write!(f, "line {line}: sequence data before first '>' header")
+            }
+            FastaError::EmptyHeader { line } => write!(f, "line {line}: empty FASTA header"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Parse FASTA records from a buffered reader.
+///
+/// Whitespace inside sequence lines is dropped; blank lines are allowed
+/// anywhere; `;` comment lines (legacy FASTA) are skipped.
+pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<SeqRecord>, FastaError> {
+    let mut records = Vec::new();
+    let mut current: Option<SeqRecord> = None;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").trim();
+            if id.is_empty() {
+                return Err(FastaError::EmptyHeader { line: lineno + 1 });
+            }
+            let description = parts.next().unwrap_or("").trim().to_string();
+            current = Some(SeqRecord::with_description(id, description, Vec::new()));
+        } else {
+            match current.as_mut() {
+                Some(rec) => {
+                    rec.seq.extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace()))
+                }
+                None => return Err(FastaError::DataBeforeHeader { line: lineno + 1 }),
+            }
+        }
+    }
+    if let Some(rec) = current.take() {
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Parse FASTA records from an in-memory string.
+pub fn parse_fasta(text: &str) -> Result<Vec<SeqRecord>, FastaError> {
+    read_fasta(text.as_bytes())
+}
+
+/// Write records in FASTA format, wrapping sequence lines at `width`.
+pub fn write_fasta<W: Write>(
+    mut writer: W,
+    records: &[SeqRecord],
+    width: usize,
+) -> io::Result<()> {
+    let width = width.max(1);
+    for rec in records {
+        if rec.description.is_empty() {
+            writeln!(writer, ">{}", rec.id)?;
+        } else {
+            writeln!(writer, ">{} {}", rec.id, rec.description)?;
+        }
+        for chunk in rec.seq.chunks(width) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Render records to a FASTA string.
+pub fn to_fasta_string(records: &[SeqRecord], width: usize) -> String {
+    let mut buf = Vec::new();
+    write_fasta(&mut buf, records, width).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("FASTA output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_two_records() {
+        let recs = parse_fasta(">a first protein\nMKV\nLAA\n>b\nWWW\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "a");
+        assert_eq!(recs[0].description, "first protein");
+        assert_eq!(recs[0].seq, b"MKVLAA");
+        assert_eq!(recs[1].id, "b");
+        assert_eq!(recs[1].seq, b"WWW");
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let recs = parse_fasta("; legacy comment\n>a\n\nMK V\n\n").unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].seq, b"MKV");
+    }
+
+    #[test]
+    fn data_before_header_rejected() {
+        assert!(matches!(
+            parse_fasta("MKV\n>a\n"),
+            Err(FastaError::DataBeforeHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_header_rejected() {
+        assert!(matches!(parse_fasta(">\nMKV\n"), Err(FastaError::EmptyHeader { line: 1 })));
+        assert!(matches!(parse_fasta("> \nMKV\n"), Err(FastaError::EmptyHeader { line: 1 })));
+    }
+
+    #[test]
+    fn empty_sequence_allowed() {
+        let recs = parse_fasta(">a\n>b\nM\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].seq.is_empty());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = vec![
+            SeqRecord::with_description("a", "desc here", b"MKVLAADTWWGHK".to_vec()),
+            SeqRecord::new("b", b"".to_vec()),
+        ];
+        let text = to_fasta_string(&recs, 5);
+        let back = parse_fasta(&text).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn wrapping_width() {
+        let recs = vec![SeqRecord::new("a", b"ABCDEFGHIJ".to_vec())];
+        let text = to_fasta_string(&recs, 4);
+        assert_eq!(text, ">a\nABCD\nEFGH\nIJ\n");
+    }
+}

@@ -1,0 +1,28 @@
+#![allow(clippy::needless_range_loop)] // kernel loops index several parallel arrays by design
+#![warn(missing_docs)]
+
+//! # swsimd-seq
+//!
+//! The sequence layer: FASTA I/O, residue-encoded records, database
+//! containers with the paper's 32-way transposed batch layout (§III-C,
+//! Fig 5), a synthetic Swiss-Prot-like generator (the dataset stand-in
+//! documented in DESIGN.md), and dataset statistics.
+
+pub mod db;
+pub mod fasta;
+pub mod persist;
+pub mod record;
+pub mod stats;
+pub mod stream;
+pub mod synth;
+
+pub use db::{BatchedDatabase, Database, DbBatch};
+pub use fasta::{parse_fasta, read_fasta, to_fasta_string, write_fasta, FastaError};
+pub use persist::{load as load_database_image, save as save_database_image, PersistError, PersistedDatabase};
+pub use record::{EncodedSeq, SeqRecord};
+pub use stats::{composition, length_histogram, length_stats, LengthStats};
+pub use stream::{read_database_streaming, FastaStream};
+pub use synth::{
+    generate, generate_database, generate_exact, mutate, plant_homologs, standard_queries,
+    SynthConfig, ROBINSON_FREQS,
+};

@@ -1,0 +1,242 @@
+//! Binary persistence for pre-batched databases.
+//!
+//! §III-C: "the database can be organized for more efficient access.
+//! This is done once, offline." This module makes that offline step
+//! real: a [`BatchedDatabase`] (plus the id/length metadata needed to
+//! report hits) serializes to a compact binary image that memory-loads
+//! in one pass — no FASTA re-parse, no re-encode, no re-transpose on
+//! the query path.
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic "SWDB" | u32 version | u32 lanes | u64 n_sequences
+//! per sequence: u32 id_len | id bytes | u32 seq_len
+//! u64 n_batches
+//! per batch: u32 members | u64 max_len | members × u32 db_index
+//!            | max_len × lanes residue bytes
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use swsimd_matrices::Alphabet;
+
+use crate::db::{BatchedDatabase, Database};
+use crate::record::SeqRecord;
+
+const MAGIC: &[u8; 4] = b"SWDB";
+const VERSION: u32 = 1;
+
+/// Errors from loading a database image.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The image ended early or a length field is inconsistent.
+    Truncated(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not a swsimd database image"),
+            PersistError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            PersistError::Truncated(what) => write!(f, "truncated image at {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// A database together with its offline batch organization.
+pub struct PersistedDatabase {
+    /// The re-hydrated database (ids + encoded sequences; descriptions
+    /// are not persisted).
+    pub db: Database,
+    /// The transposed batches, ready for the batch kernel.
+    pub batched: BatchedDatabase,
+}
+
+/// Serialize a database and its batches into a binary image.
+pub fn save(db: &Database, batched: &BatchedDatabase, alphabet: &Alphabet) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + db.total_residues() * 2);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(batched.lanes() as u32);
+    buf.put_u64_le(db.len() as u64);
+    for i in 0..db.len() {
+        let rec = db.record(i);
+        buf.put_u32_le(rec.id.len() as u32);
+        buf.put_slice(rec.id.as_bytes());
+        buf.put_u32_le(rec.seq.len() as u32);
+    }
+    buf.put_u64_le(batched.batches().len() as u64);
+    for b in batched.batches() {
+        buf.put_u32_le(b.members().len() as u32);
+        buf.put_u64_le(b.max_len() as u64);
+        for &m in b.members() {
+            buf.put_u32_le(m);
+        }
+        buf.put_slice(b.data());
+    }
+    // Residues for re-hydrating the Database itself (encoded indices).
+    for i in 0..db.len() {
+        buf.put_slice(&db.encoded(i).idx);
+    }
+    let _ = alphabet;
+    buf.freeze()
+}
+
+/// Load an image produced by [`save`].
+pub fn load(mut image: &[u8], alphabet: &Alphabet) -> Result<PersistedDatabase, PersistError> {
+    let need = |buf: &[u8], n: usize, what: &'static str| {
+        if buf.remaining() < n {
+            Err(PersistError::Truncated(what))
+        } else {
+            Ok(())
+        }
+    };
+    need(image, 4 + 4 + 4 + 8, "header")?;
+    let mut magic = [0u8; 4];
+    image.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = image.get_u32_le();
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let lanes = image.get_u32_le() as usize;
+    let n_seqs = image.get_u64_le() as usize;
+
+    let mut ids = Vec::with_capacity(n_seqs);
+    let mut lens = Vec::with_capacity(n_seqs);
+    for _ in 0..n_seqs {
+        need(image, 4, "id length")?;
+        let id_len = image.get_u32_le() as usize;
+        need(image, id_len + 4, "id bytes")?;
+        let mut id = vec![0u8; id_len];
+        image.copy_to_slice(&mut id);
+        ids.push(String::from_utf8_lossy(&id).into_owned());
+        lens.push(image.get_u32_le() as usize);
+    }
+
+    need(image, 8, "batch count")?;
+    let n_batches = image.get_u64_le() as usize;
+    let mut raw_batches = Vec::with_capacity(n_batches);
+    for _ in 0..n_batches {
+        need(image, 4 + 8, "batch header")?;
+        let members = image.get_u32_le() as usize;
+        let max_len = image.get_u64_le() as usize;
+        let mut member_ids = Vec::with_capacity(members);
+        need(image, members * 4, "batch members")?;
+        for _ in 0..members {
+            member_ids.push(image.get_u32_le());
+        }
+        let data_len = max_len * lanes;
+        need(image, data_len, "batch data")?;
+        let mut data = vec![0u8; data_len];
+        image.copy_to_slice(&mut data);
+        raw_batches.push((member_ids, max_len, data));
+    }
+
+    // Residues.
+    let total: usize = lens.iter().sum();
+    need(image, total, "residues")?;
+    let mut records = Vec::with_capacity(n_seqs);
+    for (id, len) in ids.into_iter().zip(&lens) {
+        let mut idx = vec![0u8; *len];
+        image.copy_to_slice(&mut idx);
+        records.push(SeqRecord::new(id, alphabet.decode(&idx)));
+    }
+    let db = Database::from_records(records, alphabet);
+
+    // Validate member indices, then rebuild the batches in saved order.
+    for (members, _, _) in &raw_batches {
+        for &m in members {
+            if m as usize >= db.len() {
+                return Err(PersistError::Truncated("batch member out of range"));
+            }
+        }
+    }
+    let batched = BatchedDatabase::from_raw_parts(lanes, raw_batches, &db);
+    Ok(PersistedDatabase { db, batched })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_database, SynthConfig};
+
+    fn sample() -> (Database, BatchedDatabase) {
+        let db = generate_database(&SynthConfig {
+            n_seqs: 40,
+            max_len: 120,
+            median_len: 60.0,
+            ..Default::default()
+        });
+        let batched = BatchedDatabase::build(&db, 32, true);
+        (db, batched)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let a = Alphabet::protein();
+        let (db, batched) = sample();
+        let image = save(&db, &batched, &a);
+        let loaded = load(&image, &a).unwrap();
+
+        assert_eq!(loaded.db.len(), db.len());
+        assert_eq!(loaded.db.total_residues(), db.total_residues());
+        for i in 0..db.len() {
+            assert_eq!(loaded.db.record(i).id, db.record(i).id);
+            assert_eq!(loaded.db.encoded(i).idx, db.encoded(i).idx);
+        }
+        assert_eq!(loaded.batched.lanes(), batched.lanes());
+        assert_eq!(loaded.batched.batches().len(), batched.batches().len());
+        for (x, y) in loaded.batched.batches().iter().zip(batched.batches()) {
+            assert_eq!(x.members(), y.members());
+            assert_eq!(x.max_len(), y.max_len());
+            assert_eq!(x.data(), y.data());
+            assert_eq!(x.lens(), y.lens());
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let a = Alphabet::protein();
+        assert!(matches!(
+            load(b"NOPE", &a).map(|_| ()),
+            Err(PersistError::Truncated("header"))
+        ));
+        assert!(matches!(
+            load(b"XXXX\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0", &a).map(|_| ()),
+            Err(PersistError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_detected_not_panicking() {
+        let a = Alphabet::protein();
+        let (db, batched) = sample();
+        let image = save(&db, &batched, &a);
+        for cut in [5usize, 17, image.len() / 2, image.len() - 1] {
+            let r = load(&image[..cut], &a);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let a = Alphabet::protein();
+        let (db, batched) = sample();
+        let mut image = save(&db, &batched, &a).to_vec();
+        image[4] = 99;
+        assert!(matches!(
+            load(&image, &a).map(|_| ()),
+            Err(PersistError::BadVersion(99))
+        ));
+    }
+}

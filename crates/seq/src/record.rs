@@ -1,0 +1,99 @@
+//! Sequence records: an identifier, optional description and residues.
+
+use swsimd_matrices::Alphabet;
+
+/// One biological sequence with its FASTA metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqRecord {
+    /// FASTA identifier (text up to the first whitespace after `>`).
+    pub id: String,
+    /// Remainder of the FASTA header line (may be empty).
+    pub description: String,
+    /// Raw residues as ASCII bytes (upper- or lowercase).
+    pub seq: Vec<u8>,
+}
+
+impl SeqRecord {
+    /// Create a record from an id and residues.
+    pub fn new(id: impl Into<String>, seq: impl Into<Vec<u8>>) -> Self {
+        Self { id: id.into(), description: String::new(), seq: seq.into() }
+    }
+
+    /// Create a record with a description.
+    pub fn with_description(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        seq: impl Into<Vec<u8>>,
+    ) -> Self {
+        Self { id: id.into(), description: description.into(), seq: seq.into() }
+    }
+
+    /// Residue count.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True for zero-length sequences.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Encode the residues with an alphabet.
+    pub fn encode(&self, alphabet: &Alphabet) -> Vec<u8> {
+        alphabet.encode(&self.seq)
+    }
+}
+
+/// An encoded sequence: residue indices ready for kernel consumption.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodedSeq {
+    /// Residue indices, each `< 32`.
+    pub idx: Vec<u8>,
+    /// Position of this sequence in its source collection.
+    pub source_pos: usize,
+}
+
+impl EncodedSeq {
+    /// Encode a raw sequence.
+    pub fn from_bytes(seq: &[u8], alphabet: &Alphabet, source_pos: usize) -> Self {
+        Self { idx: alphabet.encode(seq), source_pos }
+    }
+
+    /// Residue count.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// True for zero-length sequences.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_basics() {
+        let r = SeqRecord::new("sp|P1", b"MKV".to_vec());
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.description, "");
+    }
+
+    #[test]
+    fn encode_uses_alphabet() {
+        let r = SeqRecord::new("x", b"AR".to_vec());
+        let enc = r.encode(&Alphabet::protein());
+        assert_eq!(enc, vec![0, 1]);
+    }
+
+    #[test]
+    fn encoded_seq() {
+        let e = EncodedSeq::from_bytes(b"ARN", &Alphabet::protein(), 7);
+        assert_eq!(e.idx, vec![0, 1, 2]);
+        assert_eq!(e.source_pos, 7);
+        assert_eq!(e.len(), 3);
+    }
+}

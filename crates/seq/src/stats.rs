@@ -1,0 +1,122 @@
+//! Dataset statistics: length distributions and residue composition.
+//!
+//! Used by the figure harness to report workload characteristics next to
+//! the measured series, and by tests validating the synthetic generator.
+
+use swsimd_matrices::Alphabet;
+
+use crate::db::Database;
+
+/// Summary statistics over sequence lengths.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LengthStats {
+    /// Sequence count.
+    pub count: usize,
+    /// Shortest sequence.
+    pub min: usize,
+    /// Longest sequence.
+    pub max: usize,
+    /// Arithmetic mean length.
+    pub mean: f64,
+    /// Median length.
+    pub median: usize,
+    /// Total residues.
+    pub total: usize,
+}
+
+/// Compute length statistics for a database.
+pub fn length_stats(db: &Database) -> LengthStats {
+    let mut lens: Vec<usize> = db.iter_encoded().map(|e| e.len()).collect();
+    if lens.is_empty() {
+        return LengthStats { count: 0, min: 0, max: 0, mean: 0.0, median: 0, total: 0 };
+    }
+    lens.sort_unstable();
+    let total: usize = lens.iter().sum();
+    LengthStats {
+        count: lens.len(),
+        min: lens[0],
+        max: *lens.last().unwrap(),
+        mean: total as f64 / lens.len() as f64,
+        median: lens[lens.len() / 2],
+        total,
+    }
+}
+
+/// Histogram of sequence lengths with fixed-width bins.
+pub fn length_histogram(db: &Database, bin_width: usize, max_len: usize) -> Vec<usize> {
+    let bin_width = bin_width.max(1);
+    let bins = max_len.div_ceil(bin_width) + 1;
+    let mut hist = vec![0usize; bins];
+    for e in db.iter_encoded() {
+        let b = (e.len() / bin_width).min(bins - 1);
+        hist[b] += 1;
+    }
+    hist
+}
+
+/// Residue composition (fractions, indexed by residue index).
+pub fn composition(db: &Database, alphabet: &Alphabet) -> Vec<f64> {
+    let mut counts = vec![0usize; alphabet.len()];
+    let mut total = 0usize;
+    for e in db.iter_encoded() {
+        for &r in &e.idx {
+            if (r as usize) < counts.len() {
+                counts[r as usize] += 1;
+                total += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .map(|c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SeqRecord;
+
+    fn db(seqs: &[&str]) -> Database {
+        let records: Vec<SeqRecord> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SeqRecord::new(format!("s{i}"), s.as_bytes().to_vec()))
+            .collect();
+        Database::from_records(records, &Alphabet::protein())
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = length_stats(&db(&["A", "AAA", "AAAAA"]));
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.median, 3);
+        assert_eq!(s.total, 9);
+        assert!((s.mean - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = length_stats(&db(&[]));
+        assert_eq!(s.count, 0);
+        assert_eq!(s.total, 0);
+    }
+
+    #[test]
+    fn histogram_bins() {
+        let h = length_histogram(&db(&["A", "AA", "AAAAAAAAAA"]), 5, 10);
+        assert_eq!(h[0], 2); // lengths 1, 2
+        assert_eq!(h[2], 1); // length 10
+    }
+
+    #[test]
+    fn composition_sums_to_one() {
+        let a = Alphabet::protein();
+        let c = composition(&db(&["ARND", "AAAA"]), &a);
+        let sum: f64 = c.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((c[0] - 5.0 / 8.0).abs() < 1e-9); // A appears 5 of 8
+    }
+}

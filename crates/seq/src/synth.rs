@@ -1,0 +1,308 @@
+//! Synthetic Swiss-Prot-like protein database generator.
+//!
+//! The paper evaluates against UniProtKB/Swiss-Prot with ten query
+//! proteins of varied length (§IV-A). That dataset is not redistributable
+//! here, so this module generates a statistical stand-in (documented in
+//! DESIGN.md §2): sequence lengths follow a log-normal fit of the
+//! Swiss-Prot length distribution (median ≈ 290 aa, heavy right tail) and
+//! residues are drawn from the Robinson & Robinson (1991) background
+//! frequencies. Every throughput experiment in the paper depends only on
+//! these two statistics (they set segment-padding ratios, batch fill and
+//! gather traffic), not on biological content.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+
+use swsimd_matrices::Alphabet;
+
+use crate::db::Database;
+use crate::record::SeqRecord;
+
+/// Robinson & Robinson amino-acid background frequencies, in the order
+/// of the 20 standard residues within the NCBI alphabet
+/// `A R N D C Q E G H I L K M F P S T W Y V`.
+pub const ROBINSON_FREQS: [f64; 20] = [
+    0.078_05, // A
+    0.051_29, // R
+    0.044_87, // N
+    0.053_64, // D
+    0.019_25, // C
+    0.042_64, // Q
+    0.062_95, // E
+    0.073_77, // G
+    0.021_99, // H
+    0.051_42, // I
+    0.090_19, // L
+    0.057_44, // K
+    0.022_43, // M
+    0.038_56, // F
+    0.052_03, // P
+    0.071_20, // S
+    0.058_41, // T
+    0.013_30, // W
+    0.032_16, // Y
+    0.064_41, // V
+];
+
+/// Configuration for the synthetic database.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Number of sequences to generate.
+    pub n_seqs: usize,
+    /// RNG seed — same seed, same database, forever (determinism is a
+    /// paper theme; `ChaCha8` is stable across `rand` versions).
+    pub seed: u64,
+    /// Median sequence length (log-normal location).
+    pub median_len: f64,
+    /// Log-normal shape parameter.
+    pub sigma: f64,
+    /// Hard lower bound on lengths.
+    pub min_len: usize,
+    /// Hard upper bound on lengths (Swiss-Prot titin-like outliers).
+    pub max_len: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            n_seqs: 1 << 14,
+            seed: 0x5EED_CAFE,
+            median_len: 290.0,
+            sigma: 0.62,
+            min_len: 25,
+            max_len: 8_000,
+        }
+    }
+}
+
+/// Cumulative distribution table for fast residue sampling.
+struct ResidueSampler {
+    cdf: [f64; 20],
+}
+
+impl ResidueSampler {
+    fn new() -> Self {
+        let mut cdf = [0.0; 20];
+        let total: f64 = ROBINSON_FREQS.iter().sum();
+        let mut acc = 0.0;
+        for (i, f) in ROBINSON_FREQS.iter().enumerate() {
+            acc += f / total;
+            cdf[i] = acc;
+        }
+        cdf[19] = 1.0;
+        Self { cdf }
+    }
+
+    /// Sample one residue *letter*.
+    fn sample<R: Rng>(&self, rng: &mut R) -> u8 {
+        let x: f64 = rng.gen();
+        let i = self.cdf.partition_point(|&c| c < x).min(19);
+        swsimd_matrices::PROTEIN_LETTERS[i]
+    }
+}
+
+/// Sample a Swiss-Prot-like length.
+fn sample_len<R: Rng>(cfg: &SynthConfig, rng: &mut R) -> usize {
+    // Log-normal via Box-Muller on two uniforms (keeps us off
+    // rand_distr, which is not in the approved dependency set).
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let len = (cfg.median_len.ln() + cfg.sigma * z).exp();
+    (len.round() as usize).clamp(cfg.min_len, cfg.max_len)
+}
+
+/// Generate a synthetic protein database.
+pub fn generate(cfg: &SynthConfig) -> Vec<SeqRecord> {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let sampler = ResidueSampler::new();
+    (0..cfg.n_seqs)
+        .map(|i| {
+            let len = sample_len(cfg, &mut rng);
+            let seq: Vec<u8> = (0..len).map(|_| sampler.sample(&mut rng)).collect();
+            SeqRecord::with_description(
+                format!("synth|{:06}", i),
+                format!("synthetic Swiss-Prot-like protein len={len}"),
+                seq,
+            )
+        })
+        .collect()
+}
+
+/// Generate and encode in one step.
+pub fn generate_database(cfg: &SynthConfig) -> Database {
+    Database::from_records(generate(cfg), &Alphabet::protein())
+}
+
+/// Generate a protein of an exact length (for controlled query sizes).
+pub fn generate_exact(len: usize, seed: u64) -> SeqRecord {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sampler = ResidueSampler::new();
+    let seq: Vec<u8> = (0..len).map(|_| sampler.sample(&mut rng)).collect();
+    SeqRecord::with_description(format!("query|len{len}"), format!("seed={seed}"), seq)
+}
+
+/// The paper's "10 proteins with a range of lengths" (§IV-A), as fixed
+/// seeded stand-ins. Lengths span short signalling peptides to
+/// multi-domain giants; performance depends only on length (the paper's
+/// own justification for using 10 queries).
+pub fn standard_queries() -> Vec<SeqRecord> {
+    const LENS: [usize; 10] = [47, 110, 189, 290, 464, 682, 1_021, 1_577, 2_504, 5_012];
+    LENS.iter().enumerate().map(|(i, &l)| generate_exact(l, 0xBA5E + i as u64)).collect()
+}
+
+/// Derive a homolog by mutating `seq`: point substitutions with
+/// probability `divergence`, plus indels with probability
+/// `divergence / 10` each (insert/delete one residue). Used to plant
+/// known high-scoring targets when validating search results.
+pub fn mutate(seq: &[u8], divergence: f64, seed: u64) -> Vec<u8> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sampler = ResidueSampler::new();
+    let mut out = Vec::with_capacity(seq.len() + 8);
+    for &c in seq {
+        let x: f64 = rng.gen();
+        if x < divergence {
+            out.push(sampler.sample(&mut rng)); // substitution
+        } else if x < divergence * 1.1 {
+            // insertion (keep original too)
+            out.push(sampler.sample(&mut rng));
+            out.push(c);
+        } else if x < divergence * 1.2 {
+            // deletion: skip
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Insert `n` mutated copies of `query` into `records` at deterministic
+/// positions; returns the indices of the planted homologs.
+pub fn plant_homologs(
+    records: &mut Vec<SeqRecord>,
+    query: &[u8],
+    n: usize,
+    divergence: f64,
+    seed: u64,
+) -> Vec<usize> {
+    let mut positions = Vec::with_capacity(n);
+    for i in 0..n {
+        let homolog = mutate(query, divergence, seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+        let pos = if records.is_empty() { 0 } else { (i * 2654435761) % (records.len() + 1) };
+        records.insert(
+            pos.min(records.len()),
+            SeqRecord::with_description(
+                format!("planted|{i}"),
+                format!("homolog divergence={divergence}"),
+                homolog,
+            ),
+        );
+        positions.push(pos.min(records.len() - 1));
+    }
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = SynthConfig { n_seqs: 10, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SynthConfig { n_seqs: 5, seed: 1, ..Default::default() });
+        let b = generate(&SynthConfig { n_seqs: 5, seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lengths_within_bounds() {
+        let cfg = SynthConfig { n_seqs: 500, min_len: 30, max_len: 400, ..Default::default() };
+        for r in generate(&cfg) {
+            assert!((30..=400).contains(&r.len()), "len {}", r.len());
+        }
+    }
+
+    #[test]
+    fn median_roughly_right() {
+        let cfg = SynthConfig { n_seqs: 2000, ..Default::default() };
+        let mut lens: Vec<usize> = generate(&cfg).iter().map(|r| r.len()).collect();
+        lens.sort_unstable();
+        let median = lens[lens.len() / 2];
+        assert!((200..400).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn only_standard_residues() {
+        let cfg = SynthConfig { n_seqs: 20, ..Default::default() };
+        let a = Alphabet::protein();
+        for r in generate(&cfg) {
+            for &c in &r.seq {
+                let idx = a.encode_byte(c);
+                assert!(idx < 20, "unexpected residue {}", c as char);
+            }
+        }
+    }
+
+    #[test]
+    fn composition_tracks_background() {
+        let cfg = SynthConfig { n_seqs: 300, ..Default::default() };
+        let mut counts = [0usize; 20];
+        let a = Alphabet::protein();
+        let mut total = 0usize;
+        for r in generate(&cfg) {
+            for &c in &r.seq {
+                counts[a.encode_byte(c) as usize] += 1;
+                total += 1;
+            }
+        }
+        // Leucine (index 10) is the most common residue at ~9%.
+        let leu = counts[10] as f64 / total as f64;
+        assert!((0.07..0.11).contains(&leu), "L frequency {leu}");
+        // Tryptophan (index 17) the rarest at ~1.3%.
+        let trp = counts[17] as f64 / total as f64;
+        assert!((0.008..0.020).contains(&trp), "W frequency {trp}");
+    }
+
+    #[test]
+    fn standard_queries_shape() {
+        let qs = standard_queries();
+        assert_eq!(qs.len(), 10);
+        assert_eq!(qs[0].len(), 47);
+        assert_eq!(qs[9].len(), 5_012);
+        // Deterministic across calls.
+        assert_eq!(standard_queries()[3], qs[3]);
+    }
+
+    #[test]
+    fn mutate_divergence_zero_is_identity_modulo_indels() {
+        let q = b"MKVLAADTWGHKRN".to_vec();
+        assert_eq!(mutate(&q, 0.0, 7), q);
+    }
+
+    #[test]
+    fn mutate_changes_sequence() {
+        let q: Vec<u8> = generate_exact(200, 3).seq;
+        let m = mutate(&q, 0.3, 11);
+        assert_ne!(m, q);
+        // Length shouldn't drift far (indel rates are balanced).
+        assert!((150..260).contains(&m.len()));
+    }
+
+    #[test]
+    fn plant_homologs_inserts() {
+        let mut records = generate(&SynthConfig { n_seqs: 30, ..Default::default() });
+        let q = generate_exact(120, 9).seq;
+        let pos = plant_homologs(&mut records, &q, 3, 0.1, 42);
+        assert_eq!(records.len(), 33);
+        assert_eq!(pos.len(), 3);
+        assert!(records.iter().filter(|r| r.id.starts_with("planted|")).count() == 3);
+    }
+}

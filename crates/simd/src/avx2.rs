@@ -1,0 +1,376 @@
+//! AVX2 backend: 256-bit registers, 32×i8 / 16×i16 / 8×i32 lanes.
+//!
+//! Every operation maps to one or two instructions. The trait methods are
+//! safe to *call* but the engine as a whole must only be selected after
+//! [`crate::EngineKind::Avx2`] reports available — dispatchers enforce
+//! this, and the generic kernels are instantiated inside
+//! `#[target_feature(enable = "avx2")]` wrappers so LLVM emits real AVX2.
+
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+use std::marker::PhantomData;
+
+use crate::engine::{SimdEngine, FLAT16_LEN, FLAT_LEN};
+use crate::vector::SimdVec;
+
+/// A 256-bit register with a phantom lane type.
+#[derive(Clone, Copy)]
+pub struct V256<E>(pub(crate) __m256i, PhantomData<E>);
+
+impl<E> V256<E> {
+    #[inline(always)]
+    fn new(v: __m256i) -> Self {
+        Self(v, PhantomData)
+    }
+}
+
+const IOTA8: [i8; 32] = {
+    let mut a = [0i8; 32];
+    let mut i = 0;
+    while i < 32 {
+        a[i] = i as i8;
+        i += 1;
+    }
+    a
+};
+const IOTA16: [i16; 16] = {
+    let mut a = [0i16; 16];
+    let mut i = 0;
+    while i < 16 {
+        a[i] = i as i16;
+        i += 1;
+    }
+    a
+};
+const IOTA32: [i32; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+
+impl SimdVec for V256<i8> {
+    type Elem = i8;
+    const LANES: usize = 32;
+
+    #[inline(always)]
+    fn splat(x: i8) -> Self {
+        unsafe { Self::new(_mm256_set1_epi8(x)) }
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const i8) -> Self {
+        Self::new(_mm256_loadu_si256(ptr as *const __m256i))
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut i8) {
+        _mm256_storeu_si256(ptr as *mut __m256i, self.0)
+    }
+    #[inline(always)]
+    fn adds(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_adds_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn subs(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_subs_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_max_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_min_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpgt(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_cmpgt_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpeq(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_cmpeq_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn and(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_and_si256(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn or(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_or_si256(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn blend(mask: Self, t: Self, f: Self) -> Self {
+        unsafe { Self::new(_mm256_blendv_epi8(f.0, t.0, mask.0)) }
+    }
+    #[inline(always)]
+    fn any(mask: Self) -> bool {
+        unsafe { _mm256_movemask_epi8(mask.0) != 0 }
+    }
+    #[inline(always)]
+    fn hmax(self) -> i8 {
+        unsafe {
+            let lo = _mm256_castsi256_si128(self.0);
+            let hi = _mm256_extracti128_si256(self.0, 1);
+            let mut m = _mm_max_epi8(lo, hi);
+            m = _mm_max_epi8(m, _mm_srli_si128(m, 8));
+            m = _mm_max_epi8(m, _mm_srli_si128(m, 4));
+            m = _mm_max_epi8(m, _mm_srli_si128(m, 2));
+            m = _mm_max_epi8(m, _mm_srli_si128(m, 1));
+            _mm_extract_epi8(m, 0) as i8
+        }
+    }
+    #[inline(always)]
+    fn iota() -> Self {
+        unsafe { Self::load(IOTA8.as_ptr()) }
+    }
+    #[inline(always)]
+    fn shift_in_first(self, first: i8) -> Self {
+        unsafe {
+            // t = [0 | low 128 of self]; alignr stitches the two so the
+            // byte shift crosses the 128-bit boundary.
+            let t = _mm256_permute2x128_si256(self.0, self.0, 0x08);
+            let shifted = _mm256_alignr_epi8(self.0, t, 15);
+            Self::new(_mm256_insert_epi8(shifted, first, 0))
+        }
+    }
+}
+
+impl SimdVec for V256<i16> {
+    type Elem = i16;
+    const LANES: usize = 16;
+
+    #[inline(always)]
+    fn splat(x: i16) -> Self {
+        unsafe { Self::new(_mm256_set1_epi16(x)) }
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const i16) -> Self {
+        Self::new(_mm256_loadu_si256(ptr as *const __m256i))
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut i16) {
+        _mm256_storeu_si256(ptr as *mut __m256i, self.0)
+    }
+    #[inline(always)]
+    fn adds(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_adds_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn subs(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_subs_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_max_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_min_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpgt(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_cmpgt_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpeq(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_cmpeq_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn and(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_and_si256(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn or(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_or_si256(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn blend(mask: Self, t: Self, f: Self) -> Self {
+        // Full-lane masks make byte-granular blendv correct for i16.
+        unsafe { Self::new(_mm256_blendv_epi8(f.0, t.0, mask.0)) }
+    }
+    #[inline(always)]
+    fn any(mask: Self) -> bool {
+        unsafe { _mm256_movemask_epi8(mask.0) != 0 }
+    }
+    #[inline(always)]
+    fn hmax(self) -> i16 {
+        unsafe {
+            let lo = _mm256_castsi256_si128(self.0);
+            let hi = _mm256_extracti128_si256(self.0, 1);
+            let mut m = _mm_max_epi16(lo, hi);
+            m = _mm_max_epi16(m, _mm_srli_si128(m, 8));
+            m = _mm_max_epi16(m, _mm_srli_si128(m, 4));
+            m = _mm_max_epi16(m, _mm_srli_si128(m, 2));
+            _mm_extract_epi16(m, 0) as i16
+        }
+    }
+    #[inline(always)]
+    fn iota() -> Self {
+        unsafe { Self::load(IOTA16.as_ptr()) }
+    }
+    #[inline(always)]
+    fn shift_in_first(self, first: i16) -> Self {
+        unsafe {
+            let t = _mm256_permute2x128_si256(self.0, self.0, 0x08);
+            let shifted = _mm256_alignr_epi8(self.0, t, 14);
+            Self::new(_mm256_insert_epi16(shifted, first, 0))
+        }
+    }
+}
+
+impl SimdVec for V256<i32> {
+    type Elem = i32;
+    const LANES: usize = 8;
+
+    #[inline(always)]
+    fn splat(x: i32) -> Self {
+        unsafe { Self::new(_mm256_set1_epi32(x)) }
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const i32) -> Self {
+        Self::new(_mm256_loadu_si256(ptr as *const __m256i))
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut i32) {
+        _mm256_storeu_si256(ptr as *mut __m256i, self.0)
+    }
+    #[inline(always)]
+    fn adds(self, o: Self) -> Self {
+        // No 32-bit saturating add exists; kernels keep far from the rails.
+        unsafe { Self::new(_mm256_add_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn subs(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_sub_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_max_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_min_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpgt(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_cmpgt_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpeq(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_cmpeq_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn and(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_and_si256(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn or(self, o: Self) -> Self {
+        unsafe { Self::new(_mm256_or_si256(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn blend(mask: Self, t: Self, f: Self) -> Self {
+        unsafe { Self::new(_mm256_blendv_epi8(f.0, t.0, mask.0)) }
+    }
+    #[inline(always)]
+    fn any(mask: Self) -> bool {
+        unsafe { _mm256_movemask_epi8(mask.0) != 0 }
+    }
+    #[inline(always)]
+    fn hmax(self) -> i32 {
+        unsafe {
+            let lo = _mm256_castsi256_si128(self.0);
+            let hi = _mm256_extracti128_si256(self.0, 1);
+            let mut m = _mm_max_epi32(lo, hi);
+            m = _mm_max_epi32(m, _mm_srli_si128(m, 8));
+            m = _mm_max_epi32(m, _mm_srli_si128(m, 4));
+            _mm_cvtsi128_si32(m)
+        }
+    }
+    #[inline(always)]
+    fn iota() -> Self {
+        unsafe { Self::load(IOTA32.as_ptr()) }
+    }
+    #[inline(always)]
+    fn shift_in_first(self, first: i32) -> Self {
+        unsafe {
+            let t = _mm256_permute2x128_si256(self.0, self.0, 0x08);
+            let shifted = _mm256_alignr_epi8(self.0, t, 12);
+            Self::new(_mm256_insert_epi32(shifted, first, 0))
+        }
+    }
+}
+
+/// The AVX2 engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Avx2;
+
+impl SimdEngine for Avx2 {
+    const NAME: &'static str = "AVX2";
+    const WIDTH_BITS: usize = 256;
+    type V8 = V256<i8>;
+    type V16 = V256<i16>;
+    type V32 = V256<i32>;
+
+    #[inline]
+    fn is_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    #[inline(always)]
+    fn lut32(table: &[i8; 32], idx: Self::V8) -> Self::V8 {
+        unsafe {
+            let row = _mm256_loadu_si256(table.as_ptr() as *const __m256i);
+            // Duplicate each 16-entry half into both 128-bit lanes so
+            // vpshufb (which shuffles per-lane) sees the full table.
+            let lo = _mm256_permute2x128_si256(row, row, 0x00);
+            let hi = _mm256_permute2x128_si256(row, row, 0x11);
+            let use_hi = _mm256_cmpgt_epi8(idx.0, _mm256_set1_epi8(15));
+            let vlo = _mm256_shuffle_epi8(lo, idx.0);
+            let vhi = _mm256_shuffle_epi8(hi, idx.0);
+            V256::new(_mm256_blendv_epi8(vlo, vhi, use_hi))
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i32(flat: &[i32; FLAT_LEN], q: *const u8, r: *const u8) -> Self::V32 {
+        let qv = _mm_loadl_epi64(q as *const __m128i);
+        let rv = _mm_loadl_epi64(r as *const __m128i);
+        let q32 = _mm256_cvtepu8_epi32(qv);
+        let r32 = _mm256_cvtepu8_epi32(rv);
+        let idx = _mm256_or_si256(_mm256_slli_epi32(q32, 5), r32);
+        V256::new(_mm256_i32gather_epi32::<4>(flat.as_ptr(), idx))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i16(flat: &[i16; FLAT16_LEN], q: *const u8, r: *const u8) -> Self::V16 {
+        // No 16-bit gather on x86: two dword gathers at i16 granularity
+        // (scale 2, each load grabs the target word plus its neighbour),
+        // masked down to the low word and packed — the "gather is not
+        // exceptionally fast" cost the paper measures. The table carries
+        // two guard elements so the dword read at the last real index
+        // (1023) stays in bounds.
+        let qv = _mm_loadu_si128(q as *const __m128i); // 16 bytes
+        let rv = _mm_loadu_si128(r as *const __m128i);
+        let q_lo = _mm256_cvtepu8_epi32(qv);
+        let q_hi = _mm256_cvtepu8_epi32(_mm_srli_si128(qv, 8));
+        let r_lo = _mm256_cvtepu8_epi32(rv);
+        let r_hi = _mm256_cvtepu8_epi32(_mm_srli_si128(rv, 8));
+        let idx_lo = _mm256_or_si256(_mm256_slli_epi32(q_lo, 5), r_lo);
+        let idx_hi = _mm256_or_si256(_mm256_slli_epi32(q_hi, 5), r_hi);
+        let lo = _mm256_i32gather_epi32::<2>(flat.as_ptr() as *const i32, idx_lo);
+        let hi = _mm256_i32gather_epi32::<2>(flat.as_ptr() as *const i32, idx_hi);
+        // Keep the low word of each dword, sign-extended, so packs_epi32
+        // saturation is a no-op; then undo the per-lane pack interleave.
+        let lo16 = _mm256_srai_epi32(_mm256_slli_epi32(lo, 16), 16);
+        let hi16 = _mm256_srai_epi32(_mm256_slli_epi32(hi, 16), 16);
+        let packed = _mm256_packs_epi32(lo16, hi16);
+        V256::new(_mm256_permute4x64_epi64(packed, 0b11011000))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i8(flat: &[i8; FLAT_LEN], q: *const u8, r: *const u8) -> Self::V8 {
+        // There is no byte gather on x86 (the paper's point): emulate.
+        let mut out = [0i8; 32];
+        for (k, o) in out.iter_mut().enumerate() {
+            let qi = *q.add(k) as usize;
+            let ri = (*r.add(k) as usize) & 31;
+            *o = flat[(qi << 5) | ri];
+        }
+        V256::load(out.as_ptr())
+    }
+}

@@ -1,0 +1,384 @@
+//! AVX-512 backend: 512-bit registers, 64×i8 / 32×i16 / 16×i32 lanes.
+//!
+//! Requires F+BW+VL+VBMI (VBMI provides `vpermb`, the single-instruction
+//! 32-entry byte LUT that replaces AVX2's shuffle+blend pair). The paper
+//! found AVX-512 does **not** deliver 2× over AVX2 (Fig 6) — port fusion
+//! and frequency offsets eat the width advantage; this backend lets the
+//! benchmark reproduce that comparison on real hardware.
+
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+use std::marker::PhantomData;
+
+use crate::engine::{SimdEngine, FLAT16_LEN, FLAT_LEN};
+use crate::vector::SimdVec;
+
+/// A 512-bit register with a phantom lane type.
+#[derive(Clone, Copy)]
+pub struct V512<E>(pub(crate) __m512i, PhantomData<E>);
+
+impl<E> V512<E> {
+    #[inline(always)]
+    fn new(v: __m512i) -> Self {
+        Self(v, PhantomData)
+    }
+}
+
+const IOTA8: [i8; 64] = {
+    let mut a = [0i8; 64];
+    let mut i = 0;
+    while i < 64 {
+        a[i] = i as i8;
+        i += 1;
+    }
+    a
+};
+const IOTA16: [i16; 32] = {
+    let mut a = [0i16; 32];
+    let mut i = 0;
+    while i < 32 {
+        a[i] = i as i16;
+        i += 1;
+    }
+    a
+};
+const IOTA32: [i32; 16] = {
+    let mut a = [0i32; 16];
+    let mut i = 0;
+    while i < 16 {
+        a[i] = i as i32;
+        i += 1;
+    }
+    a
+};
+
+/// Permutation indices shifting bytes up by one across the full register.
+const SHIFT1_8: [i8; 64] = {
+    let mut a = [0i8; 64];
+    let mut i = 1;
+    while i < 64 {
+        a[i] = (i - 1) as i8;
+        i += 1;
+    }
+    a
+};
+const SHIFT1_16: [i16; 32] = {
+    let mut a = [0i16; 32];
+    let mut i = 1;
+    while i < 32 {
+        a[i] = (i - 1) as i16;
+        i += 1;
+    }
+    a
+};
+
+impl SimdVec for V512<i8> {
+    type Elem = i8;
+    const LANES: usize = 64;
+
+    #[inline(always)]
+    fn splat(x: i8) -> Self {
+        unsafe { Self::new(_mm512_set1_epi8(x)) }
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const i8) -> Self {
+        Self::new(_mm512_loadu_si512(ptr as *const __m512i))
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut i8) {
+        _mm512_storeu_si512(ptr as *mut __m512i, self.0)
+    }
+    #[inline(always)]
+    fn adds(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_adds_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn subs(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_subs_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_max_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_min_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpgt(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_movm_epi8(_mm512_cmpgt_epi8_mask(self.0, o.0))) }
+    }
+    #[inline(always)]
+    fn cmpeq(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_movm_epi8(_mm512_cmpeq_epi8_mask(self.0, o.0))) }
+    }
+    #[inline(always)]
+    fn and(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_and_si512(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn or(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_or_si512(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn blend(mask: Self, t: Self, f: Self) -> Self {
+        unsafe {
+            let k = _mm512_movepi8_mask(mask.0);
+            Self::new(_mm512_mask_blend_epi8(k, f.0, t.0))
+        }
+    }
+    #[inline(always)]
+    fn any(mask: Self) -> bool {
+        unsafe { _mm512_movepi8_mask(mask.0) != 0 }
+    }
+    #[inline(always)]
+    fn hmax(self) -> i8 {
+        let mut buf = [0i8; 64];
+        unsafe { self.store(buf.as_mut_ptr()) };
+        buf.into_iter().max().unwrap()
+    }
+    #[inline(always)]
+    fn iota() -> Self {
+        unsafe { Self::load(IOTA8.as_ptr()) }
+    }
+    #[inline(always)]
+    fn shift_in_first(self, first: i8) -> Self {
+        unsafe {
+            let idx = _mm512_loadu_si512(SHIFT1_8.as_ptr() as *const __m512i);
+            let shifted = _mm512_permutexvar_epi8(idx, self.0);
+            Self::new(_mm512_mask_mov_epi8(shifted, 1, _mm512_set1_epi8(first)))
+        }
+    }
+}
+
+impl SimdVec for V512<i16> {
+    type Elem = i16;
+    const LANES: usize = 32;
+
+    #[inline(always)]
+    fn splat(x: i16) -> Self {
+        unsafe { Self::new(_mm512_set1_epi16(x)) }
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const i16) -> Self {
+        Self::new(_mm512_loadu_si512(ptr as *const __m512i))
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut i16) {
+        _mm512_storeu_si512(ptr as *mut __m512i, self.0)
+    }
+    #[inline(always)]
+    fn adds(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_adds_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn subs(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_subs_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_max_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_min_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpgt(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_movm_epi16(_mm512_cmpgt_epi16_mask(self.0, o.0))) }
+    }
+    #[inline(always)]
+    fn cmpeq(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_movm_epi16(_mm512_cmpeq_epi16_mask(self.0, o.0))) }
+    }
+    #[inline(always)]
+    fn and(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_and_si512(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn or(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_or_si512(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn blend(mask: Self, t: Self, f: Self) -> Self {
+        unsafe {
+            let k = _mm512_movepi16_mask(mask.0);
+            Self::new(_mm512_mask_blend_epi16(k, f.0, t.0))
+        }
+    }
+    #[inline(always)]
+    fn any(mask: Self) -> bool {
+        unsafe { _mm512_movepi16_mask(mask.0) != 0 }
+    }
+    #[inline(always)]
+    fn hmax(self) -> i16 {
+        let mut buf = [0i16; 32];
+        unsafe { self.store(buf.as_mut_ptr()) };
+        buf.into_iter().max().unwrap()
+    }
+    #[inline(always)]
+    fn iota() -> Self {
+        unsafe { Self::load(IOTA16.as_ptr()) }
+    }
+    #[inline(always)]
+    fn shift_in_first(self, first: i16) -> Self {
+        unsafe {
+            let idx = _mm512_loadu_si512(SHIFT1_16.as_ptr() as *const __m512i);
+            let shifted = _mm512_permutexvar_epi16(idx, self.0);
+            Self::new(_mm512_mask_mov_epi16(shifted, 1, _mm512_set1_epi16(first)))
+        }
+    }
+}
+
+impl SimdVec for V512<i32> {
+    type Elem = i32;
+    const LANES: usize = 16;
+
+    #[inline(always)]
+    fn splat(x: i32) -> Self {
+        unsafe { Self::new(_mm512_set1_epi32(x)) }
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const i32) -> Self {
+        Self::new(_mm512_loadu_si512(ptr as *const __m512i))
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut i32) {
+        _mm512_storeu_si512(ptr as *mut __m512i, self.0)
+    }
+    #[inline(always)]
+    fn adds(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_add_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn subs(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_sub_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_max_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_min_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpgt(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_movm_epi32(_mm512_cmpgt_epi32_mask(self.0, o.0))) }
+    }
+    #[inline(always)]
+    fn cmpeq(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_movm_epi32(_mm512_cmpeq_epi32_mask(self.0, o.0))) }
+    }
+    #[inline(always)]
+    fn and(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_and_si512(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn or(self, o: Self) -> Self {
+        unsafe { Self::new(_mm512_or_si512(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn blend(mask: Self, t: Self, f: Self) -> Self {
+        unsafe {
+            let k = _mm512_movepi32_mask(mask.0);
+            Self::new(_mm512_mask_blend_epi32(k, f.0, t.0))
+        }
+    }
+    #[inline(always)]
+    fn any(mask: Self) -> bool {
+        unsafe { _mm512_movepi32_mask(mask.0) != 0 }
+    }
+    #[inline(always)]
+    fn hmax(self) -> i32 {
+        unsafe { _mm512_reduce_max_epi32(self.0) }
+    }
+    #[inline(always)]
+    fn iota() -> Self {
+        unsafe { Self::load(IOTA32.as_ptr()) }
+    }
+    #[inline(always)]
+    fn shift_in_first(self, first: i32) -> Self {
+        unsafe {
+            // valignd: concat(self, splat(first)) >> 15 dwords puts
+            // `first` in lane 0 and self[k-1] in lane k.
+            let f = _mm512_set1_epi32(first);
+            Self::new(_mm512_alignr_epi32(self.0, f, 15))
+        }
+    }
+}
+
+/// The AVX-512 engine (F+BW+VL+VBMI).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Avx512;
+
+impl SimdEngine for Avx512 {
+    const NAME: &'static str = "AVX-512";
+    const WIDTH_BITS: usize = 512;
+    type V8 = V512<i8>;
+    type V16 = V512<i16>;
+    type V32 = V512<i32>;
+
+    #[inline]
+    fn is_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+            && std::arch::is_x86_feature_detected!("avx512vbmi")
+    }
+
+    #[inline(always)]
+    fn lut32(table: &[i8; 32], idx: Self::V8) -> Self::V8 {
+        unsafe {
+            // Broadcast the 32-byte row into both halves; vpermb indexes
+            // 64 entries, so duplicated halves make any 0..63 index safe
+            // while 0..31 hits the real row.
+            let row256 = _mm256_loadu_si256(table.as_ptr() as *const __m256i);
+            let t = _mm512_broadcast_i64x4(row256);
+            V512::new(_mm512_permutexvar_epi8(idx.0, t))
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i32(flat: &[i32; FLAT_LEN], q: *const u8, r: *const u8) -> Self::V32 {
+        let qv = _mm_loadu_si128(q as *const __m128i);
+        let rv = _mm_loadu_si128(r as *const __m128i);
+        let q32 = _mm512_cvtepu8_epi32(qv);
+        let r32 = _mm512_cvtepu8_epi32(rv);
+        let idx = _mm512_or_si512(_mm512_slli_epi32(q32, 5), r32);
+        V512::new(_mm512_i32gather_epi32::<4>(idx, flat.as_ptr()))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i16(flat: &[i16; FLAT16_LEN], q: *const u8, r: *const u8) -> Self::V16 {
+        // Two dword gathers at word granularity, then truncate with
+        // vpmovdw — no pack-order fixup needed on AVX-512.
+        let qv = _mm256_loadu_si256(q as *const __m256i); // 32 bytes
+        let rv = _mm256_loadu_si256(r as *const __m256i);
+        let q_lo = _mm512_cvtepu8_epi32(_mm256_castsi256_si128(qv));
+        let q_hi = _mm512_cvtepu8_epi32(_mm256_extracti128_si256(qv, 1));
+        let r_lo = _mm512_cvtepu8_epi32(_mm256_castsi256_si128(rv));
+        let r_hi = _mm512_cvtepu8_epi32(_mm256_extracti128_si256(rv, 1));
+        let idx_lo = _mm512_or_si512(_mm512_slli_epi32(q_lo, 5), r_lo);
+        let idx_hi = _mm512_or_si512(_mm512_slli_epi32(q_hi, 5), r_hi);
+        let lo = _mm512_i32gather_epi32::<2>(idx_lo, flat.as_ptr() as *const i32);
+        let hi = _mm512_i32gather_epi32::<2>(idx_hi, flat.as_ptr() as *const i32);
+        let lo16 = _mm512_cvtepi32_epi16(lo);
+        let hi16 = _mm512_cvtepi32_epi16(hi);
+        let out = _mm512_inserti64x4(_mm512_castsi256_si512(lo16), hi16, 1);
+        V512::new(out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i8(flat: &[i8; FLAT_LEN], q: *const u8, r: *const u8) -> Self::V8 {
+        // Still no byte gather in AVX-512; emulate.
+        let mut out = [0i8; 64];
+        for (k, o) in out.iter_mut().enumerate() {
+            let qi = *q.add(k) as usize;
+            let ri = (*r.add(k) as usize) & 31;
+            *o = flat[(qi << 5) | ri];
+        }
+        V512::load(out.as_ptr())
+    }
+}

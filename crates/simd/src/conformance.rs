@@ -1,0 +1,200 @@
+//! Cross-engine conformance tests: every backend must agree with the
+//! scalar reference on every operation, across random inputs.
+//!
+//! Hardware backends are skipped (not failed) on machines without the
+//! ISA, so the suite is portable.
+
+use crate::elem::ScoreElem;
+use crate::engine::{SimdEngine, FLAT16_LEN, FLAT_LEN};
+use crate::scalar::Scalar;
+use crate::vector::SimdVec;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_lanes<E: ScoreElem>(rng: &mut StdRng, n: usize) -> Vec<E> {
+    (0..n).map(|_| E::from_i32(rng.gen_range(i8::MIN as i32..=i8::MAX as i32))).collect()
+}
+
+/// Exhaustive op check of one vector width of one engine against the
+/// scalar semantics.
+fn check_vec_ops<V: SimdVec>(seed: u64)
+where
+    V::Elem: ScoreElem,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 0..50 {
+        let xs = rand_lanes::<V::Elem>(&mut rng, V::LANES);
+        let ys = rand_lanes::<V::Elem>(&mut rng, V::LANES);
+        let a = V::load_slice(&xs);
+        let b = V::load_slice(&ys);
+
+        let got_add = a.adds(b).to_vec();
+        let got_sub = a.subs(b).to_vec();
+        let got_max = a.max(b).to_vec();
+        let got_min = a.min(b).to_vec();
+        let got_gt = a.cmpgt(b).to_vec();
+        let got_eq = a.cmpeq(b).to_vec();
+        let got_blend = V::blend(a.cmpgt(b), a, b).to_vec();
+        for k in 0..V::LANES {
+            assert_eq!(got_add[k], xs[k].sat_add(ys[k]), "adds lane {k} round {round}");
+            assert_eq!(got_sub[k], xs[k].sat_sub(ys[k]), "subs lane {k}");
+            assert_eq!(got_max[k], xs[k].max_elem(ys[k]), "max lane {k}");
+            assert_eq!(got_min[k], if ys[k] < xs[k] { ys[k] } else { xs[k] }, "min lane {k}");
+            assert_eq!(got_gt[k] != V::Elem::ZERO, xs[k] > ys[k], "cmpgt lane {k}");
+            assert_eq!(got_eq[k] != V::Elem::ZERO, xs[k] == ys[k], "cmpeq lane {k}");
+            assert_eq!(
+                got_blend[k],
+                if xs[k] > ys[k] { xs[k] } else { ys[k] },
+                "blend lane {k}"
+            );
+        }
+
+        // hmax
+        assert_eq!(a.hmax(), xs.iter().copied().max().unwrap(), "hmax round {round}");
+
+        // any
+        assert!(V::any(a.cmpeq(a)));
+        assert!(!V::any(a.cmpgt(a)));
+
+        // iota & mask_first
+        let iota = V::iota().to_vec();
+        for (k, &v) in iota.iter().enumerate() {
+            assert_eq!(v.to_i32(), k as i32, "iota lane {k}");
+        }
+        for len in [0, 1, V::LANES / 2, V::LANES] {
+            let m = V::mask_first(len).to_vec();
+            for (k, &v) in m.iter().enumerate() {
+                assert_eq!(v != V::Elem::ZERO, k < len, "mask_first({len}) lane {k}");
+            }
+        }
+
+        // shift_in_first
+        let first = V::Elem::from_i32(-42);
+        let shifted = a.shift_in_first(first).to_vec();
+        assert_eq!(shifted[0], first, "shift lane 0");
+        for k in 1..V::LANES {
+            assert_eq!(shifted[k], xs[k - 1], "shift lane {k}");
+        }
+
+        // splat / store roundtrip
+        let s = V::splat(V::Elem::from_i32(round - 25)).to_vec();
+        assert!(s.iter().all(|&v| v == V::Elem::from_i32(round - 25)));
+    }
+}
+
+fn check_engine_tables<E: SimdEngine>(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // lut32 vs direct indexing.
+    let mut table = [0i8; 32];
+    for t in table.iter_mut() {
+        *t = rng.gen_range(i8::MIN..=i8::MAX);
+    }
+    for _ in 0..20 {
+        let idx: Vec<i8> = (0..E::V8::LANES).map(|_| rng.gen_range(0..32i32) as i8).collect();
+        let v = E::V8::load_slice(&idx);
+        let got = E::lut32(&table, v).to_vec();
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(got[k], table[i as usize], "lut32 lane {k} idx {i}");
+        }
+    }
+
+    // gathers vs direct indexing.
+    let mut flat8 = [0i8; FLAT_LEN];
+    for v in flat8.iter_mut() {
+        *v = rng.gen_range(-64..=64i32) as i8;
+    }
+    let mut flat16 = [0i16; FLAT16_LEN];
+    let mut flat32 = [0i32; FLAT_LEN];
+    for i in 0..FLAT_LEN {
+        flat16[i] = flat8[i] as i16;
+        flat32[i] = flat8[i] as i32;
+    }
+
+    let qs: Vec<u8> = (0..64).map(|_| rng.gen_range(0..32u8)).collect();
+    let rs: Vec<u8> = (0..64).map(|_| rng.gen_range(0..32u8)).collect();
+
+    // SAFETY: qs/rs are 64 bytes, enough for every lane count; all < 32.
+    unsafe {
+        let g32 = E::gather_scores_i32(&flat32, qs.as_ptr(), rs.as_ptr()).to_vec();
+        for (k, g) in g32.iter().enumerate() {
+            let want = flat32[((qs[k] as usize) << 5) | rs[k] as usize];
+            assert_eq!(*g, want, "gather_i32 lane {k}");
+        }
+        let g16 = E::gather_scores_i16(&flat16, qs.as_ptr(), rs.as_ptr()).to_vec();
+        for (k, g) in g16.iter().enumerate() {
+            let want = flat16[((qs[k] as usize) << 5) | rs[k] as usize];
+            assert_eq!(*g, want, "gather_i16 lane {k}");
+        }
+        let g8 = E::gather_scores_i8(&flat8, qs.as_ptr(), rs.as_ptr()).to_vec();
+        for (k, g) in g8.iter().enumerate() {
+            let want = flat8[((qs[k] as usize) << 5) | rs[k] as usize];
+            assert_eq!(*g, want, "gather_i8 lane {k}");
+        }
+    }
+
+    // The i16 gather at the extreme index (1023) must stay in bounds and
+    // return the right value — the guard-element regression test.
+    let qmax = [31u8; 64];
+    let rmax = [31u8; 64];
+    unsafe {
+        let g16 = E::gather_scores_i16(&flat16, qmax.as_ptr(), rmax.as_ptr()).to_vec();
+        for (k, g) in g16.iter().enumerate() {
+            assert_eq!(*g, flat16[1023], "gather_i16 max-index lane {k}");
+        }
+    }
+}
+
+macro_rules! engine_suite {
+    ($modname:ident, $engine:ty, $seed:literal) => {
+        mod $modname {
+            use super::*;
+
+            fn available() -> bool {
+                <$engine as SimdEngine>::is_available()
+            }
+
+            #[test]
+            fn v8_ops() {
+                if !available() {
+                    eprintln!("skipping: {} unavailable", <$engine as SimdEngine>::NAME);
+                    return;
+                }
+                check_vec_ops::<<$engine as SimdEngine>::V8>($seed);
+            }
+
+            #[test]
+            fn v16_ops() {
+                if !available() {
+                    return;
+                }
+                check_vec_ops::<<$engine as SimdEngine>::V16>($seed + 1);
+            }
+
+            #[test]
+            fn v32_ops() {
+                if !available() {
+                    return;
+                }
+                check_vec_ops::<<$engine as SimdEngine>::V32>($seed + 2);
+            }
+
+            #[test]
+            fn tables() {
+                if !available() {
+                    return;
+                }
+                check_engine_tables::<$engine>($seed + 3);
+            }
+        }
+    };
+}
+
+engine_suite!(scalar_engine, Scalar, 0xC0FFEE);
+#[cfg(target_arch = "x86_64")]
+engine_suite!(sse41_engine, crate::sse41::Sse41, 0xBEEF);
+#[cfg(target_arch = "x86_64")]
+engine_suite!(avx2_engine, crate::avx2::Avx2, 0xFACE);
+#[cfg(target_arch = "x86_64")]
+engine_suite!(avx512_engine, crate::avx512::Avx512, 0xF00D);

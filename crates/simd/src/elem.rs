@@ -1,0 +1,170 @@
+//! Scalar score element types usable as vector lanes.
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for i8 {}
+    impl Sealed for i16 {}
+    impl Sealed for i32 {}
+}
+
+/// A signed integer score element (`i8`, `i16` or `i32`).
+///
+/// Kernels are generic over the element so the same recurrence compiles
+/// at every precision. `i8`/`i16` arithmetic is *saturating* (matching
+/// the `padds`/`psubs` instruction families); `i32` wraps, and kernels
+/// guarantee by construction that 32-bit scores never approach the limit.
+pub trait ScoreElem:
+    sealed::Sealed
+    + Copy
+    + Default
+    + PartialEq
+    + Eq
+    + PartialOrd
+    + Ord
+    + std::fmt::Debug
+    + std::fmt::Display
+    + Send
+    + Sync
+    + 'static
+{
+    /// Largest representable score (saturation point).
+    const MAX: Self;
+    /// Smallest representable score (used as -infinity for gap states).
+    const MIN: Self;
+    /// Zero.
+    const ZERO: Self;
+    /// The value kernels use as "minus infinity" for gap states. For
+    /// saturating widths this is `MIN`; for wrapping `i32` lanes it is
+    /// `MIN / 4`, leaving headroom so repeated subtraction cannot wrap.
+    const NEG_INF: Self;
+    /// Lane width in bits.
+    const BITS: u32;
+
+    /// Saturating add (`i32`: wrapping).
+    fn sat_add(self, o: Self) -> Self;
+    /// Saturating sub (`i32`: wrapping).
+    fn sat_sub(self, o: Self) -> Self;
+    /// Lane-wise max.
+    fn max_elem(self, o: Self) -> Self;
+    /// Widen to i32.
+    fn to_i32(self) -> i32;
+    /// Narrow from i32 with clamping.
+    fn from_i32(v: i32) -> Self;
+    /// Widen an i8 matrix score.
+    fn from_i8(v: i8) -> Self;
+    /// Narrow from usize with clamping (for iota/mask construction).
+    fn from_usize(v: usize) -> Self {
+        Self::from_i32(v.min(i32::MAX as usize) as i32)
+    }
+}
+
+macro_rules! impl_elem {
+    ($t:ty, $bits:literal, sat) => {
+        impl ScoreElem for $t {
+            const MAX: Self = <$t>::MAX;
+            const MIN: Self = <$t>::MIN;
+            const ZERO: Self = 0;
+            const NEG_INF: Self = <$t>::MIN;
+            const BITS: u32 = $bits;
+            #[inline(always)]
+            fn sat_add(self, o: Self) -> Self {
+                self.saturating_add(o)
+            }
+            #[inline(always)]
+            fn sat_sub(self, o: Self) -> Self {
+                self.saturating_sub(o)
+            }
+            #[inline(always)]
+            fn max_elem(self, o: Self) -> Self {
+                if self > o { self } else { o }
+            }
+            #[inline(always)]
+            fn to_i32(self) -> i32 {
+                self as i32
+            }
+            #[inline(always)]
+            fn from_i32(v: i32) -> Self {
+                v.clamp(<$t>::MIN as i32, <$t>::MAX as i32) as $t
+            }
+            #[inline(always)]
+            fn from_i8(v: i8) -> Self {
+                v as $t
+            }
+        }
+    };
+}
+
+impl_elem!(i8, 8, sat);
+impl_elem!(i16, 16, sat);
+
+impl ScoreElem for i32 {
+    const MAX: Self = i32::MAX;
+    const MIN: Self = i32::MIN;
+    const ZERO: Self = 0;
+    const NEG_INF: Self = i32::MIN / 4;
+    const BITS: u32 = 32;
+    // x86 has no 32-bit saturating vector add; model i32 lanes as
+    // wrapping and keep kernel scores far from the limits instead.
+    #[inline(always)]
+    fn sat_add(self, o: Self) -> Self {
+        self.wrapping_add(o)
+    }
+    #[inline(always)]
+    fn sat_sub(self, o: Self) -> Self {
+        self.wrapping_sub(o)
+    }
+    #[inline(always)]
+    fn max_elem(self, o: Self) -> Self {
+        if self > o { self } else { o }
+    }
+    #[inline(always)]
+    fn to_i32(self) -> i32 {
+        self
+    }
+    #[inline(always)]
+    fn from_i32(v: i32) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn from_i8(v: i8) -> Self {
+        v as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i8_saturates() {
+        assert_eq!(100i8.sat_add(100), i8::MAX);
+        assert_eq!((-100i8).sat_sub(100), i8::MIN);
+        assert_eq!(5i8.sat_add(3), 8);
+    }
+
+    #[test]
+    fn i16_saturates() {
+        assert_eq!(30_000i16.sat_add(30_000), i16::MAX);
+        assert_eq!((-30_000i16).sat_sub(30_000), i16::MIN);
+    }
+
+    #[test]
+    fn i32_wraps_by_design() {
+        assert_eq!(i32::MAX.sat_add(1), i32::MIN);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(i8::from_i32(1000), i8::MAX);
+        assert_eq!(i8::from_i32(-1000), i8::MIN);
+        assert_eq!(i16::from_i8(-64), -64i16);
+        assert_eq!(i8::from_usize(300), i8::MAX);
+        assert_eq!(i16::from_usize(300), 300i16);
+    }
+
+    #[test]
+    fn max_elem() {
+        assert_eq!(3i8.max_elem(-5), 3);
+        assert_eq!((-7i32).max_elem(-5), -5);
+    }
+}

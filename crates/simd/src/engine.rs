@@ -1,0 +1,184 @@
+//! The `SimdEngine` abstraction and runtime dispatch.
+
+use crate::vector::SimdVec;
+
+/// Flat substitution table length: 32 query residues x 32 db residues.
+pub const FLAT_LEN: usize = 1024;
+
+/// The i16 flat table carries two guard elements because the synthesized
+/// 16-bit gather reads dwords (see `gather_scores_i16`).
+pub const FLAT16_LEN: usize = FLAT_LEN + 2;
+
+/// A SIMD instruction-set backend: vector types at the three score
+/// widths plus the table-lookup primitives the kernels need.
+pub trait SimdEngine: Copy + Default + Send + Sync + 'static {
+    /// Human-readable name ("AVX2", ...).
+    const NAME: &'static str;
+    /// Register width in bits.
+    const WIDTH_BITS: usize;
+
+    /// 8-bit lane vector.
+    type V8: SimdVec<Elem = i8>;
+    /// 16-bit lane vector.
+    type V16: SimdVec<Elem = i16>;
+    /// 32-bit lane vector.
+    type V32: SimdVec<Elem = i32>;
+
+    /// True if this engine's instructions are available on the running CPU.
+    fn is_available() -> bool;
+
+    /// 32-entry byte table lookup: `out[k] = table[idx[k] & 31]`.
+    ///
+    /// This is the paper's 8-bit gather replacement (§III-C): one
+    /// reorganized matrix row (32 bytes) is the table, a vector of
+    /// residue indices selects scores. AVX2 implements it with two
+    /// `vpshufb` + blend; AVX-512 with a single `vpermb`.
+    fn lut32(table: &[i8; 32], idx: Self::V8) -> Self::V8;
+
+    /// Substitution-score gather at 32-bit width:
+    /// `out[k] = flat[(q[k] << 5) | r[k]]` for `LANES` consecutive
+    /// query-residue and (reversed) db-residue indices.
+    ///
+    /// # Safety
+    /// `q` and `r` must each be valid for reading `V32::LANES` bytes,
+    /// and every byte must be `< 32`.
+    unsafe fn gather_scores_i32(flat: &[i32; FLAT_LEN], q: *const u8, r: *const u8) -> Self::V32;
+
+    /// Substitution-score gather at 16-bit width. Intel has no 16-bit
+    /// gather; backends synthesize it from two 32-bit gathers plus a
+    /// pack (the cost the paper attributes to gather pressure).
+    ///
+    /// # Safety
+    /// As [`Self::gather_scores_i32`], with `V16::LANES` bytes.
+    unsafe fn gather_scores_i16(flat: &[i16; FLAT16_LEN], q: *const u8, r: *const u8) -> Self::V16;
+
+    /// Substitution-score gather at 8-bit width. **Emulated** — there is
+    /// no 8-bit gather on any x86 ISA (the paper's motivation for the
+    /// query-profile path); backends fall back to scalar fills.
+    ///
+    /// # Safety
+    /// As [`Self::gather_scores_i32`], with `V8::LANES` bytes.
+    unsafe fn gather_scores_i8(flat: &[i8; FLAT_LEN], q: *const u8, r: *const u8) -> Self::V8;
+}
+
+/// The engines that may be available at runtime, in preference order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Portable scalar emulation (128-bit-equivalent lane counts).
+    Scalar,
+    /// SSE4.1, 128-bit registers.
+    Sse41,
+    /// AVX2, 256-bit registers.
+    Avx2,
+    /// AVX-512 (F+BW+VL+VBMI), 512-bit registers.
+    Avx512,
+}
+
+impl EngineKind {
+    /// All engine kinds, weakest first.
+    pub const ALL: [EngineKind; 4] =
+        [EngineKind::Scalar, EngineKind::Sse41, EngineKind::Avx2, EngineKind::Avx512];
+
+    /// Engine name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Scalar => "scalar",
+            EngineKind::Sse41 => "SSE4.1",
+            EngineKind::Avx2 => "AVX2",
+            EngineKind::Avx512 => "AVX-512",
+        }
+    }
+
+    /// Register width in bits.
+    pub fn width_bits(self) -> usize {
+        match self {
+            EngineKind::Scalar | EngineKind::Sse41 => 128,
+            EngineKind::Avx2 => 256,
+            EngineKind::Avx512 => 512,
+        }
+    }
+
+    /// True if the running CPU supports this engine.
+    pub fn is_available(self) -> bool {
+        match self {
+            EngineKind::Scalar => true,
+            EngineKind::Sse41 => cfg!(target_arch = "x86_64") && is_x86_sse41(),
+            EngineKind::Avx2 => cfg!(target_arch = "x86_64") && is_x86_avx2(),
+            EngineKind::Avx512 => cfg!(target_arch = "x86_64") && is_x86_avx512(),
+        }
+    }
+
+    /// Engines available on the running CPU, weakest first.
+    pub fn available() -> Vec<EngineKind> {
+        Self::ALL.into_iter().filter(|k| k.is_available()).collect()
+    }
+
+    /// The widest available engine.
+    pub fn best() -> EngineKind {
+        *Self::available().last().expect("scalar is always available")
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn is_x86_sse41() -> bool {
+    std::arch::is_x86_feature_detected!("sse4.1")
+}
+#[cfg(target_arch = "x86_64")]
+fn is_x86_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+#[cfg(target_arch = "x86_64")]
+fn is_x86_avx512() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512bw")
+        && std::arch::is_x86_feature_detected!("avx512vl")
+        && std::arch::is_x86_feature_detected!("avx512vbmi")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn is_x86_sse41() -> bool {
+    false
+}
+#[cfg(not(target_arch = "x86_64"))]
+fn is_x86_avx2() -> bool {
+    false
+}
+#[cfg(not(target_arch = "x86_64"))]
+fn is_x86_avx512() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_always_available() {
+        assert!(EngineKind::Scalar.is_available());
+        assert!(!EngineKind::available().is_empty());
+    }
+
+    #[test]
+    fn best_is_last_available() {
+        let avail = EngineKind::available();
+        assert_eq!(EngineKind::best(), *avail.last().unwrap());
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(EngineKind::Scalar.width_bits(), 128);
+        assert_eq!(EngineKind::Avx2.width_bits(), 256);
+        assert_eq!(EngineKind::Avx512.width_bits(), 512);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(EngineKind::Avx2.to_string(), "AVX2");
+    }
+}

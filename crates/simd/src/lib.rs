@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # swsimd-simd
+//!
+//! The SIMD engine substrate for the swsimd workspace: a small, kernel-
+//! oriented abstraction over x86 vector extensions with four backends —
+//! scalar emulation (portable), SSE4.1, AVX2 and AVX-512 — plus the two
+//! table-lookup primitives Smith-Waterman kernels need: a 32-entry byte
+//! LUT (`vpshufb`/`vpermb`, the paper's 8-bit gather replacement) and
+//! substitution-score gathers at 16/32-bit widths (`vpgatherdd`).
+//!
+//! Kernels are written once, generic over [`SimdEngine`], and
+//! instantiated inside `#[target_feature]` wrappers; every vector op is
+//! `#[inline(always)]` so the generic body compiles to straight-line
+//! vector code for each ISA (the `memchr` dispatch pattern).
+//!
+//! ```
+//! use swsimd_simd::{EngineKind, Scalar, SimdEngine, SimdVec};
+//!
+//! // Runtime detection:
+//! let best = EngineKind::best();
+//! assert!(best.is_available());
+//!
+//! // Generic vector code:
+//! fn saturating_row_max<E: SimdEngine>(a: &[i8], b: &[i8]) -> i8 {
+//!     let va = <E::V8 as SimdVec>::load_slice(a);
+//!     let vb = <E::V8 as SimdVec>::load_slice(b);
+//!     va.adds(vb).hmax()
+//! }
+//! let xs = [1i8; 16];
+//! let ys = [2i8; 16];
+//! assert_eq!(saturating_row_max::<Scalar>(&xs, &ys), 3);
+//! ```
+
+pub mod elem;
+pub mod engine;
+pub mod scalar;
+pub mod vector;
+
+#[cfg(target_arch = "x86_64")]
+pub mod avx2;
+#[cfg(target_arch = "x86_64")]
+pub mod avx512;
+#[cfg(target_arch = "x86_64")]
+pub mod sse41;
+
+pub use elem::ScoreElem;
+pub use engine::{EngineKind, SimdEngine, FLAT16_LEN, FLAT_LEN};
+pub use scalar::Scalar;
+pub use vector::SimdVec;
+
+#[cfg(target_arch = "x86_64")]
+pub use avx2::Avx2;
+#[cfg(target_arch = "x86_64")]
+pub use avx512::Avx512;
+#[cfg(target_arch = "x86_64")]
+pub use sse41::Sse41;
+
+#[cfg(test)]
+mod conformance;

@@ -1,0 +1,280 @@
+//! Portable scalar emulation engine.
+//!
+//! Lane counts mirror a 128-bit register (16×i8, 8×i16, 4×i32) so the
+//! segment/padding logic in kernels is exercised identically on machines
+//! without vector extensions. The compiler frequently auto-vectorizes
+//! these loops; correctness, not speed, is the contract.
+
+use crate::elem::ScoreElem;
+use crate::engine::{SimdEngine, FLAT16_LEN, FLAT_LEN};
+use crate::vector::SimdVec;
+
+/// A scalar-emulated vector of `N` lanes.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalarVec<E: ScoreElem, const N: usize>(pub(crate) [E; N]);
+
+impl<E: ScoreElem, const N: usize> SimdVec for ScalarVec<E, N> {
+    type Elem = E;
+    const LANES: usize = N;
+
+    #[inline(always)]
+    fn splat(x: E) -> Self {
+        Self([x; N])
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const E) -> Self {
+        let mut out = [E::ZERO; N];
+        std::ptr::copy_nonoverlapping(ptr, out.as_mut_ptr(), N);
+        Self(out)
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut E) {
+        std::ptr::copy_nonoverlapping(self.0.as_ptr(), ptr, N);
+    }
+
+    #[inline(always)]
+    fn adds(self, o: Self) -> Self {
+        let mut out = self.0;
+        for (a, b) in out.iter_mut().zip(o.0) {
+            *a = a.sat_add(b);
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn subs(self, o: Self) -> Self {
+        let mut out = self.0;
+        for (a, b) in out.iter_mut().zip(o.0) {
+            *a = a.sat_sub(b);
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        let mut out = self.0;
+        for (a, b) in out.iter_mut().zip(o.0) {
+            *a = a.max_elem(b);
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        let mut out = self.0;
+        for (a, b) in out.iter_mut().zip(o.0) {
+            if b < *a {
+                *a = b;
+            }
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn cmpgt(self, o: Self) -> Self {
+        let mut out = [E::ZERO; N];
+        for (slot, (a, b)) in out.iter_mut().zip(self.0.iter().zip(o.0.iter())) {
+            *slot = if a > b { E::from_i32(-1) } else { E::ZERO };
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn cmpeq(self, o: Self) -> Self {
+        let mut out = [E::ZERO; N];
+        for (slot, (a, b)) in out.iter_mut().zip(self.0.iter().zip(o.0.iter())) {
+            *slot = if a == b { E::from_i32(-1) } else { E::ZERO };
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn and(self, o: Self) -> Self {
+        let mut out = [E::ZERO; N];
+        for (slot, (a, b)) in out.iter_mut().zip(self.0.iter().zip(o.0.iter())) {
+            *slot = E::from_i32(a.to_i32() & b.to_i32());
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn or(self, o: Self) -> Self {
+        let mut out = [E::ZERO; N];
+        for (slot, (a, b)) in out.iter_mut().zip(self.0.iter().zip(o.0.iter())) {
+            *slot = E::from_i32(a.to_i32() | b.to_i32());
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn blend(mask: Self, t: Self, f: Self) -> Self {
+        let mut out = [E::ZERO; N];
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = if mask.0[k] != E::ZERO { t.0[k] } else { f.0[k] };
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn any(mask: Self) -> bool {
+        mask.0.iter().any(|&m| m != E::ZERO)
+    }
+
+    #[inline(always)]
+    fn hmax(self) -> E {
+        let mut m = self.0[0];
+        for &v in &self.0[1..] {
+            m = m.max_elem(v);
+        }
+        m
+    }
+
+    #[inline(always)]
+    fn iota() -> Self {
+        let mut out = [E::ZERO; N];
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = E::from_usize(k);
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn shift_in_first(self, first: E) -> Self {
+        let mut out = [first; N];
+        out[1..N].copy_from_slice(&self.0[..N - 1]);
+        Self(out)
+    }
+}
+
+/// The portable scalar engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scalar;
+
+impl SimdEngine for Scalar {
+    const NAME: &'static str = "scalar";
+    const WIDTH_BITS: usize = 128;
+    type V8 = ScalarVec<i8, 16>;
+    type V16 = ScalarVec<i16, 8>;
+    type V32 = ScalarVec<i32, 4>;
+
+    #[inline]
+    fn is_available() -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn lut32(table: &[i8; 32], idx: Self::V8) -> Self::V8 {
+        let mut out = [0i8; 16];
+        for (slot, &i) in out.iter_mut().zip(idx.0.iter()) {
+            *slot = table[(i as usize) & 31];
+        }
+        ScalarVec(out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i32(flat: &[i32; FLAT_LEN], q: *const u8, r: *const u8) -> Self::V32 {
+        let mut out = [0i32; 4];
+        for (k, o) in out.iter_mut().enumerate() {
+            let qi = *q.add(k) as usize;
+            let ri = *r.add(k) as usize;
+            *o = flat[(qi << 5) | (ri & 31)];
+        }
+        ScalarVec(out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i16(flat: &[i16; FLAT16_LEN], q: *const u8, r: *const u8) -> Self::V16 {
+        let mut out = [0i16; 8];
+        for (k, o) in out.iter_mut().enumerate() {
+            let qi = *q.add(k) as usize;
+            let ri = *r.add(k) as usize;
+            *o = flat[(qi << 5) | (ri & 31)];
+        }
+        ScalarVec(out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i8(flat: &[i8; FLAT_LEN], q: *const u8, r: *const u8) -> Self::V8 {
+        let mut out = [0i8; 16];
+        for (k, o) in out.iter_mut().enumerate() {
+            let qi = *q.add(k) as usize;
+            let ri = *r.add(k) as usize;
+            *o = flat[(qi << 5) | (ri & 31)];
+        }
+        ScalarVec(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type V8 = <Scalar as SimdEngine>::V8;
+    type V16 = <Scalar as SimdEngine>::V16;
+
+    #[test]
+    fn splat_and_extract() {
+        let v = V8::splat(7);
+        assert_eq!(v.extract(0), 7);
+        assert_eq!(v.extract(15), 7);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let a = V8::splat(100);
+        let b = V8::splat(100);
+        assert_eq!(a.adds(b).extract(3), i8::MAX);
+        let c = V8::splat(-100);
+        assert_eq!(c.subs(b).extract(3), i8::MIN);
+    }
+
+    #[test]
+    fn hmax_finds_max() {
+        let mut data = [0i8; 16];
+        data[11] = 42;
+        data[3] = -7;
+        let v = V8::load_slice(&data);
+        assert_eq!(v.hmax(), 42);
+    }
+
+    #[test]
+    fn mask_first() {
+        let m = V16::mask_first(3);
+        let lanes = m.to_vec();
+        for (k, &l) in lanes.iter().enumerate() {
+            assert_eq!(l != 0, k < 3, "lane {k}");
+        }
+    }
+
+    #[test]
+    fn shift_in_first() {
+        let v = V16::iota();
+        let s = v.shift_in_first(-9);
+        assert_eq!(s.extract(0), -9);
+        assert_eq!(s.extract(1), 0);
+        assert_eq!(s.extract(7), 6);
+    }
+
+    #[test]
+    fn blend_selects() {
+        let m = V8::mask_first(4);
+        let r = V8::blend(m, V8::splat(1), V8::splat(2));
+        assert_eq!(r.extract(0), 1);
+        assert_eq!(r.extract(4), 2);
+    }
+
+    #[test]
+    fn lut32_lookup() {
+        let mut table = [0i8; 32];
+        for (i, t) in table.iter_mut().enumerate() {
+            *t = i as i8 - 16;
+        }
+        let idx = V8::iota();
+        let out = Scalar::lut32(&table, idx);
+        for k in 0..16 {
+            assert_eq!(out.extract(k), k as i8 - 16);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! SSE4.1 backend: 128-bit registers, 16×i8 / 8×i16 / 4×i32 lanes.
+//!
+//! Present for the paper's portability analysis (§I contribution vi):
+//! pre-AVX2 Intel/AMD machines still get vectorized kernels. SSE has no
+//! gather at all, so the score gathers are scalar-emulated — exactly the
+//! situation the reorganized-matrix + LUT path was designed to avoid.
+
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+use std::marker::PhantomData;
+
+use crate::engine::{SimdEngine, FLAT16_LEN, FLAT_LEN};
+use crate::vector::SimdVec;
+
+/// A 128-bit register with a phantom lane type.
+#[derive(Clone, Copy)]
+pub struct V128<E>(pub(crate) __m128i, PhantomData<E>);
+
+impl<E> V128<E> {
+    #[inline(always)]
+    fn new(v: __m128i) -> Self {
+        Self(v, PhantomData)
+    }
+}
+
+const IOTA8: [i8; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+const IOTA16: [i16; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+const IOTA32: [i32; 4] = [0, 1, 2, 3];
+
+macro_rules! common_bitops {
+    () => {
+        #[inline(always)]
+        fn and(self, o: Self) -> Self {
+            unsafe { Self::new(_mm_and_si128(self.0, o.0)) }
+        }
+        #[inline(always)]
+        fn or(self, o: Self) -> Self {
+            unsafe { Self::new(_mm_or_si128(self.0, o.0)) }
+        }
+        #[inline(always)]
+        fn blend(mask: Self, t: Self, f: Self) -> Self {
+            unsafe { Self::new(_mm_blendv_epi8(f.0, t.0, mask.0)) }
+        }
+        #[inline(always)]
+        fn any(mask: Self) -> bool {
+            unsafe { _mm_movemask_epi8(mask.0) != 0 }
+        }
+    };
+}
+
+impl SimdVec for V128<i8> {
+    type Elem = i8;
+    const LANES: usize = 16;
+
+    #[inline(always)]
+    fn splat(x: i8) -> Self {
+        unsafe { Self::new(_mm_set1_epi8(x)) }
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const i8) -> Self {
+        Self::new(_mm_loadu_si128(ptr as *const __m128i))
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut i8) {
+        _mm_storeu_si128(ptr as *mut __m128i, self.0)
+    }
+    #[inline(always)]
+    fn adds(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_adds_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn subs(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_subs_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_max_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_min_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpgt(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_cmpgt_epi8(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpeq(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_cmpeq_epi8(self.0, o.0)) }
+    }
+    common_bitops!();
+    #[inline(always)]
+    fn hmax(self) -> i8 {
+        unsafe {
+            let mut m = self.0;
+            m = _mm_max_epi8(m, _mm_srli_si128(m, 8));
+            m = _mm_max_epi8(m, _mm_srli_si128(m, 4));
+            m = _mm_max_epi8(m, _mm_srli_si128(m, 2));
+            m = _mm_max_epi8(m, _mm_srli_si128(m, 1));
+            _mm_extract_epi8(m, 0) as i8
+        }
+    }
+    #[inline(always)]
+    fn iota() -> Self {
+        unsafe { Self::load(IOTA8.as_ptr()) }
+    }
+    #[inline(always)]
+    fn shift_in_first(self, first: i8) -> Self {
+        unsafe { Self::new(_mm_insert_epi8(_mm_slli_si128(self.0, 1), first as i32, 0)) }
+    }
+}
+
+impl SimdVec for V128<i16> {
+    type Elem = i16;
+    const LANES: usize = 8;
+
+    #[inline(always)]
+    fn splat(x: i16) -> Self {
+        unsafe { Self::new(_mm_set1_epi16(x)) }
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const i16) -> Self {
+        Self::new(_mm_loadu_si128(ptr as *const __m128i))
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut i16) {
+        _mm_storeu_si128(ptr as *mut __m128i, self.0)
+    }
+    #[inline(always)]
+    fn adds(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_adds_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn subs(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_subs_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_max_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_min_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpgt(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_cmpgt_epi16(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpeq(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_cmpeq_epi16(self.0, o.0)) }
+    }
+    common_bitops!();
+    #[inline(always)]
+    fn hmax(self) -> i16 {
+        unsafe {
+            let mut m = self.0;
+            m = _mm_max_epi16(m, _mm_srli_si128(m, 8));
+            m = _mm_max_epi16(m, _mm_srli_si128(m, 4));
+            m = _mm_max_epi16(m, _mm_srli_si128(m, 2));
+            _mm_extract_epi16(m, 0) as i16
+        }
+    }
+    #[inline(always)]
+    fn iota() -> Self {
+        unsafe { Self::load(IOTA16.as_ptr()) }
+    }
+    #[inline(always)]
+    fn shift_in_first(self, first: i16) -> Self {
+        unsafe { Self::new(_mm_insert_epi16(_mm_slli_si128(self.0, 2), first as i32, 0)) }
+    }
+}
+
+impl SimdVec for V128<i32> {
+    type Elem = i32;
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn splat(x: i32) -> Self {
+        unsafe { Self::new(_mm_set1_epi32(x)) }
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const i32) -> Self {
+        Self::new(_mm_loadu_si128(ptr as *const __m128i))
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut i32) {
+        _mm_storeu_si128(ptr as *mut __m128i, self.0)
+    }
+    #[inline(always)]
+    fn adds(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_add_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn subs(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_sub_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_max_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_min_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpgt(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_cmpgt_epi32(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn cmpeq(self, o: Self) -> Self {
+        unsafe { Self::new(_mm_cmpeq_epi32(self.0, o.0)) }
+    }
+    common_bitops!();
+    #[inline(always)]
+    fn hmax(self) -> i32 {
+        unsafe {
+            let mut m = self.0;
+            m = _mm_max_epi32(m, _mm_srli_si128(m, 8));
+            m = _mm_max_epi32(m, _mm_srli_si128(m, 4));
+            _mm_cvtsi128_si32(m)
+        }
+    }
+    #[inline(always)]
+    fn iota() -> Self {
+        unsafe { Self::load(IOTA32.as_ptr()) }
+    }
+    #[inline(always)]
+    fn shift_in_first(self, first: i32) -> Self {
+        unsafe { Self::new(_mm_insert_epi32(_mm_slli_si128(self.0, 4), first, 0)) }
+    }
+}
+
+/// The SSE4.1 engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sse41;
+
+impl SimdEngine for Sse41 {
+    const NAME: &'static str = "SSE4.1";
+    const WIDTH_BITS: usize = 128;
+    type V8 = V128<i8>;
+    type V16 = V128<i16>;
+    type V32 = V128<i32>;
+
+    #[inline]
+    fn is_available() -> bool {
+        std::arch::is_x86_feature_detected!("sse4.1") && std::arch::is_x86_feature_detected!("ssse3")
+    }
+
+    #[inline(always)]
+    fn lut32(table: &[i8; 32], idx: Self::V8) -> Self::V8 {
+        unsafe {
+            let lo = _mm_loadu_si128(table.as_ptr() as *const __m128i);
+            let hi = _mm_loadu_si128(table.as_ptr().add(16) as *const __m128i);
+            let use_hi = _mm_cmpgt_epi8(idx.0, _mm_set1_epi8(15));
+            let vlo = _mm_shuffle_epi8(lo, idx.0);
+            let vhi = _mm_shuffle_epi8(hi, idx.0);
+            V128::new(_mm_blendv_epi8(vlo, vhi, use_hi))
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i32(flat: &[i32; FLAT_LEN], q: *const u8, r: *const u8) -> Self::V32 {
+        // SSE has no gather instruction; scalar emulation.
+        let mut out = [0i32; 4];
+        for (k, o) in out.iter_mut().enumerate() {
+            let qi = *q.add(k) as usize;
+            let ri = (*r.add(k) as usize) & 31;
+            *o = flat[(qi << 5) | ri];
+        }
+        V128::load(out.as_ptr())
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i16(flat: &[i16; FLAT16_LEN], q: *const u8, r: *const u8) -> Self::V16 {
+        let mut out = [0i16; 8];
+        for (k, o) in out.iter_mut().enumerate() {
+            let qi = *q.add(k) as usize;
+            let ri = (*r.add(k) as usize) & 31;
+            *o = flat[(qi << 5) | ri];
+        }
+        V128::load(out.as_ptr())
+    }
+
+    #[inline(always)]
+    unsafe fn gather_scores_i8(flat: &[i8; FLAT_LEN], q: *const u8, r: *const u8) -> Self::V8 {
+        let mut out = [0i8; 16];
+        for (k, o) in out.iter_mut().enumerate() {
+            let qi = *q.add(k) as usize;
+            let ri = (*r.add(k) as usize) & 31;
+            *o = flat[(qi << 5) | ri];
+        }
+        V128::load(out.as_ptr())
+    }
+}

@@ -1,0 +1,113 @@
+//! The `SimdVec` abstraction: one vector register of score lanes.
+//!
+//! Every operation is `#[inline(always)]` in each backend so that a
+//! generic kernel, when instantiated inside a `#[target_feature]`
+//! wrapper (see the `dispatch` module), compiles down to straight-line
+//! vector code with the right ISA.
+
+use crate::elem::ScoreElem;
+
+/// One SIMD register holding `LANES` lanes of `Elem`.
+///
+/// # Safety-relevant conventions
+///
+/// * `load`/`store` are unaligned and read/write exactly
+///   `LANES * size_of::<Elem>()` bytes.
+/// * Comparison results are full-lane masks (all bits set in true lanes)
+///   of the same type, as produced by `pcmpgt`/`pcmpeq`.
+pub trait SimdVec: Copy + Send + Sync + 'static {
+    /// Lane element type.
+    type Elem: ScoreElem;
+    /// Number of lanes.
+    const LANES: usize;
+
+    /// Broadcast one element to all lanes.
+    fn splat(x: Self::Elem) -> Self;
+
+    /// All-zero vector.
+    #[inline(always)]
+    fn zero() -> Self {
+        Self::splat(Self::Elem::ZERO)
+    }
+
+    /// Unaligned load of `LANES` elements.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for reading `LANES` elements.
+    unsafe fn load(ptr: *const Self::Elem) -> Self;
+
+    /// Unaligned store of `LANES` elements.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for writing `LANES` elements.
+    unsafe fn store(self, ptr: *mut Self::Elem);
+
+    /// Checked load from a slice prefix.
+    #[inline(always)]
+    fn load_slice(s: &[Self::Elem]) -> Self {
+        assert!(s.len() >= Self::LANES, "slice shorter than vector");
+        // SAFETY: length checked above.
+        unsafe { Self::load(s.as_ptr()) }
+    }
+
+    /// Checked store into a slice prefix.
+    #[inline(always)]
+    fn store_slice(self, s: &mut [Self::Elem]) {
+        assert!(s.len() >= Self::LANES, "slice shorter than vector");
+        // SAFETY: length checked above.
+        unsafe { self.store(s.as_mut_ptr()) }
+    }
+
+    /// Saturating lane-wise add (`i32` lanes: wrapping).
+    fn adds(self, o: Self) -> Self;
+    /// Saturating lane-wise sub (`i32` lanes: wrapping).
+    fn subs(self, o: Self) -> Self;
+    /// Lane-wise signed max.
+    fn max(self, o: Self) -> Self;
+    /// Lane-wise signed min.
+    fn min(self, o: Self) -> Self;
+    /// Lane-wise `self > o` as a full-lane mask.
+    fn cmpgt(self, o: Self) -> Self;
+    /// Lane-wise `self == o` as a full-lane mask.
+    fn cmpeq(self, o: Self) -> Self;
+    /// Bitwise and.
+    fn and(self, o: Self) -> Self;
+    /// Bitwise or.
+    fn or(self, o: Self) -> Self;
+    /// Per-lane select: where `mask` lane is true take `t`, else `f`.
+    fn blend(mask: Self, t: Self, f: Self) -> Self;
+    /// True if any lane of a full-lane mask is set.
+    fn any(mask: Self) -> bool;
+    /// Horizontal maximum across lanes.
+    fn hmax(self) -> Self::Elem;
+    /// `[0, 1, 2, ...]` per lane (values clamp at `Elem::MAX`; all lane
+    /// counts in this crate are ≤ 64 so no clamping occurs in practice).
+    fn iota() -> Self;
+
+    /// Shift lanes towards higher indices by one, inserting `first` into
+    /// lane 0 (Farrar's `vshift`): `out[0] = first, out[k] = self[k-1]`.
+    fn shift_in_first(self, first: Self::Elem) -> Self;
+
+    /// Lane value by index (slow; for tests/debug and scalar tails).
+    #[inline]
+    fn extract(self, lane: usize) -> Self::Elem {
+        assert!(lane < Self::LANES);
+        let mut buf = vec![Self::Elem::ZERO; Self::LANES];
+        self.store_slice(&mut buf);
+        buf[lane]
+    }
+
+    /// Mask with lanes `< len` true, the paper's zero-padding helper for
+    /// short diagonal segments (Fig 3).
+    #[inline(always)]
+    fn mask_first(len: usize) -> Self {
+        Self::splat(Self::Elem::from_usize(len)).cmpgt(Self::iota())
+    }
+
+    /// Dump lanes to a `Vec` (tests/debug only).
+    fn to_vec(self) -> Vec<Self::Elem> {
+        let mut buf = vec![Self::Elem::ZERO; Self::LANES];
+        self.store_slice(&mut buf);
+        buf
+    }
+}

@@ -1,0 +1,220 @@
+//! `swsimd` — command-line Smith-Waterman.
+//!
+//! ```text
+//! swsimd align  <query.fasta> <target.fasta> [options]   pairwise, with traceback
+//! swsimd search <query.fasta> <db.fasta>     [options]   database search
+//! swsimd info                                             engines & matrices
+//!
+//! options:
+//!   --matrix NAME        BLOSUM45/50/62/80/90, PAM30/70/120/250 (default BLOSUM62)
+//!   --open N --extend N  affine gap penalties (default 11/1)
+//!   --linear N           linear gap penalty instead of affine
+//!   --top K              hits to report for search (default 10)
+//!   --threads N          worker threads for search (default: all)
+//!   --engine NAME        scalar | sse4.1 | avx2 | avx-512 (default: best)
+//!   --mode M             local | global | semiglobal (default local)
+//!   --no-traceback       scores only for align
+//! ```
+
+use std::process::ExitCode;
+
+use swsimd::matrices::{by_name, Alphabet};
+use swsimd::runner::{parallel_search, PoolConfig};
+use swsimd::seq::{read_fasta, Database};
+use swsimd::{AlignMode, Aligner, EngineKind, GapPenalties, Op};
+
+struct Opts {
+    matrix: &'static swsimd::matrices::SubstitutionMatrix,
+    open: i32,
+    extend: i32,
+    linear: Option<i32>,
+    top: usize,
+    threads: usize,
+    engine: EngineKind,
+    traceback: bool,
+    mode: AlignMode,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        matrix: swsimd::matrices::blosum62(),
+        open: 11,
+        extend: 1,
+        linear: None,
+        top: 10,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        engine: EngineKind::best(),
+        traceback: true,
+        mode: AlignMode::Local,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--matrix" => {
+                let n = val("--matrix")?;
+                o.matrix = by_name(&n).ok_or_else(|| format!("unknown matrix '{n}'"))?;
+            }
+            "--open" => o.open = val("--open")?.parse().map_err(|e| format!("--open: {e}"))?,
+            "--extend" => {
+                o.extend = val("--extend")?.parse().map_err(|e| format!("--extend: {e}"))?
+            }
+            "--linear" => {
+                o.linear = Some(val("--linear")?.parse().map_err(|e| format!("--linear: {e}"))?)
+            }
+            "--top" => o.top = val("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--threads" => {
+                o.threads = val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--engine" => {
+                let n = val("--engine")?.to_lowercase();
+                o.engine = match n.as_str() {
+                    "scalar" => EngineKind::Scalar,
+                    "sse4.1" | "sse41" | "sse" => EngineKind::Sse41,
+                    "avx2" => EngineKind::Avx2,
+                    "avx-512" | "avx512" => EngineKind::Avx512,
+                    _ => return Err(format!("unknown engine '{n}'")),
+                };
+                if !o.engine.is_available() {
+                    return Err(format!("engine {} not available on this CPU", o.engine));
+                }
+            }
+            "--no-traceback" => o.traceback = false,
+            "--mode" => {
+                let n = val("--mode")?.to_lowercase();
+                o.mode = match n.as_str() {
+                    "local" => AlignMode::Local,
+                    "global" => AlignMode::Global,
+                    "semiglobal" | "semi-global" | "glocal" => AlignMode::SemiGlobal,
+                    _ => return Err(format!("unknown mode '{n}'")),
+                };
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(o)
+}
+
+fn builder_for(o: &Opts) -> swsimd::AlignerBuilder {
+    let mut b = Aligner::builder().matrix(o.matrix).engine(o.engine).mode(o.mode);
+    b = match o.linear {
+        Some(g) => b.linear_gap(g),
+        None => b.gaps(GapPenalties::new(o.open, o.extend)),
+    };
+    b
+}
+
+fn load_fasta(path: &str) -> Result<Vec<swsimd::SeqRecord>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    read_fasta(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_align(query_path: &str, target_path: &str, o: &Opts) -> Result<(), String> {
+    let alphabet = o.matrix.alphabet().clone();
+    let queries = load_fasta(query_path)?;
+    let targets = load_fasta(target_path)?;
+    let mut aligner = builder_for(o).traceback(o.traceback).build();
+
+    for q in &queries {
+        for t in &targets {
+            let qe = alphabet.encode(&q.seq);
+            let te = alphabet.encode(&t.seq);
+            let r = aligner.align(&qe, &te);
+            println!("{}\t{}\tscore={}\tprecision={:?}", q.id, t.id, r.score, r.precision_used);
+            if let Some(aln) = &r.alignment {
+                let (m, i, d) = aln.ops.iter().fold((0, 0, 0), |(m, i, d), op| match op {
+                    Op::Match => (m + 1, i, d),
+                    Op::Insert => (m, i + 1, d),
+                    Op::Delete => (m, i, d + 1),
+                });
+                println!(
+                    "  q[{}..{}] t[{}..{}] cigar={} (M={m} I={i} D={d})",
+                    aln.query_start, aln.query_end, aln.target_start, aln.target_end,
+                    aln.cigar()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_search(query_path: &str, db_path: &str, o: &Opts) -> Result<(), String> {
+    let alphabet = o.matrix.alphabet().clone();
+    let queries = load_fasta(query_path)?;
+    let db_records = load_fasta(db_path)?;
+    let db = Database::from_records(db_records, &alphabet);
+    eprintln!(
+        "db: {} sequences / {} residues; engine {}; {} threads",
+        db.len(),
+        db.total_residues(),
+        o.engine,
+        o.threads
+    );
+
+    for q in &queries {
+        let qe = alphabet.encode(&q.seq);
+        let start = std::time::Instant::now();
+        let out = parallel_search(
+            &qe,
+            &db,
+            &PoolConfig { threads: o.threads, sort_batches: true },
+            || builder_for(o),
+        );
+        let secs = start.elapsed().as_secs_f64();
+        let cells = qe.len() as u64 * db.total_residues() as u64;
+        eprintln!(
+            "query {} ({} aa): {:.3} GCUPS",
+            q.id,
+            qe.len(),
+            cells as f64 / secs.max(1e-9) / 1e9
+        );
+        for hit in out.hits.iter().take(o.top) {
+            println!(
+                "{}\t{}\tscore={}\tlen={}",
+                q.id,
+                db.record(hit.db_index).id,
+                hit.score,
+                db.record(hit.db_index).len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info() {
+    println!("swsimd — Smith-Waterman with vector extensions");
+    println!("engines available on this CPU:");
+    for e in EngineKind::available() {
+        let best = if e == EngineKind::best() { "  (selected)" } else { "" };
+        println!("  {:<8} {} bits{}", e.name(), e.width_bits(), best);
+    }
+    println!("built-in matrices: {}", swsimd::matrices::BUILTIN_NAMES.join(", "));
+    let _ = Alphabet::protein();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: swsimd <align|search|info> [paths...] [options] (see --help in source)";
+    let result = match args.first().map(String::as_str) {
+        Some("align") if args.len() >= 3 => {
+            parse_opts(&args[3..]).and_then(|o| cmd_align(&args[1], &args[2], &o))
+        }
+        Some("search") if args.len() >= 3 => {
+            parse_opts(&args[3..]).and_then(|o| cmd_search(&args[1], &args[2], &o))
+        }
+        Some("info") => {
+            cmd_info();
+            Ok(())
+        }
+        _ => Err(usage.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Modeled GCC-flag response surface (DESIGN.md substitution 4).
+//!
+//! The paper tunes real GCC hyperparameters per architecture and
+//! reports ~10% average improvement, up to ~50%, with strong dependence
+//! on architecture *and query size* (§IV-D, Fig 10). A Rust library
+//! cannot re-invoke GCC per GA individual, so this module provides a
+//! deterministic response surface with the same statistical structure:
+//!
+//! * each (architecture, query-size bucket, flag, value) tuple has a
+//!   fixed multiplicative effect derived from a seeded hash;
+//! * effects are small and multiplicative with sparse pairwise
+//!   interactions, so the surface is "mostly separable but not quite" —
+//!   the regime GAs handle well and grid search does not;
+//! * the surface is calibrated so that the reachable optimum over
+//!   [`crate::space::gcc_space`] sits ~10-50% above the default
+//!   configuration depending on (arch, query size).
+//!
+//! The GA machinery in [`crate::ga`] is exactly what the paper ran; only
+//! the oracle answering "how fast is this flag set" is synthetic.
+
+use swsimd_perf::ArchId;
+
+use crate::space::ParamSpace;
+
+/// Query-size buckets with distinct tuning behaviour (the paper: "the
+/// size of the query emerged as a crucial factor").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryBucket {
+    /// < 200 residues.
+    Short,
+    /// 200-1000 residues.
+    Medium,
+    /// > 1000 residues.
+    Long,
+}
+
+impl QueryBucket {
+    /// Bucket for a query length.
+    pub fn of(len: usize) -> Self {
+        if len < 200 {
+            QueryBucket::Short
+        } else if len <= 1000 {
+            QueryBucket::Medium
+        } else {
+            QueryBucket::Long
+        }
+    }
+
+    /// All buckets.
+    pub const ALL: [QueryBucket; 3] = [QueryBucket::Short, QueryBucket::Medium, QueryBucket::Long];
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn arch_seed(arch: ArchId) -> u64 {
+    match arch {
+        ArchId::HaswellE52660 => 0xA11,
+        ArchId::BroadwellE52680 => 0xB22,
+        ArchId::SkylakeGold6132 => 0xC33,
+        ArchId::CascadeLakeGold6242 => 0xD44,
+        ArchId::AlderLakeI912900HK => 0xE55,
+    }
+}
+
+fn bucket_seed(b: QueryBucket) -> u64 {
+    match b {
+        QueryBucket::Short => 0x51,
+        QueryBucket::Medium => 0x52,
+        QueryBucket::Long => 0x53,
+    }
+}
+
+/// How much this architecture responds to compiler tuning at all (the
+/// paper: "some architectures exhibited significantly better
+/// enhancements compared to others").
+fn responsiveness(arch: ArchId, bucket: QueryBucket) -> f64 {
+    let h = splitmix(arch_seed(arch) ^ bucket_seed(bucket).wrapping_mul(0x5DEECE66D));
+    // 0.25 .. 1.0 — scales every effect below.
+    0.25 + 0.75 * unit(h)
+}
+
+/// Relative performance of a flag configuration, with 1.0 = the `-O3`
+/// default (genome of all-zero indices). Deterministic.
+pub fn relative_performance(
+    space: &ParamSpace,
+    genome: &[usize],
+    arch: ArchId,
+    bucket: QueryBucket,
+) -> f64 {
+    assert_eq!(genome.len(), space.len());
+    let resp = responsiveness(arch, bucket);
+    let base = arch_seed(arch) ^ bucket_seed(bucket);
+
+    let mut log_gain = 0.0f64;
+    for (k, (&g, p)) in genome.iter().zip(space.params()).enumerate() {
+        // Per-flag main effect in (-0.05, +0.08) * responsiveness,
+        // relative to that flag's default (index 0).
+        let h = splitmix(base ^ splitmix(k as u64 + 1) ^ (g as u64).wrapping_mul(0x1003F));
+        let h0 = splitmix(base ^ splitmix(k as u64 + 1));
+        let eff = |hh: u64| (unit(hh) * 0.13 - 0.05) * resp;
+        log_gain += eff(h) - eff(h0);
+        let _ = p;
+    }
+    // Sparse pairwise interactions between adjacent flags.
+    for k in 0..genome.len().saturating_sub(1) {
+        let h = splitmix(
+            base ^ splitmix(0xABC ^ k as u64)
+                ^ (genome[k] as u64).wrapping_mul(31)
+                ^ (genome[k + 1] as u64).wrapping_mul(1009),
+        );
+        if h & 7 == 0 {
+            log_gain += (unit(splitmix(h)) * 0.06 - 0.02) * resp;
+        }
+    }
+    log_gain.exp()
+}
+
+/// The improvement the GA found, as `best / default` (≥ 1 guaranteed by
+/// including the default in comparison).
+pub fn tuned_improvement(
+    space: &ParamSpace,
+    best_genome: &[usize],
+    arch: ArchId,
+    bucket: QueryBucket,
+) -> f64 {
+    let default = vec![0usize; space.len()];
+    let b = relative_performance(space, best_genome, arch, bucket);
+    let d = relative_performance(space, &default, arch, bucket);
+    (b / d).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::{run, GaConfig};
+    use crate::space::gcc_space;
+
+    #[test]
+    fn deterministic_surface() {
+        let space = gcc_space();
+        let g = vec![1, 2, 0, 3, 1, 0, 1, 2, 0, 1];
+        let a = relative_performance(&space, &g, ArchId::SkylakeGold6132, QueryBucket::Medium);
+        let b = relative_performance(&space, &g, ArchId::SkylakeGold6132, QueryBucket::Medium);
+        assert_eq!(a, b);
+        assert!(a > 0.3 && a < 3.0, "{a}");
+    }
+
+    #[test]
+    fn buckets_classify() {
+        assert_eq!(QueryBucket::of(50), QueryBucket::Short);
+        assert_eq!(QueryBucket::of(500), QueryBucket::Medium);
+        assert_eq!(QueryBucket::of(5000), QueryBucket::Long);
+    }
+
+    #[test]
+    fn ga_finds_improvements_in_paper_band() {
+        // Across all (arch, bucket) pairs, GA-tuned improvements should
+        // average around 10% with a max well under 2x and above ~25%
+        // somewhere — the paper's "10% average, up to 50%" shape.
+        let space = gcc_space();
+        let cfg = GaConfig { population: 24, generations: 10, seed: 7, ..Default::default() };
+        let mut gains = Vec::new();
+        for arch in ArchId::ALL {
+            for bucket in QueryBucket::ALL {
+                let r = run(&space, &cfg, |g| {
+                    relative_performance(&space, g, arch, bucket)
+                });
+                gains.push(tuned_improvement(&space, &r.best.genome, arch, bucket));
+            }
+        }
+        let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+        let max = gains.iter().cloned().fold(0.0, f64::max);
+        assert!(avg > 1.03 && avg < 1.35, "average gain {avg}");
+        assert!(max > 1.15 && max < 1.9, "max gain {max}");
+        assert!(gains.iter().all(|&g| g >= 1.0));
+    }
+
+    #[test]
+    fn gains_depend_on_arch_and_query_size() {
+        let space = gcc_space();
+        let cfg = GaConfig { population: 16, generations: 8, seed: 3, ..Default::default() };
+        let gain = |arch, bucket| {
+            let r = run(&space, &cfg, |g| relative_performance(&space, g, arch, bucket));
+            tuned_improvement(&space, &r.best.genome, arch, bucket)
+        };
+        let a = gain(ArchId::HaswellE52660, QueryBucket::Short);
+        let b = gain(ArchId::SkylakeGold6132, QueryBucket::Long);
+        assert!((a - b).abs() > 1e-6, "gains suspiciously identical: {a} vs {b}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Fitness evaluation for the kernel-knob space: real wall-clock GCUPS
+//! of the diagonal kernel on this machine ("to maximize the real-time
+//! performance of the SW implementation", §IV-D).
+
+use std::time::Instant;
+
+use swsimd_core::{Aligner, KernelStats, Precision};
+use swsimd_matrices::blosum62;
+use swsimd_seq::{generate_database, Database, SynthConfig};
+
+use crate::space::{kernel_space, ParamSpace};
+
+/// Decoded kernel knobs (see [`kernel_space`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelKnobs {
+    /// Scalar-fallback threshold (Fig 3 knob).
+    pub scalar_threshold: usize,
+    /// Sort sequences by length before batching.
+    pub batch_sort: bool,
+    /// 0 = adaptive 8→16-bit, 1 = straight 16-bit.
+    pub precision_policy: u8,
+    /// Harness cache-block size in diagonals.
+    pub block_diagonals: usize,
+}
+
+impl KernelKnobs {
+    /// Decode from a genome over [`kernel_space`].
+    pub fn from_genome(space: &ParamSpace, genome: &[usize]) -> Self {
+        let vals = space.decode(genome);
+        KernelKnobs {
+            scalar_threshold: vals[0] as usize,
+            batch_sort: vals[1] != 0,
+            precision_policy: vals[2] as u8,
+            block_diagonals: vals[3] as usize,
+        }
+    }
+
+    /// The precision the knobs select.
+    pub fn precision(&self) -> Precision {
+        if self.precision_policy == 0 {
+            Precision::Adaptive
+        } else {
+            Precision::I16
+        }
+    }
+}
+
+/// A fixed evaluation workload (kept small so GA runs stay interactive).
+pub struct EvalWorkload {
+    /// Encoded query.
+    pub query: Vec<u8>,
+    /// Target database.
+    pub db: Database,
+}
+
+impl EvalWorkload {
+    /// Deterministic small workload: one mid-size query against a
+    /// small synthetic database.
+    pub fn standard(query_len: usize, db_seqs: usize, seed: u64) -> Self {
+        let db = generate_database(&SynthConfig {
+            n_seqs: db_seqs,
+            seed,
+            max_len: 600,
+            ..Default::default()
+        });
+        let q = swsimd_seq::generate_exact(query_len, seed ^ 0xFEED);
+        let query = blosum62().alphabet().encode(&q.seq);
+        Self { query, db }
+    }
+
+    /// Total cells for one full search.
+    pub fn cells(&self) -> u64 {
+        self.query.len() as u64 * self.db.total_residues() as u64
+    }
+}
+
+/// Time one configuration on the workload; returns GCUPS (the fitness).
+///
+/// The measurement exercises every knob: the batch path is built with
+/// the chosen sort policy, and a slice of the database is aligned
+/// through the diagonal kernel where `scalar_threshold` and the
+/// precision policy apply.
+pub fn measure_gcups(knobs: &KernelKnobs, workload: &EvalWorkload) -> f64 {
+    let mut aligner = Aligner::builder()
+        .matrix(blosum62())
+        .scalar_threshold(knobs.scalar_threshold)
+        .precision(knobs.precision())
+        .build();
+    let lanes = swsimd_core::batch::lanes_for(aligner.engine());
+    let batched =
+        swsimd_seq::BatchedDatabase::build(&workload.db, lanes, knobs.batch_sort);
+
+    let start = Instant::now();
+    // Batch path over the whole database (sort knob).
+    let hits = aligner.search_batched(&workload.query, &workload.db, &batched);
+    std::hint::black_box(&hits);
+    // Diagonal-kernel path over a database slice, in blocks of
+    // `block_diagonals` targets (threshold + precision + block knobs).
+    let mut diag_cells = 0u64;
+    for chunk in (0..workload.db.len().min(48)).collect::<Vec<_>>().chunks(knobs.block_diagonals.max(1)) {
+        for &i in chunk {
+            let t = &workload.db.encoded(i).idx;
+            diag_cells += (workload.query.len() * t.len()) as u64;
+            std::hint::black_box(aligner.align(&workload.query, t).score);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (workload.cells() + diag_cells) as f64 / secs / 1e9
+}
+
+/// Convenience: run the GA over the kernel space against a workload.
+pub fn tune_kernel(
+    workload: &EvalWorkload,
+    cfg: &crate::ga::GaConfig,
+) -> (KernelKnobs, crate::ga::GaResult) {
+    let space = kernel_space();
+    let result = crate::ga::run(&space, cfg, |genome| {
+        let knobs = KernelKnobs::from_genome(&space, genome);
+        measure_gcups(&knobs, workload)
+    });
+    (KernelKnobs::from_genome(&space, &result.best.genome), result)
+}
+
+/// Default stats type re-export for harnesses.
+pub type Stats = KernelStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::GaConfig;
+
+    #[test]
+    fn knobs_decode() {
+        let space = kernel_space();
+        let k = KernelKnobs::from_genome(&space, &[3, 1, 0, 2]);
+        assert_eq!(k.scalar_threshold, 8);
+        assert!(k.batch_sort);
+        assert_eq!(k.precision(), Precision::Adaptive);
+        assert_eq!(k.block_diagonals, 64);
+    }
+
+    #[test]
+    fn measure_produces_positive_gcups() {
+        let w = EvalWorkload::standard(64, 48, 11);
+        let knobs = KernelKnobs {
+            scalar_threshold: 8,
+            batch_sort: true,
+            precision_policy: 0,
+            block_diagonals: 64,
+        };
+        let g = measure_gcups(&knobs, &w);
+        assert!(g > 0.0, "GCUPS {g}");
+    }
+
+    #[test]
+    fn tiny_ga_tune_runs() {
+        let w = EvalWorkload::standard(48, 32, 5);
+        let cfg = GaConfig { population: 4, generations: 2, ..Default::default() };
+        let (knobs, result) = tune_kernel(&w, &cfg);
+        assert!(result.best.fitness > 0.0);
+        assert!(knobs.scalar_threshold >= 1);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # swsimd-tune
+//!
+//! The evolutionary hyperparameter tuner (§III-E): a seeded genetic
+//! algorithm over discrete knob spaces, with two oracles — real
+//! wall-clock timing of the kernel knobs on this machine, and a
+//! calibrated response surface for the modeled GCC flag space
+//! (DESIGN.md substitution 4) used to regenerate Fig 10 across the
+//! paper's architectures.
+
+pub mod compiler_model;
+pub mod eval;
+pub mod ga;
+pub mod phase_order;
+pub mod space;
+
+pub use compiler_model::{relative_performance, tuned_improvement, QueryBucket};
+pub use eval::{measure_gcups, tune_kernel, EvalWorkload, KernelKnobs};
+pub use ga::{run, GaConfig, GaResult, Individual};
+pub use phase_order::{
+    pipeline_performance, tune_phase_order, PhaseGaConfig, PhaseGaResult, Pipeline, PASSES,
+};
+pub use space::{gcc_space, kernel_space, HyperParam, ParamSpace};

@@ -1,0 +1,156 @@
+//! Hyperparameter spaces for the evolutionary tuner (§III-E).
+//!
+//! Two spaces are provided. The **kernel space** holds runtime-tunable
+//! knobs of our own kernels (evaluated by real timing on this machine).
+//! The **GCC space** models the compiler-flag search the paper ran with
+//! its genetic algorithm: a Rust library cannot re-invoke GCC per
+//! individual, so those genomes are evaluated through the calibrated
+//! response surface in [`crate::compiler_model`] (DESIGN.md
+//! substitution 4) — the GA machinery itself is identical.
+
+/// One tunable dimension: a name and its allowed values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HyperParam {
+    /// Human-readable knob name.
+    pub name: &'static str,
+    /// The discrete values the knob may take ("its particular allowable
+    /// set of values", §IV-D).
+    pub values: Vec<i64>,
+}
+
+impl HyperParam {
+    /// Construct a knob.
+    pub fn new(name: &'static str, values: Vec<i64>) -> Self {
+        assert!(!values.is_empty(), "{name}: empty value set");
+        Self { name, values }
+    }
+}
+
+/// An ordered set of knobs; genomes are per-knob value indices.
+#[derive(Clone, Debug, Default)]
+pub struct ParamSpace {
+    params: Vec<HyperParam>,
+}
+
+impl ParamSpace {
+    /// Empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a knob (builder style).
+    pub fn with(mut self, p: HyperParam) -> Self {
+        self.params.push(p);
+        self
+    }
+
+    /// The knobs.
+    pub fn params(&self) -> &[HyperParam] {
+        &self.params
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if the space has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of distinct configurations.
+    pub fn cardinality(&self) -> u128 {
+        self.params.iter().map(|p| p.values.len() as u128).product()
+    }
+
+    /// Decode a genome (per-knob indices) into concrete values.
+    pub fn decode(&self, genome: &[usize]) -> Vec<i64> {
+        assert_eq!(genome.len(), self.params.len());
+        genome.iter().zip(&self.params).map(|(&g, p)| p.values[g]).collect()
+    }
+
+    /// Decode a genome into `(name, value)` pairs.
+    pub fn decode_named(&self, genome: &[usize]) -> Vec<(&'static str, i64)> {
+        self.decode(genome)
+            .into_iter()
+            .zip(&self.params)
+            .map(|(v, p)| (p.name, v))
+            .collect()
+    }
+}
+
+/// Runtime-tunable kernel knobs.
+///
+/// * `scalar_threshold` — segments shorter than this run on the scalar
+///   unit (Fig 3);
+/// * `batch_sort` — sort sequences by length before batching (padding
+///   vs. locality trade);
+/// * `precision_policy` — 0 = adaptive 8→16, 1 = straight 16-bit;
+/// * `block_diagonals` — diagonals processed per cache block in the
+///   harness loop (the substitution-matrix block size the paper says it
+///   hand-tunes, §IV-I).
+pub fn kernel_space() -> ParamSpace {
+    ParamSpace::new()
+        .with(HyperParam::new("scalar_threshold", vec![1, 2, 4, 8, 16, 32, 64]))
+        .with(HyperParam::new("batch_sort", vec![0, 1]))
+        .with(HyperParam::new("precision_policy", vec![0, 1]))
+        .with(HyperParam::new("block_diagonals", vec![16, 32, 64, 128, 256]))
+}
+
+/// Modeled GCC hyperparameters (a representative subset of the `-O3`
+/// `--param`/flag space the paper's tuner explored).
+pub fn gcc_space() -> ParamSpace {
+    ParamSpace::new()
+        .with(HyperParam::new("unroll-factor", vec![1, 2, 4, 8, 16]))
+        .with(HyperParam::new("inline-unit-growth", vec![20, 40, 80, 160]))
+        .with(HyperParam::new("max-inline-insns-single", vec![200, 400, 800, 1600]))
+        .with(HyperParam::new("prefetch-distance", vec![0, 64, 128, 256, 512]))
+        .with(HyperParam::new("vect-cost-model", vec![0, 1, 2]))
+        .with(HyperParam::new("sched-pressure", vec![0, 1]))
+        .with(HyperParam::new("ira-loop-pressure", vec![0, 1]))
+        .with(HyperParam::new("align-loops", vec![16, 32, 64]))
+        .with(HyperParam::new("gcse-after-reload", vec![0, 1]))
+        .with(HyperParam::new("modulo-sched", vec![0, 1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_space_shape() {
+        let s = kernel_space();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.cardinality(), 7 * 2 * 2 * 5);
+    }
+
+    #[test]
+    fn gcc_space_is_large() {
+        let s = gcc_space();
+        assert_eq!(s.len(), 10);
+        assert!(s.cardinality() > 10_000);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let s = kernel_space();
+        let genome = vec![2, 1, 0, 3];
+        let vals = s.decode(&genome);
+        assert_eq!(vals, vec![4, 1, 0, 128]);
+        let named = s.decode_named(&genome);
+        assert_eq!(named[0], ("scalar_threshold", 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_genome_length_panics() {
+        kernel_space().decode(&[0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_values_rejected() {
+        HyperParam::new("bad", vec![]);
+    }
+}

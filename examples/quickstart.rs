@@ -1,0 +1,46 @@
+//! Quickstart: align two protein sequences and print the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use swsimd::matrices::blosum62;
+use swsimd::{Aligner, GapPenalties};
+
+fn main() {
+    // Two related protein fragments (the second carries a deletion and
+    // a couple of substitutions).
+    let query = b"MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQ";
+    let target = b"MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVKALPDAQFEVVHSLAKWKR";
+
+    let mut aligner = Aligner::builder()
+        .matrix(blosum62())
+        .gaps(GapPenalties::new(11, 1))
+        .traceback(true)
+        .build();
+
+    let result = aligner.align_ascii(query, target);
+    let aln = result.alignment.expect("positive-scoring pair");
+
+    println!("swsimd quickstart");
+    println!("  engine           : {}", aligner.engine());
+    println!("  score            : {}", result.score);
+    println!("  precision used   : {:?}", result.precision_used);
+    println!(
+        "  query span       : {}..{} of {}",
+        aln.query_start,
+        aln.query_end,
+        query.len()
+    );
+    println!(
+        "  target span      : {}..{} of {}",
+        aln.target_start,
+        aln.target_end,
+        target.len()
+    );
+    println!("  cigar            : {}", aln.cigar());
+    println!("  cells computed   : {}", aligner.stats().cells);
+
+    // The whole query should align end-to-end against the target prefix.
+    assert!(result.score > 200, "unexpectedly weak alignment");
+}

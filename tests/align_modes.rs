@@ -1,0 +1,93 @@
+//! Global / semi-global alignment through the public API.
+
+use swsimd::matrices::{blosum62, Alphabet};
+use swsimd::{AlignMode, Aligner, Op};
+
+fn enc(s: &[u8]) -> Vec<u8> {
+    Alphabet::protein().encode(s)
+}
+
+fn aligner(mode: AlignMode, traceback: bool) -> Aligner {
+    Aligner::builder().matrix(blosum62()).mode(mode).traceback(traceback).build()
+}
+
+#[test]
+fn global_pays_for_end_gaps_semiglobal_does_not() {
+    let q = enc(b"ARNDC");
+    let t = enc(b"ARNDCQEGHI");
+    let prefix: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+
+    let g = aligner(AlignMode::Global, false).align(&q, &t);
+    let s = aligner(AlignMode::SemiGlobal, false).align(&q, &t);
+    let l = aligner(AlignMode::Local, false).align(&q, &t);
+
+    assert_eq!(s.score, prefix);
+    assert_eq!(l.score, prefix);
+    assert!(g.score < prefix, "global must pay the 5-residue tail gap");
+}
+
+#[test]
+fn global_traceback_is_end_to_end() {
+    let q = enc(b"MKVLAADTWGHK");
+    let t = enc(b"MKVLADTWGHKR");
+    let r = aligner(AlignMode::Global, true).align(&q, &t);
+    let aln = r.alignment.unwrap();
+    assert_eq!((aln.query_start, aln.query_end), (0, q.len()));
+    assert_eq!((aln.target_start, aln.target_end), (0, t.len()));
+    assert_eq!(
+        aln.rescore(&q, &t, &swsimd::Scoring::matrix(blosum62()), swsimd::GapModel::default_affine()),
+        r.score
+    );
+}
+
+#[test]
+fn semiglobal_finds_query_inside_target() {
+    let core = b"CQEGHILKM";
+    let q = enc(core);
+    let t = enc(&[b"AAAA".as_ref(), core, b"WWWW".as_ref()].concat());
+    let r = aligner(AlignMode::SemiGlobal, true).align(&q, &t);
+    let want: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+    assert_eq!(r.score, want);
+    let aln = r.alignment.unwrap();
+    assert_eq!(aln.target_start, 4);
+    assert_eq!(aln.target_end, 4 + core.len());
+    assert!(aln.ops.iter().all(|&o| o == Op::Match));
+}
+
+#[test]
+fn modes_agree_across_engines() {
+    let q = enc(b"MKVLAADTWGHKRNDE");
+    let t = enc(b"MKVADTWGHKRNDECC");
+    for mode in [AlignMode::Global, AlignMode::SemiGlobal] {
+        let mut scores = Vec::new();
+        for engine in swsimd::EngineKind::available() {
+            let mut a = Aligner::builder()
+                .matrix(blosum62())
+                .mode(mode)
+                .engine(engine)
+                .build();
+            scores.push(a.align(&q, &t).score);
+        }
+        assert!(scores.windows(2).all(|w| w[0] == w[1]), "{mode:?}: {scores:?}");
+    }
+}
+
+#[test]
+fn global_can_be_negative() {
+    let q = enc(b"WWWW");
+    let t = enc(b"PPPP");
+    let r = aligner(AlignMode::Global, false).align(&q, &t);
+    assert!(r.score < 0, "all-mismatch global score must be negative, got {}", r.score);
+    // Local alignment of the same pair is 0.
+    assert_eq!(aligner(AlignMode::Local, false).align(&q, &t).score, 0);
+}
+
+#[test]
+fn adaptive_promotion_in_global_mode() {
+    // Long identical pair: global score = local score = 4400 > i8 range.
+    let q = vec![17u8; 400];
+    let mut a = aligner(AlignMode::Global, false);
+    let r = a.align(&q, &q);
+    assert_eq!(r.score, 4400);
+    assert!(a.stats().promotions >= 1);
+}

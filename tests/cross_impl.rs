@@ -1,0 +1,109 @@
+//! Cross-implementation agreement at the workspace level: the paper's
+//! kernel, every baseline, and the batch path must produce identical
+//! scores for identical inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swsimd::baselines::{
+    sw_diag_classic_i16, sw_scan_i16, sw_striped_i16, sw_striped_i32,
+};
+use swsimd::core::{diag_score, sw_scalar, KernelStats};
+use swsimd::matrices::{blosum45, blosum62, pam250, Alphabet};
+use swsimd::seq::{generate_database, SynthConfig};
+use swsimd::{Aligner, EngineKind, GapModel, GapPenalties, Precision, Scoring};
+
+fn rand_seq(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen_range(0..20u8)).collect()
+}
+
+#[test]
+fn every_implementation_agrees() {
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    let engine = EngineKind::best();
+    for (mi, matrix) in [blosum62(), blosum45(), pam250()].into_iter().enumerate() {
+        let scoring = Scoring::matrix(matrix);
+        let gaps = GapModel::Affine(GapPenalties::new(11, 1));
+        for round in 0..8 {
+            let (lm, ln) = (rng.gen_range(2..150), rng.gen_range(2..150));
+            let q = rand_seq(&mut rng, lm);
+            let t = rand_seq(&mut rng, ln);
+            let want = sw_scalar(&q, &t, &scoring, gaps).score;
+            let mut st = KernelStats::default();
+
+            let ours = diag_score(engine, Precision::I16, &q, &t, &scoring, gaps, 8, &mut st);
+            assert_eq!(ours.score, want, "ours m{mi} r{round}");
+
+            let striped = sw_striped_i16(engine, &q, &t, &scoring, gaps, &mut st);
+            assert_eq!(striped.score, want, "striped m{mi} r{round}");
+
+            let scan = sw_scan_i16(engine, &q, &t, &scoring, gaps, &mut st);
+            assert_eq!(scan.score, want, "scan m{mi} r{round}");
+
+            let classic = sw_diag_classic_i16(engine, &q, &t, &scoring, gaps, &mut st);
+            assert_eq!(classic.score, want, "classic diag m{mi} r{round}");
+        }
+    }
+}
+
+#[test]
+fn database_search_agrees_with_pairwise() {
+    let db = generate_database(&SynthConfig {
+        n_seqs: 64,
+        max_len: 200,
+        median_len: 80.0,
+        ..Default::default()
+    });
+    let alphabet = Alphabet::protein();
+    let q = alphabet.encode(&swsimd::seq::generate_exact(60, 1).seq);
+    let mut aligner = Aligner::builder().matrix(blosum62()).build();
+    let hits = aligner.search(&q, &db, 0);
+    for h in hits.iter().step_by(7) {
+        let want = sw_scalar(
+            &q,
+            &db.encoded(h.db_index).idx,
+            aligner.scoring(),
+            aligner.gap_model(),
+        )
+        .score;
+        assert_eq!(h.score, want, "hit {}", h.db_index);
+    }
+}
+
+#[test]
+fn baseline_32bit_handles_huge_scores() {
+    // Long identical homopolymers exceed i16 range.
+    let q = vec![17u8; 4_000]; // W, 11 each → 44k > 32767
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::default_affine();
+    let mut st = KernelStats::default();
+    let r = sw_striped_i32(EngineKind::best(), &q, &q, &scoring, gaps, &mut st);
+    assert_eq!(r.score, 44_000);
+    let mut a = Aligner::builder().matrix(blosum62()).precision(Precision::I32).build();
+    assert_eq!(a.align(&q, &q).score, 44_000);
+}
+
+#[test]
+fn adaptive_equals_i32_on_mixed_magnitudes() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let alphabet = Alphabet::protein();
+    let _ = alphabet;
+    for len in [10usize, 60, 300, 1200] {
+        let q = rand_seq(&mut rng, len);
+        let t = {
+            // Related target: keeps scores growing with length.
+            let mut t = q.clone();
+            for k in (0..t.len()).step_by(7) {
+                t[k] = (t[k] + 1) % 20;
+            }
+            t
+        };
+        let mut adaptive = Aligner::builder().matrix(blosum62()).build();
+        let mut wide =
+            Aligner::builder().matrix(blosum62()).precision(Precision::I32).build();
+        assert_eq!(
+            adaptive.align(&q, &t).score,
+            wide.align(&q, &t).score,
+            "len {len}"
+        );
+    }
+}

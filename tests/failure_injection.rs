@@ -1,0 +1,131 @@
+//! Failure injection and hostile-input tests: the library must behave
+//! sensibly on malformed FASTA, non-residue characters, degenerate
+//! batches, and saturation edge cases.
+
+use swsimd::matrices::{blosum62, Alphabet, PAD_INDEX, X_INDEX};
+use swsimd::seq::{parse_fasta, BatchedDatabase, Database, FastaError, SeqRecord};
+use swsimd::{Aligner, Precision};
+
+#[test]
+fn malformed_fasta_is_rejected_not_panicking() {
+    assert!(matches!(parse_fasta("ACGT\n"), Err(FastaError::DataBeforeHeader { .. })));
+    assert!(matches!(parse_fasta(">\nACGT\n"), Err(FastaError::EmptyHeader { .. })));
+}
+
+#[test]
+fn non_residue_characters_map_to_x_and_align() {
+    let alphabet = Alphabet::protein();
+    // Digits, punctuation, unicode fragments (as bytes) all map to X.
+    let messy = alphabet.encode("MKV1 2@LAADTW\u{00e9}".as_bytes());
+    assert!(messy.iter().all(|&b| b < 24));
+    assert!(messy.contains(&X_INDEX));
+    let clean = alphabet.encode(b"MKVLAADTW");
+    let mut a = Aligner::new();
+    let r = a.align(&messy, &clean);
+    // Still aligns the real residues around the Xs.
+    assert!(r.score > 0);
+}
+
+#[test]
+fn x_never_outscores_real_match() {
+    // X vs anything is <= 0 in BLOSUM62, so an all-X query scores 0.
+    let alphabet = Alphabet::protein();
+    let xs = alphabet.encode(b"XXXXXXXX");
+    let target = alphabet.encode(b"MKVLAADTW");
+    let mut a = Aligner::new();
+    assert_eq!(a.align(&xs, &target).score, 0);
+}
+
+#[test]
+fn stop_codons_are_scored_like_ncbi() {
+    let m = blosum62();
+    assert_eq!(m.score(b'*', b'*'), 1);
+    assert_eq!(m.score(b'A', b'*'), -4);
+    let alphabet = m.alphabet();
+    let q = alphabet.encode(b"MKV*LA");
+    let mut a = Aligner::new();
+    let r = a.align(&q, &q);
+    assert!(r.score > 0);
+}
+
+#[test]
+fn pad_index_poisoning_is_total() {
+    let r = blosum62().reorganized();
+    for other in 0..32u8 {
+        assert!(r.score(PAD_INDEX, other) < -32);
+        assert!(r.score(other, PAD_INDEX) < -32);
+    }
+}
+
+#[test]
+fn empty_and_single_residue_databases() {
+    let alphabet = Alphabet::protein();
+    let db = Database::from_records(
+        vec![SeqRecord::new("one", b"W".to_vec()), SeqRecord::new("empty", b"".to_vec())],
+        &alphabet,
+    );
+    let q = alphabet.encode(b"W");
+    let mut a = Aligner::new();
+    let hits = a.search(&q, &db, 0);
+    assert_eq!(hits.len(), 2);
+    assert_eq!(hits[0].score, 11); // W:W
+    assert_eq!(hits[1].score, 0); // empty sequence
+}
+
+#[test]
+fn batches_with_all_empty_sequences() {
+    let alphabet = Alphabet::protein();
+    let db = Database::from_records(
+        (0..5).map(|i| SeqRecord::new(format!("e{i}"), Vec::new())).collect(),
+        &alphabet,
+    );
+    let batched = BatchedDatabase::build(&db, 16, true);
+    assert_eq!(batched.batches().len(), 1);
+    assert_eq!(batched.batches()[0].max_len(), 0);
+    let mut a = Aligner::new();
+    let hits = a.search(&alphabet.encode(b"MKV"), &db, 0);
+    assert!(hits.iter().all(|h| h.score == 0));
+}
+
+#[test]
+fn saturation_cascade_i8_to_i16_to_i32() {
+    // Score 44,000 overflows both i8 and i16; adaptive must cascade.
+    let q = vec![17u8; 4_000];
+    let mut a = Aligner::new(); // adaptive by default
+    let r = a.align(&q, &q);
+    assert_eq!(r.score, 44_000);
+    assert_eq!(r.precision_used, Precision::I32);
+    assert!(a.stats().promotions >= 2, "expected two promotions, got {}", a.stats().promotions);
+}
+
+#[test]
+fn zero_length_query_against_large_db() {
+    let alphabet = Alphabet::protein();
+    let db = Database::from_records(
+        (0..40).map(|i| SeqRecord::new(format!("s{i}"), vec![b'A'; 50])).collect(),
+        &alphabet,
+    );
+    let mut a = Aligner::new();
+    let hits = a.search(&[], &db, 0);
+    assert_eq!(hits.len(), 40);
+    assert!(hits.iter().all(|h| h.score == 0));
+}
+
+#[test]
+fn lowercase_and_mixed_case_sequences() {
+    let alphabet = Alphabet::protein();
+    let upper = alphabet.encode(b"MKVLAADTW");
+    let lower = alphabet.encode(b"mkvlaadtw");
+    assert_eq!(upper, lower);
+}
+
+#[test]
+fn huge_top_k_is_clamped() {
+    let alphabet = Alphabet::protein();
+    let db = Database::from_records(
+        (0..7).map(|i| SeqRecord::new(format!("s{i}"), vec![b'A'; 10])).collect(),
+        &alphabet,
+    );
+    let mut a = Aligner::new();
+    assert_eq!(a.search(&alphabet.encode(b"AAA"), &db, 10_000).len(), 7);
+}

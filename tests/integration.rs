@@ -1,0 +1,108 @@
+//! End-to-end integration: FASTA in → hits out through the public API.
+
+use swsimd::matrices::{blosum62, Alphabet};
+use swsimd::seq::{parse_fasta, to_fasta_string, Database};
+use swsimd::{Aligner, GapPenalties, Precision};
+
+const FASTA: &str = "\
+>sp|Q1 test query kinase-like
+MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQ
+>db|A distant
+PPPPWWWWGGGGHHHHKKKKLLLL
+>db|B close homolog
+MKTAYIAKQRQISFVKSHFSRQLEERLGLIEV
+>db|C same family, gapped
+MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQAAAA
+>db|D reversed junk
+QVAKEAGSLNDQTGDGVRSLIPAQVEILGLREE
+";
+
+#[test]
+fn fasta_to_hits_pipeline() {
+    let records = parse_fasta(FASTA).unwrap();
+    assert_eq!(records.len(), 5);
+    let query = records[0].clone();
+    let alphabet = Alphabet::protein();
+    let db = Database::from_records(records[1..].to_vec(), &alphabet);
+
+    let mut aligner = Aligner::builder()
+        .matrix(blosum62())
+        .gaps(GapPenalties::new(11, 1))
+        .build();
+    let q = alphabet.encode(&query.seq);
+    let hits = aligner.search(&q, &db, 0);
+    assert_eq!(hits.len(), 4);
+
+    // The full-length homolog (db|C) must beat the fragment (db|B),
+    // which must beat the junk.
+    let rank_of = |id: &str| {
+        hits.iter().position(|h| db.record(h.db_index).id == id).unwrap()
+    };
+    assert_eq!(rank_of("db|C"), 0);
+    assert_eq!(rank_of("db|B"), 1);
+    assert!(rank_of("db|A") >= 2);
+}
+
+#[test]
+fn fasta_roundtrip_preserves_database() {
+    let records = parse_fasta(FASTA).unwrap();
+    let text = to_fasta_string(&records, 60);
+    let back = parse_fasta(&text).unwrap();
+    assert_eq!(records, back);
+}
+
+#[test]
+fn traceback_end_to_end() {
+    let records = parse_fasta(FASTA).unwrap();
+    let alphabet = Alphabet::protein();
+    let q = alphabet.encode(&records[0].seq);
+    let t = alphabet.encode(&records[3].seq); // db|C
+
+    let mut aligner = Aligner::builder().matrix(blosum62()).traceback(true).build();
+    let r = aligner.align(&q, &t);
+    let aln = r.alignment.expect("homologs must align");
+    // Query aligns fully.
+    assert_eq!(aln.query_end - aln.query_start, records[0].seq.len());
+    assert_eq!(aln.rescore(&q, &t, aligner.scoring(), aligner.gap_model()), r.score);
+    assert!(aln.cigar().ends_with('M'));
+}
+
+#[test]
+fn engine_selection_is_consistent() {
+    let alphabet = Alphabet::protein();
+    let q = alphabet.encode(b"MKVLAADTWGHKRNDECQ");
+    let t = alphabet.encode(b"MKVLADTWGHKRNDECQWW");
+    let mut scores = Vec::new();
+    for engine in swsimd::EngineKind::available() {
+        let mut a = Aligner::builder().matrix(blosum62()).engine(engine).build();
+        scores.push(a.align(&q, &t).score);
+    }
+    assert!(scores.windows(2).all(|w| w[0] == w[1]), "engines disagree: {scores:?}");
+}
+
+#[test]
+fn precision_modes_agree_when_in_range() {
+    let alphabet = Alphabet::protein();
+    let q = alphabet.encode(b"MKVLAADTWGHK");
+    let t = alphabet.encode(b"MKVLAADTWGHK");
+    let mut results = Vec::new();
+    for p in [Precision::I8, Precision::I16, Precision::I32, Precision::Adaptive] {
+        let mut a = Aligner::builder().matrix(blosum62()).precision(p).build();
+        results.push(a.align(&q, &t).score);
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+}
+
+#[test]
+fn builder_options_compose() {
+    let mut a = Aligner::builder()
+        .fixed_scores(2, -3)
+        .linear_gap(4)
+        .scalar_threshold(4)
+        .precision(Precision::I16)
+        .build();
+    let alphabet = Alphabet::protein();
+    let q = alphabet.encode(b"AAAA");
+    let r = a.align(&q, &q);
+    assert_eq!(r.score, 8);
+}

@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) on core invariants.
+
+use proptest::prelude::*;
+use swsimd::core::{
+    banded_score, diag_score, sw_scalar, sw_scalar_traceback, AlignMode, KernelStats,
+};
+use swsimd::core::modes::sw_scalar_mode;
+use swsimd::matrices::blosum62;
+use swsimd::{EngineKind, GapModel, GapPenalties, Precision, Scoring};
+
+fn seq_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..20, 1..max_len)
+}
+
+fn gap_strategy() -> impl Strategy<Value = GapModel> {
+    prop_oneof![
+        (1i32..12, 1i32..4).prop_map(|(o, e)| {
+            let e = e.min(o);
+            GapModel::Affine(GapPenalties::new(o, e))
+        }),
+        (1i32..8).prop_map(|g| GapModel::Linear { gap: g }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The vector kernel equals the scalar reference on arbitrary
+    /// inputs, gap models and thresholds.
+    #[test]
+    fn kernel_matches_reference(
+        q in seq_strategy(100),
+        t in seq_strategy(100),
+        gaps in gap_strategy(),
+        threshold in 1usize..64,
+    ) {
+        let scoring = Scoring::matrix(blosum62());
+        let want = sw_scalar(&q, &t, &scoring, gaps).score;
+        let mut st = KernelStats::default();
+        let got = diag_score(
+            EngineKind::best(), Precision::I32, &q, &t, &scoring, gaps, threshold, &mut st,
+        );
+        prop_assert_eq!(got.score, want);
+    }
+
+    /// Local alignment scores are never negative and never exceed the
+    /// perfect self-alignment of the shorter sequence.
+    #[test]
+    fn score_bounds(q in seq_strategy(80), t in seq_strategy(80)) {
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::default_affine();
+        let s = sw_scalar(&q, &t, &scoring, gaps).score;
+        prop_assert!(s >= 0);
+        let bound: i32 = if q.len() <= t.len() {
+            q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum()
+        } else {
+            t.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum()
+        };
+        prop_assert!(s <= bound, "score {} exceeds bound {}", s, bound);
+    }
+
+    /// Symmetry: BLOSUM matrices are symmetric, so score(q,t) == score(t,q).
+    #[test]
+    fn alignment_is_symmetric(q in seq_strategy(60), t in seq_strategy(60)) {
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::default_affine();
+        let a = sw_scalar(&q, &t, &scoring, gaps).score;
+        let b = sw_scalar(&t, &q, &scoring, gaps).score;
+        prop_assert_eq!(a, b);
+    }
+
+    /// Monotonicity: appending residues can never lower the optimal
+    /// local score (the old alignment is still available).
+    #[test]
+    fn extension_monotone(q in seq_strategy(50), t in seq_strategy(50), extra in seq_strategy(10)) {
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::default_affine();
+        let base = sw_scalar(&q, &t, &scoring, gaps).score;
+        let mut t2 = t.clone();
+        t2.extend_from_slice(&extra);
+        let ext = sw_scalar(&q, &t2, &scoring, gaps).score;
+        prop_assert!(ext >= base);
+    }
+
+    /// Traceback paths rescore exactly to the reported score and have
+    /// consistent spans.
+    #[test]
+    fn traceback_is_valid(q in seq_strategy(60), t in seq_strategy(60), gaps in gap_strategy()) {
+        let scoring = Scoring::matrix(blosum62());
+        let r = sw_scalar_traceback(&q, &t, &scoring, gaps);
+        if let Some(aln) = &r.alignment {
+            prop_assert_eq!(aln.rescore(&q, &t, &scoring, gaps), r.score);
+            let m: usize = aln.ops.iter().filter(|&&o| o != swsimd::Op::Delete).count();
+            let d: usize = aln.ops.iter().filter(|&&o| o != swsimd::Op::Insert).count();
+            prop_assert_eq!(aln.query_end - aln.query_start, m);
+            prop_assert_eq!(aln.target_end - aln.target_start, d);
+            // Local alignments must start and end on a match.
+            if !aln.ops.is_empty() {
+                prop_assert_eq!(aln.ops[0], swsimd::Op::Match);
+                prop_assert_eq!(*aln.ops.last().unwrap(), swsimd::Op::Match);
+            }
+        } else {
+            prop_assert_eq!(r.score, 0);
+        }
+    }
+
+    /// Concatenation superadditivity: aligning q against t1++t2 is at
+    /// least as good as the best of the parts.
+    #[test]
+    fn concat_superadditive(q in seq_strategy(40), t1 in seq_strategy(40), t2 in seq_strategy(40)) {
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::default_affine();
+        let s1 = sw_scalar(&q, &t1, &scoring, gaps).score;
+        let s2 = sw_scalar(&q, &t2, &scoring, gaps).score;
+        let mut cat = t1.clone();
+        cat.extend_from_slice(&t2);
+        let sc = sw_scalar(&q, &cat, &scoring, gaps).score;
+        prop_assert!(sc >= s1.max(s2));
+    }
+
+    /// The 8-bit kernel either reports the exact score or flags
+    /// saturation — never a silently wrong value.
+    #[test]
+    fn i8_exact_or_saturated(q in seq_strategy(90), t in seq_strategy(90)) {
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::default_affine();
+        let want = sw_scalar(&q, &t, &scoring, gaps).score;
+        let mut st = KernelStats::default();
+        let got = diag_score(
+            EngineKind::best(), Precision::I8, &q, &t, &scoring, gaps, 8, &mut st,
+        );
+        if got.saturated {
+            prop_assert!(want >= i8::MAX as i32);
+        } else {
+            prop_assert_eq!(got.score, want);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Mode ordering: local >= semi-global >= global, always.
+    #[test]
+    fn mode_ordering(q in seq_strategy(70), t in seq_strategy(70), gaps in gap_strategy()) {
+        let scoring = Scoring::matrix(blosum62());
+        let local = sw_scalar(&q, &t, &scoring, gaps).score;
+        let sg = sw_scalar_mode(&q, &t, &scoring, gaps, AlignMode::SemiGlobal).score;
+        let global = sw_scalar_mode(&q, &t, &scoring, gaps, AlignMode::Global).score;
+        prop_assert!(local >= sg);
+        prop_assert!(sg >= global);
+    }
+
+    /// Global alignment is symmetric under argument swap for symmetric
+    /// matrices.
+    #[test]
+    fn global_symmetric(q in seq_strategy(60), t in seq_strategy(60), gaps in gap_strategy()) {
+        let scoring = Scoring::matrix(blosum62());
+        let a = sw_scalar_mode(&q, &t, &scoring, gaps, AlignMode::Global).score;
+        let b = sw_scalar_mode(&t, &q, &scoring, gaps, AlignMode::Global).score;
+        prop_assert_eq!(a, b);
+    }
+
+    /// Banded scores are monotone in the width and reach the unbanded
+    /// score once the band covers the matrix.
+    #[test]
+    fn banded_monotone(q in seq_strategy(60), t in seq_strategy(60), gaps in gap_strategy()) {
+        let scoring = Scoring::matrix(blosum62());
+        let full = sw_scalar(&q, &t, &scoring, gaps).score;
+        let mut prev = 0i32;
+        for width in [0usize, 3, 9, 27, 200] {
+            let mut st = KernelStats::default();
+            let got = banded_score(
+                EngineKind::best(), Precision::I32, &q, &t, &scoring, gaps, width, 8, &mut st,
+            ).score;
+            prop_assert!(got >= prev, "width {} lowered score {} -> {}", width, prev, got);
+            prop_assert!(got <= full);
+            prev = got;
+        }
+        prop_assert_eq!(prev, full);
+    }
+
+    /// The batch kernel agrees with the scalar reference on whole
+    /// mini-databases.
+    #[test]
+    fn batch_search_matches_reference(
+        q in seq_strategy(40),
+        targets in prop::collection::vec(seq_strategy(40), 1..12),
+    ) {
+        let alphabet = swsimd::matrices::Alphabet::protein();
+        let records: Vec<swsimd::SeqRecord> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| swsimd::SeqRecord::new(format!("s{i}"), alphabet.decode(t)))
+            .collect();
+        let db = swsimd::Database::from_records(records, &alphabet);
+        let scoring = Scoring::matrix(blosum62());
+        let gaps = GapModel::default_affine();
+        let mut aligner = swsimd::Aligner::new();
+        for hit in aligner.search(&q, &db, 0) {
+            let want = sw_scalar(&q, &db.encoded(hit.db_index).idx, &scoring, gaps).score;
+            prop_assert_eq!(hit.score, want);
+        }
+    }
+}
