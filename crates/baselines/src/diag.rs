@@ -38,7 +38,10 @@ fn diag_stripe_kernel<En: SimdEngine, W: KernelWidth<En>>(
 
     let (m, n) = (query.len(), target.len());
     if m == 0 || n == 0 {
-        return BaselineOut { score: 0, saturated: false };
+        return BaselineOut {
+            score: 0,
+            saturated: false,
+        };
     }
     let lanes = <W::V as SimdVec>::LANES;
 
@@ -65,9 +68,14 @@ fn diag_stripe_kernel<En: SimdEngine, W: KernelWidth<En>>(
     }
     let (qel, rrevel, vmatch, vmismatch) = match scoring {
         Scoring::Fixed { r#match, mismatch } => {
-            let qel: Vec<_> = qpad.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
-            let rel: Vec<_> =
-                rrevbuf.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            let qel: Vec<_> = qpad
+                .iter()
+                .map(|&b| Elem::<En, W>::from_i32(b as i32))
+                .collect();
+            let rel: Vec<_> = rrevbuf
+                .iter()
+                .map(|&b| Elem::<En, W>::from_i32(b as i32))
+                .collect();
             (
                 qel,
                 rel,
@@ -95,7 +103,11 @@ fn diag_stripe_kernel<En: SimdEngine, W: KernelWidth<En>>(
             // Neighbour realignment: two cross-lane shifts per step.
             let up_boundary = if t <= n { hrow[t] } else { Elem::<En, W>::ZERO };
             let diag_boundary = hrow[(t - 1).min(n)];
-            let f_boundary = if t <= n { frow[t] } else { Elem::<En, W>::NEG_INF };
+            let f_boundary = if t <= n {
+                frow[t]
+            } else {
+                Elem::<En, W>::NEG_INF
+            };
             let up = vh_prev1.shift_in_first(up_boundary);
             let diag = vh_prev2.shift_in_first(diag_boundary);
             let f_up = vf_prev1.shift_in_first(f_boundary);
@@ -128,8 +140,9 @@ fn diag_stripe_kernel<En: SimdEngine, W: KernelWidth<En>>(
 
             // Edge masking: lane k is valid iff 1 <= t-k <= n and the
             // row exists (k < rows_here).
-            let lower = W::V::iota()
-                .cmpgt(W::V::splat(Elem::<En, W>::from_i32(t as i32 - n as i32 - 1)));
+            let lower = W::V::iota().cmpgt(W::V::splat(Elem::<En, W>::from_i32(
+                t as i32 - n as i32 - 1,
+            )));
             let valid = lower
                 .and(W::V::mask_first(t.min(lanes)))
                 .and(W::V::mask_first(rows_here));
@@ -173,7 +186,10 @@ fn diag_stripe_kernel<En: SimdEngine, W: KernelWidth<En>>(
     stats.cells += (m * n) as u64;
     let best = vmax.hmax().to_i32();
     let saturated = Elem::<En, W>::BITS < 32 && best >= Elem::<En, W>::MAX.to_i32();
-    BaselineOut { score: best, saturated }
+    BaselineOut {
+        score: best,
+        saturated,
+    }
 }
 
 macro_rules! diag_wrappers {
@@ -202,7 +218,11 @@ diag_wrappers!(sse41_w, swsimd_simd::Sse41, "sse4.1,ssse3");
 #[cfg(target_arch = "x86_64")]
 diag_wrappers!(avx2_w, swsimd_simd::Avx2, "avx2");
 #[cfg(target_arch = "x86_64")]
-diag_wrappers!(avx512_w, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+diag_wrappers!(
+    avx512_w,
+    swsimd_simd::Avx512,
+    "avx512f,avx512bw,avx512vl,avx512vbmi"
+);
 
 macro_rules! diag_entry {
     ($fn_name:ident, $w:ident) => {
@@ -215,7 +235,11 @@ macro_rules! diag_entry {
             gaps: GapModel,
             stats: &mut KernelStats,
         ) -> BaselineOut {
-            let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+            let engine = if engine.is_available() {
+                engine
+            } else {
+                EngineKind::Scalar
+            };
             // SAFETY: availability checked above.
             unsafe {
                 match engine {

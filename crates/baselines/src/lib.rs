@@ -1,6 +1,5 @@
 #![allow(clippy::needless_range_loop)] // kernel loops index several parallel arrays by design
 #![allow(clippy::too_many_arguments)] // kernel entry points mirror the paper's parameter lists
-
 #![warn(missing_docs)]
 
 //! # swsimd-baselines
@@ -38,14 +37,8 @@ mod tests {
         (0..len).map(|_| rng.gen_range(0..20u8)).collect()
     }
 
-    type BaselineFn = fn(
-        EngineKind,
-        &[u8],
-        &[u8],
-        &Scoring,
-        GapModel,
-        &mut KernelStats,
-    ) -> BaselineOut;
+    type BaselineFn =
+        fn(EngineKind, &[u8], &[u8], &Scoring, GapModel, &mut KernelStats) -> BaselineOut;
 
     const BASELINES: [(&str, BaselineFn); 5] = [
         ("striped16", sw_striped_i16 as BaselineFn),
@@ -65,7 +58,8 @@ mod tests {
                     continue;
                 }
                 assert_eq!(
-                    got.score, want,
+                    got.score,
+                    want,
                     "{label}: {name} on {engine:?} (m={}, n={})",
                     q.len(),
                     t.len()
@@ -121,7 +115,10 @@ mod tests {
     #[test]
     fn baselines_fixed_scoring() {
         let mut rng = StdRng::seed_from_u64(55);
-        let scoring = Scoring::Fixed { r#match: 2, mismatch: -3 };
+        let scoring = Scoring::Fixed {
+            r#match: 2,
+            mismatch: -3,
+        };
         let gaps = GapModel::Affine(GapPenalties::new(5, 2));
         for round in 0..15 {
             let (lm, ln) = (rng.gen_range(1..80), rng.gen_range(1..80));

@@ -38,7 +38,10 @@ where
     let m = profile.query_len();
     let n = target.len();
     if m == 0 || n == 0 {
-        return BaselineOut { score: 0, saturated: false };
+        return BaselineOut {
+            score: 0,
+            saturated: false,
+        };
     }
     let lanes = V::LANES;
     let seglen = profile.segments();
@@ -116,7 +119,10 @@ where
     stats.diagonals += n as u64;
     let best = vmax.hmax().to_i32();
     let saturated = V::Elem::BITS < 32 && best >= V::Elem::MAX.to_i32();
-    BaselineOut { score: best, saturated }
+    BaselineOut {
+        score: best,
+        saturated,
+    }
 }
 
 macro_rules! scan_dispatch {
@@ -130,13 +136,13 @@ macro_rules! scan_dispatch {
             gaps: GapModel,
             stats: &mut KernelStats,
         ) -> BaselineOut {
-            let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+            let engine = if engine.is_available() {
+                engine
+            } else {
+                EngineKind::Scalar
+            };
 
-            fn profile_for(
-                query: &[u8],
-                scoring: &Scoring,
-                lanes: usize,
-            ) -> StripedProfile<$elem> {
+            fn profile_for(query: &[u8], scoring: &Scoring, lanes: usize) -> StripedProfile<$elem> {
                 match scoring {
                     Scoring::Matrix(m) => {
                         StripedProfile::build(query, m, lanes, swsimd_matrices::PAD_SCORE)

@@ -32,10 +32,7 @@ fn gap_pair(gaps: GapModel) -> (i32, i32) {
 }
 
 /// Build a striped profile matching vector type `V` for an encoded query.
-pub fn build_profile<V: SimdVec>(
-    query: &[u8],
-    scoring: &Scoring,
-) -> StripedProfile<V::Elem>
+pub fn build_profile<V: SimdVec>(query: &[u8], scoring: &Scoring) -> StripedProfile<V::Elem>
 where
     V::Elem: swsimd_matrices::ProfileElem,
 {
@@ -51,7 +48,12 @@ where
                 (*r#match).clamp(i8::MIN as i32, i8::MAX as i32) as i8,
                 (*mismatch).clamp(i8::MIN as i32, i8::MAX as i32) as i8,
             );
-            StripedProfile::build(query, &mm.reorganized(), V::LANES, swsimd_matrices::PAD_SCORE)
+            StripedProfile::build(
+                query,
+                &mm.reorganized(),
+                V::LANES,
+                swsimd_matrices::PAD_SCORE,
+            )
         }
     }
 }
@@ -70,7 +72,10 @@ where
     let m = profile.query_len();
     let n = target.len();
     if m == 0 || n == 0 {
-        return BaselineOut { score: 0, saturated: false };
+        return BaselineOut {
+            score: 0,
+            saturated: false,
+        };
     }
     let lanes = V::LANES;
     let seglen = profile.segments();
@@ -149,7 +154,10 @@ where
     stats.diagonals += n as u64;
     let best = vmax.hmax().to_i32();
     let saturated = V::Elem::BITS < 32 && best >= V::Elem::MAX.to_i32();
-    BaselineOut { score: best, saturated }
+    BaselineOut {
+        score: best,
+        saturated,
+    }
 }
 
 macro_rules! striped_wrappers {
@@ -184,7 +192,11 @@ striped_wrappers!(sse41_w, swsimd_simd::Sse41, "sse4.1,ssse3");
 #[cfg(target_arch = "x86_64")]
 striped_wrappers!(avx2_w, swsimd_simd::Avx2, "avx2");
 #[cfg(target_arch = "x86_64")]
-striped_wrappers!(avx512_w, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+striped_wrappers!(
+    avx512_w,
+    swsimd_simd::Avx512,
+    "avx512f,avx512bw,avx512vl,avx512vbmi"
+);
 
 /// Striped Smith-Waterman at 16-bit lanes (the configuration Parasail
 /// benchmarks by default).
@@ -196,7 +208,11 @@ pub fn sw_striped_i16(
     gaps: GapModel,
     stats: &mut KernelStats,
 ) -> BaselineOut {
-    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    let engine = if engine.is_available() {
+        engine
+    } else {
+        EngineKind::Scalar
+    };
     // SAFETY: availability checked above.
     unsafe {
         match engine {
@@ -238,7 +254,11 @@ pub fn sw_striped_i8(
     gaps: GapModel,
     stats: &mut KernelStats,
 ) -> BaselineOut {
-    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    let engine = if engine.is_available() {
+        engine
+    } else {
+        EngineKind::Scalar
+    };
     // SAFETY: availability checked above.
     unsafe {
         match engine {
@@ -279,7 +299,11 @@ pub fn sw_striped_i32(
     gaps: GapModel,
     stats: &mut KernelStats,
 ) -> BaselineOut {
-    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    let engine = if engine.is_available() {
+        engine
+    } else {
+        EngineKind::Scalar
+    };
     // SAFETY: availability checked above.
     unsafe {
         match engine {
@@ -327,7 +351,11 @@ pub mod with_profile {
                 gaps: GapModel,
                 stats: &mut KernelStats,
             ) -> BaselineOut {
-                let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+                let engine = if engine.is_available() {
+                    engine
+                } else {
+                    EngineKind::Scalar
+                };
                 // SAFETY: availability checked above; the profile's lane
                 // count is validated against the engine inside the kernel
                 // via the slice loads.

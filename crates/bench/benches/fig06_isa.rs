@@ -19,27 +19,23 @@ fn bench(c: &mut Criterion) {
     for engine in EngineKind::available() {
         for (label, q) in w.queries.iter().step_by(2) {
             g.throughput(Throughput::Elements(cells * q.len() as u64));
-            g.bench_with_input(
-                BenchmarkId::new(engine.name(), label),
-                q,
-                |b, q| {
-                    b.iter(|| {
-                        let mut st = KernelStats::default();
-                        for t in &targets {
-                            std::hint::black_box(diag_score(
-                                engine,
-                                Precision::I16,
-                                q,
-                                t,
-                                &scoring,
-                                gaps,
-                                16,
-                                &mut st,
-                            ));
-                        }
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(engine.name(), label), q, |b, q| {
+                b.iter(|| {
+                    let mut st = KernelStats::default();
+                    for t in &targets {
+                        std::hint::black_box(diag_score(
+                            engine,
+                            Precision::I16,
+                            q,
+                            t,
+                            &scoring,
+                            gaps,
+                            16,
+                            &mut st,
+                        ));
+                    }
+                })
+            });
         }
     }
     g.finish();

@@ -24,7 +24,14 @@ fn bench(c: &mut Criterion) {
                     let mut st = KernelStats::default();
                     for t in &targets {
                         std::hint::black_box(diag_score(
-                            engine, Precision::I16, q, t, &scoring, gaps, 16, &mut st,
+                            engine,
+                            Precision::I16,
+                            q,
+                            t,
+                            &scoring,
+                            gaps,
+                            16,
+                            &mut st,
                         ));
                     }
                 })

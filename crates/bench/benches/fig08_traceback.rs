@@ -21,8 +21,7 @@ fn bench(c: &mut Criterion) {
                 let mut st = KernelStats::default();
                 for t in &targets {
                     std::hint::black_box(
-                        diag_score(engine, Precision::I16, q, t, &scoring, gaps, 16, &mut st)
-                            .score,
+                        diag_score(engine, Precision::I16, q, t, &scoring, gaps, 16, &mut st).score,
                     );
                 }
             })

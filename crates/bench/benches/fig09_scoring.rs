@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     let engine = EngineKind::best();
     let targets = w.db_sample(8, 500);
     let matrix = Scoring::matrix(blosum62());
-    let fixed = Scoring::Fixed { r#match: 5, mismatch: -4 };
+    let fixed = Scoring::Fixed {
+        r#match: 5,
+        mismatch: -4,
+    };
 
     let mut g = c.benchmark_group("fig09_scoring");
     g.sample_size(10);

@@ -19,20 +19,52 @@ fn bench(c: &mut Criterion) {
         &'static str,
         fn(EngineKind, &[u8], &[u8], &Scoring, GapModel, &mut KernelStats) -> i32,
     );
-    fn ours(e: EngineKind, q: &[u8], t: &[u8], s: &Scoring, g: GapModel, st: &mut KernelStats) -> i32 {
+    fn ours(
+        e: EngineKind,
+        q: &[u8],
+        t: &[u8],
+        s: &Scoring,
+        g: GapModel,
+        st: &mut KernelStats,
+    ) -> i32 {
         adaptive_score(e, q, t, s, g, 16, st).0
     }
-    fn striped(e: EngineKind, q: &[u8], t: &[u8], s: &Scoring, g: GapModel, st: &mut KernelStats) -> i32 {
+    fn striped(
+        e: EngineKind,
+        q: &[u8],
+        t: &[u8],
+        s: &Scoring,
+        g: GapModel,
+        st: &mut KernelStats,
+    ) -> i32 {
         sw_striped_i16(e, q, t, s, g, st).score
     }
-    fn scan(e: EngineKind, q: &[u8], t: &[u8], s: &Scoring, g: GapModel, st: &mut KernelStats) -> i32 {
+    fn scan(
+        e: EngineKind,
+        q: &[u8],
+        t: &[u8],
+        s: &Scoring,
+        g: GapModel,
+        st: &mut KernelStats,
+    ) -> i32 {
         sw_scan_i16(e, q, t, s, g, st).score
     }
-    fn classic(e: EngineKind, q: &[u8], t: &[u8], s: &Scoring, g: GapModel, st: &mut KernelStats) -> i32 {
+    fn classic(
+        e: EngineKind,
+        q: &[u8],
+        t: &[u8],
+        s: &Scoring,
+        g: GapModel,
+        st: &mut KernelStats,
+    ) -> i32 {
         sw_diag_classic_i16(e, q, t, s, g, st).score
     }
-    let impls: [Impl; 4] =
-        [("ours", ours), ("striped", striped), ("scan", scan), ("diag_classic", classic)];
+    let impls: [Impl; 4] = [
+        ("ours", ours),
+        ("striped", striped),
+        ("scan", scan),
+        ("diag_classic", classic),
+    ];
 
     let mut g = c.benchmark_group("fig14_comparison");
     g.sample_size(10);

@@ -1,10 +1,17 @@
 //! Regenerate every table/figure of the paper's evaluation section.
 
-use swsimd_bench::{ablation_batching, ablation_threshold, portability, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, segments, Scale};
+use swsimd_bench::{
+    ablation_batching, ablation_threshold, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13,
+    fig14, portability, segments, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
     let figs: Vec<String> = {
         let mut out = Vec::new();
         let mut it = args.iter();
@@ -38,7 +45,10 @@ fn main() {
         print_json("Fig 8  (traceback on/off)", &fig08(scale));
     }
     if want("9") {
-        print_json("Fig 9  (substitution matrix on/off + bit widths)", &fig09(scale));
+        print_json(
+            "Fig 9  (substitution matrix on/off + bit widths)",
+            &fig09(scale),
+        );
     }
     if want("10") {
         print_json("Fig 10 (GA hyperparameter tuning)", &fig10(scale));

@@ -36,8 +36,12 @@ fn main() {
     entries.sort_by_key(|e| e.file_name());
 
     for entry in entries {
-        let Ok(text) = std::fs::read_to_string(entry.path()) else { continue };
-        let Ok(rec) = serde_json::from_str::<Value>(&text) else { continue };
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let Ok(rec) = serde_json::from_str::<Value>(&text) else {
+            continue;
+        };
         let figure = rec["figure"].as_str().unwrap_or("?");
         let title = rec["title"].as_str().unwrap_or("?");
         let scale = rec["scale"].as_str().unwrap_or("?");
@@ -70,7 +74,11 @@ fn render_value(out: &mut String, v: &Value, depth: usize) {
                 }
             }
             let _ = writeln!(out, "| {} |", cols.join(" | "));
-            let _ = writeln!(out, "|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+            let _ = writeln!(
+                out,
+                "|{}|",
+                cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            );
             for r in rows {
                 let cells: Vec<String> = cols
                     .iter()

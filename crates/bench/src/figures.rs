@@ -10,10 +10,13 @@ use swsimd_baselines::striped::{build_profile, with_profile};
 use swsimd_baselines::{sw_diag_classic_i16, sw_scan_i16};
 use swsimd_core::batch::lanes_for;
 use swsimd_core::diag::dispatch::{diag_score, diag_traceback};
-use swsimd_core::{segment_census, Aligner, GapModel, GapPenalties, KernelStats, Precision, Scoring};
+use swsimd_core::{
+    segment_census, Aligner, GapModel, GapPenalties, KernelStats, Precision, Scoring,
+};
 use swsimd_matrices::blosum62;
 use swsimd_perf::{
-    analyze, avx2_diag_i16, avx512_diag_i16, predict_gcups, scaling_curve, ArchId, ArchProfile, OpMix, VectorLicence,
+    analyze, avx2_diag_i16, avx512_diag_i16, predict_gcups, scaling_curve, ArchId, ArchProfile,
+    OpMix, VectorLicence,
 };
 use swsimd_runner::{scenario1, scenario2, scenario3};
 use swsimd_simd::{EngineKind, SimdEngine};
@@ -85,8 +88,7 @@ pub fn fig06(scale: Scale) -> Value {
 
     let mut measured = Vec::new();
     for (label, q) in &w.queries {
-        let cells: u64 =
-            q.len() as u64 * sample.iter().map(|t| t.len() as u64).sum::<u64>();
+        let cells: u64 = q.len() as u64 * sample.iter().map(|t| t.len() as u64).sum::<u64>();
         let mut row = json!({ "query": label, "len": q.len() });
         for &engine in &engines {
             let g = pairwise_gcups(&sample, cells, scale, |t| {
@@ -125,7 +127,12 @@ pub fn fig07(scale: Scale) -> Value {
     let mut rows = Vec::new();
     for qi in 0..w.queries.len() {
         let affine = search_gcups(
-            || Aligner::builder().matrix(blosum62()).gaps(GapPenalties::new(11, 1)).build(),
+            || {
+                Aligner::builder()
+                    .matrix(blosum62())
+                    .gaps(GapPenalties::new(11, 1))
+                    .build()
+            },
             &w,
             qi,
             scale,
@@ -134,7 +141,12 @@ pub fn fig07(scale: Scale) -> Value {
         // machinery with open == extend (their designs differ only in
         // the gap model, not in which buffers exist).
         let linear_same_path = search_gcups(
-            || Aligner::builder().matrix(blosum62()).gaps(GapPenalties::new(4, 4)).build(),
+            || {
+                Aligner::builder()
+                    .matrix(blosum62())
+                    .gaps(GapPenalties::new(4, 4))
+                    .build()
+            },
             &w,
             qi,
             scale,
@@ -177,8 +189,7 @@ pub fn fig08(scale: Scale) -> Value {
         if q.len() > 2_100 {
             continue; // keep O(mn) traceback storage bounded in Quick runs
         }
-        let cells: u64 =
-            q.len() as u64 * sample.iter().map(|t| t.len() as u64).sum::<u64>();
+        let cells: u64 = q.len() as u64 * sample.iter().map(|t| t.len() as u64).sum::<u64>();
         let no_tb = pairwise_gcups(&sample, cells, scale, |t| {
             let mut st = KernelStats::default();
             let r = diag_score(engine, Precision::I16, q, t, &scoring, gaps, 16, &mut st);
@@ -207,15 +218,17 @@ pub fn fig08(scale: Scale) -> Value {
 pub fn fig09(scale: Scale) -> Value {
     let w = Workload::standard(scale);
     let scoring = Scoring::matrix(blosum62());
-    let fixed = Scoring::Fixed { r#match: 5, mismatch: -4 };
+    let fixed = Scoring::Fixed {
+        r#match: 5,
+        mismatch: -4,
+    };
     let gaps = aff();
     let engine = EngineKind::best();
     let sample = w.db_sample(24, 1_000);
 
     let mut rows = Vec::new();
     for (qi, (label, q)) in w.queries.iter().enumerate() {
-        let cells: u64 =
-            q.len() as u64 * sample.iter().map(|t| t.len() as u64).sum::<u64>();
+        let cells: u64 = q.len() as u64 * sample.iter().map(|t| t.len() as u64).sum::<u64>();
 
         // The paper's headline comparison: the diagonal kernel with the
         // substitution matrix (gather scoring) vs fixed scores
@@ -277,7 +290,12 @@ pub fn fig09(scale: Scale) -> Value {
         }));
     }
     let series = json!({ "measured_host": rows });
-    finish("fig09", "With vs without substitution matrix", scale, &series);
+    finish(
+        "fig09",
+        "With vs without substitution matrix",
+        scale,
+        &series,
+    );
     series
 }
 
@@ -290,14 +308,26 @@ pub fn fig10(scale: Scale) -> Value {
     // Modeled GCC-flag tuning per architecture and query bucket.
     let space = gcc_space();
     let cfg = match scale {
-        Scale::Quick => GaConfig { population: 16, generations: 8, seed: 7, ..Default::default() },
-        Scale::Full => GaConfig { population: 24, generations: 12, seed: 7, ..Default::default() },
+        Scale::Quick => GaConfig {
+            population: 16,
+            generations: 8,
+            seed: 7,
+            ..Default::default()
+        },
+        Scale::Full => GaConfig {
+            population: 24,
+            generations: 12,
+            seed: 7,
+            ..Default::default()
+        },
     };
     let mut per_arch = Vec::new();
     for arch in ArchId::ALL {
         let mut buckets = serde_json::Map::new();
         for bucket in QueryBucket::ALL {
-            let r = ga_run(&space, &cfg, |g| relative_performance(&space, g, arch, bucket));
+            let r = ga_run(&space, &cfg, |g| {
+                relative_performance(&space, g, arch, bucket)
+            });
             let gain = tuned_improvement(&space, &r.best.genome, arch, bucket);
             buckets.insert(format!("{bucket:?}"), json!((gain - 1.0) * 100.0));
         }
@@ -309,7 +339,12 @@ pub fn fig10(scale: Scale) -> Value {
         Scale::Quick => EvalWorkload::standard(96, 64, 7),
         Scale::Full => EvalWorkload::standard(290, 256, 7),
     };
-    let kcfg = GaConfig { population: 8, generations: 4, seed: 42, ..Default::default() };
+    let kcfg = GaConfig {
+        population: 8,
+        generations: 4,
+        seed: 42,
+        ..Default::default()
+    };
     let (knobs, result) = swsimd_tune::tune_kernel(&workload, &kcfg);
     let baseline = swsimd_tune::measure_gcups(
         &KernelKnobs {
@@ -334,10 +369,7 @@ pub fn fig10(scale: Scale) -> Value {
     let phase: Vec<Value> = ArchId::ALL
         .iter()
         .map(|&arch| {
-            let r = swsimd_tune::tune_phase_order(
-                arch,
-                &swsimd_tune::PhaseGaConfig::default(),
-            );
+            let r = swsimd_tune::tune_phase_order(arch, &swsimd_tune::PhaseGaConfig::default());
             json!({
                 "arch": arch.name(),
                 "improvement_pct": (r.best_fitness / r.default_fitness - 1.0) * 100.0,
@@ -351,7 +383,12 @@ pub fn fig10(scale: Scale) -> Value {
         "real_kernel_knobs": real,
         "phase_ordering_future_work": phase,
     });
-    finish("fig10", "Performance improvement after hyperparameter tuning", scale, &series);
+    finish(
+        "fig10",
+        "Performance improvement after hyperparameter tuning",
+        scale,
+        &series,
+    );
     series
 }
 
@@ -385,15 +422,20 @@ pub fn fig11(scale: Scale) -> Value {
     // on a single-core container this is flat, and recorded as such).
     let w = Workload::standard(Scale::Quick);
     let q = &w.queries[2].1;
-    let host_parallelism =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut host = Vec::new();
     for threads in [1usize, 2, 4] {
         let mut run = || {
             let out = swsimd_runner::parallel_search(
                 q,
                 &w.db,
-                &swsimd_runner::PoolConfig { threads, sort_batches: true },
+                &swsimd_runner::PoolConfig {
+                    threads,
+                    sort_batches: true,
+                    ..Default::default()
+                },
                 || Aligner::builder().matrix(blosum62()),
             );
             std::hint::black_box(out.hits.len());
@@ -412,7 +454,12 @@ pub fn fig11(scale: Scale) -> Value {
         "measured_host": { "available_parallelism": host_parallelism, "points": host,
                             "effective_ghz": ghz },
     });
-    finish("fig11", "Thread scaling with frequency recalibration", scale, &series);
+    finish(
+        "fig11",
+        "Thread scaling with frequency recalibration",
+        scale,
+        &series,
+    );
     series
 }
 
@@ -518,7 +565,9 @@ pub fn fig12(scale: Scale) -> Value {
 /// Regenerate Fig 13.
 pub fn fig13(scale: Scale) -> Value {
     let w = Workload::standard(scale);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let builder = || Aligner::builder().matrix(blosum62());
 
     // Scenario 1 vs 2 needs a database large enough that per-query
@@ -557,8 +606,8 @@ pub fn fig13(scale: Scale) -> Value {
         },
         ms(scale) * 3,
     );
-    let total_cells: u64 = batch.iter().map(|q| q.len() as u64).sum::<u64>()
-        * w.db.total_residues() as u64;
+    let total_cells: u64 =
+        batch.iter().map(|q| q.len() as u64).sum::<u64>() * w.db.total_residues() as u64;
     let s1_gcups = gcups(total_cells, t1);
 
     // Scenario 2: the same queries accumulated and processed as one
@@ -578,7 +627,11 @@ pub fn fig13(scale: Scale) -> Value {
         .collect();
     let small_db = swsimd_seq::Database::from_records(small_records, blosum62().alphabet());
     let queries3: Vec<Vec<u8>> = (0..8)
-        .map(|i| blosum62().alphabet().encode(&swsimd_seq::generate_exact(64, i).seq))
+        .map(|i| {
+            blosum62()
+                .alphabet()
+                .encode(&swsimd_seq::generate_exact(64, i).seq)
+        })
         .collect();
     let s3 = scenario3(&queries3, &small_db, builder);
 
@@ -588,7 +641,12 @@ pub fn fig13(scale: Scale) -> Value {
         "scenario3_small_sets": { "gcups": s3.throughput.gcups(), "alignments": s3.alignments },
         "batch_over_single_ratio": s2_gcups / s1_gcups.max(1e-12),
     });
-    finish("fig13", "Performance for different SW usage scenarios", scale, &series);
+    finish(
+        "fig13",
+        "Performance for different SW usage scenarios",
+        scale,
+        &series,
+    );
     series
 }
 
@@ -633,8 +691,7 @@ pub fn fig14(scale: Scale) -> Value {
     let mut rows = Vec::new();
     let mut sums = (0.0f64, 0.0f64, 0.0f64, 0usize);
     for (label, q) in &w.queries {
-        let cells: u64 =
-            q.len() as u64 * targets.iter().map(|t| t.len() as u64).sum::<u64>();
+        let cells: u64 = q.len() as u64 * targets.iter().map(|t| t.len() as u64).sum::<u64>();
 
         // Ours: batch search with adaptive promotion.
         let mut aligner = Aligner::builder().matrix(blosum62()).build();
@@ -717,7 +774,12 @@ pub fn fig14(scale: Scale) -> Value {
             "paper_reported": { "vs_striped": 1.5, "vs_scan": 1.9, "vs_diag": 3.9 },
         },
     });
-    finish("fig14", "Ours vs Parasail scan/striped/diag", scale, &series);
+    finish(
+        "fig14",
+        "Ours vs Parasail scan/striped/diag",
+        scale,
+        &series,
+    );
     series
 }
 
@@ -750,7 +812,12 @@ pub fn segments(scale: Scale) -> Value {
         rows.push(json!({ "query": label, "short_cell_fraction": per_threshold }));
     }
     let series = json!({ "db_median_len": stats.median, "rows": rows });
-    finish("seg_census", "Short-segment cell fraction (§III-B)", scale, &series);
+    finish(
+        "seg_census",
+        "Short-segment cell fraction (§III-B)",
+        scale,
+        &series,
+    );
     series
 }
 
@@ -800,7 +867,12 @@ pub fn portability(scale: Scale) -> Value {
         }));
     }
     let series = json!({ "query": qlabel, "measured_host": rows });
-    finish("portability", "Kernel throughput across vector extensions", scale, &series);
+    finish(
+        "portability",
+        "Kernel throughput across vector extensions",
+        scale,
+        &series,
+    );
     series
 }
 
@@ -820,15 +892,23 @@ pub fn ablation_threshold(scale: Scale) -> Value {
 
     let mut rows = Vec::new();
     for (label, q) in w.queries.iter().step_by(2) {
-        let cells: u64 =
-            q.len() as u64 * targets.iter().map(|t| t.len() as u64).sum::<u64>();
+        let cells: u64 = q.len() as u64 * targets.iter().map(|t| t.len() as u64).sum::<u64>();
         let mut sweep = Vec::new();
         for threshold in [1usize, 4, 8, 16, 32, 64, 128] {
             let mut stats = KernelStats::default();
             let g = pairwise_gcups(&targets, cells, scale, |t| {
                 std::hint::black_box(
-                    diag_score(engine, Precision::I16, q, t, &scoring, gaps, threshold, &mut stats)
-                        .score,
+                    diag_score(
+                        engine,
+                        Precision::I16,
+                        q,
+                        t,
+                        &scoring,
+                        gaps,
+                        threshold,
+                        &mut stats,
+                    )
+                    .score,
                 );
             });
             sweep.push(json!({
@@ -841,7 +921,12 @@ pub fn ablation_threshold(scale: Scale) -> Value {
         rows.push(json!({ "query": label, "sweep": sweep }));
     }
     let series = json!({ "measured_host": rows });
-    finish("ablation_threshold", "Scalar-fallback threshold sweep (Fig 3 knob)", scale, &series);
+    finish(
+        "ablation_threshold",
+        "Scalar-fallback threshold sweep (Fig 3 knob)",
+        scale,
+        &series,
+    );
     series
 }
 
@@ -869,7 +954,12 @@ pub fn ablation_batching(scale: Scale) -> Value {
         }));
     }
     let series = json!({ "measured_host": rows });
-    finish("ablation_batching", "Length-sorted vs unsorted batches (Fig 5 layout)", scale, &series);
+    finish(
+        "ablation_batching",
+        "Length-sorted vs unsorted batches (Fig 5 layout)",
+        scale,
+        &series,
+    );
     series
 }
 

@@ -54,11 +54,10 @@ impl Workload {
     /// Build the standard workload at a scale. Deterministic.
     pub fn standard(scale: Scale) -> Self {
         let alphabet = Alphabet::protein();
-        let queries: Vec<(String, Vec<u8>)> = standard_queries()
-            [scale.query_subset()]
-        .iter()
-        .map(|r| (format!("q{}", r.seq.len()), alphabet.encode(&r.seq)))
-        .collect();
+        let queries: Vec<(String, Vec<u8>)> = standard_queries()[scale.query_subset()]
+            .iter()
+            .map(|r| (format!("q{}", r.seq.len()), alphabet.encode(&r.seq)))
+            .collect();
         let db = generate_database(&SynthConfig {
             n_seqs: scale.db_seqs(),
             max_len: scale.db_max_len(),

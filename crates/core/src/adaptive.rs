@@ -44,19 +44,44 @@ pub fn adaptive_score(
     scalar_threshold: usize,
     stats: &mut KernelStats,
 ) -> (i32, Precision) {
-    let r8 = diag_score(engine, Precision::I8, query, target, scoring, gaps, scalar_threshold, stats);
+    let r8 = diag_score(
+        engine,
+        Precision::I8,
+        query,
+        target,
+        scoring,
+        gaps,
+        scalar_threshold,
+        stats,
+    );
     if !r8.saturated {
         return (r8.score, Precision::I8);
     }
     stats.promotions += 1;
-    let r16 =
-        diag_score(engine, Precision::I16, query, target, scoring, gaps, scalar_threshold, stats);
+    let r16 = diag_score(
+        engine,
+        Precision::I16,
+        query,
+        target,
+        scoring,
+        gaps,
+        scalar_threshold,
+        stats,
+    );
     if !r16.saturated {
         return (r16.score, Precision::I16);
     }
     stats.promotions += 1;
-    let r32 =
-        diag_score(engine, Precision::I32, query, target, scoring, gaps, scalar_threshold, stats);
+    let r32 = diag_score(
+        engine,
+        Precision::I32,
+        query,
+        target,
+        scoring,
+        gaps,
+        scalar_threshold,
+        stats,
+    );
     (r32.score, Precision::I32)
 }
 
@@ -83,7 +108,16 @@ pub fn adaptive_traceback(
         if k > 0 {
             stats.promotions += 1;
         }
-        let r = diag_traceback(engine, p, query, target, scoring, gaps, scalar_threshold, stats);
+        let r = diag_traceback(
+            engine,
+            p,
+            query,
+            target,
+            scoring,
+            gaps,
+            scalar_threshold,
+            stats,
+        );
         let saturated = r.saturated;
         last = Some((r, p));
         if !saturated {

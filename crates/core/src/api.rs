@@ -14,13 +14,16 @@
 //! println!("{}", r.alignment.unwrap().cigar());
 //! ```
 
-use swsimd_matrices::{blosum62, Alphabet, SubstitutionMatrix};
+use std::borrow::Cow;
+
+use swsimd_matrices::{blosum62, Alphabet, SubstitutionMatrix, PADDED_ALPHABET};
 use swsimd_seq::{BatchedDatabase, Database};
 use swsimd_simd::EngineKind;
 
 use crate::adaptive::{adaptive_score, adaptive_traceback, minimal_safe_precision};
 use crate::batch::{batch_score, lanes_for, LaneScore};
 use crate::diag::dispatch::{diag_score, diag_traceback};
+use crate::error::{validate_encoded, AlignError};
 use crate::modes::{adaptive_mode_score, diag_mode_score, sw_scalar_mode_traceback, AlignMode};
 use crate::params::{AlignResult, GapModel, GapPenalties, Precision, Scoring};
 use crate::stats::KernelStats;
@@ -132,7 +135,9 @@ impl AlignerBuilder {
 
     /// Finish.
     pub fn build(self) -> Aligner {
-        let threshold = self.scalar_threshold.unwrap_or_else(|| lanes_for(self.engine));
+        let threshold = self
+            .scalar_threshold
+            .unwrap_or_else(|| lanes_for(self.engine));
         // `align_ascii` must encode with the same alphabet the scoring
         // matrix is indexed by (protein vs DNA differ).
         let alphabet = match &self.scoring {
@@ -210,8 +215,48 @@ impl Aligner {
     }
 
     /// Align two **encoded** sequences (residue indices `< 32`).
+    ///
+    /// Bytes outside the encoded range are clamped to the alphabet's
+    /// unknown residue (`X` for protein) in **all** builds: an
+    /// unencoded byte would otherwise index out of the reorganized
+    /// substitution matrix. Use [`Aligner::try_align`] to reject such
+    /// input instead of clamping.
     pub fn align(&mut self, query: &[u8], target: &[u8]) -> AlignResult {
-        debug_assert!(query.iter().chain(target).all(|&b| b < 32), "sequences must be encoded");
+        let query = self.sanitize(query);
+        let target = self.sanitize(target);
+        self.align_clean(&query, &target)
+    }
+
+    /// Like [`Aligner::align`], but returns a typed error on bytes that
+    /// are not encoded residues instead of clamping them to unknown.
+    pub fn try_align(&mut self, query: &[u8], target: &[u8]) -> Result<AlignResult, AlignError> {
+        validate_encoded(query)?;
+        validate_encoded(target)?;
+        Ok(self.align_clean(query, target))
+    }
+
+    /// Clamp bytes `>= 32` to the alphabet's unknown residue. The
+    /// common (valid) case borrows; only malformed input allocates.
+    fn sanitize<'s>(&self, seq: &'s [u8]) -> Cow<'s, [u8]> {
+        if validate_encoded(seq).is_ok() {
+            Cow::Borrowed(seq)
+        } else {
+            let unknown = self.alphabet.unknown();
+            Cow::Owned(
+                seq.iter()
+                    .map(|&b| {
+                        if b < PADDED_ALPHABET as u8 {
+                            b
+                        } else {
+                            unknown
+                        }
+                    })
+                    .collect(),
+            )
+        }
+    }
+
+    fn align_clean(&mut self, query: &[u8], target: &[u8]) -> AlignResult {
         if self.mode != AlignMode::Local {
             return self.align_mode(query, target);
         }
@@ -282,7 +327,8 @@ impl Aligner {
     /// direction store cannot be reused).
     fn align_mode(&mut self, query: &[u8], target: &[u8]) -> AlignResult {
         if self.traceback {
-            let mut r = sw_scalar_mode_traceback(query, target, &self.scoring, self.gaps, self.mode);
+            let mut r =
+                sw_scalar_mode_traceback(query, target, &self.scoring, self.gaps, self.mode);
             self.stats.cells += (query.len() * target.len()) as u64;
             self.stats.traceback_cells += (query.len() * target.len()) as u64;
             r.precision_used = Precision::I32;
@@ -334,10 +380,15 @@ impl Aligner {
             AlignMode::Local,
             "banded alignment is implemented for local mode"
         );
+        let query = &*self.sanitize(query);
+        let target = &*self.sanitize(target);
         let (score, prec) = match self.precision {
             Precision::Adaptive => {
                 let mut out = None;
-                for (k, p) in [Precision::I8, Precision::I16, Precision::I32].into_iter().enumerate() {
+                for (k, p) in [Precision::I8, Precision::I16, Precision::I32]
+                    .into_iter()
+                    .enumerate()
+                {
                     if k > 0 {
                         self.stats.promotions += 1;
                     }
@@ -357,7 +408,22 @@ impl Aligner {
                         break;
                     }
                 }
-                out.expect("I32 never saturates")
+                // The I32 kernel has no saturation path, so `out` is
+                // always set — but a serving layer must never panic on
+                // input shape, so the (unreachable) None case degrades
+                // to the scalar reference band, which is i32-exact.
+                out.unwrap_or_else(|| {
+                    (
+                        crate::banded::sw_banded_scalar(
+                            query,
+                            target,
+                            &self.scoring,
+                            self.gaps,
+                            width,
+                        ),
+                        Precision::I32,
+                    )
+                })
             }
             p => (
                 crate::banded::banded_score(
@@ -390,7 +456,13 @@ impl Aligner {
     /// 8-bit inter-sequence kernel, promoting saturated lanes through
     /// the 16/32-bit diagonal kernel. Returns exact scores for every
     /// database sequence, unsorted.
-    pub fn search_batched(&mut self, query: &[u8], db: &Database, batched: &BatchedDatabase) -> Vec<Hit> {
+    pub fn search_batched(
+        &mut self,
+        query: &[u8],
+        db: &Database,
+        batched: &BatchedDatabase,
+    ) -> Vec<Hit> {
+        let query = &*self.sanitize(query);
         let mut lane_scores: Vec<LaneScore> = Vec::with_capacity(db.len());
         if batched.lanes() == lanes_for(self.engine) {
             for b in batched.batches() {
@@ -431,9 +503,8 @@ impl Aligner {
                 if ls.saturated {
                     self.stats.promotions += 1;
                     let target = &db.encoded(ls.db_index as usize).idx;
-                    let prec =
-                        minimal_safe_precision(query.len(), target.len(), &self.scoring)
-                            .max_with_i16();
+                    let prec = minimal_safe_precision(query.len(), target.len(), &self.scoring)
+                        .max_with_i16();
                     let r = diag_score(
                         self.engine,
                         prec,
@@ -463,9 +534,17 @@ impl Aligner {
                     } else {
                         (r.score, prec)
                     };
-                    Hit { db_index: ls.db_index as usize, score, precision: prec }
+                    Hit {
+                        db_index: ls.db_index as usize,
+                        score,
+                        precision: prec,
+                    }
                 } else {
-                    Hit { db_index: ls.db_index as usize, score: ls.score, precision: Precision::I8 }
+                    Hit {
+                        db_index: ls.db_index as usize,
+                        score: ls.score,
+                        precision: Precision::I8,
+                    }
                 }
             })
             .collect()
@@ -510,7 +589,9 @@ mod tests {
     use swsimd_seq::SeqRecord;
 
     fn rand_ascii(rng: &mut StdRng, len: usize) -> Vec<u8> {
-        (0..len).map(|_| PROTEIN_LETTERS[rng.gen_range(0..20)]).collect()
+        (0..len)
+            .map(|_| PROTEIN_LETTERS[rng.gen_range(0..20)])
+            .collect()
     }
 
     #[test]
@@ -616,15 +697,60 @@ mod tests {
 
     #[test]
     fn dna_matrix_uses_dna_alphabet() {
-        let dna = swsimd_matrices::SubstitutionMatrix::match_mismatch(
-            "dna", Alphabet::dna(), 2, -3,
-        );
+        let dna =
+            swsimd_matrices::SubstitutionMatrix::match_mismatch("dna", Alphabet::dna(), 2, -3);
         let mut a = Aligner::builder().matrix(&dna).linear_gap(4).build();
         assert_eq!(a.alphabet().len(), 5);
         let r = a.align_ascii(b"ACGTACGT", b"ACGTACGT");
         assert_eq!(r.score, 16); // 8 matches x 2
         let r2 = a.align_ascii(b"ACGT", b"TGCA");
         assert!(r2.score <= 2);
+    }
+
+    #[test]
+    fn unencoded_bytes_clamp_to_unknown_in_all_builds() {
+        // Bytes >= 32 would index out of the reorganized matrix; they
+        // must clamp to X (never panic, never read out of bounds) in
+        // release builds too — this used to be a debug_assert only.
+        let alphabet = Alphabet::protein();
+        let clean = alphabet.encode(b"MKVXLAADTW");
+        let mut dirty = clean.clone();
+        dirty[3] = 200; // not an encoded residue
+        let mut a = Aligner::new();
+        let want = a.align(&clean, &clean).score;
+        assert_eq!(a.align(&dirty, &clean).score, want);
+        assert_eq!(a.align(&clean, &dirty).score, want);
+    }
+
+    #[test]
+    fn try_align_rejects_unencoded_bytes() {
+        use crate::error::AlignError;
+        let mut a = Aligner::new();
+        let r = a.try_align(&[1, 2, 77], &[3, 4]);
+        assert_eq!(
+            r.unwrap_err(),
+            AlignError::InvalidResidue {
+                position: 2,
+                value: 77
+            }
+        );
+        assert!(a.try_align(&[1, 2, 3], &[3, 4]).is_ok());
+    }
+
+    #[test]
+    fn search_batched_sanitizes_query() {
+        let alphabet = Alphabet::protein();
+        let db =
+            Database::from_records(vec![SeqRecord::new("s", b"MKVLAADTW".to_vec())], &alphabet);
+        let mut dirty = alphabet.encode(b"MKVLAADTW");
+        dirty[0] = 0xff;
+        let mut a = Aligner::new();
+        let hits = a.search(&dirty, &db, 0);
+        assert_eq!(hits.len(), 1);
+        let mut clean = alphabet.encode(b"MKVLAADTW");
+        clean[0] = alphabet.unknown();
+        let target = db.encoded(0).idx.clone();
+        assert_eq!(hits[0].score, a.align(&clean, &target).score);
     }
 
     #[test]

@@ -130,7 +130,10 @@ fn sw_banded_kernel<En: SimdEngine, W: KernelWidth<En>>(
 
     let (m, n) = (query.len(), target.len());
     if m == 0 || n == 0 {
-        return ScoreOut { score: 0, saturated: false };
+        return ScoreOut {
+            score: 0,
+            saturated: false,
+        };
     }
     let lanes = <W::V as SimdVec>::LANES;
     let scalar_threshold = scalar_threshold.max(1);
@@ -159,8 +162,14 @@ fn sw_banded_kernel<En: SimdEngine, W: KernelWidth<En>>(
     }
     let (qel, rrevel, vmatch, vmismatch) = match scoring {
         Scoring::Fixed { r#match, mismatch } => {
-            let qel: Vec<_> = qpad.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
-            let rel: Vec<_> = rrev.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            let qel: Vec<_> = qpad
+                .iter()
+                .map(|&b| Elem::<En, W>::from_i32(b as i32))
+                .collect();
+            let rel: Vec<_> = rrev
+                .iter()
+                .map(|&b| Elem::<En, W>::from_i32(b as i32))
+                .collect();
             (
                 qel,
                 rel,
@@ -269,7 +278,10 @@ fn sw_banded_kernel<En: SimdEngine, W: KernelWidth<En>>(
                     let (e_new, f_new) = if affine {
                         let e_in = W::V::load(ep.as_ptr().add(base));
                         let f_in = W::V::load(fp.as_ptr().add(base - 1));
-                        (e_in.subs(vge).max(h_l.subs(vgo)), f_in.subs(vge).max(h_u.subs(vgo)))
+                        (
+                            e_in.subs(vge).max(h_l.subs(vgo)),
+                            f_in.subs(vge).max(h_u.subs(vgo)),
+                        )
                     } else {
                         (h_l.subs(vgo), h_u.subs(vgo))
                     };
@@ -316,7 +328,10 @@ fn sw_banded_kernel<En: SimdEngine, W: KernelWidth<En>>(
 
     let best = vmax.hmax().to_i32().max(scalar_best);
     let saturated = Elem::<En, W>::BITS < 32 && best >= Elem::<En, W>::MAX.to_i32();
-    ScoreOut { score: best, saturated }
+    ScoreOut {
+        score: best,
+        saturated,
+    }
 }
 
 macro_rules! banded_wrappers {
@@ -354,7 +369,11 @@ banded_wrappers!(sse41_w, swsimd_simd::Sse41, "sse4.1,ssse3");
 #[cfg(target_arch = "x86_64")]
 banded_wrappers!(avx2_w, swsimd_simd::Avx2, "avx2");
 #[cfg(target_arch = "x86_64")]
-banded_wrappers!(avx512_w, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+banded_wrappers!(
+    avx512_w,
+    swsimd_simd::Avx512,
+    "avx512f,avx512bw,avx512vl,avx512vbmi"
+);
 
 /// Banded local alignment score on a chosen engine and precision.
 pub fn banded_score(
@@ -368,7 +387,11 @@ pub fn banded_score(
     scalar_threshold: usize,
     stats: &mut KernelStats,
 ) -> ScoreOut {
-    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    let engine = if engine.is_available() {
+        engine
+    } else {
+        EngineKind::Scalar
+    };
     // SAFETY: availability checked above.
     unsafe {
         macro_rules! call {
@@ -442,7 +465,15 @@ mod tests {
             for engine in EngineKind::available() {
                 let mut st = KernelStats::default();
                 let got = banded_score(
-                    engine, Precision::I32, &q, &t, &b62(), aff(), width, 8, &mut st,
+                    engine,
+                    Precision::I32,
+                    &q,
+                    &t,
+                    &b62(),
+                    aff(),
+                    width,
+                    8,
+                    &mut st,
                 );
                 assert_eq!(got.score, want, "{engine:?} m={lm} n={ln}");
             }
@@ -461,7 +492,15 @@ mod tests {
                 for engine in EngineKind::available() {
                     let mut st = KernelStats::default();
                     let got = banded_score(
-                        engine, Precision::I32, &q, &t, &b62(), aff(), width, 4, &mut st,
+                        engine,
+                        Precision::I32,
+                        &q,
+                        &t,
+                        &b62(),
+                        aff(),
+                        width,
+                        4,
+                        &mut st,
                     );
                     assert_eq!(
                         got.score, want,
@@ -484,7 +523,15 @@ mod tests {
             for width in [0usize, 2, 4, 8, 16, 32, 200] {
                 let mut st = KernelStats::default();
                 let got = banded_score(
-                    EngineKind::best(), Precision::I32, &q, &t, &b62(), aff(), width, 8, &mut st,
+                    EngineKind::best(),
+                    Precision::I32,
+                    &q,
+                    &t,
+                    &b62(),
+                    aff(),
+                    width,
+                    8,
+                    &mut st,
                 )
                 .score;
                 assert!(got <= full, "w={width}: banded {got} > full {full}");
@@ -502,12 +549,33 @@ mod tests {
         let mut full = KernelStats::default();
         let mut banded = KernelStats::default();
         let _ = banded_score(
-            EngineKind::best(), Precision::I16, &q, &t, &b62(), aff(), 1_000, 8, &mut full,
+            EngineKind::best(),
+            Precision::I16,
+            &q,
+            &t,
+            &b62(),
+            aff(),
+            1_000,
+            8,
+            &mut full,
         );
         let _ = banded_score(
-            EngineKind::best(), Precision::I16, &q, &t, &b62(), aff(), 16, 8, &mut banded,
+            EngineKind::best(),
+            Precision::I16,
+            &q,
+            &t,
+            &b62(),
+            aff(),
+            16,
+            8,
+            &mut banded,
         );
-        assert!(banded.cells < full.cells / 5, "{} vs {}", banded.cells, full.cells);
+        assert!(
+            banded.cells < full.cells / 5,
+            "{} vs {}",
+            banded.cells,
+            full.cells
+        );
     }
 
     #[test]
@@ -523,7 +591,15 @@ mod tests {
         let full = sw_scalar(&q, &t, &b62(), aff()).score;
         let mut st = KernelStats::default();
         let got = banded_score(
-            EngineKind::best(), Precision::I16, &q, &t, &b62(), aff(), 4, 8, &mut st,
+            EngineKind::best(),
+            Precision::I16,
+            &q,
+            &t,
+            &b62(),
+            aff(),
+            4,
+            8,
+            &mut st,
         );
         assert_eq!(got.score, full);
     }

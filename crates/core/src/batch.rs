@@ -71,9 +71,10 @@ fn batch_kernel<En: SimdEngine>(
     let mut vmax = vzero;
 
     let (vmatch, vmismatch) = match scoring {
-        Scoring::Fixed { r#match, mismatch } => {
-            (En::V8::splat(i8::from_i32(*r#match)), En::V8::splat(i8::from_i32(*mismatch)))
-        }
+        Scoring::Fixed { r#match, mismatch } => (
+            En::V8::splat(i8::from_i32(*r#match)),
+            En::V8::splat(i8::from_i32(*mismatch)),
+        ),
         Scoring::Matrix(_) => (vzero, vzero),
     };
 
@@ -106,7 +107,11 @@ fn batch_kernel<En: SimdEngine>(
             } else {
                 // Linear model: E/F collapse to one-step penalties from
                 // the left/up neighbours.
-                h_diag.adds(s).max(vzero).max(h_arr[i].subs(vgo)).max(h_up.subs(vgo))
+                h_diag
+                    .adds(s)
+                    .max(vzero)
+                    .max(h_arr[i].subs(vgo))
+                    .max(h_up.subs(vgo))
             };
             h_diag = h_arr[i];
             h_arr[i] = h;
@@ -126,7 +131,11 @@ fn batch_kernel<En: SimdEngine>(
         let score = lane_max[k] as i32;
         let real_cells = batch.lens()[k] as u64 * m as u64;
         stats.cells += real_cells;
-        out.push(LaneScore { db_index, score, saturated: score >= i8::MAX as i32 });
+        out.push(LaneScore {
+            db_index,
+            score,
+            saturated: score >= i8::MAX as i32,
+        });
     }
     // Lane slots burned on padding (ragged tails and short batches).
     let real: u64 = batch.lens().iter().map(|&l| l as u64 * m as u64).sum();
@@ -161,7 +170,11 @@ batch_wrapper!(batch_sse41, swsimd_simd::Sse41, "sse4.1,ssse3");
 #[cfg(target_arch = "x86_64")]
 batch_wrapper!(batch_avx2, swsimd_simd::Avx2, "avx2");
 #[cfg(target_arch = "x86_64")]
-batch_wrapper!(batch_avx512, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+batch_wrapper!(
+    batch_avx512,
+    swsimd_simd::Avx512,
+    "avx512f,avx512bw,avx512vl,avx512vbmi"
+);
 
 /// Number of 8-bit lanes (and therefore required batch width) for an
 /// engine kind.
@@ -187,7 +200,11 @@ pub fn batch_score(
     stats: &mut KernelStats,
     out: &mut Vec<LaneScore>,
 ) {
-    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    let engine = if engine.is_available() {
+        engine
+    } else {
+        EngineKind::Scalar
+    };
     // SAFETY: availability checked above.
     unsafe {
         match engine {
@@ -224,7 +241,9 @@ mod tests {
     }
 
     fn rand_ascii(rng: &mut StdRng, len: usize) -> Vec<u8> {
-        (0..len).map(|_| swsimd_matrices::PROTEIN_LETTERS[rng.gen_range(0..20)]).collect()
+        (0..len)
+            .map(|_| swsimd_matrices::PROTEIN_LETTERS[rng.gen_range(0..20)])
+            .collect()
     }
 
     #[test]
@@ -253,9 +272,13 @@ mod tests {
             assert_eq!(out.len(), db.len());
             for ls in &out {
                 assert!(!ls.saturated, "{engine:?}: unexpected saturation");
-                let want =
-                    sw_scalar(&query, &db.encoded(ls.db_index as usize).idx, &scoring, gaps)
-                        .score;
+                let want = sw_scalar(
+                    &query,
+                    &db.encoded(ls.db_index as usize).idx,
+                    &scoring,
+                    gaps,
+                )
+                .score;
                 assert_eq!(ls.score, want, "{engine:?} seq {}", ls.db_index);
             }
         }
@@ -264,7 +287,10 @@ mod tests {
     #[test]
     fn fixed_scoring_batch() {
         let mut rng = StdRng::seed_from_u64(23);
-        let scoring = Scoring::Fixed { r#match: 3, mismatch: -2 };
+        let scoring = Scoring::Fixed {
+            r#match: 3,
+            mismatch: -2,
+        };
         let gaps = GapModel::Linear { gap: 2 };
         let alphabet = Alphabet::protein();
         let seqs: Vec<Vec<u8>> = (0..20)
@@ -283,9 +309,13 @@ mod tests {
                 batch_score(engine, &query, b, &scoring, gaps, &mut stats, &mut out);
             }
             for ls in &out {
-                let want =
-                    sw_scalar(&query, &db.encoded(ls.db_index as usize).idx, &scoring, gaps)
-                        .score;
+                let want = sw_scalar(
+                    &query,
+                    &db.encoded(ls.db_index as usize).idx,
+                    &scoring,
+                    gaps,
+                )
+                .score;
                 assert_eq!(ls.score, want, "{engine:?} seq {}", ls.db_index);
             }
         }

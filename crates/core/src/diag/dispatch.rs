@@ -14,7 +14,14 @@ use crate::diag::{W16, W32, W8};
 use crate::params::{GapModel, Precision, Scoring};
 use crate::stats::KernelStats;
 
-type Args<'a, 'b> = (&'a [u8], &'a [u8], &'b Scoring, GapModel, usize, &'b mut KernelStats);
+type Args<'a, 'b> = (
+    &'a [u8],
+    &'a [u8],
+    &'b Scoring,
+    GapModel,
+    usize,
+    &'b mut KernelStats,
+);
 
 macro_rules! engine_wrappers {
     ($mod_:ident, $en:ty, $($feat:literal)?) => {
@@ -55,7 +62,11 @@ engine_wrappers!(sse41, swsimd_simd::Sse41, "sse4.1,ssse3");
 #[cfg(target_arch = "x86_64")]
 engine_wrappers!(avx2, swsimd_simd::Avx2, "avx2");
 #[cfg(target_arch = "x86_64")]
-engine_wrappers!(avx512, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+engine_wrappers!(
+    avx512,
+    swsimd_simd::Avx512,
+    "avx512f,avx512bw,avx512vl,avx512vbmi"
+);
 
 fn check_engine(engine: EngineKind) -> EngineKind {
     if engine.is_available() {

@@ -37,7 +37,10 @@ pub(crate) fn sw_diag<En: SimdEngine, W: KernelWidth<En>>(
 
     let (m, n) = (query.len(), target.len());
     if m == 0 || n == 0 {
-        return ScoreOut { score: 0, saturated: false };
+        return ScoreOut {
+            score: 0,
+            saturated: false,
+        };
     }
     let lanes = <W::V as SimdVec>::LANES;
     let scalar_threshold = scalar_threshold.max(1);
@@ -74,8 +77,14 @@ pub(crate) fn sw_diag<En: SimdEngine, W: KernelWidth<En>>(
     // Element-typed copies for the compare-based fixed-score path.
     let (qel, rrevel, vmatch, vmismatch) = match scoring {
         Scoring::Fixed { r#match, mismatch } => {
-            let qel: Vec<_> = qpad.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
-            let rel: Vec<_> = rrev.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            let qel: Vec<_> = qpad
+                .iter()
+                .map(|&b| Elem::<En, W>::from_i32(b as i32))
+                .collect();
+            let rel: Vec<_> = rrev
+                .iter()
+                .map(|&b| Elem::<En, W>::from_i32(b as i32))
+                .collect();
             (
                 qel,
                 rel,
@@ -157,7 +166,10 @@ pub(crate) fn sw_diag<En: SimdEngine, W: KernelWidth<En>>(
                     let (e_new, f_new) = if affine {
                         let e_in = W::V::load(ep.as_ptr().add(base));
                         let f_in = W::V::load(fp.as_ptr().add(base - 1));
-                        (e_in.subs(vge).max(h_l.subs(vgo)), f_in.subs(vge).max(h_u.subs(vgo)))
+                        (
+                            e_in.subs(vge).max(h_l.subs(vgo)),
+                            f_in.subs(vge).max(h_u.subs(vgo)),
+                        )
                     } else {
                         (h_l.subs(vgo), h_u.subs(vgo))
                     };
@@ -208,11 +220,17 @@ pub(crate) fn sw_diag<En: SimdEngine, W: KernelWidth<En>>(
             && d % SATURATION_CHECK_PERIOD == 0
             && vmax.hmax() == Elem::<En, W>::MAX
         {
-            return ScoreOut { score: Elem::<En, W>::MAX.to_i32(), saturated: true };
+            return ScoreOut {
+                score: Elem::<En, W>::MAX.to_i32(),
+                saturated: true,
+            };
         }
     }
 
     let best = vmax.hmax().to_i32().max(scalar_best);
     let saturated = Elem::<En, W>::BITS < 32 && best >= Elem::<En, W>::MAX.to_i32();
-    ScoreOut { score: best, saturated }
+    ScoreOut {
+        score: best,
+        saturated,
+    }
 }

@@ -96,9 +96,7 @@ impl<En: SimdEngine> KernelWidth<En> for W32 {
 pub(crate) fn gap_elems<E: ScoreElem>(gaps: crate::params::GapModel) -> (E, E, bool) {
     match gaps {
         crate::params::GapModel::Linear { gap } => (E::from_i32(gap), E::from_i32(gap), false),
-        crate::params::GapModel::Affine(g) => {
-            (E::from_i32(g.open), E::from_i32(g.extend), true)
-        }
+        crate::params::GapModel::Affine(g) => (E::from_i32(g.open), E::from_i32(g.extend), true),
     }
 }
 

@@ -51,7 +51,12 @@ impl<E: ScoreElem> DirMatrix<E> {
             }
         }
         offsets[m + n + 1] = acc;
-        Self { data: vec![E::ZERO; acc], offsets, m, n }
+        Self {
+            data: vec![E::ZERO; acc],
+            offsets,
+            m,
+            n,
+        }
     }
 
     /// Flat index of cell `(i, j)` (1-based).
@@ -82,7 +87,12 @@ pub(crate) fn sw_diag_tb<En: SimdEngine, W: KernelWidth<En>>(
 
     let (m, n) = (query.len(), target.len());
     if m == 0 || n == 0 {
-        return TbOut { score: 0, saturated: false, end: None, alignment: None };
+        return TbOut {
+            score: 0,
+            saturated: false,
+            end: None,
+            alignment: None,
+        };
     }
     let lanes = <W::V as SimdVec>::LANES;
     let scalar_threshold = scalar_threshold.max(1);
@@ -117,8 +127,14 @@ pub(crate) fn sw_diag_tb<En: SimdEngine, W: KernelWidth<En>>(
     }
     let (qel, rrevel, vmatch, vmismatch) = match scoring {
         Scoring::Fixed { r#match, mismatch } => {
-            let qel: Vec<_> = qpad.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
-            let rel: Vec<_> = rrev.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            let qel: Vec<_> = qpad
+                .iter()
+                .map(|&b| Elem::<En, W>::from_i32(b as i32))
+                .collect();
+            let rel: Vec<_> = rrev
+                .iter()
+                .map(|&b| Elem::<En, W>::from_i32(b as i32))
+                .collect();
             (
                 qel,
                 rel,
@@ -249,7 +265,12 @@ pub(crate) fn sw_diag_tb<En: SimdEngine, W: KernelWidth<En>>(
                             f_ext.cmpgt(f_open),
                         )
                     } else {
-                        (h_l.subs(vgo), h_u.subs(vgo), vzero.cmpgt(vzero), vzero.cmpgt(vzero))
+                        (
+                            h_l.subs(vgo),
+                            h_u.subs(vgo),
+                            vzero.cmpgt(vzero),
+                            vzero.cmpgt(vzero),
+                        )
                     };
 
                     let diag_v = h_d.adds(s);
@@ -319,7 +340,12 @@ pub(crate) fn sw_diag_tb<En: SimdEngine, W: KernelWidth<En>>(
 
     let saturated = Elem::<En, W>::BITS < 32 && best >= Elem::<En, W>::MAX.to_i32();
     let alignment = (best > 0 && !saturated).then(|| walk_diag(&dirs, best_cell.0, best_cell.1));
-    TbOut { score: best, saturated, end: Some(best_cell), alignment }
+    TbOut {
+        score: best,
+        saturated,
+        end: Some(best_cell),
+        alignment,
+    }
 }
 
 /// Walk the diagonal-linearized direction matrix (same state machine as
@@ -366,5 +392,11 @@ fn walk_diag<E: ScoreElem>(dirs: &DirMatrix<E>, mut i: usize, mut j: usize) -> A
         }
     }
     ops.reverse();
-    Alignment { query_start: i, query_end: ie, target_start: j, target_end: je, ops }
+    Alignment {
+        query_start: i,
+        query_end: ie,
+        target_start: j,
+        target_end: je,
+        ops,
+    }
 }

@@ -34,9 +34,13 @@ fn check_pair(
         for prec in [Precision::I16, Precision::I32] {
             let mut st = KernelStats::default();
             let got = diag_score(engine, prec, q, t, scoring, gaps, threshold, &mut st);
-            assert!(!got.saturated, "{label}: {engine:?} {prec:?} saturated unexpectedly");
+            assert!(
+                !got.saturated,
+                "{label}: {engine:?} {prec:?} saturated unexpectedly"
+            );
             assert_eq!(
-                got.score, want,
+                got.score,
+                want,
                 "{label}: {engine:?} {prec:?} thr={threshold} m={} n={}",
                 q.len(),
                 t.len()
@@ -44,11 +48,23 @@ fn check_pair(
         }
         // 8-bit agrees when it does not saturate.
         let mut st = KernelStats::default();
-        let got = diag_score(engine, Precision::I8, q, t, scoring, gaps, threshold, &mut st);
+        let got = diag_score(
+            engine,
+            Precision::I8,
+            q,
+            t,
+            scoring,
+            gaps,
+            threshold,
+            &mut st,
+        );
         if !got.saturated {
             assert_eq!(got.score, want, "{label}: {engine:?} I8");
         } else {
-            assert!(want >= (i8::MAX as i32), "{label}: spurious saturation (want {want})");
+            assert!(
+                want >= (i8::MAX as i32),
+                "{label}: spurious saturation (want {want})"
+            );
         }
     }
 }
@@ -70,7 +86,10 @@ fn random_pairs_match_reference() {
 #[test]
 fn fixed_scoring_matches_reference() {
     let mut rng = StdRng::seed_from_u64(7);
-    let scoring = Scoring::Fixed { r#match: 2, mismatch: -3 };
+    let scoring = Scoring::Fixed {
+        r#match: 2,
+        mismatch: -3,
+    };
     let gaps = GapModel::Affine(GapPenalties::new(5, 2));
     for round in 0..25 {
         let (lm, ln) = (rng.gen_range(1..90), rng.gen_range(1..90));
@@ -105,7 +124,14 @@ fn threshold_extremes_are_equivalent() {
         let q = rand_seq(&mut rng, lm);
         let t = rand_seq(&mut rng, ln);
         for threshold in [1, 3, 17, 10_000] {
-            check_pair(&q, &t, &scoring, gaps, threshold, &format!("thr {threshold}"));
+            check_pair(
+                &q,
+                &t,
+                &scoring,
+                gaps,
+                threshold,
+                &format!("thr {threshold}"),
+            );
         }
     }
 }
@@ -129,9 +155,27 @@ fn empty_sequences_score_zero() {
     let gaps = GapModel::default_affine();
     for engine in engines() {
         let mut st = KernelStats::default();
-        let r = diag_score(engine, Precision::I16, &[], &[1, 2], &scoring, gaps, 8, &mut st);
+        let r = diag_score(
+            engine,
+            Precision::I16,
+            &[],
+            &[1, 2],
+            &scoring,
+            gaps,
+            8,
+            &mut st,
+        );
         assert_eq!(r.score, 0);
-        let r = diag_score(engine, Precision::I16, &[3], &[], &scoring, gaps, 8, &mut st);
+        let r = diag_score(
+            engine,
+            Precision::I16,
+            &[3],
+            &[],
+            &scoring,
+            gaps,
+            8,
+            &mut st,
+        );
         assert_eq!(r.score, 0);
     }
 }
@@ -167,11 +211,13 @@ fn traceback_scores_and_paths_are_valid() {
         for engine in engines() {
             for prec in [Precision::I16, Precision::I32] {
                 let mut st = KernelStats::default();
-                let got =
-                    diag_traceback(engine, prec, &q, &t, &scoring, gaps, 8, &mut st);
+                let got = diag_traceback(engine, prec, &q, &t, &scoring, gaps, 8, &mut st);
                 assert_eq!(got.score, want.score, "round {round} {engine:?} {prec:?}");
                 if want.score > 0 {
-                    let aln = got.alignment.as_ref().expect("alignment for positive score");
+                    let aln = got
+                        .alignment
+                        .as_ref()
+                        .expect("alignment for positive score");
                     assert_eq!(
                         aln.rescore(&q, &t, &scoring, gaps),
                         got.score,
@@ -225,7 +271,10 @@ fn determinism_same_inputs_same_stats() {
         let r2 = diag_score(engine, Precision::I16, &q, &t, &scoring, gaps, 8, &mut s2);
         assert_eq!(r1, r2);
         assert_eq!(s1, s2, "{engine:?} stats differ between identical runs");
-        assert_eq!(s1.correction_loops, 0, "diagonal kernel must have no correction loops");
+        assert_eq!(
+            s1.correction_loops, 0,
+            "diagonal kernel must have no correction loops"
+        );
     }
 }
 
@@ -236,9 +285,21 @@ fn stats_cell_count_is_exact() {
     let scoring = Scoring::matrix(blosum62());
     for engine in engines() {
         let mut st = KernelStats::default();
-        let _ = diag_score(engine, Precision::I16, &q, &t, &scoring, GapModel::default_affine(), 8, &mut st);
+        let _ = diag_score(
+            engine,
+            Precision::I16,
+            &q,
+            &t,
+            &scoring,
+            GapModel::default_affine(),
+            8,
+            &mut st,
+        );
         assert_eq!(st.cells, 37 * 53, "{engine:?}");
         assert_eq!(st.diagonals, (37 + 53 - 1) as u64);
-        assert_eq!(st.cells, st.scalar_cells + (st.vector_lane_slots - st.padded_lanes));
+        assert_eq!(
+            st.cells,
+            st.scalar_cells + (st.vector_lane_slots - st.padded_lanes)
+        );
     }
 }

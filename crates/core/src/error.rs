@@ -1,0 +1,102 @@
+//! Typed alignment errors.
+//!
+//! The kernels themselves are total functions over encoded sequences;
+//! what can go wrong at the API boundary is (a) input that is not a
+//! valid residue encoding and (b) a fixed-precision run whose score
+//! does not fit the lane width. Both conditions get structured values
+//! here so a serving layer can reject or degrade instead of panicking.
+
+use std::fmt;
+
+use swsimd_matrices::PADDED_ALPHABET;
+
+use crate::params::Precision;
+
+/// A structured alignment-input or precision failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlignError {
+    /// A sequence byte is not an encoded residue index (`>= 32`).
+    ///
+    /// Encoded sequences index directly into the reorganized
+    /// substitution matrix, whose rows hold [`PADDED_ALPHABET`]
+    /// columns; anything larger would read out of the matrix.
+    InvalidResidue {
+        /// Offset of the offending byte in the sequence.
+        position: usize,
+        /// The offending byte value.
+        value: u8,
+    },
+    /// A fixed-precision kernel saturated its lane width, so the
+    /// returned score would be a lower bound, not the exact score.
+    Saturated {
+        /// The precision that saturated.
+        precision: Precision,
+    },
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::InvalidResidue { position, value } => write!(
+                f,
+                "byte {value:#04x} at position {position} is not an encoded residue (must be < {PADDED_ALPHABET})"
+            ),
+            AlignError::Saturated { precision } => {
+                write!(f, "alignment score saturated {precision:?} lanes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+/// Validate that `seq` contains only encoded residue indices
+/// (`< 32`, i.e. valid columns of the reorganized matrix).
+///
+/// This is the strict counterpart of the clamping the [`crate::Aligner`]
+/// applies internally: services that would rather reject malformed
+/// input than silently treat it as `X` call this at their boundary.
+pub fn validate_encoded(seq: &[u8]) -> Result<(), AlignError> {
+    match seq.iter().position(|&b| b >= PADDED_ALPHABET as u8) {
+        None => Ok(()),
+        Some(position) => Err(AlignError::InvalidResidue {
+            position,
+            value: seq[position],
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_sequences_pass() {
+        assert_eq!(validate_encoded(&[]), Ok(()));
+        assert_eq!(validate_encoded(&[0, 5, 31]), Ok(()));
+    }
+
+    #[test]
+    fn first_offender_is_reported() {
+        assert_eq!(
+            validate_encoded(&[3, 32, 200]),
+            Err(AlignError::InvalidResidue {
+                position: 1,
+                value: 32
+            })
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = AlignError::InvalidResidue {
+            position: 7,
+            value: 0xff,
+        };
+        assert!(e.to_string().contains("position 7"));
+        let s = AlignError::Saturated {
+            precision: Precision::I16,
+        };
+        assert!(s.to_string().contains("I16"));
+    }
+}

@@ -1,6 +1,5 @@
 #![allow(clippy::needless_range_loop)] // kernel loops index several parallel arrays by design
 #![allow(clippy::too_many_arguments)] // kernel entry points mirror the paper's parameter lists
-
 #![warn(missing_docs)]
 
 //! # swsimd-core
@@ -17,23 +16,26 @@ pub mod api;
 pub mod banded;
 pub mod batch;
 pub mod diag;
+pub mod error;
 pub mod modes;
 pub mod params;
 pub mod scalar_ref;
 pub mod stats;
 
 pub use api::{Aligner, AlignerBuilder, Hit};
-pub use diag::dispatch::{diag_score, diag_traceback};
+pub use error::{validate_encoded, AlignError};
+// Re-exported so deployment layers can pin the reference engine for
+// degraded retries without depending on `swsimd-simd` directly.
 pub use banded::{banded_score, sw_banded_scalar};
+pub use diag::dispatch::{diag_score, diag_traceback};
 pub use diag::segment_census;
 pub use modes::{
     adaptive_mode_score, diag_mode_score, sw_scalar_mode, sw_scalar_mode_traceback, AlignMode,
 };
-pub use params::{
-    AlignResult, Alignment, GapModel, GapPenalties, Op, Precision, Scoring,
-};
+pub use params::{AlignResult, Alignment, GapModel, GapPenalties, Op, Precision, Scoring};
 pub use scalar_ref::{sw_scalar, sw_scalar_traceback};
 pub use stats::KernelStats;
+pub use swsimd_simd::EngineKind;
 
 #[cfg(test)]
 mod equivalence_tests;

@@ -126,7 +126,12 @@ pub fn sw_scalar_mode(
         best = h_row[n];
         best_cell = (m, n);
     }
-    AlignResult { score: best, end: Some(best_cell), alignment: None, precision_used: Precision::I32 }
+    AlignResult {
+        score: best,
+        end: Some(best_cell),
+        alignment: None,
+        precision_used: Precision::I32,
+    }
 }
 
 /// Scalar global/semi-global alignment **with traceback**.
@@ -320,7 +325,10 @@ fn sw_diag_mode<En: SimdEngine, W: KernelWidth<En>>(
             AlignMode::Global => boundary_cost(gaps, m.max(n)),
             _ => boundary_cost(gaps, m),
         };
-        return ScoreOut { score, saturated: false };
+        return ScoreOut {
+            score,
+            saturated: false,
+        };
     }
     let lanes = <W::V as SimdVec>::LANES;
     let scalar_threshold = scalar_threshold.max(1);
@@ -358,8 +366,14 @@ fn sw_diag_mode<En: SimdEngine, W: KernelWidth<En>>(
     }
     let (qel, rrevel, vmatch, vmismatch) = match scoring {
         Scoring::Fixed { r#match, mismatch } => {
-            let qel: Vec<_> = qpad.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
-            let rel: Vec<_> = rrev.iter().map(|&b| Elem::<En, W>::from_i32(b as i32)).collect();
+            let qel: Vec<_> = qpad
+                .iter()
+                .map(|&b| Elem::<En, W>::from_i32(b as i32))
+                .collect();
+            let rel: Vec<_> = rrev
+                .iter()
+                .map(|&b| Elem::<En, W>::from_i32(b as i32))
+                .collect();
             (
                 qel,
                 rel,
@@ -437,7 +451,10 @@ fn sw_diag_mode<En: SimdEngine, W: KernelWidth<En>>(
                     let (e_new, f_new) = if affine {
                         let e_in = W::V::load(ep.as_ptr().add(base));
                         let f_in = W::V::load(fp.as_ptr().add(base - 1));
-                        (e_in.subs(vge).max(h_l.subs(vgo)), f_in.subs(vge).max(h_u.subs(vgo)))
+                        (
+                            e_in.subs(vge).max(h_l.subs(vgo)),
+                            f_in.subs(vge).max(h_u.subs(vgo)),
+                        )
                     } else {
                         (h_l.subs(vgo), h_u.subs(vgo))
                     };
@@ -538,7 +555,11 @@ mode_wrappers!(sse41_w, swsimd_simd::Sse41, "sse4.1,ssse3");
 #[cfg(target_arch = "x86_64")]
 mode_wrappers!(avx2_w, swsimd_simd::Avx2, "avx2");
 #[cfg(target_arch = "x86_64")]
-mode_wrappers!(avx512_w, swsimd_simd::Avx512, "avx512f,avx512bw,avx512vl,avx512vbmi");
+mode_wrappers!(
+    avx512_w,
+    swsimd_simd::Avx512,
+    "avx512f,avx512bw,avx512vl,avx512vbmi"
+);
 
 /// Vectorized global/semi-global score on a chosen engine and precision
 /// (falls back to scalar engine when unavailable; `Adaptive` resolved by
@@ -556,17 +577,32 @@ pub fn diag_mode_score(
 ) -> ScoreOut {
     if mode == AlignMode::Local {
         return crate::diag::dispatch::diag_score(
-            engine, precision, query, target, scoring, gaps, scalar_threshold, stats,
+            engine,
+            precision,
+            query,
+            target,
+            scoring,
+            gaps,
+            scalar_threshold,
+            stats,
         );
     }
-    let engine = if engine.is_available() { engine } else { EngineKind::Scalar };
+    let engine = if engine.is_available() {
+        engine
+    } else {
+        EngineKind::Scalar
+    };
     // SAFETY: availability checked above.
     unsafe {
         macro_rules! call {
             ($m:ident) => {
                 match precision {
-                    Precision::I8 => $m::w8(query, target, scoring, gaps, mode, scalar_threshold, stats),
-                    Precision::I16 => $m::w16(query, target, scoring, gaps, mode, scalar_threshold, stats),
+                    Precision::I8 => {
+                        $m::w8(query, target, scoring, gaps, mode, scalar_threshold, stats)
+                    }
+                    Precision::I16 => {
+                        $m::w16(query, target, scoring, gaps, mode, scalar_threshold, stats)
+                    }
                     _ => $m::w32(query, target, scoring, gaps, mode, scalar_threshold, stats),
                 }
             };
@@ -596,12 +632,24 @@ pub fn adaptive_mode_score(
     scalar_threshold: usize,
     stats: &mut KernelStats,
 ) -> (i32, Precision) {
-    for (k, p) in [Precision::I8, Precision::I16, Precision::I32].into_iter().enumerate() {
+    for (k, p) in [Precision::I8, Precision::I16, Precision::I32]
+        .into_iter()
+        .enumerate()
+    {
         if k > 0 {
             stats.promotions += 1;
         }
-        let r =
-            diag_mode_score(engine, p, query, target, scoring, gaps, mode, scalar_threshold, stats);
+        let r = diag_mode_score(
+            engine,
+            p,
+            query,
+            target,
+            scoring,
+            gaps,
+            mode,
+            scalar_threshold,
+            stats,
+        );
         if !r.saturated {
             return (r.score, p);
         }
@@ -632,7 +680,10 @@ mod tests {
     #[test]
     fn global_identical_is_diagonal_sum() {
         let q = enc(b"ARNDCQEGHILKMFPSTWYV");
-        let want: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+        let want: i32 = q
+            .iter()
+            .map(|&a| blosum62().score_by_index(a, a) as i32)
+            .sum();
         let r = sw_scalar_mode(&q, &q, &b62(), aff(), AlignMode::Global);
         assert_eq!(r.score, want);
     }
@@ -642,10 +693,13 @@ mod tests {
         // q fully matches a prefix of t; global must pay for the tail.
         let q = enc(b"ARNDC");
         let t = enc(b"ARNDCQEG");
-        let prefix: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+        let prefix: i32 = q
+            .iter()
+            .map(|&a| blosum62().score_by_index(a, a) as i32)
+            .sum();
         let r = sw_scalar_mode(&q, &t, &b62(), aff(), AlignMode::Global);
         assert_eq!(r.score, prefix - (11 + 1 + 1)); // gap of 3
-        // Semi-global forgives the target tail entirely.
+                                                    // Semi-global forgives the target tail entirely.
         let sg = sw_scalar_mode(&q, &t, &b62(), aff(), AlignMode::SemiGlobal);
         assert_eq!(sg.score, prefix);
     }
@@ -677,9 +731,8 @@ mod tests {
                 for engine in EngineKind::available() {
                     for prec in [Precision::I16, Precision::I32] {
                         let mut st = KernelStats::default();
-                        let got = diag_mode_score(
-                            engine, prec, &q, &t, &b62(), aff(), mode, 8, &mut st,
-                        );
+                        let got =
+                            diag_mode_score(engine, prec, &q, &t, &b62(), aff(), mode, 8, &mut st);
                         if got.saturated {
                             continue;
                         }
@@ -732,7 +785,14 @@ mod tests {
                 let want = sw_scalar_mode(&q, &t, &b62(), aff(), mode).score;
                 let mut st = KernelStats::default();
                 let (got, _) = adaptive_mode_score(
-                    EngineKind::best(), &q, &t, &b62(), aff(), mode, 8, &mut st,
+                    EngineKind::best(),
+                    &q,
+                    &t,
+                    &b62(),
+                    aff(),
+                    mode,
+                    8,
+                    &mut st,
                 );
                 assert_eq!(got, want, "{mode:?}");
             }
@@ -763,7 +823,10 @@ mod tests {
         assert!(aln.target_start > 0, "free leading target gap expected");
         assert_eq!(aln.rescore(&q, &t, &b62(), aff()), r.score);
         // Perfect interior match, no gap cost.
-        let want: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+        let want: i32 = q
+            .iter()
+            .map(|&a| blosum62().score_by_index(a, a) as i32)
+            .sum();
         assert_eq!(r.score, want);
     }
 
@@ -781,8 +844,15 @@ mod tests {
         let mut st = KernelStats::default();
         assert_eq!(
             diag_mode_score(
-                EngineKind::best(), Precision::I32, &q, &[], &b62(), aff(),
-                AlignMode::Global, 8, &mut st,
+                EngineKind::best(),
+                Precision::I32,
+                &q,
+                &[],
+                &b62(),
+                aff(),
+                AlignMode::Global,
+                8,
+                &mut st,
             )
             .score,
             -(11 + 1 + 1)

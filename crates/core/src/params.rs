@@ -17,11 +17,17 @@ pub struct GapPenalties {
 
 impl GapPenalties {
     /// The BLOSUM62 community default (11, 1).
-    pub const BLOSUM62_DEFAULT: GapPenalties = GapPenalties { open: 11, extend: 1 };
+    pub const BLOSUM62_DEFAULT: GapPenalties = GapPenalties {
+        open: 11,
+        extend: 1,
+    };
 
     /// Construct, validating positivity and `extend <= open`.
     pub fn new(open: i32, extend: i32) -> Self {
-        assert!(open > 0 && extend > 0, "gap penalties must be positive costs");
+        assert!(
+            open > 0 && extend > 0,
+            "gap penalties must be positive costs"
+        );
         assert!(extend <= open, "extend > open makes affine gaps incoherent");
         Self { open, extend }
     }
@@ -114,7 +120,12 @@ impl std::fmt::Debug for Scoring {
         match self {
             Scoring::Matrix(m) => write!(f, "Scoring::Matrix({})", m.name()),
             Scoring::Fixed { r#match, mismatch } => {
-                write!(f, "Scoring::Fixed({match}, {mismatch})", r#match = r#match, mismatch = mismatch)
+                write!(
+                    f,
+                    "Scoring::Fixed({match}, {mismatch})",
+                    r#match = r#match,
+                    mismatch = mismatch
+                )
             }
         }
     }
@@ -282,7 +293,12 @@ pub struct AlignResult {
 impl AlignResult {
     /// A score-only result.
     pub fn score_only(score: i32, precision_used: Precision) -> Self {
-        Self { score, end: None, alignment: None, precision_used }
+        Self {
+            score,
+            end: None,
+            alignment: None,
+            precision_used,
+        }
     }
 }
 
@@ -318,7 +334,10 @@ mod tests {
 
     #[test]
     fn scoring_fixed_lookup() {
-        let s = Scoring::Fixed { r#match: 2, mismatch: -3 };
+        let s = Scoring::Fixed {
+            r#match: 2,
+            mismatch: -3,
+        };
         assert_eq!(s.score(5, 5), 2);
         assert_eq!(s.score(5, 6), -3);
     }

@@ -154,9 +154,7 @@ pub fn sw_scalar_traceback(
         }
     }
 
-    let alignment = (best > 0).then(|| {
-        walk(&dirs, n, best_cell.0, best_cell.1)
-    });
+    let alignment = (best > 0).then(|| walk(&dirs, n, best_cell.0, best_cell.1));
     AlignResult {
         score: best,
         end: Some(best_cell),
@@ -209,7 +207,13 @@ pub(crate) fn walk(dirs: &[u8], n: usize, mut i: usize, mut j: usize) -> Alignme
         }
     }
     ops.reverse();
-    Alignment { query_start: i, query_end: ie, target_start: j, target_end: je, ops }
+    Alignment {
+        query_start: i,
+        query_end: ie,
+        target_start: j,
+        target_end: je,
+        ops,
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +238,10 @@ mod tests {
     fn identical_sequences_score_sum_of_diagonal() {
         let q = enc(b"ARNDCQEGHILKMFPSTWYV");
         let r = sw_scalar(&q, &q, &b62(), affine());
-        let want: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+        let want: i32 = q
+            .iter()
+            .map(|&a| blosum62().score_by_index(a, a) as i32)
+            .sum();
         assert_eq!(r.score, want);
         assert_eq!(r.end, Some((20, 20)));
     }
@@ -261,7 +268,10 @@ mod tests {
         let a = Alphabet::dna();
         let q = a.encode(b"TGTTACGG");
         let t = a.encode(b"GGTTGACTA");
-        let scoring = Scoring::Fixed { r#match: 3, mismatch: -3 };
+        let scoring = Scoring::Fixed {
+            r#match: 3,
+            mismatch: -3,
+        };
         let r = sw_scalar(&q, &t, &scoring, GapModel::Linear { gap: 2 });
         assert_eq!(r.score, 13);
     }
@@ -325,7 +335,10 @@ mod tests {
         let q = enc(b"MKV");
         let t = enc(b"WWW");
         for mm in [-10, -3, -1] {
-            let s = Scoring::Fixed { r#match: 5, mismatch: mm };
+            let s = Scoring::Fixed {
+                r#match: 5,
+                mismatch: mm,
+            };
             let r = sw_scalar(&q, &t, &s, affine());
             assert!(r.score >= 0);
         }

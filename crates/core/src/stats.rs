@@ -85,8 +85,17 @@ mod tests {
 
     #[test]
     fn merge_adds() {
-        let mut a = KernelStats { cells: 10, gather_ops: 2, ..Default::default() };
-        let b = KernelStats { cells: 5, gather_ops: 1, promotions: 1, ..Default::default() };
+        let mut a = KernelStats {
+            cells: 10,
+            gather_ops: 2,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            cells: 5,
+            gather_ops: 1,
+            promotions: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.cells, 15);
         assert_eq!(a.gather_ops, 3);

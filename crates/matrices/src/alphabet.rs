@@ -60,7 +60,11 @@ impl Alphabet {
             encode_table[c.to_ascii_uppercase() as usize] = i as u8;
             encode_table[c.to_ascii_lowercase() as usize] = i as u8;
         }
-        Self { letters: letters.to_vec(), encode_table, unknown }
+        Self {
+            letters: letters.to_vec(),
+            encode_table,
+            unknown,
+        }
     }
 
     /// The standard 24-letter protein alphabet (NCBI order), unknowns map

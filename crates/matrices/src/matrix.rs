@@ -29,7 +29,13 @@ impl SubstitutionMatrix {
         assert_eq!(scores.len(), n * n, "score table must be {n}x{n}");
         let min_score = scores.iter().copied().min().unwrap_or(0);
         let max_score = scores.iter().copied().max().unwrap_or(0);
-        Self { name: name.to_string(), alphabet, scores, min_score, max_score }
+        Self {
+            name: name.to_string(),
+            alphabet,
+            scores,
+            min_score,
+            max_score,
+        }
     }
 
     /// Build a uniform match/mismatch matrix over an alphabet — the

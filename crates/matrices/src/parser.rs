@@ -138,10 +138,7 @@ pub fn parse_ncbi(name: &str, text: &str) -> Result<SubstitutionMatrix, ParseErr
         scores[ri * n..(ri + 1) * n].copy_from_slice(row_scores);
     }
 
-    let unknown = header
-        .iter()
-        .position(|&c| c == b'X')
-        .unwrap_or(n - 1) as u8;
+    let unknown = header.iter().position(|&c| c == b'X').unwrap_or(n - 1) as u8;
     let alphabet = Alphabet::new(&header, unknown);
     Ok(SubstitutionMatrix::from_raw(name, alphabet, scores))
 }
@@ -200,7 +197,11 @@ T -1 -1 -1  2
     fn row_count_mismatch_rejected() {
         let bad = "   A C\nA 1 2\nC 1\n";
         match parse_ncbi("bad", bad) {
-            Err(ParseError::RowColumnMismatch { row: 'C', expected: 2, got: 1 }) => {}
+            Err(ParseError::RowColumnMismatch {
+                row: 'C',
+                expected: 2,
+                got: 1,
+            }) => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -208,19 +209,31 @@ T -1 -1 -1  2
     #[test]
     fn bad_score_rejected() {
         let bad = "   A C\nA 1 x\nC 1 2\n";
-        assert!(matches!(parse_ncbi("bad", bad), Err(ParseError::BadScore { .. })));
+        assert!(matches!(
+            parse_ncbi("bad", bad),
+            Err(ParseError::BadScore { .. })
+        ));
     }
 
     #[test]
     fn duplicate_row_rejected() {
         let bad = "   A C\nA 1 2\nA 1 2\n";
-        assert!(matches!(parse_ncbi("bad", bad), Err(ParseError::DuplicateRow('A'))));
+        assert!(matches!(
+            parse_ncbi("bad", bad),
+            Err(ParseError::DuplicateRow('A'))
+        ));
     }
 
     #[test]
     fn empty_input_rejected() {
-        assert!(matches!(parse_ncbi("bad", "# only comments\n"), Err(ParseError::MissingHeader)));
-        assert!(matches!(parse_ncbi("bad", "   A C\n"), Err(ParseError::Empty)));
+        assert!(matches!(
+            parse_ncbi("bad", "# only comments\n"),
+            Err(ParseError::MissingHeader)
+        ));
+        assert!(matches!(
+            parse_ncbi("bad", "   A C\n"),
+            Err(ParseError::Empty)
+        ));
     }
 
     #[test]

@@ -70,7 +70,11 @@ impl<T: ProfileElem> QueryProfile<T> {
                 chunk[i] = T::from_i8(matrix.score(q, r as u8));
             }
         }
-        Self { data, stride, query_len: query.len() }
+        Self {
+            data,
+            stride,
+            query_len: query.len(),
+        }
     }
 
     /// Scores of db residue `r` against all query positions (padded row).
@@ -126,7 +130,12 @@ impl<T: ProfileElem> StripedProfile<T> {
                 }
             }
         }
-        Self { data, lanes, segments, query_len: query.len() }
+        Self {
+            data,
+            lanes,
+            segments,
+            query_len: query.len(),
+        }
     }
 
     /// The striped row for db residue `r`: `segments` consecutive vectors

@@ -105,7 +105,9 @@ impl ReorganizedMatrix {
     #[inline(always)]
     pub fn row8(&self, q: u8) -> &[i8; PADDED_ALPHABET] {
         let start = (q as usize) << 5;
-        self.flat8[start..start + PADDED_ALPHABET].try_into().unwrap()
+        self.flat8[start..start + PADDED_ALPHABET]
+            .try_into()
+            .unwrap()
     }
 
     /// The full flat i8 table (`32*32`).
@@ -162,8 +164,14 @@ mod tests {
         for q in 0..24u8 {
             for c in 0..24u8 {
                 assert_eq!(r.score(q, c), m.score_by_index(q, c));
-                assert_eq!(r.flat16()[ReorganizedMatrix::gather_index(q, c)], m.score_by_index(q, c) as i16);
-                assert_eq!(r.flat32()[ReorganizedMatrix::gather_index(q, c)], m.score_by_index(q, c) as i32);
+                assert_eq!(
+                    r.flat16()[ReorganizedMatrix::gather_index(q, c)],
+                    m.score_by_index(q, c) as i16
+                );
+                assert_eq!(
+                    r.flat32()[ReorganizedMatrix::gather_index(q, c)],
+                    m.score_by_index(q, c) as i32
+                );
             }
         }
     }

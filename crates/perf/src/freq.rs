@@ -94,7 +94,9 @@ pub fn scaling_curve(
             let t = t.max(1);
             let active = t.min(arch.cores);
             let ghz = arch.freq_at_licence(active, licence);
-            let smt_threads = t.saturating_sub(arch.cores).min(arch.cores * (arch.smt - 1));
+            let smt_threads = t
+                .saturating_sub(arch.cores)
+                .min(arch.cores * (arch.smt - 1));
             let effective_cores = active as f64 + smt_threads as f64 * SMT_YIELD;
             ScalingPoint {
                 threads: t,
@@ -129,10 +131,7 @@ mod tests {
     #[test]
     fn microbenchmark_reports_plausible_frequency() {
         let ghz = measure_effective_ghz(30);
-        assert!(
-            (0.2..8.0).contains(&ghz),
-            "implausible frequency {ghz} GHz"
-        );
+        assert!((0.2..8.0).contains(&ghz), "implausible frequency {ghz} GHz");
     }
 
     #[test]
@@ -141,7 +140,10 @@ mod tests {
         let counts: Vec<usize> = (1..=arch.logical_cpus()).collect();
         let pts = scaling_curve(arch, VectorLicence::Avx2, &counts);
         for w in pts.windows(2) {
-            assert!(w[1].speedup >= w[0].speedup - 1e-9, "speedup must not regress");
+            assert!(
+                w[1].speedup >= w[0].speedup - 1e-9,
+                "speedup must not regress"
+            );
         }
         // Sublinear at full cores due to droop.
         let full = &pts[arch.cores - 1];
@@ -152,8 +154,11 @@ mod tests {
     #[test]
     fn smt_improves_throughput() {
         let arch = ArchProfile::get(ArchId::CascadeLakeGold6242);
-        let pts =
-            scaling_curve(arch, VectorLicence::Avx2, &[arch.cores, arch.logical_cpus()]);
+        let pts = scaling_curve(
+            arch,
+            VectorLicence::Avx2,
+            &[arch.cores, arch.logical_cpus()],
+        );
         assert!(pts[1].speedup > pts[0].speedup, "HT must add throughput");
         let gain = pts[1].speedup / pts[0].speedup;
         assert!((1.05..1.6).contains(&gain), "HT gain {gain}");

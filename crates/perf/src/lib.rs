@@ -10,8 +10,8 @@
 //! measurements across architectures (Figs 6-11).
 
 pub mod arch;
-pub mod memory;
 pub mod freq;
+pub mod memory;
 pub mod model;
 pub mod roofline;
 pub mod topdown;
@@ -20,13 +20,13 @@ pub use arch::{ArchId, ArchProfile, VectorLicence};
 pub use freq::{
     measure_effective_ghz, recalibrated_efficiency, scaling_curve, ScalingPoint, SMT_YIELD,
 };
-pub use model::{
-    avx2_diag_i16, avx512_diag_i16, cycles_per_step, predict_gcups, project_all, scale_factor,
-    KernelConfig,
-};
 pub use memory::{
     batch_working_set, diag_working_set, is_memory_bound, traceback_working_set, CacheLevel,
     WorkingSet,
+};
+pub use model::{
+    avx2_diag_i16, avx512_diag_i16, cycles_per_step, predict_gcups, project_all, scale_factor,
+    KernelConfig,
 };
 pub use roofline::{dram_bytes_per_cell, place as roofline_place, Bound, RooflinePoint};
 pub use topdown::{analyze, OpMix, TopDown};

@@ -71,13 +71,21 @@ fn classify(arch: &ArchProfile, bytes: usize) -> CacheLevel {
 /// padded query/reversed-target index bytes (target counted at one
 /// streaming cache line, since it is consumed sequentially), and the
 /// 1 KiB reorganized matrix + its widened twin.
-pub fn diag_working_set(arch: &ArchProfile, query_len: usize, elem_bytes: usize, lanes: usize) -> WorkingSet {
+pub fn diag_working_set(
+    arch: &ArchProfile,
+    query_len: usize,
+    elem_bytes: usize,
+    lanes: usize,
+) -> WorkingSet {
     let buf = (query_len + 2 + lanes) * elem_bytes;
     let bytes = 7 * buf          // rolling DP state
         + (query_len + lanes)    // query indices
         + 64                     // streaming window of the target
         + 1024 + 1024 * elem_bytes.min(2); // flat matrix tables
-    WorkingSet { bytes, level: classify(arch, bytes) }
+    WorkingSet {
+        bytes,
+        level: classify(arch, bytes),
+    }
 }
 
 /// Working set of the traceback variant: adds the O(m·n) direction
@@ -91,14 +99,20 @@ pub fn traceback_working_set(
 ) -> WorkingSet {
     let base = diag_working_set(arch, query_len, elem_bytes, lanes).bytes;
     let bytes = base + query_len * target_len * elem_bytes;
-    WorkingSet { bytes, level: classify(arch, bytes) }
+    WorkingSet {
+        bytes,
+        level: classify(arch, bytes),
+    }
 }
 
 /// Working set of the 8-bit batch kernel: H and E vector arrays of
 /// query length (one vector per position) plus the transposed column.
 pub fn batch_working_set(arch: &ArchProfile, query_len: usize, lanes: usize) -> WorkingSet {
     let bytes = 2 * (query_len + 1) * lanes + lanes + 1024;
-    WorkingSet { bytes, level: classify(arch, bytes) }
+    WorkingSet {
+        bytes,
+        level: classify(arch, bytes),
+    }
 }
 
 /// The paper's question, answered per configuration: memory-bound only

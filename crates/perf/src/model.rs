@@ -108,7 +108,10 @@ mod tests {
         let f = scale_factor(ArchId::HaswellE52660, ArchId::SkylakeGold6132, &cfg);
         let back = scale_factor(ArchId::SkylakeGold6132, ArchId::HaswellE52660, &cfg);
         assert!((f * back - 1.0).abs() < 1e-9);
-        assert!((scale_factor(ArchId::SkylakeGold6132, ArchId::SkylakeGold6132, &cfg) - 1.0).abs() < 1e-12);
+        assert!(
+            (scale_factor(ArchId::SkylakeGold6132, ArchId::SkylakeGold6132, &cfg) - 1.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ pub fn place(
         cells_per_byte,
         compute_roof_gcups: compute_roof,
         bandwidth_roof_gcups: bandwidth_roof,
-        bound: if bandwidth_roof < compute_roof { Bound::Memory } else { Bound::Compute },
+        bound: if bandwidth_roof < compute_roof {
+            Bound::Memory
+        } else {
+            Bound::Compute
+        },
     }
 }
 
@@ -133,7 +137,15 @@ mod tests {
     fn roofs_are_positive_and_consistent() {
         let arch = ArchProfile::get(ArchId::SkylakeGold6132);
         let ws = diag_working_set(arch, 300, 2, 16);
-        let p = place(arch, VectorLicence::Avx2, 16, &OpMix::diag_matrix(2, 16, 0.1), &ws, 300, 2);
+        let p = place(
+            arch,
+            VectorLicence::Avx2,
+            16,
+            &OpMix::diag_matrix(2, 16, 0.1),
+            &ws,
+            300,
+            2,
+        );
         assert!(p.compute_roof_gcups > 0.0);
         assert!(p.bandwidth_roof_gcups > 0.0);
         assert!(p.cells_per_byte > 1.0);

@@ -156,7 +156,10 @@ pub fn analyze(arch: &ArchProfile, mix: &OpMix, smt_threads: usize) -> TopDown {
     // Memory-bound slots track the stall share of the cycle budget,
     // floored at the paper's observed ~8% and capped by the back end.
     let stall_share = (mem_stall_cycles / smt) / total_cycles;
-    let memory_bound = (0.6 * stall_share).clamp(0.08, 0.9).min(backend - 0.01).max(0.02);
+    let memory_bound = (0.6 * stall_share)
+        .clamp(0.08, 0.9)
+        .min(backend - 0.01)
+        .max(0.02);
     let core_bound = (backend - memory_bound).max(0.01);
 
     // Renormalize exactly to 1.
@@ -216,7 +219,10 @@ mod tests {
         let with = analyze(sky(), &OpMix::diag_matrix(2, 16, 0.05), 1);
         let without = analyze(sky(), &OpMix::diag_fixed(2, 16, 0.05), 1);
         assert!(with.memory_bound >= 0.07, "{with:?}");
-        assert!(without.memory_bound > with.memory_bound, "{without:?} vs {with:?}");
+        assert!(
+            without.memory_bound > with.memory_bound,
+            "{without:?} vs {with:?}"
+        );
         assert!(without.memory_bound <= 0.25, "{without:?}");
     }
 
@@ -224,7 +230,10 @@ mod tests {
     fn smt_raises_retiring() {
         // "the introduction of hyperthreading and the resultant
         // efficient use of CPU pipeline slots".
-        for mix in [OpMix::diag_matrix(2, 16, 0.05), OpMix::diag_fixed(2, 16, 0.05)] {
+        for mix in [
+            OpMix::diag_matrix(2, 16, 0.05),
+            OpMix::diag_fixed(2, 16, 0.05),
+        ] {
             let one = analyze(sky(), &mix, 1);
             let two = analyze(sky(), &mix, 2);
             assert!(

@@ -1,0 +1,254 @@
+//! Deterministic fault injection for the serving layer.
+//!
+//! Every degradation path in [`crate::pool`] and [`crate::server`]
+//! (worker panics, poisoned batch results, slow workers) must be
+//! testable without relying on real SIMD bugs or timing luck. A
+//! [`FaultPlan`] is injected through [`crate::PoolConfig`] /
+//! [`crate::ServerConfig`] and fires at chosen partition (or, for the
+//! server, within-batch job) indices. The default plan is inert and
+//! adds one branch per partition to the hot path.
+//!
+//! Faults are budgeted: `panic_at(p, times)` fires `times` times and
+//! then disarms, so a degraded retry (which deliberately bypasses the
+//! hooks) always converges. This module is compiled unconditionally —
+//! it is part of the operational surface, like a chaos-testing hook —
+//! but does nothing unless a plan is explicitly armed.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use swsimd_core::Hit;
+
+/// Counters for degradation events observed during a search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Workers that panicked and were isolated (`catch_unwind`).
+    pub worker_panics: u64,
+    /// Partitions/batches whose fast-path result was discarded
+    /// (panic or failed validation) and recomputed.
+    pub degraded_batches: u64,
+    /// Degraded retries performed on the scalar reference engine.
+    pub retries: u64,
+}
+
+impl FaultStats {
+    /// Accumulate another worker's counters.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.worker_panics += other.worker_panics;
+        self.degraded_batches += other.degraded_batches;
+        self.retries += other.retries;
+    }
+
+    /// True if any degradation event was recorded.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// partition → remaining injected panics.
+    panics: Mutex<HashMap<usize, u32>>,
+    /// partition → remaining poisoned (silently corrupted) results.
+    poisons: Mutex<HashMap<usize, u32>>,
+    /// partition → artificial delay before computing.
+    delays: Mutex<HashMap<usize, Duration>>,
+}
+
+/// A deterministic schedule of injected faults (see module docs).
+///
+/// Cloning shares the underlying budgets: a plan cloned into several
+/// workers still fires each fault the configured number of times in
+/// total.
+#[derive(Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<Inner>>,
+}
+
+/// Lock that tolerates a poisoned mutex: fault hooks run on panicking
+/// workers by design, and a budget map is always internally consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl FaultPlan {
+    /// An inert plan (identical to `FaultPlan::default()`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An armed, empty plan ready for `panic_at`/`delay_at`/`poison_at`.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    fn armed(self) -> Self {
+        if self.inner.is_some() {
+            self
+        } else {
+            Self::new()
+        }
+    }
+
+    /// Inject a panic the next `times` times `partition` is computed.
+    pub fn panic_at(self, partition: usize, times: u32) -> Self {
+        let this = self.armed();
+        if let Some(inner) = &this.inner {
+            lock(&inner.panics).insert(partition, times);
+        }
+        this
+    }
+
+    /// Silently corrupt the fast-path result of `partition` the next
+    /// `times` times (simulates a wrong-answer SIMD bug that result
+    /// validation must catch).
+    pub fn poison_at(self, partition: usize, times: u32) -> Self {
+        let this = self.armed();
+        if let Some(inner) = &this.inner {
+            lock(&inner.poisons).insert(partition, times);
+        }
+        this
+    }
+
+    /// Sleep for `delay` every time `partition` is computed (simulates
+    /// a slow shard for deadline/backpressure tests).
+    pub fn delay_at(self, partition: usize, delay: Duration) -> Self {
+        let this = self.armed();
+        if let Some(inner) = &this.inner {
+            lock(&inner.delays).insert(partition, delay);
+        }
+        this
+    }
+
+    /// True if any fault has been scheduled (armed plans only).
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Hook: called by a fast-path worker before computing `partition`.
+    /// Sleeps through any scheduled delay, then panics if a panic
+    /// budget remains. Degraded retries do not call this.
+    pub fn before_partition(&self, partition: usize) {
+        let Some(inner) = &self.inner else { return };
+        let delay = lock(&inner.delays).get(&partition).copied();
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        let fire = {
+            let mut panics = lock(&inner.panics);
+            match panics.get_mut(&partition) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if fire {
+            panic!("fault-injected worker panic (partition {partition})");
+        }
+    }
+
+    /// Hook: called by a fast-path worker on its computed hits. Drops
+    /// the last hit when a poison budget remains, so the caller's
+    /// hit-count validation detects the corrupted batch.
+    pub fn corrupt_hits(&self, partition: usize, hits: &mut Vec<Hit>) {
+        let Some(inner) = &self.inner else { return };
+        let mut poisons = lock(&inner.poisons);
+        if let Some(n) = poisons.get_mut(&partition) {
+            if *n > 0 {
+                *n -= 1;
+                hits.pop();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("armed", &self.is_armed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_armed());
+        plan.before_partition(0); // no-op, no panic
+        let mut hits = Vec::new();
+        plan.corrupt_hits(0, &mut hits);
+    }
+
+    #[test]
+    fn panic_budget_decrements_and_disarms() {
+        let plan = FaultPlan::new().panic_at(2, 1);
+        plan.before_partition(0); // other partitions unaffected
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.before_partition(2)));
+        assert!(r.is_err());
+        plan.before_partition(2); // budget exhausted: no panic
+    }
+
+    #[test]
+    fn poison_drops_one_hit_per_budget() {
+        use swsimd_core::Precision;
+        let plan = FaultPlan::new().poison_at(1, 1);
+        let mut hits = vec![Hit {
+            db_index: 0,
+            score: 1,
+            precision: Precision::I8,
+        }];
+        plan.corrupt_hits(1, &mut hits);
+        assert!(hits.is_empty());
+        let mut hits2 = vec![Hit {
+            db_index: 0,
+            score: 1,
+            precision: Precision::I8,
+        }];
+        plan.corrupt_hits(1, &mut hits2);
+        assert_eq!(hits2.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_budgets() {
+        let plan = FaultPlan::new().panic_at(0, 1);
+        let clone = plan.clone();
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| clone.before_partition(0)));
+        assert!(r.is_err());
+        plan.before_partition(0); // budget consumed through the clone
+    }
+
+    #[test]
+    fn stats_merge_and_any() {
+        let mut a = FaultStats::default();
+        assert!(!a.any());
+        a.merge(&FaultStats {
+            worker_panics: 1,
+            degraded_batches: 2,
+            retries: 3,
+        });
+        a.merge(&FaultStats {
+            worker_panics: 1,
+            degraded_batches: 0,
+            retries: 1,
+        });
+        assert_eq!(
+            a,
+            FaultStats {
+                worker_panics: 2,
+                degraded_batches: 2,
+                retries: 4
+            }
+        );
+        assert!(a.any());
+    }
+}

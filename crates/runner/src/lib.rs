@@ -7,14 +7,16 @@
 //! scoped threads, the paper's three usage scenarios (§II-C, §IV-G),
 //! the centralized batch server (§VI), and GCUPS metrics.
 
+pub mod fault;
 pub mod metrics;
 pub mod msa;
 pub mod pool;
 pub mod scenarios;
 pub mod server;
 
-pub use metrics::{CellTimer, Throughput};
+pub use fault::{FaultPlan, FaultStats};
+pub use metrics::{CellTimer, ServeCounters, Throughput};
 pub use msa::{pairwise_scores, upgma, GuideTree, ScoreMatrix};
 pub use pool::{parallel_pairs, parallel_search, PoolConfig, SearchOutput};
 pub use scenarios::{scenario1, scenario2, scenario3, ScenarioReport};
-pub use server::{BatchServer, ServerClient, ServerConfig, ServerStats};
+pub use server::{BatchServer, ServeError, ServerClient, ServerConfig, ServerStats};

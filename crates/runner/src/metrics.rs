@@ -1,7 +1,13 @@
-//! Throughput metrics: GCUPS (billions of cell updates per second),
-//! the unit every figure in the paper reports.
+//! Throughput metrics — GCUPS (billions of cell updates per second),
+//! the unit every figure in the paper reports — plus the shared
+//! health counters the serving layer exposes ([`ServeCounters`]).
 
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::{Duration, Instant};
+
+use crate::fault::FaultStats;
+use crate::server::ServerStats;
 
 /// A completed measurement.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -37,7 +43,10 @@ pub struct CellTimer {
 impl CellTimer {
     /// Start timing a region that will compute `cells` DP cells.
     pub fn start(cells: u64) -> Self {
-        Self { start: Instant::now(), cells }
+        Self {
+            start: Instant::now(),
+            cells,
+        }
     }
 
     /// Add late-discovered cells (e.g. adaptive reruns).
@@ -47,12 +56,88 @@ impl CellTimer {
 
     /// Stop and report.
     pub fn stop(self) -> Throughput {
-        Throughput { cells: self.cells, seconds: self.start.elapsed().as_secs_f64() }
+        Throughput {
+            cells: self.cells,
+            seconds: self.start.elapsed().as_secs_f64(),
+        }
     }
 
     /// Elapsed so far.
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
+    }
+}
+
+/// Live, lock-free health counters for a running server.
+///
+/// Shared (`Arc`) between the server worker, every
+/// [`crate::ServerClient`] clone, and the [`crate::BatchServer`]
+/// handle, so load shedding and timeouts observed client-side land in
+/// the same ledger as worker-side batching and degradation events.
+/// Snapshot into the plain-value [`ServerStats`] for reporting.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Batches processed.
+    pub batches: AtomicU64,
+    /// Queries served (a reply was computed).
+    pub queries: AtomicU64,
+    /// Batches that filled to `batch_size` before the wait expired.
+    pub full_batches: AtomicU64,
+    /// Queries that hit their deadline before a result arrived.
+    pub timeouts: AtomicU64,
+    /// Queries shed by `try_query` because the job queue was full.
+    pub shed: AtomicU64,
+    /// Worker panics isolated by the serving layer.
+    pub worker_panics: AtomicU64,
+    /// Fast-path results discarded (panic or failed validation).
+    pub degraded_batches: AtomicU64,
+    /// Degraded retries run on the scalar reference engine.
+    pub retries: AtomicU64,
+}
+
+impl ServeCounters {
+    /// Point-in-time snapshot as plain values.
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            batches: self.batches.load(Relaxed),
+            queries: self.queries.load(Relaxed),
+            full_batches: self.full_batches.load(Relaxed),
+            timeouts: self.timeouts.load(Relaxed),
+            shed: self.shed.load(Relaxed),
+            worker_panics: self.worker_panics.load(Relaxed),
+            degraded_batches: self.degraded_batches.load(Relaxed),
+            retries: self.retries.load(Relaxed),
+        }
+    }
+
+    /// Fold a worker's per-search [`FaultStats`] into the ledger.
+    pub fn record_faults(&self, f: &FaultStats) {
+        self.worker_panics.fetch_add(f.worker_panics, Relaxed);
+        self.degraded_batches.fetch_add(f.degraded_batches, Relaxed);
+        self.retries.fetch_add(f.retries, Relaxed);
+    }
+
+    /// Bump one counter by one (convenience for call sites).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Relaxed);
+    }
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batches={} queries={} full_batches={} timeouts={} shed={} \
+             worker_panics={} degraded_batches={} retries={}",
+            self.batches,
+            self.queries,
+            self.full_batches,
+            self.timeouts,
+            self.shed,
+            self.worker_panics,
+            self.degraded_batches,
+            self.retries,
+        )
     }
 }
 
@@ -62,14 +147,20 @@ mod tests {
 
     #[test]
     fn gcups_math() {
-        let t = Throughput { cells: 2_000_000_000, seconds: 2.0 };
+        let t = Throughput {
+            cells: 2_000_000_000,
+            seconds: 2.0,
+        };
         assert!((t.gcups() - 1.0).abs() < 1e-12);
         assert!((t.mcups() - 1000.0).abs() < 1e-9);
     }
 
     #[test]
     fn zero_seconds_is_zero() {
-        let t = Throughput { cells: 10, seconds: 0.0 };
+        let t = Throughput {
+            cells: 10,
+            seconds: 0.0,
+        };
         assert_eq!(t.gcups(), 0.0);
     }
 
@@ -80,5 +171,26 @@ mod tests {
         let out = t.stop();
         assert_eq!(out.cells, 150);
         assert!(out.seconds >= 0.0);
+    }
+
+    #[test]
+    fn counters_snapshot_and_fold() {
+        let c = ServeCounters::default();
+        ServeCounters::bump(&c.shed);
+        ServeCounters::bump(&c.queries);
+        c.record_faults(&FaultStats {
+            worker_panics: 1,
+            degraded_batches: 2,
+            retries: 3,
+        });
+        let s = c.snapshot();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.degraded_batches, 2);
+        assert_eq!(s.retries, 3);
+        let line = s.to_string();
+        assert!(line.contains("shed=1"));
+        assert!(line.contains("retries=3"));
     }
 }

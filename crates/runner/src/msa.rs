@@ -171,11 +171,13 @@ pub fn upgma(m: &ScoreMatrix) -> Option<GuideTree> {
         return None;
     }
     // Active clusters: (tree, size, height).
-    let mut clusters: Vec<(GuideTree, usize, f64)> =
-        (0..n).map(|i| (GuideTree::Leaf { index: i }, 1, 0.0)).collect();
+    let mut clusters: Vec<(GuideTree, usize, f64)> = (0..n)
+        .map(|i| (GuideTree::Leaf { index: i }, 1, 0.0))
+        .collect();
     // Average-linkage distances between active clusters.
-    let mut dist: Vec<Vec<f64>> =
-        (0..n).map(|i| (0..n).map(|j| m.distance(i, j)).collect()).collect();
+    let mut dist: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| m.distance(i, j)).collect())
+        .collect();
     let mut active: Vec<usize> = (0..n).collect();
 
     while active.len() > 1 {
@@ -201,8 +203,7 @@ pub fn upgma(m: &ScoreMatrix) -> Option<GuideTree> {
         // UPGMA average-linkage update into slot bi.
         for &k in &active {
             if k != bi && k != bj {
-                let d = (dist[bi][k] * si as f64 + dist[bj][k] * sj as f64)
-                    / (si + sj) as f64;
+                let d = (dist[bi][k] * si as f64 + dist[bj][k] * sj as f64) / (si + sj) as f64;
                 dist[bi][k] = d;
                 dist[k][bi] = d;
             }
@@ -254,8 +255,9 @@ mod tests {
 
     #[test]
     fn pairwise_threads_agree() {
-        let seqs: Vec<Vec<u8>> =
-            (0..6).map(|i| enc(&generate_exact(40 + i * 7, i as u64).seq)).collect();
+        let seqs: Vec<Vec<u8>> = (0..6)
+            .map(|i| enc(&generate_exact(40 + i * 7, i as u64).seq))
+            .collect();
         let a = pairwise_scores(&seqs, 1, builder);
         let b = pairwise_scores(&seqs, 3, builder);
         assert_eq!(a.scores, b.scores);
@@ -265,16 +267,20 @@ mod tests {
     fn upgma_clusters_homologs_first() {
         let base = generate_exact(100, 7).seq;
         let seqs: Vec<Vec<u8>> = vec![
-            enc(&base),                       // 0
-            enc(&mutate(&base, 0.05, 1)),     // 1: very close to 0
-            enc(&generate_exact(100, 50).seq),// 2: unrelated
+            enc(&base),                        // 0
+            enc(&mutate(&base, 0.05, 1)),      // 1: very close to 0
+            enc(&generate_exact(100, 50).seq), // 2: unrelated
         ];
         let m = pairwise_scores(&seqs, 1, builder);
         let tree = upgma(&m).unwrap();
         // The first merge must be (0, 1).
         match &tree {
             GuideTree::Node { left, right, .. } => {
-                let inner = if matches!(*left.0, GuideTree::Node { .. }) { &left.0 } else { &right.0 };
+                let inner = if matches!(*left.0, GuideTree::Node { .. }) {
+                    &left.0
+                } else {
+                    &right.0
+                };
                 let mut pair = inner.leaves();
                 pair.sort_unstable();
                 assert_eq!(pair, vec![0, 1], "homologs should merge first");

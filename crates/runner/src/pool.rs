@@ -5,9 +5,25 @@
 //! is aligned against residue-balanced database partitions on scoped
 //! threads, each with its own [`Aligner`] (kernels are stateless apart
 //! from stats, which are merged afterwards).
+//!
+//! ## Worker isolation
+//!
+//! A panic inside one partition's kernel must not take down the whole
+//! search: each worker's fast path runs under `catch_unwind` and its
+//! result is validated (one hit per partition sequence). On a panic or
+//! a failed validation the partition is recomputed **once** on the
+//! scalar reference engine — scores stay exact, only throughput
+//! degrades — and the event is counted in [`SearchOutput::faults`]. A
+//! panic on the degraded retry itself is a double fault and is
+//! propagated to the caller.
 
-use swsimd_core::{AlignerBuilder, Hit, KernelStats};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use swsimd_core::{AlignerBuilder, EngineKind, Hit, KernelStats};
 use swsimd_seq::{BatchedDatabase, Database};
+
+use crate::fault::{FaultPlan, FaultStats};
 
 /// Configuration for parallel search.
 #[derive(Clone)]
@@ -16,13 +32,18 @@ pub struct PoolConfig {
     pub threads: usize,
     /// Sort each partition's sequences by length before batching.
     pub sort_batches: bool,
+    /// Fault-injection schedule (inert by default; see [`FaultPlan`]).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
         Self {
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             sort_batches: true,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -33,6 +54,89 @@ pub struct SearchOutput {
     pub hits: Vec<Hit>,
     /// Merged kernel statistics from all workers.
     pub stats: KernelStats,
+    /// Degradation events (worker panics, retries) across all workers.
+    pub faults: FaultStats,
+}
+
+fn db_alphabet() -> &'static swsimd_matrices::Alphabet {
+    use std::sync::OnceLock;
+    static A: OnceLock<swsimd_matrices::Alphabet> = OnceLock::new();
+    A.get_or_init(swsimd_matrices::Alphabet::protein)
+}
+
+/// Run `f` over the sub-database covering `range` (borrowing the whole
+/// database when the range covers it, to avoid a copy).
+fn with_sub_db<R>(db: &Database, range: &Range<usize>, f: impl FnOnce(&Database) -> R) -> R {
+    if range.start == 0 && range.end == db.len() {
+        f(db)
+    } else {
+        let records: Vec<_> = range.clone().map(|i| db.record(i).clone()).collect();
+        let sub = Database::from_records(records, db_alphabet());
+        f(&sub)
+    }
+}
+
+fn search_sub<F>(
+    query: &[u8],
+    db: &Database,
+    range: &Range<usize>,
+    builder: F,
+) -> (Vec<Hit>, KernelStats)
+where
+    F: FnOnce() -> AlignerBuilder,
+{
+    let mut aligner = builder().build();
+    with_sub_db(db, range, |sub| {
+        let lanes = swsimd_core::batch::lanes_for(aligner.engine());
+        let batched = BatchedDatabase::build(sub, lanes, true);
+        let hits = aligner.search_batched(query, sub, &batched);
+        (hits, aligner.stats().clone())
+    })
+}
+
+/// One partition's search with isolation: fast path under
+/// `catch_unwind` + result validation, then a single degraded retry on
+/// the scalar reference engine. Returns globally-indexed hits.
+fn search_partition<F>(
+    query: &[u8],
+    db: &Database,
+    range: Range<usize>,
+    part_idx: usize,
+    plan: &FaultPlan,
+    make_aligner: &F,
+) -> (Vec<Hit>, KernelStats, FaultStats)
+where
+    F: Fn() -> AlignerBuilder + Sync,
+{
+    let expected = range.len();
+    let fast = catch_unwind(AssertUnwindSafe(|| {
+        plan.before_partition(part_idx);
+        let (mut hits, stats) = search_sub(query, db, &range, make_aligner);
+        plan.corrupt_hits(part_idx, &mut hits);
+        (hits, stats)
+    }));
+
+    let mut faults = FaultStats::default();
+    let (mut hits, stats) = match fast {
+        Ok((hits, stats)) if hits.len() == expected => (hits, stats),
+        outcome => {
+            // The fast path panicked or returned a malformed result:
+            // isolate it and recompute this partition on the scalar
+            // reference engine (exact, engine-independent scores).
+            if outcome.is_err() {
+                faults.worker_panics += 1;
+            }
+            faults.degraded_batches += 1;
+            faults.retries += 1;
+            search_sub(query, db, &range, || {
+                make_aligner().engine(EngineKind::Scalar)
+            })
+        }
+    };
+    for h in &mut hits {
+        h.db_index += range.start;
+    }
+    (hits, stats, faults)
 }
 
 /// Search one encoded query against a database with `cfg.threads`
@@ -41,7 +145,9 @@ pub struct SearchOutput {
 /// `make_aligner` builds each worker's aligner (so callers control
 /// matrix/gaps/precision). Results are exact and deterministic: the
 /// partitioning depends only on the database, and each sequence's score
-/// is computed by the same kernels regardless of thread count.
+/// is computed by the same kernels regardless of thread count — a
+/// partition degraded to the scalar engine (see module docs) still
+/// produces identical scores.
 pub fn parallel_search<F>(
     query: &[u8],
     db: &Database,
@@ -52,66 +158,59 @@ where
     F: Fn() -> AlignerBuilder + Sync,
 {
     let threads = cfg.threads.max(1);
-    if threads == 1 {
-        let mut aligner = make_aligner().build();
-        let mut hits = aligner.search(query, db, 0);
-        hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
-        return SearchOutput { hits, stats: aligner.stats().clone() };
-    }
+    let plan = &cfg.fault_plan;
 
-    let parts = db.partition(threads);
-    let mut outputs: Vec<(Vec<Hit>, KernelStats)> = Vec::with_capacity(parts.len());
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(parts.len());
-        for range in &parts {
-            let range = range.clone();
-            let make_aligner = &make_aligner;
-            handles.push(scope.spawn(move || {
-                let mut aligner = make_aligner().build();
-                // Build this partition's view: reuse encoded sequences.
-                let sub_records: Vec<_> =
-                    (range.clone()).map(|i| db.record(i).clone()).collect();
-                let sub =
-                    Database::from_records(sub_records, db_alphabet());
-                let lanes = swsimd_core::batch::lanes_for(aligner.engine());
-                let batched = BatchedDatabase::build(&sub, lanes, true);
-                let mut hits = aligner.search_batched(query, &sub, &batched);
-                // Remap to global indices.
-                for h in &mut hits {
-                    h.db_index += range.start;
+    let mut outputs: Vec<(Vec<Hit>, KernelStats, FaultStats)> = Vec::new();
+    if threads == 1 || db.len() <= 1 {
+        outputs.push(search_partition(
+            query,
+            db,
+            0..db.len(),
+            0,
+            plan,
+            &make_aligner,
+        ));
+    } else {
+        let parts = db.partition(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(parts.len());
+            for (part_idx, range) in parts.iter().enumerate() {
+                let range = range.clone();
+                let make_aligner = &make_aligner;
+                handles.push(scope.spawn(move || {
+                    search_partition(query, db, range, part_idx, plan, make_aligner)
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(out) => outputs.push(out),
+                    // Double fault (degraded retry panicked too):
+                    // nothing left to degrade to — propagate.
+                    Err(payload) => std::panic::resume_unwind(payload),
                 }
-                (hits, aligner.stats().clone())
-            }));
-        }
-        for h in handles {
-            outputs.push(h.join().expect("search worker panicked"));
-        }
-    });
+            }
+        });
+    }
 
     let mut hits = Vec::with_capacity(db.len());
     let mut stats = KernelStats::default();
-    for (mut h, s) in outputs {
+    let mut faults = FaultStats::default();
+    for (mut h, s, f) in outputs {
         hits.append(&mut h);
         stats.merge(&s);
+        faults.merge(&f);
     }
     hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
-    SearchOutput { hits, stats }
-}
-
-fn db_alphabet() -> &'static swsimd_matrices::Alphabet {
-    use std::sync::OnceLock;
-    static A: OnceLock<swsimd_matrices::Alphabet> = OnceLock::new();
-    A.get_or_init(swsimd_matrices::Alphabet::protein)
+    SearchOutput {
+        hits,
+        stats,
+        faults,
+    }
 }
 
 /// Align many (query, target) pairs across threads — the many-to-many
 /// primitive behind Scenario 2.
-pub fn parallel_pairs<F>(
-    pairs: &[(Vec<u8>, Vec<u8>)],
-    threads: usize,
-    make_aligner: F,
-) -> Vec<i32>
+pub fn parallel_pairs<F>(pairs: &[(Vec<u8>, Vec<u8>)], threads: usize, make_aligner: F) -> Vec<i32>
 where
     F: Fn() -> AlignerBuilder + Sync,
 {
@@ -135,9 +234,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swsimd_core::Aligner;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use swsimd_core::Aligner;
     use swsimd_matrices::{blosum62, Alphabet, PROTEIN_LETTERS};
     use swsimd_seq::SeqRecord;
 
@@ -146,8 +245,9 @@ mod tests {
         let records: Vec<SeqRecord> = (0..n)
             .map(|i| {
                 let l = rng.gen_range(5..80);
-                let s: Vec<u8> =
-                    (0..l).map(|_| PROTEIN_LETTERS[rng.gen_range(0..20)]).collect();
+                let s: Vec<u8> = (0..l)
+                    .map(|_| PROTEIN_LETTERS[rng.gen_range(0..20)])
+                    .collect();
                 SeqRecord::new(format!("s{i}"), s)
             })
             .collect();
@@ -159,11 +259,27 @@ mod tests {
         let db = small_db(60, 3);
         let q = Alphabet::protein().encode(b"MKVLAADTWGHKDDTWGHK");
         let builder = || Aligner::builder().matrix(blosum62());
-        let single = parallel_search(&q, &db, &PoolConfig { threads: 1, sort_batches: true }, builder);
+        let single = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 1,
+                ..PoolConfig::default()
+            },
+            builder,
+        );
         for threads in [2, 3, 7] {
-            let multi =
-                parallel_search(&q, &db, &PoolConfig { threads, sort_batches: true }, builder);
+            let multi = parallel_search(
+                &q,
+                &db,
+                &PoolConfig {
+                    threads,
+                    ..PoolConfig::default()
+                },
+                builder,
+            );
             assert_eq!(single.hits, multi.hits, "threads={threads}");
+            assert!(!multi.faults.any());
         }
     }
 
@@ -174,11 +290,92 @@ mod tests {
         let out = parallel_search(
             &q,
             &db,
-            &PoolConfig { threads: 4, sort_batches: true },
+            &PoolConfig {
+                threads: 4,
+                ..PoolConfig::default()
+            },
             || Aligner::builder().matrix(blosum62()),
         );
         assert!(out.stats.cells > 0);
         assert_eq!(out.hits.len(), 40);
+    }
+
+    #[test]
+    fn injected_panic_degrades_not_fails() {
+        let db = small_db(50, 11);
+        let q = Alphabet::protein().encode(b"MKVLAADTWGHKDDTWGHK");
+        let builder = || Aligner::builder().matrix(blosum62());
+        let clean = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 1,
+                ..PoolConfig::default()
+            },
+            builder,
+        );
+        let faulted = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 4,
+                sort_batches: true,
+                fault_plan: FaultPlan::new().panic_at(1, 1),
+            },
+            builder,
+        );
+        assert_eq!(faulted.hits, clean.hits, "degraded search stays exact");
+        assert_eq!(faulted.faults.worker_panics, 1);
+        assert_eq!(faulted.faults.degraded_batches, 1);
+        assert_eq!(faulted.faults.retries, 1);
+    }
+
+    #[test]
+    fn injected_poison_is_caught_by_validation() {
+        let db = small_db(30, 13);
+        let q = Alphabet::protein().encode(b"MKVLAADTW");
+        let builder = || Aligner::builder().matrix(blosum62());
+        let clean = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 1,
+                ..PoolConfig::default()
+            },
+            builder,
+        );
+        let faulted = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 3,
+                sort_batches: true,
+                fault_plan: FaultPlan::new().poison_at(2, 1),
+            },
+            builder,
+        );
+        assert_eq!(faulted.hits, clean.hits);
+        assert_eq!(faulted.faults.worker_panics, 0, "poison is not a panic");
+        assert_eq!(faulted.faults.degraded_batches, 1);
+        assert_eq!(faulted.faults.retries, 1);
+    }
+
+    #[test]
+    fn single_thread_panic_degrades_inline() {
+        let db = small_db(10, 17);
+        let q = Alphabet::protein().encode(b"MKVLAADTW");
+        let out = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 1,
+                sort_batches: true,
+                fault_plan: FaultPlan::new().panic_at(0, 1),
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        assert_eq!(out.hits.len(), 10);
+        assert_eq!(out.faults.worker_panics, 1);
     }
 
     #[test]

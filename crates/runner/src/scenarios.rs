@@ -10,6 +10,7 @@
 use swsimd_core::{Aligner, AlignerBuilder, Hit};
 use swsimd_seq::Database;
 
+use crate::fault::FaultStats;
 use crate::metrics::{CellTimer, Throughput};
 use crate::pool::{parallel_search, PoolConfig};
 
@@ -23,6 +24,9 @@ pub struct ScenarioReport {
     pub best_hits: Vec<Hit>,
     /// Total alignments performed.
     pub alignments: usize,
+    /// Degradation events observed (worker panics isolated, scalar
+    /// retries). Non-zero only for scenarios running on the pool.
+    pub faults: FaultStats,
 }
 
 fn total_cells(queries: &[Vec<u8>], db: &Database) -> u64 {
@@ -39,7 +43,11 @@ where
     let out = parallel_search(
         query,
         db,
-        &PoolConfig { threads, sort_batches: true },
+        &PoolConfig {
+            threads,
+            sort_batches: true,
+            ..PoolConfig::default()
+        },
         make_aligner,
     );
     let throughput = timer.stop();
@@ -49,6 +57,7 @@ where
         throughput,
         best_hits: best.into_iter().collect(),
         alignments: db.len(),
+        faults: out.faults,
     }
 }
 
@@ -103,12 +112,17 @@ where
         throughput,
         best_hits: best_hits.into_iter().flatten().collect(),
         alignments: queries.len() * db.len(),
+        faults: FaultStats::default(),
     }
 }
 
 /// Scenario 3: small sets of queries and references, single-threaded —
 /// the SSW-style subroutine case where the working set is cache-hot.
-pub fn scenario3(queries: &[Vec<u8>], db: &Database, make_aligner: impl Fn() -> AlignerBuilder) -> ScenarioReport {
+pub fn scenario3(
+    queries: &[Vec<u8>],
+    db: &Database,
+    make_aligner: impl Fn() -> AlignerBuilder,
+) -> ScenarioReport {
     let timer = CellTimer::start(total_cells(queries, db));
     let mut aligner: Aligner = make_aligner().build();
     let mut best_hits = Vec::with_capacity(queries.len());
@@ -122,6 +136,7 @@ pub fn scenario3(queries: &[Vec<u8>], db: &Database, make_aligner: impl Fn() -> 
         throughput,
         best_hits,
         alignments: queries.len() * db.len(),
+        faults: FaultStats::default(),
     }
 }
 
@@ -132,7 +147,12 @@ mod tests {
     use swsimd_seq::{generate_database, generate_exact, SynthConfig};
 
     fn tiny_db(n: usize) -> Database {
-        generate_database(&SynthConfig { n_seqs: n, max_len: 120, median_len: 60.0, ..Default::default() })
+        generate_database(&SynthConfig {
+            n_seqs: n,
+            max_len: 120,
+            median_len: 60.0,
+            ..Default::default()
+        })
     }
 
     fn enc(len: usize, seed: u64) -> Vec<u8> {
@@ -152,6 +172,7 @@ mod tests {
         assert_eq!(r.alignments, 24);
         assert_eq!(r.best_hits.len(), 1);
         assert!(r.throughput.gcups() > 0.0);
+        assert!(!r.faults.any(), "clean run records no degradation");
     }
 
     #[test]

@@ -3,23 +3,106 @@
 //! The paper: "in environments with a centralized server handling
 //! multiple queries, it may be more efficient to accumulate several
 //! queries before beginning the computation". This module implements
-//! that deployment: clients submit queries over a channel; the server
-//! accumulates up to `batch_size` queries (or until `max_wait`
+//! that deployment: clients submit queries over a bounded channel; the
+//! server accumulates up to `batch_size` queries (or until `max_wait`
 //! expires), then processes the whole batch against the shared,
 //! pre-batched database, amortizing database traffic across queries.
+//!
+//! ## Failure model
+//!
+//! The serving layer never panics on the request path; every failure
+//! is a typed [`ServeError`]:
+//!
+//! * the job queue is **bounded** (`queue_depth`): [`ServerClient::query`]
+//!   applies backpressure by blocking, [`ServerClient::try_query`] sheds
+//!   load with [`ServeError::QueueFull`];
+//! * [`ServerClient::query_with_deadline`] bounds enqueue + compute +
+//!   reply with one deadline and returns
+//!   [`ServeError::DeadlineExceeded`] when it expires — it never blocks
+//!   indefinitely, and the server skips jobs whose deadline has already
+//!   passed instead of computing dead answers;
+//! * a panicking worker is isolated with `catch_unwind` and the job is
+//!   retried **once** on the scalar reference engine (exact scores,
+//!   degraded throughput); only a double fault surfaces as
+//!   [`ServeError::WorkerPanicked`];
+//! * queries are validated on submit ([`ServeError::InvalidQuery`]);
+//! * after [`BatchServer::shutdown`], outstanding clients get
+//!   [`ServeError::ShutDown`] instead of a panic.
+//!
+//! All of it is observable through [`ServerStats`] /
+//! [`crate::metrics::ServeCounters`] and deterministically testable via
+//! [`FaultPlan`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use swsimd_core::{Aligner, AlignerBuilder, Hit};
+use crossbeam::channel::{
+    bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
+};
+use swsimd_core::{validate_encoded, AlignError, Aligner, AlignerBuilder, EngineKind, Hit};
 use swsimd_seq::{BatchedDatabase, Database};
 
+use crate::fault::FaultPlan;
+use crate::metrics::ServeCounters;
+
+/// A typed serving failure. Every client-facing entry point returns
+/// `Result<_, ServeError>`; the serving layer itself never panics on
+/// the request path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server has shut down (or did so before answering).
+    ShutDown,
+    /// The deadline passed before enqueue, compute, or reply finished.
+    DeadlineExceeded,
+    /// The bounded job queue is full (`try_query` only — load shed).
+    QueueFull,
+    /// A worker panicked and the degraded retry failed too.
+    WorkerPanicked,
+    /// The query is not a valid encoded sequence.
+    InvalidQuery(AlignError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShutDown => write!(f, "server is shut down"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::QueueFull => write!(f, "job queue full (load shed)"),
+            ServeError::WorkerPanicked => {
+                write!(f, "worker panicked and degraded retry failed")
+            }
+            ServeError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::InvalidQuery(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlignError> for ServeError {
+    fn from(e: AlignError) -> Self {
+        ServeError::InvalidQuery(e)
+    }
+}
+
 /// A submitted query awaiting results.
+/// One query's outcome, sent back over its private reply channel.
+type Reply = Result<Vec<Hit>, ServeError>;
+
 struct Job {
     query: Vec<u8>,
-    reply: Sender<Vec<Hit>>,
+    reply: Sender<Reply>,
     top_k: usize,
+    /// Client-imposed deadline; the server skips jobs that expire in
+    /// the queue instead of computing answers nobody is waiting for.
+    deadline: Option<Instant>,
 }
 
 /// Channel protocol: jobs, or an explicit shutdown marker (needed
@@ -34,20 +117,103 @@ enum Msg {
 #[derive(Clone)]
 pub struct ServerClient {
     tx: Sender<Msg>,
+    counters: Arc<ServeCounters>,
 }
 
 impl ServerClient {
-    /// Submit an encoded query; blocks until the batch containing it is
-    /// processed and returns the top `top_k` hits (all if 0).
-    ///
-    /// # Panics
-    /// Panics if the server has been shut down.
-    pub fn query(&self, query: Vec<u8>, top_k: usize) -> Vec<Hit> {
+    fn make_job(
+        &self,
+        query: Vec<u8>,
+        top_k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<(Job, Receiver<Reply>), ServeError> {
+        validate_encoded(&query)?;
         let (reply_tx, reply_rx) = bounded(1);
+        Ok((
+            Job {
+                query,
+                reply: reply_tx,
+                top_k,
+                deadline,
+            },
+            reply_rx,
+        ))
+    }
+
+    /// Submit an encoded query; blocks until the batch containing it is
+    /// processed and returns the top `top_k` hits (all if 0). When the
+    /// bounded job queue is full this applies backpressure by blocking
+    /// (use [`ServerClient::try_query`] to shed instead).
+    pub fn query(&self, query: Vec<u8>, top_k: usize) -> Result<Vec<Hit>, ServeError> {
+        let (job, reply_rx) = self.make_job(query, top_k, None)?;
         self.tx
-            .send(Msg::Job(Job { query, reply: reply_tx, top_k }))
-            .expect("server is down");
-        reply_rx.recv().expect("server shut down before answering")
+            .send(Msg::Job(job))
+            .map_err(|_| ServeError::ShutDown)?;
+        match reply_rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::ShutDown),
+        }
+    }
+
+    /// Like [`ServerClient::query`], but never blocks past `timeout`:
+    /// the deadline covers enqueue, compute, and reply. On expiry the
+    /// call returns [`ServeError::DeadlineExceeded`] and the server
+    /// discards the job if it is still queued.
+    pub fn query_with_deadline(
+        &self,
+        query: Vec<u8>,
+        top_k: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Hit>, ServeError> {
+        let deadline = Instant::now() + timeout;
+        let (job, reply_rx) = self.make_job(query, top_k, Some(deadline))?;
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match self.tx.send_timeout(Msg::Job(job), remaining) {
+            Ok(()) => {}
+            Err(SendTimeoutError::Timeout(_)) => {
+                ServeCounters::bump(&self.counters.timeouts);
+                return Err(ServeError::DeadlineExceeded);
+            }
+            Err(SendTimeoutError::Disconnected(_)) => return Err(ServeError::ShutDown),
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match reply_rx.recv_timeout(remaining) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                ServeCounters::bump(&self.counters.timeouts);
+                Err(ServeError::DeadlineExceeded)
+            }
+            // The worker dropped the job: either it observed the
+            // expired deadline, or the server shut down.
+            Err(RecvTimeoutError::Disconnected) => {
+                if Instant::now() >= deadline {
+                    ServeCounters::bump(&self.counters.timeouts);
+                    Err(ServeError::DeadlineExceeded)
+                } else {
+                    Err(ServeError::ShutDown)
+                }
+            }
+        }
+    }
+
+    /// Non-blocking admission: if the bounded job queue is full the
+    /// query is shed immediately with [`ServeError::QueueFull`]
+    /// (recorded in [`ServerStats::shed`]) instead of growing memory
+    /// or latency without bound. Once admitted, blocks for the reply.
+    pub fn try_query(&self, query: Vec<u8>, top_k: usize) -> Result<Vec<Hit>, ServeError> {
+        let (job, reply_rx) = self.make_job(query, top_k, None)?;
+        match self.tx.try_send(Msg::Job(job)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                ServeCounters::bump(&self.counters.shed);
+                return Err(ServeError::QueueFull);
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShutDown),
+        }
+        match reply_rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::ShutDown),
+        }
     }
 }
 
@@ -58,30 +224,53 @@ pub struct ServerConfig {
     pub batch_size: usize,
     /// Maximum time the first query in a batch waits for company.
     pub max_wait: Duration,
+    /// Bound on queued jobs: `query` blocks (backpressure) and
+    /// `try_query` sheds when this many jobs are already waiting.
+    pub queue_depth: usize,
+    /// Fault-injection schedule (inert by default; see [`FaultPlan`]).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { batch_size: 8, max_wait: Duration::from_millis(20) }
+        Self {
+            batch_size: 8,
+            max_wait: Duration::from_millis(20),
+            queue_depth: 1024,
+            fault_plan: FaultPlan::default(),
+        }
     }
 }
 
-/// Statistics the server keeps about its batching behaviour.
+/// Statistics the server keeps about its batching and degradation
+/// behaviour (see [`crate::metrics::ServeCounters`] for the live,
+/// shared form).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Batches processed.
     pub batches: u64,
-    /// Queries served.
+    /// Queries served (a reply was computed).
     pub queries: u64,
     /// Batches that were full (vs. flushed by timeout/shutdown).
     pub full_batches: u64,
+    /// Queries that hit their deadline before a result arrived.
+    pub timeouts: u64,
+    /// Queries shed because the job queue was full.
+    pub shed: u64,
+    /// Worker panics isolated on the request path.
+    pub worker_panics: u64,
+    /// Fast-path results discarded (panic or failed validation).
+    pub degraded_batches: u64,
+    /// Degraded retries run on the scalar reference engine.
+    pub retries: u64,
 }
 
 /// A running batch server. Dropping the handle shuts the worker down
 /// after it drains pending queries.
 pub struct BatchServer {
-    client_tx: Option<Sender<Msg>>,
-    worker: Option<std::thread::JoinHandle<ServerStats>>,
+    client_tx: Sender<Msg>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    counters: Arc<ServeCounters>,
 }
 
 impl BatchServer {
@@ -91,15 +280,11 @@ impl BatchServer {
     where
         F: Fn() -> AlignerBuilder + Send + 'static,
     {
-        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(1024);
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(cfg.queue_depth.max(1));
+        let counters = Arc::new(ServeCounters::default());
+        let worker_counters = counters.clone();
         let worker = std::thread::spawn(move || {
-            let mut aligner: Aligner = make_aligner().build();
-            let batched = BatchedDatabase::build(
-                &db,
-                swsimd_core::batch::lanes_for(aligner.engine()),
-                true,
-            );
-            let mut stats = ServerStats::default();
+            let mut ctx = WorkerCtx::new(db, &cfg, make_aligner, worker_counters);
             let mut pending: Vec<Job> = Vec::with_capacity(cfg.batch_size);
             let mut shutting_down = false;
 
@@ -111,9 +296,9 @@ impl BatchServer {
                 }
                 // Accumulate until full, the wait budget expires, or a
                 // shutdown arrives (the batch still completes).
-                let deadline = std::time::Instant::now() + cfg.max_wait;
+                let deadline = Instant::now() + cfg.max_wait;
                 while pending.len() < cfg.batch_size.max(1) {
-                    let now = std::time::Instant::now();
+                    let now = Instant::now();
                     if now >= deadline {
                         break;
                     }
@@ -126,69 +311,180 @@ impl BatchServer {
                         Err(RecvTimeoutError::Timeout) => break,
                     }
                 }
-                process_batch(&mut aligner, &db, &batched, &mut pending, &mut stats, cfg.batch_size);
+                ctx.process_batch(&mut pending);
             }
             // Drain jobs that raced with the shutdown marker.
             while let Ok(Msg::Job(job)) = rx.try_recv() {
                 pending.push(job);
             }
-            process_batch(&mut aligner, &db, &batched, &mut pending, &mut stats, cfg.batch_size);
-            stats
+            ctx.process_batch(&mut pending);
         });
-        Self { client_tx: Some(tx), worker: Some(worker) }
+        Self {
+            client_tx: tx,
+            worker: Some(worker),
+            counters,
+        }
     }
 
     /// A client handle (cloneable, usable from many threads).
     pub fn client(&self) -> ServerClient {
-        ServerClient { tx: self.client_tx.clone().expect("server already shut down") }
+        ServerClient {
+            tx: self.client_tx.clone(),
+            counters: self.counters.clone(),
+        }
     }
 
-    /// Shut down: stop accepting, drain, and return batching stats.
-    /// Outstanding [`ServerClient`] clones panic on later use.
+    /// Live snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        self.counters.snapshot()
+    }
+
+    /// Shut down: stop accepting, drain, and return the final stats.
+    /// Outstanding [`ServerClient`] clones get [`ServeError::ShutDown`]
+    /// on later use.
     pub fn shutdown(mut self) -> ServerStats {
-        if let Some(tx) = self.client_tx.take() {
-            let _ = tx.send(Msg::Shutdown);
+        let _ = self.client_tx.send(Msg::Shutdown);
+        if let Some(worker) = self.worker.take() {
+            // A worker that died outside its isolation harness cannot
+            // corrupt the stats snapshot; ignore the join payload.
+            let _ = worker.join();
         }
-        self.worker.take().expect("already joined").join().expect("server panicked")
+        self.counters.snapshot()
     }
 }
 
 impl Drop for BatchServer {
     fn drop(&mut self) {
-        if let Some(tx) = self.client_tx.take() {
-            let _ = tx.send(Msg::Shutdown);
-        }
+        let _ = self.client_tx.send(Msg::Shutdown);
         if let Some(w) = self.worker.take() {
             let _ = w.join();
         }
     }
 }
 
-fn process_batch(
-    aligner: &mut Aligner,
-    db: &Database,
-    batched: &BatchedDatabase,
-    pending: &mut Vec<Job>,
-    stats: &mut ServerStats,
+/// Worker-side state: the configured fast-path aligner plus a lazily
+/// built scalar-engine fallback for degraded retries.
+struct WorkerCtx<F> {
+    db: Arc<Database>,
+    make_aligner: F,
+    aligner: Aligner,
+    batched: BatchedDatabase,
+    /// Scalar reference aligner + batches, built on first degraded
+    /// retry (most servers never pay for it).
+    fallback: Option<(Aligner, BatchedDatabase)>,
+    plan: FaultPlan,
     batch_size: usize,
-) {
-    if pending.is_empty() {
-        return;
-    }
-    stats.batches += 1;
-    if pending.len() >= batch_size {
-        stats.full_batches += 1;
-    }
-    for job in pending.drain(..) {
-        stats.queries += 1;
-        let mut hits = aligner.search_batched(&job.query, db, batched);
-        hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
-        if job.top_k > 0 {
-            hits.truncate(job.top_k);
+    counters: Arc<ServeCounters>,
+}
+
+impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
+    fn new(
+        db: Arc<Database>,
+        cfg: &ServerConfig,
+        make_aligner: F,
+        counters: Arc<ServeCounters>,
+    ) -> Self {
+        let aligner: Aligner = make_aligner().build();
+        let batched =
+            BatchedDatabase::build(&db, swsimd_core::batch::lanes_for(aligner.engine()), true);
+        Self {
+            db,
+            make_aligner,
+            aligner,
+            batched,
+            fallback: None,
+            plan: cfg.fault_plan.clone(),
+            batch_size: cfg.batch_size,
+            counters,
         }
-        // A disappeared client is not an error.
-        let _ = job.reply.send(hits);
     }
+
+    fn process_batch(&mut self, pending: &mut Vec<Job>) {
+        if pending.is_empty() {
+            return;
+        }
+        ServeCounters::bump(&self.counters.batches);
+        if pending.len() >= self.batch_size {
+            ServeCounters::bump(&self.counters.full_batches);
+        }
+        for (slot, job) in pending.drain(..).enumerate() {
+            // Don't compute answers nobody is waiting for: the client
+            // observed this same deadline and has already returned.
+            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                continue;
+            }
+            ServeCounters::bump(&self.counters.queries);
+            let result = self.run_job(slot, &job.query, job.top_k);
+            // A disappeared client is not an error.
+            let _ = job.reply.send(result);
+        }
+    }
+
+    /// One job with isolation: fast path under `catch_unwind` +
+    /// hit-count validation, then a single degraded retry on the
+    /// scalar reference engine. `slot` is the job's index within its
+    /// batch — the unit [`FaultPlan`] targets for the server.
+    fn run_job(&mut self, slot: usize, query: &[u8], top_k: usize) -> Result<Vec<Hit>, ServeError> {
+        let expected = self.db.len();
+        let fast = catch_unwind(AssertUnwindSafe(|| {
+            self.plan.before_partition(slot);
+            let mut hits = self.aligner.search_batched(query, &self.db, &self.batched);
+            self.plan.corrupt_hits(slot, &mut hits);
+            hits
+        }));
+        let panicked = fast.is_err();
+        if let Ok(hits) = fast {
+            if hits.len() == expected {
+                return Ok(finish_hits(hits, top_k));
+            }
+        }
+
+        // The fast path panicked or returned a malformed result:
+        // isolate it, record it, and recompute this job on the scalar
+        // reference engine (exact scores, degraded throughput).
+        if panicked {
+            ServeCounters::bump(&self.counters.worker_panics);
+        }
+        ServeCounters::bump(&self.counters.degraded_batches);
+        ServeCounters::bump(&self.counters.retries);
+
+        if self.fallback.is_none() {
+            let built = catch_unwind(AssertUnwindSafe(|| {
+                let aligner = (self.make_aligner)().engine(EngineKind::Scalar).build();
+                let batched = BatchedDatabase::build(
+                    &self.db,
+                    swsimd_core::batch::lanes_for(aligner.engine()),
+                    true,
+                );
+                (aligner, batched)
+            }));
+            match built {
+                Ok(fb) => self.fallback = Some(fb),
+                Err(_) => return Err(ServeError::WorkerPanicked),
+            }
+        }
+        let db = &self.db;
+        let retry = self.fallback.as_mut().and_then(|(aligner, batched)| {
+            catch_unwind(AssertUnwindSafe(|| {
+                aligner.search_batched(query, db, batched)
+            }))
+            .ok()
+        });
+        match retry {
+            Some(hits) if hits.len() == expected => Ok(finish_hits(hits, top_k)),
+            // Double fault: the reference engine failed too.
+            _ => Err(ServeError::WorkerPanicked),
+        }
+    }
+}
+
+/// Sort best-first (stable tie-break on database index) and truncate.
+fn finish_hits(mut hits: Vec<Hit>, top_k: usize) -> Vec<Hit> {
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+    if top_k > 0 {
+        hits.truncate(top_k);
+    }
+    hits
 }
 
 #[cfg(test)]
@@ -218,7 +514,7 @@ mod tests {
         });
         let client = server.client();
         let q = enc(30, 7);
-        let hits = client.query(q.clone(), 3);
+        let hits = client.query(q.clone(), 3).expect("server is up");
         assert_eq!(hits.len(), 3);
 
         // Compare against a direct search.
@@ -234,7 +530,11 @@ mod tests {
         let db = tiny_db();
         let server = BatchServer::start(
             db,
-            ServerConfig { batch_size: 4, max_wait: Duration::from_millis(200) },
+            ServerConfig {
+                batch_size: 4,
+                max_wait: Duration::from_millis(200),
+                ..Default::default()
+            },
             || Aligner::builder().matrix(blosum62()),
         );
         let client = server.client();
@@ -242,7 +542,7 @@ mod tests {
             for i in 0..8 {
                 let c = client.clone();
                 scope.spawn(move || {
-                    let hits = c.query(enc(25, i), 1);
+                    let hits = c.query(enc(25, i), 1).expect("server is up");
                     assert_eq!(hits.len(), 1);
                 });
             }
@@ -260,11 +560,16 @@ mod tests {
         let db = tiny_db();
         let server = BatchServer::start(
             db,
-            ServerConfig { batch_size: 64, max_wait: Duration::from_millis(10) },
+            ServerConfig {
+                batch_size: 64,
+                max_wait: Duration::from_millis(10),
+                ..Default::default()
+            },
             || Aligner::builder().matrix(blosum62()),
         );
         let client = server.client();
-        let hits = client.query(enc(20, 3), 2); // would wait forever without the timeout
+        // Would wait forever without the timeout.
+        let hits = client.query(enc(20, 3), 2).expect("server is up");
         assert_eq!(hits.len(), 2);
         let stats = server.shutdown();
         assert_eq!(stats.full_batches, 0);
@@ -280,8 +585,181 @@ mod tests {
         let h = std::thread::spawn(move || client.query(enc(15, 1), 1));
         std::thread::sleep(Duration::from_millis(5));
         let stats = server.shutdown();
-        let hits = h.join().unwrap();
+        let hits = h
+            .join()
+            .expect("client thread")
+            .expect("drained before shutdown");
         assert_eq!(hits.len(), 1);
         assert_eq!(stats.queries, 1);
+    }
+
+    #[test]
+    fn query_after_shutdown_is_typed_error() {
+        let db = tiny_db();
+        let server = BatchServer::start(db, ServerConfig::default(), || {
+            Aligner::builder().matrix(blosum62())
+        });
+        let client = server.client();
+        let _ = server.shutdown();
+        assert_eq!(client.query(enc(10, 2), 1), Err(ServeError::ShutDown));
+        assert_eq!(client.try_query(enc(10, 2), 1), Err(ServeError::ShutDown));
+        assert_eq!(
+            client.query_with_deadline(enc(10, 2), 1, Duration::from_millis(50)),
+            Err(ServeError::ShutDown)
+        );
+    }
+
+    #[test]
+    fn invalid_query_is_rejected_at_the_boundary() {
+        let db = tiny_db();
+        let server = BatchServer::start(db, ServerConfig::default(), || {
+            Aligner::builder().matrix(blosum62())
+        });
+        let client = server.client();
+        let bad = vec![1u8, 200, 3];
+        match client.query(bad, 1) {
+            Err(ServeError::InvalidQuery(AlignError::InvalidResidue { position, value })) => {
+                assert_eq!((position, value), (1, 200));
+            }
+            other => panic!("expected InvalidQuery, got {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 0, "invalid queries never reach the worker");
+    }
+
+    #[test]
+    fn worker_panic_degrades_to_exact_answer() {
+        let db = tiny_db();
+        let q = enc(30, 7);
+        let mut direct = Aligner::builder().matrix(blosum62()).build();
+        let want = direct.search(&q, &db, 5);
+
+        let server = BatchServer::start(
+            db.clone(),
+            ServerConfig {
+                fault_plan: FaultPlan::new().panic_at(0, 1),
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        let hits = client.query(q.clone(), 5).expect("degraded, not dead");
+        assert_eq!(hits, want, "scalar retry stays exact");
+        // Second query: fault budget exhausted, fast path again.
+        let hits2 = client.query(q, 5).expect("server is up");
+        assert_eq!(hits2, want);
+        let stats = server.shutdown();
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.degraded_batches, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.queries, 2);
+    }
+
+    #[test]
+    fn poisoned_batch_is_validated_and_recomputed() {
+        let db = tiny_db();
+        let q = enc(25, 9);
+        let mut direct = Aligner::builder().matrix(blosum62()).build();
+        let want = direct.search(&q, &db, 0);
+
+        let server = BatchServer::start(
+            db,
+            ServerConfig {
+                fault_plan: FaultPlan::new().poison_at(0, 1),
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        let hits = client.query(q, 0).expect("degraded, not dead");
+        assert_eq!(hits, want);
+        let stats = server.shutdown();
+        assert_eq!(stats.worker_panics, 0, "poison is not a panic");
+        assert_eq!(stats.degraded_batches, 1);
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn deadline_expiry_returns_typed_error_in_bounded_time() {
+        let db = tiny_db();
+        let server = BatchServer::start(
+            db,
+            ServerConfig {
+                batch_size: 1,
+                max_wait: Duration::from_millis(1),
+                // Every job in slot 0 stalls well past the deadline.
+                fault_plan: FaultPlan::new().delay_at(0, Duration::from_millis(300)),
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        let start = Instant::now();
+        let r = client.query_with_deadline(enc(20, 4), 1, Duration::from_millis(30));
+        let elapsed = start.elapsed();
+        assert_eq!(r, Err(ServeError::DeadlineExceeded));
+        assert!(
+            elapsed < Duration::from_millis(250),
+            "deadline must bound the call, took {elapsed:?}"
+        );
+        let stats = server.shutdown();
+        assert!(stats.timeouts >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_error() {
+        let db = tiny_db();
+        let server = BatchServer::start(
+            db,
+            ServerConfig {
+                batch_size: 1,
+                max_wait: Duration::from_millis(1),
+                queue_depth: 1,
+                // Keep the worker busy so the queue backs up.
+                fault_plan: FaultPlan::new().delay_at(0, Duration::from_millis(100)),
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        // Background clients keep the worker and the 1-slot queue busy.
+        let bg: Vec<_> = (0..3)
+            .map(|i| {
+                let c = client.clone();
+                std::thread::spawn(move || c.query(enc(15, i), 1))
+            })
+            .collect();
+        // With a full queue, try_query must shed rather than block.
+        let mut shed = false;
+        for i in 0..50 {
+            match client.try_query(enc(15, 100 + i), 1) {
+                Err(ServeError::QueueFull) => {
+                    shed = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert!(shed, "try_query never shed under sustained load");
+        for h in bg {
+            let _ = h.join().expect("client thread");
+        }
+        let stats = server.shutdown();
+        assert!(stats.shed >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn live_stats_snapshot() {
+        let db = tiny_db();
+        let server = BatchServer::start(db, ServerConfig::default(), || {
+            Aligner::builder().matrix(blosum62())
+        });
+        let client = server.client();
+        client.query(enc(12, 5), 1).expect("server is up");
+        let live = server.stats();
+        assert_eq!(live.queries, 1);
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.queries, 1);
     }
 }

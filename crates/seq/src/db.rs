@@ -28,7 +28,11 @@ impl Database {
             .map(|(i, r)| EncodedSeq::from_bytes(&r.seq, alphabet, i))
             .collect::<Vec<_>>();
         let total_residues = encoded.iter().map(|e| e.len()).sum();
-        Self { records, encoded, total_residues }
+        Self {
+            records,
+            encoded,
+            total_residues,
+        }
     }
 
     /// Number of sequences.
@@ -163,7 +167,11 @@ impl BatchedDatabase {
         }
         let mut batches = Vec::with_capacity(db.len().div_ceil(lanes.max(1)));
         for group in order.chunks(lanes) {
-            let max_len = group.iter().map(|&i| db.encoded(i).len()).max().unwrap_or(0);
+            let max_len = group
+                .iter()
+                .map(|&i| db.encoded(i).len())
+                .max()
+                .unwrap_or(0);
             let mut data = vec![PAD_INDEX; max_len * lanes];
             for (k, &i) in group.iter().enumerate() {
                 for (j, &res) in db.encoded(i).idx.iter().enumerate() {
@@ -194,9 +202,17 @@ impl BatchedDatabase {
             .into_iter()
             .map(|(members, max_len, data)| {
                 debug_assert_eq!(data.len(), max_len * lanes);
-                let lens =
-                    members.iter().map(|&i| db.encoded(i as usize).len() as u32).collect();
-                DbBatch { lanes, max_len, members, lens, data }
+                let lens = members
+                    .iter()
+                    .map(|&i| db.encoded(i as usize).len() as u32)
+                    .collect();
+                DbBatch {
+                    lanes,
+                    max_len,
+                    members,
+                    lens,
+                    data,
+                }
             })
             .collect();
         Self { lanes, batches }
@@ -234,8 +250,11 @@ mod tests {
     use super::*;
 
     fn db(seqs: &[&str]) -> Database {
-        let records: Vec<SeqRecord> =
-            seqs.iter().enumerate().map(|(i, s)| SeqRecord::new(format!("s{i}"), s.as_bytes().to_vec())).collect();
+        let records: Vec<SeqRecord> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SeqRecord::new(format!("s{i}"), s.as_bytes().to_vec()))
+            .collect();
         Database::from_records(records, &Alphabet::protein())
     }
 

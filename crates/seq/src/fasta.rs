@@ -68,9 +68,9 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<SeqRecord>, FastaError> {
             current = Some(SeqRecord::with_description(id, description, Vec::new()));
         } else {
             match current.as_mut() {
-                Some(rec) => {
-                    rec.seq.extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace()))
-                }
+                Some(rec) => rec
+                    .seq
+                    .extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace())),
                 None => return Err(FastaError::DataBeforeHeader { line: lineno + 1 }),
             }
         }
@@ -87,11 +87,7 @@ pub fn parse_fasta(text: &str) -> Result<Vec<SeqRecord>, FastaError> {
 }
 
 /// Write records in FASTA format, wrapping sequence lines at `width`.
-pub fn write_fasta<W: Write>(
-    mut writer: W,
-    records: &[SeqRecord],
-    width: usize,
-) -> io::Result<()> {
+pub fn write_fasta<W: Write>(mut writer: W, records: &[SeqRecord], width: usize) -> io::Result<()> {
     let width = width.max(1);
     for rec in records {
         if rec.description.is_empty() {
@@ -146,8 +142,14 @@ mod tests {
 
     #[test]
     fn empty_header_rejected() {
-        assert!(matches!(parse_fasta(">\nMKV\n"), Err(FastaError::EmptyHeader { line: 1 })));
-        assert!(matches!(parse_fasta("> \nMKV\n"), Err(FastaError::EmptyHeader { line: 1 })));
+        assert!(matches!(
+            parse_fasta(">\nMKV\n"),
+            Err(FastaError::EmptyHeader { line: 1 })
+        ));
+        assert!(matches!(
+            parse_fasta("> \nMKV\n"),
+            Err(FastaError::EmptyHeader { line: 1 })
+        ));
     }
 
     #[test]

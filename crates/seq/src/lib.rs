@@ -18,7 +18,9 @@ pub mod synth;
 
 pub use db::{BatchedDatabase, Database, DbBatch};
 pub use fasta::{parse_fasta, read_fasta, to_fasta_string, write_fasta, FastaError};
-pub use persist::{load as load_database_image, save as save_database_image, PersistError, PersistedDatabase};
+pub use persist::{
+    load as load_database_image, save as save_database_image, PersistError, PersistedDatabase,
+};
 pub use record::{EncodedSeq, SeqRecord};
 pub use stats::{composition, length_histogram, length_stats, LengthStats};
 pub use stream::{read_database_streaming, FastaStream};

@@ -16,7 +16,11 @@ pub struct SeqRecord {
 impl SeqRecord {
     /// Create a record from an id and residues.
     pub fn new(id: impl Into<String>, seq: impl Into<Vec<u8>>) -> Self {
-        Self { id: id.into(), description: String::new(), seq: seq.into() }
+        Self {
+            id: id.into(),
+            description: String::new(),
+            seq: seq.into(),
+        }
     }
 
     /// Create a record with a description.
@@ -25,7 +29,11 @@ impl SeqRecord {
         description: impl Into<String>,
         seq: impl Into<Vec<u8>>,
     ) -> Self {
-        Self { id: id.into(), description: description.into(), seq: seq.into() }
+        Self {
+            id: id.into(),
+            description: description.into(),
+            seq: seq.into(),
+        }
     }
 
     /// Residue count.
@@ -56,7 +64,10 @@ pub struct EncodedSeq {
 impl EncodedSeq {
     /// Encode a raw sequence.
     pub fn from_bytes(seq: &[u8], alphabet: &Alphabet, source_pos: usize) -> Self {
-        Self { idx: alphabet.encode(seq), source_pos }
+        Self {
+            idx: alphabet.encode(seq),
+            source_pos,
+        }
     }
 
     /// Residue count.

@@ -28,7 +28,14 @@ pub struct LengthStats {
 pub fn length_stats(db: &Database) -> LengthStats {
     let mut lens: Vec<usize> = db.iter_encoded().map(|e| e.len()).collect();
     if lens.is_empty() {
-        return LengthStats { count: 0, min: 0, max: 0, mean: 0.0, median: 0, total: 0 };
+        return LengthStats {
+            count: 0,
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+            total: 0,
+        };
     }
     lens.sort_unstable();
     let total: usize = lens.iter().sum();
@@ -68,7 +75,13 @@ pub fn composition(db: &Database, alphabet: &Alphabet) -> Vec<f64> {
     }
     counts
         .into_iter()
-        .map(|c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .map(|c| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f64 / total as f64
+            }
+        })
         .collect()
 }
 

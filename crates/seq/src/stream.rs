@@ -27,7 +27,12 @@ pub struct FastaStream<R: BufRead> {
 impl<R: BufRead> FastaStream<R> {
     /// Start streaming records from a reader.
     pub fn new(reader: R) -> Self {
-        Self { reader, lineno: 0, pending: None, done: false }
+        Self {
+            reader,
+            lineno: 0,
+            pending: None,
+            done: false,
+        }
     }
 
     fn parse_header(&mut self, header: &str) -> Result<SeqRecord, FastaError> {
@@ -82,9 +87,9 @@ impl<R: BufRead> Iterator for FastaStream<R> {
                 // First record: keep accumulating.
             } else {
                 match self.pending.as_mut() {
-                    Some(rec) => {
-                        rec.seq.extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace()))
-                    }
+                    Some(rec) => rec
+                        .seq
+                        .extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace())),
                     None => {
                         self.done = true;
                         return Some(Err(FastaError::DataBeforeHeader { line: self.lineno }));
@@ -139,7 +144,10 @@ mod tests {
     #[test]
     fn stream_errors_stop_iteration() {
         let mut s = FastaStream::new("MKV\n>a\nRR\n".as_bytes());
-        assert!(matches!(s.next(), Some(Err(FastaError::DataBeforeHeader { line: 1 }))));
+        assert!(matches!(
+            s.next(),
+            Some(Err(FastaError::DataBeforeHeader { line: 1 }))
+        ));
         assert!(s.next().is_none());
     }
 
@@ -159,7 +167,9 @@ mod tests {
         for i in 0..10_000 {
             text.push_str(&format!(">s{i}\nMKVLA\n"));
         }
-        let count = FastaStream::new(text.as_bytes()).filter(|r| r.is_ok()).count();
+        let count = FastaStream::new(text.as_bytes())
+            .filter(|r| r.is_ok())
+            .count();
         assert_eq!(count, 10_000);
     }
 }

@@ -11,8 +11,8 @@
 //! gather traffic), not on biological content.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use swsimd_matrices::Alphabet;
 
@@ -149,7 +149,10 @@ pub fn generate_exact(len: usize, seed: u64) -> SeqRecord {
 /// own justification for using 10 queries).
 pub fn standard_queries() -> Vec<SeqRecord> {
     const LENS: [usize; 10] = [47, 110, 189, 290, 464, 682, 1_021, 1_577, 2_504, 5_012];
-    LENS.iter().enumerate().map(|(i, &l)| generate_exact(l, 0xBA5E + i as u64)).collect()
+    LENS.iter()
+        .enumerate()
+        .map(|(i, &l)| generate_exact(l, 0xBA5E + i as u64))
+        .collect()
 }
 
 /// Derive a homolog by mutating `seq`: point substitutions with
@@ -188,8 +191,16 @@ pub fn plant_homologs(
 ) -> Vec<usize> {
     let mut positions = Vec::with_capacity(n);
     for i in 0..n {
-        let homolog = mutate(query, divergence, seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-        let pos = if records.is_empty() { 0 } else { (i * 2654435761) % (records.len() + 1) };
+        let homolog = mutate(
+            query,
+            divergence,
+            seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+        );
+        let pos = if records.is_empty() {
+            0
+        } else {
+            (i * 2654435761) % (records.len() + 1)
+        };
         records.insert(
             pos.min(records.len()),
             SeqRecord::with_description(
@@ -209,7 +220,10 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let cfg = SynthConfig { n_seqs: 10, ..Default::default() };
+        let cfg = SynthConfig {
+            n_seqs: 10,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a, b);
@@ -217,14 +231,27 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&SynthConfig { n_seqs: 5, seed: 1, ..Default::default() });
-        let b = generate(&SynthConfig { n_seqs: 5, seed: 2, ..Default::default() });
+        let a = generate(&SynthConfig {
+            n_seqs: 5,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate(&SynthConfig {
+            n_seqs: 5,
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a, b);
     }
 
     #[test]
     fn lengths_within_bounds() {
-        let cfg = SynthConfig { n_seqs: 500, min_len: 30, max_len: 400, ..Default::default() };
+        let cfg = SynthConfig {
+            n_seqs: 500,
+            min_len: 30,
+            max_len: 400,
+            ..Default::default()
+        };
         for r in generate(&cfg) {
             assert!((30..=400).contains(&r.len()), "len {}", r.len());
         }
@@ -232,7 +259,10 @@ mod tests {
 
     #[test]
     fn median_roughly_right() {
-        let cfg = SynthConfig { n_seqs: 2000, ..Default::default() };
+        let cfg = SynthConfig {
+            n_seqs: 2000,
+            ..Default::default()
+        };
         let mut lens: Vec<usize> = generate(&cfg).iter().map(|r| r.len()).collect();
         lens.sort_unstable();
         let median = lens[lens.len() / 2];
@@ -241,7 +271,10 @@ mod tests {
 
     #[test]
     fn only_standard_residues() {
-        let cfg = SynthConfig { n_seqs: 20, ..Default::default() };
+        let cfg = SynthConfig {
+            n_seqs: 20,
+            ..Default::default()
+        };
         let a = Alphabet::protein();
         for r in generate(&cfg) {
             for &c in &r.seq {
@@ -253,7 +286,10 @@ mod tests {
 
     #[test]
     fn composition_tracks_background() {
-        let cfg = SynthConfig { n_seqs: 300, ..Default::default() };
+        let cfg = SynthConfig {
+            n_seqs: 300,
+            ..Default::default()
+        };
         let mut counts = [0usize; 20];
         let a = Alphabet::protein();
         let mut total = 0usize;
@@ -298,11 +334,20 @@ mod tests {
 
     #[test]
     fn plant_homologs_inserts() {
-        let mut records = generate(&SynthConfig { n_seqs: 30, ..Default::default() });
+        let mut records = generate(&SynthConfig {
+            n_seqs: 30,
+            ..Default::default()
+        });
         let q = generate_exact(120, 9).seq;
         let pos = plant_homologs(&mut records, &q, 3, 0.1, 42);
         assert_eq!(records.len(), 33);
         assert_eq!(pos.len(), 3);
-        assert!(records.iter().filter(|r| r.id.starts_with("planted|")).count() == 3);
+        assert!(
+            records
+                .iter()
+                .filter(|r| r.id.starts_with("planted|"))
+                .count()
+                == 3
+        );
     }
 }

@@ -13,7 +13,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn rand_lanes<E: ScoreElem>(rng: &mut StdRng, n: usize) -> Vec<E> {
-    (0..n).map(|_| E::from_i32(rng.gen_range(i8::MIN as i32..=i8::MAX as i32))).collect()
+    (0..n)
+        .map(|_| E::from_i32(rng.gen_range(i8::MIN as i32..=i8::MAX as i32)))
+        .collect()
 }
 
 /// Exhaustive op check of one vector width of one engine against the
@@ -37,10 +39,18 @@ where
         let got_eq = a.cmpeq(b).to_vec();
         let got_blend = V::blend(a.cmpgt(b), a, b).to_vec();
         for k in 0..V::LANES {
-            assert_eq!(got_add[k], xs[k].sat_add(ys[k]), "adds lane {k} round {round}");
+            assert_eq!(
+                got_add[k],
+                xs[k].sat_add(ys[k]),
+                "adds lane {k} round {round}"
+            );
             assert_eq!(got_sub[k], xs[k].sat_sub(ys[k]), "subs lane {k}");
             assert_eq!(got_max[k], xs[k].max_elem(ys[k]), "max lane {k}");
-            assert_eq!(got_min[k], if ys[k] < xs[k] { ys[k] } else { xs[k] }, "min lane {k}");
+            assert_eq!(
+                got_min[k],
+                if ys[k] < xs[k] { ys[k] } else { xs[k] },
+                "min lane {k}"
+            );
             assert_eq!(got_gt[k] != V::Elem::ZERO, xs[k] > ys[k], "cmpgt lane {k}");
             assert_eq!(got_eq[k] != V::Elem::ZERO, xs[k] == ys[k], "cmpeq lane {k}");
             assert_eq!(
@@ -51,7 +61,11 @@ where
         }
 
         // hmax
-        assert_eq!(a.hmax(), xs.iter().copied().max().unwrap(), "hmax round {round}");
+        assert_eq!(
+            a.hmax(),
+            xs.iter().copied().max().unwrap(),
+            "hmax round {round}"
+        );
 
         // any
         assert!(V::any(a.cmpeq(a)));
@@ -92,7 +106,9 @@ fn check_engine_tables<E: SimdEngine>(seed: u64) {
         *t = rng.gen_range(i8::MIN..=i8::MAX);
     }
     for _ in 0..20 {
-        let idx: Vec<i8> = (0..E::V8::LANES).map(|_| rng.gen_range(0..32i32) as i8).collect();
+        let idx: Vec<i8> = (0..E::V8::LANES)
+            .map(|_| rng.gen_range(0..32i32) as i8)
+            .collect();
         let v = E::V8::load_slice(&idx);
         let got = E::lut32(&table, v).to_vec();
         for (k, &i) in idx.iter().enumerate() {

@@ -76,7 +76,11 @@ macro_rules! impl_elem {
             }
             #[inline(always)]
             fn max_elem(self, o: Self) -> Self {
-                if self > o { self } else { o }
+                if self > o {
+                    self
+                } else {
+                    o
+                }
             }
             #[inline(always)]
             fn to_i32(self) -> i32 {
@@ -115,7 +119,11 @@ impl ScoreElem for i32 {
     }
     #[inline(always)]
     fn max_elem(self, o: Self) -> Self {
-        if self > o { self } else { o }
+        if self > o {
+            self
+        } else {
+            o
+        }
     }
     #[inline(always)]
     fn to_i32(self) -> i32 {

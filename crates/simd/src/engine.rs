@@ -76,8 +76,12 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// All engine kinds, weakest first.
-    pub const ALL: [EngineKind; 4] =
-        [EngineKind::Scalar, EngineKind::Sse41, EngineKind::Avx2, EngineKind::Avx512];
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Scalar,
+        EngineKind::Sse41,
+        EngineKind::Avx2,
+        EngineKind::Avx512,
+    ];
 
     /// Engine name.
     pub fn name(self) -> &'static str {
@@ -115,7 +119,9 @@ impl EngineKind {
 
     /// The widest available engine.
     pub fn best() -> EngineKind {
-        *Self::available().last().expect("scalar is always available")
+        *Self::available()
+            .last()
+            .expect("scalar is always available")
     }
 }
 

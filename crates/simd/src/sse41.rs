@@ -245,7 +245,8 @@ impl SimdEngine for Sse41 {
 
     #[inline]
     fn is_available() -> bool {
-        std::arch::is_x86_feature_detected!("sse4.1") && std::arch::is_x86_feature_detected!("ssse3")
+        std::arch::is_x86_feature_detected!("sse4.1")
+            && std::arch::is_x86_feature_detected!("ssse3")
     }
 
     #[inline(always)]

@@ -42,7 +42,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         extend: 1,
         linear: None,
         top: 10,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         engine: EngineKind::best(),
         traceback: true,
         mode: AlignMode::Local,
@@ -50,7 +52,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<String, String> {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
             "--matrix" => {
@@ -59,14 +63,22 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--open" => o.open = val("--open")?.parse().map_err(|e| format!("--open: {e}"))?,
             "--extend" => {
-                o.extend = val("--extend")?.parse().map_err(|e| format!("--extend: {e}"))?
+                o.extend = val("--extend")?
+                    .parse()
+                    .map_err(|e| format!("--extend: {e}"))?
             }
             "--linear" => {
-                o.linear = Some(val("--linear")?.parse().map_err(|e| format!("--linear: {e}"))?)
+                o.linear = Some(
+                    val("--linear")?
+                        .parse()
+                        .map_err(|e| format!("--linear: {e}"))?,
+                )
             }
             "--top" => o.top = val("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
             "--threads" => {
-                o.threads = val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+                o.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
             }
             "--engine" => {
                 let n = val("--engine")?.to_lowercase();
@@ -98,7 +110,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn builder_for(o: &Opts) -> swsimd::AlignerBuilder {
-    let mut b = Aligner::builder().matrix(o.matrix).engine(o.engine).mode(o.mode);
+    let mut b = Aligner::builder()
+        .matrix(o.matrix)
+        .engine(o.engine)
+        .mode(o.mode);
     b = match o.linear {
         Some(g) => b.linear_gap(g),
         None => b.gaps(GapPenalties::new(o.open, o.extend)),
@@ -122,7 +137,10 @@ fn cmd_align(query_path: &str, target_path: &str, o: &Opts) -> Result<(), String
             let qe = alphabet.encode(&q.seq);
             let te = alphabet.encode(&t.seq);
             let r = aligner.align(&qe, &te);
-            println!("{}\t{}\tscore={}\tprecision={:?}", q.id, t.id, r.score, r.precision_used);
+            println!(
+                "{}\t{}\tscore={}\tprecision={:?}",
+                q.id, t.id, r.score, r.precision_used
+            );
             if let Some(aln) = &r.alignment {
                 let (m, i, d) = aln.ops.iter().fold((0, 0, 0), |(m, i, d), op| match op {
                     Op::Match => (m + 1, i, d),
@@ -131,7 +149,10 @@ fn cmd_align(query_path: &str, target_path: &str, o: &Opts) -> Result<(), String
                 });
                 println!(
                     "  q[{}..{}] t[{}..{}] cigar={} (M={m} I={i} D={d})",
-                    aln.query_start, aln.query_end, aln.target_start, aln.target_end,
+                    aln.query_start,
+                    aln.query_end,
+                    aln.target_start,
+                    aln.target_end,
                     aln.cigar()
                 );
             }
@@ -159,7 +180,11 @@ fn cmd_search(query_path: &str, db_path: &str, o: &Opts) -> Result<(), String> {
         let out = parallel_search(
             &qe,
             &db,
-            &PoolConfig { threads: o.threads, sort_batches: true },
+            &PoolConfig {
+                threads: o.threads,
+                sort_batches: true,
+                ..PoolConfig::default()
+            },
             || builder_for(o),
         );
         let secs = start.elapsed().as_secs_f64();
@@ -187,10 +212,17 @@ fn cmd_info() {
     println!("swsimd — Smith-Waterman with vector extensions");
     println!("engines available on this CPU:");
     for e in EngineKind::available() {
-        let best = if e == EngineKind::best() { "  (selected)" } else { "" };
+        let best = if e == EngineKind::best() {
+            "  (selected)"
+        } else {
+            ""
+        };
         println!("  {:<8} {} bits{}", e.name(), e.width_bits(), best);
     }
-    println!("built-in matrices: {}", swsimd::matrices::BUILTIN_NAMES.join(", "));
+    println!(
+        "built-in matrices: {}",
+        swsimd::matrices::BUILTIN_NAMES.join(", ")
+    );
     let _ = Alphabet::protein();
 }
 

@@ -43,8 +43,9 @@ pub use swsimd_simd as simd;
 pub use swsimd_tune as tune;
 
 pub use swsimd_core::{
-    AlignMode, AlignResult, Aligner, AlignerBuilder, Alignment, GapModel, GapPenalties, Hit,
-    KernelStats, Op, Precision, Scoring,
+    validate_encoded, AlignError, AlignMode, AlignResult, Aligner, AlignerBuilder, Alignment,
+    GapModel, GapPenalties, Hit, KernelStats, Op, Precision, Scoring,
 };
+pub use swsimd_runner::{FaultPlan, FaultStats, ServeError};
 pub use swsimd_seq::{Database, SeqRecord};
 pub use swsimd_simd::EngineKind;

@@ -167,7 +167,12 @@ mod tests {
         // average around 10% with a max well under 2x and above ~25%
         // somewhere — the paper's "10% average, up to 50%" shape.
         let space = gcc_space();
-        let cfg = GaConfig { population: 24, generations: 10, seed: 7, ..Default::default() };
+        let cfg = GaConfig {
+            population: 24,
+            generations: 10,
+            seed: 7,
+            ..Default::default()
+        };
         let mut gains = Vec::new();
         for arch in ArchId::ALL {
             for bucket in QueryBucket::ALL {
@@ -187,13 +192,23 @@ mod tests {
     #[test]
     fn gains_depend_on_arch_and_query_size() {
         let space = gcc_space();
-        let cfg = GaConfig { population: 16, generations: 8, seed: 3, ..Default::default() };
+        let cfg = GaConfig {
+            population: 16,
+            generations: 8,
+            seed: 3,
+            ..Default::default()
+        };
         let gain = |arch, bucket| {
-            let r = run(&space, &cfg, |g| relative_performance(&space, g, arch, bucket));
+            let r = run(&space, &cfg, |g| {
+                relative_performance(&space, g, arch, bucket)
+            });
             tuned_improvement(&space, &r.best.genome, arch, bucket)
         };
         let a = gain(ArchId::HaswellE52660, QueryBucket::Short);
         let b = gain(ArchId::SkylakeGold6132, QueryBucket::Long);
-        assert!((a - b).abs() > 1e-6, "gains suspiciously identical: {a} vs {b}");
+        assert!(
+            (a - b).abs() > 1e-6,
+            "gains suspiciously identical: {a} vs {b}"
+        );
     }
 }

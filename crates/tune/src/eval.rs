@@ -87,8 +87,7 @@ pub fn measure_gcups(knobs: &KernelKnobs, workload: &EvalWorkload) -> f64 {
         .precision(knobs.precision())
         .build();
     let lanes = swsimd_core::batch::lanes_for(aligner.engine());
-    let batched =
-        swsimd_seq::BatchedDatabase::build(&workload.db, lanes, knobs.batch_sort);
+    let batched = swsimd_seq::BatchedDatabase::build(&workload.db, lanes, knobs.batch_sort);
 
     let start = Instant::now();
     // Batch path over the whole database (sort knob).
@@ -97,7 +96,10 @@ pub fn measure_gcups(knobs: &KernelKnobs, workload: &EvalWorkload) -> f64 {
     // Diagonal-kernel path over a database slice, in blocks of
     // `block_diagonals` targets (threshold + precision + block knobs).
     let mut diag_cells = 0u64;
-    for chunk in (0..workload.db.len().min(48)).collect::<Vec<_>>().chunks(knobs.block_diagonals.max(1)) {
+    for chunk in (0..workload.db.len().min(48))
+        .collect::<Vec<_>>()
+        .chunks(knobs.block_diagonals.max(1))
+    {
         for &i in chunk {
             let t = &workload.db.encoded(i).idx;
             diag_cells += (workload.query.len() * t.len()) as u64;
@@ -118,7 +120,10 @@ pub fn tune_kernel(
         let knobs = KernelKnobs::from_genome(&space, genome);
         measure_gcups(&knobs, workload)
     });
-    (KernelKnobs::from_genome(&space, &result.best.genome), result)
+    (
+        KernelKnobs::from_genome(&space, &result.best.genome),
+        result,
+    )
 }
 
 /// Default stats type re-export for harnesses.
@@ -155,7 +160,11 @@ mod tests {
     #[test]
     fn tiny_ga_tune_runs() {
         let w = EvalWorkload::standard(48, 32, 5);
-        let cfg = GaConfig { population: 4, generations: 2, ..Default::default() };
+        let cfg = GaConfig {
+            population: 4,
+            generations: 2,
+            ..Default::default()
+        };
         let (knobs, result) = tune_kernel(&w, &cfg);
         assert!(result.best.fitness > 0.0);
         assert!(knobs.scalar_threshold >= 1);

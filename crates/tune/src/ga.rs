@@ -85,9 +85,10 @@ where
     let mut evaluations = 0usize;
     let mut memo: std::collections::HashMap<Vec<usize>, f64> = std::collections::HashMap::new();
 
-    let eval = |genome: &[usize], evals: &mut usize,
-                    memo: &mut std::collections::HashMap<Vec<usize>, f64>,
-                    fitness: &mut F| {
+    let eval = |genome: &[usize],
+                evals: &mut usize,
+                memo: &mut std::collections::HashMap<Vec<usize>, f64>,
+                fitness: &mut F| {
         if let Some(&f) = memo.get(genome) {
             return f;
         }
@@ -98,7 +99,11 @@ where
     };
 
     let random_genome = |rng: &mut ChaCha8Rng| -> Vec<usize> {
-        space.params().iter().map(|p| rng.gen_range(0..p.values.len())).collect()
+        space
+            .params()
+            .iter()
+            .map(|p| rng.gen_range(0..p.values.len()))
+            .collect()
     };
 
     // Random initialization.
@@ -115,7 +120,11 @@ where
     let mut history = vec![best.fitness];
 
     for _gen in 1..cfg.generations {
-        let mut next: Vec<Individual> = pop.iter().take(cfg.elites.min(pop.len())).cloned().collect();
+        let mut next: Vec<Individual> = pop
+            .iter()
+            .take(cfg.elites.min(pop.len()))
+            .cloned()
+            .collect();
 
         while next.len() < cfg.population {
             // Tournament selection of two parents.
@@ -138,7 +147,13 @@ where
             let mut child: Vec<usize> = pa
                 .iter()
                 .zip(&pb)
-                .map(|(&a, &b)| if rng.gen_bool(cfg.crossover_rate) { b } else { a })
+                .map(|(&a, &b)| {
+                    if rng.gen_bool(cfg.crossover_rate) {
+                        b
+                    } else {
+                        a
+                    }
+                })
                 .collect();
             for (g, p) in child.iter_mut().zip(space.params()) {
                 if rng.gen_bool(cfg.mutation_rate) {
@@ -147,7 +162,10 @@ where
             }
 
             let f = eval(&child, &mut evaluations, &mut memo, &mut fitness);
-            next.push(Individual { genome: child, fitness: f });
+            next.push(Individual {
+                genome: child,
+                fitness: f,
+            });
         }
 
         next.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
@@ -158,7 +176,11 @@ where
         pop = next;
     }
 
-    GaResult { best, history, evaluations }
+    GaResult {
+        best,
+        history,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -211,9 +233,27 @@ mod tests {
         // deceptive objective.
         let space = toy_space();
         let f = |g: &[usize]| ((g[0] * 7 + g[1] * 3 + g[2]) % 13) as f64;
-        let a = run(&space, &GaConfig { seed: 1, ..Default::default() }, f);
-        let b = run(&space, &GaConfig { seed: 2, ..Default::default() }, f);
-        assert!(a.best.fitness != b.best.fitness || a.best.genome != b.best.genome || a.history != b.history);
+        let a = run(
+            &space,
+            &GaConfig {
+                seed: 1,
+                ..Default::default()
+            },
+            f,
+        );
+        let b = run(
+            &space,
+            &GaConfig {
+                seed: 2,
+                ..Default::default()
+            },
+            f,
+        );
+        assert!(
+            a.best.fitness != b.best.fitness
+                || a.best.genome != b.best.genome
+                || a.history != b.history
+        );
     }
 
     #[test]
@@ -235,7 +275,11 @@ mod tests {
         let space = toy_space();
         let r = run(
             &space,
-            &GaConfig { generations: 30, mutation_rate: 0.9, ..Default::default() },
+            &GaConfig {
+                generations: 30,
+                mutation_rate: 0.9,
+                ..Default::default()
+            },
             |g| g.iter().map(|&x| x as f64).sum(),
         );
         // Heavy mutation cannot lose the best found (elitism + history).

@@ -54,17 +54,28 @@ pub struct Pipeline {
 impl Pipeline {
     /// The default `-O3`-like pipeline: declaration order, all enabled.
     pub fn default_pipeline() -> Self {
-        Pipeline { order: (0..PASSES.len()).collect(), enabled: vec![true; PASSES.len()] }
+        Pipeline {
+            order: (0..PASSES.len()).collect(),
+            enabled: vec![true; PASSES.len()],
+        }
     }
 
     /// The passes that run, in execution order.
     pub fn sequence(&self) -> Vec<usize> {
-        self.order.iter().copied().filter(|&p| self.enabled[p]).collect()
+        self.order
+            .iter()
+            .copied()
+            .filter(|&p| self.enabled[p])
+            .collect()
     }
 
     /// Human-readable pipeline string.
     pub fn describe(&self) -> String {
-        self.sequence().iter().map(|&p| PASSES[p]).collect::<Vec<_>>().join(" -> ")
+        self.sequence()
+            .iter()
+            .map(|&p| PASSES[p])
+            .collect::<Vec<_>>()
+            .join(" -> ")
     }
 }
 
@@ -350,7 +361,10 @@ mod tests {
                 r.best_fitness / r.default_fitness
             })
             .fold(0.0f64, f64::max);
-        assert!(best_gain > 1.03, "phase ordering should be worth >3% somewhere: {best_gain}");
+        assert!(
+            best_gain > 1.03,
+            "phase ordering should be worth >3% somewhere: {best_gain}"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl ParamSpace {
     /// Decode a genome (per-knob indices) into concrete values.
     pub fn decode(&self, genome: &[usize]) -> Vec<i64> {
         assert_eq!(genome.len(), self.params.len());
-        genome.iter().zip(&self.params).map(|(&g, p)| p.values[g]).collect()
+        genome
+            .iter()
+            .zip(&self.params)
+            .map(|(&g, p)| p.values[g])
+            .collect()
     }
 
     /// Decode a genome into `(name, value)` pairs.
@@ -92,10 +96,16 @@ impl ParamSpace {
 ///   hand-tunes, §IV-I).
 pub fn kernel_space() -> ParamSpace {
     ParamSpace::new()
-        .with(HyperParam::new("scalar_threshold", vec![1, 2, 4, 8, 16, 32, 64]))
+        .with(HyperParam::new(
+            "scalar_threshold",
+            vec![1, 2, 4, 8, 16, 32, 64],
+        ))
         .with(HyperParam::new("batch_sort", vec![0, 1]))
         .with(HyperParam::new("precision_policy", vec![0, 1]))
-        .with(HyperParam::new("block_diagonals", vec![16, 32, 64, 128, 256]))
+        .with(HyperParam::new(
+            "block_diagonals",
+            vec![16, 32, 64, 128, 256],
+        ))
 }
 
 /// Modeled GCC hyperparameters (a representative subset of the `-O3`
@@ -104,8 +114,14 @@ pub fn gcc_space() -> ParamSpace {
     ParamSpace::new()
         .with(HyperParam::new("unroll-factor", vec![1, 2, 4, 8, 16]))
         .with(HyperParam::new("inline-unit-growth", vec![20, 40, 80, 160]))
-        .with(HyperParam::new("max-inline-insns-single", vec![200, 400, 800, 1600]))
-        .with(HyperParam::new("prefetch-distance", vec![0, 64, 128, 256, 512]))
+        .with(HyperParam::new(
+            "max-inline-insns-single",
+            vec![200, 400, 800, 1600],
+        ))
+        .with(HyperParam::new(
+            "prefetch-distance",
+            vec![0, 64, 128, 256, 512],
+        ))
         .with(HyperParam::new("vect-cost-model", vec![0, 1, 2]))
         .with(HyperParam::new("sched-pressure", vec![0, 1]))
         .with(HyperParam::new("ira-loop-pressure", vec![0, 1]))

@@ -11,8 +11,8 @@
 
 use swsimd::perf::ArchId;
 use swsimd::tune::{
-    gcc_space, kernel_space, relative_performance, run, tuned_improvement, EvalWorkload,
-    GaConfig, KernelKnobs, QueryBucket,
+    gcc_space, kernel_space, relative_performance, run, tuned_improvement, EvalWorkload, GaConfig,
+    KernelKnobs, QueryBucket,
 };
 
 fn main() {
@@ -20,7 +20,12 @@ fn main() {
     println!("== kernel-knob GA (real timing on this machine) ==");
     let workload = EvalWorkload::standard(128, 96, 7);
     let space = kernel_space();
-    let cfg = GaConfig { population: 10, generations: 5, seed: 42, ..Default::default() };
+    let cfg = GaConfig {
+        population: 10,
+        generations: 5,
+        seed: 42,
+        ..Default::default()
+    };
     let result = run(&space, &cfg, |genome| {
         let knobs = KernelKnobs::from_genome(&space, genome);
         swsimd::tune::measure_gcups(&knobs, &workload)
@@ -29,17 +34,34 @@ fn main() {
     println!("  evaluations : {}", result.evaluations);
     println!("  best GCUPS  : {:.3}", result.best.fitness);
     println!("  best knobs  : {best:?}");
-    println!("  history     : {:?}", result.history.iter().map(|f| (f * 1e3).round() / 1e3).collect::<Vec<_>>());
+    println!(
+        "  history     : {:?}",
+        result
+            .history
+            .iter()
+            .map(|f| (f * 1e3).round() / 1e3)
+            .collect::<Vec<_>>()
+    );
 
     // --- Part 2: modeled GCC flag tuning (Fig 10 shape) ------------------
     println!("\n== GCC-flag GA over the modeled response surface ==");
     let gspace = gcc_space();
-    let gcfg = GaConfig { population: 24, generations: 12, seed: 7, ..Default::default() };
-    println!("  {:<12} {:>8} {:>8} {:>8}", "arch", "short", "medium", "long");
+    let gcfg = GaConfig {
+        population: 24,
+        generations: 12,
+        seed: 7,
+        ..Default::default()
+    };
+    println!(
+        "  {:<12} {:>8} {:>8} {:>8}",
+        "arch", "short", "medium", "long"
+    );
     for arch in ArchId::ALL {
         let mut row = format!("  {:<12}", arch.name());
         for bucket in QueryBucket::ALL {
-            let r = run(&gspace, &gcfg, |g| relative_performance(&gspace, g, arch, bucket));
+            let r = run(&gspace, &gcfg, |g| {
+                relative_performance(&gspace, g, arch, bucket)
+            });
             let gain = tuned_improvement(&gspace, &r.best.genome, arch, bucket);
             row.push_str(&format!(" {:>7.1}%", (gain - 1.0) * 100.0));
         }

@@ -5,6 +5,11 @@
 //! throughput against one-at-a-time processing — demonstrating the
 //! paper's accumulate-then-compute recommendation.
 //!
+//! Also exercises the fault-tolerant client surface: every call returns
+//! `Result<_, ServeError>`, `query_with_deadline` bounds tail latency,
+//! and `try_query` sheds load instead of blocking when the bounded job
+//! queue is full. Final server health counters are printed at exit.
+//!
 //! ```text
 //! cargo run --release --example batch_server [n_seqs] [n_queries]
 //! ```
@@ -14,8 +19,9 @@ use std::time::{Duration, Instant};
 
 use swsimd::matrices::{blosum62, Alphabet};
 use swsimd::runner::{BatchServer, ServerConfig};
+use swsimd::{Aligner, ServeError};
+
 use swsimd::seq::{generate_database, generate_exact, SynthConfig};
-use swsimd::Aligner;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -41,7 +47,11 @@ fn main() {
     // --- batched server -------------------------------------------------
     let server = BatchServer::start(
         db.clone(),
-        ServerConfig { batch_size: 8, max_wait: Duration::from_millis(30) },
+        ServerConfig {
+            batch_size: 8,
+            max_wait: Duration::from_millis(30),
+            ..Default::default()
+        },
         || Aligner::builder().matrix(blosum62()),
     );
     let client = server.client();
@@ -51,13 +61,37 @@ fn main() {
         let mut handles = Vec::new();
         for q in &queries {
             let c = client.clone();
-            handles.push(scope.spawn(move || c.query(q.clone(), 1)));
+            // A deadline bounds enqueue + compute + reply; an expired
+            // deadline is a typed error, not a hang.
+            handles.push(
+                scope.spawn(move || c.query_with_deadline(q.clone(), 1, Duration::from_secs(30))),
+            );
         }
         for h in handles {
-            tops.push(h.join().unwrap()[0].clone());
+            match h.join().expect("client thread") {
+                Ok(hits) => tops.push(hits[0].clone()),
+                Err(ServeError::DeadlineExceeded) => {
+                    println!("query missed its deadline (kept going)")
+                }
+                Err(e) => panic!("server failed: {e}"),
+            }
         }
     });
     let batched_secs = start.elapsed().as_secs_f64();
+
+    // Non-blocking admission: when the queue is full, try_query sheds
+    // with QueueFull instead of blocking the caller.
+    let mut admitted = 0usize;
+    let mut shed = 0usize;
+    for q in &queries {
+        match client.try_query(q.clone(), 1) {
+            Ok(_) => admitted += 1,
+            Err(ServeError::QueueFull) => shed += 1,
+            Err(e) => panic!("server failed: {e}"),
+        }
+    }
+    println!("try_query burst: {admitted} admitted, {shed} shed");
+
     let stats = server.shutdown();
     println!(
         "batched server : {:.3}s for {} queries in {} batches ({} full)",
@@ -79,4 +113,5 @@ fn main() {
         stats.batches,
         stats.queries as f64 / stats.batches.max(1) as f64
     );
+    println!("server health  : {stats}");
 }

@@ -17,13 +17,17 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let n_seqs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
     let query_len: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(290);
-    let threads: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
 
     println!("building synthetic database: {n_seqs} sequences ...");
-    let mut records = generate(&SynthConfig { n_seqs, ..Default::default() });
+    let mut records = generate(&SynthConfig {
+        n_seqs,
+        ..Default::default()
+    });
     let query_rec = generate_exact(query_len, 0xACE);
     plant_homologs(&mut records, &query_rec.seq, 3, 0.15, 99);
     let alphabet = Alphabet::protein();
@@ -38,7 +42,9 @@ fn main() {
     );
 
     let timer = CellTimer::start(query.len() as u64 * db.total_residues() as u64);
-    let report = scenario1(&query, &db, threads, || Aligner::builder().matrix(blosum62()));
+    let report = scenario1(&query, &db, threads, || {
+        Aligner::builder().matrix(blosum62())
+    });
     let t = timer.stop();
 
     let best = &report.best_hits[0];

@@ -14,7 +14,7 @@ fn main() {
 
     // A "reference" and a read with one SNP and a 2-base deletion.
     let reference = b"ACGTTGCAACGGTTACGATCGATCGGCTAAGCTTAGCGT";
-    let read      = b"ACGTTGCAACGGTTACGATCGATCGGCTAAGCTTAGCGT"
+    let read = b"ACGTTGCAACGGTTACGATCGATCGGCTAAGCTTAGCGT"
         .iter()
         .copied()
         .enumerate()
@@ -43,12 +43,17 @@ fn main() {
         .traceback(true)
         .build();
     let g = global.align_ascii(&read, reference);
-    println!("global: score={} cigar={}", g.score, g.alignment.unwrap().cigar());
+    println!(
+        "global: score={} cigar={}",
+        g.score,
+        g.alignment.unwrap().cigar()
+    );
 
     // Banded local alignment: the Scenario-3 subroutine configuration.
     local.reset_stats();
     let banded = local.align_banded(&q, &t, 8);
-    println!("banded: score={} (width 8, {} cells vs {} full)",
+    println!(
+        "banded: score={} (width 8, {} cells vs {} full)",
         banded.score,
         local.stats().cells,
         q.len() * t.len(),

@@ -31,15 +31,23 @@ fn main() {
         }
     }
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let start = std::time::Instant::now();
     let matrix = pairwise_scores(&seqs, threads, || Aligner::builder().matrix(blosum62()));
     let secs = start.elapsed().as_secs_f64();
 
-    println!("pairwise SW scores ({} sequences, {} alignments, {:.1} ms):", seqs.len(),
-        seqs.len() * (seqs.len() + 1) / 2, secs * 1e3);
+    println!(
+        "pairwise SW scores ({} sequences, {} alignments, {:.1} ms):",
+        seqs.len(),
+        seqs.len() * (seqs.len() + 1) / 2,
+        secs * 1e3
+    );
     print!("      ");
-    for n in &names { print!("{n:>6}"); }
+    for n in &names {
+        print!("{n:>6}");
+    }
     println!();
     for (i, n) in names.iter().enumerate() {
         print!("{n:>6}");
@@ -56,8 +64,10 @@ fn main() {
     // one family.
     let order = tree.leaves();
     let first_four: Vec<&str> = order[..4].iter().map(|&i| names[i].as_str()).collect();
-    let fams: std::collections::HashSet<char> =
-        first_four.iter().map(|n| n.chars().next().unwrap()).collect();
+    let fams: std::collections::HashSet<char> = first_four
+        .iter()
+        .map(|n| n.chars().next().unwrap())
+        .collect();
     assert_eq!(fams.len(), 1, "family clade broken: {first_four:?}");
     println!("families cluster into clean clades ✓");
 }

@@ -45,14 +45,20 @@ fn render(query: &[u8], target: &[u8], aln: &swsimd::Alignment) -> (String, Stri
 fn main() {
     let alphabet = Alphabet::protein();
     let base = generate_exact(80, 0xD1CE);
-    let mut aligner = Aligner::builder().matrix(blosum62()).traceback(true).build();
+    let mut aligner = Aligner::builder()
+        .matrix(blosum62())
+        .traceback(true)
+        .build();
 
     for divergence in [0.0, 0.1, 0.3, 0.5] {
         let target = mutate(&base.seq, divergence, 42);
         let q = alphabet.encode(&base.seq);
         let t = alphabet.encode(&target);
         let r = aligner.align(&q, &t);
-        println!("== divergence {divergence:.1} | score {} | precision {:?}", r.score, r.precision_used);
+        println!(
+            "== divergence {divergence:.1} | score {} | precision {:?}",
+            r.score, r.precision_used
+        );
         if let Some(aln) = &r.alignment {
             println!("   cigar: {}", aln.cigar());
             let (top, mid, bot) = render(&base.seq, &target, aln);
@@ -63,7 +69,10 @@ fn main() {
                 println!("   T {}", &bot[off..end]);
             }
             // Sanity: the path must rescore to the reported score.
-            assert_eq!(aln.rescore(&q, &t, aligner.scoring(), aligner.gap_model()), r.score);
+            assert_eq!(
+                aln.rescore(&q, &t, aligner.scoring(), aligner.gap_model()),
+                r.score
+            );
         }
         println!();
     }

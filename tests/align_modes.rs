@@ -8,14 +8,21 @@ fn enc(s: &[u8]) -> Vec<u8> {
 }
 
 fn aligner(mode: AlignMode, traceback: bool) -> Aligner {
-    Aligner::builder().matrix(blosum62()).mode(mode).traceback(traceback).build()
+    Aligner::builder()
+        .matrix(blosum62())
+        .mode(mode)
+        .traceback(traceback)
+        .build()
 }
 
 #[test]
 fn global_pays_for_end_gaps_semiglobal_does_not() {
     let q = enc(b"ARNDC");
     let t = enc(b"ARNDCQEGHI");
-    let prefix: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+    let prefix: i32 = q
+        .iter()
+        .map(|&a| blosum62().score_by_index(a, a) as i32)
+        .sum();
 
     let g = aligner(AlignMode::Global, false).align(&q, &t);
     let s = aligner(AlignMode::SemiGlobal, false).align(&q, &t);
@@ -35,7 +42,12 @@ fn global_traceback_is_end_to_end() {
     assert_eq!((aln.query_start, aln.query_end), (0, q.len()));
     assert_eq!((aln.target_start, aln.target_end), (0, t.len()));
     assert_eq!(
-        aln.rescore(&q, &t, &swsimd::Scoring::matrix(blosum62()), swsimd::GapModel::default_affine()),
+        aln.rescore(
+            &q,
+            &t,
+            &swsimd::Scoring::matrix(blosum62()),
+            swsimd::GapModel::default_affine()
+        ),
         r.score
     );
 }
@@ -46,7 +58,10 @@ fn semiglobal_finds_query_inside_target() {
     let q = enc(core);
     let t = enc(&[b"AAAA".as_ref(), core, b"WWWW".as_ref()].concat());
     let r = aligner(AlignMode::SemiGlobal, true).align(&q, &t);
-    let want: i32 = q.iter().map(|&a| blosum62().score_by_index(a, a) as i32).sum();
+    let want: i32 = q
+        .iter()
+        .map(|&a| blosum62().score_by_index(a, a) as i32)
+        .sum();
     assert_eq!(r.score, want);
     let aln = r.alignment.unwrap();
     assert_eq!(aln.target_start, 4);
@@ -68,7 +83,10 @@ fn modes_agree_across_engines() {
                 .build();
             scores.push(a.align(&q, &t).score);
         }
-        assert!(scores.windows(2).all(|w| w[0] == w[1]), "{mode:?}: {scores:?}");
+        assert!(
+            scores.windows(2).all(|w| w[0] == w[1]),
+            "{mode:?}: {scores:?}"
+        );
     }
 }
 
@@ -77,7 +95,11 @@ fn global_can_be_negative() {
     let q = enc(b"WWWW");
     let t = enc(b"PPPP");
     let r = aligner(AlignMode::Global, false).align(&q, &t);
-    assert!(r.score < 0, "all-mismatch global score must be negative, got {}", r.score);
+    assert!(
+        r.score < 0,
+        "all-mismatch global score must be negative, got {}",
+        r.score
+    );
     // Local alignment of the same pair is 0.
     assert_eq!(aligner(AlignMode::Local, false).align(&q, &t).score, 0);
 }

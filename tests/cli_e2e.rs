@@ -16,7 +16,8 @@ fn write_fasta(name: &str, text: &str) -> std::path::PathBuf {
     path
 }
 
-const QUERY: &str = ">q1 kinase fragment\nMKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQ\n";
+const QUERY: &str =
+    ">q1 kinase fragment\nMKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQ\n";
 const DB: &str = "\
 >close homolog
 MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQAAAA
@@ -41,7 +42,11 @@ fn align_reports_scores_and_cigars() {
     let q = write_fasta("q.fa", QUERY);
     let d = write_fasta("d.fa", DB);
     let out = bin().arg("align").arg(&q).arg(&d).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("q1\tclose"), "{text}");
     assert!(text.contains("cigar=56M"), "{text}");
@@ -70,7 +75,13 @@ fn search_ranks_homolog_first() {
 fn global_mode_flag_changes_scores() {
     let q = write_fasta("q3.fa", QUERY);
     let d = write_fasta("d3.fa", DB);
-    let local = bin().arg("align").arg(&q).arg(&d).arg("--no-traceback").output().unwrap();
+    let local = bin()
+        .arg("align")
+        .arg(&q)
+        .arg(&d)
+        .arg("--no-traceback")
+        .output()
+        .unwrap();
     let global = bin()
         .arg("align")
         .arg(&q)
@@ -97,7 +108,10 @@ fn global_mode_flag_changes_scores() {
 fn bad_usage_fails_cleanly() {
     let out = bin().arg("align").arg("/nonexistent.fa").output().unwrap();
     assert!(!out.status.success());
-    let out = bin().args(["align", "/a.fa", "/b.fa", "--engine", "quantum"]).output().unwrap();
+    let out = bin()
+        .args(["align", "/a.fa", "/b.fa", "--engine", "quantum"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown engine"));
     let out = bin().arg("frobnicate").output().unwrap();
@@ -108,7 +122,13 @@ fn bad_usage_fails_cleanly() {
 fn matrix_selection_changes_results() {
     let q = write_fasta("q4.fa", QUERY);
     let d = write_fasta("d4.fa", DB);
-    let b62 = bin().arg("align").arg(&q).arg(&d).arg("--no-traceback").output().unwrap();
+    let b62 = bin()
+        .arg("align")
+        .arg(&q)
+        .arg(&d)
+        .arg("--no-traceback")
+        .output()
+        .unwrap();
     let p250 = bin()
         .arg("align")
         .arg(&q)

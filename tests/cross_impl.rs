@@ -4,9 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use swsimd::baselines::{
-    sw_diag_classic_i16, sw_scan_i16, sw_striped_i16, sw_striped_i32,
-};
+use swsimd::baselines::{sw_diag_classic_i16, sw_scan_i16, sw_striped_i16, sw_striped_i32};
 use swsimd::core::{diag_score, sw_scalar, KernelStats};
 use swsimd::matrices::{blosum45, blosum62, pam250, Alphabet};
 use swsimd::seq::{generate_database, SynthConfig};
@@ -78,7 +76,10 @@ fn baseline_32bit_handles_huge_scores() {
     let mut st = KernelStats::default();
     let r = sw_striped_i32(EngineKind::best(), &q, &q, &scoring, gaps, &mut st);
     assert_eq!(r.score, 44_000);
-    let mut a = Aligner::builder().matrix(blosum62()).precision(Precision::I32).build();
+    let mut a = Aligner::builder()
+        .matrix(blosum62())
+        .precision(Precision::I32)
+        .build();
     assert_eq!(a.align(&q, &q).score, 44_000);
 }
 
@@ -98,8 +99,10 @@ fn adaptive_equals_i32_on_mixed_magnitudes() {
             t
         };
         let mut adaptive = Aligner::builder().matrix(blosum62()).build();
-        let mut wide =
-            Aligner::builder().matrix(blosum62()).precision(Precision::I32).build();
+        let mut wide = Aligner::builder()
+            .matrix(blosum62())
+            .precision(Precision::I32)
+            .build();
         assert_eq!(
             adaptive.align(&q, &t).score,
             wide.align(&q, &t).score,

@@ -8,8 +8,14 @@ use swsimd::{Aligner, Precision};
 
 #[test]
 fn malformed_fasta_is_rejected_not_panicking() {
-    assert!(matches!(parse_fasta("ACGT\n"), Err(FastaError::DataBeforeHeader { .. })));
-    assert!(matches!(parse_fasta(">\nACGT\n"), Err(FastaError::EmptyHeader { .. })));
+    assert!(matches!(
+        parse_fasta("ACGT\n"),
+        Err(FastaError::DataBeforeHeader { .. })
+    ));
+    assert!(matches!(
+        parse_fasta(">\nACGT\n"),
+        Err(FastaError::EmptyHeader { .. })
+    ));
 }
 
 #[test]
@@ -61,7 +67,10 @@ fn pad_index_poisoning_is_total() {
 fn empty_and_single_residue_databases() {
     let alphabet = Alphabet::protein();
     let db = Database::from_records(
-        vec![SeqRecord::new("one", b"W".to_vec()), SeqRecord::new("empty", b"".to_vec())],
+        vec![
+            SeqRecord::new("one", b"W".to_vec()),
+            SeqRecord::new("empty", b"".to_vec()),
+        ],
         &alphabet,
     );
     let q = alphabet.encode(b"W");
@@ -76,7 +85,9 @@ fn empty_and_single_residue_databases() {
 fn batches_with_all_empty_sequences() {
     let alphabet = Alphabet::protein();
     let db = Database::from_records(
-        (0..5).map(|i| SeqRecord::new(format!("e{i}"), Vec::new())).collect(),
+        (0..5)
+            .map(|i| SeqRecord::new(format!("e{i}"), Vec::new()))
+            .collect(),
         &alphabet,
     );
     let batched = BatchedDatabase::build(&db, 16, true);
@@ -95,14 +106,20 @@ fn saturation_cascade_i8_to_i16_to_i32() {
     let r = a.align(&q, &q);
     assert_eq!(r.score, 44_000);
     assert_eq!(r.precision_used, Precision::I32);
-    assert!(a.stats().promotions >= 2, "expected two promotions, got {}", a.stats().promotions);
+    assert!(
+        a.stats().promotions >= 2,
+        "expected two promotions, got {}",
+        a.stats().promotions
+    );
 }
 
 #[test]
 fn zero_length_query_against_large_db() {
     let alphabet = Alphabet::protein();
     let db = Database::from_records(
-        (0..40).map(|i| SeqRecord::new(format!("s{i}"), vec![b'A'; 50])).collect(),
+        (0..40)
+            .map(|i| SeqRecord::new(format!("s{i}"), vec![b'A'; 50]))
+            .collect(),
         &alphabet,
     );
     let mut a = Aligner::new();
@@ -123,9 +140,194 @@ fn lowercase_and_mixed_case_sequences() {
 fn huge_top_k_is_clamped() {
     let alphabet = Alphabet::protein();
     let db = Database::from_records(
-        (0..7).map(|i| SeqRecord::new(format!("s{i}"), vec![b'A'; 10])).collect(),
+        (0..7)
+            .map(|i| SeqRecord::new(format!("s{i}"), vec![b'A'; 10]))
+            .collect(),
         &alphabet,
     );
     let mut a = Aligner::new();
     assert_eq!(a.search(&alphabet.encode(b"AAA"), &db, 10_000).len(), 7);
+}
+
+// ---------------------------------------------------------------------
+// server_faults: the fault-tolerant serving layer under injected
+// failures (FaultPlan), exercised end-to-end through the facade.
+// ---------------------------------------------------------------------
+mod server_faults {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use swsimd::matrices::{blosum62, Alphabet};
+    use swsimd::runner::{parallel_search, BatchServer, PoolConfig, ServerConfig};
+    use swsimd::seq::{generate_database, generate_exact, SynthConfig};
+    use swsimd::{AlignError, Aligner, FaultPlan, ServeError};
+
+    fn db(n: usize, seed: u64) -> swsimd::Database {
+        generate_database(&SynthConfig {
+            n_seqs: n,
+            seed,
+            median_len: 60.0,
+            max_len: 200,
+            ..Default::default()
+        })
+    }
+
+    fn enc(len: usize, seed: u64) -> Vec<u8> {
+        Alphabet::protein().encode(&generate_exact(len, seed).seq)
+    }
+
+    fn builder() -> swsimd::AlignerBuilder {
+        Aligner::builder().matrix(blosum62())
+    }
+
+    /// Acceptance criterion: a FaultPlan-injected worker panic during a
+    /// multi-partition parallel search still yields the exact, sorted
+    /// result set for ALL partitions, with the degradation counted.
+    #[test]
+    fn injected_partition_panic_keeps_parallel_search_exact() {
+        let db = db(64, 11);
+        let q = enc(70, 12);
+        let clean = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 4,
+                sort_batches: true,
+                ..Default::default()
+            },
+            builder,
+        );
+        let faulty = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 4,
+                sort_batches: true,
+                fault_plan: FaultPlan::new().panic_at(2, 1),
+            },
+            builder,
+        );
+        assert_eq!(faulty.hits, clean.hits, "degraded retry must stay exact");
+        assert_eq!(faulty.faults.worker_panics, 1);
+        assert_eq!(faulty.faults.degraded_batches, 1);
+        assert_eq!(faulty.faults.retries, 1);
+        assert!(!clean.faults.any());
+    }
+
+    #[test]
+    fn server_worker_panic_degrades_and_counts() {
+        let database = Arc::new(db(32, 13));
+        let q = enc(50, 14);
+        let mut direct = builder().build();
+        let want = direct.search(&q, &database, 4);
+
+        let server = BatchServer::start(
+            database.clone(),
+            ServerConfig {
+                fault_plan: FaultPlan::new().panic_at(0, 1),
+                ..Default::default()
+            },
+            builder,
+        );
+        let client = server.client();
+        let hits = client.query(q, 4).expect("degraded, not dead");
+        assert_eq!(hits, want);
+        let stats = server.shutdown();
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.degraded_batches, 1);
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn deadline_expiry_is_typed_and_bounded() {
+        let database = Arc::new(db(16, 15));
+        let server = BatchServer::start(
+            database,
+            ServerConfig {
+                batch_size: 1,
+                max_wait: Duration::from_millis(1),
+                fault_plan: FaultPlan::new().delay_at(0, Duration::from_millis(400)),
+                ..Default::default()
+            },
+            builder,
+        );
+        let client = server.client();
+        let start = Instant::now();
+        let r = client.query_with_deadline(enc(30, 16), 1, Duration::from_millis(40));
+        let elapsed = start.elapsed();
+        assert_eq!(r, Err(ServeError::DeadlineExceeded));
+        assert!(elapsed < Duration::from_millis(350), "took {elapsed:?}");
+        let stats = server.shutdown();
+        assert!(stats.timeouts >= 1);
+    }
+
+    #[test]
+    fn queue_full_sheds_with_typed_error() {
+        let database = Arc::new(db(16, 17));
+        let server = BatchServer::start(
+            database,
+            ServerConfig {
+                batch_size: 1,
+                max_wait: Duration::from_millis(1),
+                queue_depth: 1,
+                fault_plan: FaultPlan::new().delay_at(0, Duration::from_millis(120)),
+                ..Default::default()
+            },
+            builder,
+        );
+        let client = server.client();
+        let bg: Vec<_> = (0..3)
+            .map(|i| {
+                let c = client.clone();
+                std::thread::spawn(move || c.query(enc(20, 30 + i), 1))
+            })
+            .collect();
+        let mut shed = 0;
+        for i in 0..60 {
+            if client.try_query(enc(20, 60 + i), 1) == Err(ServeError::QueueFull) {
+                shed += 1;
+                break;
+            }
+        }
+        assert!(shed >= 1, "sustained load never shed");
+        for h in bg {
+            let _ = h.join().expect("client thread");
+        }
+        let stats = server.shutdown();
+        assert!(stats.shed >= 1);
+    }
+
+    #[test]
+    fn shutdown_while_inflight_drains_then_rejects() {
+        let database = Arc::new(db(24, 18));
+        let server = BatchServer::start(database, ServerConfig::default(), builder);
+        let client = server.client();
+        let inflight = {
+            let c = client.clone();
+            std::thread::spawn(move || c.query(enc(25, 19), 1))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        let stats = server.shutdown();
+        // The in-flight query was drained, not dropped.
+        let hits = inflight.join().expect("client thread").expect("drained");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(stats.queries, 1);
+        // Every entry point now reports ShutDown instead of panicking.
+        assert_eq!(client.query(enc(10, 20), 1), Err(ServeError::ShutDown));
+        assert_eq!(client.try_query(enc(10, 20), 1), Err(ServeError::ShutDown));
+    }
+
+    #[test]
+    fn invalid_query_is_a_structured_error() {
+        let database = Arc::new(db(8, 21));
+        let server = BatchServer::start(database, ServerConfig::default(), builder);
+        let client = server.client();
+        match client.query(vec![0, 1, 77], 1) {
+            Err(ServeError::InvalidQuery(AlignError::InvalidResidue { position, value })) => {
+                assert_eq!((position, value), (2, 77));
+            }
+            other => panic!("expected InvalidQuery, got {other:?}"),
+        }
+        let _ = server.shutdown();
+    }
 }

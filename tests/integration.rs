@@ -36,7 +36,9 @@ fn fasta_to_hits_pipeline() {
     // The full-length homolog (db|C) must beat the fragment (db|B),
     // which must beat the junk.
     let rank_of = |id: &str| {
-        hits.iter().position(|h| db.record(h.db_index).id == id).unwrap()
+        hits.iter()
+            .position(|h| db.record(h.db_index).id == id)
+            .unwrap()
     };
     assert_eq!(rank_of("db|C"), 0);
     assert_eq!(rank_of("db|B"), 1);
@@ -58,12 +60,18 @@ fn traceback_end_to_end() {
     let q = alphabet.encode(&records[0].seq);
     let t = alphabet.encode(&records[3].seq); // db|C
 
-    let mut aligner = Aligner::builder().matrix(blosum62()).traceback(true).build();
+    let mut aligner = Aligner::builder()
+        .matrix(blosum62())
+        .traceback(true)
+        .build();
     let r = aligner.align(&q, &t);
     let aln = r.alignment.expect("homologs must align");
     // Query aligns fully.
     assert_eq!(aln.query_end - aln.query_start, records[0].seq.len());
-    assert_eq!(aln.rescore(&q, &t, aligner.scoring(), aligner.gap_model()), r.score);
+    assert_eq!(
+        aln.rescore(&q, &t, aligner.scoring(), aligner.gap_model()),
+        r.score
+    );
     assert!(aln.cigar().ends_with('M'));
 }
 
@@ -77,7 +85,10 @@ fn engine_selection_is_consistent() {
         let mut a = Aligner::builder().matrix(blosum62()).engine(engine).build();
         scores.push(a.align(&q, &t).score);
     }
-    assert!(scores.windows(2).all(|w| w[0] == w[1]), "engines disagree: {scores:?}");
+    assert!(
+        scores.windows(2).all(|w| w[0] == w[1]),
+        "engines disagree: {scores:?}"
+    );
 }
 
 #[test]
@@ -86,7 +97,12 @@ fn precision_modes_agree_when_in_range() {
     let q = alphabet.encode(b"MKVLAADTWGHK");
     let t = alphabet.encode(b"MKVLAADTWGHK");
     let mut results = Vec::new();
-    for p in [Precision::I8, Precision::I16, Precision::I32, Precision::Adaptive] {
+    for p in [
+        Precision::I8,
+        Precision::I16,
+        Precision::I32,
+        Precision::Adaptive,
+    ] {
         let mut a = Aligner::builder().matrix(blosum62()).precision(p).build();
         results.push(a.align(&q, &t).score);
     }

@@ -1,10 +1,10 @@
 //! Property-based tests (proptest) on core invariants.
 
 use proptest::prelude::*;
+use swsimd::core::modes::sw_scalar_mode;
 use swsimd::core::{
     banded_score, diag_score, sw_scalar, sw_scalar_traceback, AlignMode, KernelStats,
 };
-use swsimd::core::modes::sw_scalar_mode;
 use swsimd::matrices::blosum62;
 use swsimd::{EngineKind, GapModel, GapPenalties, Precision, Scoring};
 

@@ -33,9 +33,27 @@ fn builder() -> swsimd::AlignerBuilder {
 fn thread_count_does_not_change_results() {
     let db = db(80, 1);
     let q = enc(90, 2);
-    let reference = parallel_search(&q, &db, &PoolConfig { threads: 1, sort_batches: true }, builder);
+    let reference = parallel_search(
+        &q,
+        &db,
+        &PoolConfig {
+            threads: 1,
+            sort_batches: true,
+            ..PoolConfig::default()
+        },
+        builder,
+    );
     for threads in [2, 4, 8] {
-        let out = parallel_search(&q, &db, &PoolConfig { threads, sort_batches: true }, builder);
+        let out = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads,
+                sort_batches: true,
+                ..PoolConfig::default()
+            },
+            builder,
+        );
         assert_eq!(out.hits, reference.hits, "threads={threads}");
     }
 }
@@ -57,7 +75,11 @@ fn server_matches_direct_search_under_concurrency() {
     let database = Arc::new(db(40, 5));
     let server = BatchServer::start(
         database.clone(),
-        ServerConfig { batch_size: 4, max_wait: Duration::from_millis(50) },
+        ServerConfig {
+            batch_size: 4,
+            max_wait: Duration::from_millis(50),
+            ..Default::default()
+        },
         builder,
     );
     let client = server.client();
@@ -68,7 +90,7 @@ fn server_matches_direct_search_under_concurrency() {
         let mut handles = Vec::new();
         for q in &queries {
             let c = client.clone();
-            handles.push(scope.spawn(move || c.query(q.clone(), 5)));
+            handles.push(scope.spawn(move || c.query(q.clone(), 5).expect("server is up")));
         }
         for h in handles {
             server_results.push(h.join().unwrap());
@@ -89,7 +111,10 @@ fn scenario_reports_count_cells() {
     let db = db(20, 7);
     let q = enc(30, 8);
     let r = scenario1(&q, &db, 1, builder);
-    assert_eq!(r.throughput.cells, q.len() as u64 * db.total_residues() as u64);
+    assert_eq!(
+        r.throughput.cells,
+        q.len() as u64 * db.total_residues() as u64
+    );
     assert!(r.throughput.seconds > 0.0);
 }
 
@@ -97,6 +122,15 @@ fn scenario_reports_count_cells() {
 fn empty_database_yields_no_hits() {
     let empty = swsimd::Database::from_records(Vec::new(), &Alphabet::protein());
     let q = enc(20, 9);
-    let out = parallel_search(&q, &empty, &PoolConfig { threads: 2, sort_batches: true }, builder);
+    let out = parallel_search(
+        &q,
+        &empty,
+        &PoolConfig {
+            threads: 2,
+            sort_batches: true,
+            ..PoolConfig::default()
+        },
+        builder,
+    );
     assert!(out.hits.is_empty());
 }
