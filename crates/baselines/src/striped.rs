@@ -31,6 +31,36 @@ fn gap_pair(gaps: GapModel) -> (i32, i32) {
     }
 }
 
+/// Open the per-call tracing span for a striped run ("variant" tells
+/// it apart from the diagonal kernel's spans).
+fn striped_span(
+    engine: EngineKind,
+    precision: &'static str,
+    stats: &KernelStats,
+) -> (swsimd_obs::Span, u64) {
+    let sp = swsimd_obs::span!(
+        "kernel",
+        "variant" => "striped",
+        "isa" => engine.name(),
+        "precision" => precision,
+    );
+    (sp, stats.correction_loops)
+}
+
+/// Attach correction-loop and outcome attributes on kernel exit.
+fn finish_striped_span(
+    sp: &mut swsimd_obs::Span,
+    stats: &KernelStats,
+    loops0: u64,
+    out: BaselineOut,
+) {
+    if sp.active() {
+        sp.record("correction_loops", stats.correction_loops - loops0);
+        sp.record("score", i64::from(out.score));
+        sp.record("saturated", out.saturated);
+    }
+}
+
 /// Build a striped profile matching vector type `V` for an encoded query.
 pub fn build_profile<V: SimdVec>(query: &[u8], scoring: &Scoring) -> StripedProfile<V::Elem>
 where
@@ -89,6 +119,9 @@ where
     let mut h_store = vec![vzero; seglen];
     let mut h_load = vec![vzero; seglen];
     let mut e_arr = vec![vneg; seglen];
+    // Per-segment F from the previous correction pass, used by the
+    // lazy-F fixpoint test below.
+    let mut f_arr = vec![vneg; seglen];
     let mut vmax = vzero;
 
     for &tres in target.iter() {
@@ -110,6 +143,7 @@ where
             let vh_gap = vh.subs(vgo);
             e_arr[i] = ve.subs(vge).max(vh_gap);
             vf = vf.subs(vge).max(vh_gap);
+            f_arr[i] = vf;
             vh = h_load[i];
             stats.vector_loads += 2;
             stats.vector_stores += 2;
@@ -120,22 +154,28 @@ where
 
         // Lazy-F: repair the speculatively-ignored vertical dependency.
         // Each outer pass shifts F across the lane boundary; the loop
-        // exits as soon as F can no longer improve any H — the
-        // data-dependent iteration count the paper calls out.
-        // Farrar's published exit (`!any(F > H - open)`) drops a live
-        // carry when `open == extend` and the final check lands on a
-        // just-raised cell — one of the lazy-F fragilities Snytsar
-        // (paper ref. [29]) documents. This port uses the robust
-        // variant: F is regenerated from the repaired H inside the
-        // loop and a pass that improves nothing is a fixpoint.
+        // exits at a fixpoint — the data-dependent iteration count the
+        // paper calls out.
+        //
+        // The fixpoint test must cover F, not just H: a gap chain can
+        // pass *under* higher H values (F decaying without raising any
+        // cell) and only surface an improvement several lanes later, so
+        // "a pass that improved no H" is not a fixpoint — breaking
+        // there under-scores by the tail of the dropped chain.
+        // (Farrar's published exit has the same class of fragility when
+        // `open == extend` — Snytsar, paper ref. [29].) A pass that
+        // changes neither H nor any segment's F *is* a fixpoint: the
+        // next pass would see identical inputs. Because lane 0's
+        // incoming carry is always NEG_INF, lane k stabilizes by pass
+        // k+1, so `lanes` passes always suffice.
         for _ in 0..lanes {
             stats.correction_loops += 1;
             vf = vf.shift_in_first(V::Elem::NEG_INF);
-            let mut improved = false;
+            let mut live = false;
             for i in 0..seglen {
                 let vh_old = h_store[i];
                 if V::any(vf.cmpgt(vh_old)) {
-                    improved = true;
+                    live = true;
                 }
                 let vh_new = vh_old.max(vf);
                 h_store[i] = vh_new;
@@ -143,8 +183,12 @@ where
                 // E must also see the repaired H for the next column.
                 e_arr[i] = e_arr[i].max(vh_new.subs(vgo));
                 vf = vf.subs(vge).max(vh_new.subs(vgo));
+                if V::any(vf.cmpgt(f_arr[i])) {
+                    live = true;
+                }
+                f_arr[i] = vf;
             }
-            if !improved {
+            if !live {
                 break;
             }
         }
@@ -213,8 +257,9 @@ pub fn sw_striped_i16(
     } else {
         EngineKind::Scalar
     };
+    let (mut sp, loops0) = striped_span(engine, "i16", stats);
     // SAFETY: availability checked above.
-    unsafe {
+    let out = unsafe {
         match engine {
             EngineKind::Scalar => {
                 let p = build_profile::<<swsimd_simd::Scalar as SimdEngine>::V16>(query, scoring);
@@ -241,7 +286,9 @@ pub fn sw_striped_i16(
                 scalar_w::w16(&p, target, gaps, stats)
             }
         }
-    }
+    };
+    finish_striped_span(&mut sp, stats, loops0, out);
+    out
 }
 
 /// Striped Smith-Waterman at 8-bit lanes (saturating; check
@@ -259,8 +306,9 @@ pub fn sw_striped_i8(
     } else {
         EngineKind::Scalar
     };
+    let (mut sp, loops0) = striped_span(engine, "i8", stats);
     // SAFETY: availability checked above.
-    unsafe {
+    let out = unsafe {
         match engine {
             EngineKind::Scalar => {
                 let p = build_profile::<<swsimd_simd::Scalar as SimdEngine>::V8>(query, scoring);
@@ -287,7 +335,9 @@ pub fn sw_striped_i8(
                 scalar_w::w8(&p, target, gaps, stats)
             }
         }
-    }
+    };
+    finish_striped_span(&mut sp, stats, loops0, out);
+    out
 }
 
 /// Striped Smith-Waterman at 32-bit lanes (never saturates in practice).
@@ -304,8 +354,9 @@ pub fn sw_striped_i32(
     } else {
         EngineKind::Scalar
     };
+    let (mut sp, loops0) = striped_span(engine, "i32", stats);
     // SAFETY: availability checked above.
-    unsafe {
+    let out = unsafe {
         match engine {
             EngineKind::Scalar => {
                 let p = build_profile::<<swsimd_simd::Scalar as SimdEngine>::V32>(query, scoring);
@@ -332,7 +383,9 @@ pub fn sw_striped_i32(
                 scalar_w::w32(&p, target, gaps, stats)
             }
         }
-    }
+    };
+    finish_striped_span(&mut sp, stats, loops0, out);
+    out
 }
 
 /// Profile-reusing entry points: Parasail builds the striped query
@@ -356,10 +409,11 @@ pub mod with_profile {
                 } else {
                     EngineKind::Scalar
                 };
+                let (mut sp, loops0) = striped_span(engine, stringify!($elem), stats);
                 // SAFETY: availability checked above; the profile's lane
                 // count is validated against the engine inside the kernel
                 // via the slice loads.
-                unsafe {
+                let out = unsafe {
                     match engine {
                         EngineKind::Scalar => scalar_w::$wfn(profile, target, gaps, stats),
                         #[cfg(target_arch = "x86_64")]
@@ -371,7 +425,9 @@ pub mod with_profile {
                         #[cfg(not(target_arch = "x86_64"))]
                         _ => scalar_w::$wfn(profile, target, gaps, stats),
                     }
-                }
+                };
+                finish_striped_span(&mut sp, stats, loops0, out);
+                out
             }
         };
     }

@@ -6,6 +6,13 @@ use swsimd_bench::{
 };
 
 fn main() {
+    // Surface tracer events (e.g. figure_record_write_failed) on
+    // stderr; spans stay silent unless SWSIMD_TRACE asks for them.
+    if std::env::var_os("SWSIMD_TRACE").is_some() {
+        swsimd_obs::set_sink(Some(std::sync::Arc::new(swsimd_obs::StderrSink)));
+    } else {
+        swsimd_obs::set_sink(Some(std::sync::Arc::new(ErrorsOnlySink)));
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--quick") {
         Scale::Quick
@@ -81,4 +88,20 @@ fn main() {
 fn print_json(title: &str, v: &serde_json::Value) {
     println!("== {title} ==");
     println!("{}\n", serde_json::to_string_pretty(v).unwrap());
+}
+
+/// Forwards only failure-ish instant events to stderr, so a figure
+/// run stays quiet unless something went wrong.
+struct ErrorsOnlySink;
+
+impl swsimd_obs::Sink for ErrorsOnlySink {
+    fn record(&self, event: &swsimd_obs::Event) {
+        if event.kind == swsimd_obs::EventKind::Instant
+            && (event.name.ends_with("_failed")
+                || event.name.contains("panic")
+                || event.name.contains("degraded"))
+        {
+            eprintln!("[obs] {event}");
+        }
+    }
 }

@@ -1,0 +1,165 @@
+//! Observability overhead gate: proves that tracing instrumentation,
+//! in its disabled state, costs less than 1% of hot-kernel runtime.
+//!
+//! ```text
+//! cargo run -p swsimd-bench --release --bin obs_overhead [-- --smoke]
+//! cargo run -p swsimd-bench --release --bin obs_overhead \
+//!     --no-default-features [-- --smoke]   # tracing compiled out
+//! ```
+//!
+//! The shipped configuration compiles the `trace` feature in but
+//! installs no sink, so every `span!`/`event!` reduces to one relaxed
+//! atomic load. Instrumentation only happens at kernel *call*
+//! boundaries (never per cell or per diagonal), so the per-call cost
+//! model is: a query's worth of disabled span/event constructions
+//! versus one kernel call's runtime. The gate fails (exit 1) if that
+//! ratio reaches 1%, or if enabling a counting sink disturbs scores.
+//!
+//! `--smoke` shrinks the measurement budgets for CI.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use swsimd_bench::timing::{gcups, time_per_call};
+use swsimd_core::{diag_score, KernelStats, Precision};
+use swsimd_matrices::{blosum62, Alphabet};
+use swsimd_seq::generate_exact;
+use swsimd_simd::EngineKind;
+
+/// Sink that only counts deliveries (the cheapest possible consumer).
+struct CountingSink(AtomicU64);
+
+impl swsimd_obs::Sink for CountingSink {
+    fn record(&self, _event: &swsimd_obs::Event) {
+        self.0.fetch_add(1, Relaxed);
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let budget_ms: u64 = if smoke { 40 } else { 400 };
+
+    let alphabet = Alphabet::protein();
+    let q = alphabet.encode(&generate_exact(400, 11).seq);
+    let t = alphabet.encode(&generate_exact(400, 12).seq);
+    let scoring = swsimd_core::Scoring::matrix(blosum62());
+    let gaps = swsimd_core::GapModel::default_affine();
+    let engine = EngineKind::best();
+    let cells = (q.len() * t.len()) as u64;
+
+    println!(
+        "obs_overhead: engine={} trace_compiled={} budget={budget_ms}ms",
+        engine.name(),
+        swsimd_obs::trace::compiled(),
+    );
+
+    // 1. Hot kernel, shipped configuration (no sink installed).
+    let mut stats = KernelStats::default();
+    let kernel_secs = time_per_call(
+        || {
+            let out = diag_score(
+                engine,
+                Precision::I16,
+                &q,
+                &t,
+                &scoring,
+                gaps,
+                8,
+                &mut stats,
+            );
+            std::hint::black_box(out.score);
+        },
+        budget_ms,
+    );
+    println!(
+        "  kernel (tracing disabled): {:.3} us/call, {:.2} GCUPS",
+        kernel_secs * 1e6,
+        gcups(cells, kernel_secs)
+    );
+
+    // 2. The instrumentation a traced query adds per kernel call:
+    //    the spans (query/dispatch/kernel/traceback) plus a generous
+    //    allowance of instant events, all in the disabled state.
+    const SPANS_PER_CALL: usize = 4;
+    const EVENTS_PER_CALL: usize = 8;
+    let probe_secs = time_per_call(
+        || {
+            for _ in 0..SPANS_PER_CALL {
+                let mut sp = swsimd_obs::span!(
+                    "kernel",
+                    "isa" => engine.name(),
+                    "precision" => "i16",
+                    "mode" => "score",
+                );
+                sp.record("cells", cells);
+                std::hint::black_box(&sp);
+            }
+            for _ in 0..EVENTS_PER_CALL {
+                swsimd_obs::event!("precision_escalation", "from" => "i8", "to" => "i16");
+            }
+        },
+        budget_ms.min(50),
+    );
+    let overhead = probe_secs / kernel_secs;
+    println!(
+        "  disabled instrumentation: {:.1} ns per traced call ({:.4}% of kernel)",
+        probe_secs * 1e9,
+        overhead * 100.0
+    );
+
+    // 3. Informational: the same kernel with a counting sink installed
+    //    (the cost ceiling a subscriber pays; not gated).
+    let sink = Arc::new(CountingSink(AtomicU64::new(0)));
+    swsimd_obs::set_sink(Some(sink.clone()));
+    let mut traced_stats = KernelStats::default();
+    let baseline = diag_score(
+        engine,
+        Precision::I16,
+        &q,
+        &t,
+        &scoring,
+        gaps,
+        8,
+        &mut stats,
+    )
+    .score;
+    let traced_secs = time_per_call(
+        || {
+            let out = diag_score(
+                engine,
+                Precision::I16,
+                &q,
+                &t,
+                &scoring,
+                gaps,
+                8,
+                &mut traced_stats,
+            );
+            assert_eq!(out.score, baseline, "tracing must not perturb scores");
+        },
+        budget_ms,
+    );
+    swsimd_obs::set_sink(None);
+    println!(
+        "  kernel (counting sink):    {:.3} us/call, {:.2} GCUPS, {} events",
+        traced_secs * 1e6,
+        gcups(cells, traced_secs),
+        sink.0.load(Relaxed)
+    );
+
+    let limit = 0.01;
+    if overhead < limit {
+        println!(
+            "PASS: disabled-tracing overhead {:.4}% < {:.0}%",
+            overhead * 100.0,
+            limit * 100.0
+        );
+    } else {
+        println!(
+            "FAIL: disabled-tracing overhead {:.4}% >= {:.0}%",
+            overhead * 100.0,
+            limit * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -972,7 +972,13 @@ fn finish(fig: &'static str, title: &'static str, scale: Scale, series: &Value) 
     };
     match write_record(&rec) {
         Ok(path) => println!("[{fig}] {title} -> {}", path.display()),
-        Err(e) => eprintln!("[{fig}] could not write record: {e}"),
+        Err(e) => {
+            swsimd_obs::event!(
+                "figure_record_write_failed",
+                "figure" => fig,
+                "error" => e.to_string(),
+            );
+        }
     }
 }
 

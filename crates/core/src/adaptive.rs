@@ -58,6 +58,12 @@ pub fn adaptive_score(
         return (r8.score, Precision::I8);
     }
     stats.promotions += 1;
+    swsimd_obs::event!(
+        "precision_escalation",
+        "from" => Precision::I8.name(),
+        "to" => Precision::I16.name(),
+        "reason" => "saturated",
+    );
     let r16 = diag_score(
         engine,
         Precision::I16,
@@ -72,6 +78,12 @@ pub fn adaptive_score(
         return (r16.score, Precision::I16);
     }
     stats.promotions += 1;
+    swsimd_obs::event!(
+        "precision_escalation",
+        "from" => Precision::I16.name(),
+        "to" => Precision::I32.name(),
+        "reason" => "saturated",
+    );
     let r32 = diag_score(
         engine,
         Precision::I32,
@@ -107,6 +119,12 @@ pub fn adaptive_traceback(
     for (k, &p) in order.iter().enumerate() {
         if k > 0 {
             stats.promotions += 1;
+            swsimd_obs::event!(
+                "precision_escalation",
+                "from" => order[k - 1].name(),
+                "to" => p.name(),
+                "reason" => "saturated",
+            );
         }
         let r = diag_traceback(
             engine,

@@ -257,6 +257,22 @@ impl Aligner {
     }
 
     fn align_clean(&mut self, query: &[u8], target: &[u8]) -> AlignResult {
+        let mut sp = swsimd_obs::span!(
+            "query",
+            "qlen" => query.len(),
+            "tlen" => target.len(),
+            "traceback" => self.traceback,
+            "precision" => self.precision.name(),
+        );
+        let result = self.align_clean_traced(query, target);
+        if sp.active() {
+            sp.record("score", i64::from(result.score));
+            sp.record("precision_used", result.precision_used.name());
+        }
+        result
+    }
+
+    fn align_clean_traced(&mut self, query: &[u8], target: &[u8]) -> AlignResult {
         if self.mode != AlignMode::Local {
             return self.align_mode(query, target);
         }
@@ -382,15 +398,26 @@ impl Aligner {
         );
         let query = &*self.sanitize(query);
         let target = &*self.sanitize(target);
+        swsimd_obs::event!(
+            "band_decision",
+            "width" => width,
+            "qlen" => query.len(),
+            "tlen" => target.len(),
+            "precision" => self.precision.name(),
+        );
         let (score, prec) = match self.precision {
             Precision::Adaptive => {
                 let mut out = None;
-                for (k, p) in [Precision::I8, Precision::I16, Precision::I32]
-                    .into_iter()
-                    .enumerate()
-                {
+                let ladder = [Precision::I8, Precision::I16, Precision::I32];
+                for (k, p) in ladder.into_iter().enumerate() {
                     if k > 0 {
                         self.stats.promotions += 1;
+                        swsimd_obs::event!(
+                            "precision_escalation",
+                            "from" => ladder[k - 1].name(),
+                            "to" => p.name(),
+                            "reason" => "saturated",
+                        );
                     }
                     let r = crate::banded::banded_score(
                         self.engine,
@@ -413,6 +440,7 @@ impl Aligner {
                 // input shape, so the (unreachable) None case degrades
                 // to the scalar reference band, which is i32-exact.
                 out.unwrap_or_else(|| {
+                    swsimd_obs::event!("band_scalar_fallback", "width" => width);
                     (
                         crate::banded::sw_banded_scalar(
                             query,
@@ -505,6 +533,13 @@ impl Aligner {
                     let target = &db.encoded(ls.db_index as usize).idx;
                     let prec = minimal_safe_precision(query.len(), target.len(), &self.scoring)
                         .max_with_i16();
+                    swsimd_obs::event!(
+                        "precision_escalation",
+                        "from" => Precision::I8.name(),
+                        "to" => prec.name(),
+                        "reason" => "batch_lane_saturated",
+                        "db_index" => ls.db_index as u64,
+                    );
                     let r = diag_score(
                         self.engine,
                         prec,

@@ -72,8 +72,54 @@ fn check_engine(engine: EngineKind) -> EngineKind {
     if engine.is_available() {
         engine
     } else {
+        swsimd_obs::event!(
+            "engine_unavailable",
+            "requested" => engine.name(),
+            "fallback" => EngineKind::Scalar.name(),
+        );
         EngineKind::Scalar
     }
+}
+
+/// Open the per-call "kernel" span and snapshot the stats counters the
+/// exit attributes are computed from.
+fn kernel_span(
+    engine: EngineKind,
+    precision: Precision,
+    mode: &'static str,
+    stats: &KernelStats,
+) -> (swsimd_obs::Span, u64, u64, u64) {
+    let sp = swsimd_obs::span!(
+        "kernel",
+        "isa" => engine.name(),
+        "precision" => precision.name(),
+        "mode" => mode,
+    );
+    (sp, stats.cells, stats.vector_lane_slots, stats.padded_lanes)
+}
+
+/// Attach the lane-utilization attributes from the stats deltas this
+/// kernel call produced.
+fn finish_kernel_span(
+    sp: &mut swsimd_obs::Span,
+    stats: &KernelStats,
+    (cells0, slots0, padded0): (u64, u64, u64),
+    score: i32,
+    saturated: bool,
+) {
+    if !sp.active() {
+        return;
+    }
+    let slots = stats.vector_lane_slots - slots0;
+    let padded = stats.padded_lanes - padded0;
+    sp.record("cells", stats.cells - cells0);
+    sp.record("lane_slots", slots);
+    sp.record("padded_lanes", padded);
+    if slots > 0 {
+        sp.record("lane_utilization", 1.0 - padded as f64 / slots as f64);
+    }
+    sp.record("score", i64::from(score));
+    sp.record("saturated", saturated);
 }
 
 /// Width for a fixed (non-adaptive) precision.
@@ -100,12 +146,19 @@ pub fn diag_score(
     scalar_threshold: usize,
     stats: &mut KernelStats,
 ) -> ScoreOut {
+    let _dispatch = swsimd_obs::span!(
+        "dispatch",
+        "engine" => engine.name(),
+        "qlen" => query.len(),
+        "tlen" => target.len(),
+    );
     let engine = check_engine(engine);
-    let a: Args = (query, target, scoring, gaps, scalar_threshold, stats);
     let p = fixed_width(precision);
+    let (mut sp, c0, s0, p0) = kernel_span(engine, p, "score", stats);
+    let a: Args = (query, target, scoring, gaps, scalar_threshold, &mut *stats);
     // SAFETY: the engine was availability-checked above; wrappers only
     // require their ISA to be present.
-    unsafe {
+    let out = unsafe {
         match (engine, p) {
             (EngineKind::Scalar, Precision::I8) => scalar::score_w8(a),
             (EngineKind::Scalar, Precision::I16) => scalar::score_w16(a),
@@ -131,7 +184,9 @@ pub fn diag_score(
             #[cfg(not(target_arch = "x86_64"))]
             _ => scalar::score_w32(a),
         }
-    }
+    };
+    finish_kernel_span(&mut sp, stats, (c0, s0, p0), out.score, out.saturated);
+    out
 }
 
 /// Run the traceback diagonal kernel on a chosen engine and precision.
@@ -145,11 +200,18 @@ pub fn diag_traceback(
     scalar_threshold: usize,
     stats: &mut KernelStats,
 ) -> TbOut {
+    let _dispatch = swsimd_obs::span!(
+        "dispatch",
+        "engine" => engine.name(),
+        "qlen" => query.len(),
+        "tlen" => target.len(),
+    );
     let engine = check_engine(engine);
-    let a: Args = (query, target, scoring, gaps, scalar_threshold, stats);
     let p = fixed_width(precision);
+    let (mut sp, c0, s0, p0) = kernel_span(engine, p, "traceback", stats);
+    let a: Args = (query, target, scoring, gaps, scalar_threshold, &mut *stats);
     // SAFETY: as in `diag_score`.
-    unsafe {
+    let out = unsafe {
         match (engine, p) {
             (EngineKind::Scalar, Precision::I8) => scalar::tb_w8(a),
             (EngineKind::Scalar, Precision::I16) => scalar::tb_w16(a),
@@ -175,5 +237,7 @@ pub fn diag_traceback(
             #[cfg(not(target_arch = "x86_64"))]
             _ => scalar::tb_w32(a),
         }
-    }
+    };
+    finish_kernel_span(&mut sp, stats, (c0, s0, p0), out.score, out.saturated);
+    out
 }

@@ -339,7 +339,16 @@ pub(crate) fn sw_diag_tb<En: SimdEngine, W: KernelWidth<En>>(
     }
 
     let saturated = Elem::<En, W>::BITS < 32 && best >= Elem::<En, W>::MAX.to_i32();
-    let alignment = (best > 0 && !saturated).then(|| walk_diag(&dirs, best_cell.0, best_cell.1));
+    let alignment = (best > 0 && !saturated).then(|| {
+        let mut sp = swsimd_obs::span!(
+            "traceback",
+            "end_i" => best_cell.0,
+            "end_j" => best_cell.1,
+        );
+        let aln = walk_diag(&dirs, best_cell.0, best_cell.1);
+        sp.record("ops", aln.ops.len());
+        aln
+    });
     TbOut {
         score: best,
         saturated,

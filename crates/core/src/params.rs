@@ -146,6 +146,18 @@ pub enum Precision {
     Adaptive,
 }
 
+impl Precision {
+    /// Stable short name, used as a tracing/metrics label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::I8 => "i8",
+            Precision::I16 => "i16",
+            Precision::I32 => "i32",
+            Precision::Adaptive => "adaptive",
+        }
+    }
+}
+
 /// One alignment move for traceback paths.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Op {

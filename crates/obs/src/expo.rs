@@ -1,0 +1,238 @@
+//! Prometheus text format and JSON snapshot rendering.
+//!
+//! Histograms are exposed as Prometheus *summaries* (pre-computed
+//! p50/p95/p99 quantiles plus `_sum`/`_count`) rather than bucketed
+//! histograms: the log-linear buckets are an internal representation,
+//! and quantiles are what the health line and dashboards consume.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::registry::{Family, LabelSet, Metric};
+
+/// Escape a label value per the Prometheus text format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render `{k="v",...}` (empty string for an empty label set).
+fn label_block(labels: &LabelSet, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Format a float without trailing noise (`3` not `3.0000000`).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+pub(crate) fn prometheus_text(families: &BTreeMap<String, Family>) -> String {
+    let mut out = String::new();
+    for (name, family) in families {
+        if !family.help.is_empty() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+        }
+        let kind = match family.series.values().next() {
+            Some(Metric::Counter(_)) => "counter",
+            Some(Metric::Gauge(_)) => "gauge",
+            Some(Metric::Histogram(_)) => "summary",
+            None => continue,
+        };
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (labels, metric) in &family.series {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name}{} {}", label_block(labels, None), c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{} {}", label_block(labels, None), g.get());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let scale = family.scale;
+                    for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            label_block(labels, Some(("quantile", q))),
+                            fmt_f64(v as f64 * scale)
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        label_block(labels, None),
+                        fmt_f64(s.sum as f64 * scale)
+                    );
+                    let _ = writeln!(out, "{name}_count{} {}", label_block(labels, None), s.count);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Escape a string for embedding in a JSON document.
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &LabelSet) -> String {
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+pub(crate) fn json(families: &BTreeMap<String, Family>) -> String {
+    let mut out = String::from("{");
+    let mut first_family = true;
+    for (name, family) in families {
+        if !first_family {
+            out.push(',');
+        }
+        first_family = false;
+        let _ = write!(out, "\"{}\":[", escape_json(name));
+        let mut first_series = true;
+        for (labels, metric) in &family.series {
+            if !first_series {
+                out.push(',');
+            }
+            first_series = false;
+            let labels = json_labels(labels);
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(
+                        out,
+                        "{{\"labels\":{labels},\"type\":\"counter\",\"value\":{}}}",
+                        c.get()
+                    );
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(
+                        out,
+                        "{{\"labels\":{labels},\"type\":\"gauge\",\"value\":{}}}",
+                        g.get()
+                    );
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let scale = family.scale;
+                    let _ = write!(
+                        out,
+                        concat!(
+                            "{{\"labels\":{},\"type\":\"summary\",\"count\":{},",
+                            "\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},",
+                            "\"p50\":{},\"p95\":{},\"p99\":{}}}"
+                        ),
+                        labels,
+                        s.count,
+                        fmt_f64(s.sum as f64 * scale),
+                        fmt_f64(s.min as f64 * scale),
+                        fmt_f64(s.max as f64 * scale),
+                        fmt_f64(s.mean * scale),
+                        fmt_f64(s.p50 as f64 * scale),
+                        fmt_f64(s.p95 as f64 * scale),
+                        fmt_f64(s.p99 as f64 * scale),
+                    );
+                }
+            }
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn prometheus_golden() {
+        let r = Registry::new();
+        r.counter(
+            "swsimd_queries_total",
+            "Queries served",
+            &[("scenario", "s1")],
+        )
+        .add(5);
+        r.gauge("swsimd_queue_depth", "Jobs queued", &[]).set(3);
+        let h = r.histogram("swsimd_latency", "Query latency", &[("scenario", "s1")]);
+        for v in 1..=20u64 {
+            h.record(v);
+        }
+        let text = r.prometheus_text();
+        let expected = "\
+# HELP swsimd_latency Query latency
+# TYPE swsimd_latency summary
+swsimd_latency{scenario=\"s1\",quantile=\"0.5\"} 10
+swsimd_latency{scenario=\"s1\",quantile=\"0.95\"} 19
+swsimd_latency{scenario=\"s1\",quantile=\"0.99\"} 20
+swsimd_latency_sum{scenario=\"s1\"} 210
+swsimd_latency_count{scenario=\"s1\"} 20
+# HELP swsimd_queries_total Queries served
+# TYPE swsimd_queries_total counter
+swsimd_queries_total{scenario=\"s1\"} 5
+# HELP swsimd_queue_depth Jobs queued
+# TYPE swsimd_queue_depth gauge
+swsimd_queue_depth 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let r = Registry::new();
+        r.counter("c", "", &[("k", "v\"q")]).inc();
+        let h = r.histogram_scaled("lat", "", 1e-9, &[]);
+        h.record(2_000_000_000);
+        let json = r.json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json
+            .contains("\"c\":[{\"labels\":{\"k\":\"v\\\"q\"},\"type\":\"counter\",\"value\":1}"));
+        assert!(json.contains("\"type\":\"summary\""));
+        assert!(json.contains("\"count\":1"));
+        // 2s recorded in ns, scaled to seconds: within bucket error of 2.
+        assert!(json.contains("\"max\":2"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        let r = Registry::new();
+        r.counter("m", "", &[("path", "a\\b\"c\nd")]).inc();
+        let text = r.prometheus_text();
+        assert!(text.contains("m{path=\"a\\\\b\\\"c\\nd\"} 1"));
+    }
+}

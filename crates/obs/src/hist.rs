@@ -1,0 +1,263 @@
+//! Lock-free HDR-style log-linear histograms.
+//!
+//! Layout: values below 32 get one bucket each (exact); every octave
+//! above that is split into 32 linear sub-buckets, bounding relative
+//! error at ~3% (1/32). A `u64` value therefore maps to one of
+//! `BUCKETS` `AtomicU64` slots, and recording is a single relaxed
+//! `fetch_add` — no locks, safe from any thread, cheap enough for the
+//! per-query serving path.
+//!
+//! Percentiles are computed from a snapshot of the buckets, so a
+//! scrape never blocks recorders.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// log2 of the number of sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (32 → ~3% relative error).
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: 32 exact buckets + 59 octaves × 32 sub-buckets
+/// covers the full `u64` range.
+const BUCKETS: usize = (SUB as usize) * 60;
+
+/// Map a value to its bucket index.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros(); // position of highest set bit, >= SUB_BITS
+        let k = (top - SUB_BITS + 1) as u64; // octave number, >= 1
+        let sub = (v >> (k - 1)) & (SUB - 1);
+        (k * SUB + sub) as usize
+    }
+}
+
+/// Lowest value mapping to bucket `i` (inverse of [`bucket_index`]).
+fn bucket_lo(i: usize) -> u64 {
+    let i = i as u64;
+    let k = i / SUB;
+    let sub = i % SUB;
+    if k == 0 {
+        sub
+    } else {
+        (SUB + sub) << (k - 1)
+    }
+}
+
+/// Representative (midpoint) value for bucket `i`, used when reading
+/// percentiles back out.
+fn bucket_mid(i: usize) -> u64 {
+    let lo = bucket_lo(i);
+    if i + 1 >= BUCKETS {
+        return lo;
+    }
+    let hi = bucket_lo(i + 1); // exclusive upper bound
+    lo + (hi - lo - 1) / 2
+}
+
+/// A lock-free histogram of `u64` samples (typically nanoseconds or
+/// milli-GCUPS). All methods take `&self`; recording is wait-free.
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Consistent point-in-time view with percentiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        // Copy buckets first so the percentile walk is self-consistent
+        // even while other threads keep recording.
+        let buckets: Vec<u64> = self.counts.iter().map(|c| c.load(Relaxed)).collect();
+        let count: u64 = buckets.iter().sum();
+        let max = self.max.load(Relaxed);
+        let min = self.min.load(Relaxed);
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let sum = self.sum.load(Relaxed);
+
+        let percentile = |p: f64| -> u64 {
+            // rank of the p-th percentile sample (1-based, nearest-rank)
+            let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Clamp to the observed extremes so exact-region
+                    // results never exceed the true max.
+                    return bucket_mid(i).clamp(min, max);
+                }
+            }
+            max
+        };
+
+        HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            mean: sum as f64 / count as f64,
+            p50: percentile(50.0),
+            p95: percentile(95.0),
+            p99: percentile(99.0),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (≤3% relative error above 31).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_is_monotonic_and_bounded() {
+        // Every bucket's low bound maps back to itself, and relative
+        // error of the midpoint stays under 1/32 + epsilon.
+        for i in 0..BUCKETS - SUB as usize {
+            let lo = bucket_lo(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+        }
+        let mut prev = 0;
+        for &v in &[0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, u64::MAX / 2] {
+            let i = bucket_index(v);
+            assert!(i >= prev || v < 32, "indices grow with values");
+            prev = i;
+            let lo = bucket_lo(i);
+            let hi = bucket_lo(i + 1);
+            assert!(lo <= v && v < hi, "{v} in [{lo}, {hi})");
+            if v >= 32 {
+                let err = (bucket_mid(i) as f64 - v as f64).abs() / v as f64;
+                assert!(err <= 1.0 / 16.0, "relative error {err} for {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_region_percentiles_match_oracle() {
+        // Values < 32 are bucketed exactly, so percentiles are exact.
+        let h = Histogram::new();
+        for v in 1..=20u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 20);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 20);
+        assert_eq!(s.p50, 10);
+        assert_eq!(s.p95, 19);
+        assert_eq!(s.p99, 20);
+        assert_eq!(s.sum, 210);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn large_values_within_relative_error() {
+        let h = Histogram::new();
+        // 1000 samples spread uniformly over [1ms, 2ms] in ns.
+        let n = 1000u64;
+        let mut oracle = Vec::new();
+        for i in 0..n {
+            let v = 1_000_000 + i * 1_000;
+            h.record(v);
+            oracle.push(v);
+        }
+        oracle.sort_unstable();
+        let s = h.snapshot();
+        for (p, got) in [(50.0, s.p50), (95.0, s.p95), (99.0, s.p99)] {
+            let rank = ((p / 100.0) * n as f64).ceil() as usize - 1;
+            let want = oracle[rank] as f64;
+            let err = (got as f64 - want).abs() / want;
+            assert!(err < 0.04, "p{p}: got {got}, want {want}, err {err}");
+        }
+        assert_eq!(s.max, 1_999_000);
+        assert_eq!(s.min, 1_000_000);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # swsimd-obs
+//!
+//! End-to-end observability for the swsimd serving stack, designed so
+//! the paper's offline measurement discipline (GCUPS, utilization
+//! accounting, per-kernel instrumentation — §IV) survives contact with
+//! a live server:
+//!
+//! * [`trace`] — a structured-event tracer with RAII spans
+//!   (`query → dispatch → kernel → traceback`). Events carry typed
+//!   attributes (engine/ISA, precision, lane utilization, fault and
+//!   retry causes) and flow to one process-wide [`Sink`]. With the
+//!   `trace` feature disabled the [`span!`]/[`event!`] macros compile
+//!   to a constant-false branch and cost nothing; with it enabled but
+//!   no sink installed, the cost is one relaxed atomic load.
+//! * [`hist`] — lock-free HDR-style log-linear histograms
+//!   (`AtomicU64` buckets, ~3% relative error) for latency and GCUPS
+//!   percentiles (p50/p95/p99/max) without locks on the record path.
+//! * [`registry`] — named counter/gauge/histogram families keyed by
+//!   label sets (scenario, kernel variant), with a process-global
+//!   default registry.
+//! * [`expo`] — Prometheus text format and JSON snapshot rendering.
+//!
+//! This crate is dependency-free and sits below `swsimd-core`, so the
+//! kernels can emit spans without a dependency cycle.
+
+pub mod expo;
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{global, Counter, Gauge, Registry};
+pub use trace::{
+    set_sink, Event, EventKind, Recorder, RecorderHandle, Sink, Span, StderrSink, Value,
+};

@@ -6,6 +6,13 @@
 //! Deployment layer: residue-balanced database partitioning across
 //! scoped threads, the paper's three usage scenarios (§II-C, §IV-G),
 //! the centralized batch server (§VI), and GCUPS metrics.
+//!
+//! Every layer records into the [`swsimd_obs`] observability crate:
+//! scenarios and the server feed latency/GCUPS histograms in the
+//! process-global registry (scraped via
+//! [`BatchServer::prometheus_text`] / [`BatchServer::json_snapshot`]),
+//! and pool/server degradation decisions emit structured trace events
+//! when a sink is installed.
 
 pub mod fault;
 pub mod metrics;
@@ -15,7 +22,7 @@ pub mod scenarios;
 pub mod server;
 
 pub use fault::{FaultPlan, FaultStats};
-pub use metrics::{CellTimer, ServeCounters, Throughput};
+pub use metrics::{query_latency, scenario_gcups, CellTimer, ServeCounters, Snapshot, Throughput};
 pub use msa::{pairwise_scores, upgma, GuideTree, ScoreMatrix};
 pub use pool::{parallel_pairs, parallel_search, PoolConfig, SearchOutput};
 pub use scenarios::{scenario1, scenario2, scenario3, ScenarioReport};

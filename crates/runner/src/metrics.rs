@@ -1,13 +1,16 @@
 //! Throughput metrics — GCUPS (billions of cell updates per second),
 //! the unit every figure in the paper reports — plus the shared
-//! health counters the serving layer exposes ([`ServeCounters`]).
+//! health counters the serving layer exposes ([`ServeCounters`]) and
+//! the process-global latency/GCUPS histogram families the scenarios
+//! and the batch server record into (scraped via
+//! [`swsimd_obs::Registry::prometheus_text`]).
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::fault::FaultStats;
-use crate::server::ServerStats;
 
 /// A completed measurement.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -68,13 +71,48 @@ impl CellTimer {
     }
 }
 
+/// Name of the end-to-end query latency histogram family.
+pub const QUERY_LATENCY_METRIC: &str = "swsimd_query_latency_seconds";
+
+/// Name of the per-run throughput histogram family.
+pub const GCUPS_METRIC: &str = "swsimd_gcups";
+
+/// Handle to the global end-to-end query latency histogram for one
+/// scenario label (`"1"`, `"2"`, `"3"`, or `"server"`). Values are
+/// recorded in nanoseconds and exposed in seconds.
+pub fn query_latency(scenario: &'static str) -> Arc<swsimd_obs::Histogram> {
+    swsimd_obs::global().histogram_scaled(
+        QUERY_LATENCY_METRIC,
+        "End-to-end query latency (enqueue to reply), by scenario.",
+        1e-9,
+        &[("scenario", scenario)],
+    )
+}
+
+/// Handle to the global throughput histogram for one scenario label.
+/// Values are recorded in milli-GCUPS and exposed in GCUPS.
+pub fn scenario_gcups(scenario: &'static str) -> Arc<swsimd_obs::Histogram> {
+    swsimd_obs::global().histogram_scaled(
+        GCUPS_METRIC,
+        "Per-run alignment throughput in GCUPS, by scenario.",
+        1e-3,
+        &[("scenario", scenario)],
+    )
+}
+
+/// Record a [`Throughput`] into a scenario GCUPS histogram (milli-GCUPS
+/// resolution; sub-micro-GCUPS runs round to zero).
+pub fn record_gcups(hist: &swsimd_obs::Histogram, t: &Throughput) {
+    hist.record((t.gcups() * 1e3) as u64);
+}
+
 /// Live, lock-free health counters for a running server.
 ///
 /// Shared (`Arc`) between the server worker, every
 /// [`crate::ServerClient`] clone, and the [`crate::BatchServer`]
 /// handle, so load shedding and timeouts observed client-side land in
 /// the same ledger as worker-side batching and degradation events.
-/// Snapshot into the plain-value [`ServerStats`] for reporting.
+/// Snapshot into the plain-value [`Snapshot`] for reporting.
 #[derive(Debug, Default)]
 pub struct ServeCounters {
     /// Batches processed.
@@ -95,10 +133,34 @@ pub struct ServeCounters {
     pub retries: AtomicU64,
 }
 
+/// Point-in-time plain-value copy of [`ServeCounters`] — one
+/// consistent struct instead of callers reading atomics
+/// field-by-field. `Display` renders the single-line `key=value` form
+/// used by server stats reporting and the periodic health line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Batches processed.
+    pub batches: u64,
+    /// Queries served (a reply was computed).
+    pub queries: u64,
+    /// Batches that were full (vs. flushed by timeout/shutdown).
+    pub full_batches: u64,
+    /// Queries that hit their deadline before a result arrived.
+    pub timeouts: u64,
+    /// Queries shed because the job queue was full.
+    pub shed: u64,
+    /// Worker panics isolated on the request path.
+    pub worker_panics: u64,
+    /// Fast-path results discarded (panic or failed validation).
+    pub degraded_batches: u64,
+    /// Degraded retries run on the scalar reference engine.
+    pub retries: u64,
+}
+
 impl ServeCounters {
     /// Point-in-time snapshot as plain values.
-    pub fn snapshot(&self) -> ServerStats {
-        ServerStats {
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
             batches: self.batches.load(Relaxed),
             queries: self.queries.load(Relaxed),
             full_batches: self.full_batches.load(Relaxed),
@@ -123,7 +185,7 @@ impl ServeCounters {
     }
 }
 
-impl fmt::Display for ServerStats {
+impl fmt::Display for Snapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,

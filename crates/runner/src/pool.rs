@@ -128,6 +128,12 @@ where
             }
             faults.degraded_batches += 1;
             faults.retries += 1;
+            swsimd_obs::event!(
+                "partition_degraded",
+                "partition" => part_idx,
+                "panicked" => outcome.is_err(),
+                "engine" => "scalar"
+            );
             search_sub(query, db, &range, || {
                 make_aligner().engine(EngineKind::Scalar)
             })
@@ -159,6 +165,11 @@ where
 {
     let threads = cfg.threads.max(1);
     let plan = &cfg.fault_plan;
+    let mut sp = swsimd_obs::span!(
+        "parallel_search",
+        "threads" => threads,
+        "db_seqs" => db.len()
+    );
 
     let mut outputs: Vec<(Vec<Hit>, KernelStats, FaultStats)> = Vec::new();
     if threads == 1 || db.len() <= 1 {
@@ -201,6 +212,8 @@ where
         faults.merge(&f);
     }
     hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+    sp.record("cells", stats.cells);
+    sp.record("retries", faults.retries);
     SearchOutput {
         hits,
         stats,

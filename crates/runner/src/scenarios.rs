@@ -7,11 +7,14 @@
 //! * **Scenario 3** — SW as a subroutine: small queries vs. a small
 //!   database whose working set fits in upper-level cache.
 
+use std::time::Instant;
+
 use swsimd_core::{Aligner, AlignerBuilder, Hit};
+use swsimd_obs::{Histogram, HistogramSnapshot};
 use swsimd_seq::Database;
 
 use crate::fault::FaultStats;
-use crate::metrics::{CellTimer, Throughput};
+use crate::metrics::{self, CellTimer, Throughput};
 use crate::pool::{parallel_search, PoolConfig};
 
 /// Report from one scenario run.
@@ -27,6 +30,21 @@ pub struct ScenarioReport {
     /// Degradation events observed (worker panics isolated, scalar
     /// retries). Non-zero only for scenarios running on the pool.
     pub faults: FaultStats,
+    /// Per-query latency distribution for this run (nanosecond
+    /// values; one sample per query). The same samples are also
+    /// recorded into the process-global `swsimd_query_latency_seconds`
+    /// histogram under this scenario's label, where the serving layer
+    /// exposes them.
+    pub latency: HistogramSnapshot,
+}
+
+/// Record one query's wall-clock latency into both the run-local
+/// histogram (for the report) and the process-global scenario series
+/// (for exposition).
+fn record_latency(local: &Histogram, global: &Histogram, started: Instant) {
+    let ns = started.elapsed().as_nanos() as u64;
+    local.record(ns);
+    global.record(ns);
 }
 
 fn total_cells(queries: &[Vec<u8>], db: &Database) -> u64 {
@@ -39,6 +57,14 @@ pub fn scenario1<F>(query: &[u8], db: &Database, threads: usize, make_aligner: F
 where
     F: Fn() -> AlignerBuilder + Sync,
 {
+    let mut sp = swsimd_obs::span!(
+        "scenario",
+        "id" => 1u64,
+        "queries" => 1u64,
+        "db_seqs" => db.len()
+    );
+    let local = Histogram::new();
+    let started = Instant::now();
     let timer = CellTimer::start(query.len() as u64 * db.total_residues() as u64);
     let out = parallel_search(
         query,
@@ -51,6 +77,9 @@ where
         make_aligner,
     );
     let throughput = timer.stop();
+    record_latency(&local, &metrics::query_latency("1"), started);
+    metrics::record_gcups(&metrics::scenario_gcups("1"), &throughput);
+    sp.record("gcups", throughput.gcups());
     let best = out.hits.into_iter().next();
     ScenarioReport {
         scenario: 1,
@@ -58,6 +87,7 @@ where
         best_hits: best.into_iter().collect(),
         alignments: db.len(),
         faults: out.faults,
+        latency: local.snapshot(),
     }
 }
 
@@ -77,6 +107,14 @@ where
     F: Fn() -> AlignerBuilder + Sync,
 {
     let threads = threads.max(1);
+    let mut sp = swsimd_obs::span!(
+        "scenario",
+        "id" => 2u64,
+        "queries" => queries.len(),
+        "db_seqs" => db.len()
+    );
+    let local = Histogram::new();
+    let global = metrics::query_latency("2");
     let timer = CellTimer::start(total_cells(queries, db));
     let mut best_hits: Vec<Option<Hit>> = vec![None; queries.len()];
 
@@ -86,6 +124,7 @@ where
         for (qchunk, bchunk) in queries.chunks(chunk).zip(best_hits.chunks_mut(chunk)) {
             let make_aligner = &make_aligner;
             let lanes_db = &lanes_db;
+            let (local, global) = (&local, &global);
             scope.spawn(move || {
                 let mut aligner = make_aligner().build();
                 // The batched database is built once and shared: the
@@ -98,21 +137,26 @@ where
                     )
                 });
                 for (q, slot) in qchunk.iter().zip(bchunk.iter_mut()) {
+                    let started = Instant::now();
                     let mut hits = aligner.search_batched(q, db, batched);
                     hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
                     *slot = hits.into_iter().next();
+                    record_latency(local, global, started);
                 }
             });
         }
     });
 
     let throughput = timer.stop();
+    metrics::record_gcups(&metrics::scenario_gcups("2"), &throughput);
+    sp.record("gcups", throughput.gcups());
     ScenarioReport {
         scenario: 2,
         throughput,
         best_hits: best_hits.into_iter().flatten().collect(),
         alignments: queries.len() * db.len(),
         faults: FaultStats::default(),
+        latency: local.snapshot(),
     }
 }
 
@@ -123,20 +167,33 @@ pub fn scenario3(
     db: &Database,
     make_aligner: impl Fn() -> AlignerBuilder,
 ) -> ScenarioReport {
+    let mut sp = swsimd_obs::span!(
+        "scenario",
+        "id" => 3u64,
+        "queries" => queries.len(),
+        "db_seqs" => db.len()
+    );
+    let local = Histogram::new();
+    let global = metrics::query_latency("3");
     let timer = CellTimer::start(total_cells(queries, db));
     let mut aligner: Aligner = make_aligner().build();
     let mut best_hits = Vec::with_capacity(queries.len());
     for q in queries {
+        let started = Instant::now();
         let hits = aligner.search(q, db, 1);
         best_hits.extend(hits.into_iter().next());
+        record_latency(&local, &global, started);
     }
     let throughput = timer.stop();
+    metrics::record_gcups(&metrics::scenario_gcups("3"), &throughput);
+    sp.record("gcups", throughput.gcups());
     ScenarioReport {
         scenario: 3,
         throughput,
         best_hits,
         alignments: queries.len() * db.len(),
         faults: FaultStats::default(),
+        latency: local.snapshot(),
     }
 }
 
@@ -173,6 +230,8 @@ mod tests {
         assert_eq!(r.best_hits.len(), 1);
         assert!(r.throughput.gcups() > 0.0);
         assert!(!r.faults.any(), "clean run records no degradation");
+        assert_eq!(r.latency.count, 1, "one end-to-end sample per query");
+        assert!(r.latency.max >= r.latency.min);
     }
 
     #[test]
@@ -182,6 +241,8 @@ mod tests {
         let r = scenario2(&queries, &db, 3, builder);
         assert_eq!(r.best_hits.len(), 7);
         assert_eq!(r.alignments, 7 * 20);
+        assert_eq!(r.latency.count, 7, "one latency sample per query");
+        assert!(r.latency.p99 >= r.latency.p50);
     }
 
     #[test]

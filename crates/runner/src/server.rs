@@ -32,8 +32,24 @@
 //! All of it is observable through [`ServerStats`] /
 //! [`crate::metrics::ServeCounters`] and deterministically testable via
 //! [`FaultPlan`].
+//!
+//! ## Exposition
+//!
+//! Beyond the flat counters, every server records end-to-end query
+//! latency into an HDR histogram (`swsimd_query_latency_seconds`,
+//! labelled `scenario="server"` plus a per-server `instance`), tracks
+//! the live queue depth as a gauge, and mirrors its counters into the
+//! process-global [`swsimd_obs`] registry. Scrape them with
+//! [`BatchServer::prometheus_text`] (Prometheus text format) or
+//! [`BatchServer::json_snapshot`]; [`BatchServer::health_line`] gives
+//! a one-line human-readable summary, which the worker also emits
+//! periodically as a `server_health` trace event when
+//! [`ServerConfig::health_period`] is set. Shed, timeout, panic and
+//! degraded-retry decisions additionally emit structured trace events
+//! when a [`swsimd_obs`] sink is installed.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,10 +57,11 @@ use crossbeam::channel::{
     bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
 };
 use swsimd_core::{validate_encoded, AlignError, Aligner, AlignerBuilder, EngineKind, Hit};
+use swsimd_obs::{Counter, Gauge, Histogram};
 use swsimd_seq::{BatchedDatabase, Database};
 
 use crate::fault::FaultPlan;
-use crate::metrics::ServeCounters;
+use crate::metrics::{self, ServeCounters, Snapshot};
 
 /// A typed serving failure. Every client-facing entry point returns
 /// `Result<_, ServeError>`; the serving layer itself never panics on
@@ -103,6 +120,88 @@ struct Job {
     /// Client-imposed deadline; the server skips jobs that expire in
     /// the queue instead of computing answers nobody is waiting for.
     deadline: Option<Instant>,
+    /// When the client built the job — the start of the end-to-end
+    /// latency measurement recorded when the reply is computed.
+    submitted: Instant,
+}
+
+/// Registry-backed instruments for one server instance: the latency
+/// histogram, the live queue-depth gauge, and counter mirrors of
+/// [`ServeCounters`] so a scrape sees the same ledger. Each server
+/// gets a unique `instance` label so concurrent servers (and tests)
+/// record into disjoint series of the process-global registry.
+struct ServerObs {
+    latency: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    full_batches: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    shed: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+    retries: Arc<Counter>,
+}
+
+impl ServerObs {
+    fn new() -> Arc<Self> {
+        static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(0);
+        let id = NEXT_INSTANCE.fetch_add(1, Relaxed).to_string();
+        let r = swsimd_obs::global();
+        let labels: &[(&str, &str)] = &[("instance", &id)];
+        let counter = |name: &str, help: &'static str| r.counter(name, help, labels);
+        Arc::new(Self {
+            latency: r.histogram_scaled(
+                metrics::QUERY_LATENCY_METRIC,
+                "End-to-end query latency (enqueue to reply), by scenario.",
+                1e-9,
+                &[("scenario", "server"), ("instance", &id)],
+            ),
+            queue_depth: r.gauge(
+                "swsimd_queue_depth",
+                "Jobs waiting in the bounded server queue.",
+                labels,
+            ),
+            queries: counter(
+                "swsimd_server_queries_total",
+                "Queries served (a reply was computed).",
+            ),
+            batches: counter("swsimd_server_batches_total", "Batches processed."),
+            full_batches: counter(
+                "swsimd_server_full_batches_total",
+                "Batches that filled to batch_size before the wait expired.",
+            ),
+            timeouts: counter(
+                "swsimd_server_timeouts_total",
+                "Queries that hit their deadline before a result arrived.",
+            ),
+            shed: counter(
+                "swsimd_server_shed_total",
+                "Queries shed because the job queue was full.",
+            ),
+            worker_panics: counter(
+                "swsimd_server_worker_panics_total",
+                "Worker panics isolated on the request path.",
+            ),
+            retries: counter(
+                "swsimd_server_retries_total",
+                "Degraded retries run on the scalar reference engine.",
+            ),
+        })
+    }
+}
+
+/// One-line human-readable health summary: the counter [`Snapshot`]
+/// plus live queue depth and latency quantiles in milliseconds.
+fn health_line(counters: &ServeCounters, obs: &ServerObs) -> String {
+    let s: Snapshot = counters.snapshot();
+    let l = obs.latency.snapshot();
+    format!(
+        "[server] {s} depth={} p50_ms={:.2} p95_ms={:.2} p99_ms={:.2}",
+        obs.queue_depth.get(),
+        l.p50 as f64 / 1e6,
+        l.p95 as f64 / 1e6,
+        l.p99 as f64 / 1e6,
+    )
 }
 
 /// Channel protocol: jobs, or an explicit shutdown marker (needed
@@ -118,6 +217,7 @@ enum Msg {
 pub struct ServerClient {
     tx: Sender<Msg>,
     counters: Arc<ServeCounters>,
+    obs: Arc<ServerObs>,
 }
 
 impl ServerClient {
@@ -135,6 +235,7 @@ impl ServerClient {
                 reply: reply_tx,
                 top_k,
                 deadline,
+                submitted: Instant::now(),
             },
             reply_rx,
         ))
@@ -149,6 +250,7 @@ impl ServerClient {
         self.tx
             .send(Msg::Job(job))
             .map_err(|_| ServeError::ShutDown)?;
+        self.obs.queue_depth.inc();
         match reply_rx.recv() {
             Ok(result) => result,
             Err(_) => Err(ServeError::ShutDown),
@@ -169,9 +271,9 @@ impl ServerClient {
         let (job, reply_rx) = self.make_job(query, top_k, Some(deadline))?;
         let remaining = deadline.saturating_duration_since(Instant::now());
         match self.tx.send_timeout(Msg::Job(job), remaining) {
-            Ok(()) => {}
+            Ok(()) => self.obs.queue_depth.inc(),
             Err(SendTimeoutError::Timeout(_)) => {
-                ServeCounters::bump(&self.counters.timeouts);
+                self.timed_out("enqueue");
                 return Err(ServeError::DeadlineExceeded);
             }
             Err(SendTimeoutError::Disconnected(_)) => return Err(ServeError::ShutDown),
@@ -180,20 +282,27 @@ impl ServerClient {
         match reply_rx.recv_timeout(remaining) {
             Ok(result) => result,
             Err(RecvTimeoutError::Timeout) => {
-                ServeCounters::bump(&self.counters.timeouts);
+                self.timed_out("reply");
                 Err(ServeError::DeadlineExceeded)
             }
             // The worker dropped the job: either it observed the
             // expired deadline, or the server shut down.
             Err(RecvTimeoutError::Disconnected) => {
                 if Instant::now() >= deadline {
-                    ServeCounters::bump(&self.counters.timeouts);
+                    self.timed_out("queue");
                     Err(ServeError::DeadlineExceeded)
                 } else {
                     Err(ServeError::ShutDown)
                 }
             }
         }
+    }
+
+    /// Ledger + trace bookkeeping for one observed deadline expiry.
+    fn timed_out(&self, stage: &'static str) {
+        ServeCounters::bump(&self.counters.timeouts);
+        self.obs.timeouts.inc();
+        swsimd_obs::event!("deadline_exceeded", "stage" => stage);
     }
 
     /// Non-blocking admission: if the bounded job queue is full the
@@ -203,9 +312,11 @@ impl ServerClient {
     pub fn try_query(&self, query: Vec<u8>, top_k: usize) -> Result<Vec<Hit>, ServeError> {
         let (job, reply_rx) = self.make_job(query, top_k, None)?;
         match self.tx.try_send(Msg::Job(job)) {
-            Ok(()) => {}
+            Ok(()) => self.obs.queue_depth.inc(),
             Err(TrySendError::Full(_)) => {
                 ServeCounters::bump(&self.counters.shed);
+                self.obs.shed.inc();
+                swsimd_obs::event!("load_shed", "depth" => self.obs.queue_depth.get());
                 return Err(ServeError::QueueFull);
             }
             Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShutDown),
@@ -229,6 +340,10 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Fault-injection schedule (inert by default; see [`FaultPlan`]).
     pub fault_plan: FaultPlan,
+    /// When set, the worker emits a `server_health` trace event with a
+    /// human-readable [`health_line`]-style summary at most this often
+    /// (checked after each batch). `None` (the default) disables it.
+    pub health_period: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -238,32 +353,16 @@ impl Default for ServerConfig {
             max_wait: Duration::from_millis(20),
             queue_depth: 1024,
             fault_plan: FaultPlan::default(),
+            health_period: None,
         }
     }
 }
 
 /// Statistics the server keeps about its batching and degradation
-/// behaviour (see [`crate::metrics::ServeCounters`] for the live,
-/// shared form).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Batches processed.
-    pub batches: u64,
-    /// Queries served (a reply was computed).
-    pub queries: u64,
-    /// Batches that were full (vs. flushed by timeout/shutdown).
-    pub full_batches: u64,
-    /// Queries that hit their deadline before a result arrived.
-    pub timeouts: u64,
-    /// Queries shed because the job queue was full.
-    pub shed: u64,
-    /// Worker panics isolated on the request path.
-    pub worker_panics: u64,
-    /// Fast-path results discarded (panic or failed validation).
-    pub degraded_batches: u64,
-    /// Degraded retries run on the scalar reference engine.
-    pub retries: u64,
-}
+/// behaviour — an alias for [`crate::metrics::Snapshot`], which owns
+/// the field set and the single-line `Display` form (see
+/// [`crate::metrics::ServeCounters`] for the live, shared ledger).
+pub type ServerStats = Snapshot;
 
 /// A running batch server. Dropping the handle shuts the worker down
 /// after it drains pending queries.
@@ -271,6 +370,7 @@ pub struct BatchServer {
     client_tx: Sender<Msg>,
     worker: Option<std::thread::JoinHandle<()>>,
     counters: Arc<ServeCounters>,
+    obs: Arc<ServerObs>,
 }
 
 impl BatchServer {
@@ -282,16 +382,22 @@ impl BatchServer {
     {
         let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(cfg.queue_depth.max(1));
         let counters = Arc::new(ServeCounters::default());
+        let obs = ServerObs::new();
         let worker_counters = counters.clone();
+        let worker_obs = obs.clone();
         let worker = std::thread::spawn(move || {
-            let mut ctx = WorkerCtx::new(db, &cfg, make_aligner, worker_counters);
+            let mut ctx = WorkerCtx::new(db, &cfg, make_aligner, worker_counters, worker_obs);
             let mut pending: Vec<Job> = Vec::with_capacity(cfg.batch_size);
             let mut shutting_down = false;
+            let mut last_health = Instant::now();
 
             while !shutting_down {
                 // Wait for the first job of a batch.
                 match rx.recv() {
-                    Ok(Msg::Job(job)) => pending.push(job),
+                    Ok(Msg::Job(job)) => {
+                        ctx.obs.queue_depth.dec();
+                        pending.push(job);
+                    }
                     Ok(Msg::Shutdown) | Err(_) => break,
                 }
                 // Accumulate until full, the wait budget expires, or a
@@ -303,7 +409,10 @@ impl BatchServer {
                         break;
                     }
                     match rx.recv_timeout(deadline - now) {
-                        Ok(Msg::Job(job)) => pending.push(job),
+                        Ok(Msg::Job(job)) => {
+                            ctx.obs.queue_depth.dec();
+                            pending.push(job);
+                        }
                         Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
                             shutting_down = true;
                             break;
@@ -312,9 +421,19 @@ impl BatchServer {
                     }
                 }
                 ctx.process_batch(&mut pending);
+                if let Some(period) = cfg.health_period {
+                    if last_health.elapsed() >= period {
+                        last_health = Instant::now();
+                        swsimd_obs::event!(
+                            "server_health",
+                            "line" => health_line(&ctx.counters, &ctx.obs)
+                        );
+                    }
+                }
             }
             // Drain jobs that raced with the shutdown marker.
             while let Ok(Msg::Job(job)) = rx.try_recv() {
+                ctx.obs.queue_depth.dec();
                 pending.push(job);
             }
             ctx.process_batch(&mut pending);
@@ -323,6 +442,7 @@ impl BatchServer {
             client_tx: tx,
             worker: Some(worker),
             counters,
+            obs,
         }
     }
 
@@ -331,12 +451,43 @@ impl BatchServer {
         ServerClient {
             tx: self.client_tx.clone(),
             counters: self.counters.clone(),
+            obs: self.obs.clone(),
         }
     }
 
     /// Live snapshot of the serving counters.
     pub fn stats(&self) -> ServerStats {
         self.counters.snapshot()
+    }
+
+    /// Prometheus text-format scrape of the process-global registry:
+    /// this server's latency summary, queue depth and counters, plus
+    /// any scenario histograms recorded elsewhere in the process.
+    pub fn prometheus_text(&self) -> String {
+        swsimd_obs::global().prometheus_text()
+    }
+
+    /// JSON rendering of the same registry contents as
+    /// [`BatchServer::prometheus_text`], for programmatic scraping.
+    pub fn json_snapshot(&self) -> String {
+        swsimd_obs::global().json()
+    }
+
+    /// One-line human-readable health summary (counters, queue depth,
+    /// latency quantiles in milliseconds).
+    pub fn health_line(&self) -> String {
+        health_line(&self.counters, &self.obs)
+    }
+
+    /// Point-in-time snapshot of this server's end-to-end query
+    /// latency distribution (nanosecond values).
+    pub fn latency(&self) -> swsimd_obs::HistogramSnapshot {
+        self.obs.latency.snapshot()
+    }
+
+    /// Live depth of the bounded job queue.
+    pub fn queue_depth(&self) -> i64 {
+        self.obs.queue_depth.get()
     }
 
     /// Shut down: stop accepting, drain, and return the final stats.
@@ -375,6 +526,7 @@ struct WorkerCtx<F> {
     plan: FaultPlan,
     batch_size: usize,
     counters: Arc<ServeCounters>,
+    obs: Arc<ServerObs>,
 }
 
 impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
@@ -383,6 +535,7 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
         cfg: &ServerConfig,
         make_aligner: F,
         counters: Arc<ServeCounters>,
+        obs: Arc<ServerObs>,
     ) -> Self {
         let aligner: Aligner = make_aligner().build();
         let batched =
@@ -396,6 +549,7 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             plan: cfg.fault_plan.clone(),
             batch_size: cfg.batch_size,
             counters,
+            obs,
         }
     }
 
@@ -403,18 +557,24 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
         if pending.is_empty() {
             return;
         }
+        let _batch = swsimd_obs::span!("server_batch", "jobs" => pending.len());
         ServeCounters::bump(&self.counters.batches);
+        self.obs.batches.inc();
         if pending.len() >= self.batch_size {
             ServeCounters::bump(&self.counters.full_batches);
+            self.obs.full_batches.inc();
         }
         for (slot, job) in pending.drain(..).enumerate() {
             // Don't compute answers nobody is waiting for: the client
             // observed this same deadline and has already returned.
             if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                swsimd_obs::event!("job_expired_in_queue", "slot" => slot);
                 continue;
             }
             ServeCounters::bump(&self.counters.queries);
+            self.obs.queries.inc();
             let result = self.run_job(slot, &job.query, job.top_k);
+            self.obs.latency.record_duration(job.submitted.elapsed());
             // A disappeared client is not an error.
             let _ = job.reply.send(result);
         }
@@ -444,9 +604,18 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
         // reference engine (exact scores, degraded throughput).
         if panicked {
             ServeCounters::bump(&self.counters.worker_panics);
+            self.obs.worker_panics.inc();
+            swsimd_obs::event!("worker_panic", "slot" => slot);
         }
         ServeCounters::bump(&self.counters.degraded_batches);
         ServeCounters::bump(&self.counters.retries);
+        self.obs.retries.inc();
+        swsimd_obs::event!(
+            "degraded_retry",
+            "slot" => slot,
+            "panicked" => panicked,
+            "engine" => "scalar"
+        );
 
         if self.fallback.is_none() {
             let built = catch_unwind(AssertUnwindSafe(|| {
@@ -747,6 +916,62 @@ mod tests {
         }
         let stats = server.shutdown();
         assert!(stats.shed >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn exposition_scrapes_latency_and_counters() {
+        let db = tiny_db();
+        let server = BatchServer::start(db, ServerConfig::default(), || {
+            Aligner::builder().matrix(blosum62())
+        });
+        let client = server.client();
+        for i in 0..3 {
+            client.query(enc(20, i), 1).expect("server is up");
+        }
+        let lat = server.latency();
+        assert_eq!(lat.count, 3);
+        assert!(lat.p99 >= lat.p50);
+        assert_eq!(server.queue_depth(), 0, "all jobs drained");
+
+        let text = server.prometheus_text();
+        assert!(
+            text.contains("# TYPE swsimd_query_latency_seconds summary"),
+            "{text}"
+        );
+        assert!(text.contains("quantile=\"0.99\""), "{text}");
+        assert!(text.contains("swsimd_server_queries_total"), "{text}");
+        assert!(text.contains("swsimd_queue_depth"), "{text}");
+
+        let json = server.json_snapshot();
+        assert!(json.contains("\"swsimd_query_latency_seconds\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+
+        let line = server.health_line();
+        assert!(line.contains("queries=3"), "{line}");
+        assert!(line.contains("p99_ms="), "{line}");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn periodic_health_event_is_emitted() {
+        let rec = swsimd_obs::Recorder::install();
+        let db = tiny_db();
+        let server = BatchServer::start(
+            db,
+            ServerConfig {
+                health_period: Some(Duration::ZERO),
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        client.query(enc(12, 6), 1).expect("server is up");
+        let _ = server.shutdown();
+        let events = rec.events();
+        assert!(
+            events.iter().any(|e| e.name == "server_health"),
+            "no health event in {events:?}"
+        );
     }
 
     #[test]

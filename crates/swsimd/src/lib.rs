@@ -31,11 +31,14 @@
 //! * [`baselines`] — Parasail-style striped / scan / diag comparators;
 //! * [`perf`] — architecture profiles, frequency and top-down models;
 //! * [`tune`] — the genetic-algorithm hyperparameter tuner;
-//! * [`runner`] — threading, usage scenarios, the batch server.
+//! * [`runner`] — threading, usage scenarios, the batch server;
+//! * [`obs`] — tracing spans, latency/GCUPS histograms, Prometheus and
+//!   JSON exposition for the serving layer.
 
 pub use swsimd_baselines as baselines;
 pub use swsimd_core as core;
 pub use swsimd_matrices as matrices;
+pub use swsimd_obs as obs;
 pub use swsimd_perf as perf;
 pub use swsimd_runner as runner;
 pub use swsimd_seq as seq;

@@ -43,6 +43,85 @@ fn every_implementation_agrees() {
     }
 }
 
+/// Regression: the striped lazy-F loop used to break as soon as a
+/// correction pass improved no H cell. That is not a fixpoint — a
+/// vertical gap chain can pass *under* higher H values and only
+/// surface an improvement several lanes later — and the loop dropped
+/// the chain's tail, under-scoring the scalar reference by 1 (the
+/// ROADMAP open item: 31 vs 32, BLOSUM62 affine 11/1). These inputs
+/// were found by brute-force search against `sw_scalar` and failed on
+/// wide-lane engines (AVX2/AVX-512) before the fixpoint test was
+/// extended to cover F as well as H.
+#[test]
+fn striped_lazy_f_carries_chains_under_higher_cells() {
+    let cases: [(&[u8], &[u8], i32, i32); 3] = [
+        // Failed on AVX-512 i16 (32 lanes, one segment), affine 11/1.
+        (
+            &[
+                2, 0, 15, 13, 8, 18, 7, 1, 0, 14, 18, 15, 2, 16, 8, 2, 19, 8, 12, 8, 14, 11, 1, 13,
+                17, 5, 2, 18, 10, 19, 8, 11,
+            ],
+            &[
+                4, 15, 3, 5, 18, 16, 14, 5, 3, 5, 14, 7, 19, 9, 11, 4, 18, 17, 8, 18, 14, 13, 12,
+                14, 8, 8, 2, 17, 11, 16, 13, 17, 16, 9, 13,
+            ],
+            11,
+            1,
+        ),
+        // Failed on AVX2 i16 and AVX-512 i16/i32, affine 2/1.
+        (
+            &[
+                18, 5, 1, 1, 4, 18, 12, 15, 11, 12, 10, 0, 19, 2, 3, 1, 6, 1, 16, 14, 7, 0, 8, 4,
+                8, 2, 19,
+            ],
+            &[
+                16, 12, 18, 2, 12, 19, 17, 9, 13, 2, 13, 0, 15, 18, 0, 18, 3, 16, 16, 14, 9, 14,
+                10, 4, 4, 3, 11, 2, 15, 11, 9, 14, 10, 16, 2, 18, 12, 16, 16, 2, 6, 5, 5, 19, 18,
+                4, 3, 18, 2, 0, 15, 9, 2, 19, 16, 3, 2, 7, 6, 8, 9, 2, 12, 3, 14, 10, 17, 8, 16, 5,
+                9, 1, 15,
+            ],
+            2,
+            1,
+        ),
+        // Failed on AVX-512 i16, affine 11/1.
+        (
+            &[
+                18, 8, 0, 4, 6, 8, 11, 9, 10, 12, 0, 10, 5, 3, 19, 1, 18, 18, 8, 13, 14, 3, 8, 16,
+                17, 0, 17, 15, 15, 15,
+            ],
+            &[
+                10, 6, 11, 5, 4, 11, 7, 13, 3, 5, 8, 17, 12, 16, 4, 16, 0, 7, 16, 13, 13, 7, 12, 3,
+                9, 11, 1, 5, 12, 16, 10, 8, 16, 1, 15, 19, 11, 16, 5, 6, 8, 14, 9, 3, 12, 1, 5, 10,
+                2, 1, 10, 11, 18, 18, 14, 3,
+            ],
+            11,
+            1,
+        ),
+    ];
+    let scoring = Scoring::matrix(blosum62());
+    for (ci, (q, t, open, extend)) in cases.into_iter().enumerate() {
+        let gaps = GapModel::Affine(GapPenalties::new(open, extend));
+        let want = sw_scalar(q, t, &scoring, gaps).score;
+        // Every available engine, both widths: the bug was lane-count
+        // dependent (it needed chains crossing many lane boundaries).
+        for engine in [
+            EngineKind::Scalar,
+            EngineKind::Sse41,
+            EngineKind::Avx2,
+            EngineKind::Avx512,
+        ] {
+            if !engine.is_available() {
+                continue;
+            }
+            let mut st = KernelStats::default();
+            let got16 = sw_striped_i16(engine, q, t, &scoring, gaps, &mut st).score;
+            assert_eq!(got16, want, "case {ci} i16 {}", engine.name());
+            let got32 = sw_striped_i32(engine, q, t, &scoring, gaps, &mut st).score;
+            assert_eq!(got32, want, "case {ci} i32 {}", engine.name());
+        }
+    }
+}
+
 #[test]
 fn database_search_agrees_with_pairwise() {
     let db = generate_database(&SynthConfig {
