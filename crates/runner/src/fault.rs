@@ -54,6 +54,9 @@ struct Inner {
     poisons: Mutex<HashMap<usize, u32>>,
     /// partition → artificial delay before computing.
     delays: Mutex<HashMap<usize, Duration>>,
+    /// Simulated process death after this many journal appends
+    /// (`None` = never).
+    crash_after_chunks: Mutex<Option<u32>>,
 }
 
 /// A deterministic schedule of injected faults (see module docs).
@@ -123,6 +126,38 @@ impl FaultPlan {
         this
     }
 
+    /// Simulate a process crash (kill -9) after `chunks` journal
+    /// appends have been made durable: the next append returns an I/O
+    /// error, aborting the search and leaving exactly `chunks` intact
+    /// records on disk — the state a real crash at that instant leaves.
+    pub fn crash_after_chunks(self, chunks: u32) -> Self {
+        let this = self.armed();
+        if let Some(inner) = &this.inner {
+            *lock(&inner.crash_after_chunks) = Some(chunks);
+        }
+        this
+    }
+
+    /// Hook: called by `checkpointed_search` before each chunk append.
+    /// Errors when the crash budget is exhausted, so exactly the
+    /// budgeted number of chunks end up durable.
+    pub fn before_journal_append(&self) -> std::io::Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let mut budget = lock(&inner.crash_after_chunks);
+        match budget.as_mut() {
+            Some(0) => Err(std::io::Error::other(
+                "fault-injected crash (simulated kill -9 after journal append)",
+            )),
+            Some(n) => {
+                *n -= 1;
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
     /// True if any fault has been scheduled (armed plans only).
     pub fn is_armed(&self) -> bool {
         self.inner.is_some()
@@ -164,6 +199,109 @@ impl FaultPlan {
                 hits.pop();
             }
         }
+    }
+}
+
+/// A `Write` adapter that injects storage faults for the crash
+/// harness: torn writes (everything past a byte offset is dropped and
+/// subsequent writes fail, simulating a crash mid-`write`) and bit
+/// flips at chosen offsets (simulating media corruption). Wraps any
+/// sink a journal can target.
+pub struct FaultyWriter<W> {
+    inner: W,
+    written: u64,
+    /// Drop bytes from this absolute offset on, then fail.
+    torn_at: Option<u64>,
+    /// (absolute offset, xor mask) corruptions to apply in-flight.
+    flips: Vec<(u64, u8)>,
+    dead: bool,
+}
+
+impl<W> FaultyWriter<W> {
+    /// Wrap a sink with no faults armed.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            written: 0,
+            torn_at: None,
+            flips: Vec::new(),
+            dead: false,
+        }
+    }
+
+    /// Tear the stream at absolute byte `offset`: bytes before it are
+    /// written, everything after is lost and the writer errors.
+    pub fn torn_at(mut self, offset: u64) -> Self {
+        self.torn_at = Some(offset);
+        self
+    }
+
+    /// XOR the byte at absolute `offset` with `mask` as it passes
+    /// through.
+    pub fn flip_at(mut self, offset: u64, mask: u8) -> Self {
+        self.flips.push((offset, mask));
+        self
+    }
+
+    /// Total bytes accepted (pre-tear).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// True once a torn write has killed the stream.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// The wrapped sink (for durability-barrier forwarding).
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+
+    /// Recover the wrapped sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(std::io::Error::other("fault-injected dead writer"));
+        }
+        let mut take = buf.len();
+        let mut tearing = false;
+        if let Some(t) = self.torn_at {
+            let left = t.saturating_sub(self.written) as usize;
+            if left < take {
+                take = left;
+                tearing = true;
+            }
+        }
+        let mut chunk = buf[..take].to_vec();
+        for &(off, mask) in &self.flips {
+            if off >= self.written && off < self.written + take as u64 {
+                chunk[(off - self.written) as usize] ^= mask;
+            }
+        }
+        self.inner.write_all(&chunk)?;
+        self.written += take as u64;
+        if tearing {
+            // The torn bytes are gone; every later write fails like a
+            // dead process's would.
+            self.dead = true;
+            if take == 0 {
+                return Err(std::io::Error::other("fault-injected torn write"));
+            }
+        }
+        Ok(take)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.dead {
+            return Err(std::io::Error::other("fault-injected dead writer"));
+        }
+        self.inner.flush()
     }
 }
 
@@ -225,6 +363,42 @@ mod tests {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| clone.before_partition(0)));
         assert!(r.is_err());
         plan.before_partition(0); // budget consumed through the clone
+    }
+
+    #[test]
+    fn crash_budget_counts_appends() {
+        let plan = FaultPlan::new().crash_after_chunks(2);
+        assert!(plan.before_journal_append().is_ok());
+        assert!(plan.before_journal_append().is_ok());
+        assert!(
+            plan.before_journal_append().is_err(),
+            "third append crashes"
+        );
+        assert!(plan.before_journal_append().is_err(), "stays dead");
+        let inert = FaultPlan::default();
+        for _ in 0..10 {
+            assert!(inert.before_journal_append().is_ok());
+        }
+    }
+
+    #[test]
+    fn faulty_writer_tears_and_dies() {
+        use std::io::Write;
+        let mut w = FaultyWriter::new(Vec::new()).torn_at(5);
+        w.write_all(b"abc").unwrap();
+        let r = w.write_all(b"defg"); // bytes 3..7, torn at 5
+        assert!(r.is_err() || w.written() == 5);
+        assert!(w.write_all(b"x").is_err(), "dead after tear");
+        assert_eq!(w.into_inner(), b"abcde");
+    }
+
+    #[test]
+    fn faulty_writer_flips_bits_in_flight() {
+        use std::io::Write;
+        let mut w = FaultyWriter::new(Vec::new()).flip_at(2, 0x01);
+        w.write_all(b"ab").unwrap();
+        w.write_all(b"cd").unwrap();
+        assert_eq!(w.into_inner(), b"ab\x62d"); // 'c' ^ 0x01
     }
 
     #[test]

@@ -15,15 +15,20 @@
 //! when a sink is installed.
 
 pub mod fault;
+pub mod journal;
 pub mod metrics;
 pub mod msa;
 pub mod pool;
 pub mod scenarios;
 pub mod server;
 
-pub use fault::{FaultPlan, FaultStats};
+pub use fault::{FaultPlan, FaultStats, FaultyWriter};
+pub use journal::{
+    checkpointed_search, read_journal, read_journal_file, resume_search, resume_search_file,
+    Journal, JournalEntry, JournalError, JournalMeta, JournalSink, JournalWriter, ResumeStats,
+};
 pub use metrics::{query_latency, scenario_gcups, CellTimer, ServeCounters, Snapshot, Throughput};
 pub use msa::{pairwise_scores, upgma, GuideTree, ScoreMatrix};
 pub use pool::{parallel_pairs, parallel_search, PoolConfig, SearchOutput};
-pub use scenarios::{scenario1, scenario2, scenario3, ScenarioReport};
+pub use scenarios::{scenario1, scenario1_durable, scenario2, scenario3, ScenarioReport};
 pub use server::{BatchServer, ServeError, ServerClient, ServerConfig, ServerStats};

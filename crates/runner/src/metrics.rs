@@ -131,6 +131,13 @@ pub struct ServeCounters {
     pub degraded_batches: AtomicU64,
     /// Degraded retries run on the scalar reference engine.
     pub retries: AtomicU64,
+    /// Searches resumed from a journal instead of recomputed from
+    /// scratch.
+    pub journal_replays: AtomicU64,
+    /// Malformed ingest records quarantined (skip-record policy).
+    pub records_quarantined: AtomicU64,
+    /// Database images rejected for failed integrity checks.
+    pub corrupt_images: AtomicU64,
 }
 
 /// Point-in-time plain-value copy of [`ServeCounters`] — one
@@ -155,6 +162,12 @@ pub struct Snapshot {
     pub degraded_batches: u64,
     /// Degraded retries run on the scalar reference engine.
     pub retries: u64,
+    /// Searches resumed from a journal.
+    pub journal_replays: u64,
+    /// Malformed ingest records quarantined.
+    pub records_quarantined: u64,
+    /// Database images rejected for failed integrity checks.
+    pub corrupt_images: u64,
 }
 
 impl ServeCounters {
@@ -169,6 +182,9 @@ impl ServeCounters {
             worker_panics: self.worker_panics.load(Relaxed),
             degraded_batches: self.degraded_batches.load(Relaxed),
             retries: self.retries.load(Relaxed),
+            journal_replays: self.journal_replays.load(Relaxed),
+            records_quarantined: self.records_quarantined.load(Relaxed),
+            corrupt_images: self.corrupt_images.load(Relaxed),
         }
     }
 
@@ -190,7 +206,8 @@ impl fmt::Display for Snapshot {
         write!(
             f,
             "batches={} queries={} full_batches={} timeouts={} shed={} \
-             worker_panics={} degraded_batches={} retries={}",
+             worker_panics={} degraded_batches={} retries={} \
+             journal_replays={} records_quarantined={} corrupt_images={}",
             self.batches,
             self.queries,
             self.full_batches,
@@ -199,6 +216,9 @@ impl fmt::Display for Snapshot {
             self.worker_panics,
             self.degraded_batches,
             self.retries,
+            self.journal_replays,
+            self.records_quarantined,
+            self.corrupt_images,
         )
     }
 }

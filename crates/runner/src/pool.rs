@@ -49,6 +49,7 @@ impl Default for PoolConfig {
 }
 
 /// Result of a parallel search: exact hits plus merged kernel stats.
+#[derive(Debug)]
 pub struct SearchOutput {
     /// One hit per database sequence, sorted best-first.
     pub hits: Vec<Hit>,
@@ -96,8 +97,10 @@ where
 
 /// One partition's search with isolation: fast path under
 /// `catch_unwind` + result validation, then a single degraded retry on
-/// the scalar reference engine. Returns globally-indexed hits.
-fn search_partition<F>(
+/// the scalar reference engine. Returns globally-indexed hits. Shared
+/// with [`crate::journal`], whose checkpointed/resumed chunks must go
+/// through the exact same compute path to stay bit-identical.
+pub(crate) fn search_partition<F>(
     query: &[u8],
     db: &Database,
     range: Range<usize>,

@@ -78,6 +78,14 @@ pub enum ServeError {
     WorkerPanicked,
     /// The query is not a valid encoded sequence.
     InvalidQuery(AlignError),
+    /// The query exceeds the server's admission quota
+    /// ([`ServerConfig::max_query_len`]).
+    QueryTooLarge {
+        /// Residues in the rejected query.
+        len: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -90,6 +98,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "worker panicked and degraded retry failed")
             }
             ServeError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+            ServeError::QueryTooLarge { len, limit } => {
+                write!(f, "query of {len} residues exceeds admission limit {limit}")
+            }
         }
     }
 }
@@ -140,6 +151,9 @@ struct ServerObs {
     shed: Arc<Counter>,
     worker_panics: Arc<Counter>,
     retries: Arc<Counter>,
+    journal_replays: Arc<Counter>,
+    records_quarantined: Arc<Counter>,
+    corrupt_images: Arc<Counter>,
 }
 
 impl ServerObs {
@@ -186,6 +200,18 @@ impl ServerObs {
                 "swsimd_server_retries_total",
                 "Degraded retries run on the scalar reference engine.",
             ),
+            journal_replays: counter(
+                "swsimd_server_journal_replays_total",
+                "Searches resumed from a journal instead of recomputed.",
+            ),
+            records_quarantined: counter(
+                "swsimd_server_records_quarantined_total",
+                "Malformed ingest records quarantined (skip-record policy).",
+            ),
+            corrupt_images: counter(
+                "swsimd_server_corrupt_images_total",
+                "Database images rejected for failed integrity checks.",
+            ),
         })
     }
 }
@@ -218,6 +244,7 @@ pub struct ServerClient {
     tx: Sender<Msg>,
     counters: Arc<ServeCounters>,
     obs: Arc<ServerObs>,
+    max_query_len: usize,
 }
 
 impl ServerClient {
@@ -227,6 +254,17 @@ impl ServerClient {
         top_k: usize,
         deadline: Option<Instant>,
     ) -> Result<(Job, Receiver<Reply>), ServeError> {
+        if query.len() > self.max_query_len {
+            swsimd_obs::event!(
+                "query_rejected_too_large",
+                "len" => query.len(),
+                "limit" => self.max_query_len
+            );
+            return Err(ServeError::QueryTooLarge {
+                len: query.len(),
+                limit: self.max_query_len,
+            });
+        }
         validate_encoded(&query)?;
         let (reply_tx, reply_rx) = bounded(1);
         Ok((
@@ -344,6 +382,11 @@ pub struct ServerConfig {
     /// human-readable [`health_line`]-style summary at most this often
     /// (checked after each batch). `None` (the default) disables it.
     pub health_period: Option<Duration>,
+    /// Admission quota: queries longer than this many residues are
+    /// rejected at submit time with [`ServeError::QueryTooLarge`]
+    /// before any buffering — the serving-side arm of the ingestion
+    /// memory budget (`swsimd_seq::IngestQuota`).
+    pub max_query_len: usize,
 }
 
 impl Default for ServerConfig {
@@ -354,6 +397,7 @@ impl Default for ServerConfig {
             queue_depth: 1024,
             fault_plan: FaultPlan::default(),
             health_period: None,
+            max_query_len: usize::MAX,
         }
     }
 }
@@ -371,6 +415,7 @@ pub struct BatchServer {
     worker: Option<std::thread::JoinHandle<()>>,
     counters: Arc<ServeCounters>,
     obs: Arc<ServerObs>,
+    max_query_len: usize,
 }
 
 impl BatchServer {
@@ -383,6 +428,7 @@ impl BatchServer {
         let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(cfg.queue_depth.max(1));
         let counters = Arc::new(ServeCounters::default());
         let obs = ServerObs::new();
+        let max_query_len = cfg.max_query_len;
         let worker_counters = counters.clone();
         let worker_obs = obs.clone();
         let worker = std::thread::spawn(move || {
@@ -443,6 +489,7 @@ impl BatchServer {
             worker: Some(worker),
             counters,
             obs,
+            max_query_len,
         }
     }
 
@@ -452,7 +499,31 @@ impl BatchServer {
             tx: self.client_tx.clone(),
             counters: self.counters.clone(),
             obs: self.obs.clone(),
+            max_query_len: self.max_query_len,
         }
+    }
+
+    /// Record a journal-replay recovery into the ledger and the
+    /// registry mirror. Called by boot/recovery paths that resume a
+    /// search from a journal before (or while) serving.
+    pub fn note_journal_replay(&self) {
+        ServeCounters::bump(&self.counters.journal_replays);
+        self.obs.journal_replays.inc();
+    }
+
+    /// Record `n` quarantined ingest records (e.g. from the
+    /// `IngestReport` of the database load that booted this server).
+    pub fn note_records_quarantined(&self, n: u64) {
+        self.counters
+            .records_quarantined
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        self.obs.records_quarantined.add(n);
+    }
+
+    /// Record a database image rejected for failed integrity checks.
+    pub fn note_corrupt_image(&self) {
+        ServeCounters::bump(&self.counters.corrupt_images);
+        self.obs.corrupt_images.inc();
     }
 
     /// Live snapshot of the serving counters.
@@ -794,6 +865,73 @@ mod tests {
         }
         let stats = server.shutdown();
         assert_eq!(stats.queries, 0, "invalid queries never reach the worker");
+    }
+
+    #[test]
+    fn oversized_query_rejected_at_admission() {
+        let db = tiny_db();
+        let server = BatchServer::start(
+            db,
+            ServerConfig {
+                max_query_len: 16,
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        match client.query(enc(64, 3), 1) {
+            Err(ServeError::QueryTooLarge { len, limit }) => {
+                assert_eq!((len, limit), (64, 16));
+            }
+            other => panic!("expected QueryTooLarge, got {other:?}"),
+        }
+        // All entry points share the admission path.
+        assert!(matches!(
+            client.try_query(enc(64, 4), 1),
+            Err(ServeError::QueryTooLarge { .. })
+        ));
+        assert!(matches!(
+            client.query_with_deadline(enc(64, 5), 1, Duration::from_millis(50)),
+            Err(ServeError::QueryTooLarge { .. })
+        ));
+        // A query inside the quota still works.
+        let hits = client.query(enc(10, 6), 1).expect("within quota");
+        assert_eq!(hits.len(), 1);
+        let stats = server.shutdown();
+        assert_eq!(stats.queries, 1, "oversized queries never reach the worker");
+    }
+
+    #[test]
+    fn recovery_counters_surface_in_exposition() {
+        let db = tiny_db();
+        let server = BatchServer::start(db, ServerConfig::default(), || {
+            Aligner::builder().matrix(blosum62())
+        });
+        server.note_journal_replay();
+        server.note_records_quarantined(3);
+        server.note_corrupt_image();
+        let stats = server.stats();
+        assert_eq!(stats.journal_replays, 1);
+        assert_eq!(stats.records_quarantined, 3);
+        assert_eq!(stats.corrupt_images, 1);
+        let line = server.health_line();
+        assert!(line.contains("journal_replays=1"), "{line}");
+        assert!(line.contains("records_quarantined=3"), "{line}");
+        assert!(line.contains("corrupt_images=1"), "{line}");
+        let text = server.prometheus_text();
+        assert!(
+            text.contains("swsimd_server_journal_replays_total"),
+            "{text}"
+        );
+        assert!(
+            text.contains("swsimd_server_records_quarantined_total"),
+            "{text}"
+        );
+        assert!(
+            text.contains("swsimd_server_corrupt_images_total"),
+            "{text}"
+        );
+        let _ = server.shutdown();
     }
 
     #[test]

@@ -35,6 +35,44 @@ impl Database {
         }
     }
 
+    /// Build a database only if `records` fits inside `quota` — the
+    /// admission-path arm of the ingestion memory budget, for callers
+    /// that assemble records themselves (e.g. the batch server) rather
+    /// than streaming through `read_database_streaming_with`.
+    pub fn try_from_records(
+        records: Vec<SeqRecord>,
+        alphabet: &Alphabet,
+        quota: &crate::stream::IngestQuota,
+    ) -> Result<Self, crate::stream::IngestError> {
+        use crate::stream::IngestError;
+        if records.len() > quota.max_records {
+            return Err(IngestError::QuotaExceeded {
+                quota: "records",
+                limit: quota.max_records as u64,
+                observed: records.len() as u64,
+            });
+        }
+        let mut total = 0usize;
+        for r in &records {
+            if r.seq.len() > quota.max_record_residues {
+                return Err(IngestError::QuotaExceeded {
+                    quota: "record residues",
+                    limit: quota.max_record_residues as u64,
+                    observed: r.seq.len() as u64,
+                });
+            }
+            total = total.saturating_add(r.seq.len());
+        }
+        if total > quota.max_total_residues {
+            return Err(IngestError::QuotaExceeded {
+                quota: "total residues",
+                limit: quota.max_total_residues as u64,
+                observed: total as u64,
+            });
+        }
+        Ok(Self::from_records(records, alphabet))
+    }
+
     /// Number of sequences.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -278,6 +316,51 @@ mod tests {
             }
             assert_eq!(covered, (0..5).collect::<Vec<_>>(), "parts={parts}");
         }
+    }
+
+    #[test]
+    fn quota_checked_construction() {
+        use crate::stream::{IngestError, IngestQuota};
+        let records = vec![
+            SeqRecord::new("a", b"MKV".to_vec()),
+            SeqRecord::new("b", b"WWWW".to_vec()),
+        ];
+        let ok = Database::try_from_records(
+            records.clone(),
+            &Alphabet::protein(),
+            &IngestQuota::unlimited(),
+        );
+        assert_eq!(ok.unwrap().len(), 2);
+        let too_many = Database::try_from_records(
+            records.clone(),
+            &Alphabet::protein(),
+            &IngestQuota {
+                max_records: 1,
+                ..IngestQuota::unlimited()
+            },
+        );
+        assert!(matches!(
+            too_many.map(|_| ()),
+            Err(IngestError::QuotaExceeded {
+                quota: "records",
+                ..
+            })
+        ));
+        let too_long = Database::try_from_records(
+            records,
+            &Alphabet::protein(),
+            &IngestQuota {
+                max_record_residues: 3,
+                ..IngestQuota::unlimited()
+            },
+        );
+        assert!(matches!(
+            too_long.map(|_| ()),
+            Err(IngestError::QuotaExceeded {
+                quota: "record residues",
+                ..
+            })
+        ));
     }
 
     #[test]

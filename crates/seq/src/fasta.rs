@@ -1,14 +1,24 @@
 //! Minimal, strict FASTA reader/writer.
+//!
+//! Accepts both LF and CRLF line endings. Every parse error carries
+//! the 1-based line number where it was detected, including I/O errors
+//! (the line being read when the reader failed).
 
 use std::io::{self, BufRead, Write};
 
 use crate::record::SeqRecord;
 
-/// Errors from FASTA parsing.
+/// Errors from FASTA parsing. Every variant carries the 1-based line
+/// number at which the problem was detected.
 #[derive(Debug)]
 pub enum FastaError {
     /// Underlying I/O failure.
-    Io(io::Error),
+    Io {
+        /// 1-based number of the line being read when the I/O failed.
+        line: usize,
+        /// The underlying error.
+        source: io::Error,
+    },
     /// Sequence data encountered before any `>` header.
     DataBeforeHeader {
         /// 1-based line number of the offending data.
@@ -19,38 +29,66 @@ pub enum FastaError {
         /// 1-based line number of the empty header.
         line: usize,
     },
+    /// A record exceeded the configured per-record residue cap (see
+    /// `stream::IngestQuota::max_record_residues`).
+    RecordTooLong {
+        /// 1-based line number at which the cap was crossed.
+        line: usize,
+        /// The configured cap, in residues.
+        limit: usize,
+    },
+}
+
+impl FastaError {
+    /// The 1-based line number the error was detected at.
+    pub fn line(&self) -> usize {
+        match self {
+            FastaError::Io { line, .. }
+            | FastaError::DataBeforeHeader { line }
+            | FastaError::EmptyHeader { line }
+            | FastaError::RecordTooLong { line, .. } => *line,
+        }
+    }
 }
 
 impl std::fmt::Display for FastaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::Io { line, source } => write!(f, "line {line}: I/O error: {source}"),
             FastaError::DataBeforeHeader { line } => {
                 write!(f, "line {line}: sequence data before first '>' header")
             }
             FastaError::EmptyHeader { line } => write!(f, "line {line}: empty FASTA header"),
+            FastaError::RecordTooLong { line, limit } => {
+                write!(f, "line {line}: record exceeds {limit}-residue cap")
+            }
         }
     }
 }
 
-impl std::error::Error for FastaError {}
-
-impl From<io::Error> for FastaError {
-    fn from(e: io::Error) -> Self {
-        FastaError::Io(e)
+impl std::error::Error for FastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastaError::Io { source, .. } => Some(source),
+            _ => None,
+        }
     }
 }
 
 /// Parse FASTA records from a buffered reader.
 ///
 /// Whitespace inside sequence lines is dropped; blank lines are allowed
-/// anywhere; `;` comment lines (legacy FASTA) are skipped.
+/// anywhere; `;` comment lines (legacy FASTA) are skipped; CRLF line
+/// endings are accepted.
 pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<SeqRecord>, FastaError> {
     let mut records = Vec::new();
     let mut current: Option<SeqRecord> = None;
 
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(|source| FastaError::Io {
+            line: lineno + 1,
+            source,
+        })?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with(';') {
             continue;
@@ -103,11 +141,27 @@ pub fn write_fasta<W: Write>(mut writer: W, records: &[SeqRecord], width: usize)
     Ok(())
 }
 
-/// Render records to a FASTA string.
+/// Render records to a FASTA string (infallible: builds the string
+/// directly rather than routing through a fallible writer).
 pub fn to_fasta_string(records: &[SeqRecord], width: usize) -> String {
-    let mut buf = Vec::new();
-    write_fasta(&mut buf, records, width).expect("in-memory write cannot fail");
-    String::from_utf8(buf).expect("FASTA output is ASCII")
+    let width = width.max(1);
+    let mut out = String::new();
+    for rec in records {
+        out.push('>');
+        out.push_str(&rec.id);
+        if !rec.description.is_empty() {
+            out.push(' ');
+            out.push_str(&rec.description);
+        }
+        out.push('\n');
+        for chunk in rec.seq.chunks(width) {
+            // Residues are ASCII by construction; anything else is
+            // rendered lossily rather than aborting the dump.
+            out.push_str(&String::from_utf8_lossy(chunk));
+            out.push('\n');
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -122,6 +176,16 @@ mod tests {
         assert_eq!(recs[0].description, "first protein");
         assert_eq!(recs[0].seq, b"MKVLAA");
         assert_eq!(recs[1].id, "b");
+        assert_eq!(recs[1].seq, b"WWW");
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let recs = parse_fasta(">a desc here\r\nMKV\r\nLAA\r\n>b\r\nWWW\r\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "a");
+        assert_eq!(recs[0].description, "desc here");
+        assert_eq!(recs[0].seq, b"MKVLAA");
         assert_eq!(recs[1].seq, b"WWW");
     }
 
@@ -141,7 +205,7 @@ mod tests {
     }
 
     #[test]
-    fn empty_header_rejected() {
+    fn empty_header_rejected_with_line() {
         assert!(matches!(
             parse_fasta(">\nMKV\n"),
             Err(FastaError::EmptyHeader { line: 1 })
@@ -150,6 +214,28 @@ mod tests {
             parse_fasta("> \nMKV\n"),
             Err(FastaError::EmptyHeader { line: 1 })
         ));
+        let err = parse_fasta(">ok\nMKV\n>\nRR\n").unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn io_errors_carry_line_numbers() {
+        struct FailingReader;
+        impl io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+        }
+        impl BufRead for FailingReader {
+            fn fill_buf(&mut self) -> io::Result<&[u8]> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn consume(&mut self, _: usize) {}
+        }
+        match read_fasta(FailingReader) {
+            Err(FastaError::Io { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -175,5 +261,17 @@ mod tests {
         let recs = vec![SeqRecord::new("a", b"ABCDEFGHIJ".to_vec())];
         let text = to_fasta_string(&recs, 4);
         assert_eq!(text, ">a\nABCD\nEFGH\nIJ\n");
+    }
+
+    #[test]
+    fn string_render_matches_writer() {
+        let recs = vec![SeqRecord::with_description(
+            "q",
+            "query",
+            b"MKVLAADTW".to_vec(),
+        )];
+        let mut via_writer = Vec::new();
+        write_fasta(&mut via_writer, &recs, 4).unwrap();
+        assert_eq!(to_fasta_string(&recs, 4).as_bytes(), &via_writer[..]);
     }
 }

@@ -1,0 +1,121 @@
+//! Integrity primitives for durable on-disk formats: a dependency-free
+//! CRC32 (IEEE 802.3, the polynomial used by zip/png/ethernet) in both
+//! one-shot and incremental form.
+//!
+//! Used by the v2 database image format ([`crate::persist`]) for
+//! per-section checksums and by the `swsimd-runner` search journal for
+//! record framing. A checksum here is a *corruption* detector, not an
+//! authenticity mechanism: it turns truncated downloads, torn writes
+//! and flipped bits into typed errors instead of silently wrong
+//! alignment results.
+
+/// One-shot CRC32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Incremental CRC32 (IEEE) hasher.
+///
+/// ```
+/// use swsimd_seq::integrity::{crc32, Crc32};
+/// let mut h = Crc32::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finalize(), crc32(b"hello world"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The CRC32 (IEEE) lookup table, computed once at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        let mut c = self.state;
+        for &b in data {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Finish and return the checksum (the hasher may keep being fed;
+    /// `finalize` is a pure read).
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 (IEEE) test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u16..512).map(|i| (i * 7 % 251) as u8).collect();
+        for split in [0, 1, 100, 511, 512] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let data = b"MKVLAADTWGHKDDTWGHK".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

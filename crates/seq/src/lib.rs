@@ -6,10 +6,12 @@
 //! The sequence layer: FASTA I/O, residue-encoded records, database
 //! containers with the paper's 32-way transposed batch layout (§III-C,
 //! Fig 5), a synthetic Swiss-Prot-like generator (the dataset stand-in
-//! documented in DESIGN.md), and dataset statistics.
+//! documented in DESIGN.md), dataset statistics, and integrity-checked
+//! persistence (CRC32-framed image format, see DESIGN.md §10).
 
 pub mod db;
 pub mod fasta;
+pub mod integrity;
 pub mod persist;
 pub mod record;
 pub mod stats;
@@ -18,12 +20,16 @@ pub mod synth;
 
 pub use db::{BatchedDatabase, Database, DbBatch};
 pub use fasta::{parse_fasta, read_fasta, to_fasta_string, write_fasta, FastaError};
+pub use integrity::{crc32, Crc32};
 pub use persist::{
     load as load_database_image, save as save_database_image, PersistError, PersistedDatabase,
 };
 pub use record::{EncodedSeq, SeqRecord};
 pub use stats::{composition, length_histogram, length_stats, LengthStats};
-pub use stream::{read_database_streaming, FastaStream};
+pub use stream::{
+    read_database_streaming, read_database_streaming_with, FastaStream, IngestError, IngestOptions,
+    IngestPolicy, IngestQuota, IngestReport, QuarantinedRecord,
+};
 pub use synth::{
     generate, generate_database, generate_exact, mutate, plant_homologs, standard_queries,
     SynthConfig, ROBINSON_FREQS,

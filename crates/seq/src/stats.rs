@@ -41,8 +41,8 @@ pub fn length_stats(db: &Database) -> LengthStats {
     let total: usize = lens.iter().sum();
     LengthStats {
         count: lens.len(),
-        min: lens[0],
-        max: *lens.last().unwrap(),
+        min: lens.first().copied().unwrap_or(0),
+        max: lens.last().copied().unwrap_or(0),
         mean: total as f64 / lens.len() as f64,
         median: lens[lens.len() / 2],
         total,

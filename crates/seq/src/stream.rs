@@ -1,13 +1,31 @@
 //! Streaming FASTA ingestion for databases that should not be held as
 //! text in memory (Scenario 1's "database is streamed with little
-//! reuse", §II-C).
+//! reuse", §II-C) — hardened for hostile or damaged inputs.
 //!
 //! [`FastaStream`] yields one [`SeqRecord`] at a time from any
 //! `BufRead`; [`read_database_streaming`] folds the stream directly
 //! into an encoded [`Database`], dropping each raw record as soon as it
 //! is encoded.
+//!
+//! ## Recovery and quotas
+//!
+//! Production ingestion goes through [`read_database_streaming_with`]:
+//!
+//! * [`IngestPolicy`] chooses what one malformed record costs —
+//!   `Fail` aborts the load (the strict default), `SkipRecord`
+//!   quarantines the record (with its 1-based line number and reason)
+//!   into the returned [`IngestReport`] and keeps going. I/O errors
+//!   are always fatal: the reader is dead, not the record.
+//! * [`IngestQuota`] enforces a memory budget while the data streams:
+//!   input bytes, record count, per-record residues and total
+//!   residues. Exceeding any bound is a typed
+//!   [`IngestError::QuotaExceeded`] raised *before* the offending data
+//!   is buffered, so a hostile file cannot balloon the process.
+//!
+//! Each quarantined record also emits a `record_quarantined`
+//! observability event when a tracing sink is installed.
 
-use std::io::BufRead;
+use std::io::{self, BufRead};
 
 use swsimd_matrices::Alphabet;
 
@@ -15,24 +33,254 @@ use crate::db::Database;
 use crate::fasta::FastaError;
 use crate::record::SeqRecord;
 
+/// What to do when the stream encounters a malformed record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IngestPolicy {
+    /// Abort ingestion on the first malformed record (strict default).
+    #[default]
+    Fail,
+    /// Quarantine the malformed record into the [`IngestReport`] and
+    /// continue with the next record.
+    SkipRecord,
+}
+
+/// Resource bounds enforced during ingestion — the memory budget for a
+/// streamed load. Every field defaults to "unlimited"; see
+/// `DESIGN.md §10` for the defaults production deployments should pick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestQuota {
+    /// Maximum raw input bytes consumed from the reader.
+    pub max_input_bytes: u64,
+    /// Maximum number of records admitted.
+    pub max_records: usize,
+    /// Maximum residues in any single record (bounds the accumulation
+    /// buffer for one hostile record).
+    pub max_record_residues: usize,
+    /// Maximum total residues across the database.
+    pub max_total_residues: usize,
+}
+
+impl Default for IngestQuota {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl IngestQuota {
+    /// No bounds (the permissive default).
+    pub fn unlimited() -> Self {
+        Self {
+            max_input_bytes: u64::MAX,
+            max_records: usize::MAX,
+            max_record_residues: usize::MAX,
+            max_total_residues: usize::MAX,
+        }
+    }
+}
+
+/// Options for [`read_database_streaming_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IngestOptions {
+    /// Error-recovery policy.
+    pub on_error: IngestPolicy,
+    /// Resource bounds.
+    pub quota: IngestQuota,
+}
+
+/// One record rejected during a [`IngestPolicy::SkipRecord`] load.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedRecord {
+    /// 1-based line number where the problem was detected.
+    pub line: usize,
+    /// Human-readable reason (the underlying error's display form).
+    pub reason: String,
+}
+
+/// Outcome summary of a hardened streaming load.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records admitted into the database.
+    pub records: usize,
+    /// Total residues admitted.
+    pub residues: usize,
+    /// Raw input bytes consumed from the reader.
+    pub input_bytes: u64,
+    /// Records rejected and skipped (empty under [`IngestPolicy::Fail`]).
+    pub quarantined: Vec<QuarantinedRecord>,
+}
+
+/// Errors from a hardened streaming load.
+#[derive(Debug)]
+pub enum IngestError {
+    /// A parse or I/O failure (fatal under [`IngestPolicy::Fail`];
+    /// I/O failures are fatal under either policy).
+    Fasta(FastaError),
+    /// An [`IngestQuota`] bound was exceeded.
+    QuotaExceeded {
+        /// Which quota fired (e.g. `"input bytes"`, `"records"`).
+        quota: &'static str,
+        /// The configured bound.
+        limit: u64,
+        /// The observed value that crossed it.
+        observed: u64,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Fasta(e) => write!(f, "{e}"),
+            IngestError::QuotaExceeded {
+                quota,
+                limit,
+                observed,
+            } => write!(
+                f,
+                "ingest quota exceeded: {quota} (observed {observed}, limit {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Fasta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FastaError> for IngestError {
+    fn from(e: FastaError) -> Self {
+        IngestError::Fasta(e)
+    }
+}
+
+/// Marker payload inside the `io::Error` raised when the byte quota
+/// trips mid-read, so the fold loop can surface a typed quota error
+/// instead of a generic I/O failure.
+#[derive(Debug)]
+struct ByteQuotaHit {
+    limit: u64,
+    observed: u64,
+}
+
+impl std::fmt::Display for ByteQuotaHit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "input byte quota exceeded ({} read, limit {})",
+            self.observed, self.limit
+        )
+    }
+}
+
+impl std::error::Error for ByteQuotaHit {}
+
+/// A `BufRead` adapter that counts consumed bytes and refuses to read
+/// past a byte budget (the reader-level arm of [`IngestQuota`]).
+struct CountingReader<R> {
+    inner: R,
+    consumed: u64,
+    limit: u64,
+}
+
+impl<R: BufRead> CountingReader<R> {
+    fn new(inner: R, limit: u64) -> Self {
+        Self {
+            inner,
+            consumed: 0,
+            limit,
+        }
+    }
+}
+
+impl<R: BufRead> io::Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl<R: BufRead> BufRead for CountingReader<R> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if self.consumed >= self.limit {
+            return Err(io::Error::other(ByteQuotaHit {
+                limit: self.limit,
+                observed: self.consumed,
+            }));
+        }
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.consumed += amt as u64;
+        self.inner.consume(amt);
+    }
+}
+
 /// An iterator over FASTA records in a reader.
+///
+/// Strict by default: the first malformed record poisons the stream
+/// (it yields the error and then `None`). With
+/// [`FastaStream::resume_on_error`] the stream instead yields the
+/// error and *continues at the next `>` header*, so one bad record
+/// costs one `Err` item, not the rest of the file. I/O errors always
+/// end the stream.
 pub struct FastaStream<R: BufRead> {
     reader: R,
     lineno: usize,
     /// Header of the record currently being accumulated.
     pending: Option<SeqRecord>,
     done: bool,
+    /// Recovery mode: resynchronize at the next header after an error.
+    recover: bool,
+    /// Currently discarding lines that belong to a rejected record.
+    skipping: bool,
+    /// A second item discovered while producing the current one (a
+    /// completed record followed immediately by a bad header).
+    queued: Option<FastaError>,
+    /// Per-record residue cap (memory bound for one record).
+    record_cap: usize,
 }
 
 impl<R: BufRead> FastaStream<R> {
-    /// Start streaming records from a reader.
+    /// Start streaming records from a reader (strict mode).
     pub fn new(reader: R) -> Self {
         Self {
             reader,
             lineno: 0,
             pending: None,
             done: false,
+            recover: false,
+            skipping: false,
+            queued: None,
+            record_cap: usize::MAX,
         }
+    }
+
+    /// Switch to recovery mode: malformed records yield one `Err` each
+    /// and the stream resynchronizes at the next `>` header.
+    pub fn resume_on_error(mut self) -> Self {
+        self.recover = true;
+        self
+    }
+
+    /// Bound the residues accumulated for any single record. An
+    /// oversized record yields [`FastaError::RecordTooLong`] and (in
+    /// recovery mode) is skipped like any other malformed record.
+    pub fn record_cap(mut self, cap: usize) -> Self {
+        self.record_cap = cap;
+        self
+    }
+
+    /// 1-based number of the last line read.
+    pub fn line(&self) -> usize {
+        self.lineno
     }
 
     fn parse_header(&mut self, header: &str) -> Result<SeqRecord, FastaError> {
@@ -44,12 +292,28 @@ impl<R: BufRead> FastaStream<R> {
         let description = parts.next().unwrap_or("").trim().to_string();
         Ok(SeqRecord::with_description(id, description, Vec::new()))
     }
+
+    /// Route one error according to the recovery policy: strict mode
+    /// poisons the stream, recovery mode starts skipping until the
+    /// next header.
+    fn fail(&mut self, e: FastaError) -> Option<Result<SeqRecord, FastaError>> {
+        if self.recover {
+            self.skipping = true;
+            self.pending = None;
+        } else {
+            self.done = true;
+        }
+        Some(Err(e))
+    }
 }
 
 impl<R: BufRead> Iterator for FastaStream<R> {
     type Item = Result<SeqRecord, FastaError>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if let Some(e) = self.queued.take() {
+            return self.fail(e);
+        }
         if self.done {
             return None;
         }
@@ -62,9 +326,13 @@ impl<R: BufRead> Iterator for FastaStream<R> {
                     return self.pending.take().map(Ok);
                 }
                 Ok(_) => {}
-                Err(e) => {
+                Err(source) => {
+                    // The reader is dead; recovery cannot help.
                     self.done = true;
-                    return Some(Err(FastaError::Io(e)));
+                    return Some(Err(FastaError::Io {
+                        line: self.lineno + 1,
+                        source,
+                    }));
                 }
             }
             self.lineno += 1;
@@ -74,25 +342,43 @@ impl<R: BufRead> Iterator for FastaStream<R> {
             }
             if let Some(header) = trimmed.strip_prefix('>') {
                 let header = header.to_string();
+                self.skipping = false;
                 let next = match self.parse_header(&header) {
                     Ok(r) => r,
                     Err(e) => {
-                        self.done = true;
-                        return Some(Err(e));
+                        // A completed record ends at this bad header:
+                        // yield it first, the error on the next call.
+                        if let Some(complete) = self.pending.take() {
+                            self.queued = Some(e);
+                            return Some(Ok(complete));
+                        }
+                        return self.fail(e);
                     }
                 };
                 if let Some(complete) = self.pending.replace(next) {
                     return Some(Ok(complete));
                 }
                 // First record: keep accumulating.
+            } else if self.skipping {
+                // Sequence data belonging to a rejected record.
+                continue;
             } else {
                 match self.pending.as_mut() {
-                    Some(rec) => rec
-                        .seq
-                        .extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace())),
+                    Some(rec) => {
+                        let add = trimmed.bytes().filter(|b| !b.is_ascii_whitespace()).count();
+                        if rec.seq.len().saturating_add(add) > self.record_cap {
+                            let e = FastaError::RecordTooLong {
+                                line: self.lineno,
+                                limit: self.record_cap,
+                            };
+                            return self.fail(e);
+                        }
+                        rec.seq
+                            .extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace()));
+                    }
                     None => {
-                        self.done = true;
-                        return Some(Err(FastaError::DataBeforeHeader { line: self.lineno }));
+                        let e = FastaError::DataBeforeHeader { line: self.lineno };
+                        return self.fail(e);
                     }
                 }
             }
@@ -100,7 +386,8 @@ impl<R: BufRead> Iterator for FastaStream<R> {
     }
 }
 
-/// Stream a FASTA reader straight into an encoded [`Database`].
+/// Stream a FASTA reader straight into an encoded [`Database`]
+/// (strict: first malformed record aborts; no quotas).
 pub fn read_database_streaming<R: BufRead>(
     reader: R,
     alphabet: &Alphabet,
@@ -110,6 +397,80 @@ pub fn read_database_streaming<R: BufRead>(
         records.push(rec?);
     }
     Ok(Database::from_records(records, alphabet))
+}
+
+/// Stream a FASTA reader into an encoded [`Database`] under an
+/// explicit recovery policy and resource quotas, reporting what was
+/// admitted and what was quarantined.
+pub fn read_database_streaming_with<R: BufRead>(
+    reader: R,
+    alphabet: &Alphabet,
+    opts: &IngestOptions,
+) -> Result<(Database, IngestReport), IngestError> {
+    let quota = &opts.quota;
+    let counting = CountingReader::new(reader, quota.max_input_bytes);
+    let mut stream = FastaStream::new(counting).record_cap(quota.max_record_residues);
+    if opts.on_error == IngestPolicy::SkipRecord {
+        stream = stream.resume_on_error();
+    }
+
+    let mut report = IngestReport::default();
+    let mut records = Vec::new();
+    for item in &mut stream {
+        match item {
+            Ok(rec) => {
+                if report.records + 1 > quota.max_records {
+                    return Err(IngestError::QuotaExceeded {
+                        quota: "records",
+                        limit: quota.max_records as u64,
+                        observed: report.records as u64 + 1,
+                    });
+                }
+                if report.residues.saturating_add(rec.len()) > quota.max_total_residues {
+                    return Err(IngestError::QuotaExceeded {
+                        quota: "total residues",
+                        limit: quota.max_total_residues as u64,
+                        observed: (report.residues.saturating_add(rec.len())) as u64,
+                    });
+                }
+                report.records += 1;
+                report.residues += rec.len();
+                records.push(rec);
+            }
+            Err(FastaError::Io { line, source }) => {
+                // The byte quota surfaces as an I/O error at the
+                // reader level; everything else is a genuinely dead
+                // reader and fatal under either policy.
+                if let Some(hit) = source
+                    .get_ref()
+                    .and_then(|e| e.downcast_ref::<ByteQuotaHit>())
+                {
+                    return Err(IngestError::QuotaExceeded {
+                        quota: "input bytes",
+                        limit: hit.limit,
+                        observed: hit.observed,
+                    });
+                }
+                return Err(IngestError::Fasta(FastaError::Io { line, source }));
+            }
+            Err(e) => match opts.on_error {
+                IngestPolicy::Fail => return Err(IngestError::Fasta(e)),
+                IngestPolicy::SkipRecord => {
+                    swsimd_obs::event!(
+                        "record_quarantined",
+                        "line" => e.line(),
+                        "reason" => e.to_string()
+                    );
+                    report.quarantined.push(QuarantinedRecord {
+                        line: e.line(),
+                        reason: e.to_string(),
+                    });
+                }
+            },
+        }
+    }
+    report.input_bytes = stream.reader.consumed;
+    Ok((Database::from_records(records, alphabet), report))
 }
 
 #[cfg(test)]
@@ -152,11 +513,168 @@ mod tests {
     }
 
     #[test]
+    fn recovery_skips_bad_records_and_keeps_good_ones() {
+        // Bad header between two good records, leading junk, and a
+        // trailing good record.
+        let text = "JUNK\n>a\nMKV\n>\nSKIPPED\nDATA\n>b desc\nWWW\n";
+        let items: Vec<_> = FastaStream::new(text.as_bytes())
+            .resume_on_error()
+            .collect();
+        // junk error, record a, empty-header error, record b.
+        assert_eq!(items.len(), 4, "{items:?}");
+        assert!(matches!(
+            items[0],
+            Err(FastaError::DataBeforeHeader { line: 1 })
+        ));
+        assert_eq!(items[1].as_ref().unwrap().id, "a");
+        assert!(matches!(items[2], Err(FastaError::EmptyHeader { line: 4 })));
+        let b = items[3].as_ref().unwrap();
+        assert_eq!(b.id, "b");
+        assert_eq!(b.seq, b"WWW", "skipped lines must not leak into b");
+    }
+
+    #[test]
+    fn recovery_preserves_record_before_bad_header() {
+        let text = ">good\nMKV\n>\nXXX\n";
+        let items: Vec<_> = FastaStream::new(text.as_bytes())
+            .resume_on_error()
+            .collect();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].as_ref().unwrap().seq, b"MKV");
+        assert!(matches!(items[1], Err(FastaError::EmptyHeader { line: 3 })));
+    }
+
+    #[test]
+    fn crlf_stream() {
+        let items: Vec<_> = FastaStream::new(">a\r\nMKV\r\nLAA\r\n".as_bytes()).collect();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].as_ref().unwrap().seq, b"MKVLAA");
+    }
+
+    #[test]
+    fn record_cap_rejects_oversized_record() {
+        let text = ">big\nMKVLAADTW\n>small\nMK\n";
+        let items: Vec<_> = FastaStream::new(text.as_bytes())
+            .record_cap(4)
+            .resume_on_error()
+            .collect();
+        assert_eq!(items.len(), 2, "{items:?}");
+        assert!(matches!(
+            items[0],
+            Err(FastaError::RecordTooLong { line: 2, limit: 4 })
+        ));
+        assert_eq!(items[1].as_ref().unwrap().id, "small");
+    }
+
+    #[test]
     fn streaming_database() {
         let db = read_database_streaming(SAMPLE.as_bytes(), &Alphabet::protein()).unwrap();
         assert_eq!(db.len(), 3);
         assert_eq!(db.total_residues(), 9);
         assert_eq!(db.encoded(0).idx.len(), 6);
+    }
+
+    #[test]
+    fn hardened_load_quarantines_and_reports() {
+        let text = ">a\nMKV\n>\nBAD\n>b\nWW\n";
+        let (db, report) = read_database_streaming_with(
+            text.as_bytes(),
+            &Alphabet::protein(),
+            &IngestOptions {
+                on_error: IngestPolicy::SkipRecord,
+                quota: IngestQuota::unlimited(),
+            },
+        )
+        .unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(report.records, 2);
+        assert_eq!(report.residues, 5);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].line, 3);
+        assert!(report.input_bytes >= text.len() as u64);
+    }
+
+    #[test]
+    fn hardened_load_fail_policy_aborts() {
+        let text = ">a\nMKV\n>\nBAD\n";
+        let r = read_database_streaming_with(
+            text.as_bytes(),
+            &Alphabet::protein(),
+            &IngestOptions::default(),
+        );
+        assert!(matches!(
+            r.map(|_| ()),
+            Err(IngestError::Fasta(FastaError::EmptyHeader { line: 3 }))
+        ));
+    }
+
+    #[test]
+    fn record_quota_enforced() {
+        let text = ">a\nMKV\n>b\nWW\n>c\nR\n";
+        let r = read_database_streaming_with(
+            text.as_bytes(),
+            &Alphabet::protein(),
+            &IngestOptions {
+                on_error: IngestPolicy::Fail,
+                quota: IngestQuota {
+                    max_records: 2,
+                    ..IngestQuota::unlimited()
+                },
+            },
+        );
+        match r.map(|_| ()) {
+            Err(IngestError::QuotaExceeded { quota, limit, .. }) => {
+                assert_eq!(quota, "records");
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected records quota, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residue_quota_enforced() {
+        let text = ">a\nMKVLA\n>b\nWWWWW\n";
+        let r = read_database_streaming_with(
+            text.as_bytes(),
+            &Alphabet::protein(),
+            &IngestOptions {
+                on_error: IngestPolicy::Fail,
+                quota: IngestQuota {
+                    max_total_residues: 7,
+                    ..IngestQuota::unlimited()
+                },
+            },
+        );
+        assert!(matches!(
+            r.map(|_| ()),
+            Err(IngestError::QuotaExceeded {
+                quota: "total residues",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn byte_quota_enforced_before_buffering() {
+        let mut text = String::from(">a\n");
+        for _ in 0..1000 {
+            text.push_str("MKVLAADTWGHK\n");
+        }
+        let r = read_database_streaming_with(
+            text.as_bytes(),
+            &Alphabet::protein(),
+            &IngestOptions {
+                on_error: IngestPolicy::Fail,
+                quota: IngestQuota {
+                    max_input_bytes: 64,
+                    ..IngestQuota::unlimited()
+                },
+            },
+        );
+        match r.map(|_| ()) {
+            Err(IngestError::QuotaExceeded { quota, .. }) => assert_eq!(quota, "input bytes"),
+            other => panic!("expected byte quota, got {other:?}"),
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   --engine NAME        scalar | sse4.1 | avx2 | avx-512 (default: best)
 //!   --mode M             local | global | semiglobal (default local)
 //!   --no-traceback       scores only for align
+//!   --journal PATH       search: checkpoint completed chunks to PATH; if PATH
+//!                        already holds a journal from a crashed run, resume it
+//!                        (bit-identical results). Removed on completion.
 //! ```
 
 use std::process::ExitCode;
@@ -33,6 +36,7 @@ struct Opts {
     engine: EngineKind,
     traceback: bool,
     mode: AlignMode,
+    journal: Option<std::path::PathBuf>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -48,6 +52,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         engine: EngineKind::best(),
         traceback: true,
         mode: AlignMode::Local,
+        journal: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -94,6 +99,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--no-traceback" => o.traceback = false,
+            "--journal" => o.journal = Some(val("--journal")?.into()),
             "--mode" => {
                 let n = val("--mode")?.to_lowercase();
                 o.mode = match n.as_str() {
@@ -161,11 +167,60 @@ fn cmd_align(query_path: &str, target_path: &str, o: &Opts) -> Result<(), String
     Ok(())
 }
 
+/// Run one query durably: resume from an existing journal at `path`
+/// if one survives a previous crash, otherwise start a fresh
+/// checkpointed search. The journal is removed once the scan
+/// completes (it only has value mid-crash).
+fn durable_search(
+    qe: &[u8],
+    db: &Database,
+    cfg: &PoolConfig,
+    o: &Opts,
+    path: &std::path::Path,
+) -> Result<swsimd::runner::SearchOutput, String> {
+    if path.exists() {
+        let journal = swsimd::read_journal_file(path).map_err(|e| {
+            format!(
+                "{}: unreadable journal ({e}); delete it to restart",
+                path.display()
+            )
+        })?;
+        let (out, stats) = swsimd::resume_search(&journal, qe, db, cfg, || builder_for(o))
+            .map_err(|e| {
+                format!(
+                    "{}: cannot resume ({e}); delete it to restart",
+                    path.display()
+                )
+            })?;
+        eprintln!(
+            "resumed from {}: replayed {} chunk(s), recomputed {}",
+            path.display(),
+            stats.replayed_chunks,
+            stats.recomputed_chunks
+        );
+        let _ = std::fs::remove_file(path);
+        return Ok(out);
+    }
+    let mut journal =
+        swsimd::JournalWriter::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let out = swsimd::checkpointed_search(qe, db, cfg, || builder_for(o), &mut journal)
+        .map_err(|e| format!("search died ({e}); rerun with --journal to resume"))?;
+    drop(journal);
+    let _ = std::fs::remove_file(path);
+    Ok(out)
+}
+
 fn cmd_search(query_path: &str, db_path: &str, o: &Opts) -> Result<(), String> {
     let alphabet = o.matrix.alphabet().clone();
     let queries = load_fasta(query_path)?;
     let db_records = load_fasta(db_path)?;
     let db = Database::from_records(db_records, &alphabet);
+    if o.journal.is_some() && queries.len() != 1 {
+        return Err(format!(
+            "--journal checkpoints a single query, got {}",
+            queries.len()
+        ));
+    }
     eprintln!(
         "db: {} sequences / {} residues; engine {}; {} threads",
         db.len(),
@@ -176,17 +231,16 @@ fn cmd_search(query_path: &str, db_path: &str, o: &Opts) -> Result<(), String> {
 
     for q in &queries {
         let qe = alphabet.encode(&q.seq);
+        let cfg = PoolConfig {
+            threads: o.threads,
+            sort_batches: true,
+            ..PoolConfig::default()
+        };
         let start = std::time::Instant::now();
-        let out = parallel_search(
-            &qe,
-            &db,
-            &PoolConfig {
-                threads: o.threads,
-                sort_batches: true,
-                ..PoolConfig::default()
-            },
-            || builder_for(o),
-        );
+        let out = match &o.journal {
+            Some(path) => durable_search(&qe, &db, &cfg, o, path)?,
+            None => parallel_search(&qe, &db, &cfg, || builder_for(o)),
+        };
         let secs = start.elapsed().as_secs_f64();
         let cells = qe.len() as u64 * db.total_residues() as u64;
         eprintln!(

@@ -330,4 +330,294 @@ mod server_faults {
         }
         let _ = server.shutdown();
     }
+
+    #[test]
+    fn oversized_query_is_rejected_at_admission() {
+        let database = Arc::new(db(8, 22));
+        let server = BatchServer::start(
+            database,
+            ServerConfig {
+                max_query_len: 16,
+                ..Default::default()
+            },
+            builder,
+        );
+        let client = server.client();
+        match client.query(enc(40, 23), 1) {
+            Err(ServeError::QueryTooLarge { len, limit }) => {
+                assert_eq!((len, limit), (40, 16));
+            }
+            other => panic!("expected QueryTooLarge, got {other:?}"),
+        }
+        assert!(
+            client.query(enc(16, 24), 1).is_ok(),
+            "at-limit query passes"
+        );
+        let _ = server.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// durability: checkpoint/resume, torn writes, and the corruption fuzz —
+// the recovery contract (DESIGN.md §10) exercised through the facade.
+// ---------------------------------------------------------------------
+mod durability {
+    use swsimd::matrices::{blosum62, Alphabet};
+    use swsimd::runner::{parallel_search, PoolConfig, SearchOutput};
+    use swsimd::seq::{
+        generate_database, generate_exact, load_database_image, save_database_image,
+        BatchedDatabase, SynthConfig,
+    };
+    use swsimd::{
+        checkpointed_search, read_journal, resume_search, Aligner, Database, FaultPlan,
+        FaultyWriter, Journal, JournalWriter,
+    };
+
+    fn db(n: usize, seed: u64) -> Database {
+        generate_database(&SynthConfig {
+            n_seqs: n,
+            seed,
+            median_len: 50.0,
+            max_len: 120,
+            ..Default::default()
+        })
+    }
+
+    fn enc(len: usize, seed: u64) -> Vec<u8> {
+        Alphabet::protein().encode(&generate_exact(len, seed).seq)
+    }
+
+    fn builder() -> swsimd::AlignerBuilder {
+        Aligner::builder().matrix(blosum62())
+    }
+
+    fn cfg(threads: usize) -> PoolConfig {
+        PoolConfig {
+            threads,
+            sort_batches: true,
+            ..Default::default()
+        }
+    }
+
+    fn oracle(q: &[u8], database: &Database, threads: usize) -> SearchOutput {
+        parallel_search(q, database, &cfg(threads), builder)
+    }
+
+    /// Number of fuzz cases per corpus; override with
+    /// `SWSIMD_FUZZ_CASES` (e.g. for a longer CI soak).
+    fn fuzz_cases() -> u64 {
+        std::env::var("SWSIMD_FUZZ_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(6_000)
+    }
+
+    /// Small deterministic PRNG (splitmix64) so every fuzz case is
+    /// reproducible from its index alone.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Derive one corrupted variant of `clean` from a case seed:
+    /// truncation, a bit flip, or both. Returns `None` when the
+    /// mutation is a no-op (full-length cut with no flip).
+    fn mutate(clean: &[u8], seed: u64) -> Option<Vec<u8>> {
+        let mut s = seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(1);
+        let op = splitmix64(&mut s) % 3;
+        let mut data = clean.to_vec();
+        if op != 1 {
+            let cut = (splitmix64(&mut s) as usize) % (clean.len() + 1);
+            if op == 0 && cut == clean.len() {
+                return None;
+            }
+            data.truncate(cut);
+        }
+        if op != 0 && !data.is_empty() {
+            let pos = (splitmix64(&mut s) as usize) % data.len();
+            let bit = 1u8 << (splitmix64(&mut s) % 8);
+            data[pos] ^= bit;
+        }
+        Some(data)
+    }
+
+    /// Acceptance criterion: kill -9 after N completed chunks, then
+    /// resume — bit-identical to the uninterrupted run at EVERY crash
+    /// point, with exactly the surviving chunks replayed.
+    #[test]
+    fn kill_and_resume_is_bit_identical_at_every_crash_point() {
+        let threads = 4;
+        let database = db(30, 41);
+        let q = enc(48, 42);
+        let want = oracle(&q, &database, threads);
+
+        for survive in 0..threads as u32 {
+            let mut jw = JournalWriter::new(Vec::new()).expect("journal header");
+            let crash_cfg = PoolConfig {
+                fault_plan: FaultPlan::new().crash_after_chunks(survive),
+                ..cfg(threads)
+            };
+            let err = checkpointed_search(&q, &database, &crash_cfg, builder, &mut jw)
+                .expect_err("the injected crash must surface as an error");
+            assert!(err.to_string().contains("fault-injected crash"));
+
+            let journal = read_journal(&jw.into_inner()).expect("crash-point journal readable");
+            assert!(!journal.truncated, "clean kill leaves whole frames");
+            assert_eq!(journal.entries.len(), survive as usize);
+
+            let (resumed, stats) = resume_search(&journal, &q, &database, &cfg(threads), builder)
+                .expect("resume after crash");
+            assert_eq!(resumed.hits, want.hits, "crash at {survive} chunks");
+            assert_eq!(stats.replayed_chunks, survive as usize);
+            assert_eq!(stats.recomputed_chunks, threads - survive as usize);
+        }
+    }
+
+    /// A torn final frame (power loss mid-write) costs only the torn
+    /// chunk: the journal reads back `truncated`, and resume recomputes
+    /// the tail to the oracle answer.
+    #[test]
+    fn torn_final_frame_loses_work_not_correctness() {
+        let threads = 3;
+        let database = db(24, 43);
+        let q = enc(40, 44);
+        let want = oracle(&q, &database, threads);
+
+        // Learn the clean journal length first.
+        let mut clean = JournalWriter::new(Vec::new()).unwrap();
+        checkpointed_search(&q, &database, &cfg(threads), builder, &mut clean).unwrap();
+        let full_len = clean.into_inner().len() as u64;
+
+        let sink = FaultyWriter::new(Vec::new()).torn_at(full_len - 5);
+        let mut jw = JournalWriter::new(sink).unwrap();
+        checkpointed_search(&q, &database, &cfg(threads), builder, &mut jw)
+            .expect_err("the torn write must surface as an error");
+
+        let bytes = jw.into_inner().into_inner();
+        assert_eq!(bytes.len() as u64, full_len - 5);
+        let journal = read_journal(&bytes).expect("prefix before the tear is readable");
+        assert!(journal.truncated, "torn frame flags the journal truncated");
+        assert!(journal.entries.len() < threads);
+
+        let (resumed, stats) =
+            resume_search(&journal, &q, &database, &cfg(threads), builder).unwrap();
+        assert_eq!(resumed.hits, want.hits);
+        assert_eq!(stats.replayed_chunks, journal.entries.len());
+        assert!(stats.recomputed_chunks >= 1);
+    }
+
+    /// An in-flight bit flip (FaultyWriter) is caught by the frame CRC:
+    /// replay stops at the flipped frame and resume still matches.
+    #[test]
+    fn in_flight_bit_flip_is_caught_by_frame_crc() {
+        let threads = 3;
+        let database = db(24, 45);
+        let q = enc(40, 46);
+        let want = oracle(&q, &database, threads);
+
+        let mut clean = JournalWriter::new(Vec::new()).unwrap();
+        checkpointed_search(&q, &database, &cfg(threads), builder, &mut clean).unwrap();
+        let full_len = clean.into_inner().len() as u64;
+
+        // Flip a byte two-thirds into the stream: inside a chunk frame.
+        let sink = FaultyWriter::new(Vec::new()).flip_at(full_len * 2 / 3, 0x10);
+        let mut jw = JournalWriter::new(sink).unwrap();
+        checkpointed_search(&q, &database, &cfg(threads), builder, &mut jw).unwrap();
+        let bytes = jw.into_inner().into_inner();
+        assert_eq!(
+            bytes.len() as u64,
+            full_len,
+            "flip corrupts, never shortens"
+        );
+
+        let journal = read_journal(&bytes).expect("prefix before the flip is readable");
+        assert!(journal.truncated, "flipped frame stops replay");
+        let (resumed, _) = resume_search(&journal, &q, &database, &cfg(threads), builder).unwrap();
+        assert_eq!(resumed.hits, want.hits);
+    }
+
+    /// Fuzz half 1 — persist images: every truncation / bit flip of a
+    /// v2 image is rejected with a typed error. Zero panics, zero
+    /// silent acceptances (every byte is checksummed).
+    #[test]
+    fn image_corruption_fuzz_always_errors() {
+        let alphabet = Alphabet::protein();
+        let database = db(12, 47);
+        let batched = BatchedDatabase::build(&database, 16, true);
+        let image = save_database_image(&database, &batched, &alphabet);
+        assert!(load_database_image(&image, &alphabet).is_ok());
+
+        let mut tested = 0u64;
+        for case in 0..fuzz_cases() {
+            let Some(bad) = mutate(&image, 0x1111_0000 ^ case) else {
+                continue;
+            };
+            tested += 1;
+            let got = load_database_image(&bad, &alphabet);
+            assert!(
+                got.is_err(),
+                "case {case}: corrupted image (len {} vs {}) loaded silently",
+                bad.len(),
+                image.len()
+            );
+        }
+        assert!(tested > fuzz_cases() / 2, "mutator degenerated");
+    }
+
+    /// Fuzz half 2 — journals: every truncation / bit flip either
+    /// fails to read or replays a verified prefix of the clean journal;
+    /// a sampled subset is resumed fully and checked against the
+    /// oracle. Zero panics, zero silently-wrong replays.
+    #[test]
+    fn journal_corruption_fuzz_never_silently_wrong() {
+        let threads = 4;
+        let database = db(26, 48);
+        let q = enc(44, 49);
+        let want = oracle(&q, &database, threads);
+
+        let mut jw = JournalWriter::new(Vec::new()).unwrap();
+        checkpointed_search(&q, &database, &cfg(threads), builder, &mut jw).unwrap();
+        let bytes = jw.into_inner();
+        let clean = read_journal(&bytes).unwrap();
+
+        let check_prefix = |journal: &Journal, case: u64| {
+            assert_eq!(journal.meta, clean.meta, "case {case}: meta drifted");
+            for entry in &journal.entries {
+                let reference = clean
+                    .entries
+                    .iter()
+                    .find(|e| e.chunk == entry.chunk)
+                    .unwrap_or_else(|| panic!("case {case}: phantom chunk {}", entry.chunk));
+                assert_eq!(entry, reference, "case {case}: replayed frame drifted");
+            }
+        };
+
+        let mut accepted = 0u64;
+        for case in 0..fuzz_cases() {
+            let Some(bad) = mutate(&bytes, 0x2222_0000 ^ case) else {
+                continue;
+            };
+            match read_journal(&bad) {
+                // CRC framing rejected the damage outright: fine.
+                Err(_) => {}
+                // Accepted: must be a verified prefix of the clean
+                // journal — truncated replay loses work, never truth.
+                Ok(journal) => {
+                    check_prefix(&journal, case);
+                    accepted += 1;
+                    // Resume a deterministic sample end-to-end.
+                    if case % 97 == 0 {
+                        let (resumed, _) =
+                            resume_search(&journal, &q, &database, &cfg(threads), builder)
+                                .expect("validated prefix resumes");
+                        assert_eq!(resumed.hits, want.hits, "case {case}");
+                    }
+                }
+            }
+        }
+        assert!(accepted > 0, "no truncation ever hit a frame boundary");
+    }
 }

@@ -203,3 +203,128 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Durability properties (DESIGN.md §10): random corruption of persisted
+// artifacts — database images and search journals — is always detected.
+// ---------------------------------------------------------------------
+
+use std::sync::OnceLock;
+
+fn synth_db(n_seqs: usize, seed: u64) -> swsimd::Database {
+    swsimd::seq::generate_database(&swsimd::seq::SynthConfig {
+        n_seqs,
+        seed,
+        median_len: 40.0,
+        max_len: 90,
+        ..Default::default()
+    })
+}
+
+/// A valid v2 database image, built once.
+fn image_fixture() -> &'static Vec<u8> {
+    static IMAGE: OnceLock<Vec<u8>> = OnceLock::new();
+    IMAGE.get_or_init(|| {
+        let alphabet = swsimd::matrices::Alphabet::protein();
+        let db = synth_db(10, 71);
+        let batched = swsimd::seq::BatchedDatabase::build(&db, 16, true);
+        swsimd::seq::save_database_image(&db, &batched, &alphabet).to_vec()
+    })
+}
+
+/// A complete search journal plus its parsed clean form, built once.
+fn journal_fixture() -> &'static (Vec<u8>, swsimd::Journal) {
+    static JOURNAL: OnceLock<(Vec<u8>, swsimd::Journal)> = OnceLock::new();
+    JOURNAL.get_or_init(|| {
+        let db = synth_db(18, 72);
+        let q: Vec<u8> = (0..36u8).map(|i| i % 20).collect();
+        let cfg = swsimd::runner::PoolConfig {
+            threads: 3,
+            sort_batches: true,
+            ..Default::default()
+        };
+        let mut jw = swsimd::JournalWriter::new(Vec::new()).expect("journal header");
+        swsimd::checkpointed_search(
+            &q,
+            &db,
+            &cfg,
+            || swsimd::Aligner::builder().matrix(blosum62()),
+            &mut jw,
+        )
+        .expect("clean checkpointed search");
+        let bytes = jw.into_inner();
+        let clean = swsimd::read_journal(&bytes).expect("clean journal parses");
+        (bytes, clean)
+    })
+}
+
+/// Apply an arbitrary truncation and/or bit flip. Returns `None` when
+/// the mutation leaves the bytes unchanged.
+fn corrupt(clean: &[u8], cut: Option<usize>, flip: Option<(usize, u8)>) -> Option<Vec<u8>> {
+    let mut data = clean.to_vec();
+    let mut changed = false;
+    if let Some(cut) = cut {
+        let cut = cut % (data.len() + 1);
+        if cut < data.len() {
+            data.truncate(cut);
+            changed = true;
+        }
+    }
+    if let Some((pos, mask)) = flip {
+        if !data.is_empty() {
+            let pos = pos % data.len();
+            data[pos] ^= mask;
+            changed = true;
+        }
+    }
+    changed.then_some(data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    /// Any truncation and/or bit flip of a v2 database image yields a
+    /// typed error — never a panic, never a silently wrong database
+    /// (every byte of the image is covered by a CRC32).
+    #[test]
+    fn corrupted_image_never_loads(
+        cut in proptest::option::of(0usize..1 << 16),
+        flip in proptest::option::of((0usize..1 << 16, 1u8..=255u8)),
+    ) {
+        let image = image_fixture();
+        let bad = corrupt(image, cut, flip);
+        prop_assume!(bad.is_some()); // skip no-op mutations
+        let bad = bad.unwrap();
+        let alphabet = swsimd::matrices::Alphabet::protein();
+        prop_assert!(
+            swsimd::seq::load_database_image(&bad, &alphabet).is_err(),
+            "corrupted image of {} bytes (clean {}) loaded silently",
+            bad.len(),
+            image.len()
+        );
+    }
+
+    /// Any truncation and/or bit flip of a search journal either fails
+    /// to read, or replays a verified prefix of the clean journal —
+    /// damage costs recomputed work, never wrong hits.
+    #[test]
+    fn corrupted_journal_never_replays_wrong(
+        cut in proptest::option::of(0usize..1 << 16),
+        flip in proptest::option::of((0usize..1 << 16, 1u8..=255u8)),
+    ) {
+        let (bytes, clean) = journal_fixture();
+        let bad = corrupt(bytes, cut, flip);
+        prop_assume!(bad.is_some()); // skip no-op mutations
+        let bad = bad.unwrap();
+        match swsimd::read_journal(&bad) {
+            Err(_) => {} // CRC framing rejected the damage: fine
+            Ok(journal) => {
+                prop_assert_eq!(journal.meta, clean.meta);
+                for entry in &journal.entries {
+                    let reference = clean.entries.iter().find(|e| e.chunk == entry.chunk);
+                    prop_assert_eq!(Some(entry), reference, "replayed frame drifted");
+                }
+            }
+        }
+    }
+}
