@@ -12,8 +12,10 @@
 //! atomic load. Instrumentation only happens at kernel *call*
 //! boundaries (never per cell or per diagonal), so the per-call cost
 //! model is: a query's worth of disabled span/event constructions
-//! versus one kernel call's runtime. The gate fails (exit 1) if that
-//! ratio reaches 1%, or if enabling a counting sink disturbs scores.
+//! versus one kernel call's runtime. The same gate covers shadow
+//! verification at `sample_rate = 0` (a batch of disabled sampler
+//! probes per kernel call). The gate fails (exit 1) if either ratio
+//! reaches 1%, or if enabling a counting sink disturbs scores.
 //!
 //! `--smoke` shrinks the measurement budgets for CI.
 
@@ -107,6 +109,27 @@ fn main() {
         overhead * 100.0
     );
 
+    // 2b. Disabled shadow verification: with `sample_rate = 0` the
+    //     per-hit cost is a single branch on a constant stride — no
+    //     atomic traffic, no reference recompute. Budget a generous
+    //     32 hits per kernel call (a whole small batch).
+    const HITS_PER_CALL: usize = 32;
+    let sampler = swsimd_runner::Sampler::new(0.0);
+    let shadow_secs = time_per_call(
+        || {
+            for _ in 0..HITS_PER_CALL {
+                std::hint::black_box(sampler.should_sample());
+            }
+        },
+        budget_ms.min(50),
+    );
+    let shadow_overhead = shadow_secs / kernel_secs;
+    println!(
+        "  disabled shadow sampling:  {:.1} ns per {HITS_PER_CALL}-hit batch ({:.4}% of kernel)",
+        shadow_secs * 1e9,
+        shadow_overhead * 100.0
+    );
+
     // 3. Informational: the same kernel with a counting sink installed
     //    (the cost ceiling a subscriber pays; not gated).
     let sink = Arc::new(CountingSink(AtomicU64::new(0)));
@@ -148,18 +171,27 @@ fn main() {
     );
 
     let limit = 0.01;
-    if overhead < limit {
-        println!(
-            "PASS: disabled-tracing overhead {:.4}% < {:.0}%",
-            overhead * 100.0,
-            limit * 100.0
-        );
-    } else {
-        println!(
-            "FAIL: disabled-tracing overhead {:.4}% >= {:.0}%",
-            overhead * 100.0,
-            limit * 100.0
-        );
+    let mut failed = false;
+    for (name, ratio) in [
+        ("disabled-tracing", overhead),
+        ("disabled-shadow-sampling", shadow_overhead),
+    ] {
+        if ratio < limit {
+            println!(
+                "PASS: {name} overhead {:.4}% < {:.0}%",
+                ratio * 100.0,
+                limit * 100.0
+            );
+        } else {
+            println!(
+                "FAIL: {name} overhead {:.4}% >= {:.0}%",
+                ratio * 100.0,
+                limit * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -192,6 +192,119 @@ mod tests {
         assert_eq!(stats.promotions, 0);
     }
 
+    /// True score exactly at the 8-bit ceiling (127): the clamped
+    /// kernel cannot distinguish 127 from >127, so escalation must
+    /// trigger and the 16-bit rerun must recover the exact score.
+    #[test]
+    fn escalation_boundary_exact_i8_ceiling() {
+        let scoring = Scoring::Fixed {
+            r#match: 127,
+            mismatch: -1,
+        };
+        let gaps = GapModel::default_affine();
+        let q = vec![0u8; 1];
+        let want = sw_scalar(&q, &q, &scoring, gaps).score;
+        assert_eq!(want, 127, "case must land exactly on i8::MAX");
+        for engine in EngineKind::available() {
+            let mut stats = KernelStats::default();
+            let (score, prec) = adaptive_score(engine, &q, &q, &scoring, gaps, 0, &mut stats);
+            assert_eq!(score, want, "{engine:?}");
+            assert_eq!(prec, Precision::I16, "{engine:?} must escalate at 127");
+            assert_eq!(stats.promotions, 1, "{engine:?}");
+        }
+    }
+
+    /// One below the 8-bit ceiling (126): representable, must NOT
+    /// escalate.
+    #[test]
+    fn escalation_boundary_one_below_i8_ceiling() {
+        let scoring = Scoring::Fixed {
+            r#match: 126,
+            mismatch: -1,
+        };
+        let gaps = GapModel::default_affine();
+        let q = vec![0u8; 1];
+        for engine in EngineKind::available() {
+            let mut stats = KernelStats::default();
+            let (score, prec) = adaptive_score(engine, &q, &q, &scoring, gaps, 0, &mut stats);
+            assert_eq!(score, 126, "{engine:?}");
+            assert_eq!(prec, Precision::I8, "{engine:?} must stay 8-bit at 126");
+            assert_eq!(stats.promotions, 0, "{engine:?}");
+        }
+    }
+
+    /// Multi-lane variant of the 8-bit boundary: a homopolymer whose
+    /// running score crosses 127 mid-sequence, not in the first cell.
+    #[test]
+    fn escalation_boundary_i8_ceiling_multilane() {
+        let scoring = Scoring::Fixed {
+            r#match: 1,
+            mismatch: -1,
+        };
+        let gaps = GapModel::default_affine();
+        let at = vec![0u8; 127]; // score 127 == i8::MAX → escalates
+        let below = vec![0u8; 126]; // score 126 → stays 8-bit
+        for engine in EngineKind::available() {
+            let mut stats = KernelStats::default();
+            let (score, prec) = adaptive_score(engine, &at, &at, &scoring, gaps, 0, &mut stats);
+            assert_eq!(score, 127, "{engine:?}");
+            assert_eq!(prec, Precision::I16, "{engine:?}");
+
+            let mut stats = KernelStats::default();
+            let (score, prec) =
+                adaptive_score(engine, &below, &below, &scoring, gaps, 0, &mut stats);
+            assert_eq!(score, 126, "{engine:?}");
+            assert_eq!(prec, Precision::I8, "{engine:?}");
+        }
+    }
+
+    /// True score exactly at the 16-bit ceiling (32767 = 217 × 151):
+    /// both the 8→16 and 16→32 escalations must fire, and the 32-bit
+    /// rerun must match the scalar reference exactly.
+    #[test]
+    fn escalation_boundary_exact_i16_ceiling() {
+        let scoring = Scoring::Fixed {
+            r#match: 217,
+            mismatch: -1,
+        };
+        let gaps = GapModel::default_affine();
+        let q = vec![0u8; 151];
+        let want = sw_scalar(&q, &q, &scoring, gaps).score;
+        assert_eq!(want, 32767, "case must land exactly on i16::MAX");
+        for engine in EngineKind::available() {
+            let mut stats = KernelStats::default();
+            let (score, prec) = adaptive_score(engine, &q, &q, &scoring, gaps, 0, &mut stats);
+            assert_eq!(score, want, "{engine:?}");
+            assert_eq!(prec, Precision::I32, "{engine:?} must escalate at 32767");
+            assert_eq!(stats.promotions, 2, "{engine:?} escalates twice from I8");
+        }
+    }
+
+    /// One below the 16-bit ceiling (32766 = 16383 × 2): the 8-bit run
+    /// saturates, but 16-bit must hold it without a second escalation.
+    #[test]
+    fn escalation_boundary_one_below_i16_ceiling() {
+        let scoring = Scoring::Fixed {
+            r#match: 16383,
+            mismatch: -1,
+        };
+        let gaps = GapModel::default_affine();
+        let q = vec![0u8; 2];
+        let want = sw_scalar(&q, &q, &scoring, gaps).score;
+        assert_eq!(want, 32766);
+        for engine in EngineKind::available() {
+            let mut stats = KernelStats::default();
+            let (score, prec) = adaptive_score(engine, &q, &q, &scoring, gaps, 0, &mut stats);
+            assert_eq!(score, want, "{engine:?}");
+            assert_eq!(
+                prec,
+                Precision::I16,
+                "{engine:?} must stop at 16-bit for 32766"
+            );
+            assert_eq!(stats.promotions, 1, "{engine:?}");
+        }
+    }
+
     #[test]
     fn adaptive_traceback_promotes() {
         let q = vec![17u8; 400];

@@ -133,6 +133,16 @@ impl AlignerBuilder {
         self
     }
 
+    /// Finish, but refuse an engine that cannot actually serve: not
+    /// present on this CPU, or demoted by the kernel trust breaker
+    /// (failed boot self-test / shadow verification). [`Self::build`]
+    /// silently degrades instead; serving layers and the CLI use this
+    /// so a forced `--engine` is honored or rejected, never faked.
+    pub fn try_build(self) -> Result<Aligner, AlignError> {
+        crate::trust::check_engine_usable(self.engine)?;
+        Ok(self.build())
+    }
+
     /// Finish.
     pub fn build(self) -> Aligner {
         let threshold = self
@@ -786,6 +796,17 @@ mod tests {
         clean[0] = alphabet.unknown();
         let target = db.encoded(0).idx.clone();
         assert_eq!(hits[0].score, a.align(&clean, &target).score);
+    }
+
+    #[test]
+    fn try_build_accepts_usable_engines() {
+        // Scalar is always usable; every available engine is usable on
+        // a fresh trust ladder (trust-mutation cases live in the
+        // `trust_layer` integration test, which serializes them).
+        assert!(Aligner::builder()
+            .engine(EngineKind::Scalar)
+            .try_build()
+            .is_ok());
     }
 
     #[test]

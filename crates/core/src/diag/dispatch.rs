@@ -68,7 +68,11 @@ engine_wrappers!(
     "avx512f,avx512bw,avx512vl,avx512vbmi"
 );
 
-fn check_engine(engine: EngineKind) -> EngineKind {
+/// Availability check only: fall back to scalar when the CPU lacks the
+/// requested ISA. Trust routing is layered on top in [`check_engine`];
+/// the self-test battery calls this directly (via the `_raw` entry
+/// points) so a demoted engine can still be probed.
+fn availability_fallback(engine: EngineKind) -> EngineKind {
     if engine.is_available() {
         engine
     } else {
@@ -79,6 +83,12 @@ fn check_engine(engine: EngineKind) -> EngineKind {
         );
         EngineKind::Scalar
     }
+}
+
+fn check_engine(engine: EngineKind) -> EngineKind {
+    // Route around engines the trust breaker has demoted (a few
+    // relaxed atomic loads — noise next to any kernel invocation).
+    crate::trust::global().effective(availability_fallback(engine))
 }
 
 /// Open the per-call "kernel" span and snapshot the stats counters the
@@ -153,6 +163,53 @@ pub fn diag_score(
         "tlen" => target.len(),
     );
     let engine = check_engine(engine);
+    score_resolved(
+        engine,
+        precision,
+        query,
+        target,
+        scoring,
+        gaps,
+        scalar_threshold,
+        stats,
+    )
+}
+
+/// As [`diag_score`], but only availability-checked: trust routing is
+/// bypassed so the self-test battery can probe a demoted engine.
+pub(crate) fn diag_score_raw(
+    engine: EngineKind,
+    precision: Precision,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> ScoreOut {
+    let engine = availability_fallback(engine);
+    score_resolved(
+        engine,
+        precision,
+        query,
+        target,
+        scoring,
+        gaps,
+        scalar_threshold,
+        stats,
+    )
+}
+
+fn score_resolved(
+    engine: EngineKind,
+    precision: Precision,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> ScoreOut {
     let p = fixed_width(precision);
     let (mut sp, c0, s0, p0) = kernel_span(engine, p, "score", stats);
     let a: Args = (query, target, scoring, gaps, scalar_threshold, &mut *stats);
@@ -207,6 +264,53 @@ pub fn diag_traceback(
         "tlen" => target.len(),
     );
     let engine = check_engine(engine);
+    tb_resolved(
+        engine,
+        precision,
+        query,
+        target,
+        scoring,
+        gaps,
+        scalar_threshold,
+        stats,
+    )
+}
+
+/// As [`diag_traceback`], but only availability-checked (see
+/// [`diag_score_raw`]).
+pub(crate) fn diag_traceback_raw(
+    engine: EngineKind,
+    precision: Precision,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> TbOut {
+    let engine = availability_fallback(engine);
+    tb_resolved(
+        engine,
+        precision,
+        query,
+        target,
+        scoring,
+        gaps,
+        scalar_threshold,
+        stats,
+    )
+}
+
+fn tb_resolved(
+    engine: EngineKind,
+    precision: Precision,
+    query: &[u8],
+    target: &[u8],
+    scoring: &Scoring,
+    gaps: GapModel,
+    scalar_threshold: usize,
+    stats: &mut KernelStats,
+) -> TbOut {
     let p = fixed_width(precision);
     let (mut sp, c0, s0, p0) = kernel_span(engine, p, "traceback", stats);
     let a: Args = (query, target, scoring, gaps, scalar_threshold, &mut *stats);

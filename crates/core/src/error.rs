@@ -32,6 +32,17 @@ pub enum AlignError {
         /// The precision that saturated.
         precision: Precision,
     },
+    /// The caller forced an engine that cannot serve: the CPU lacks
+    /// the ISA, or the kernel trust breaker demoted it (failed boot
+    /// self-test or shadow verification). Returned instead of a silent
+    /// scalar fallback so `--engine avx512` on an SSE-only host is an
+    /// error, not a 10× slower success.
+    EngineUnavailable {
+        /// The engine the caller asked for.
+        requested: swsimd_simd::EngineKind,
+        /// Why it cannot serve.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for AlignError {
@@ -43,6 +54,9 @@ impl fmt::Display for AlignError {
             ),
             AlignError::Saturated { precision } => {
                 write!(f, "alignment score saturated {precision:?} lanes")
+            }
+            AlignError::EngineUnavailable { requested, reason } => {
+                write!(f, "engine {} unavailable: {reason}", requested.name())
             }
         }
     }
@@ -98,5 +112,11 @@ mod tests {
             precision: Precision::I16,
         };
         assert!(s.to_string().contains("I16"));
+        let u = AlignError::EngineUnavailable {
+            requested: swsimd_simd::EngineKind::Avx512,
+            reason: "not supported by this CPU",
+        };
+        assert!(u.to_string().contains("AVX-512"));
+        assert!(u.to_string().contains("not supported"));
     }
 }

@@ -20,7 +20,9 @@ pub mod error;
 pub mod modes;
 pub mod params;
 pub mod scalar_ref;
+pub mod selftest;
 pub mod stats;
+pub mod trust;
 
 pub use api::{Aligner, AlignerBuilder, Hit};
 pub use error::{validate_encoded, AlignError};
@@ -34,8 +36,10 @@ pub use modes::{
 };
 pub use params::{AlignResult, Alignment, GapModel, GapPenalties, Op, Precision, Scoring};
 pub use scalar_ref::{sw_scalar, sw_scalar_traceback};
+pub use selftest::{run_battery, SelftestReport};
 pub use stats::KernelStats;
 pub use swsimd_simd::EngineKind;
+pub use trust::{TrustLadder, TrustState};
 
 #[cfg(test)]
 mod equivalence_tests;

@@ -1,0 +1,346 @@
+//! Circuit-breaker trust state for SIMD backends.
+//!
+//! The dispatch layer assumes a backend that *exists* also computes
+//! *correct* scores — an assumption that buggy steppings, miscompiled
+//! `#[target_feature]` wrappers, or a bad emulated-gather path can
+//! silently violate. This module tracks a per-engine trust state that
+//! dispatch consults on every call:
+//!
+//! * **Trusted** — the engine serves queries (initial state).
+//! * **Probation** — the engine is being re-tested; dispatch avoids it
+//!   until the self-test battery passes again.
+//! * **Demoted** — the breaker is open: strikes (shadow-verification
+//!   mismatches, worker panics attributed to the engine, or boot
+//!   self-test failures) reached the threshold. Dispatch routes to the
+//!   next weaker available engine.
+//!
+//! The ladder always terminates at the scalar reference engine: scalar
+//! cannot be demoted, so demotion degrades throughput, never
+//! availability. Re-promotion is deliberate (never automatic): a
+//! demoted engine must pass the [`crate::selftest`] battery on
+//! probation before dispatch trusts it again.
+//!
+//! [`TrustLadder`] is an ordinary value so tests can exercise the
+//! breaker on private instances; the process-wide instance consulted
+//! by dispatch is [`global`].
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering::Relaxed};
+use std::sync::OnceLock;
+
+use swsimd_simd::EngineKind;
+
+/// Strikes against one engine before the breaker opens and dispatch
+/// demotes it (see [`TrustLadder::with_threshold`] to override).
+pub const DEFAULT_STRIKE_THRESHOLD: u32 = 3;
+
+/// Trust state of one engine (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrustState {
+    /// Serving queries.
+    Trusted,
+    /// Demoted and being re-tested; not yet serving.
+    Probation,
+    /// The breaker is open: dispatch routes around this engine.
+    Demoted,
+}
+
+const TRUSTED: u8 = 0;
+const PROBATION: u8 = 1;
+const DEMOTED: u8 = 2;
+
+fn idx(e: EngineKind) -> usize {
+    match e {
+        EngineKind::Scalar => 0,
+        EngineKind::Sse41 => 1,
+        EngineKind::Avx2 => 2,
+        EngineKind::Avx512 => 3,
+    }
+}
+
+/// Per-engine circuit-breaker state: strike counters and the demotion
+/// ladder dispatch walks. All operations are lock-free and safe to
+/// call from any worker thread.
+#[derive(Debug, Default)]
+pub struct TrustLadder {
+    states: [AtomicU8; 4],
+    strikes: [AtomicU32; 4],
+    threshold: u32,
+    demotions: AtomicU64,
+    repromotions: AtomicU64,
+}
+
+impl TrustLadder {
+    /// A fresh ladder (everything trusted) with the default strike
+    /// threshold.
+    pub fn new() -> Self {
+        Self::with_threshold(DEFAULT_STRIKE_THRESHOLD)
+    }
+
+    /// A fresh ladder demoting an engine after `threshold` strikes
+    /// (clamped to at least 1).
+    pub fn with_threshold(threshold: u32) -> Self {
+        Self {
+            states: Default::default(),
+            strikes: Default::default(),
+            threshold: threshold.max(1),
+            demotions: AtomicU64::new(0),
+            repromotions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured strike threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Current trust state of `engine`.
+    pub fn state(&self, engine: EngineKind) -> TrustState {
+        match self.states[idx(engine)].load(Relaxed) {
+            TRUSTED => TrustState::Trusted,
+            PROBATION => TrustState::Probation,
+            _ => TrustState::Demoted,
+        }
+    }
+
+    /// Accumulated strikes against `engine` since its last
+    /// (re-)promotion.
+    pub fn strikes(&self, engine: EngineKind) -> u32 {
+        self.strikes[idx(engine)].load(Relaxed)
+    }
+
+    /// Total demotion events recorded by this ladder.
+    pub fn demotions(&self) -> u64 {
+        self.demotions.load(Relaxed)
+    }
+
+    /// Total successful probation re-promotions.
+    pub fn repromotions(&self) -> u64 {
+        self.repromotions.load(Relaxed)
+    }
+
+    /// True if dispatch may use `engine`: available on this CPU and
+    /// currently trusted. Scalar is always usable.
+    pub fn usable(&self, engine: EngineKind) -> bool {
+        engine == EngineKind::Scalar
+            || (engine.is_available() && self.state(engine) == TrustState::Trusted)
+    }
+
+    /// The engine dispatch actually runs for a request of `requested`:
+    /// the strongest engine no wider than the request that is available
+    /// *and* trusted. Terminates at scalar, which is always usable.
+    pub fn effective(&self, requested: EngineKind) -> EngineKind {
+        let start = idx(requested);
+        for &e in EngineKind::ALL[..=start].iter().rev() {
+            if self.usable(e) {
+                return e;
+            }
+        }
+        EngineKind::Scalar
+    }
+
+    /// Record one strike (shadow mismatch or attributed worker panic)
+    /// against `engine`. Returns `true` when this strike opened the
+    /// breaker (the engine transitioned to [`TrustState::Demoted`]).
+    /// Strikes against scalar are counted but never demote — the
+    /// reference engine is the floor of the ladder.
+    pub fn record_strike(&self, engine: EngineKind) -> bool {
+        let i = idx(engine);
+        let strikes = self.strikes[i].fetch_add(1, Relaxed) + 1;
+        if engine == EngineKind::Scalar || strikes < self.threshold {
+            return false;
+        }
+        self.open_breaker(engine, "strike_threshold")
+    }
+
+    /// Immediately demote `engine` (boot self-test failure). No-op for
+    /// scalar. Returns `true` if the engine was not already demoted.
+    pub fn mark_failed(&self, engine: EngineKind, reason: &'static str) -> bool {
+        if engine == EngineKind::Scalar {
+            return false;
+        }
+        self.open_breaker(engine, reason)
+    }
+
+    fn open_breaker(&self, engine: EngineKind, reason: &'static str) -> bool {
+        let was = self.states[idx(engine)].swap(DEMOTED, Relaxed);
+        if was == DEMOTED {
+            return false;
+        }
+        self.demotions.fetch_add(1, Relaxed);
+        let to = self.effective(engine);
+        swsimd_obs::event!(
+            "backend_demoted",
+            "engine" => engine.name(),
+            "to" => to.name(),
+            "strikes" => u64::from(self.strikes(engine)),
+            "reason" => reason,
+        );
+        swsimd_obs::global()
+            .counter(
+                "swsimd_backend_demotions_total",
+                "SIMD backends demoted by the kernel trust breaker.",
+                &[("engine", engine.name())],
+            )
+            .inc();
+        true
+    }
+
+    /// Put a demoted engine on probation and re-admit it iff `passed`
+    /// (the caller runs the self-test battery — see
+    /// [`crate::selftest::probation_retest`] for the wired-up form).
+    /// Returns `true` on re-promotion. Trusted engines return `true`
+    /// without state changes.
+    pub fn probation_outcome(&self, engine: EngineKind, passed: bool) -> bool {
+        let i = idx(engine);
+        if self.states[i].load(Relaxed) == TRUSTED {
+            return true;
+        }
+        self.states[i].store(PROBATION, Relaxed);
+        if passed {
+            self.strikes[i].store(0, Relaxed);
+            self.states[i].store(TRUSTED, Relaxed);
+            self.repromotions.fetch_add(1, Relaxed);
+            swsimd_obs::event!("backend_repromoted", "engine" => engine.name());
+            true
+        } else {
+            self.states[i].store(DEMOTED, Relaxed);
+            swsimd_obs::event!(
+                "selftest_failed",
+                "engine" => engine.name(),
+                "stage" => "probation",
+            );
+            false
+        }
+    }
+
+    /// Engines currently usable for dispatch, weakest first.
+    pub fn trusted_engines(&self) -> Vec<EngineKind> {
+        EngineKind::ALL
+            .into_iter()
+            .filter(|&e| self.usable(e))
+            .collect()
+    }
+
+    /// Restore every engine to [`TrustState::Trusted`] with zero
+    /// strikes (test hygiene for the [`global`] instance).
+    pub fn reset(&self) {
+        for i in 0..4 {
+            self.states[i].store(TRUSTED, Relaxed);
+            self.strikes[i].store(0, Relaxed);
+        }
+    }
+}
+
+/// The process-wide trust ladder consulted by
+/// [`crate::diag::dispatch`] on every kernel call.
+pub fn global() -> &'static TrustLadder {
+    static LADDER: OnceLock<TrustLadder> = OnceLock::new();
+    LADDER.get_or_init(TrustLadder::new)
+}
+
+/// The engine the global ladder would dispatch for `requested`
+/// (availability- and trust-routed).
+pub fn effective_engine(requested: EngineKind) -> EngineKind {
+    let avail = if requested.is_available() {
+        requested
+    } else {
+        EngineKind::Scalar
+    };
+    global().effective(avail)
+}
+
+/// Typed admission check for a user-forced engine: errors when the
+/// engine is missing on this CPU or currently demoted by the trust
+/// breaker, instead of silently falling back to scalar.
+pub fn check_engine_usable(engine: EngineKind) -> Result<(), crate::error::AlignError> {
+    if !engine.is_available() {
+        return Err(crate::error::AlignError::EngineUnavailable {
+            requested: engine,
+            reason: "not supported by this CPU",
+        });
+    }
+    if !global().usable(engine) {
+        return Err(crate::error::AlignError::EngineUnavailable {
+            requested: engine,
+            reason: "demoted by the kernel trust breaker (failed self-test or shadow verification)",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ladder_trusts_everything() {
+        let l = TrustLadder::new();
+        for e in EngineKind::ALL {
+            assert_eq!(l.state(e), TrustState::Trusted);
+            assert_eq!(l.strikes(e), 0);
+        }
+        assert_eq!(l.effective(EngineKind::Scalar), EngineKind::Scalar);
+        assert_eq!(l.demotions(), 0);
+    }
+
+    #[test]
+    fn strikes_below_threshold_do_not_demote() {
+        let l = TrustLadder::with_threshold(3);
+        assert!(!l.record_strike(EngineKind::Avx2));
+        assert!(!l.record_strike(EngineKind::Avx2));
+        assert_eq!(l.state(EngineKind::Avx2), TrustState::Trusted);
+        assert!(l.record_strike(EngineKind::Avx2), "third strike demotes");
+        assert_eq!(l.state(EngineKind::Avx2), TrustState::Demoted);
+        assert_eq!(l.demotions(), 1);
+        // Further strikes don't re-count the demotion.
+        assert!(!l.record_strike(EngineKind::Avx2));
+        assert_eq!(l.demotions(), 1);
+    }
+
+    #[test]
+    fn scalar_never_demotes() {
+        let l = TrustLadder::with_threshold(1);
+        for _ in 0..10 {
+            assert!(!l.record_strike(EngineKind::Scalar));
+        }
+        assert_eq!(l.state(EngineKind::Scalar), TrustState::Trusted);
+        assert!(!l.mark_failed(EngineKind::Scalar, "test"));
+        assert!(l.usable(EngineKind::Scalar));
+    }
+
+    #[test]
+    fn effective_walks_down_past_demoted_engines() {
+        let l = TrustLadder::with_threshold(1);
+        // Only meaningful on hosts with the wide engines; the walk
+        // itself is what we assert.
+        l.mark_failed(EngineKind::Avx512, "test");
+        let eff = l.effective(EngineKind::Avx512);
+        assert_ne!(eff, EngineKind::Avx512);
+        l.mark_failed(EngineKind::Avx2, "test");
+        l.mark_failed(EngineKind::Sse41, "test");
+        assert_eq!(l.effective(EngineKind::Avx512), EngineKind::Scalar);
+        assert_eq!(l.effective(EngineKind::Scalar), EngineKind::Scalar);
+        assert_eq!(l.trusted_engines(), vec![EngineKind::Scalar]);
+    }
+
+    #[test]
+    fn probation_repromotes_only_on_pass() {
+        let l = TrustLadder::with_threshold(1);
+        l.mark_failed(EngineKind::Avx2, "test");
+        assert!(!l.probation_outcome(EngineKind::Avx2, false));
+        assert_eq!(l.state(EngineKind::Avx2), TrustState::Demoted);
+        assert!(l.probation_outcome(EngineKind::Avx2, true));
+        assert_eq!(l.state(EngineKind::Avx2), TrustState::Trusted);
+        assert_eq!(l.strikes(EngineKind::Avx2), 0, "strikes reset");
+        assert_eq!(l.repromotions(), 1);
+    }
+
+    #[test]
+    fn reset_restores_trust() {
+        let l = TrustLadder::with_threshold(1);
+        l.record_strike(EngineKind::Avx512);
+        l.reset();
+        assert_eq!(l.state(EngineKind::Avx512), TrustState::Trusted);
+        assert_eq!(l.strikes(EngineKind::Avx512), 0);
+    }
+}

@@ -30,6 +30,15 @@ pub struct FaultStats {
     pub degraded_batches: u64,
     /// Degraded retries performed on the scalar reference engine.
     pub retries: u64,
+    /// Served hits recomputed on the scalar reference by sampled
+    /// shadow verification.
+    pub shadow_checks: u64,
+    /// Shadow-verified hits whose served score disagreed with the
+    /// reference (repaired before return).
+    pub shadow_mismatches: u64,
+    /// Circuit-breaker openings charged from this search: a backend
+    /// crossed its strike threshold and was demoted.
+    pub backend_demotions: u64,
 }
 
 impl FaultStats {
@@ -38,6 +47,16 @@ impl FaultStats {
         self.worker_panics += other.worker_panics;
         self.degraded_batches += other.degraded_batches;
         self.retries += other.retries;
+        self.shadow_checks += other.shadow_checks;
+        self.shadow_mismatches += other.shadow_mismatches;
+        self.backend_demotions += other.backend_demotions;
+    }
+
+    /// Fold a shadow-verification outcome into these counters.
+    pub fn record_shadow(&mut self, out: &crate::shadow::ShadowOutcome) {
+        self.shadow_checks += out.checks;
+        self.shadow_mismatches += out.mismatches;
+        self.backend_demotions += out.demotions;
     }
 
     /// True if any degradation event was recorded.
@@ -52,6 +71,12 @@ struct Inner {
     panics: Mutex<HashMap<usize, u32>>,
     /// partition → remaining poisoned (silently corrupted) results.
     poisons: Mutex<HashMap<usize, u32>>,
+    /// partition → remaining wrong-score injections (top hit skewed,
+    /// count preserved — only shadow verification can catch it).
+    wrong_scores: Mutex<HashMap<usize, u32>>,
+    /// partition → remaining corrupt-lane injections (a mid-batch hit
+    /// skewed, simulating a single bad vector lane).
+    corrupt_lanes: Mutex<HashMap<usize, u32>>,
     /// partition → artificial delay before computing.
     delays: Mutex<HashMap<usize, Duration>>,
     /// Simulated process death after this many journal appends
@@ -112,6 +137,29 @@ impl FaultPlan {
         let this = self.armed();
         if let Some(inner) = &this.inner {
             lock(&inner.poisons).insert(partition, times);
+        }
+        this
+    }
+
+    /// Skew the best hit's score the next `times` times `partition` is
+    /// computed. Unlike [`FaultPlan::poison_at`] the hit *count* is
+    /// preserved, so structural validation passes — this simulates a
+    /// wrong-answer kernel bug only shadow verification can catch.
+    pub fn wrong_score_at(self, partition: usize, times: u32) -> Self {
+        let this = self.armed();
+        if let Some(inner) = &this.inner {
+            lock(&inner.wrong_scores).insert(partition, times);
+        }
+        this
+    }
+
+    /// Skew a mid-batch hit's score the next `times` times `partition`
+    /// is computed (a single corrupted vector lane: one database
+    /// sequence scored wrong, the rest exact).
+    pub fn corrupt_lane_at(self, partition: usize, times: u32) -> Self {
+        let this = self.armed();
+        if let Some(inner) = &this.inner {
+            lock(&inner.corrupt_lanes).insert(partition, times);
         }
         this
     }
@@ -198,6 +246,38 @@ impl FaultPlan {
                 *n -= 1;
                 hits.pop();
             }
+        }
+    }
+
+    /// Hook: called by a fast-path worker on its computed hits, after
+    /// [`FaultPlan::corrupt_hits`]. Applies any `wrong_score_at` /
+    /// `corrupt_lane_at` budgets: scores are skewed but the hit count
+    /// is untouched, so only shadow verification notices.
+    pub fn skew_hits(&self, partition: usize, hits: &mut [Hit]) {
+        let Some(inner) = &self.inner else { return };
+        if hits.is_empty() {
+            return;
+        }
+        let fire = |m: &Mutex<HashMap<usize, u32>>| {
+            let mut budgets = lock(m);
+            match budgets.get_mut(&partition) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if fire(&inner.wrong_scores) {
+            let best = hits
+                .iter_mut()
+                .max_by_key(|h| h.score)
+                .expect("hits is non-empty");
+            best.score += 7;
+        }
+        if fire(&inner.corrupt_lanes) {
+            let mid = hits.len() / 2;
+            hits[mid].score += 13;
         }
     }
 }
@@ -409,20 +489,60 @@ mod tests {
             worker_panics: 1,
             degraded_batches: 2,
             retries: 3,
+            ..FaultStats::default()
         });
         a.merge(&FaultStats {
             worker_panics: 1,
             degraded_batches: 0,
             retries: 1,
+            shadow_checks: 5,
+            shadow_mismatches: 2,
+            backend_demotions: 1,
         });
         assert_eq!(
             a,
             FaultStats {
                 worker_panics: 2,
                 degraded_batches: 2,
-                retries: 4
+                retries: 4,
+                shadow_checks: 5,
+                shadow_mismatches: 2,
+                backend_demotions: 1,
             }
         );
         assert!(a.any());
+    }
+
+    #[test]
+    fn skew_preserves_count_but_not_scores() {
+        use swsimd_core::Precision;
+        let mk = |scores: &[i32]| -> Vec<Hit> {
+            scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| Hit {
+                    db_index: i,
+                    score: s,
+                    precision: Precision::I8,
+                })
+                .collect()
+        };
+        let plan = FaultPlan::new().wrong_score_at(0, 1).corrupt_lane_at(1, 1);
+
+        let mut hits = mk(&[10, 50, 30]);
+        plan.skew_hits(0, &mut hits);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[1].score, 57, "best hit skewed by +7");
+        plan.skew_hits(0, &mut hits);
+        assert_eq!(hits[1].score, 57, "budget exhausted");
+
+        let mut hits = mk(&[10, 50, 30]);
+        plan.skew_hits(1, &mut hits);
+        assert_eq!(hits[1].score, 63, "middle hit skewed by +13");
+
+        let inert = FaultPlan::default();
+        let mut hits = mk(&[10, 50, 30]);
+        inert.skew_hits(0, &mut hits);
+        assert_eq!(hits, mk(&[10, 50, 30]));
     }
 }

@@ -503,6 +503,7 @@ where
     journal.write_meta(&meta)?;
     let ranges = db.partition(threads);
     let plan = &cfg.fault_plan;
+    let shadow = crate::shadow::ShadowVerifier::new(cfg.shadow);
 
     let mut outputs: Vec<(Vec<Hit>, KernelStats, FaultStats)> = Vec::new();
     std::thread::scope(|scope| -> io::Result<()> {
@@ -510,9 +511,10 @@ where
         for (chunk, range) in ranges.iter().enumerate() {
             let range = range.clone();
             let make_aligner = &make_aligner;
-            handles.push(
-                scope.spawn(move || search_partition(query, db, range, chunk, plan, make_aligner)),
-            );
+            let shadow = &shadow;
+            handles.push(scope.spawn(move || {
+                search_partition(query, db, range, chunk, plan, shadow, make_aligner)
+            }));
         }
         // Join in chunk order and journal each result as it lands:
         // the journal is a clean prefix in chunk order, which keeps
@@ -605,6 +607,7 @@ where
     );
 
     let plan = &cfg.fault_plan;
+    let shadow = crate::shadow::ShadowVerifier::new(cfg.shadow);
     let mut outputs: Vec<(Vec<Hit>, KernelStats, FaultStats)> = Vec::new();
     let mut resume = ResumeStats {
         replayed_chunks: replayed.len(),
@@ -624,9 +627,10 @@ where
         for &chunk in &missing {
             let range = ranges[chunk].clone();
             let make_aligner = &make_aligner;
-            handles.push(
-                scope.spawn(move || search_partition(query, db, range, chunk, plan, make_aligner)),
-            );
+            let shadow = &shadow;
+            handles.push(scope.spawn(move || {
+                search_partition(query, db, range, chunk, plan, shadow, make_aligner)
+            }));
         }
         for handle in handles {
             match handle.join() {
@@ -728,8 +732,8 @@ mod tests {
             let mut jw = JournalWriter::new(Vec::new()).unwrap();
             let crash_cfg = PoolConfig {
                 threads: 4,
-                sort_batches: true,
                 fault_plan: FaultPlan::new().crash_after_chunks(survive as u32),
+                ..PoolConfig::default()
             };
             let err = checkpointed_search(&q, &db, &crash_cfg, builder, &mut jw);
             assert!(err.is_err(), "crash at chunk {survive} should surface");

@@ -21,6 +21,7 @@ pub mod msa;
 pub mod pool;
 pub mod scenarios;
 pub mod server;
+pub mod shadow;
 
 pub use fault::{FaultPlan, FaultStats, FaultyWriter};
 pub use journal::{
@@ -32,3 +33,4 @@ pub use msa::{pairwise_scores, upgma, GuideTree, ScoreMatrix};
 pub use pool::{parallel_pairs, parallel_search, PoolConfig, SearchOutput};
 pub use scenarios::{scenario1, scenario1_durable, scenario2, scenario3, ScenarioReport};
 pub use server::{BatchServer, ServeError, ServerClient, ServerConfig, ServerStats};
+pub use shadow::{OnMismatch, Sampler, ShadowConfig, ShadowOutcome, ShadowVerifier};

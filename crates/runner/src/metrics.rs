@@ -138,6 +138,18 @@ pub struct ServeCounters {
     pub records_quarantined: AtomicU64,
     /// Database images rejected for failed integrity checks.
     pub corrupt_images: AtomicU64,
+    /// Served hits recomputed on the scalar reference by shadow
+    /// verification.
+    pub shadow_checks: AtomicU64,
+    /// Shadow-verified hits whose served score disagreed with the
+    /// reference.
+    pub shadow_mismatches: AtomicU64,
+    /// Circuit-breaker openings: a backend crossed its strike
+    /// threshold and was demoted.
+    pub backend_demotions: AtomicU64,
+    /// Backends that failed the boot self-test battery and were marked
+    /// unavailable before serving.
+    pub selftest_failures: AtomicU64,
 }
 
 /// Point-in-time plain-value copy of [`ServeCounters`] — one
@@ -168,6 +180,16 @@ pub struct Snapshot {
     pub records_quarantined: u64,
     /// Database images rejected for failed integrity checks.
     pub corrupt_images: u64,
+    /// Served hits recomputed on the scalar reference by shadow
+    /// verification.
+    pub shadow_checks: u64,
+    /// Shadow-verified hits whose served score disagreed with the
+    /// reference.
+    pub shadow_mismatches: u64,
+    /// Circuit-breaker openings (backend demotions).
+    pub backend_demotions: u64,
+    /// Backends that failed the boot self-test battery.
+    pub selftest_failures: u64,
 }
 
 impl ServeCounters {
@@ -185,6 +207,10 @@ impl ServeCounters {
             journal_replays: self.journal_replays.load(Relaxed),
             records_quarantined: self.records_quarantined.load(Relaxed),
             corrupt_images: self.corrupt_images.load(Relaxed),
+            shadow_checks: self.shadow_checks.load(Relaxed),
+            shadow_mismatches: self.shadow_mismatches.load(Relaxed),
+            backend_demotions: self.backend_demotions.load(Relaxed),
+            selftest_failures: self.selftest_failures.load(Relaxed),
         }
     }
 
@@ -193,6 +219,11 @@ impl ServeCounters {
         self.worker_panics.fetch_add(f.worker_panics, Relaxed);
         self.degraded_batches.fetch_add(f.degraded_batches, Relaxed);
         self.retries.fetch_add(f.retries, Relaxed);
+        self.shadow_checks.fetch_add(f.shadow_checks, Relaxed);
+        self.shadow_mismatches
+            .fetch_add(f.shadow_mismatches, Relaxed);
+        self.backend_demotions
+            .fetch_add(f.backend_demotions, Relaxed);
     }
 
     /// Bump one counter by one (convenience for call sites).
@@ -207,7 +238,9 @@ impl fmt::Display for Snapshot {
             f,
             "batches={} queries={} full_batches={} timeouts={} shed={} \
              worker_panics={} degraded_batches={} retries={} \
-             journal_replays={} records_quarantined={} corrupt_images={}",
+             journal_replays={} records_quarantined={} corrupt_images={} \
+             shadow_checks={} shadow_mismatches={} backend_demotions={} \
+             selftest_failures={}",
             self.batches,
             self.queries,
             self.full_batches,
@@ -219,6 +252,10 @@ impl fmt::Display for Snapshot {
             self.journal_replays,
             self.records_quarantined,
             self.corrupt_images,
+            self.shadow_checks,
+            self.shadow_mismatches,
+            self.backend_demotions,
+            self.selftest_failures,
         )
     }
 }
@@ -264,6 +301,9 @@ mod tests {
             worker_panics: 1,
             degraded_batches: 2,
             retries: 3,
+            shadow_checks: 10,
+            shadow_mismatches: 4,
+            backend_demotions: 1,
         });
         let s = c.snapshot();
         assert_eq!(s.shed, 1);
@@ -271,8 +311,14 @@ mod tests {
         assert_eq!(s.worker_panics, 1);
         assert_eq!(s.degraded_batches, 2);
         assert_eq!(s.retries, 3);
+        assert_eq!(s.shadow_checks, 10);
+        assert_eq!(s.shadow_mismatches, 4);
+        assert_eq!(s.backend_demotions, 1);
         let line = s.to_string();
         assert!(line.contains("shed=1"));
         assert!(line.contains("retries=3"));
+        assert!(line.contains("shadow_mismatches=4"));
+        assert!(line.contains("backend_demotions=1"));
+        assert!(line.contains("selftest_failures=0"));
     }
 }

@@ -24,6 +24,7 @@ use swsimd_core::{AlignerBuilder, EngineKind, Hit, KernelStats};
 use swsimd_seq::{BatchedDatabase, Database};
 
 use crate::fault::{FaultPlan, FaultStats};
+use crate::shadow::{ShadowConfig, ShadowVerifier};
 
 /// Configuration for parallel search.
 #[derive(Clone)]
@@ -34,6 +35,9 @@ pub struct PoolConfig {
     pub sort_batches: bool,
     /// Fault-injection schedule (inert by default; see [`FaultPlan`]).
     pub fault_plan: FaultPlan,
+    /// Sampled shadow verification of served hits against the scalar
+    /// reference (off by default; see [`ShadowConfig`]).
+    pub shadow: ShadowConfig,
 }
 
 impl Default for PoolConfig {
@@ -44,6 +48,7 @@ impl Default for PoolConfig {
                 .unwrap_or(1),
             sort_batches: true,
             fault_plan: FaultPlan::default(),
+            shadow: ShadowConfig::default(),
         }
     }
 }
@@ -106,6 +111,7 @@ pub(crate) fn search_partition<F>(
     range: Range<usize>,
     part_idx: usize,
     plan: &FaultPlan,
+    shadow: &ShadowVerifier,
     make_aligner: &F,
 ) -> (Vec<Hit>, KernelStats, FaultStats)
 where
@@ -116,6 +122,7 @@ where
         plan.before_partition(part_idx);
         let (mut hits, stats) = search_sub(query, db, &range, make_aligner);
         plan.corrupt_hits(part_idx, &mut hits);
+        plan.skew_hits(part_idx, &mut hits);
         (hits, stats)
     }));
 
@@ -128,6 +135,12 @@ where
             // reference engine (exact, engine-independent scores).
             if outcome.is_err() {
                 faults.worker_panics += 1;
+                // A kernel panic is a strike against the backend that
+                // computed it; enough strikes open the trust breaker.
+                let engine = swsimd_core::trust::effective_engine(make_aligner().build().engine());
+                if swsimd_core::trust::global().record_strike(engine) {
+                    faults.backend_demotions += 1;
+                }
             }
             faults.degraded_batches += 1;
             faults.retries += 1;
@@ -145,6 +158,7 @@ where
     for h in &mut hits {
         h.db_index += range.start;
     }
+    faults.record_shadow(&shadow.verify_hits(query, db, &mut hits, make_aligner));
     (hits, stats, faults)
 }
 
@@ -168,6 +182,9 @@ where
 {
     let threads = cfg.threads.max(1);
     let plan = &cfg.fault_plan;
+    // One sampler across all partitions, so the configured rate holds
+    // over the whole search rather than per partition.
+    let shadow = ShadowVerifier::new(cfg.shadow);
     let mut sp = swsimd_obs::span!(
         "parallel_search",
         "threads" => threads,
@@ -182,6 +199,7 @@ where
             0..db.len(),
             0,
             plan,
+            &shadow,
             &make_aligner,
         ));
     } else {
@@ -191,8 +209,9 @@ where
             for (part_idx, range) in parts.iter().enumerate() {
                 let range = range.clone();
                 let make_aligner = &make_aligner;
+                let shadow = &shadow;
                 handles.push(scope.spawn(move || {
-                    search_partition(query, db, range, part_idx, plan, make_aligner)
+                    search_partition(query, db, range, part_idx, plan, shadow, make_aligner)
                 }));
             }
             for h in handles {
@@ -335,8 +354,8 @@ mod tests {
             &db,
             &PoolConfig {
                 threads: 4,
-                sort_batches: true,
                 fault_plan: FaultPlan::new().panic_at(1, 1),
+                ..PoolConfig::default()
             },
             builder,
         );
@@ -365,8 +384,8 @@ mod tests {
             &db,
             &PoolConfig {
                 threads: 3,
-                sort_batches: true,
                 fault_plan: FaultPlan::new().poison_at(2, 1),
+                ..PoolConfig::default()
             },
             builder,
         );
@@ -385,13 +404,90 @@ mod tests {
             &db,
             &PoolConfig {
                 threads: 1,
-                sort_batches: true,
                 fault_plan: FaultPlan::new().panic_at(0, 1),
+                ..PoolConfig::default()
             },
             || Aligner::builder().matrix(blosum62()),
         );
         assert_eq!(out.hits.len(), 10);
         assert_eq!(out.faults.worker_panics, 1);
+    }
+
+    #[test]
+    fn shadow_full_rate_verifies_every_hit_cleanly() {
+        use crate::shadow::{OnMismatch, ShadowConfig};
+        let db = small_db(25, 19);
+        let q = Alphabet::protein().encode(b"MKVLAADTWGHK");
+        let out = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 2,
+                shadow: ShadowConfig {
+                    sample_rate: 1.0,
+                    on_mismatch: OnMismatch::Record,
+                },
+                ..PoolConfig::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        assert_eq!(out.faults.shadow_checks, 25, "full rate checks every hit");
+        assert_eq!(out.faults.shadow_mismatches, 0, "clean kernels agree");
+        assert_eq!(out.hits.len(), 25);
+    }
+
+    #[test]
+    fn shadow_catches_and_repairs_injected_wrong_score() {
+        use crate::shadow::{OnMismatch, ShadowConfig};
+        let db = small_db(20, 23);
+        let q = Alphabet::protein().encode(b"MKVLAADTWGHK");
+        let builder = || Aligner::builder().matrix(blosum62());
+        let clean = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 1,
+                ..PoolConfig::default()
+            },
+            builder,
+        );
+        // Record mode: count mismatches without striking the global
+        // trust ladder (breaker behavior is covered by the e2e suite).
+        let shadowed = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 1,
+                fault_plan: FaultPlan::new().wrong_score_at(0, 1).corrupt_lane_at(0, 1),
+                shadow: ShadowConfig {
+                    sample_rate: 1.0,
+                    on_mismatch: OnMismatch::Record,
+                },
+                ..PoolConfig::default()
+            },
+            builder,
+        );
+        assert_eq!(shadowed.faults.shadow_checks, 20);
+        assert_eq!(
+            shadowed.faults.shadow_mismatches, 2,
+            "both injected skews caught"
+        );
+        assert_eq!(shadowed.hits, clean.hits, "mismatching scores repaired");
+        assert_eq!(
+            shadowed.faults.degraded_batches, 0,
+            "count-preserving skew evades structural validation"
+        );
+    }
+
+    #[test]
+    fn shadow_off_checks_nothing() {
+        let db = small_db(10, 29);
+        let q = Alphabet::protein().encode(b"MKVLAADTW");
+        let out = parallel_search(&q, &db, &PoolConfig::default(), || {
+            Aligner::builder().matrix(blosum62())
+        });
+        assert_eq!(out.faults.shadow_checks, 0);
+        assert_eq!(out.faults.shadow_mismatches, 0);
     }
 
     #[test]

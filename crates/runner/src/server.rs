@@ -62,6 +62,7 @@ use swsimd_seq::{BatchedDatabase, Database};
 
 use crate::fault::FaultPlan;
 use crate::metrics::{self, ServeCounters, Snapshot};
+use crate::shadow::{ShadowConfig, ShadowVerifier};
 
 /// A typed serving failure. Every client-facing entry point returns
 /// `Result<_, ServeError>`; the serving layer itself never panics on
@@ -86,6 +87,15 @@ pub enum ServeError {
         /// The configured admission limit.
         limit: usize,
     },
+    /// The requested engine cannot serve: missing on this CPU, or
+    /// demoted by the kernel trust breaker. Surfaced instead of a
+    /// silent fallback so operators see the degradation.
+    EngineUnavailable {
+        /// The engine the server was configured for.
+        requested: EngineKind,
+        /// Why it cannot be dispatched.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -100,6 +110,9 @@ impl std::fmt::Display for ServeError {
             ServeError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
             ServeError::QueryTooLarge { len, limit } => {
                 write!(f, "query of {len} residues exceeds admission limit {limit}")
+            }
+            ServeError::EngineUnavailable { requested, reason } => {
+                write!(f, "engine {} unavailable: {reason}", requested.name())
             }
         }
     }
@@ -116,7 +129,12 @@ impl std::error::Error for ServeError {
 
 impl From<AlignError> for ServeError {
     fn from(e: AlignError) -> Self {
-        ServeError::InvalidQuery(e)
+        match e {
+            AlignError::EngineUnavailable { requested, reason } => {
+                ServeError::EngineUnavailable { requested, reason }
+            }
+            other => ServeError::InvalidQuery(other),
+        }
     }
 }
 
@@ -154,6 +172,10 @@ struct ServerObs {
     journal_replays: Arc<Counter>,
     records_quarantined: Arc<Counter>,
     corrupt_images: Arc<Counter>,
+    shadow_checks: Arc<Counter>,
+    shadow_mismatches: Arc<Counter>,
+    backend_demotions: Arc<Counter>,
+    selftest_failures: Arc<Counter>,
 }
 
 impl ServerObs {
@@ -211,6 +233,22 @@ impl ServerObs {
             corrupt_images: counter(
                 "swsimd_server_corrupt_images_total",
                 "Database images rejected for failed integrity checks.",
+            ),
+            shadow_checks: counter(
+                "swsimd_server_shadow_checks_total",
+                "Served hits recomputed on the scalar reference by shadow verification.",
+            ),
+            shadow_mismatches: counter(
+                "swsimd_server_shadow_mismatches_total",
+                "Shadow-verified hits whose served score disagreed with the reference.",
+            ),
+            backend_demotions: counter(
+                "swsimd_server_backend_demotions_total",
+                "Circuit-breaker openings: a backend crossed its strike threshold.",
+            ),
+            selftest_failures: counter(
+                "swsimd_server_selftest_failures_total",
+                "Backends that failed the boot self-test battery.",
             ),
         })
     }
@@ -387,6 +425,9 @@ pub struct ServerConfig {
     /// before any buffering — the serving-side arm of the ingestion
     /// memory budget (`swsimd_seq::IngestQuota`).
     pub max_query_len: usize,
+    /// Sampled shadow verification of served hits against the scalar
+    /// reference (off by default; see [`ShadowConfig`]).
+    pub shadow: ShadowConfig,
 }
 
 impl Default for ServerConfig {
@@ -398,6 +439,7 @@ impl Default for ServerConfig {
             fault_plan: FaultPlan::default(),
             health_period: None,
             max_query_len: usize::MAX,
+            shadow: ShadowConfig::default(),
         }
     }
 }
@@ -421,6 +463,13 @@ pub struct BatchServer {
 impl BatchServer {
     /// Start a server over `db` with per-batch processing by an aligner
     /// built from `make_aligner`.
+    ///
+    /// Runs the boot-time kernel self-test battery (cached
+    /// process-wide) before serving: a backend that fails is marked
+    /// unavailable in the trust ladder and the count is surfaced in
+    /// [`ServerStats::selftest_failures`]. A server configured for an
+    /// unusable engine still starts (dispatch walks down the ladder) —
+    /// use [`BatchServer::try_start`] to fail fast instead.
     pub fn start<F>(db: Arc<Database>, cfg: ServerConfig, make_aligner: F) -> Self
     where
         F: Fn() -> AlignerBuilder + Send + 'static,
@@ -428,6 +477,11 @@ impl BatchServer {
         let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(cfg.queue_depth.max(1));
         let counters = Arc::new(ServeCounters::default());
         let obs = ServerObs::new();
+        let failed = swsimd_core::selftest::boot().failed_engines().len() as u64;
+        if failed > 0 {
+            counters.selftest_failures.fetch_add(failed, Relaxed);
+            obs.selftest_failures.add(failed);
+        }
         let max_query_len = cfg.max_query_len;
         let worker_counters = counters.clone();
         let worker_obs = obs.clone();
@@ -491,6 +545,24 @@ impl BatchServer {
             obs,
             max_query_len,
         }
+    }
+
+    /// Like [`BatchServer::start`], but refuses to start when the
+    /// configured engine cannot actually serve — missing on this CPU
+    /// or demoted by the kernel trust breaker — returning the typed
+    /// [`ServeError::EngineUnavailable`] instead of silently falling
+    /// back to a weaker ISA.
+    pub fn try_start<F>(
+        db: Arc<Database>,
+        cfg: ServerConfig,
+        make_aligner: F,
+    ) -> Result<Self, ServeError>
+    where
+        F: Fn() -> AlignerBuilder + Send + 'static,
+    {
+        swsimd_core::selftest::boot();
+        make_aligner().try_build()?;
+        Ok(Self::start(db, cfg, make_aligner))
     }
 
     /// A client handle (cloneable, usable from many threads).
@@ -595,6 +667,7 @@ struct WorkerCtx<F> {
     /// retry (most servers never pay for it).
     fallback: Option<(Aligner, BatchedDatabase)>,
     plan: FaultPlan,
+    shadow: ShadowVerifier,
     batch_size: usize,
     counters: Arc<ServeCounters>,
     obs: Arc<ServerObs>,
@@ -618,6 +691,7 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             batched,
             fallback: None,
             plan: cfg.fault_plan.clone(),
+            shadow: ShadowVerifier::new(cfg.shadow),
             batch_size: cfg.batch_size,
             counters,
             obs,
@@ -661,11 +735,27 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             self.plan.before_partition(slot);
             let mut hits = self.aligner.search_batched(query, &self.db, &self.batched);
             self.plan.corrupt_hits(slot, &mut hits);
+            self.plan.skew_hits(slot, &mut hits);
             hits
         }));
         let panicked = fast.is_err();
-        if let Ok(hits) = fast {
+        if let Ok(mut hits) = fast {
             if hits.len() == expected {
+                let out = self
+                    .shadow
+                    .verify_hits(query, &self.db, &mut hits, &self.make_aligner);
+                if out.checks > 0 {
+                    self.counters.shadow_checks.fetch_add(out.checks, Relaxed);
+                    self.obs.shadow_checks.add(out.checks);
+                    self.counters
+                        .shadow_mismatches
+                        .fetch_add(out.mismatches, Relaxed);
+                    self.obs.shadow_mismatches.add(out.mismatches);
+                    self.counters
+                        .backend_demotions
+                        .fetch_add(out.demotions, Relaxed);
+                    self.obs.backend_demotions.add(out.demotions);
+                }
                 return Ok(finish_hits(hits, top_k));
             }
         }
@@ -677,6 +767,13 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             ServeCounters::bump(&self.counters.worker_panics);
             self.obs.worker_panics.inc();
             swsimd_obs::event!("worker_panic", "slot" => slot);
+            // A kernel panic is a strike against the backend that
+            // computed it; enough strikes open the trust breaker.
+            let engine = swsimd_core::trust::effective_engine(self.aligner.engine());
+            if swsimd_core::trust::global().record_strike(engine) {
+                ServeCounters::bump(&self.counters.backend_demotions);
+                self.obs.backend_demotions.inc();
+            }
         }
         ServeCounters::bump(&self.counters.degraded_batches);
         ServeCounters::bump(&self.counters.retries);
@@ -984,6 +1081,75 @@ mod tests {
         assert_eq!(stats.worker_panics, 0, "poison is not a panic");
         assert_eq!(stats.degraded_batches, 1);
         assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn shadow_verification_catches_wrong_scores_and_surfaces_counters() {
+        use crate::shadow::OnMismatch;
+        let db = tiny_db();
+        let q = enc(30, 7);
+        let mut direct = Aligner::builder().matrix(blosum62()).build();
+        let want = direct.search(&q, &db, 0);
+
+        let server = BatchServer::start(
+            db.clone(),
+            ServerConfig {
+                // Skew the top hit of the first job — count-preserving,
+                // so only shadow verification can catch it. Record mode
+                // keeps this unit test independent of the global trust
+                // ladder (breaker behavior is covered end-to-end).
+                fault_plan: FaultPlan::new().wrong_score_at(0, 1),
+                shadow: ShadowConfig {
+                    sample_rate: 1.0,
+                    on_mismatch: OnMismatch::Record,
+                },
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        let hits = client.query(q.clone(), 0).expect("server is up");
+        assert_eq!(hits, want, "mismatching score repaired before reply");
+        let line = server.health_line();
+        assert!(line.contains("shadow_checks=24"), "{line}");
+        assert!(line.contains("shadow_mismatches=1"), "{line}");
+        let text = server.prometheus_text();
+        assert!(text.contains("swsimd_server_shadow_checks_total"), "{text}");
+        assert!(
+            text.contains("swsimd_server_shadow_mismatches_total"),
+            "{text}"
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.shadow_checks, 24, "every hit verified at rate 1");
+        assert_eq!(stats.shadow_mismatches, 1);
+        assert_eq!(
+            stats.degraded_batches, 0,
+            "skew evades structural validation; only shadow caught it"
+        );
+    }
+
+    #[test]
+    fn try_start_rejects_unavailable_engine_with_typed_error() {
+        let db = tiny_db();
+        // Scalar is always usable.
+        let ok = BatchServer::try_start(db.clone(), ServerConfig::default(), || {
+            Aligner::builder()
+                .matrix(blosum62())
+                .engine(EngineKind::Scalar)
+        });
+        assert!(ok.is_ok());
+        let _ = ok.unwrap().shutdown();
+        // An engine the CPU lacks is a typed refusal, not a fallback.
+        if let Some(&missing) = EngineKind::ALL.iter().find(|e| !e.is_available()) {
+            match BatchServer::try_start(db, ServerConfig::default(), move || {
+                Aligner::builder().matrix(blosum62()).engine(missing)
+            }) {
+                Err(ServeError::EngineUnavailable { requested, .. }) => {
+                    assert_eq!(requested, missing);
+                }
+                other => panic!("expected EngineUnavailable, got {:?}", other.is_ok()),
+            }
+        }
     }
 
     #[test]

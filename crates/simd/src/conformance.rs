@@ -1,11 +1,16 @@
-//! Cross-engine conformance tests: every backend must agree with the
+//! Cross-engine conformance checks: every backend must agree with the
 //! scalar reference on every operation, across random inputs.
 //!
 //! Hardware backends are skipped (not failed) on machines without the
-//! ISA, so the suite is portable.
+//! ISA, so the suite is portable — but a skip must never be silent:
+//! [`run_all`] returns a per-engine ran/skipped report that CI logs,
+//! so a green run on a scalar-only box cannot masquerade as full
+//! hardware coverage.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::elem::ScoreElem;
-use crate::engine::{SimdEngine, FLAT16_LEN, FLAT_LEN};
+use crate::engine::{EngineKind, SimdEngine, FLAT16_LEN, FLAT_LEN};
 use crate::scalar::Scalar;
 use crate::vector::SimdVec;
 
@@ -162,6 +167,92 @@ fn check_engine_tables<E: SimdEngine>(seed: u64) {
     }
 }
 
+/// Ran/skipped outcome of the conformance suite for one engine.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Engine the suite targeted.
+    pub engine: EngineKind,
+    /// True when the checks actually executed on this CPU; false means
+    /// the ISA is missing and the engine was *skipped*, not validated.
+    pub ran: bool,
+    /// Checks executed (0 when skipped).
+    pub checks: usize,
+    /// Names of failed checks (empty on success or skip).
+    pub failures: Vec<String>,
+}
+
+impl EngineReport {
+    /// True when the engine ran and every check passed.
+    pub fn passed(&self) -> bool {
+        self.ran && self.failures.is_empty()
+    }
+}
+
+impl std::fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.ran {
+            write!(f, "{:<8} SKIPPED (ISA not available)", self.engine.name())
+        } else if self.failures.is_empty() {
+            write!(
+                f,
+                "{:<8} ran {} checks, all passed",
+                self.engine.name(),
+                self.checks
+            )
+        } else {
+            write!(
+                f,
+                "{:<8} ran {} checks, FAILED: {}",
+                self.engine.name(),
+                self.checks,
+                self.failures.join(", ")
+            )
+        }
+    }
+}
+
+fn run_engine<E: SimdEngine>(kind: EngineKind, seed: u64) -> EngineReport {
+    let mut report = EngineReport {
+        engine: kind,
+        ran: false,
+        checks: 0,
+        failures: Vec::new(),
+    };
+    if !E::is_available() {
+        return report;
+    }
+    report.ran = true;
+    let mut check = |name: &str, f: &dyn Fn()| {
+        report.checks += 1;
+        if catch_unwind(AssertUnwindSafe(f)).is_err() {
+            report.failures.push(name.to_string());
+        }
+    };
+    check("v8_ops", &|| check_vec_ops::<E::V8>(seed));
+    check("v16_ops", &|| check_vec_ops::<E::V16>(seed + 1));
+    check("v32_ops", &|| check_vec_ops::<E::V32>(seed + 2));
+    check("tables", &|| check_engine_tables::<E>(seed + 3));
+    report
+}
+
+/// Run the conformance suite against all four engines and report which
+/// ran, which were skipped, and any failures. Skips are explicit so
+/// "all green" can be told apart from "nothing executed".
+pub fn run_all() -> Vec<EngineReport> {
+    let mut reports = vec![run_engine::<Scalar>(EngineKind::Scalar, 0xC0FFEE)];
+    #[cfg(target_arch = "x86_64")]
+    {
+        reports.push(run_engine::<crate::sse41::Sse41>(EngineKind::Sse41, 0xBEEF));
+        reports.push(run_engine::<crate::avx2::Avx2>(EngineKind::Avx2, 0xFACE));
+        reports.push(run_engine::<crate::avx512::Avx512>(
+            EngineKind::Avx512,
+            0xF00D,
+        ));
+    }
+    reports
+}
+
+#[cfg(test)]
 macro_rules! engine_suite {
     ($modname:ident, $engine:ty, $seed:literal) => {
         mod $modname {
@@ -207,10 +298,35 @@ macro_rules! engine_suite {
     };
 }
 
+#[cfg(test)]
 engine_suite!(scalar_engine, Scalar, 0xC0FFEE);
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(test, target_arch = "x86_64"))]
 engine_suite!(sse41_engine, crate::sse41::Sse41, 0xBEEF);
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(test, target_arch = "x86_64"))]
 engine_suite!(avx2_engine, crate::avx2::Avx2, 0xFACE);
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(test, target_arch = "x86_64"))]
 engine_suite!(avx512_engine, crate::avx512::Avx512, 0xF00D);
+
+#[cfg(test)]
+mod report_tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_every_engine_and_marks_skips() {
+        let reports = run_all();
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert_eq!(r.ran, r.engine.is_available(), "{}", r.engine.name());
+            if r.ran {
+                assert!(r.passed(), "{r}");
+                assert_eq!(r.checks, 4, "{}", r.engine.name());
+            } else {
+                assert_eq!(r.checks, 0);
+                assert!(r.to_string().contains("SKIPPED"), "{r}");
+            }
+        }
+        // Scalar always runs, so "green" can never mean "nothing ran".
+        assert!(reports[0].ran);
+    }
+}

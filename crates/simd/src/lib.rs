@@ -32,6 +32,7 @@
 //! assert_eq!(saturating_row_max::<Scalar>(&xs, &ys), 3);
 //! ```
 
+pub mod conformance;
 pub mod elem;
 pub mod engine;
 pub mod scalar;
@@ -56,5 +57,4 @@ pub use avx512::Avx512;
 #[cfg(target_arch = "x86_64")]
 pub use sse41::Sse41;
 
-#[cfg(test)]
-mod conformance;
+pub use conformance::{run_all as run_conformance, EngineReport};

@@ -4,6 +4,7 @@
 //! swsimd align  <query.fasta> <target.fasta> [options]   pairwise, with traceback
 //! swsimd search <query.fasta> <db.fasta>     [options]   database search
 //! swsimd info                                             engines & matrices
+//! swsimd selftest                                         kernel trust battery + conformance
 //!
 //! options:
 //!   --matrix NAME        BLOSUM45/50/62/80/90, PAM30/70/120/250 (default BLOSUM62)
@@ -94,9 +95,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     "avx-512" | "avx512" => EngineKind::Avx512,
                     _ => return Err(format!("unknown engine '{n}'")),
                 };
-                if !o.engine.is_available() {
-                    return Err(format!("engine {} not available on this CPU", o.engine));
-                }
+                // Typed refusal (missing ISA or trust-demoted backend)
+                // instead of a silent fallback to a weaker engine.
+                swsimd::core::trust::check_engine_usable(o.engine).map_err(|e| e.to_string())?;
             }
             "--no-traceback" => o.traceback = false,
             "--journal" => o.journal = Some(val("--journal")?.into()),
@@ -262,6 +263,53 @@ fn cmd_search(query_path: &str, db_path: &str, o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Run the boot battery and the engine conformance suite, print a
+/// per-engine report, and fail (nonzero exit) on any failure — the
+/// operator's pre-flight check for a new machine or a suspect kernel.
+fn cmd_selftest() -> Result<(), String> {
+    println!(
+        "kernel self-test battery (seed 0x{:x}):",
+        swsimd::core::selftest::BATTERY_SEED
+    );
+    let report = swsimd::run_battery();
+    for o in &report.outcomes {
+        if o.passed() {
+            println!("  {:<8} {} checks, all passed", o.engine.name(), o.checks);
+        } else {
+            println!(
+                "  {:<8} {} checks, {} FAILED:",
+                o.engine.name(),
+                o.checks,
+                o.failures.len()
+            );
+            for f in &o.failures {
+                println!("    {f}");
+            }
+        }
+    }
+    for e in &report.skipped {
+        println!("  {:<8} SKIPPED (ISA not available)", e.name());
+    }
+
+    println!("engine conformance (vector ops vs scalar semantics):");
+    let conformance = swsimd::simd::run_conformance();
+    for r in &conformance {
+        println!("  {r}");
+    }
+
+    let conformance_failures = conformance.iter().filter(|r| r.ran && !r.passed()).count();
+    if report.all_passed() && conformance_failures == 0 {
+        println!("selftest OK");
+        Ok(())
+    } else {
+        Err(format!(
+            "selftest FAILED: {} battery failure(s), {} conformance failure(s)",
+            report.failure_count(),
+            conformance_failures
+        ))
+    }
+}
+
 fn cmd_info() {
     println!("swsimd — Smith-Waterman with vector extensions");
     println!("engines available on this CPU:");
@@ -282,18 +330,25 @@ fn cmd_info() {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: swsimd <align|search|info> [paths...] [options] (see --help in source)";
+    let usage =
+        "usage: swsimd <align|search|info|selftest> [paths...] [options] (see --help in source)";
     let result = match args.first().map(String::as_str) {
         Some("align") if args.len() >= 3 => {
+            // Boot battery runs before --engine parsing so that a
+            // backend which fails its golden vectors is already marked
+            // unusable when the trust check sees it.
+            swsimd::core::selftest::boot();
             parse_opts(&args[3..]).and_then(|o| cmd_align(&args[1], &args[2], &o))
         }
         Some("search") if args.len() >= 3 => {
+            swsimd::core::selftest::boot();
             parse_opts(&args[3..]).and_then(|o| cmd_search(&args[1], &args[2], &o))
         }
         Some("info") => {
             cmd_info();
             Ok(())
         }
+        Some("selftest") => cmd_selftest(),
         _ => Err(usage.to_string()),
     };
     match result {

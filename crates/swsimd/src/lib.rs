@@ -49,11 +49,13 @@ pub use swsimd_core::{
     validate_encoded, AlignError, AlignMode, AlignResult, Aligner, AlignerBuilder, Alignment,
     GapModel, GapPenalties, Hit, KernelStats, Op, Precision, Scoring,
 };
+pub use swsimd_core::{run_battery, SelftestReport, TrustLadder, TrustState};
 pub use swsimd_runner::{
     checkpointed_search, read_journal, read_journal_file, resume_search, resume_search_file,
     FaultPlan, FaultStats, FaultyWriter, Journal, JournalError, JournalWriter, ResumeStats,
     ServeError,
 };
+pub use swsimd_runner::{OnMismatch, ShadowConfig, ShadowVerifier};
 pub use swsimd_seq::{
     read_database_streaming_with, Database, IngestError, IngestOptions, IngestPolicy, IngestQuota,
     IngestReport, PersistError, SeqRecord,

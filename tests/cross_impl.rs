@@ -122,6 +122,59 @@ fn striped_lazy_f_carries_chains_under_higher_cells() {
     }
 }
 
+/// Nightly-scale differential fuzz: every available backend against
+/// the scalar reference over seeded random pairs (mixed matrices and
+/// gap penalties, adaptive precision, periodic CIGAR rescoring).
+///
+/// `SWSIMD_FUZZ_CASES` scales the per-backend case count — 500 by
+/// default so local `cargo test` stays fast; the CI nightly job sets
+/// 20000. Seeds are fixed per backend, so any failure message
+/// identifies a reproducible case.
+#[test]
+fn differential_fuzz_all_backends_vs_scalar() {
+    let cases: usize = std::env::var("SWSIMD_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let matrices = [blosum62(), blosum45(), pam250()];
+    let penalties = [(11, 1), (2, 1), (5, 2)];
+    for (ei, engine) in EngineKind::available().into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(0xFA22_0000 + ei as u64);
+        for case in 0..cases {
+            let matrix = matrices[case % matrices.len()];
+            let (open, extend) = penalties[case % penalties.len()];
+            let scoring = Scoring::matrix(matrix);
+            let gaps = GapModel::Affine(GapPenalties::new(open, extend));
+            let (lq, lt) = (rng.gen_range(1..120), rng.gen_range(1..120));
+            let q = rand_seq(&mut rng, lq);
+            let t = rand_seq(&mut rng, lt);
+            let want = sw_scalar(&q, &t, &scoring, gaps).score;
+            let mut aligner = Aligner::builder()
+                .matrix(matrix)
+                .gaps(GapPenalties::new(open, extend))
+                .engine(engine)
+                .traceback(case % 16 == 0)
+                .build();
+            let r = aligner.align(&q, &t);
+            assert_eq!(
+                r.score,
+                want,
+                "{} case {case} (qlen {lq} tlen {lt}, seed 0x{:x})",
+                engine.name(),
+                0xFA22_0000u64 + ei as u64
+            );
+            if let Some(aln) = &r.alignment {
+                assert_eq!(
+                    aln.rescore(&q, &t, &scoring, gaps),
+                    want,
+                    "{} case {case}: CIGAR disagrees with its own score",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn database_search_agrees_with_pairwise() {
     let db = generate_database(&SynthConfig {

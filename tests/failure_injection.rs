@@ -204,6 +204,7 @@ mod server_faults {
                 threads: 4,
                 sort_batches: true,
                 fault_plan: FaultPlan::new().panic_at(2, 1),
+                ..Default::default()
             },
             builder,
         );

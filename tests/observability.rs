@@ -108,6 +108,7 @@ fn spans_stay_balanced_across_worker_panics() {
             threads: 1,
             sort_batches: true,
             fault_plan: FaultPlan::new().panic_at(0, 1),
+            ..PoolConfig::default()
         },
         || Aligner::builder().matrix(blosum62()),
     );
