@@ -177,6 +177,13 @@ fn diag_stripe_kernel<En: SimdEngine, W: KernelWidth<En>>(
         }
         stats.diagonals += (n + lanes - 1) as u64;
 
+        // Amortized governor poll at stripe granularity (a stripe is
+        // `lanes` query rows — comparable work to one check period of
+        // anti-diagonals); governed callers discard the result.
+        if swsimd_core::govern::cancel_poll() {
+            break;
+        }
+
         std::mem::swap(&mut hrow, &mut hrow_next);
         std::mem::swap(&mut frow, &mut frow_next);
         hrow[0] = Elem::<En, W>::ZERO;

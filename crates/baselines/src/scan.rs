@@ -58,7 +58,12 @@ where
     let mut f_arr = vec![vneg; seglen]; // F (pass 2)
     let mut vmax = vzero;
 
-    for &tres in target.iter() {
+    for (j, &tres) in target.iter().enumerate() {
+        // Amortized governor poll; governed callers re-check the token
+        // and discard the result.
+        if j % swsimd_core::govern::CANCEL_CHECK_PERIOD == 0 && swsimd_core::govern::cancel_poll() {
+            break;
+        }
         let row = profile.row(tres);
 
         // ---- pass 1: E update and F-free tentative H ----------------

@@ -124,7 +124,12 @@ where
     let mut f_arr = vec![vneg; seglen];
     let mut vmax = vzero;
 
-    for &tres in target.iter() {
+    for (j, &tres) in target.iter().enumerate() {
+        // Amortized governor poll (same cadence as the paper kernel);
+        // governed callers re-check the token and discard the result.
+        if j % swsimd_core::govern::CANCEL_CHECK_PERIOD == 0 && swsimd_core::govern::cancel_poll() {
+            break;
+        }
         let row = profile.row(tres);
         let mut vf = vneg;
         // Diagonal carry: last segment of the previous column, lanes

@@ -14,8 +14,10 @@
 //! model is: a query's worth of disabled span/event constructions
 //! versus one kernel call's runtime. The same gate covers shadow
 //! verification at `sample_rate = 0` (a batch of disabled sampler
-//! probes per kernel call). The gate fails (exit 1) if either ratio
-//! reaches 1%, or if enabling a counting sink disturbs scores.
+//! probes per kernel call) and the work governor's strip-level
+//! cancellation poll with no governor installed (the ungoverned
+//! default). The gate fails (exit 1) if any ratio reaches 1%, or if
+//! enabling a counting sink disturbs scores.
 //!
 //! `--smoke` shrinks the measurement budgets for CI.
 
@@ -130,6 +132,29 @@ fn main() {
         shadow_overhead * 100.0
     );
 
+    // 2c. Idle cancellation polling: the work governor's strip-level
+    //     check runs every `CANCEL_CHECK_PERIOD` anti-diagonals. With
+    //     no governor scope installed (rate 0 — the ungoverned default)
+    //     each poll is one thread-local read and a branch. Budget the
+    //     polls a 400x400 kernel call actually performs, rounded up
+    //     generously.
+    let polls_per_call =
+        (q.len() + t.len()).div_ceil(swsimd_core::CANCEL_CHECK_PERIOD).max(1) * 2;
+    let cancel_secs = time_per_call(
+        || {
+            for _ in 0..polls_per_call {
+                std::hint::black_box(swsimd_core::govern::cancel_poll());
+            }
+        },
+        budget_ms.min(50),
+    );
+    let cancel_overhead = cancel_secs / kernel_secs;
+    println!(
+        "  idle cancel polling:       {:.1} ns per {polls_per_call}-poll batch ({:.4}% of kernel)",
+        cancel_secs * 1e9,
+        cancel_overhead * 100.0
+    );
+
     // 3. Informational: the same kernel with a counting sink installed
     //    (the cost ceiling a subscriber pays; not gated).
     let sink = Arc::new(CountingSink(AtomicU64::new(0)));
@@ -175,6 +200,7 @@ fn main() {
     for (name, ratio) in [
         ("disabled-tracing", overhead),
         ("disabled-shadow-sampling", shadow_overhead),
+        ("idle-cancel-polling", cancel_overhead),
     ] {
         if ratio < limit {
             println!(

@@ -24,6 +24,7 @@ use crate::adaptive::{adaptive_score, adaptive_traceback, minimal_safe_precision
 use crate::batch::{batch_score, lanes_for, LaneScore};
 use crate::diag::dispatch::{diag_score, diag_traceback};
 use crate::error::{validate_encoded, AlignError};
+use crate::govern::{self, CancelToken, GovernorScope, MemBudget};
 use crate::modes::{adaptive_mode_score, diag_mode_score, sw_scalar_mode_traceback, AlignMode};
 use crate::params::{AlignResult, GapModel, GapPenalties, Precision, Scoring};
 use crate::stats::KernelStats;
@@ -243,6 +244,75 @@ impl Aligner {
         validate_encoded(query)?;
         validate_encoded(target)?;
         Ok(self.align_clean(query, target))
+    }
+
+    /// Governed alignment: validates input, reserves the estimated
+    /// DP/traceback bytes against `budget`, installs `token` as the
+    /// thread's governor scope, and maps mid-compute cancellation to
+    /// [`AlignError::Cancelled`].
+    ///
+    /// When the traceback direction store would overrun the budget and
+    /// `allow_degrade` is set (local mode only), the call falls back to
+    /// the score-only banded kernel at full width — the score stays
+    /// exact, `alignment` is `None`, and the O(m·n) store is never
+    /// allocated. Without `allow_degrade` the caller gets the typed
+    /// [`AlignError::BudgetExceeded`].
+    pub fn try_align_governed(
+        &mut self,
+        query: &[u8],
+        target: &[u8],
+        token: Option<&CancelToken>,
+        budget: Option<&MemBudget>,
+        allow_degrade: bool,
+    ) -> Result<AlignResult, AlignError> {
+        validate_encoded(query)?;
+        validate_encoded(target)?;
+        let lanes = lanes_for(self.engine);
+        let elem_bytes = match self.precision {
+            Precision::I8 => 1,
+            Precision::I16 => 2,
+            _ => 4, // I32 and Adaptive's worst case
+        };
+        let _reservation = match budget {
+            None => None,
+            Some(b) => {
+                let need = if self.traceback {
+                    govern::traceback_bytes(query.len(), target.len(), lanes)
+                } else {
+                    govern::score_bytes(query.len(), elem_bytes)
+                };
+                match b.try_reserve(need) {
+                    Ok(r) => Some(r),
+                    Err(err @ AlignError::BudgetExceeded { .. })
+                        if self.traceback && allow_degrade && self.mode == AlignMode::Local =>
+                    {
+                        // Score-only fallback: rolling buffers only.
+                        let r = b.try_reserve(govern::score_bytes(query.len(), 4))?;
+                        swsimd_obs::event!(
+                            "budget_fallback",
+                            "qlen" => query.len(),
+                            "tlen" => target.len(),
+                            "needed" => need,
+                            "limit" => b.limit(),
+                        );
+                        let _keep = r;
+                        let _scope = token.map(|t| GovernorScope::install(t.clone()));
+                        govern::check_cancelled()?;
+                        let width = query.len().max(target.len());
+                        let result = self.align_banded(query, target, width);
+                        govern::check_cancelled()?;
+                        let _ = err;
+                        return Ok(result);
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+        };
+        let _scope = token.map(|t| GovernorScope::install(t.clone()));
+        govern::check_cancelled()?;
+        let result = self.align_clean(query, target);
+        govern::check_cancelled()?;
+        Ok(result)
     }
 
     /// Clamp bytes `>= 32` to the alphabet's unknown residue. The
@@ -494,12 +564,45 @@ impl Aligner {
     /// 8-bit inter-sequence kernel, promoting saturated lanes through
     /// the 16/32-bit diagonal kernel. Returns exact scores for every
     /// database sequence, unsorted.
+    ///
+    /// Infallible variant: under a cancelled governor scope this
+    /// returns an empty list — governed callers use
+    /// [`Aligner::try_search_batched`] to get the typed error instead.
     pub fn search_batched(
         &mut self,
         query: &[u8],
         db: &Database,
         batched: &BatchedDatabase,
     ) -> Vec<Hit> {
+        self.search_batched_checked(query, db, batched)
+            .unwrap_or_default()
+    }
+
+    /// Governed database search: installs `token` as the thread's
+    /// governor scope for the duration of the call, checks it between
+    /// batch kernel calls and promotion reruns, and returns
+    /// [`AlignError::Cancelled`] the moment it fires (the kernels
+    /// themselves poll every [`govern::CANCEL_CHECK_PERIOD`] strips).
+    /// No partial hit list escapes a cancelled run.
+    pub fn try_search_batched(
+        &mut self,
+        query: &[u8],
+        db: &Database,
+        batched: &BatchedDatabase,
+        token: Option<&CancelToken>,
+    ) -> Result<Vec<Hit>, AlignError> {
+        let _scope = token.map(|t| GovernorScope::install(t.clone()));
+        self.search_batched_checked(query, db, batched)
+    }
+
+    /// Fallible search body honoring the ambient governor scope.
+    fn search_batched_checked(
+        &mut self,
+        query: &[u8],
+        db: &Database,
+        batched: &BatchedDatabase,
+    ) -> Result<Vec<Hit>, AlignError> {
+        govern::check_cancelled()?;
         let query = &*self.sanitize(query);
         let mut lane_scores: Vec<LaneScore> = Vec::with_capacity(db.len());
         if batched.lanes() == lanes_for(self.engine) {
@@ -513,6 +616,7 @@ impl Aligner {
                     &mut self.stats,
                     &mut lane_scores,
                 );
+                govern::check_cancelled()?;
             }
         } else {
             // Lane-count mismatch (batches built for another engine):
@@ -527,6 +631,7 @@ impl Aligner {
                     self.scalar_threshold,
                     &mut self.stats,
                 );
+                govern::check_cancelled()?;
                 lane_scores.push(LaneScore {
                     db_index: i as u32,
                     score,
@@ -535,24 +640,36 @@ impl Aligner {
             }
         }
 
-        lane_scores
-            .into_iter()
-            .map(|ls| {
-                if ls.saturated {
+        let mut hits = Vec::with_capacity(lane_scores.len());
+        for ls in lane_scores {
+            if ls.saturated {
+                self.stats.promotions += 1;
+                let target = &db.encoded(ls.db_index as usize).idx;
+                let prec = minimal_safe_precision(query.len(), target.len(), &self.scoring)
+                    .max_with_i16();
+                swsimd_obs::event!(
+                    "precision_escalation",
+                    "from" => Precision::I8.name(),
+                    "to" => prec.name(),
+                    "reason" => "batch_lane_saturated",
+                    "db_index" => ls.db_index as u64,
+                );
+                let r = diag_score(
+                    self.engine,
+                    prec,
+                    query,
+                    target,
+                    &self.scoring,
+                    self.gaps,
+                    self.scalar_threshold,
+                    &mut self.stats,
+                );
+                govern::check_cancelled()?;
+                let (score, prec) = if r.saturated {
                     self.stats.promotions += 1;
-                    let target = &db.encoded(ls.db_index as usize).idx;
-                    let prec = minimal_safe_precision(query.len(), target.len(), &self.scoring)
-                        .max_with_i16();
-                    swsimd_obs::event!(
-                        "precision_escalation",
-                        "from" => Precision::I8.name(),
-                        "to" => prec.name(),
-                        "reason" => "batch_lane_saturated",
-                        "db_index" => ls.db_index as u64,
-                    );
-                    let r = diag_score(
+                    let wide = diag_score(
                         self.engine,
-                        prec,
+                        Precision::I32,
                         query,
                         target,
                         &self.scoring,
@@ -560,39 +677,25 @@ impl Aligner {
                         self.scalar_threshold,
                         &mut self.stats,
                     );
-                    let (score, prec) = if r.saturated {
-                        self.stats.promotions += 1;
-                        (
-                            diag_score(
-                                self.engine,
-                                Precision::I32,
-                                query,
-                                target,
-                                &self.scoring,
-                                self.gaps,
-                                self.scalar_threshold,
-                                &mut self.stats,
-                            )
-                            .score,
-                            Precision::I32,
-                        )
-                    } else {
-                        (r.score, prec)
-                    };
-                    Hit {
-                        db_index: ls.db_index as usize,
-                        score,
-                        precision: prec,
-                    }
+                    govern::check_cancelled()?;
+                    (wide.score, Precision::I32)
                 } else {
-                    Hit {
-                        db_index: ls.db_index as usize,
-                        score: ls.score,
-                        precision: Precision::I8,
-                    }
-                }
-            })
-            .collect()
+                    (r.score, prec)
+                };
+                hits.push(Hit {
+                    db_index: ls.db_index as usize,
+                    score,
+                    precision: prec,
+                });
+            } else {
+                hits.push(Hit {
+                    db_index: ls.db_index as usize,
+                    score: ls.score,
+                    precision: Precision::I8,
+                });
+            }
+        }
+        Ok(hits)
     }
 
     /// Search an encoded query against a database, batching on the fly.
@@ -807,6 +910,102 @@ mod tests {
             .engine(EngineKind::Scalar)
             .try_build()
             .is_ok());
+    }
+
+    #[test]
+    fn governed_align_cancelled_token_returns_typed_error() {
+        use crate::govern::{CancelReason, CancelToken};
+        let mut a = Aligner::new();
+        let alphabet = Alphabet::protein();
+        let q = alphabet.encode(b"MKVLAADTWGHK");
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Shutdown);
+        let err = a
+            .try_align_governed(&q, &q, Some(&token), None, false)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AlignError::Cancelled {
+                reason: CancelReason::Shutdown
+            }
+        );
+        // Live token: same result as the ungoverned path.
+        let live = CancelToken::new();
+        let want = a.align(&q, &q).score;
+        let got = a
+            .try_align_governed(&q, &q, Some(&live), None, false)
+            .unwrap();
+        assert_eq!(got.score, want);
+    }
+
+    #[test]
+    fn governed_traceback_budget_fallback_keeps_exact_score() {
+        use crate::govern::MemBudget;
+        let mut rng = StdRng::seed_from_u64(31);
+        let alphabet = Alphabet::protein();
+        let q = alphabet.encode(&rand_ascii(&mut rng, 300));
+        let t = alphabet.encode(&rand_ascii(&mut rng, 300));
+        let mut a = Aligner::builder().traceback(true).build();
+        let want = sw_scalar(&q, &t, a.scoring(), a.gap_model()).score;
+
+        // A budget too small for the 300×300 direction store but large
+        // enough for rolling score buffers.
+        let budget = MemBudget::new(64 * 1024);
+        let err = a
+            .try_align_governed(&q, &t, None, Some(&budget), false)
+            .unwrap_err();
+        assert!(matches!(err, AlignError::BudgetExceeded { .. }));
+        assert_eq!(budget.used(), 0, "failed reservation must not leak");
+
+        let r = a
+            .try_align_governed(&q, &t, None, Some(&budget), true)
+            .unwrap();
+        assert_eq!(r.score, want, "degraded run must keep the exact score");
+        assert!(r.alignment.is_none(), "score-only fallback has no path");
+        assert_eq!(budget.used(), 0, "reservation released after the call");
+
+        // A roomy budget serves the full traceback.
+        let big = MemBudget::new(16 * 1024 * 1024);
+        let r = a.try_align_governed(&q, &t, None, Some(&big), false).unwrap();
+        assert_eq!(r.score, want);
+        assert!(r.alignment.is_some());
+    }
+
+    #[test]
+    fn governed_search_cancels_and_matches_ungoverned() {
+        use crate::govern::{CancelReason, CancelToken};
+        let mut rng = StdRng::seed_from_u64(17);
+        let records: Vec<SeqRecord> = (0..40)
+            .map(|i| {
+                let l = rng.gen_range(5..50);
+                SeqRecord::new(format!("s{i}"), rand_ascii(&mut rng, l))
+            })
+            .collect();
+        let alphabet = Alphabet::protein();
+        let db = Database::from_records(records, &alphabet);
+        let query = alphabet.encode(&rand_ascii(&mut rng, 30));
+        let batched = BatchedDatabase::build(&db, lanes_for(EngineKind::best()), true);
+
+        let mut a = Aligner::new();
+        let want = a.search_batched(&query, &db, &batched);
+
+        let live = CancelToken::new();
+        let got = a
+            .try_search_batched(&query, &db, &batched, Some(&live))
+            .unwrap();
+        assert_eq!(got, want);
+
+        let dead = CancelToken::new();
+        dead.cancel(CancelReason::Deadline);
+        let err = a
+            .try_search_batched(&query, &db, &batched, Some(&dead))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AlignError::Cancelled {
+                reason: CancelReason::Deadline
+            }
+        );
     }
 
     #[test]

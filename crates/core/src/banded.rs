@@ -324,6 +324,15 @@ fn sw_banded_kernel<En: SimdEngine, W: KernelWidth<En>>(
         std::mem::swap(&mut fp, &mut fc);
         prev_lo_opt = Some(lo);
         prev_hi = hi;
+
+        // Amortized governor poll; governed callers re-check the token
+        // and discard this early-return.
+        if d % crate::govern::CANCEL_CHECK_PERIOD == 0 && crate::govern::cancel_poll() {
+            return ScoreOut {
+                score: 0,
+                saturated: false,
+            };
+        }
     }
 
     let best = vmax.hmax().to_i32().max(scalar_best);

@@ -122,6 +122,12 @@ fn batch_kernel<En: SimdEngine>(
         stats.vector_lane_slots += (m * lanes) as u64;
         stats.vector_loads += 2 * m as u64 + 1;
         stats.vector_stores += 2 * m as u64;
+
+        // Amortized governor poll: lane maxima below are garbage after a
+        // cancel — governed callers re-check the token and discard them.
+        if (j + 1) % crate::govern::CANCEL_CHECK_PERIOD == 0 && crate::govern::cancel_poll() {
+            break;
+        }
     }
 
     // Deferred per-lane maxima → one store + scatter at the end (§III-D).

@@ -225,6 +225,15 @@ pub(crate) fn sw_diag<En: SimdEngine, W: KernelWidth<En>>(
                 saturated: true,
             };
         }
+
+        // Amortized governor poll: the early-return value is garbage by
+        // contract — governed callers re-check the token and discard it.
+        if d % crate::govern::CANCEL_CHECK_PERIOD == 0 && crate::govern::cancel_poll() {
+            return ScoreOut {
+                score: 0,
+                saturated: false,
+            };
+        }
     }
 
     let best = vmax.hmax().to_i32().max(scalar_best);

@@ -336,6 +336,17 @@ pub(crate) fn sw_diag_tb<En: SimdEngine, W: KernelWidth<En>>(
         std::mem::swap(&mut hp, &mut hc);
         std::mem::swap(&mut ep, &mut ec);
         std::mem::swap(&mut fp, &mut fc);
+
+        // Amortized governor poll; governed callers re-check the token
+        // and discard this early-return.
+        if d % crate::govern::CANCEL_CHECK_PERIOD == 0 && crate::govern::cancel_poll() {
+            return TbOut {
+                score: 0,
+                saturated: false,
+                end: None,
+                alignment: None,
+            };
+        }
     }
 
     let saturated = Elem::<En, W>::BITS < 32 && best >= Elem::<En, W>::MAX.to_i32();

@@ -43,6 +43,21 @@ pub enum AlignError {
         /// Why it cannot serve.
         reason: &'static str,
     },
+    /// The work was cancelled mid-compute by the governor (deadline,
+    /// shutdown, watchdog, …). Any partial result was discarded; the
+    /// caller decides whether to retry, degrade, or surface the error.
+    Cancelled {
+        /// Why the governing [`crate::govern::CancelToken`] fired.
+        reason: crate::govern::CancelReason,
+    },
+    /// A [`crate::govern::MemBudget`] reservation for the DP/traceback
+    /// buffers would overrun the per-query memory budget.
+    BudgetExceeded {
+        /// Bytes the allocation would have needed.
+        requested: u64,
+        /// The configured budget in bytes.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for AlignError {
@@ -57,6 +72,15 @@ impl fmt::Display for AlignError {
             }
             AlignError::EngineUnavailable { requested, reason } => {
                 write!(f, "engine {} unavailable: {reason}", requested.name())
+            }
+            AlignError::Cancelled { reason } => {
+                write!(f, "work cancelled: {reason}")
+            }
+            AlignError::BudgetExceeded { requested, limit } => {
+                write!(
+                    f,
+                    "memory budget exceeded: needed {requested} bytes, budget is {limit}"
+                )
             }
         }
     }
@@ -118,5 +142,15 @@ mod tests {
         };
         assert!(u.to_string().contains("AVX-512"));
         assert!(u.to_string().contains("not supported"));
+        let c = AlignError::Cancelled {
+            reason: crate::govern::CancelReason::Watchdog,
+        };
+        assert!(c.to_string().contains("watchdog"));
+        let b = AlignError::BudgetExceeded {
+            requested: 4096,
+            limit: 1024,
+        };
+        assert!(b.to_string().contains("4096"));
+        assert!(b.to_string().contains("1024"));
     }
 }

@@ -1,0 +1,511 @@
+//! Work governor: cooperative cancellation and per-query memory
+//! budgets.
+//!
+//! The kernels are pure compute loops; once dispatched they would run
+//! to completion no matter how stale the request. This module gives
+//! the serving layers a way to stop them mid-flight without touching
+//! kernel signatures:
+//!
+//! * a [`CancelToken`] — an atomic flag with a typed [`CancelReason`],
+//!   an optional deadline that self-trips, a heartbeat counter the
+//!   watchdog reads for progress, and an optional parent token so a
+//!   pool-wide shutdown cancels every per-job child;
+//! * a thread-local *governor scope* ([`GovernorScope`]) installing the
+//!   token for the current thread. Kernel block loops call
+//!   [`cancel_poll`] every [`CANCEL_CHECK_PERIOD`] anti-diagonal
+//!   strips; with no scope installed the poll is one thread-local read
+//!   and costs nothing measurable (gated < 1% by the `obs_overhead`
+//!   bench). Entry points that installed the scope re-check with
+//!   [`check_cancelled`] after the kernel returns and surface
+//!   [`AlignError::Cancelled`];
+//! * a [`MemBudget`] — shared byte accounting with RAII
+//!   [`MemReservation`]s and typed [`AlignError::BudgetExceeded`], used
+//!   by the API layer to refuse or downgrade allocations (traceback →
+//!   score-only banded) before they happen.
+//!
+//! A kernel that observes cancellation early-returns a well-formed but
+//! meaningless result; the governed caller discards it after the token
+//! re-check, so no partial score ever escapes.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::error::AlignError;
+
+/// How often (in anti-diagonal strips / batch columns) governed kernels
+/// poll the cancel token. Mirrors the saturation-check cadence: cheap
+/// enough to disappear in the noise, frequent enough that a cancel
+/// lands within a few microseconds of compute.
+pub const CANCEL_CHECK_PERIOD: usize = 64;
+
+/// Why a unit of work was cancelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// The job's deadline passed mid-compute.
+    Deadline,
+    /// The requesting client went away (dropped its reply handle).
+    ClientDrop,
+    /// The pool or server is shutting down.
+    Shutdown,
+    /// The watchdog reaped a worker whose heartbeat stalled.
+    Watchdog,
+    /// A memory-budget decision aborted the work.
+    Memory,
+}
+
+impl CancelReason {
+    /// Stable label used in metrics (`cancelled_total{reason=...}`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CancelReason::Deadline => "deadline",
+            CancelReason::ClientDrop => "client_drop",
+            CancelReason::Shutdown => "shutdown",
+            CancelReason::Watchdog => "watchdog",
+            CancelReason::Memory => "memory",
+        }
+    }
+
+    /// All reasons, for pre-registering labelled metric series.
+    pub const ALL: [CancelReason; 5] = [
+        CancelReason::Deadline,
+        CancelReason::ClientDrop,
+        CancelReason::Shutdown,
+        CancelReason::Watchdog,
+        CancelReason::Memory,
+    ];
+
+    fn as_u8(self) -> u8 {
+        match self {
+            CancelReason::Deadline => 1,
+            CancelReason::ClientDrop => 2,
+            CancelReason::Shutdown => 3,
+            CancelReason::Watchdog => 4,
+            CancelReason::Memory => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(CancelReason::Deadline),
+            2 => Some(CancelReason::ClientDrop),
+            3 => Some(CancelReason::Shutdown),
+            4 => Some(CancelReason::Watchdog),
+            5 => Some(CancelReason::Memory),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[derive(Debug)]
+struct TokenInner {
+    /// 0 = live; otherwise `CancelReason::as_u8`. First cancel wins.
+    state: AtomicU8,
+    /// Progress counter ticked by [`cancel_poll`]; the watchdog treats
+    /// a token whose heartbeat stops advancing as wedged.
+    heartbeat: AtomicU64,
+    /// Lazily self-cancels with [`CancelReason::Deadline`] once passed.
+    deadline: Option<Instant>,
+    /// Cancellation of the parent is observed by every child.
+    parent: Option<Arc<TokenInner>>,
+}
+
+impl TokenInner {
+    fn raw_reason(&self) -> Option<CancelReason> {
+        CancelReason::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    fn reason(&self) -> Option<CancelReason> {
+        if let Some(r) = self.raw_reason() {
+            return Some(r);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                let _ = self.state.compare_exchange(
+                    0,
+                    CancelReason::Deadline.as_u8(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                return self.raw_reason();
+            }
+        }
+        if let Some(p) = &self.parent {
+            return p.reason();
+        }
+        None
+    }
+
+    fn cancel(&self, reason: CancelReason) -> bool {
+        self.state
+            .compare_exchange(0, reason.as_u8(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+/// A shared cancellation handle: cheap to clone, safe to poll from hot
+/// loops, cancelled at most once (first reason wins).
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A live token with no deadline and no parent.
+    pub fn new() -> Self {
+        Self::build(None, None)
+    }
+
+    /// A token that self-cancels with [`CancelReason::Deadline`] once
+    /// `deadline` passes (checked lazily on [`reason`](Self::reason) /
+    /// [`cancel_poll`]).
+    pub fn with_deadline(deadline: Option<Instant>) -> Self {
+        Self::build(deadline, None)
+    }
+
+    /// A child token: cancelling the parent cancels the child, but not
+    /// vice versa. The child keeps its own heartbeat.
+    pub fn child(&self) -> Self {
+        Self::build(None, Some(self.inner.clone()))
+    }
+
+    /// A child token with its own deadline.
+    pub fn child_with_deadline(&self, deadline: Option<Instant>) -> Self {
+        Self::build(deadline, Some(self.inner.clone()))
+    }
+
+    fn build(deadline: Option<Instant>, parent: Option<Arc<TokenInner>>) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                state: AtomicU8::new(0),
+                heartbeat: AtomicU64::new(0),
+                deadline,
+                parent,
+            }),
+        }
+    }
+
+    /// Cancel with `reason`. Returns `true` if this call won the race
+    /// (the token was still live).
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        self.inner.cancel(reason)
+    }
+
+    /// The effective cancel reason, if any: own state, then an expired
+    /// deadline (self-cancelling), then the parent chain.
+    pub fn reason(&self) -> Option<CancelReason> {
+        self.inner.reason()
+    }
+
+    /// Whether the token (or an ancestor) is cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.reason().is_some()
+    }
+
+    /// `Err(AlignError::Cancelled)` if cancelled.
+    pub fn check(&self) -> Result<(), AlignError> {
+        match self.reason() {
+            Some(reason) => Err(AlignError::Cancelled { reason }),
+            None => Ok(()),
+        }
+    }
+
+    /// Advance the heartbeat (progress signal for the watchdog).
+    pub fn tick(&self) {
+        self.inner.heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current heartbeat value.
+    pub fn heartbeat(&self) -> u64 {
+        self.inner.heartbeat.load(Ordering::Relaxed)
+    }
+
+    /// The deadline this token self-cancels at, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+thread_local! {
+    static SCOPE: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// RAII installation of a [`CancelToken`] as the current thread's
+/// governor scope. Nested scopes restore the previous token on drop,
+/// so governed entry points compose (a governed server job calling a
+/// governed helper keeps the innermost token).
+pub struct GovernorScope {
+    prev: Option<CancelToken>,
+}
+
+impl GovernorScope {
+    /// Install `token` for the current thread until the scope drops.
+    pub fn install(token: CancelToken) -> Self {
+        let prev = SCOPE.with(|s| s.borrow_mut().replace(token));
+        GovernorScope { prev }
+    }
+}
+
+impl Drop for GovernorScope {
+    fn drop(&mut self) {
+        SCOPE.with(|s| *s.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Amortized poll from kernel block loops: ticks the heartbeat and
+/// returns `true` if the governing token is cancelled. With no scope
+/// installed this is a single thread-local read — cheap enough to call
+/// every [`CANCEL_CHECK_PERIOD`] strips unconditionally.
+#[inline]
+pub fn cancel_poll() -> bool {
+    SCOPE.with(|s| match &*s.borrow() {
+        None => false,
+        Some(t) => {
+            t.tick();
+            t.reason().is_some()
+        }
+    })
+}
+
+/// The active scope's cancel reason, if cancelled.
+pub fn active_reason() -> Option<CancelReason> {
+    SCOPE.with(|s| s.borrow().as_ref().and_then(|t| t.reason()))
+}
+
+/// `Err(AlignError::Cancelled)` if the active scope is cancelled.
+/// Governed entry points call this after each kernel call to discard
+/// the kernel's early-return garbage.
+pub fn check_cancelled() -> Result<(), AlignError> {
+    match active_reason() {
+        Some(reason) => Err(AlignError::Cancelled { reason }),
+        None => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory budgets.
+
+#[derive(Debug)]
+struct BudgetInner {
+    limit: u64,
+    used: AtomicU64,
+}
+
+/// Shared byte-accounting budget for DP/traceback buffers. Clones
+/// share the same counter, so a pool of workers can draw from one
+/// per-server budget or each job can get its own.
+#[derive(Clone, Debug)]
+pub struct MemBudget {
+    inner: Arc<BudgetInner>,
+}
+
+impl MemBudget {
+    /// A budget of `limit` bytes.
+    pub fn new(limit: u64) -> Self {
+        MemBudget {
+            inner: Arc::new(BudgetInner {
+                limit,
+                used: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The configured limit in bytes.
+    pub fn limit(&self) -> u64 {
+        self.inner.limit
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `bytes` against the budget, or fail with
+    /// [`AlignError::BudgetExceeded`]. The reservation is released when
+    /// the returned guard drops.
+    pub fn try_reserve(&self, bytes: u64) -> Result<MemReservation, AlignError> {
+        let mut cur = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let new = cur.saturating_add(bytes);
+            if new > self.inner.limit {
+                return Err(AlignError::BudgetExceeded {
+                    requested: bytes,
+                    limit: self.inner.limit,
+                });
+            }
+            match self.inner.used.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Ok(MemReservation {
+                        inner: self.inner.clone(),
+                        bytes,
+                    })
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// RAII guard for a [`MemBudget`] reservation; releases on drop.
+#[derive(Debug)]
+pub struct MemReservation {
+    inner: Arc<BudgetInner>,
+    bytes: u64,
+}
+
+impl MemReservation {
+    /// Bytes held by this reservation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for MemReservation {
+    fn drop(&mut self) {
+        self.inner.used.fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
+
+/// Estimated bytes for a full-traceback run of an `m × n` pair: the
+/// diagonal-linearized direction store dominates at ~one byte per cell
+/// (plus per-diagonal lane rounding, bounded by an extra lane-width per
+/// diagonal), with the O(m) rolling score buffers on top.
+pub fn traceback_bytes(m: usize, n: usize, lanes: usize) -> u64 {
+    let cells = (m as u64) * (n as u64);
+    let rounding = (m + n) as u64 * lanes.max(1) as u64;
+    cells + rounding + score_bytes(m, 4)
+}
+
+/// Estimated bytes for a score-only run with `elem_bytes`-wide lanes:
+/// seven rolling diagonal buffers of `m + 2 + lanes` elements each,
+/// plus the padded index arrays. Lane slack is folded into a constant.
+pub fn score_bytes(m: usize, elem_bytes: usize) -> u64 {
+    let blen = (m + 2 + 64) as u64;
+    7 * blen * elem_bytes as u64 + 2 * blen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_cancels_once_first_reason_wins() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(t.cancel(CancelReason::Watchdog));
+        assert!(!t.cancel(CancelReason::Shutdown));
+        assert_eq!(t.reason(), Some(CancelReason::Watchdog));
+        assert_eq!(
+            t.check(),
+            Err(AlignError::Cancelled {
+                reason: CancelReason::Watchdog
+            })
+        );
+    }
+
+    #[test]
+    fn deadline_self_cancels() {
+        let t = CancelToken::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+        let live = CancelToken::with_deadline(Some(Instant::now() + Duration::from_secs(3600)));
+        assert!(!live.is_cancelled());
+    }
+
+    #[test]
+    fn child_observes_parent_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(!child.is_cancelled());
+        parent.cancel(CancelReason::Shutdown);
+        assert_eq!(child.reason(), Some(CancelReason::Shutdown));
+
+        let parent = CancelToken::new();
+        let child = parent.child();
+        child.cancel(CancelReason::Deadline);
+        assert!(!parent.is_cancelled());
+        assert_eq!(child.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn scope_install_poll_and_restore() {
+        assert!(!cancel_poll());
+        assert_eq!(active_reason(), None);
+        let t = CancelToken::new();
+        {
+            let _scope = GovernorScope::install(t.clone());
+            assert!(!cancel_poll());
+            assert!(t.heartbeat() >= 1, "poll ticks the heartbeat");
+            t.cancel(CancelReason::Memory);
+            assert!(cancel_poll());
+            assert_eq!(active_reason(), Some(CancelReason::Memory));
+            assert!(check_cancelled().is_err());
+            // Nested scope shadows, then restores.
+            let inner = CancelToken::new();
+            {
+                let _nested = GovernorScope::install(inner.clone());
+                assert_eq!(active_reason(), None);
+            }
+            assert_eq!(active_reason(), Some(CancelReason::Memory));
+        }
+        assert!(!cancel_poll());
+        assert!(check_cancelled().is_ok());
+    }
+
+    #[test]
+    fn budget_reserve_release_and_exceed() {
+        let b = MemBudget::new(1000);
+        let r1 = b.try_reserve(600).unwrap();
+        assert_eq!(b.used(), 600);
+        let err = b.try_reserve(500).unwrap_err();
+        assert_eq!(
+            err,
+            AlignError::BudgetExceeded {
+                requested: 500,
+                limit: 1000
+            }
+        );
+        let r2 = b.try_reserve(400).unwrap();
+        assert_eq!(b.used(), 1000);
+        drop(r1);
+        assert_eq!(b.used(), 400);
+        drop(r2);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.limit(), 1000);
+    }
+
+    #[test]
+    fn reason_labels_are_stable() {
+        for r in CancelReason::ALL {
+            assert_eq!(CancelReason::from_u8(r.as_u8()), Some(r));
+            assert!(!r.as_str().is_empty());
+            assert_eq!(r.to_string(), r.as_str());
+        }
+    }
+
+    #[test]
+    fn estimators_are_monotone() {
+        assert!(traceback_bytes(100, 100, 16) > score_bytes(100, 4));
+        assert!(traceback_bytes(200, 200, 16) > traceback_bytes(100, 100, 16));
+        assert!(score_bytes(200, 4) > score_bytes(100, 4));
+    }
+}

@@ -17,6 +17,7 @@ pub mod banded;
 pub mod batch;
 pub mod diag;
 pub mod error;
+pub mod govern;
 pub mod modes;
 pub mod params;
 pub mod scalar_ref;
@@ -31,6 +32,9 @@ pub use error::{validate_encoded, AlignError};
 pub use banded::{banded_score, sw_banded_scalar};
 pub use diag::dispatch::{diag_score, diag_traceback};
 pub use diag::segment_census;
+pub use govern::{
+    CancelReason, CancelToken, GovernorScope, MemBudget, MemReservation, CANCEL_CHECK_PERIOD,
+};
 pub use modes::{
     adaptive_mode_score, diag_mode_score, sw_scalar_mode, sw_scalar_mode_traceback, AlignMode,
 };

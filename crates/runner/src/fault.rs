@@ -39,6 +39,9 @@ pub struct FaultStats {
     /// Circuit-breaker openings charged from this search: a backend
     /// crossed its strike threshold and was demoted.
     pub backend_demotions: u64,
+    /// Wedged workers reaped by the stall watchdog (cancelled and
+    /// recomputed on the scalar reference engine).
+    pub watchdog_fires: u64,
 }
 
 impl FaultStats {
@@ -50,6 +53,7 @@ impl FaultStats {
         self.shadow_checks += other.shadow_checks;
         self.shadow_mismatches += other.shadow_mismatches;
         self.backend_demotions += other.backend_demotions;
+        self.watchdog_fires += other.watchdog_fires;
     }
 
     /// Fold a shadow-verification outcome into these counters.
@@ -498,6 +502,7 @@ mod tests {
             shadow_checks: 5,
             shadow_mismatches: 2,
             backend_demotions: 1,
+            watchdog_fires: 1,
         });
         assert_eq!(
             a,
@@ -508,6 +513,7 @@ mod tests {
                 shadow_checks: 5,
                 shadow_mismatches: 2,
                 backend_demotions: 1,
+                watchdog_fires: 1,
             }
         );
         assert!(a.any());

@@ -512,8 +512,18 @@ where
             let range = range.clone();
             let make_aligner = &make_aligner;
             let shadow = &shadow;
+            let cancel = cfg.cancel.clone();
             handles.push(scope.spawn(move || {
-                search_partition(query, db, range, chunk, plan, shadow, make_aligner)
+                // Each chunk runs under a child of the search token, so
+                // cancellation surfaces as an error *before* the chunk
+                // is appended — the journal stays a clean prefix of
+                // fully-computed chunks and resume is bit-identical.
+                let child = cancel.as_ref().map(|parent| parent.child());
+                let g = child.as_ref().map(|token| crate::pool::PartitionGovern {
+                    token,
+                    retry: cancel.as_ref(),
+                });
+                search_partition(query, db, range, chunk, plan, shadow, make_aligner, g.as_ref())
             }));
         }
         // Join in chunk order and journal each result as it lands:
@@ -521,7 +531,12 @@ where
         // crash points deterministic for the harness.
         for (chunk, handle) in handles.into_iter().enumerate() {
             let out = match handle.join() {
-                Ok(out) => out,
+                Ok(Ok(out)) => out,
+                Ok(Err(e)) => {
+                    return Err(io::Error::other(format!(
+                        "search aborted before journal append: {e}"
+                    )))
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             };
             plan.before_journal_append()?;
@@ -622,23 +637,35 @@ where
             FaultStats::default(),
         ));
     }
-    std::thread::scope(|scope| {
+    std::thread::scope(|scope| -> Result<(), JournalError> {
         let mut handles = Vec::with_capacity(missing.len());
         for &chunk in &missing {
             let range = ranges[chunk].clone();
             let make_aligner = &make_aligner;
             let shadow = &shadow;
+            let cancel = cfg.cancel.clone();
             handles.push(scope.spawn(move || {
-                search_partition(query, db, range, chunk, plan, shadow, make_aligner)
+                let child = cancel.as_ref().map(|parent| parent.child());
+                let g = child.as_ref().map(|token| crate::pool::PartitionGovern {
+                    token,
+                    retry: cancel.as_ref(),
+                });
+                search_partition(query, db, range, chunk, plan, shadow, make_aligner, g.as_ref())
             }));
         }
         for handle in handles {
             match handle.join() {
-                Ok(out) => outputs.push(out),
+                Ok(Ok(out)) => outputs.push(out),
+                Ok(Err(e)) => {
+                    return Err(JournalError::Io(io::Error::other(format!(
+                        "resume aborted mid-recompute: {e}"
+                    ))))
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-    });
+        Ok(())
+    })?;
 
     Ok((merge(outputs), resume))
 }

@@ -30,7 +30,7 @@ pub use journal::{
 };
 pub use metrics::{query_latency, scenario_gcups, CellTimer, ServeCounters, Snapshot, Throughput};
 pub use msa::{pairwise_scores, upgma, GuideTree, ScoreMatrix};
-pub use pool::{parallel_pairs, parallel_search, PoolConfig, SearchOutput};
+pub use pool::{parallel_pairs, parallel_search, try_parallel_search, PoolConfig, SearchOutput};
 pub use scenarios::{scenario1, scenario1_durable, scenario2, scenario3, ScenarioReport};
 pub use server::{BatchServer, ServeError, ServerClient, ServerConfig, ServerStats};
 pub use shadow::{OnMismatch, Sampler, ShadowConfig, ShadowOutcome, ShadowVerifier};

@@ -150,6 +150,24 @@ pub struct ServeCounters {
     /// Backends that failed the boot self-test battery and were marked
     /// unavailable before serving.
     pub selftest_failures: AtomicU64,
+    /// Queries rejected at admission because their estimated cost
+    /// exceeded the configured ceiling.
+    pub cost_rejected: AtomicU64,
+    /// Queries rejected (or degraded) because a DP/traceback allocation
+    /// exceeded the per-query memory budget.
+    pub budget_rejected: AtomicU64,
+    /// Wedged workers reaped by the stall watchdog.
+    pub watchdog_fires: AtomicU64,
+    /// Work cancelled because its deadline expired mid-compute.
+    pub cancelled_deadline: AtomicU64,
+    /// Work cancelled because the requesting client went away.
+    pub cancelled_client_drop: AtomicU64,
+    /// Work cancelled by server shutdown.
+    pub cancelled_shutdown: AtomicU64,
+    /// Work cancelled by the stall watchdog.
+    pub cancelled_watchdog: AtomicU64,
+    /// Work cancelled by memory-budget enforcement.
+    pub cancelled_memory: AtomicU64,
 }
 
 /// Point-in-time plain-value copy of [`ServeCounters`] — one
@@ -190,6 +208,22 @@ pub struct Snapshot {
     pub backend_demotions: u64,
     /// Backends that failed the boot self-test battery.
     pub selftest_failures: u64,
+    /// Queries rejected at admission for excessive estimated cost.
+    pub cost_rejected: u64,
+    /// Queries rejected/degraded by the per-query memory budget.
+    pub budget_rejected: u64,
+    /// Wedged workers reaped by the stall watchdog.
+    pub watchdog_fires: u64,
+    /// Work cancelled: deadline expired mid-compute.
+    pub cancelled_deadline: u64,
+    /// Work cancelled: requesting client went away.
+    pub cancelled_client_drop: u64,
+    /// Work cancelled: server shutdown.
+    pub cancelled_shutdown: u64,
+    /// Work cancelled: stall watchdog.
+    pub cancelled_watchdog: u64,
+    /// Work cancelled: memory-budget enforcement.
+    pub cancelled_memory: u64,
 }
 
 impl ServeCounters {
@@ -211,10 +245,20 @@ impl ServeCounters {
             shadow_mismatches: self.shadow_mismatches.load(Relaxed),
             backend_demotions: self.backend_demotions.load(Relaxed),
             selftest_failures: self.selftest_failures.load(Relaxed),
+            cost_rejected: self.cost_rejected.load(Relaxed),
+            budget_rejected: self.budget_rejected.load(Relaxed),
+            watchdog_fires: self.watchdog_fires.load(Relaxed),
+            cancelled_deadline: self.cancelled_deadline.load(Relaxed),
+            cancelled_client_drop: self.cancelled_client_drop.load(Relaxed),
+            cancelled_shutdown: self.cancelled_shutdown.load(Relaxed),
+            cancelled_watchdog: self.cancelled_watchdog.load(Relaxed),
+            cancelled_memory: self.cancelled_memory.load(Relaxed),
         }
     }
 
-    /// Fold a worker's per-search [`FaultStats`] into the ledger.
+    /// Fold a worker's per-search [`FaultStats`] into the ledger. A
+    /// watchdog fire is by definition a watchdog cancellation, so it
+    /// lands in both `watchdog_fires` and `cancelled_watchdog`.
     pub fn record_faults(&self, f: &FaultStats) {
         self.worker_panics.fetch_add(f.worker_panics, Relaxed);
         self.degraded_batches.fetch_add(f.degraded_batches, Relaxed);
@@ -224,6 +268,21 @@ impl ServeCounters {
             .fetch_add(f.shadow_mismatches, Relaxed);
         self.backend_demotions
             .fetch_add(f.backend_demotions, Relaxed);
+        self.watchdog_fires.fetch_add(f.watchdog_fires, Relaxed);
+        self.cancelled_watchdog.fetch_add(f.watchdog_fires, Relaxed);
+    }
+
+    /// Bump the cancellation counter for one [`CancelReason`].
+    pub fn record_cancel(&self, reason: swsimd_core::CancelReason) {
+        use swsimd_core::CancelReason as R;
+        let counter = match reason {
+            R::Deadline => &self.cancelled_deadline,
+            R::ClientDrop => &self.cancelled_client_drop,
+            R::Shutdown => &self.cancelled_shutdown,
+            R::Watchdog => &self.cancelled_watchdog,
+            R::Memory => &self.cancelled_memory,
+        };
+        counter.fetch_add(1, Relaxed);
     }
 
     /// Bump one counter by one (convenience for call sites).
@@ -240,7 +299,10 @@ impl fmt::Display for Snapshot {
              worker_panics={} degraded_batches={} retries={} \
              journal_replays={} records_quarantined={} corrupt_images={} \
              shadow_checks={} shadow_mismatches={} backend_demotions={} \
-             selftest_failures={}",
+             selftest_failures={} cost_rejected={} budget_rejected={} \
+             watchdog_fires={} cancelled_deadline={} \
+             cancelled_client_drop={} cancelled_shutdown={} \
+             cancelled_watchdog={} cancelled_memory={}",
             self.batches,
             self.queries,
             self.full_batches,
@@ -256,6 +318,14 @@ impl fmt::Display for Snapshot {
             self.shadow_mismatches,
             self.backend_demotions,
             self.selftest_failures,
+            self.cost_rejected,
+            self.budget_rejected,
+            self.watchdog_fires,
+            self.cancelled_deadline,
+            self.cancelled_client_drop,
+            self.cancelled_shutdown,
+            self.cancelled_watchdog,
+            self.cancelled_memory,
         )
     }
 }
@@ -304,6 +374,7 @@ mod tests {
             shadow_checks: 10,
             shadow_mismatches: 4,
             backend_demotions: 1,
+            watchdog_fires: 2,
         });
         let s = c.snapshot();
         assert_eq!(s.shed, 1);
@@ -314,11 +385,32 @@ mod tests {
         assert_eq!(s.shadow_checks, 10);
         assert_eq!(s.shadow_mismatches, 4);
         assert_eq!(s.backend_demotions, 1);
+        assert_eq!(s.watchdog_fires, 2);
+        assert_eq!(s.cancelled_watchdog, 2, "fires count as cancellations");
         let line = s.to_string();
         assert!(line.contains("shed=1"));
         assert!(line.contains("retries=3"));
         assert!(line.contains("shadow_mismatches=4"));
         assert!(line.contains("backend_demotions=1"));
         assert!(line.contains("selftest_failures=0"));
+        assert!(line.contains("watchdog_fires=2"));
+        assert!(line.contains("cancelled_watchdog=2"));
+        assert!(line.contains("cost_rejected=0"));
+    }
+
+    #[test]
+    fn cancel_reasons_land_in_their_own_counters() {
+        use swsimd_core::CancelReason;
+        let c = ServeCounters::default();
+        for reason in CancelReason::ALL {
+            c.record_cancel(reason);
+        }
+        c.record_cancel(CancelReason::Deadline);
+        let s = c.snapshot();
+        assert_eq!(s.cancelled_deadline, 2);
+        assert_eq!(s.cancelled_client_drop, 1);
+        assert_eq!(s.cancelled_shutdown, 1);
+        assert_eq!(s.cancelled_watchdog, 1);
+        assert_eq!(s.cancelled_memory, 1);
     }
 }

@@ -19,8 +19,13 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use swsimd_core::{AlignerBuilder, EngineKind, Hit, KernelStats};
+use swsimd_core::{
+    AlignError, AlignerBuilder, CancelReason, CancelToken, EngineKind, Hit, KernelStats,
+};
 use swsimd_seq::{BatchedDatabase, Database};
 
 use crate::fault::{FaultPlan, FaultStats};
@@ -38,6 +43,17 @@ pub struct PoolConfig {
     /// Sampled shadow verification of served hits against the scalar
     /// reference (off by default; see [`ShadowConfig`]).
     pub shadow: ShadowConfig,
+    /// Cancel token governing the whole search (deadline, shutdown,
+    /// client drop). Workers run under per-partition children of this
+    /// token, so one `cancel()` stops every partition within a kernel
+    /// check period. `None` = ungoverned.
+    pub cancel: Option<CancelToken>,
+    /// Stuck-worker watchdog: when a worker's heartbeat (ticked by the
+    /// kernel governor poll) makes no progress for this long, its
+    /// token is cancelled with [`CancelReason::Watchdog`] and the
+    /// partition is recomputed on the scalar reference engine. `None`
+    /// disables the watchdog.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Default for PoolConfig {
@@ -49,6 +65,8 @@ impl Default for PoolConfig {
             sort_batches: true,
             fault_plan: FaultPlan::default(),
             shadow: ShadowConfig::default(),
+            cancel: None,
+            stall_timeout: None,
         }
     }
 }
@@ -87,7 +105,8 @@ fn search_sub<F>(
     db: &Database,
     range: &Range<usize>,
     builder: F,
-) -> (Vec<Hit>, KernelStats)
+    token: Option<&CancelToken>,
+) -> Result<(Vec<Hit>, KernelStats), AlignError>
 where
     F: FnOnce() -> AlignerBuilder,
 {
@@ -95,9 +114,62 @@ where
     with_sub_db(db, range, |sub| {
         let lanes = swsimd_core::batch::lanes_for(aligner.engine());
         let batched = BatchedDatabase::build(sub, lanes, true);
-        let hits = aligner.search_batched(query, sub, &batched);
-        (hits, aligner.stats().clone())
+        let hits = aligner.try_search_batched(query, sub, &batched, token)?;
+        Ok((hits, aligner.stats().clone()))
     })
+}
+
+/// Per-partition governance handles.
+pub(crate) struct PartitionGovern<'a> {
+    /// Token the fast path runs under (a per-worker child).
+    pub token: &'a CancelToken,
+    /// Token a post-watchdog scalar retry runs under (the parent), if
+    /// any — the worker token is already cancelled at that point.
+    pub retry: Option<&'a CancelToken>,
+}
+
+/// One worker's watchdog slot: the token whose heartbeat the watchdog
+/// observes, plus a completion flag so finished workers are skipped.
+struct WatchSlot {
+    token: CancelToken,
+    done: AtomicBool,
+}
+
+/// Poll worker heartbeats until all workers finish; cancel any live
+/// worker whose heartbeat has not advanced for `stall`. A worker that
+/// never enters the kernel (wedged before its first strip) stalls from
+/// the watchdog's first observation, so a pre-kernel hang is reaped on
+/// the same clock as a mid-kernel one.
+fn watchdog_loop(slots: &[Arc<WatchSlot>], stall: Duration, done: &AtomicBool, fires: &AtomicU64) {
+    let poll = (stall / 4)
+        .max(Duration::from_millis(1))
+        .min(Duration::from_millis(25));
+    let start = Instant::now();
+    let mut seen: Vec<(u64, Instant)> = slots
+        .iter()
+        .map(|s| (s.token.heartbeat(), start))
+        .collect();
+    while !done.load(Ordering::Acquire) {
+        std::thread::sleep(poll);
+        let now = Instant::now();
+        for (slot, last) in slots.iter().zip(seen.iter_mut()) {
+            if slot.done.load(Ordering::Acquire) || slot.token.is_cancelled() {
+                continue;
+            }
+            let hb = slot.token.heartbeat();
+            if hb != last.0 {
+                *last = (hb, now);
+            } else if now.duration_since(last.1) >= stall
+                && slot.token.cancel(CancelReason::Watchdog)
+            {
+                fires.fetch_add(1, Ordering::Relaxed);
+                swsimd_obs::event!(
+                    "watchdog_fire",
+                    "stalled_ms" => now.duration_since(last.1).as_millis() as u64
+                );
+            }
+        }
+    }
 }
 
 /// One partition's search with isolation: fast path under
@@ -113,22 +185,54 @@ pub(crate) fn search_partition<F>(
     plan: &FaultPlan,
     shadow: &ShadowVerifier,
     make_aligner: &F,
-) -> (Vec<Hit>, KernelStats, FaultStats)
+    govern: Option<&PartitionGovern<'_>>,
+) -> Result<(Vec<Hit>, KernelStats, FaultStats), AlignError>
 where
     F: Fn() -> AlignerBuilder + Sync,
 {
     let expected = range.len();
+    let token = govern.map(|g| g.token);
     let fast = catch_unwind(AssertUnwindSafe(|| {
         plan.before_partition(part_idx);
-        let (mut hits, stats) = search_sub(query, db, &range, make_aligner);
-        plan.corrupt_hits(part_idx, &mut hits);
-        plan.skew_hits(part_idx, &mut hits);
-        (hits, stats)
+        search_sub(query, db, &range, make_aligner, token).map(|(mut hits, stats)| {
+            plan.corrupt_hits(part_idx, &mut hits);
+            plan.skew_hits(part_idx, &mut hits);
+            (hits, stats)
+        })
     }));
 
     let mut faults = FaultStats::default();
     let (mut hits, stats) = match fast {
-        Ok((hits, stats)) if hits.len() == expected => (hits, stats),
+        Ok(Ok((hits, stats))) if hits.len() == expected => (hits, stats),
+        Ok(Err(AlignError::Cancelled {
+            reason: CancelReason::Watchdog,
+        })) => {
+            // The watchdog reaped this worker mid-compute: file a
+            // strike against the engine that wedged and recompute on
+            // the scalar reference, governed only by the parent token
+            // (this worker's own token is already dead).
+            let engine = swsimd_core::trust::effective_engine(make_aligner().build().engine());
+            if swsimd_core::trust::global().record_strike(engine) {
+                faults.backend_demotions += 1;
+            }
+            faults.degraded_batches += 1;
+            faults.retries += 1;
+            swsimd_obs::event!(
+                "partition_reaped",
+                "partition" => part_idx,
+                "engine" => "scalar"
+            );
+            search_sub(
+                query,
+                db,
+                &range,
+                || make_aligner().engine(EngineKind::Scalar),
+                govern.and_then(|g| g.retry),
+            )?
+        }
+        // Cooperative cancellation (deadline, shutdown, client drop,
+        // memory): the whole search is being torn down — no retry.
+        Ok(Err(e)) => return Err(e),
         outcome => {
             // The fast path panicked or returned a malformed result:
             // isolate it and recompute this partition on the scalar
@@ -150,16 +254,20 @@ where
                 "panicked" => outcome.is_err(),
                 "engine" => "scalar"
             );
-            search_sub(query, db, &range, || {
-                make_aligner().engine(EngineKind::Scalar)
-            })
+            search_sub(
+                query,
+                db,
+                &range,
+                || make_aligner().engine(EngineKind::Scalar),
+                token,
+            )?
         }
     };
     for h in &mut hits {
         h.db_index += range.start;
     }
     faults.record_shadow(&shadow.verify_hits(query, db, &mut hits, make_aligner));
-    (hits, stats, faults)
+    Ok((hits, stats, faults))
 }
 
 /// Search one encoded query against a database with `cfg.threads`
@@ -180,6 +288,28 @@ pub fn parallel_search<F>(
 where
     F: Fn() -> AlignerBuilder + Sync,
 {
+    // Without a parent cancel token every cancellation path either
+    // cannot fire or is recovered internally (watchdog → scalar
+    // retry), so this cannot error.
+    try_parallel_search(query, db, cfg, make_aligner)
+        .expect("searches without a parent cancel token cannot be cancelled")
+}
+
+/// Governed variant of [`parallel_search`]: honors
+/// [`PoolConfig::cancel`] and [`PoolConfig::stall_timeout`], returning
+/// [`AlignError::Cancelled`] when the search is torn down mid-compute
+/// (deadline, shutdown, client drop, memory). A watchdog reap is *not*
+/// an error — the wedged partition is recomputed on the scalar
+/// reference and counted in [`FaultStats::watchdog_fires`].
+pub fn try_parallel_search<F>(
+    query: &[u8],
+    db: &Database,
+    cfg: &PoolConfig,
+    make_aligner: F,
+) -> Result<SearchOutput, AlignError>
+where
+    F: Fn() -> AlignerBuilder + Sync,
+{
     let threads = cfg.threads.max(1);
     let plan = &cfg.fault_plan;
     // One sampler across all partitions, so the configured rate holds
@@ -191,27 +321,91 @@ where
         "db_seqs" => db.len()
     );
 
-    let mut outputs: Vec<(Vec<Hit>, KernelStats, FaultStats)> = Vec::new();
-    if threads == 1 || db.len() <= 1 {
-        outputs.push(search_partition(
-            query,
-            db,
-            0..db.len(),
-            0,
-            plan,
-            &shadow,
-            &make_aligner,
-        ));
+    let parts: Vec<Range<usize>> = if threads == 1 || db.len() <= 1 {
+        vec![0..db.len()]
     } else {
-        let parts = db.partition(threads);
-        std::thread::scope(|scope| {
+        db.partition(threads)
+    };
+
+    // Watchdog slots exist whenever the search is governed: a parent
+    // token alone still wants per-worker children (so a cancelled
+    // parent stops all workers), and a stall timeout alone still wants
+    // per-worker heartbeats.
+    let governed = cfg.cancel.is_some() || cfg.stall_timeout.is_some();
+    let slots: Vec<Arc<WatchSlot>> = if governed {
+        parts
+            .iter()
+            .map(|_| {
+                Arc::new(WatchSlot {
+                    token: match &cfg.cancel {
+                        Some(parent) => parent.child(),
+                        None => CancelToken::new(),
+                    },
+                    done: AtomicBool::new(false),
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let fires = AtomicU64::new(0);
+    let workers_done = AtomicBool::new(false);
+
+    let mut outputs: Vec<Result<(Vec<Hit>, KernelStats, FaultStats), AlignError>> =
+        Vec::with_capacity(parts.len());
+    std::thread::scope(|scope| {
+        if let Some(stall) = cfg.stall_timeout {
+            let slots = &slots;
+            let workers_done = &workers_done;
+            let fires = &fires;
+            scope.spawn(move || watchdog_loop(slots, stall, workers_done, fires));
+        }
+        if parts.len() == 1 {
+            let range = parts[0].clone();
+            let g = slots.first().map(|s| PartitionGovern {
+                token: &s.token,
+                retry: cfg.cancel.as_ref(),
+            });
+            outputs.push(search_partition(
+                query,
+                db,
+                range,
+                0,
+                plan,
+                &shadow,
+                &make_aligner,
+                g.as_ref(),
+            ));
+            if let Some(s) = slots.first() {
+                s.done.store(true, Ordering::Release);
+            }
+        } else {
             let mut handles = Vec::with_capacity(parts.len());
             for (part_idx, range) in parts.iter().enumerate() {
                 let range = range.clone();
                 let make_aligner = &make_aligner;
                 let shadow = &shadow;
+                let slot = slots.get(part_idx).cloned();
+                let parent = cfg.cancel.as_ref();
                 handles.push(scope.spawn(move || {
-                    search_partition(query, db, range, part_idx, plan, shadow, make_aligner)
+                    let g = slot.as_ref().map(|s| PartitionGovern {
+                        token: &s.token,
+                        retry: parent,
+                    });
+                    let out = search_partition(
+                        query,
+                        db,
+                        range,
+                        part_idx,
+                        plan,
+                        shadow,
+                        make_aligner,
+                        g.as_ref(),
+                    );
+                    if let Some(s) = &slot {
+                        s.done.store(true, Ordering::Release);
+                    }
+                    out
                 }));
             }
             for h in handles {
@@ -219,16 +413,24 @@ where
                     Ok(out) => outputs.push(out),
                     // Double fault (degraded retry panicked too):
                     // nothing left to degrade to — propagate.
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    Err(payload) => {
+                        workers_done.store(true, Ordering::Release);
+                        std::panic::resume_unwind(payload)
+                    }
                 }
             }
-        });
-    }
+        }
+        workers_done.store(true, Ordering::Release);
+    });
 
     let mut hits = Vec::with_capacity(db.len());
     let mut stats = KernelStats::default();
-    let mut faults = FaultStats::default();
-    for (mut h, s, f) in outputs {
+    let mut faults = FaultStats {
+        watchdog_fires: fires.load(Ordering::Relaxed),
+        ..FaultStats::default()
+    };
+    for out in outputs {
+        let (mut h, s, f) = out?;
         hits.append(&mut h);
         stats.merge(&s);
         faults.merge(&f);
@@ -236,11 +438,11 @@ where
     hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
     sp.record("cells", stats.cells);
     sp.record("retries", faults.retries);
-    SearchOutput {
+    Ok(SearchOutput {
         hits,
         stats,
         faults,
-    }
+    })
 }
 
 /// Align many (query, target) pairs across threads — the many-to-many
@@ -488,6 +690,87 @@ mod tests {
         });
         assert_eq!(out.faults.shadow_checks, 0);
         assert_eq!(out.faults.shadow_mismatches, 0);
+    }
+
+    #[test]
+    fn watchdog_reaps_hung_worker_and_answers_exactly_via_scalar() {
+        let db = small_db(50, 31);
+        let q = Alphabet::protein().encode(b"MKVLAADTWGHKDDTWGHK");
+        let builder = || Aligner::builder().matrix(blosum62());
+        let clean = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 1,
+                ..PoolConfig::default()
+            },
+            builder,
+        );
+        // Partition 1's worker wedges (sleeps well past the stall
+        // timeout before its first heartbeat); the watchdog must reap
+        // it and the scalar retry must still answer exactly.
+        let out = parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 4,
+                fault_plan: FaultPlan::new().delay_at(1, Duration::from_millis(400)),
+                stall_timeout: Some(Duration::from_millis(50)),
+                ..PoolConfig::default()
+            },
+            builder,
+        );
+        assert_eq!(out.hits, clean.hits, "reaped partition recomputed exactly");
+        assert_eq!(out.faults.watchdog_fires, 1);
+        assert_eq!(out.faults.retries, 1);
+        assert_eq!(out.faults.worker_panics, 0, "a reap is not a panic");
+    }
+
+    #[test]
+    fn governed_but_uncancelled_search_matches_ungoverned() {
+        let db = small_db(40, 33);
+        let q = Alphabet::protein().encode(b"MKVLAADTWGHK");
+        let builder = || Aligner::builder().matrix(blosum62());
+        let plain = parallel_search(&q, &db, &PoolConfig::default(), builder);
+        let governed = try_parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 3,
+                cancel: Some(CancelToken::new()),
+                stall_timeout: Some(Duration::from_secs(5)),
+                ..PoolConfig::default()
+            },
+            builder,
+        )
+        .expect("nothing fired");
+        assert_eq!(governed.hits, plain.hits);
+        assert_eq!(governed.faults.watchdog_fires, 0);
+    }
+
+    #[test]
+    fn cancelled_parent_token_aborts_search_with_typed_error() {
+        let db = small_db(40, 37);
+        let q = Alphabet::protein().encode(b"MKVLAADTWGHK");
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Shutdown);
+        let err = try_parallel_search(
+            &q,
+            &db,
+            &PoolConfig {
+                threads: 3,
+                cancel: Some(token),
+                ..PoolConfig::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            AlignError::Cancelled {
+                reason: CancelReason::Shutdown
+            }
+        );
     }
 
     #[test]

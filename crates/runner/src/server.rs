@@ -49,14 +49,20 @@
 //! when a [`swsimd_obs`] sink is installed.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::atomic::{
+    AtomicBool, AtomicU64, AtomicU8,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{
     bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
 };
-use swsimd_core::{validate_encoded, AlignError, Aligner, AlignerBuilder, EngineKind, Hit};
+use swsimd_core::{
+    validate_encoded, AlignError, Aligner, AlignerBuilder, CancelReason, CancelToken, EngineKind,
+    Hit, MemBudget,
+};
 use swsimd_obs::{Counter, Gauge, Histogram};
 use swsimd_seq::{BatchedDatabase, Database};
 
@@ -96,6 +102,23 @@ pub enum ServeError {
         /// Why it cannot be dispatched.
         reason: &'static str,
     },
+    /// The query's estimated cost (`|query| × database residues`)
+    /// exceeds the server's admission ceiling
+    /// ([`ServerConfig::max_cost`]).
+    CostTooHigh {
+        /// Estimated DP cells for this query.
+        cost: u64,
+        /// The configured admission ceiling.
+        limit: u64,
+    },
+    /// A DP buffer allocation exceeded the per-query memory budget
+    /// ([`ServerConfig::mem_budget`]).
+    BudgetExceeded {
+        /// Bytes the job needed to reserve.
+        requested: u64,
+        /// The configured budget.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -114,7 +137,31 @@ impl std::fmt::Display for ServeError {
             ServeError::EngineUnavailable { requested, reason } => {
                 write!(f, "engine {} unavailable: {reason}", requested.name())
             }
+            ServeError::CostTooHigh { cost, limit } => {
+                write!(f, "estimated cost {cost} cells exceeds admission ceiling {limit}")
+            }
+            ServeError::BudgetExceeded { requested, limit } => {
+                write!(f, "needed {requested} bytes, per-query budget is {limit}")
+            }
         }
+    }
+}
+
+/// Map a mid-compute cancellation to the client-facing error the
+/// serving contract promises: deadline/client-drop cancellations look
+/// like [`ServeError::DeadlineExceeded`], shutdown like
+/// [`ServeError::ShutDown`]. A watchdog reap never reaches clients
+/// directly (the job is retried on scalar first); if the retry path is
+/// unavailable it degenerates to [`ServeError::WorkerPanicked`].
+fn cancel_to_serve(reason: CancelReason) -> ServeError {
+    match reason {
+        CancelReason::Deadline | CancelReason::ClientDrop => ServeError::DeadlineExceeded,
+        CancelReason::Shutdown => ServeError::ShutDown,
+        CancelReason::Watchdog => ServeError::WorkerPanicked,
+        CancelReason::Memory => ServeError::BudgetExceeded {
+            requested: 0,
+            limit: 0,
+        },
     }
 }
 
@@ -133,8 +180,27 @@ impl From<AlignError> for ServeError {
             AlignError::EngineUnavailable { requested, reason } => {
                 ServeError::EngineUnavailable { requested, reason }
             }
+            AlignError::Cancelled { reason } => cancel_to_serve(reason),
+            AlignError::BudgetExceeded { requested, limit } => {
+                ServeError::BudgetExceeded { requested, limit }
+            }
             other => ServeError::InvalidQuery(other),
         }
+    }
+}
+
+/// Job lifecycle phases, shared between client and worker so a
+/// deadline expiry is attributed to the stage the job was actually in
+/// (`queue` → `compute` → `reply`) rather than guessed from timing.
+const PHASE_QUEUED: u8 = 0;
+const PHASE_COMPUTING: u8 = 1;
+const PHASE_REPLIED: u8 = 2;
+
+fn stage_of(phase: &AtomicU8) -> &'static str {
+    match phase.load(Acquire) {
+        PHASE_COMPUTING => "compute",
+        PHASE_REPLIED => "reply",
+        _ => "queue",
     }
 }
 
@@ -152,6 +218,14 @@ struct Job {
     /// When the client built the job — the start of the end-to-end
     /// latency measurement recorded when the reply is computed.
     submitted: Instant,
+    /// Cancellation token governing this job's compute: a child of the
+    /// server's shutdown token with the job deadline baked in, so an
+    /// expired deadline cancels mid-kernel at the next check period.
+    cancel: CancelToken,
+    /// Lifecycle phase ([`PHASE_QUEUED`] → [`PHASE_COMPUTING`] →
+    /// [`PHASE_REPLIED`]), shared with the client for correct expiry
+    /// stage attribution.
+    phase: Arc<AtomicU8>,
 }
 
 /// Registry-backed instruments for one server instance: the latency
@@ -176,6 +250,14 @@ struct ServerObs {
     shadow_mismatches: Arc<Counter>,
     backend_demotions: Arc<Counter>,
     selftest_failures: Arc<Counter>,
+    cost_rejected: Arc<Counter>,
+    budget_rejected: Arc<Counter>,
+    watchdog_fires: Arc<Counter>,
+    /// One labelled series per [`CancelReason`], in
+    /// [`CancelReason::ALL`] order.
+    cancelled: [Arc<Counter>; 5],
+    mem_budget_limit: Arc<Gauge>,
+    mem_budget_used: Arc<Gauge>,
 }
 
 impl ServerObs {
@@ -250,7 +332,45 @@ impl ServerObs {
                 "swsimd_server_selftest_failures_total",
                 "Backends that failed the boot self-test battery.",
             ),
+            cost_rejected: counter(
+                "swsimd_server_cost_rejected_total",
+                "Queries rejected at admission for excessive estimated cost.",
+            ),
+            budget_rejected: counter(
+                "swsimd_server_budget_rejected_total",
+                "Queries rejected by the per-query memory budget.",
+            ),
+            watchdog_fires: counter(
+                "swsimd_server_watchdog_fires_total",
+                "Wedged workers reaped by the stall watchdog.",
+            ),
+            cancelled: CancelReason::ALL.map(|reason| {
+                r.counter(
+                    "swsimd_server_cancelled_total",
+                    "Work cancelled mid-flight, by reason.",
+                    &[("instance", &id), ("reason", reason.as_str())],
+                )
+            }),
+            mem_budget_limit: r.gauge(
+                "swsimd_mem_budget_limit_bytes",
+                "Configured per-query memory budget (0 = unlimited).",
+                labels,
+            ),
+            mem_budget_used: r.gauge(
+                "swsimd_mem_budget_used_bytes",
+                "DP/traceback bytes currently reserved against the budget.",
+                labels,
+            ),
         })
+    }
+
+    /// The labelled `swsimd_server_cancelled_total` series for `reason`.
+    fn cancelled_counter(&self, reason: CancelReason) -> &Counter {
+        let idx = CancelReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("ALL covers every reason");
+        &self.cancelled[idx]
     }
 }
 
@@ -283,6 +403,17 @@ pub struct ServerClient {
     counters: Arc<ServeCounters>,
     obs: Arc<ServerObs>,
     max_query_len: usize,
+    /// Cost-admission ceiling (estimated DP cells), if configured.
+    max_cost: Option<u64>,
+    /// Total residues in the served database — the other factor of the
+    /// `|query| × Σ|db|` cost model.
+    db_residues: u64,
+    /// Deadline applied by [`ServerClient::query`] when the caller did
+    /// not pick one.
+    default_timeout: Option<Duration>,
+    /// Parent of every job token; cancelled with
+    /// [`CancelReason::Shutdown`] when the server stops.
+    server_cancel: CancelToken,
 }
 
 impl ServerClient {
@@ -303,6 +434,23 @@ impl ServerClient {
                 limit: self.max_query_len,
             });
         }
+        // Cost-based admission: reject work that would monopolize the
+        // worker before it is ever buffered. The estimate is exact in
+        // cells (`|q| × Σ|db|`); the ceiling is calibrated against
+        // measured CUPS by the operator.
+        if let Some(limit) = self.max_cost {
+            let cost = query.len() as u64 * self.db_residues;
+            if cost > limit {
+                ServeCounters::bump(&self.counters.cost_rejected);
+                self.obs.cost_rejected.inc();
+                swsimd_obs::event!(
+                    "query_rejected_cost",
+                    "cost" => cost,
+                    "limit" => limit
+                );
+                return Err(ServeError::CostTooHigh { cost, limit });
+            }
+        }
         validate_encoded(&query)?;
         let (reply_tx, reply_rx) = bounded(1);
         Ok((
@@ -312,6 +460,8 @@ impl ServerClient {
                 top_k,
                 deadline,
                 submitted: Instant::now(),
+                cancel: self.server_cancel.child_with_deadline(deadline),
+                phase: Arc::new(AtomicU8::new(PHASE_QUEUED)),
             },
             reply_rx,
         ))
@@ -320,8 +470,14 @@ impl ServerClient {
     /// Submit an encoded query; blocks until the batch containing it is
     /// processed and returns the top `top_k` hits (all if 0). When the
     /// bounded job queue is full this applies backpressure by blocking
-    /// (use [`ServerClient::try_query`] to shed instead).
+    /// (use [`ServerClient::try_query`] to shed instead). When the
+    /// server has a [`ServerConfig::default_timeout`], the call is
+    /// routed through the same deadline machinery as
+    /// [`ServerClient::query_with_deadline`].
     pub fn query(&self, query: Vec<u8>, top_k: usize) -> Result<Vec<Hit>, ServeError> {
+        if let Some(timeout) = self.default_timeout {
+            return self.query_with_deadline(query, top_k, timeout);
+        }
         let (job, reply_rx) = self.make_job(query, top_k, None)?;
         self.tx
             .send(Msg::Job(job))
@@ -335,8 +491,9 @@ impl ServerClient {
 
     /// Like [`ServerClient::query`], but never blocks past `timeout`:
     /// the deadline covers enqueue, compute, and reply. On expiry the
-    /// call returns [`ServeError::DeadlineExceeded`] and the server
-    /// discards the job if it is still queued.
+    /// call returns [`ServeError::DeadlineExceeded`], cancels the
+    /// job's token so in-flight compute stops at the next kernel check
+    /// period, and the server discards the job if it is still queued.
     pub fn query_with_deadline(
         &self,
         query: Vec<u8>,
@@ -345,6 +502,8 @@ impl ServerClient {
     ) -> Result<Vec<Hit>, ServeError> {
         let deadline = Instant::now() + timeout;
         let (job, reply_rx) = self.make_job(query, top_k, Some(deadline))?;
+        let token = job.cancel.clone();
+        let phase = job.phase.clone();
         let remaining = deadline.saturating_duration_since(Instant::now());
         match self.tx.send_timeout(Msg::Job(job), remaining) {
             Ok(()) => self.obs.queue_depth.inc(),
@@ -358,14 +517,19 @@ impl ServerClient {
         match reply_rx.recv_timeout(remaining) {
             Ok(result) => result,
             Err(RecvTimeoutError::Timeout) => {
-                self.timed_out("reply");
+                // Stop paying for an answer nobody will read. The
+                // expiry is charged to the stage the job is actually
+                // in, not assumed from which channel op timed out.
+                token.cancel(CancelReason::Deadline);
+                self.timed_out(stage_of(&phase));
                 Err(ServeError::DeadlineExceeded)
             }
             // The worker dropped the job: either it observed the
             // expired deadline, or the server shut down.
             Err(RecvTimeoutError::Disconnected) => {
                 if Instant::now() >= deadline {
-                    self.timed_out("queue");
+                    token.cancel(CancelReason::Deadline);
+                    self.timed_out(stage_of(&phase));
                     Err(ServeError::DeadlineExceeded)
                 } else {
                     Err(ServeError::ShutDown)
@@ -428,6 +592,24 @@ pub struct ServerConfig {
     /// Sampled shadow verification of served hits against the scalar
     /// reference (off by default; see [`ShadowConfig`]).
     pub shadow: ShadowConfig,
+    /// Deadline applied to plain [`ServerClient::query`] calls. `None`
+    /// (the default) preserves the historical block-forever behaviour;
+    /// `Some(t)` routes every query through the same deadline
+    /// machinery as [`ServerClient::query_with_deadline`].
+    pub default_timeout: Option<Duration>,
+    /// Cost-based admission ceiling in estimated DP cells
+    /// (`|query| × Σ|db|`). Queries above it are rejected with
+    /// [`ServeError::CostTooHigh`] before buffering. `None` disables.
+    pub max_cost: Option<u64>,
+    /// Per-query memory budget in bytes for DP working buffers.
+    /// Reservations above it fail with [`ServeError::BudgetExceeded`].
+    /// `None` disables accounting.
+    pub mem_budget: Option<u64>,
+    /// Stall watchdog: a worker whose kernel heartbeat stops advancing
+    /// for this long is cancelled ([`CancelReason::Watchdog`]), a
+    /// trust-ladder strike is filed against the effective engine, and
+    /// the job is retried on the scalar reference. `None` disables.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -440,6 +622,10 @@ impl Default for ServerConfig {
             health_period: None,
             max_query_len: usize::MAX,
             shadow: ShadowConfig::default(),
+            default_timeout: None,
+            max_cost: None,
+            mem_budget: None,
+            stall_timeout: None,
         }
     }
 }
@@ -450,14 +636,103 @@ impl Default for ServerConfig {
 /// [`crate::metrics::ServeCounters`] for the live, shared ledger).
 pub type ServerStats = Snapshot;
 
+/// Shared slot the worker publishes its in-flight job's cancel token
+/// into, so the stall watchdog can observe kernel heartbeats from
+/// outside the (possibly wedged) worker thread. `gen` disambiguates
+/// successive jobs so a stale heartbeat reading from job N is never
+/// charged against job N+1.
+struct WorkerWatch {
+    gen: AtomicU64,
+    current: Mutex<Option<CancelToken>>,
+    stop: AtomicBool,
+}
+
+impl WorkerWatch {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            gen: AtomicU64::new(0),
+            current: Mutex::new(None),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Publish `token` as the job under observation.
+    fn begin(&self, token: &CancelToken) {
+        *self.current.lock().expect("watch lock") = Some(token.clone());
+        self.gen.fetch_add(1, Release);
+    }
+
+    /// Clear the slot: compute finished (or failed) normally.
+    fn end(&self) {
+        *self.current.lock().expect("watch lock") = None;
+        self.gen.fetch_add(1, Release);
+    }
+
+    fn observe(&self) -> Option<(u64, u64, CancelToken)> {
+        let guard = self.current.lock().expect("watch lock");
+        guard
+            .as_ref()
+            .map(|t| (self.gen.load(Acquire), t.heartbeat(), t.clone()))
+    }
+}
+
+/// Stall-watchdog loop: polls the published job's kernel heartbeat and
+/// cancels it with [`CancelReason::Watchdog`] when it stops advancing
+/// for `stall`. The cancelled worker unwedges at its next cooperative
+/// check; [`WorkerCtx::run_job`] then files the trust strike and
+/// retries on the scalar reference.
+fn server_watchdog(
+    watch: Arc<WorkerWatch>,
+    stall: Duration,
+    counters: Arc<ServeCounters>,
+    obs: Arc<ServerObs>,
+) {
+    let poll = (stall / 4).clamp(Duration::from_millis(1), Duration::from_millis(25));
+    // (generation, last heartbeat, when it last advanced)
+    let mut last: Option<(u64, u64, Instant)> = None;
+    while !watch.stop.load(Acquire) {
+        std::thread::sleep(poll);
+        let Some((gen, beat, token)) = watch.observe() else {
+            last = None;
+            continue;
+        };
+        if token.is_cancelled() {
+            last = None;
+            continue;
+        }
+        match last {
+            Some((g, b, since)) if g == gen && b == beat => {
+                if since.elapsed() >= stall && token.cancel(CancelReason::Watchdog) {
+                    ServeCounters::bump(&counters.watchdog_fires);
+                    counters.record_cancel(CancelReason::Watchdog);
+                    obs.watchdog_fires.inc();
+                    obs.cancelled_counter(CancelReason::Watchdog).inc();
+                    swsimd_obs::event!(
+                        "watchdog_fire",
+                        "stalled_ms" => since.elapsed().as_millis() as u64
+                    );
+                    last = None;
+                }
+            }
+            _ => last = Some((gen, beat, Instant::now())),
+        }
+    }
+}
+
 /// A running batch server. Dropping the handle shuts the worker down
 /// after it drains pending queries.
 pub struct BatchServer {
     client_tx: Sender<Msg>,
     worker: Option<std::thread::JoinHandle<()>>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
+    watch: Arc<WorkerWatch>,
     counters: Arc<ServeCounters>,
     obs: Arc<ServerObs>,
     max_query_len: usize,
+    max_cost: Option<u64>,
+    db_residues: u64,
+    default_timeout: Option<Duration>,
+    server_cancel: CancelToken,
 }
 
 impl BatchServer {
@@ -483,10 +758,29 @@ impl BatchServer {
             obs.selftest_failures.add(failed);
         }
         let max_query_len = cfg.max_query_len;
+        let max_cost = cfg.max_cost;
+        let default_timeout = cfg.default_timeout;
+        let db_residues = db.total_residues() as u64;
+        let server_cancel = CancelToken::new();
+        let watch = WorkerWatch::new();
+        let watchdog = cfg.stall_timeout.map(|stall| {
+            let watch = watch.clone();
+            let counters = counters.clone();
+            let obs = obs.clone();
+            std::thread::spawn(move || server_watchdog(watch, stall, counters, obs))
+        });
         let worker_counters = counters.clone();
         let worker_obs = obs.clone();
+        let worker_watch = watch.clone();
         let worker = std::thread::spawn(move || {
-            let mut ctx = WorkerCtx::new(db, &cfg, make_aligner, worker_counters, worker_obs);
+            let mut ctx = WorkerCtx::new(
+                db,
+                &cfg,
+                make_aligner,
+                worker_counters,
+                worker_obs,
+                worker_watch,
+            );
             let mut pending: Vec<Job> = Vec::with_capacity(cfg.batch_size);
             let mut shutting_down = false;
             let mut last_health = Instant::now();
@@ -537,13 +831,22 @@ impl BatchServer {
                 pending.push(job);
             }
             ctx.process_batch(&mut pending);
+            // Release the watchdog only after the drain: jobs without
+            // deadlines still complete, and wedged ones stay reapable.
+            ctx.watch.stop.store(true, Release);
         });
         Self {
             client_tx: tx,
             worker: Some(worker),
+            watchdog,
+            watch,
             counters,
             obs,
             max_query_len,
+            max_cost,
+            db_residues,
+            default_timeout,
+            server_cancel,
         }
     }
 
@@ -572,6 +875,10 @@ impl BatchServer {
             counters: self.counters.clone(),
             obs: self.obs.clone(),
             max_query_len: self.max_query_len,
+            max_cost: self.max_cost,
+            db_residues: self.db_residues,
+            default_timeout: self.default_timeout,
+            server_cancel: self.server_cancel.clone(),
         }
     }
 
@@ -637,22 +944,37 @@ impl BatchServer {
     /// Outstanding [`ServerClient`] clones get [`ServeError::ShutDown`]
     /// on later use.
     pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.counters.snapshot()
+    }
+
+    /// Shared shutdown path for [`BatchServer::shutdown`] and `Drop`.
+    ///
+    /// Jobs with no deadline still drain to completion; in-flight jobs
+    /// whose deadline has passed cancel themselves at the next kernel
+    /// check (the deadline is baked into each job token), so the drain
+    /// is bounded. The server-wide token is cancelled only after the
+    /// worker exits, so late clients observe a typed
+    /// [`ServeError::ShutDown`] rather than a spurious cancellation of
+    /// work the drain contract promises to finish.
+    fn stop(&mut self) {
         let _ = self.client_tx.send(Msg::Shutdown);
         if let Some(worker) = self.worker.take() {
             // A worker that died outside its isolation harness cannot
             // corrupt the stats snapshot; ignore the join payload.
             let _ = worker.join();
         }
-        self.counters.snapshot()
+        self.server_cancel.cancel(CancelReason::Shutdown);
+        self.watch.stop.store(true, Release);
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
     }
 }
 
 impl Drop for BatchServer {
     fn drop(&mut self) {
-        let _ = self.client_tx.send(Msg::Shutdown);
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
-        }
+        self.stop();
     }
 }
 
@@ -671,6 +993,15 @@ struct WorkerCtx<F> {
     batch_size: usize,
     counters: Arc<ServeCounters>,
     obs: Arc<ServerObs>,
+    /// Per-query memory accounting ([`ServerConfig::mem_budget`]).
+    budget: Option<MemBudget>,
+    /// Exponentially weighted cells-per-second estimate, calibrated
+    /// from completed jobs (0.0 until the first one). Drives the
+    /// deadline-aware predictive skip in [`WorkerCtx::process_batch`].
+    cups_ewma: f64,
+    db_residues: u64,
+    /// Slot the stall watchdog observes; published around compute.
+    watch: Arc<WorkerWatch>,
 }
 
 impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
@@ -680,10 +1011,15 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
         make_aligner: F,
         counters: Arc<ServeCounters>,
         obs: Arc<ServerObs>,
+        watch: Arc<WorkerWatch>,
     ) -> Self {
         let aligner: Aligner = make_aligner().build();
         let batched =
             BatchedDatabase::build(&db, swsimd_core::batch::lanes_for(aligner.engine()), true);
+        let budget = cfg.mem_budget.map(MemBudget::new);
+        obs.mem_budget_limit
+            .set(cfg.mem_budget.unwrap_or(0) as i64);
+        let db_residues = db.total_residues() as u64;
         Self {
             db,
             make_aligner,
@@ -695,7 +1031,21 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             batch_size: cfg.batch_size,
             counters,
             obs,
+            budget,
+            cups_ewma: 0.0,
+            db_residues,
+            watch,
         }
+    }
+
+    /// Predicted compute time for a query of `qlen` residues, from the
+    /// calibrated CUPS estimate. `None` until the first job completes.
+    fn estimate(&self, qlen: usize) -> Option<Duration> {
+        if self.cups_ewma <= 0.0 {
+            return None;
+        }
+        let cells = qlen as f64 * self.db_residues as f64;
+        Some(Duration::from_secs_f64(cells / self.cups_ewma))
     }
 
     fn process_batch(&mut self, pending: &mut Vec<Job>) {
@@ -716,31 +1066,100 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
                 swsimd_obs::event!("job_expired_in_queue", "slot" => slot);
                 continue;
             }
+            // Deadline-aware scheduling: once CUPS is calibrated, skip
+            // jobs predicted to overrun their remaining budget (with a
+            // 2x safety factor) instead of computing a dead answer.
+            // The client has NOT timed out yet, so reply explicitly.
+            if let (Some(d), Some(est)) = (job.deadline, self.estimate(job.query.len())) {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining < est * 2 {
+                    swsimd_obs::event!(
+                        "job_skipped_predicted_overrun",
+                        "slot" => slot,
+                        "remaining_ms" => remaining.as_millis() as u64,
+                        "estimated_ms" => est.as_millis() as u64
+                    );
+                    ServeCounters::bump(&self.counters.timeouts);
+                    self.obs.timeouts.inc();
+                    let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+                    continue;
+                }
+            }
             ServeCounters::bump(&self.counters.queries);
             self.obs.queries.inc();
-            let result = self.run_job(slot, &job.query, job.top_k);
+            job.phase.store(PHASE_COMPUTING, Release);
+            self.watch.begin(&job.cancel);
+            let started = Instant::now();
+            let result = self.run_job(slot, &job);
+            let compute = started.elapsed();
+            self.watch.end();
+            if result.is_ok() {
+                // Calibrate the cost model against measured throughput.
+                let secs = compute.as_secs_f64().max(1e-9);
+                let cups = job.query.len() as f64 * self.db_residues as f64 / secs;
+                self.cups_ewma = if self.cups_ewma > 0.0 {
+                    0.7 * self.cups_ewma + 0.3 * cups
+                } else {
+                    cups
+                };
+            }
+            if let Some(b) = &self.budget {
+                self.obs.mem_budget_used.set(b.used() as i64);
+            }
             self.obs.latency.record_duration(job.submitted.elapsed());
-            // A disappeared client is not an error.
-            let _ = job.reply.send(result);
+            let was_ok = result.is_ok();
+            job.phase.store(PHASE_REPLIED, Release);
+            if job.reply.send(result).is_err() && was_ok {
+                // The client stopped listening after we paid for the
+                // answer — account it as a client-drop cancellation.
+                self.counters.record_cancel(CancelReason::ClientDrop);
+                self.obs.cancelled_counter(CancelReason::ClientDrop).inc();
+            }
         }
     }
 
-    /// One job with isolation: fast path under `catch_unwind` +
-    /// hit-count validation, then a single degraded retry on the
-    /// scalar reference engine. `slot` is the job's index within its
-    /// batch — the unit [`FaultPlan`] targets for the server.
-    fn run_job(&mut self, slot: usize, query: &[u8], top_k: usize) -> Result<Vec<Hit>, ServeError> {
+    /// One job with isolation and governance: memory-budget
+    /// reservation, then the fast path under `catch_unwind` with the
+    /// job's cancel token threaded into the kernel, hit-count
+    /// validation, and a single degraded retry on the scalar reference
+    /// engine for panics, malformed results, and watchdog reaps.
+    /// Cooperative cancellations (deadline, shutdown) propagate as
+    /// typed errors without a retry — nobody is waiting for the
+    /// answer. `slot` is the job's index within its batch — the unit
+    /// [`FaultPlan`] targets for the server.
+    fn run_job(&mut self, slot: usize, job: &Job) -> Result<Vec<Hit>, ServeError> {
+        let query = &job.query;
+        let top_k = job.top_k;
         let expected = self.db.len();
+        // Reserve the DP working-set estimate up front; held for the
+        // whole job (fast path and retry share the buffers' bound).
+        let _reserved = match &self.budget {
+            Some(b) => {
+                match b.try_reserve(swsimd_core::govern::score_bytes(query.len(), 4)) {
+                    Ok(r) => Some(r),
+                    Err(e) => {
+                        ServeCounters::bump(&self.counters.budget_rejected);
+                        self.obs.budget_rejected.inc();
+                        swsimd_obs::event!("job_rejected_budget", "slot" => slot);
+                        return Err(e.into());
+                    }
+                }
+            }
+            None => None,
+        };
         let fast = catch_unwind(AssertUnwindSafe(|| {
             self.plan.before_partition(slot);
-            let mut hits = self.aligner.search_batched(query, &self.db, &self.batched);
+            let mut hits =
+                self.aligner
+                    .try_search_batched(query, &self.db, &self.batched, Some(&job.cancel))?;
             self.plan.corrupt_hits(slot, &mut hits);
             self.plan.skew_hits(slot, &mut hits);
-            hits
+            Ok::<_, AlignError>(hits)
         }));
-        let panicked = fast.is_err();
-        if let Ok(mut hits) = fast {
-            if hits.len() == expected {
+        let mut panicked = false;
+        let mut reaped = false;
+        match fast {
+            Ok(Ok(mut hits)) if hits.len() == expected => {
                 let out = self
                     .shadow
                     .verify_hits(query, &self.db, &mut hits, &self.make_aligner);
@@ -758,17 +1177,44 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
                 }
                 return Ok(finish_hits(hits, top_k));
             }
+            // Watchdog reap: the kernel was wedged and got cancelled
+            // from outside. Not a client-visible failure — fall
+            // through to the scalar retry, but file the trust strike
+            // (the watchdog thread already counted the fire).
+            Ok(Err(AlignError::Cancelled {
+                reason: CancelReason::Watchdog,
+            })) => reaped = true,
+            // Cooperative cancellation: deadline, shutdown, drop. The
+            // client is gone or going; surface the typed error, no
+            // retry.
+            Ok(Err(AlignError::Cancelled { reason })) => {
+                self.counters.record_cancel(reason);
+                self.obs.cancelled_counter(reason).inc();
+                swsimd_obs::event!(
+                    "job_cancelled",
+                    "slot" => slot,
+                    "reason" => reason.as_str()
+                );
+                return Err(cancel_to_serve(reason));
+            }
+            Ok(Err(e)) => return Err(e.into()),
+            // Panic or malformed hit count: the existing isolation
+            // path below.
+            Ok(Ok(_)) => {}
+            Err(_) => panicked = true,
         }
 
-        // The fast path panicked or returned a malformed result:
-        // isolate it, record it, and recompute this job on the scalar
-        // reference engine (exact scores, degraded throughput).
+        // The fast path panicked, was reaped, or returned a malformed
+        // result: isolate it, record it, and recompute this job on the
+        // scalar reference engine (exact scores, degraded throughput).
         if panicked {
             ServeCounters::bump(&self.counters.worker_panics);
             self.obs.worker_panics.inc();
             swsimd_obs::event!("worker_panic", "slot" => slot);
-            // A kernel panic is a strike against the backend that
-            // computed it; enough strikes open the trust breaker.
+        }
+        if panicked || reaped {
+            // A kernel panic or stall is a strike against the backend
+            // that computed it; enough strikes open the trust breaker.
             let engine = swsimd_core::trust::effective_engine(self.aligner.engine());
             if swsimd_core::trust::global().record_strike(engine) {
                 ServeCounters::bump(&self.counters.backend_demotions);
@@ -782,6 +1228,7 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             "degraded_retry",
             "slot" => slot,
             "panicked" => panicked,
+            "reaped" => reaped,
             "engine" => "scalar"
         );
 
@@ -800,15 +1247,23 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
                 Err(_) => return Err(ServeError::WorkerPanicked),
             }
         }
+        // The retry runs ungoverned after a watchdog reap (its token
+        // is already cancelled; the answer is still owed) but keeps
+        // deadline/shutdown governance otherwise.
+        let retry_token = if reaped { None } else { Some(&job.cancel) };
         let db = &self.db;
-        let retry = self.fallback.as_mut().and_then(|(aligner, batched)| {
+        let retry = self.fallback.as_mut().map(|(aligner, batched)| {
             catch_unwind(AssertUnwindSafe(|| {
-                aligner.search_batched(query, db, batched)
+                aligner.try_search_batched(query, db, batched, retry_token)
             }))
-            .ok()
         });
         match retry {
-            Some(hits) if hits.len() == expected => Ok(finish_hits(hits, top_k)),
+            Some(Ok(Ok(hits))) if hits.len() == expected => Ok(finish_hits(hits, top_k)),
+            Some(Ok(Err(AlignError::Cancelled { reason }))) => {
+                self.counters.record_cancel(reason);
+                self.obs.cancelled_counter(reason).inc();
+                Err(cancel_to_serve(reason))
+            }
             // Double fault: the reference engine failed too.
             _ => Err(ServeError::WorkerPanicked),
         }
@@ -1275,6 +1730,171 @@ mod tests {
         assert!(
             events.iter().any(|e| e.name == "server_health"),
             "no health event in {events:?}"
+        );
+    }
+
+    #[test]
+    fn watchdog_reaps_wedged_worker_and_answers_exactly() {
+        let db = tiny_db();
+        let q = enc(30, 7);
+        let mut direct = Aligner::builder().matrix(blosum62()).build();
+        let want = direct.search(&q, &db, 5);
+
+        let server = BatchServer::start(
+            db,
+            ServerConfig {
+                batch_size: 1,
+                max_wait: Duration::from_millis(1),
+                // Every slot-0 job wedges well past the stall timeout.
+                fault_plan: FaultPlan::new().delay_at(0, Duration::from_millis(300)),
+                stall_timeout: Some(Duration::from_millis(40)),
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        let hits = client.query(q, 5).expect("reaped, retried, answered");
+        assert_eq!(hits, want, "scalar retry after the reap stays exact");
+
+        let line = server.health_line();
+        assert!(line.contains("watchdog_fires=1"), "{line}");
+        assert!(line.contains("cancelled_watchdog=1"), "{line}");
+        let text = server.prometheus_text();
+        assert!(text.contains("swsimd_server_watchdog_fires_total"), "{text}");
+        assert!(text.contains("reason=\"watchdog\""), "{text}");
+
+        let stats = server.shutdown();
+        assert_eq!(stats.watchdog_fires, 1);
+        assert_eq!(stats.cancelled_watchdog, 1);
+        assert_eq!(stats.retries, 1, "one degraded retry");
+        assert_eq!(stats.worker_panics, 0, "a stall is not a panic");
+        assert_eq!(stats.queries, 1);
+    }
+
+    #[test]
+    fn default_timeout_routes_plain_queries_through_deadline_machinery() {
+        let db = tiny_db();
+        let server = BatchServer::start(
+            db,
+            ServerConfig {
+                batch_size: 1,
+                max_wait: Duration::from_millis(1),
+                fault_plan: FaultPlan::new().delay_at(0, Duration::from_millis(300)),
+                default_timeout: Some(Duration::from_millis(30)),
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        let start = Instant::now();
+        // Plain query(), no explicit deadline: the server default kicks in.
+        let r = client.query(enc(20, 4), 1);
+        let elapsed = start.elapsed();
+        assert_eq!(r, Err(ServeError::DeadlineExceeded));
+        assert!(
+            elapsed < Duration::from_millis(250),
+            "default timeout must bound the call, took {elapsed:?}"
+        );
+        let stats = server.shutdown();
+        assert!(stats.timeouts >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn cost_admission_rejects_with_typed_error() {
+        let db = tiny_db();
+        let residues = db.total_residues() as u64;
+        let server = BatchServer::start(
+            db,
+            ServerConfig {
+                max_cost: Some(residues * 10),
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        match client.query(enc(64, 3), 1) {
+            Err(ServeError::CostTooHigh { cost, limit }) => {
+                assert_eq!(cost, 64 * residues, "cost model is |q| × Σ|db|");
+                assert_eq!(limit, residues * 10);
+            }
+            other => panic!("expected CostTooHigh, got {other:?}"),
+        }
+        // A query under the ceiling is still served.
+        let hits = client.query(enc(8, 6), 1).expect("cheap query admitted");
+        assert_eq!(hits.len(), 1);
+        let line = server.health_line();
+        assert!(line.contains("cost_rejected=1"), "{line}");
+        let text = server.prometheus_text();
+        assert!(text.contains("swsimd_server_cost_rejected_total"), "{text}");
+        let stats = server.shutdown();
+        assert_eq!(stats.cost_rejected, 1);
+        assert_eq!(stats.queries, 1, "rejected queries never reach the worker");
+    }
+
+    #[test]
+    fn memory_budget_rejects_oversized_working_set() {
+        let db = tiny_db();
+        let server = BatchServer::start(
+            db,
+            ServerConfig {
+                // Far below any real DP working set.
+                mem_budget: Some(64),
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        match client.query(enc(30, 7), 1) {
+            Err(ServeError::BudgetExceeded { requested, limit }) => {
+                assert_eq!(limit, 64);
+                assert!(requested > 64, "estimate must exceed the tiny budget");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        let line = server.health_line();
+        assert!(line.contains("budget_rejected=1"), "{line}");
+        let text = server.prometheus_text();
+        assert!(
+            text.contains("swsimd_server_budget_rejected_total"),
+            "{text}"
+        );
+        assert!(text.contains("swsimd_mem_budget_limit_bytes"), "{text}");
+        let stats = server.shutdown();
+        assert_eq!(stats.budget_rejected, 1);
+    }
+
+    #[test]
+    fn shutdown_with_expired_compute_in_flight_is_bounded_and_typed() {
+        let db = tiny_db();
+        let server = BatchServer::start(
+            db,
+            ServerConfig {
+                batch_size: 1,
+                max_wait: Duration::from_millis(1),
+                fault_plan: FaultPlan::new().delay_at(0, Duration::from_millis(250)),
+                ..Default::default()
+            },
+            || Aligner::builder().matrix(blosum62()),
+        );
+        let client = server.client();
+        let h = std::thread::spawn(move || {
+            client.query_with_deadline(enc(20, 4), 1, Duration::from_millis(20))
+        });
+        // Let the job reach the worker and wedge.
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        let _ = server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "shutdown must not drain expired compute to completion indefinitely"
+        );
+        let r = h.join().expect("client thread");
+        assert!(
+            matches!(
+                r,
+                Err(ServeError::DeadlineExceeded) | Err(ServeError::ShutDown)
+            ),
+            "client must get a typed error, got {r:?}"
         );
     }
 

@@ -18,6 +18,11 @@
 //!   --journal PATH       search: checkpoint completed chunks to PATH; if PATH
 //!                        already holds a journal from a crashed run, resume it
 //!                        (bit-identical results). Removed on completion.
+//!   --max-cost N         search: refuse queries whose estimated cost
+//!                        (|query| x database residues, in DP cells) exceeds N
+//!   --mem-budget BYTES   search: per-query cap on DP working-buffer bytes
+//!   --stall-timeout MS   search: reap a wedged worker after MS milliseconds
+//!                        without kernel progress and retry it on scalar
 //! ```
 
 use std::process::ExitCode;
@@ -38,6 +43,9 @@ struct Opts {
     traceback: bool,
     mode: AlignMode,
     journal: Option<std::path::PathBuf>,
+    max_cost: Option<u64>,
+    mem_budget: Option<u64>,
+    stall_timeout: Option<std::time::Duration>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -54,6 +62,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         traceback: true,
         mode: AlignMode::Local,
         journal: None,
+        max_cost: None,
+        mem_budget: None,
+        stall_timeout: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -101,6 +112,29 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--no-traceback" => o.traceback = false,
             "--journal" => o.journal = Some(val("--journal")?.into()),
+            "--max-cost" => {
+                o.max_cost = Some(
+                    val("--max-cost")?
+                        .parse()
+                        .map_err(|e| format!("--max-cost: {e}"))?,
+                )
+            }
+            "--mem-budget" => {
+                o.mem_budget = Some(
+                    val("--mem-budget")?
+                        .parse()
+                        .map_err(|e| format!("--mem-budget: {e}"))?,
+                )
+            }
+            "--stall-timeout" => {
+                let ms: u64 = val("--stall-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--stall-timeout: {e}"))?;
+                if ms == 0 {
+                    return Err("--stall-timeout: must be > 0 ms".into());
+                }
+                o.stall_timeout = Some(std::time::Duration::from_millis(ms));
+            }
             "--mode" => {
                 let n = val("--mode")?.to_lowercase();
                 o.mode = match n.as_str() {
@@ -230,11 +264,32 @@ fn cmd_search(query_path: &str, db_path: &str, o: &Opts) -> Result<(), String> {
         o.threads
     );
 
+    let budget = o.mem_budget.map(swsimd::core::MemBudget::new);
     for q in &queries {
         let qe = alphabet.encode(&q.seq);
+        // Cost-based admission: refuse runaway work before spawning
+        // threads, mirroring the batch server's admission gate.
+        if let Some(limit) = o.max_cost {
+            let cost = qe.len() as u64 * db.total_residues() as u64;
+            if cost > limit {
+                return Err(format!(
+                    "query {}: estimated cost {cost} cells exceeds --max-cost {limit}",
+                    q.id
+                ));
+            }
+        }
+        // Per-query memory budget over the DP working-set estimate.
+        let _reserved = match &budget {
+            Some(b) => Some(
+                b.try_reserve(swsimd::core::govern::score_bytes(qe.len(), 4))
+                    .map_err(|e| format!("query {}: {e}", q.id))?,
+            ),
+            None => None,
+        };
         let cfg = PoolConfig {
             threads: o.threads,
             sort_batches: true,
+            stall_timeout: o.stall_timeout,
             ..PoolConfig::default()
         };
         let start = std::time::Instant::now();
