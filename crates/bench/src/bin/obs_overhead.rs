@@ -138,8 +138,10 @@ fn main() {
     //     each poll is one thread-local read and a branch. Budget the
     //     polls a 400x400 kernel call actually performs, rounded up
     //     generously.
-    let polls_per_call =
-        (q.len() + t.len()).div_ceil(swsimd_core::CANCEL_CHECK_PERIOD).max(1) * 2;
+    let polls_per_call = (q.len() + t.len())
+        .div_ceil(swsimd_core::CANCEL_CHECK_PERIOD)
+        .max(1)
+        * 2;
     let cancel_secs = time_per_call(
         || {
             for _ in 0..polls_per_call {

@@ -645,8 +645,8 @@ impl Aligner {
             if ls.saturated {
                 self.stats.promotions += 1;
                 let target = &db.encoded(ls.db_index as usize).idx;
-                let prec = minimal_safe_precision(query.len(), target.len(), &self.scoring)
-                    .max_with_i16();
+                let prec =
+                    minimal_safe_precision(query.len(), target.len(), &self.scoring).max_with_i16();
                 swsimd_obs::event!(
                     "precision_escalation",
                     "from" => Precision::I8.name(),
@@ -966,7 +966,9 @@ mod tests {
 
         // A roomy budget serves the full traceback.
         let big = MemBudget::new(16 * 1024 * 1024);
-        let r = a.try_align_governed(&q, &t, None, Some(&big), false).unwrap();
+        let r = a
+            .try_align_governed(&q, &t, None, Some(&big), false)
+            .unwrap();
         assert_eq!(r.score, want);
         assert!(r.alignment.is_some());
     }

@@ -88,6 +88,88 @@ impl fmt::Display for AlignError {
 
 impl std::error::Error for AlignError {}
 
+/// The `reason` string carried by [`AlignError::EngineUnavailable`]
+/// values decoded from the wire. The original reason is a `&'static
+/// str` in the peer's address space, so the decoder substitutes this
+/// canonical marker instead of inventing a lossy owned variant.
+pub const REMOTE_UNAVAILABLE_REASON: &str = "reported unavailable by a remote shard";
+
+impl AlignError {
+    /// Encode as a compact `(code, a, b)` triple for wire protocols.
+    ///
+    /// Codes are append-only (1–5); the two `u64` payload words carry
+    /// the variant's parameters. [`AlignError::wire_decode`] inverts
+    /// the mapping, except that `EngineUnavailable.reason` — a
+    /// `&'static str` — decodes to [`REMOTE_UNAVAILABLE_REASON`].
+    pub fn wire_encode(&self) -> (u8, u64, u64) {
+        use crate::params::Precision;
+        match *self {
+            AlignError::InvalidResidue { position, value } => (1, position as u64, value as u64),
+            AlignError::Saturated { precision } => {
+                let p = match precision {
+                    Precision::I8 => 0u64,
+                    Precision::I16 => 1,
+                    Precision::I32 => 2,
+                    Precision::Adaptive => 3,
+                };
+                (2, p, 0)
+            }
+            AlignError::EngineUnavailable { requested, .. } => {
+                let e = match requested {
+                    swsimd_simd::EngineKind::Scalar => 0u64,
+                    swsimd_simd::EngineKind::Sse41 => 1,
+                    swsimd_simd::EngineKind::Avx2 => 2,
+                    swsimd_simd::EngineKind::Avx512 => 3,
+                };
+                (3, e, 0)
+            }
+            AlignError::Cancelled { reason } => (4, reason.wire_code() as u64, 0),
+            AlignError::BudgetExceeded { requested, limit } => (5, requested, limit),
+        }
+    }
+
+    /// Decode a `(code, a, b)` triple produced by
+    /// [`AlignError::wire_encode`]. Returns `None` for unknown codes or
+    /// out-of-range parameters — a hostile or corrupt frame must never
+    /// panic here.
+    pub fn wire_decode(code: u8, a: u64, b: u64) -> Option<Self> {
+        use crate::params::Precision;
+        Some(match code {
+            1 => AlignError::InvalidResidue {
+                position: usize::try_from(a).ok()?,
+                value: u8::try_from(b).ok()?,
+            },
+            2 => AlignError::Saturated {
+                precision: match a {
+                    0 => Precision::I8,
+                    1 => Precision::I16,
+                    2 => Precision::I32,
+                    3 => Precision::Adaptive,
+                    _ => return None,
+                },
+            },
+            3 => AlignError::EngineUnavailable {
+                requested: match a {
+                    0 => swsimd_simd::EngineKind::Scalar,
+                    1 => swsimd_simd::EngineKind::Sse41,
+                    2 => swsimd_simd::EngineKind::Avx2,
+                    3 => swsimd_simd::EngineKind::Avx512,
+                    _ => return None,
+                },
+                reason: REMOTE_UNAVAILABLE_REASON,
+            },
+            4 => AlignError::Cancelled {
+                reason: crate::govern::CancelReason::from_wire_code(u8::try_from(a).ok()?)?,
+            },
+            5 => AlignError::BudgetExceeded {
+                requested: a,
+                limit: b,
+            },
+            _ => return None,
+        })
+    }
+}
+
 /// Validate that `seq` contains only encoded residue indices
 /// (`< 32`, i.e. valid columns of the reorganized matrix).
 ///
@@ -123,6 +205,59 @@ mod tests {
                 value: 32
             })
         );
+    }
+
+    #[test]
+    fn wire_codec_round_trips() {
+        use crate::govern::CancelReason;
+        let cases = [
+            AlignError::InvalidResidue {
+                position: 12345,
+                value: 0xEE,
+            },
+            AlignError::Saturated {
+                precision: Precision::I8,
+            },
+            AlignError::Saturated {
+                precision: Precision::Adaptive,
+            },
+            AlignError::EngineUnavailable {
+                requested: swsimd_simd::EngineKind::Avx512,
+                reason: REMOTE_UNAVAILABLE_REASON,
+            },
+            AlignError::Cancelled {
+                reason: CancelReason::ClientDrop,
+            },
+            AlignError::BudgetExceeded {
+                requested: u64::MAX,
+                limit: 7,
+            },
+        ];
+        for e in cases {
+            let (c, a, b) = e.wire_encode();
+            assert_eq!(AlignError::wire_decode(c, a, b), Some(e), "{e}");
+        }
+        // The static reason is normalized, not preserved.
+        let local = AlignError::EngineUnavailable {
+            requested: swsimd_simd::EngineKind::Avx2,
+            reason: "demoted by trust breaker",
+        };
+        let (c, a, b) = local.wire_encode();
+        assert_eq!(
+            AlignError::wire_decode(c, a, b),
+            Some(AlignError::EngineUnavailable {
+                requested: swsimd_simd::EngineKind::Avx2,
+                reason: REMOTE_UNAVAILABLE_REASON,
+            })
+        );
+        // Hostile input: unknown codes and out-of-range params are None.
+        assert_eq!(AlignError::wire_decode(0, 0, 0), None);
+        assert_eq!(AlignError::wire_decode(99, 1, 2), None);
+        assert_eq!(AlignError::wire_decode(2, 17, 0), None);
+        assert_eq!(AlignError::wire_decode(3, 9, 0), None);
+        assert_eq!(AlignError::wire_decode(4, 0, 0), None);
+        assert_eq!(AlignError::wire_decode(4, 600, 0), None);
+        assert_eq!(AlignError::wire_decode(1, u64::MAX, 300), None);
     }
 
     #[test]

@@ -76,7 +76,10 @@ impl CancelReason {
         CancelReason::Memory,
     ];
 
-    fn as_u8(self) -> u8 {
+    /// Stable single-byte code for wire protocols and the token's
+    /// internal state word. `0` is reserved for "not cancelled"; codes
+    /// are append-only so peers on different versions stay compatible.
+    pub fn wire_code(self) -> u8 {
         match self {
             CancelReason::Deadline => 1,
             CancelReason::ClientDrop => 2,
@@ -86,7 +89,9 @@ impl CancelReason {
         }
     }
 
-    fn from_u8(v: u8) -> Option<Self> {
+    /// Inverse of [`CancelReason::wire_code`]; `None` for unknown codes
+    /// (including the reserved `0`).
+    pub fn from_wire_code(v: u8) -> Option<Self> {
         match v {
             1 => Some(CancelReason::Deadline),
             2 => Some(CancelReason::ClientDrop),
@@ -106,7 +111,7 @@ impl std::fmt::Display for CancelReason {
 
 #[derive(Debug)]
 struct TokenInner {
-    /// 0 = live; otherwise `CancelReason::as_u8`. First cancel wins.
+    /// 0 = live; otherwise `CancelReason::wire_code`. First cancel wins.
     state: AtomicU8,
     /// Progress counter ticked by [`cancel_poll`]; the watchdog treats
     /// a token whose heartbeat stops advancing as wedged.
@@ -119,7 +124,7 @@ struct TokenInner {
 
 impl TokenInner {
     fn raw_reason(&self) -> Option<CancelReason> {
-        CancelReason::from_u8(self.state.load(Ordering::Acquire))
+        CancelReason::from_wire_code(self.state.load(Ordering::Acquire))
     }
 
     fn reason(&self) -> Option<CancelReason> {
@@ -130,7 +135,7 @@ impl TokenInner {
             if Instant::now() >= d {
                 let _ = self.state.compare_exchange(
                     0,
-                    CancelReason::Deadline.as_u8(),
+                    CancelReason::Deadline.wire_code(),
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 );
@@ -145,7 +150,7 @@ impl TokenInner {
 
     fn cancel(&self, reason: CancelReason) -> bool {
         self.state
-            .compare_exchange(0, reason.as_u8(), Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(0, reason.wire_code(), Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
 }
@@ -496,7 +501,7 @@ mod tests {
     #[test]
     fn reason_labels_are_stable() {
         for r in CancelReason::ALL {
-            assert_eq!(CancelReason::from_u8(r.as_u8()), Some(r));
+            assert_eq!(CancelReason::from_wire_code(r.wire_code()), Some(r));
             assert!(!r.as_str().is_empty());
             assert_eq!(r.to_string(), r.as_str());
         }

@@ -1,0 +1,133 @@
+//! Seeded exponential backoff with deterministic jitter.
+//!
+//! The gateway retries transient shard failures under a bounded
+//! budget; between attempts it sleeps an exponentially growing delay
+//! with jitter so N gateways recovering from the same shard outage do
+//! not stampede it in lockstep. The jitter is derived from a splitmix
+//! hash of `(seed, attempt)` — fully deterministic for a given
+//! configuration, so tests can assert exact schedules.
+
+use std::time::Duration;
+
+/// Retry schedule for one logical request against a shard group.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// First-retry delay (doubles per attempt).
+    pub base: Duration,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+    /// Total attempts per shard group (1 = no retries).
+    pub budget: u32,
+    /// Jitter seed; gateways should use distinct seeds.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(20),
+            cap: Duration::from_secs(1),
+            budget: 3,
+            seed: 0x5157_5349_4D44, // "SWSIMD"
+        }
+    }
+}
+
+/// splitmix64 finalizer — the same mixing the tuner's RNG seeds use.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `attempt` (the first retry is
+    /// attempt 1): `min(cap, base * 2^(attempt-1))` plus up to 50%
+    /// deterministic jitter.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.cap);
+        let jitter_space = exp.as_nanos() as u64 / 2;
+        if jitter_space == 0 {
+            return exp;
+        }
+        let jitter = splitmix64(self.seed ^ u64::from(attempt)) % jitter_space;
+        (exp + Duration::from_nanos(jitter)).min(self.cap)
+    }
+
+    /// True while `attempt` (0-based) is within the budget.
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt < self.budget.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let p = RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            budget: 8,
+            seed: 42,
+        };
+        assert_eq!(p.delay(0), Duration::ZERO);
+        let d1 = p.delay(1);
+        let d3 = p.delay(3);
+        assert!(d1 >= Duration::from_millis(10) && d1 <= Duration::from_millis(15));
+        assert!(d3 >= Duration::from_millis(40) && d3 <= Duration::from_millis(60));
+        for a in 1..32 {
+            assert!(p.delay(a) <= p.cap, "attempt {a} exceeds cap");
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let p = RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let q = RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let r = RetryPolicy {
+            seed: 8,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.delay(1), q.delay(1));
+        assert_eq!(p.delay(2), q.delay(2));
+        assert!(
+            (1..=6).any(|a| p.delay(a) != r.delay(a)),
+            "seeds decorrelate"
+        );
+    }
+
+    #[test]
+    fn budget_bounds_attempts() {
+        let p = RetryPolicy {
+            budget: 3,
+            ..RetryPolicy::default()
+        };
+        assert!(p.allows(0));
+        assert!(p.allows(2));
+        assert!(!p.allows(3));
+        let degenerate = RetryPolicy {
+            budget: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(degenerate.allows(0), "budget 0 still tries once");
+        assert!(!degenerate.allows(1));
+    }
+}

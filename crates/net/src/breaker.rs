@@ -1,0 +1,160 @@
+//! Per-shard circuit breaker, mirroring the kernel trust ladder.
+//!
+//! `swsimd_core::trust::TrustLadder` demotes a SIMD backend after a
+//! strike threshold and re-admits it only after consecutive clean
+//! probation checks; this module applies the same strike/probation
+//! shape to network replicas. A replica serving queries is `Healthy`;
+//! consecutive transport failures open the breaker (`Down` — no
+//! traffic routed, only health probes); probe successes move it
+//! through `Probation` back to `Healthy`. One success while `Healthy`
+//! clears accumulated strikes, so intermittent blips never open the
+//! breaker.
+
+/// Breaker states for one replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Serving traffic.
+    Healthy,
+    /// Breaker open: no traffic, probes only.
+    Down,
+    /// Probes are passing; not yet trusted with traffic.
+    Probation,
+}
+
+/// Strike-counting circuit breaker for one shard replica.
+#[derive(Clone, Debug)]
+pub struct ShardBreaker {
+    state: BreakerState,
+    strikes: u32,
+    passes: u32,
+    /// Consecutive failures that open the breaker.
+    strike_threshold: u32,
+    /// Consecutive probe passes that close it again.
+    readmit_after: u32,
+}
+
+impl ShardBreaker {
+    /// A healthy breaker opening after `strike_threshold` consecutive
+    /// failures and re-admitting after `readmit_after` consecutive
+    /// probe passes (both clamped to ≥ 1).
+    pub fn new(strike_threshold: u32, readmit_after: u32) -> Self {
+        Self {
+            state: BreakerState::Healthy,
+            strikes: 0,
+            passes: 0,
+            strike_threshold: strike_threshold.max(1),
+            readmit_after: readmit_after.max(1),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// True when the replica may be routed live traffic.
+    pub fn is_available(&self) -> bool {
+        self.state == BreakerState::Healthy
+    }
+
+    /// Record a successful request. Clears strikes; returns true.
+    pub fn record_success(&mut self) -> bool {
+        self.strikes = 0;
+        self.state = BreakerState::Healthy;
+        true
+    }
+
+    /// Record a failed request (transport error, timeout, corrupt
+    /// frame). Returns true exactly when this failure opens the
+    /// breaker — the caller charges `shard_down_total` then.
+    pub fn record_failure(&mut self) -> bool {
+        match self.state {
+            BreakerState::Healthy => {
+                self.strikes += 1;
+                if self.strikes >= self.strike_threshold {
+                    self.state = BreakerState::Down;
+                    self.passes = 0;
+                    return true;
+                }
+                false
+            }
+            // Shouldn't be routed traffic, but a stray failure resets
+            // any probation progress.
+            BreakerState::Down | BreakerState::Probation => {
+                self.state = BreakerState::Down;
+                self.passes = 0;
+                false
+            }
+        }
+    }
+
+    /// Record a passed health probe. Returns true exactly when the
+    /// replica is re-admitted to `Healthy`.
+    pub fn probe_success(&mut self) -> bool {
+        match self.state {
+            BreakerState::Healthy => false,
+            BreakerState::Down | BreakerState::Probation => {
+                self.passes += 1;
+                if self.passes >= self.readmit_after {
+                    self.state = BreakerState::Healthy;
+                    self.strikes = 0;
+                    self.passes = 0;
+                    true
+                } else {
+                    self.state = BreakerState::Probation;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a failed health probe: probation progress resets.
+    pub fn probe_failure(&mut self) {
+        if self.state != BreakerState::Healthy {
+            self.state = BreakerState::Down;
+            self.passes = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_at_strike_threshold() {
+        let mut b = ShardBreaker::new(3, 2);
+        assert!(b.is_available());
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third strike opens");
+        assert_eq!(b.state(), BreakerState::Down);
+        assert!(!b.is_available());
+        assert!(!b.record_failure(), "already open: no double-charge");
+    }
+
+    #[test]
+    fn success_clears_strikes() {
+        let mut b = ShardBreaker::new(2, 1);
+        assert!(!b.record_failure());
+        b.record_success();
+        assert!(!b.record_failure(), "counter restarted");
+        assert!(b.record_failure());
+    }
+
+    #[test]
+    fn readmission_needs_consecutive_probe_passes() {
+        let mut b = ShardBreaker::new(1, 3);
+        assert!(b.record_failure());
+        assert!(!b.probe_success());
+        assert_eq!(b.state(), BreakerState::Probation);
+        assert!(!b.is_available(), "probation gets probes, not traffic");
+        b.probe_failure();
+        assert_eq!(b.state(), BreakerState::Down);
+        assert!(!b.probe_success());
+        assert!(!b.probe_success());
+        assert!(b.probe_success(), "third consecutive pass re-admits");
+        assert!(b.is_available());
+        assert!(!b.probe_success(), "healthy probes are no-ops");
+    }
+}

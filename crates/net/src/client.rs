@@ -1,0 +1,171 @@
+//! Thin synchronous client for the swsimd wire protocol.
+//!
+//! Speaks to either a shard worker directly or a gateway front door —
+//! both answer the same frames. One request per call; the connection
+//! is reused across calls on the same [`NetClient`].
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use swsimd_core::Hit;
+
+use crate::wire::{read_msg, write_msg, Msg, RemoteError, WireError};
+
+/// Client-side failure: transport/framing, a typed remote error, or a
+/// protocol violation (unexpected frame kind).
+#[derive(Debug)]
+pub enum NetError {
+    /// Framing or transport failure.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Remote(RemoteError),
+    /// The server answered with a frame that does not answer the
+    /// request.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "wire: {e}"),
+            NetError::Remote(e) => write!(f, "remote: {e}"),
+            NetError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Wire(WireError::Io(e))
+    }
+}
+
+/// A query answer, including the degradation marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HitsReply {
+    /// Ranked hits (globally indexed when answered by a gateway).
+    pub hits: Vec<Hit>,
+    /// True when one or more shards could not contribute.
+    pub degraded: bool,
+    /// Slice indices missing from the answer.
+    pub missing_shards: Vec<u32>,
+}
+
+/// A pong, identifying the peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PongReply {
+    /// Shard index, or `u32::MAX` when the peer is a gateway.
+    pub shard: u32,
+    /// True when the peer is draining and refusing new queries.
+    pub draining: bool,
+}
+
+/// Blocking protocol client over one TCP connection.
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Dial `addr` with `timeout` for connect and subsequent reads.
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<NetClient> {
+        let sock = resolve(addr)?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        Ok(NetClient { stream, next_id: 1 })
+    }
+
+    /// Override the read timeout (e.g. for long-deadline queries).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Run one query. `deadline_ms == 0` means no deadline.
+    pub fn query(
+        &mut self,
+        query: &[u8],
+        top_k: usize,
+        deadline_ms: u32,
+    ) -> Result<HitsReply, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_msg(
+            &mut self.stream,
+            &Msg::Query {
+                id,
+                top_k: top_k as u32,
+                deadline_ms,
+                // slice_count 0 = "route for me": the shard answers
+                // its own slice, the gateway scatter-gathers.
+                slice_index: 0,
+                slice_count: 0,
+                query: query.to_vec(),
+            },
+        )?;
+        match read_msg(&mut self.stream)? {
+            Msg::Hits {
+                hits,
+                degraded,
+                missing_shards,
+                ..
+            } => Ok(HitsReply {
+                hits,
+                degraded,
+                missing_shards,
+            }),
+            Msg::Error { err, .. } => Err(NetError::Remote(err)),
+            _ => Err(NetError::Unexpected("non-answer frame for Query")),
+        }
+    }
+
+    /// Health-check the peer.
+    pub fn ping(&mut self) -> Result<PongReply, NetError> {
+        write_msg(&mut self.stream, &Msg::Ping { nonce: 0xFEED })?;
+        match read_msg(&mut self.stream)? {
+            Msg::Pong {
+                nonce: 0xFEED,
+                shard,
+                draining,
+            } => Ok(PongReply { shard, draining }),
+            Msg::Pong { .. } => Err(NetError::Unexpected("pong nonce mismatch")),
+            _ => Err(NetError::Unexpected("non-pong frame for Ping")),
+        }
+    }
+
+    /// Fetch the peer's Prometheus scrape.
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        write_msg(&mut self.stream, &Msg::MetricsRequest)?;
+        match read_msg(&mut self.stream)? {
+            Msg::MetricsText { text } => Ok(String::from_utf8_lossy(&text).into_owned()),
+            _ => Err(NetError::Unexpected("non-metrics frame for MetricsRequest")),
+        }
+    }
+
+    /// Ask the peer to drain: stop admitting queries, finish what is
+    /// in flight. Returns its post-drain pong.
+    pub fn drain(&mut self) -> Result<PongReply, NetError> {
+        write_msg(&mut self.stream, &Msg::Drain)?;
+        match read_msg(&mut self.stream)? {
+            Msg::Pong {
+                shard, draining, ..
+            } => Ok(PongReply { shard, draining }),
+            _ => Err(NetError::Unexpected("non-pong frame for Drain")),
+        }
+    }
+}
+
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::other("address resolved to nothing"))
+}

@@ -1,0 +1,327 @@
+//! Gateway front door: a TCP listener speaking the shard protocol,
+//! backed by a scatter-gather [`Gateway`].
+//!
+//! Clients talk to one address; the front door fans each query out
+//! across the shard topology and returns the merged (possibly
+//! `degraded`) ranking. It answers [`Msg::Ping`] with shard id
+//! `u32::MAX` so probes can tell a gateway from a worker, serves the
+//! process-global Prometheus scrape over [`Msg::MetricsRequest`], and
+//! supports the same drain protocol as shards: once draining, new
+//! queries get [`RemoteError::Draining`] while health and metrics
+//! frames still answer.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use swsimd_core::CancelReason;
+
+use crate::gateway::Gateway;
+use crate::metrics::NetCancelled;
+use crate::wire::{read_msg, write_msg, Msg, RemoteError, WireError};
+
+const POLL_STEP: Duration = Duration::from_millis(5);
+const ACCEPT_STEP: Duration = Duration::from_millis(10);
+
+/// Shard id a gateway reports in [`Msg::Pong`].
+pub const GATEWAY_SHARD_ID: u32 = u32::MAX;
+
+struct FrontShared {
+    gateway: Gateway,
+    draining: AtomicBool,
+    stopping: AtomicBool,
+    in_flight: AtomicUsize,
+    cancelled: NetCancelled,
+}
+
+/// A running gateway front door.
+pub struct GatewayServer {
+    shared: Arc<FrontShared>,
+    addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    drain_timeout: Duration,
+}
+
+impl GatewayServer {
+    /// Bind `listen` and serve `gateway` until shutdown.
+    pub fn start(
+        gateway: Gateway,
+        listen: &str,
+        drain_timeout: Duration,
+    ) -> std::io::Result<GatewayServer> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(FrontShared {
+            gateway,
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            cancelled: NetCancelled::new(),
+        });
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conns);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(listener, accept_shared, accept_conns);
+        });
+        Ok(GatewayServer {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            conns,
+            drain_timeout,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Queries currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Begin refusing new queries.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// Drain, wait up to the drain timeout for in-flight queries,
+    /// then stop. Returns true when every query finished in time.
+    pub fn shutdown(mut self) -> bool {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> bool {
+        self.drain();
+        let deadline = Instant::now() + self.drain_timeout;
+        while self.shared.in_flight.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(POLL_STEP);
+        }
+        let clean = self.shared.in_flight.load(Ordering::Acquire) == 0;
+        self.shared.stopping.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *lock_ok(&self.conns));
+        for c in conns {
+            let _ = c.join();
+        }
+        clean
+    }
+}
+
+impl Drop for GatewayServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<FrontShared>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while !shared.stopping.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || {
+                    let _ = serve_conn(stream, conn_shared);
+                });
+                lock_ok(&conns).push(handle);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(ACCEPT_STEP);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_STEP),
+        }
+    }
+}
+
+fn peer_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            false
+        }
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+fn serve_conn(mut stream: TcpStream, shared: Arc<FrontShared>) -> std::io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    loop {
+        loop {
+            if shared.stopping.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            if peer_gone(&stream) {
+                return Ok(());
+            }
+            let mut probe = [0u8; 1];
+            let _ = stream.set_nonblocking(true);
+            let ready = matches!(stream.peek(&mut probe), Ok(n) if n > 0);
+            let _ = stream.set_nonblocking(false);
+            if ready {
+                break;
+            }
+            std::thread::sleep(POLL_STEP);
+        }
+        let msg = match read_msg(&mut stream) {
+            Ok(m) => m,
+            Err(WireError::Eof) => return Ok(()),
+            Err(_) => return Ok(()),
+        };
+        match msg {
+            Msg::Ping { nonce } => {
+                let pong = Msg::Pong {
+                    nonce,
+                    shard: GATEWAY_SHARD_ID,
+                    draining: shared.draining.load(Ordering::Acquire),
+                };
+                if write_msg(&mut stream, &pong).is_err() {
+                    return Ok(());
+                }
+            }
+            Msg::Drain => {
+                shared.draining.store(true, Ordering::Release);
+                let ack = Msg::Pong {
+                    nonce: 0,
+                    shard: GATEWAY_SHARD_ID,
+                    draining: true,
+                };
+                if write_msg(&mut stream, &ack).is_err() {
+                    return Ok(());
+                }
+            }
+            Msg::MetricsRequest => {
+                let text = swsimd_obs::global().prometheus_text().into_bytes();
+                if write_msg(&mut stream, &Msg::MetricsText { text }).is_err() {
+                    return Ok(());
+                }
+            }
+            Msg::Query {
+                id,
+                top_k,
+                deadline_ms,
+                query,
+                ..
+            } => match handle_query(&shared, &stream, id, top_k, deadline_ms, query) {
+                Some(reply) => {
+                    if write_msg(&mut stream, &reply).is_err() {
+                        return Ok(());
+                    }
+                }
+                None => return Ok(()),
+            },
+            Msg::Hits { .. } | Msg::Error { .. } | Msg::Pong { .. } | Msg::MetricsText { .. } => {
+                return Ok(())
+            }
+        }
+    }
+}
+
+struct InFlight<'a>(&'a AtomicUsize);
+
+impl<'a> InFlight<'a> {
+    fn enter(c: &'a AtomicUsize) -> Self {
+        c.fetch_add(1, Ordering::AcqRel);
+        InFlight(c)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Run the scatter-gather on a worker thread while this connection
+/// thread watches for client disconnect; `None` means the client went
+/// away and the connection should close without a reply.
+fn handle_query(
+    shared: &Arc<FrontShared>,
+    stream: &TcpStream,
+    id: u64,
+    top_k: u32,
+    deadline_ms: u32,
+    query: Vec<u8>,
+) -> Option<Msg> {
+    if shared.draining.load(Ordering::Acquire) {
+        return Some(Msg::Error {
+            id,
+            err: RemoteError::Draining,
+        });
+    }
+    let _guard = InFlight::enter(&shared.in_flight);
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
+    let (tx, rx) = mpsc::channel();
+    let gw = shared.gateway.clone();
+    std::thread::spawn(move || {
+        let _ = tx.send(gw.query(&query, top_k as usize, deadline));
+    });
+    let result = loop {
+        match rx.recv_timeout(POLL_STEP) {
+            Ok(r) => break r,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break Err(RemoteError::Unavailable);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if peer_gone(stream) {
+                    // Stop waiting; shard-side attempts notice the
+                    // gateway hang-ups and cancel their own jobs.
+                    shared.cancelled.record(CancelReason::ClientDrop);
+                    swsimd_obs::event!("net_client_drop", "id" => id, "at" => "gateway");
+                    return None;
+                }
+                if shared.stopping.load(Ordering::Acquire) {
+                    shared.cancelled.record(CancelReason::Shutdown);
+                    return Some(Msg::Error {
+                        id,
+                        err: RemoteError::Serve(swsimd_runner::ServeError::ShutDown),
+                    });
+                }
+            }
+        }
+    };
+    Some(match result {
+        Ok(resp) => Msg::Hits {
+            id,
+            degraded: resp.degraded,
+            missing_shards: resp.missing_shards,
+            hits: resp.hits,
+        },
+        Err(err) => Msg::Error { id, err },
+    })
+}

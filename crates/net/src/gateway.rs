@@ -1,0 +1,650 @@
+//! Scatter-gather gateway with shard-level fault tolerance.
+//!
+//! The gateway fans a query out to every shard group, merges the
+//! slice results with the same [`rank_hits`] ranking the in-process
+//! server uses (so sharded and unsharded answers are bit-identical),
+//! and absorbs shard failures instead of propagating them:
+//!
+//! - **Retries.** Transient failures (connect errors, torn or
+//!   bit-flipped frames, per-attempt timeouts, `QueueFull`, a
+//!   draining or mis-addressed shard) retry under a bounded
+//!   [`RetryPolicy`] budget with seeded-jitter exponential backoff,
+//!   rotating across the group's replicas. Fatal errors (invalid
+//!   query, admission rejections, blown deadline) propagate
+//!   immediately — retrying cannot fix the query.
+//! - **Circuit breakers.** Each replica has a [`ShardBreaker`]
+//!   mirroring the kernel trust ladder: consecutive failures open the
+//!   breaker (`swsimd_shard_down_total`, `swsimd_shard_up` → 0) and
+//!   the replica stops receiving traffic until consecutive health
+//!   probes re-admit it.
+//! - **Hedging.** When a group has a spare replica, a duplicate
+//!   request launches after the observed p99 of the primary's
+//!   round-trips (never below the configured floor); first reply
+//!   wins (`swsimd_hedged_requests_total`).
+//! - **Graceful degradation.** A group that exhausts its budget is
+//!   reported in `missing_shards` and the response is marked
+//!   `degraded` (`swsimd_degraded_responses_total`) instead of
+//!   failing the whole query; only a fully-missing topology errors.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use swsimd_core::Hit;
+use swsimd_runner::{rank_hits, FaultPlan, ServeError};
+
+use crate::backoff::RetryPolicy;
+use crate::breaker::{BreakerState, ShardBreaker};
+use crate::metrics::{GatewayMetrics, ReplicaMetrics};
+use crate::wire::{read_msg, write_msg, Msg, RemoteError, WireError};
+
+/// Gateway configuration.
+pub struct GatewayConfig {
+    /// Replica addresses per slice: `shards[slice]` lists equivalent
+    /// replicas serving that slice.
+    pub shards: Vec<Vec<String>>,
+    /// Retry schedule per shard group.
+    pub retry: RetryPolicy,
+    /// Dial timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Read timeout per attempt (also capped by the query deadline).
+    pub request_timeout: Duration,
+    /// Hedge-delay floor; `None` disables hedging. The effective
+    /// delay is `max(floor, observed p99 rtt of the primary)`.
+    pub hedge_after: Option<Duration>,
+    /// Consecutive failures that open a replica's breaker.
+    pub strike_threshold: u32,
+    /// Consecutive probe passes that re-admit it.
+    pub readmit_after: u32,
+    /// Deterministic network faults (connect refusals).
+    pub fault: FaultPlan,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            shards: Vec::new(),
+            retry: RetryPolicy::default(),
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(10),
+            hedge_after: Some(Duration::from_millis(50)),
+            strike_threshold: 3,
+            readmit_after: 2,
+            fault: FaultPlan::default(),
+        }
+    }
+}
+
+/// A merged scatter-gather result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayResponse {
+    /// Globally-indexed hits, ranked exactly like an unsharded search.
+    pub hits: Vec<Hit>,
+    /// True when `missing_shards` is non-empty.
+    pub degraded: bool,
+    /// Slice indices that could not contribute within their budgets.
+    pub missing_shards: Vec<u32>,
+}
+
+struct Replica {
+    addr: String,
+    slice: u32,
+    breaker: Mutex<ShardBreaker>,
+    metrics: ReplicaMetrics,
+}
+
+struct GatewayInner {
+    cfg: GatewayConfig,
+    replicas: Vec<Replica>,
+    /// slice → flat replica ordinals.
+    groups: Vec<Vec<usize>>,
+    metrics: GatewayMetrics,
+    next_id: AtomicU64,
+}
+
+/// The scatter-gather client half of the serving tier. Cheap to
+/// clone; clones share breakers and metrics.
+#[derive(Clone)]
+pub struct Gateway {
+    inner: Arc<GatewayInner>,
+}
+
+/// How one attempt against one replica ended.
+enum Attempt {
+    Ok(Vec<Hit>),
+    /// Retrying another replica (or the same one later) may help.
+    Retryable,
+    /// Retrying cannot change the outcome; fail the query.
+    Fatal(RemoteError),
+}
+
+/// How one shard group ended.
+enum GroupOutcome {
+    Ok(Vec<Hit>),
+    /// Budget exhausted or no replica available: degrade.
+    Missing,
+    Fatal(RemoteError),
+}
+
+impl Gateway {
+    /// Build a gateway over `cfg.shards`. No connections are opened
+    /// until the first query or probe.
+    pub fn new(cfg: GatewayConfig) -> Gateway {
+        let mut replicas = Vec::new();
+        let mut groups = Vec::new();
+        for (slice, group) in cfg.shards.iter().enumerate() {
+            let mut ordinals = Vec::new();
+            for addr in group {
+                let ordinal = replicas.len();
+                replicas.push(Replica {
+                    addr: addr.clone(),
+                    slice: slice as u32,
+                    breaker: Mutex::new(ShardBreaker::new(cfg.strike_threshold, cfg.readmit_after)),
+                    metrics: ReplicaMetrics::new(ordinal),
+                });
+                ordinals.push(ordinal);
+            }
+            groups.push(ordinals);
+        }
+        Gateway {
+            inner: Arc::new(GatewayInner {
+                cfg,
+                replicas,
+                groups,
+                metrics: GatewayMetrics::new(),
+                next_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Slice count in the configured topology.
+    pub fn slice_count(&self) -> usize {
+        self.inner.groups.len()
+    }
+
+    /// Breaker states per replica ordinal (ops/test introspection).
+    pub fn replica_states(&self) -> Vec<BreakerState> {
+        self.inner
+            .replicas
+            .iter()
+            .map(|r| lock_ok(&r.breaker).state())
+            .collect()
+    }
+
+    /// Scatter an encoded query to every shard group and gather the
+    /// merged ranking. `deadline` bounds the whole operation.
+    pub fn query(
+        &self,
+        query: &[u8],
+        top_k: usize,
+        deadline: Option<Duration>,
+    ) -> Result<GatewayResponse, RemoteError> {
+        let inner = &self.inner;
+        inner.metrics.requests.inc();
+        if inner.groups.is_empty() {
+            return Err(RemoteError::Unavailable);
+        }
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline_at = deadline.map(|d| Instant::now() + d);
+
+        let (tx, rx) = mpsc::channel();
+        for slice in 0..inner.groups.len() {
+            let tx = tx.clone();
+            let this = self.clone();
+            let query = query.to_vec();
+            std::thread::spawn(move || {
+                let outcome = query_group(&this.inner, slice, id, &query, top_k, deadline_at);
+                let _ = tx.send((slice, outcome));
+            });
+        }
+        drop(tx);
+
+        let mut all_hits = Vec::new();
+        let mut missing = Vec::new();
+        let mut fatal = None;
+        for (slice, outcome) in rx {
+            match outcome {
+                GroupOutcome::Ok(hits) => all_hits.extend(hits),
+                GroupOutcome::Missing => missing.push(slice as u32),
+                GroupOutcome::Fatal(e) => fatal = Some(e),
+            }
+        }
+        if let Some(e) = fatal {
+            return Err(e);
+        }
+        if missing.len() == inner.groups.len() {
+            return Err(RemoteError::Unavailable);
+        }
+        missing.sort_unstable();
+        let degraded = !missing.is_empty();
+        if degraded {
+            inner.metrics.degraded.inc();
+        }
+        Ok(GatewayResponse {
+            hits: rank_hits(all_hits, top_k),
+            degraded,
+            missing_shards: missing,
+        })
+    }
+
+    /// Probe every non-healthy replica once; returns how many were
+    /// re-admitted. Deterministic (no sleeps) so tests drive the
+    /// re-admission state machine directly; production uses
+    /// [`Gateway::start_prober`].
+    pub fn probe_now(&self) -> usize {
+        let inner = &self.inner;
+        let mut readmitted = 0;
+        for replica in &inner.replicas {
+            if lock_ok(&replica.breaker).state() == BreakerState::Healthy {
+                continue;
+            }
+            let pass = probe_replica(inner, replica);
+            let mut breaker = lock_ok(&replica.breaker);
+            if pass {
+                if breaker.probe_success() {
+                    replica.metrics.up.set(1);
+                    readmitted += 1;
+                    swsimd_obs::event!("shard_readmitted", "replica" => replica.slice);
+                }
+            } else {
+                breaker.probe_failure();
+            }
+        }
+        readmitted
+    }
+
+    /// Spawn a background prober calling [`Gateway::probe_now`] every
+    /// `interval` until the handle is stopped or dropped.
+    pub fn start_prober(&self, interval: Duration) -> ProberHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let gw = self.clone();
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::Acquire) {
+                std::thread::sleep(interval);
+                if flag.load(Ordering::Acquire) {
+                    break;
+                }
+                gw.probe_now();
+            }
+        });
+        ProberHandle {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops the background prober when dropped.
+pub struct ProberHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProberHandle {
+    /// Stop the prober and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ProberHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn probe_replica(inner: &GatewayInner, replica: &Replica) -> bool {
+    let Ok(addr) = resolve(&replica.addr) else {
+        return false;
+    };
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, inner.cfg.connect_timeout) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(inner.cfg.connect_timeout));
+    if write_msg(&mut stream, &Msg::Ping { nonce: 0x5157 }).is_err() {
+        return false;
+    }
+    matches!(
+        read_msg(&mut stream),
+        Ok(Msg::Pong {
+            nonce: 0x5157,
+            draining: false,
+            ..
+        })
+    )
+}
+
+fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other("address resolved to nothing"))
+}
+
+/// Remaining milliseconds until `deadline_at` for the wire (0 = no
+/// deadline); `None` when already expired.
+fn budget_ms(deadline_at: Option<Instant>) -> Option<u32> {
+    match deadline_at {
+        None => Some(0),
+        Some(d) => {
+            let left = d.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                None
+            } else {
+                Some(left.as_millis().min(u64::from(u32::MAX) as u128) as u32)
+            }
+        }
+    }
+}
+
+/// Run one shard group to completion: retries, breaker bookkeeping,
+/// and hedging happen here.
+fn query_group(
+    inner: &Arc<GatewayInner>,
+    slice: usize,
+    id: u64,
+    query: &[u8],
+    top_k: usize,
+    deadline_at: Option<Instant>,
+) -> GroupOutcome {
+    let group = &inner.groups[slice];
+    let mut attempt = 0u32;
+    loop {
+        if !inner.cfg.retry.allows(attempt) {
+            return GroupOutcome::Missing;
+        }
+        if attempt > 0 {
+            inner.metrics.retries.inc();
+            let delay = inner.cfg.retry.delay(attempt);
+            if let Some(d) = deadline_at {
+                if Instant::now() + delay >= d {
+                    return GroupOutcome::Missing;
+                }
+            }
+            std::thread::sleep(delay);
+        }
+        let available: Vec<usize> = group
+            .iter()
+            .copied()
+            .filter(|&ord| lock_ok(&inner.replicas[ord].breaker).is_available())
+            .collect();
+        if available.is_empty() {
+            // Breaker open on every replica: degrade now; the prober
+            // re-admits recovered shards out of band.
+            return GroupOutcome::Missing;
+        }
+        let primary = available[attempt as usize % available.len()];
+        let hedge = (available.len() > 1 && inner.cfg.hedge_after.is_some())
+            .then(|| available[(attempt as usize + 1) % available.len()]);
+
+        match attempt_with_hedge(inner, primary, hedge, id, query, top_k, deadline_at) {
+            Attempt::Ok(hits) => return GroupOutcome::Ok(hits),
+            Attempt::Fatal(e) => return GroupOutcome::Fatal(e),
+            Attempt::Retryable => {
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Launch the primary attempt; if no reply lands within the hedge
+/// delay and a sibling exists, launch a duplicate and take the first
+/// answer. Each attempt thread does its own breaker/metric
+/// bookkeeping, so the loser's late result still updates state.
+fn attempt_with_hedge(
+    inner: &Arc<GatewayInner>,
+    primary: usize,
+    hedge: Option<usize>,
+    id: u64,
+    query: &[u8],
+    top_k: usize,
+    deadline_at: Option<Instant>,
+) -> Attempt {
+    let (tx, rx) = mpsc::channel();
+    spawn_attempt(inner, primary, id, query, top_k, deadline_at, tx.clone());
+
+    let hedge_delay = hedge.and_then(|_| effective_hedge_delay(inner, primary));
+    let mut launched = 1;
+    let first = match hedge_delay {
+        Some(delay) => match rx.recv_timeout(delay) {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let sibling = hedge.expect("hedge_delay implies sibling");
+                inner.metrics.hedges.inc();
+                swsimd_obs::event!(
+                    "hedged_request",
+                    "primary" => primary,
+                    "sibling" => sibling
+                );
+                spawn_attempt(inner, sibling, id, query, top_k, deadline_at, tx.clone());
+                launched = 2;
+                None
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => None,
+        },
+        None => None,
+    };
+    drop(tx);
+
+    let mut results = Vec::new();
+    if let Some(outcome) = first {
+        results.push(outcome);
+    }
+    // Take the first success; otherwise drain what was launched.
+    while results
+        .iter()
+        .filter(|r| !matches!(r, Attempt::Ok(_)))
+        .count()
+        == results.len()
+        && results.len() < launched
+    {
+        match rx.recv() {
+            Ok(outcome) => results.push(outcome),
+            Err(_) => break,
+        }
+    }
+    // Prefer success, then fatal (definitive), then retryable.
+    let mut retryable = false;
+    let mut fatal = None;
+    for outcome in results {
+        match outcome {
+            Attempt::Ok(hits) => return Attempt::Ok(hits),
+            Attempt::Fatal(e) => fatal = Some(e),
+            Attempt::Retryable => retryable = true,
+        }
+    }
+    match fatal {
+        Some(e) => Attempt::Fatal(e),
+        None => {
+            debug_assert!(retryable);
+            Attempt::Retryable
+        }
+    }
+}
+
+/// The hedge delay: observed p99 of the primary's round-trips once
+/// enough samples exist, floored by the configured delay.
+fn effective_hedge_delay(inner: &GatewayInner, primary: usize) -> Option<Duration> {
+    let floor = inner.cfg.hedge_after?;
+    let snap = inner.replicas[primary].metrics.rtt.snapshot();
+    if snap.count >= 16 {
+        Some(floor.max(Duration::from_nanos(snap.p99)))
+    } else {
+        Some(floor)
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // attempt context travels together
+fn spawn_attempt(
+    inner: &Arc<GatewayInner>,
+    ordinal: usize,
+    id: u64,
+    query: &[u8],
+    top_k: usize,
+    deadline_at: Option<Instant>,
+    tx: mpsc::Sender<Attempt>,
+) {
+    let inner = Arc::clone(inner);
+    let query = query.to_vec();
+    std::thread::spawn(move || {
+        let started = Instant::now();
+        let outcome = attempt_once(&inner, ordinal, id, &query, top_k, deadline_at);
+        let replica = &inner.replicas[ordinal];
+        match &outcome {
+            Attempt::Ok(_) => {
+                replica.metrics.rtt.record_duration(started.elapsed());
+                lock_ok(&replica.breaker).record_success();
+            }
+            // Fatal outcomes are the *query's* fault, not the
+            // replica's — no strike.
+            Attempt::Fatal(_) => {}
+            Attempt::Retryable => {
+                let opened = lock_ok(&replica.breaker).record_failure();
+                if opened {
+                    replica.metrics.down_total.inc();
+                    replica.metrics.up.set(0);
+                    swsimd_obs::event!("shard_breaker_open", "replica" => ordinal);
+                }
+            }
+        }
+        let _ = tx.send(outcome);
+    });
+}
+
+fn attempt_once(
+    inner: &GatewayInner,
+    ordinal: usize,
+    id: u64,
+    query: &[u8],
+    top_k: usize,
+    deadline_at: Option<Instant>,
+) -> Attempt {
+    let replica = &inner.replicas[ordinal];
+    let Some(deadline_ms) = budget_ms(deadline_at) else {
+        return Attempt::Fatal(RemoteError::Serve(ServeError::DeadlineExceeded));
+    };
+    if inner.cfg.fault.before_connect(ordinal).is_err() {
+        return Attempt::Retryable;
+    }
+    let Ok(addr) = resolve(&replica.addr) else {
+        return Attempt::Retryable;
+    };
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, inner.cfg.connect_timeout) else {
+        return Attempt::Retryable;
+    };
+    let _ = stream.set_nodelay(true);
+    let mut read_timeout = inner.cfg.request_timeout;
+    if let Some(d) = deadline_at {
+        read_timeout = read_timeout.min(d.saturating_duration_since(Instant::now()));
+    }
+    if read_timeout.is_zero() {
+        return Attempt::Fatal(RemoteError::Serve(ServeError::DeadlineExceeded));
+    }
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let msg = Msg::Query {
+        id,
+        top_k: top_k as u32,
+        deadline_ms,
+        slice_index: replica.slice,
+        slice_count: inner.groups.len() as u32,
+        query: query.to_vec(),
+    };
+    if write_msg(&mut stream, &msg).is_err() {
+        return Attempt::Retryable;
+    }
+    match read_msg(&mut stream) {
+        Ok(Msg::Hits { hits, .. }) => Attempt::Ok(hits),
+        Ok(Msg::Error { err, .. }) => classify(err),
+        // A non-answer kind is a confused peer: don't trust it again
+        // this attempt.
+        Ok(_) => Attempt::Retryable,
+        // Torn frames, bit flips, timeouts, resets: all retryable.
+        Err(WireError::BadCrc { want, got }) => {
+            swsimd_obs::event!("reply_crc_mismatch", "want" => want, "got" => got);
+            Attempt::Retryable
+        }
+        Err(_) => Attempt::Retryable,
+    }
+}
+
+/// Fatal errors fail the query; everything else earns a retry.
+fn classify(err: RemoteError) -> Attempt {
+    use ServeError as S;
+    match &err {
+        RemoteError::Serve(S::InvalidQuery(_))
+        | RemoteError::Serve(S::QueryTooLarge { .. })
+        | RemoteError::Serve(S::CostTooHigh { .. })
+        | RemoteError::Serve(S::BudgetExceeded { .. })
+        | RemoteError::Serve(S::EngineUnavailable { .. })
+        | RemoteError::Serve(S::DeadlineExceeded) => Attempt::Fatal(err),
+        RemoteError::Serve(S::ShutDown)
+        | RemoteError::Serve(S::QueueFull)
+        | RemoteError::Serve(S::WorkerPanicked)
+        | RemoteError::WrongShard { .. }
+        | RemoteError::Draining
+        | RemoteError::Unavailable => Attempt::Retryable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_splits_fatal_from_retryable() {
+        assert!(matches!(
+            classify(RemoteError::Serve(ServeError::DeadlineExceeded)),
+            Attempt::Fatal(_)
+        ));
+        assert!(matches!(
+            classify(RemoteError::Serve(ServeError::QueryTooLarge {
+                len: 2,
+                limit: 1
+            })),
+            Attempt::Fatal(_)
+        ));
+        for retryable in [
+            RemoteError::Serve(ServeError::ShutDown),
+            RemoteError::Serve(ServeError::QueueFull),
+            RemoteError::Serve(ServeError::WorkerPanicked),
+            RemoteError::WrongShard { got: 0, want: 1 },
+            RemoteError::Draining,
+            RemoteError::Unavailable,
+        ] {
+            assert!(matches!(classify(retryable), Attempt::Retryable));
+        }
+    }
+
+    #[test]
+    fn empty_topology_is_unavailable() {
+        let gw = Gateway::new(GatewayConfig::default());
+        assert!(matches!(
+            gw.query(&[1, 2, 3], 5, None),
+            Err(RemoteError::Unavailable)
+        ));
+    }
+
+    #[test]
+    fn budget_ms_zero_means_no_deadline() {
+        assert_eq!(budget_ms(None), Some(0));
+        assert_eq!(
+            budget_ms(Some(Instant::now() - Duration::from_millis(1))),
+            None
+        );
+        let ms = budget_ms(Some(Instant::now() + Duration::from_secs(2))).unwrap();
+        assert!(ms > 1500 && ms <= 2000, "{ms}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Networked sharded serving tier for swsimd.
+//!
+//! Std-only (no async runtime, no serde on the wire): a
+//! length-prefixed, CRC32-framed binary protocol over TCP connects
+//! three roles:
+//!
+//! - **Shard workers** ([`ShardServer`]) each own one deterministic
+//!   slice of the database ([`swsimd_seq::Database::partition`]) and
+//!   answer queries for it through the in-process batch server, with
+//!   optional journaled durability and client-drop cancellation.
+//! - **The gateway** ([`Gateway`], [`GatewayServer`]) scatter-gathers
+//!   across shard groups with bounded retries ([`RetryPolicy`]),
+//!   per-replica circuit breakers ([`ShardBreaker`]), p99-based
+//!   request hedging, and graceful degradation: a dead shard yields a
+//!   partial result marked `degraded` with the missing slice listed,
+//!   not a failed query.
+//! - **Clients** ([`NetClient`]) speak the same frames to either.
+//!
+//! Every failure mode is driven deterministically in tests through
+//! [`swsimd_runner::FaultPlan`] network faults — refused connects,
+//! torn and bit-flipped reply frames, delayed shards — so the retry /
+//! hedge / degrade machinery is exercised without sleeps-and-hope.
+//! See `DESIGN.md` §13 for the wire format and state machines.
+
+pub mod backoff;
+pub mod breaker;
+pub mod client;
+pub mod front;
+pub mod gateway;
+pub mod metrics;
+pub mod shard;
+pub mod wire;
+
+pub use backoff::RetryPolicy;
+pub use breaker::{BreakerState, ShardBreaker};
+pub use client::{HitsReply, NetClient, NetError, PongReply};
+pub use front::{GatewayServer, GATEWAY_SHARD_ID};
+pub use gateway::{Gateway, GatewayConfig, GatewayResponse, ProberHandle};
+pub use metrics::{GatewayMetrics, NetCancelled, ReplicaMetrics};
+pub use shard::{ShardConfig, ShardServer};
+pub use wire::{read_msg, write_msg, Msg, RemoteError, WireError, MAX_FRAME};

@@ -1,0 +1,166 @@
+//! Serving-tier metric families in the process-global registry.
+//!
+//! Gateway-side counters quantify the robustness machinery (retries,
+//! hedges, breaker openings, degraded responses); shard-side counters
+//! mirror the batch server's cancellation ledger for network-driven
+//! cancellations. Everything lands in [`swsimd_obs::global`], so one
+//! Prometheus scrape covers the whole process.
+
+use std::sync::Arc;
+
+use swsimd_core::CancelReason;
+use swsimd_obs::{global, Counter, Gauge, Histogram};
+
+/// Gateway-side families, one instance per gateway.
+pub struct GatewayMetrics {
+    /// Logical client queries handled.
+    pub requests: Arc<Counter>,
+    /// Per-attempt retries across all shards.
+    pub retries: Arc<Counter>,
+    /// Hedged (duplicate) shard requests launched.
+    pub hedges: Arc<Counter>,
+    /// Responses returned with one or more shards missing.
+    pub degraded: Arc<Counter>,
+}
+
+impl GatewayMetrics {
+    /// Register (or re-attach to) the gateway families.
+    pub fn new() -> Self {
+        let r = global();
+        Self {
+            requests: r.counter(
+                "swsimd_gateway_requests_total",
+                "Logical queries the gateway scatter-gathered.",
+                &[],
+            ),
+            retries: r.counter(
+                "swsimd_net_retries_total",
+                "Shard attempts retried after a transient failure.",
+                &[],
+            ),
+            hedges: r.counter(
+                "swsimd_hedged_requests_total",
+                "Duplicate shard requests launched after the hedge delay.",
+                &[],
+            ),
+            degraded: r.counter(
+                "swsimd_degraded_responses_total",
+                "Responses served with one or more shards missing.",
+                &[],
+            ),
+        }
+    }
+}
+
+impl Default for GatewayMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-replica families, labelled `shard="<ordinal>"`.
+pub struct ReplicaMetrics {
+    /// Breaker openings for this replica.
+    pub down_total: Arc<Counter>,
+    /// 1 while the breaker routes traffic, 0 while open.
+    pub up: Arc<Gauge>,
+    /// Request round-trip latency (recorded in nanoseconds, exposed
+    /// in seconds).
+    pub rtt: Arc<Histogram>,
+}
+
+impl ReplicaMetrics {
+    /// Register (or re-attach to) the families for replica `ordinal`.
+    pub fn new(ordinal: usize) -> Self {
+        let r = global();
+        let label = ordinal.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &label)];
+        let up = r.gauge(
+            "swsimd_shard_up",
+            "1 while the replica's breaker admits traffic.",
+            labels,
+        );
+        up.set(1);
+        Self {
+            down_total: r.counter(
+                "swsimd_shard_down_total",
+                "Circuit-breaker openings, per replica.",
+                labels,
+            ),
+            up,
+            rtt: r.histogram_scaled(
+                "swsimd_shard_rtt_seconds",
+                "Shard request round-trip latency.",
+                1e-9,
+                labels,
+            ),
+        }
+    }
+}
+
+/// Shard-side cancellation counters keyed by reason, mirroring
+/// `swsimd_server_cancelled_total` for cancellations that originate
+/// on the network (client drop, drain shutdown, wire deadline).
+pub struct NetCancelled {
+    counters: [Arc<Counter>; CancelReason::ALL.len()],
+}
+
+impl NetCancelled {
+    /// Register (or re-attach to) the family.
+    pub fn new() -> Self {
+        let r = global();
+        Self {
+            counters: CancelReason::ALL.map(|reason| {
+                r.counter(
+                    "swsimd_net_cancelled_total",
+                    "Network-path work cancelled mid-flight, by reason.",
+                    &[("reason", reason.as_str())],
+                )
+            }),
+        }
+    }
+
+    /// Charge one cancellation to `reason`.
+    pub fn record(&self, reason: CancelReason) {
+        let idx = CancelReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("ALL covers every reason");
+        self.counters[idx].inc();
+    }
+}
+
+impl Default for NetCancelled {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_register_and_scrape() {
+        let g = GatewayMetrics::new();
+        g.requests.inc();
+        g.degraded.inc();
+        let rm = ReplicaMetrics::new(0);
+        rm.down_total.inc();
+        rm.up.set(0);
+        let nc = NetCancelled::new();
+        nc.record(CancelReason::ClientDrop);
+        let text = global().prometheus_text();
+        for family in [
+            "swsimd_gateway_requests_total",
+            "swsimd_degraded_responses_total",
+            "swsimd_hedged_requests_total",
+            "swsimd_shard_down_total",
+            "swsimd_shard_up",
+            "swsimd_net_cancelled_total",
+        ] {
+            assert!(text.contains(family), "{family} missing from scrape");
+        }
+        assert!(text.contains("reason=\"client_drop\""));
+    }
+}

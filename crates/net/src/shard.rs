@@ -1,0 +1,644 @@
+//! Shard worker: one process owning one database slice.
+//!
+//! A shard loads the *full* database, deterministically computes its
+//! own slice with [`Database::partition`] (so every shard in a
+//! topology agrees on the split without coordination), and serves
+//! wire-protocol queries against that slice through the in-process
+//! [`BatchServer`]. Hits leave with **global** database indices, so
+//! the gateway's merge needs no per-shard translation table.
+//!
+//! Robustness wiring:
+//! - a real TCP disconnect while a query is computing cancels the job
+//!   with [`CancelReason::ClientDrop`] (observed via a non-blocking
+//!   `peek` between reply polls) and charges
+//!   `swsimd_net_cancelled_total{reason="client_drop"}`;
+//! - with a journal directory configured, every query checkpoints
+//!   through [`swsimd_runner::journal`]; a drain or crash mid-query
+//!   leaves the fsynced journal on disk and the restarted shard
+//!   resumes it instead of recomputing finished chunks;
+//! - [`FaultPlan`] reply faults (torn frame, bit flip, delay) fire on
+//!   the reply write path, so every client-side defense is testable
+//!   against this real server.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use swsimd_core::{AlignerBuilder, CancelReason, CancelToken, Hit};
+use swsimd_matrices::Alphabet;
+use swsimd_runner::{
+    checkpointed_search, rank_hits, read_journal_file, resume_search, BatchServer, FaultPlan,
+    JournalWriter, PoolConfig, ServeError, ServerClient, ServerConfig,
+};
+use swsimd_seq::{integrity::crc32, Database};
+
+use crate::metrics::NetCancelled;
+use crate::wire::{read_msg, Msg, RemoteError, WireError};
+
+/// How often a blocked reply poll interleaves a connection-liveness
+/// check.
+const POLL_STEP: Duration = Duration::from_millis(5);
+
+/// Accept-loop poll period for stop/drain flags.
+const ACCEPT_STEP: Duration = Duration::from_millis(10);
+
+/// Configuration for one shard worker.
+pub struct ShardConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral test port).
+    pub listen: String,
+    /// This shard's slice index.
+    pub shard_index: u32,
+    /// Total slices in the topology.
+    pub shard_count: u32,
+    /// Batch-server tuning for the slice.
+    pub server: ServerConfig,
+    /// Checkpoint queries into `<dir>/q<crc>-s<shard>.swjl` journals;
+    /// unfinished journals are resumed on the next identical query.
+    pub journal_dir: Option<PathBuf>,
+    /// How long a drain waits for in-flight queries before cancelling
+    /// the stragglers with [`CancelReason::Shutdown`].
+    pub drain_timeout: Duration,
+    /// Worker threads for journaled (durable) queries.
+    pub threads: usize,
+    /// Deterministic network faults (reply tears/flips/delays).
+    pub fault: FaultPlan,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".into(),
+            shard_index: 0,
+            shard_count: 1,
+            server: ServerConfig::default(),
+            journal_dir: None,
+            drain_timeout: Duration::from_secs(5),
+            threads: 1,
+            fault: FaultPlan::default(),
+        }
+    }
+}
+
+type AlignerFactory = Arc<dyn Fn() -> AlignerBuilder + Send + Sync>;
+
+struct ShardShared {
+    client: ServerClient,
+    shard_index: u32,
+    shard_count: u32,
+    /// First global index of this shard's slice.
+    offset: usize,
+    slice_db: Arc<Database>,
+    make_aligner: AlignerFactory,
+    journal_dir: Option<PathBuf>,
+    threads: usize,
+    fault: FaultPlan,
+    draining: AtomicBool,
+    stopping: AtomicBool,
+    in_flight: AtomicUsize,
+    cancelled: NetCancelled,
+    /// Parent token for journaled queries (the batch server governs
+    /// its own jobs).
+    shard_cancel: CancelToken,
+    server: Mutex<Option<BatchServer>>,
+}
+
+/// A running shard worker; dropping it without [`ShardServer::shutdown`]
+/// aborts connections without draining.
+pub struct ShardServer {
+    shared: Arc<ShardShared>,
+    addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    drain_timeout: Duration,
+}
+
+impl ShardServer {
+    /// Load the slice, start the batch server, and begin accepting.
+    ///
+    /// `db` is the **full** database; the served slice is
+    /// `db.partition(shard_count)[shard_index]` (empty when the
+    /// partitioner produced fewer ranges than shards).
+    pub fn start<F>(
+        db: &Database,
+        alphabet: &Alphabet,
+        cfg: ShardConfig,
+        make_aligner: F,
+    ) -> std::io::Result<ShardServer>
+    where
+        F: Fn() -> AlignerBuilder + Send + Sync + 'static,
+    {
+        let ranges = db.partition(cfg.shard_count.max(1) as usize);
+        let range = ranges
+            .get(cfg.shard_index as usize)
+            .cloned()
+            .unwrap_or(0..0);
+        let offset = range.start;
+        let records = range.clone().map(|i| db.record(i).clone()).collect();
+        let slice_db = Arc::new(Database::from_records(records, alphabet));
+
+        let make_aligner: AlignerFactory = Arc::new(make_aligner);
+        let factory = Arc::clone(&make_aligner);
+        let server = BatchServer::try_start(Arc::clone(&slice_db), cfg.server, move || factory())
+            .map_err(std::io::Error::other)?;
+        if let Some(dir) = &cfg.journal_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(ShardShared {
+            client: server.client(),
+            shard_index: cfg.shard_index,
+            shard_count: cfg.shard_count,
+            offset,
+            slice_db,
+            make_aligner,
+            journal_dir: cfg.journal_dir,
+            threads: cfg.threads.max(1),
+            fault: cfg.fault,
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            cancelled: NetCancelled::new(),
+            shard_cancel: CancelToken::new(),
+            server: Mutex::new(Some(server)),
+        });
+
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conns);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(listener, accept_shared, accept_conns);
+        });
+
+        Ok(ShardServer {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            conns,
+            drain_timeout: cfg.drain_timeout,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a drain has been requested (locally or by a
+    /// [`Msg::Drain`] frame).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Queries currently computing.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Begin refusing new queries (health probes still answer).
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// Drain, wait up to the configured drain timeout for in-flight
+    /// queries, cancel stragglers with [`CancelReason::Shutdown`], and
+    /// stop. Journals of cancelled queries stay on disk for resume.
+    /// Returns true when every in-flight query finished in time.
+    pub fn shutdown(mut self) -> bool {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> bool {
+        self.drain();
+        let deadline = Instant::now() + self.drain_timeout;
+        while self.shared.in_flight.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(POLL_STEP);
+        }
+        let clean = self.shared.in_flight.load(Ordering::Acquire) == 0;
+        self.shared.stopping.store(true, Ordering::Release);
+        self.shared.shard_cancel.cancel(CancelReason::Shutdown);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *lock_ok(&self.conns));
+        for c in conns {
+            let _ = c.join();
+        }
+        if let Some(server) = lock_ok(&self.shared.server).take() {
+            server.shutdown();
+        }
+        clean
+    }
+}
+
+impl Drop for ShardServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Mutex lock that shrugs off poisoning (connection threads may panic
+/// on injected faults without wedging shutdown).
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<ShardShared>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while !shared.stopping.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || {
+                    let _ = serve_conn(stream, conn_shared);
+                });
+                lock_ok(&conns).push(handle);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(ACCEPT_STEP);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_STEP),
+        }
+    }
+}
+
+/// True when the peer has disconnected (a liveness check between
+/// reply polls; never blocks).
+fn peer_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            false
+        }
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+/// Write `msg`, applying any armed reply faults. Returns false when
+/// the connection must close (tear injected or write failed).
+fn write_reply(stream: &mut TcpStream, shared: &ShardShared, msg: &Msg) -> bool {
+    if let Some(d) = shared.fault.reply_delay(shared.shard_index as usize) {
+        std::thread::sleep(d);
+    }
+    let mut framed = crate::wire::frame(&msg.encode());
+    match shared.fault.reply_fault(shared.shard_index as usize) {
+        swsimd_runner::ReplyFault::Torn => {
+            let keep = framed.len() / 2;
+            let _ = stream.write_all(&framed[..keep]);
+            let _ = stream.flush();
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return false;
+        }
+        swsimd_runner::ReplyFault::BitFlip => {
+            // Flip a payload byte: the length prefix stays honest, so
+            // the client reads a whole frame and the CRC catches it.
+            let idx = 4 + (framed.len() - 8) / 2;
+            framed[idx] ^= 0x20;
+        }
+        swsimd_runner::ReplyFault::None => {}
+    }
+    stream
+        .write_all(&framed)
+        .and_then(|_| stream.flush())
+        .is_ok()
+}
+
+fn serve_conn(mut stream: TcpStream, shared: Arc<ShardShared>) -> std::io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    // Backstop so a wedged peer cannot pin this thread forever; the
+    // idle wait below uses non-blocking peeks, so this only bounds
+    // mid-frame stalls.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    loop {
+        // Idle wait: watch for the first byte of a frame without
+        // committing to a blocking read, so stop/drain flags stay
+        // responsive.
+        loop {
+            if shared.stopping.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            if peer_gone(&stream) {
+                return Ok(());
+            }
+            let mut probe = [0u8; 1];
+            let _ = stream.set_nonblocking(true);
+            let ready = matches!(stream.peek(&mut probe), Ok(n) if n > 0);
+            let _ = stream.set_nonblocking(false);
+            if ready {
+                break;
+            }
+            std::thread::sleep(POLL_STEP);
+        }
+        let msg = match read_msg(&mut stream) {
+            Ok(m) => m,
+            Err(WireError::Eof) => return Ok(()),
+            Err(_) => return Ok(()), // torn/corrupt request: drop the conn
+        };
+        match msg {
+            Msg::Ping { nonce } => {
+                let pong = Msg::Pong {
+                    nonce,
+                    shard: shared.shard_index,
+                    draining: shared.draining.load(Ordering::Acquire),
+                };
+                if !write_reply(&mut stream, &shared, &pong) {
+                    return Ok(());
+                }
+            }
+            Msg::Drain => {
+                shared.draining.store(true, Ordering::Release);
+                let ack = Msg::Pong {
+                    nonce: 0,
+                    shard: shared.shard_index,
+                    draining: true,
+                };
+                if !write_reply(&mut stream, &shared, &ack) {
+                    return Ok(());
+                }
+            }
+            Msg::MetricsRequest => {
+                let text = swsimd_obs::global().prometheus_text().into_bytes();
+                if !write_reply(&mut stream, &shared, &Msg::MetricsText { text }) {
+                    return Ok(());
+                }
+            }
+            Msg::Query {
+                id,
+                top_k,
+                deadline_ms,
+                slice_index,
+                slice_count,
+                query,
+            } => {
+                let reply = handle_query(
+                    &shared,
+                    &stream,
+                    id,
+                    top_k,
+                    deadline_ms,
+                    slice_index,
+                    slice_count,
+                    query,
+                );
+                match reply {
+                    Some(msg) => {
+                        if !write_reply(&mut stream, &shared, &msg) {
+                            return Ok(());
+                        }
+                    }
+                    // Client dropped mid-compute: nobody to answer.
+                    None => return Ok(()),
+                }
+            }
+            // Reply kinds have no meaning as requests.
+            Msg::Hits { .. } | Msg::Error { .. } | Msg::Pong { .. } | Msg::MetricsText { .. } => {
+                return Ok(())
+            }
+        }
+    }
+}
+
+/// Track one in-flight query for drain accounting.
+struct InFlight<'a>(&'a AtomicUsize);
+
+impl<'a> InFlight<'a> {
+    fn enter(c: &'a AtomicUsize) -> Self {
+        c.fetch_add(1, Ordering::AcqRel);
+        InFlight(c)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Either compute path, awaited in steps.
+enum Pending {
+    Server(swsimd_runner::PendingQuery),
+    Durable {
+        rx: mpsc::Receiver<Result<Vec<Hit>, ServeError>>,
+        token: CancelToken,
+    },
+}
+
+impl Pending {
+    fn poll(&self, step: Duration) -> Option<Result<Vec<Hit>, ServeError>> {
+        match self {
+            Pending::Server(p) => p.poll(step),
+            Pending::Durable { rx, .. } => match rx.recv_timeout(step) {
+                Ok(r) => Some(r),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ShutDown)),
+            },
+        }
+    }
+
+    fn cancel(&self, reason: CancelReason) {
+        match self {
+            Pending::Server(p) => {
+                p.cancel(reason);
+            }
+            Pending::Durable { token, .. } => {
+                token.cancel(reason);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // wire fields arrive together
+fn handle_query(
+    shared: &Arc<ShardShared>,
+    stream: &TcpStream,
+    id: u64,
+    top_k: u32,
+    deadline_ms: u32,
+    slice_index: u32,
+    slice_count: u32,
+    query: Vec<u8>,
+) -> Option<Msg> {
+    if shared.draining.load(Ordering::Acquire) {
+        return Some(Msg::Error {
+            id,
+            err: RemoteError::Draining,
+        });
+    }
+    // slice_count 0 = direct whole-slice query (tests, single-shard
+    // clients); anything else must match this shard's coordinates.
+    if slice_count != 0 && (slice_count != shared.shard_count || slice_index != shared.shard_index)
+    {
+        return Some(Msg::Error {
+            id,
+            err: RemoteError::WrongShard {
+                got: slice_index,
+                want: shared.shard_index,
+            },
+        });
+    }
+    let _guard = InFlight::enter(&shared.in_flight);
+    let deadline =
+        (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
+
+    let pending = if shared.journal_dir.is_some() {
+        durable_submit(shared, query, deadline)
+    } else {
+        match shared.client.submit(query, top_k as usize, deadline) {
+            Ok(p) => Pending::Server(p),
+            Err(e) => {
+                return Some(Msg::Error {
+                    id,
+                    err: RemoteError::Serve(e),
+                })
+            }
+        }
+    };
+
+    let result = loop {
+        if let Some(r) = pending.poll(POLL_STEP) {
+            break r;
+        }
+        if peer_gone(stream) {
+            // The real socket disconnect IS the cancellation signal.
+            pending.cancel(CancelReason::ClientDrop);
+            shared.cancelled.record(CancelReason::ClientDrop);
+            swsimd_obs::event!("net_client_drop", "id" => id);
+            return None;
+        }
+        if shared.stopping.load(Ordering::Acquire) {
+            pending.cancel(CancelReason::Shutdown);
+            shared.cancelled.record(CancelReason::Shutdown);
+            return Some(Msg::Error {
+                id,
+                err: RemoteError::Serve(ServeError::ShutDown),
+            });
+        }
+    };
+
+    Some(match result {
+        Ok(mut hits) => {
+            // Slice-local → global indices; ranked within the slice.
+            for h in &mut hits {
+                h.db_index += shared.offset;
+            }
+            let hits = rank_hits(hits, top_k as usize);
+            Msg::Hits {
+                id,
+                degraded: false,
+                missing_shards: Vec::new(),
+                hits,
+            }
+        }
+        Err(e) => {
+            if e == ServeError::DeadlineExceeded {
+                shared.cancelled.record(CancelReason::Deadline);
+            }
+            Msg::Error {
+                id,
+                err: RemoteError::Serve(e),
+            }
+        }
+    })
+}
+
+/// Submit on the durable (journaled) path: the query runs under
+/// [`checkpointed_search`] on a worker thread; an existing journal for
+/// the same query is resumed first. The journal file is deleted only
+/// after the reply is computed, so any interruption leaves a
+/// resumable checkpoint.
+fn durable_submit(shared: &Arc<ShardShared>, query: Vec<u8>, deadline: Option<Instant>) -> Pending {
+    let token = shared.shard_cancel.child_with_deadline(deadline);
+    let (tx, rx) = mpsc::channel();
+    let shared = Arc::clone(shared);
+    let worker_token = token.clone();
+    std::thread::spawn(move || {
+        let result = durable_compute(&shared, &query, worker_token);
+        let _ = tx.send(result);
+    });
+    Pending::Durable { rx, token }
+}
+
+fn durable_compute(
+    shared: &ShardShared,
+    query: &[u8],
+    token: CancelToken,
+) -> Result<Vec<Hit>, ServeError> {
+    swsimd_core::validate_encoded(query).map_err(ServeError::InvalidQuery)?;
+    let dir = shared.journal_dir.as_ref().expect("durable path");
+    let path = dir.join(format!(
+        "q{:08x}-s{}.swjl",
+        crc32(query),
+        shared.shard_index
+    ));
+    let cfg = PoolConfig {
+        threads: shared.threads,
+        sort_batches: true,
+        cancel: Some(token.clone()),
+        fault_plan: shared.fault.clone(),
+        ..PoolConfig::default()
+    };
+    let factory = &shared.make_aligner;
+
+    if path.exists() {
+        if let Ok(journal) = read_journal_file(&path) {
+            match resume_search(&journal, query, &shared.slice_db, &cfg, || factory()) {
+                Ok((out, _stats)) => {
+                    if let Some(server) = lock_ok(&shared.server).as_ref() {
+                        server.note_journal_replay();
+                    }
+                    let _ = std::fs::remove_file(&path);
+                    return Ok(out.hits);
+                }
+                // Journal/database mismatch or resume failure: start
+                // over from scratch below.
+                Err(_) => {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        } else {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    let mut writer = JournalWriter::create(&path).map_err(|_| ServeError::ShutDown)?;
+    match checkpointed_search(query, &shared.slice_db, &cfg, || factory(), &mut writer) {
+        Ok(out) => {
+            drop(writer);
+            let _ = std::fs::remove_file(&path);
+            Ok(out.hits)
+        }
+        Err(_) => {
+            // Interrupted (cancel, crash fault, or real I/O error):
+            // keep the journal for resume and surface the typed cause.
+            Err(match token.reason() {
+                Some(CancelReason::Deadline) => ServeError::DeadlineExceeded,
+                Some(_) => ServeError::ShutDown,
+                None => ServeError::WorkerPanicked,
+            })
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! Length-prefixed, CRC-framed binary protocol for the serving tier.
+//!
+//! A frame is `u32 len | payload | u32 crc32(payload)` with all
+//! integers little-endian; the CRC is the same polynomial the journal
+//! and persistence layers use ([`swsimd_seq::integrity::crc32`]), so
+//! a bit flip anywhere in transit is caught before the payload is
+//! interpreted. The first payload byte is the message kind; unknown
+//! kinds and short bodies decode to typed [`WireError`]s, never
+//! panics — the codec is fuzzed over truncations and bit flips in
+//! `tests/wire_codec.rs`.
+//!
+//! The protocol is strictly request-response per connection: a peer
+//! writes one frame and reads one frame. Deadlines travel inside
+//! [`Msg::Query`] as a relative millisecond budget (absolute instants
+//! are meaningless across hosts); typed errors travel back as
+//! [`RemoteError`] so every [`ServeError`] a shard raises arrives at
+//! the gateway as the same variant, not a stringly-typed blob.
+
+use std::io::{self, Read, Write};
+
+use swsimd_core::{AlignError, Hit, Precision};
+use swsimd_runner::ServeError;
+use swsimd_seq::integrity::crc32;
+
+/// Frames larger than this are rejected before allocation — a
+/// corrupted or hostile length prefix must not OOM the peer.
+pub const MAX_FRAME: usize = 32 * 1024 * 1024;
+
+/// Typed decode/transport failures. `Eof` is a *clean* close (no
+/// bytes of a new frame read); everything else is a protocol error.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket/file errored.
+    Io(io::Error),
+    /// Clean end of stream at a frame boundary.
+    Eof,
+    /// The stream ended mid-frame (torn write or dropped peer).
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(u32),
+    /// The payload CRC does not match (bit flip in transit).
+    BadCrc {
+        /// CRC carried by the frame trailer.
+        want: u32,
+        /// CRC computed over the received payload.
+        got: u32,
+    },
+    /// The payload's kind byte is not a known message.
+    UnknownKind(u8),
+    /// The payload body is malformed for its kind.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Eof => write!(f, "end of stream"),
+            WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            WireError::BadCrc { want, got } => {
+                write!(f, "frame crc mismatch (want {want:#010x}, got {got:#010x})")
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::Malformed(what) => write!(f, "malformed frame body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// A typed serving error crossing the wire. Every [`ServeError`]
+/// round-trips; the three extra variants only arise in a sharded
+/// deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// A shard-local [`ServeError`], reconstructed variant-for-variant.
+    Serve(ServeError),
+    /// The query's slice coordinates do not match the shard's.
+    WrongShard {
+        /// Slice index the query addressed.
+        got: u32,
+        /// Slice index this shard owns.
+        want: u32,
+    },
+    /// The shard is draining and admits no new queries.
+    Draining,
+    /// The gateway exhausted every replica's retry budget.
+    Unavailable,
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Serve(e) => write!(f, "remote: {e}"),
+            RemoteError::WrongShard { got, want } => {
+                write!(f, "query addressed slice {got} but this shard owns {want}")
+            }
+            RemoteError::Draining => write!(f, "shard is draining"),
+            RemoteError::Unavailable => write!(f, "no replica could serve within the retry budget"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// Stable single-byte code for [`swsimd_core::EngineKind`] on the
+/// wire (append-only, mirrors `AlignError::wire_encode`).
+fn engine_code(e: swsimd_core::EngineKind) -> u64 {
+    use swsimd_core::EngineKind as E;
+    match e {
+        E::Scalar => 0,
+        E::Sse41 => 1,
+        E::Avx2 => 2,
+        E::Avx512 => 3,
+    }
+}
+
+fn engine_from_code(v: u64) -> Option<swsimd_core::EngineKind> {
+    use swsimd_core::EngineKind as E;
+    Some(match v {
+        0 => E::Scalar,
+        1 => E::Sse41,
+        2 => E::Avx2,
+        3 => E::Avx512,
+        _ => return None,
+    })
+}
+
+impl RemoteError {
+    /// `(code, a, b, c)` wire form. Codes are append-only.
+    pub fn wire_encode(&self) -> (u8, u64, u64, u64) {
+        use ServeError as S;
+        match self {
+            RemoteError::Serve(S::ShutDown) => (1, 0, 0, 0),
+            RemoteError::Serve(S::DeadlineExceeded) => (2, 0, 0, 0),
+            RemoteError::Serve(S::QueueFull) => (3, 0, 0, 0),
+            RemoteError::Serve(S::WorkerPanicked) => (4, 0, 0, 0),
+            RemoteError::Serve(S::InvalidQuery(e)) => {
+                let (sub, a, b) = e.wire_encode();
+                (5, sub as u64, a, b)
+            }
+            RemoteError::Serve(S::QueryTooLarge { len, limit }) => {
+                (6, *len as u64, *limit as u64, 0)
+            }
+            RemoteError::Serve(S::EngineUnavailable { requested, .. }) => {
+                (7, engine_code(*requested), 0, 0)
+            }
+            RemoteError::Serve(S::CostTooHigh { cost, limit }) => (8, *cost, *limit, 0),
+            RemoteError::Serve(S::BudgetExceeded { requested, limit }) => {
+                (9, *requested, *limit, 0)
+            }
+            RemoteError::WrongShard { got, want } => (10, *got as u64, *want as u64, 0),
+            RemoteError::Draining => (11, 0, 0, 0),
+            RemoteError::Unavailable => (12, 0, 0, 0),
+        }
+    }
+
+    /// Inverse of [`RemoteError::wire_encode`]; `None` for unknown
+    /// codes or out-of-range payloads.
+    pub fn wire_decode(code: u8, a: u64, b: u64, c: u64) -> Option<Self> {
+        use ServeError as S;
+        Some(match code {
+            1 => RemoteError::Serve(S::ShutDown),
+            2 => RemoteError::Serve(S::DeadlineExceeded),
+            3 => RemoteError::Serve(S::QueueFull),
+            4 => RemoteError::Serve(S::WorkerPanicked),
+            5 => RemoteError::Serve(S::InvalidQuery(AlignError::wire_decode(
+                u8::try_from(a).ok()?,
+                b,
+                c,
+            )?)),
+            6 => RemoteError::Serve(S::QueryTooLarge {
+                len: usize::try_from(a).ok()?,
+                limit: usize::try_from(b).ok()?,
+            }),
+            7 => RemoteError::Serve(S::EngineUnavailable {
+                requested: engine_from_code(a)?,
+                reason: swsimd_core::error::REMOTE_UNAVAILABLE_REASON,
+            }),
+            8 => RemoteError::Serve(S::CostTooHigh { cost: a, limit: b }),
+            9 => RemoteError::Serve(S::BudgetExceeded {
+                requested: a,
+                limit: b,
+            }),
+            10 => RemoteError::WrongShard {
+                got: u32::try_from(a).ok()?,
+                want: u32::try_from(b).ok()?,
+            },
+            11 => RemoteError::Draining,
+            12 => RemoteError::Unavailable,
+            _ => return None,
+        })
+    }
+}
+
+/// One hit on the wire: global database index, score, precision code.
+fn precision_code(p: Precision) -> u8 {
+    match p {
+        Precision::I8 => 0,
+        Precision::I16 => 1,
+        Precision::I32 => 2,
+        Precision::Adaptive => 3,
+    }
+}
+
+fn precision_from_code(v: u8) -> Option<Precision> {
+    Some(match v {
+        0 => Precision::I8,
+        1 => Precision::I16,
+        2 => Precision::I32,
+        3 => Precision::Adaptive,
+        _ => return None,
+    })
+}
+
+/// Every message the serving tier exchanges. Kind bytes are
+/// append-only; removing or renumbering one breaks rolling restarts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Client → shard/gateway: run one search.
+    Query {
+        /// Caller-chosen correlation id, echoed in the reply.
+        id: u64,
+        /// Hits to return (0 = all).
+        top_k: u32,
+        /// Relative deadline budget in milliseconds (0 = none).
+        deadline_ms: u32,
+        /// Which database slice this query addresses (gateway → shard;
+        /// end clients send 0).
+        slice_index: u32,
+        /// Total slices in the topology (0 = unsharded/whole database).
+        slice_count: u32,
+        /// Alphabet-encoded query residues.
+        query: Vec<u8>,
+    },
+    /// Shard/gateway → client: the ranked hits.
+    Hits {
+        /// Correlation id from the query.
+        id: u64,
+        /// True when one or more shards could not contribute.
+        degraded: bool,
+        /// Slice indices missing from a degraded response.
+        missing_shards: Vec<u32>,
+        /// Ranked hits (global database indices).
+        hits: Vec<Hit>,
+    },
+    /// Shard/gateway → client: the query failed with a typed error.
+    Error {
+        /// Correlation id from the query.
+        id: u64,
+        /// What went wrong, variant-preserving.
+        err: RemoteError,
+    },
+    /// Health probe.
+    Ping {
+        /// Echo nonce.
+        nonce: u64,
+    },
+    /// Probe reply.
+    Pong {
+        /// Nonce from the ping.
+        nonce: u64,
+        /// Responder's slice index (`u32::MAX` for a gateway).
+        shard: u32,
+        /// True once the responder is draining.
+        draining: bool,
+    },
+    /// Ask the peer to stop admitting queries and finish in-flight
+    /// work (acknowledged with a [`Msg::Pong`]).
+    Drain,
+    /// Ask for a Prometheus scrape.
+    MetricsRequest,
+    /// The scrape text.
+    MetricsText {
+        /// UTF-8 Prometheus exposition payload.
+        text: Vec<u8>,
+    },
+}
+
+const KIND_QUERY: u8 = 1;
+const KIND_HITS: u8 = 2;
+const KIND_ERROR: u8 = 3;
+const KIND_PING: u8 = 4;
+const KIND_PONG: u8 = 5;
+const KIND_DRAIN: u8 = 6;
+const KIND_METRICS_REQ: u8 = 7;
+const KIND_METRICS_TEXT: u8 = 8;
+
+/// Bounds-checked little-endian reader over a payload body.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Malformed(what));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self, what: &'static str) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn done(&self, what: &'static str) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(what))
+        }
+    }
+}
+
+impl Msg {
+    /// Serialize the payload (kind byte + body, no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Msg::Query {
+                id,
+                top_k,
+                deadline_ms,
+                slice_index,
+                slice_count,
+                query,
+            } => {
+                out.push(KIND_QUERY);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&top_k.to_le_bytes());
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&slice_index.to_le_bytes());
+                out.extend_from_slice(&slice_count.to_le_bytes());
+                out.extend_from_slice(&(query.len() as u32).to_le_bytes());
+                out.extend_from_slice(query);
+            }
+            Msg::Hits {
+                id,
+                degraded,
+                missing_shards,
+                hits,
+            } => {
+                out.push(KIND_HITS);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.push(u8::from(*degraded));
+                out.extend_from_slice(&(missing_shards.len() as u32).to_le_bytes());
+                for s in missing_shards {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+                out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+                for h in hits {
+                    out.extend_from_slice(&(h.db_index as u64).to_le_bytes());
+                    out.extend_from_slice(&h.score.to_le_bytes());
+                    out.push(precision_code(h.precision));
+                }
+            }
+            Msg::Error { id, err } => {
+                out.push(KIND_ERROR);
+                out.extend_from_slice(&id.to_le_bytes());
+                let (code, a, b, c) = err.wire_encode();
+                out.push(code);
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+            Msg::Ping { nonce } => {
+                out.push(KIND_PING);
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+            Msg::Pong {
+                nonce,
+                shard,
+                draining,
+            } => {
+                out.push(KIND_PONG);
+                out.extend_from_slice(&nonce.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.push(u8::from(*draining));
+            }
+            Msg::Drain => out.push(KIND_DRAIN),
+            Msg::MetricsRequest => out.push(KIND_METRICS_REQ),
+            Msg::MetricsText { text } => {
+                out.push(KIND_METRICS_TEXT);
+                out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                out.extend_from_slice(text);
+            }
+        }
+        out
+    }
+
+    /// Parse a payload produced by [`Msg::encode`]. Every failure is a
+    /// typed [`WireError`]; no input panics.
+    pub fn decode(payload: &[u8]) -> Result<Msg, WireError> {
+        let mut r = Reader { buf: payload };
+        let kind = r.u8("kind byte")?;
+        let msg = match kind {
+            KIND_QUERY => {
+                let id = r.u64("query id")?;
+                let top_k = r.u32("query top_k")?;
+                let deadline_ms = r.u32("query deadline")?;
+                let slice_index = r.u32("query slice index")?;
+                let slice_count = r.u32("query slice count")?;
+                let len = r.u32("query length")? as usize;
+                let query = r.take(len, "query residues")?.to_vec();
+                Msg::Query {
+                    id,
+                    top_k,
+                    deadline_ms,
+                    slice_index,
+                    slice_count,
+                    query,
+                }
+            }
+            KIND_HITS => {
+                let id = r.u64("hits id")?;
+                let degraded = match r.u8("hits degraded flag")? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("hits degraded flag")),
+                };
+                let n_missing = r.u32("missing shard count")? as usize;
+                if n_missing > payload.len() {
+                    return Err(WireError::Malformed("missing shard count"));
+                }
+                let mut missing_shards = Vec::with_capacity(n_missing);
+                for _ in 0..n_missing {
+                    missing_shards.push(r.u32("missing shard index")?);
+                }
+                let n_hits = r.u32("hit count")? as usize;
+                if n_hits > payload.len() {
+                    return Err(WireError::Malformed("hit count"));
+                }
+                let mut hits = Vec::with_capacity(n_hits);
+                for _ in 0..n_hits {
+                    let db_index = usize::try_from(r.u64("hit db index")?)
+                        .map_err(|_| WireError::Malformed("hit db index"))?;
+                    let score = r.i32("hit score")?;
+                    let precision = precision_from_code(r.u8("hit precision")?)
+                        .ok_or(WireError::Malformed("hit precision"))?;
+                    hits.push(Hit {
+                        db_index,
+                        score,
+                        precision,
+                    });
+                }
+                Msg::Hits {
+                    id,
+                    degraded,
+                    missing_shards,
+                    hits,
+                }
+            }
+            KIND_ERROR => {
+                let id = r.u64("error id")?;
+                let code = r.u8("error code")?;
+                let a = r.u64("error payload a")?;
+                let b = r.u64("error payload b")?;
+                let c = r.u64("error payload c")?;
+                let err = RemoteError::wire_decode(code, a, b, c)
+                    .ok_or(WireError::Malformed("error code"))?;
+                Msg::Error { id, err }
+            }
+            KIND_PING => Msg::Ping {
+                nonce: r.u64("ping nonce")?,
+            },
+            KIND_PONG => {
+                let nonce = r.u64("pong nonce")?;
+                let shard = r.u32("pong shard")?;
+                let draining = match r.u8("pong draining flag")? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("pong draining flag")),
+                };
+                Msg::Pong {
+                    nonce,
+                    shard,
+                    draining,
+                }
+            }
+            KIND_DRAIN => Msg::Drain,
+            KIND_METRICS_REQ => Msg::MetricsRequest,
+            KIND_METRICS_TEXT => {
+                let len = r.u32("metrics length")? as usize;
+                let text = r.take(len, "metrics text")?.to_vec();
+                Msg::MetricsText { text }
+            }
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        r.done("trailing bytes")?;
+        Ok(msg)
+    }
+}
+
+/// Frame a payload: `u32 len | payload | u32 crc32(payload)`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Write one message as a frame.
+pub fn write_msg<W: Write>(w: &mut W, msg: &Msg) -> io::Result<()> {
+    w.write_all(&frame(&msg.encode()))?;
+    w.flush()
+}
+
+/// Read exactly `buf.len()` bytes; distinguishes a clean EOF before
+/// the first byte (`at_start`) from a tear mid-read.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], at_start: bool) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_start && filled == 0 {
+                    WireError::Eof
+                } else {
+                    WireError::Truncated
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame and decode its message. CRC and length are checked
+/// before the payload is interpreted.
+pub fn read_msg<R: Read>(r: &mut R) -> Result<Msg, WireError> {
+    let mut len_buf = [0u8; 4];
+    read_exact_or(r, &mut len_buf, true)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len as usize > MAX_FRAME {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, false)?;
+    let mut crc_buf = [0u8; 4];
+    read_exact_or(r, &mut crc_buf, false)?;
+    let want = u32::from_le_bytes(crc_buf);
+    let got = crc32(&payload);
+    if want != got {
+        return Err(WireError::BadCrc { want, got });
+    }
+    Msg::decode(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Msg) {
+        let framed = frame(&msg.encode());
+        let mut cursor = &framed[..];
+        let back = read_msg(&mut cursor).expect("frame round-trips");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        roundtrip(Msg::Query {
+            id: 7,
+            top_k: 10,
+            deadline_ms: 1500,
+            slice_index: 2,
+            slice_count: 3,
+            query: vec![1, 2, 3, 19],
+        });
+        roundtrip(Msg::Hits {
+            id: 7,
+            degraded: true,
+            missing_shards: vec![1],
+            hits: vec![Hit {
+                db_index: 42,
+                score: 117,
+                precision: Precision::I16,
+            }],
+        });
+        roundtrip(Msg::Error {
+            id: 9,
+            err: RemoteError::Serve(ServeError::QueueFull),
+        });
+        roundtrip(Msg::Ping { nonce: 0xDEAD });
+        roundtrip(Msg::Pong {
+            nonce: 0xDEAD,
+            shard: 1,
+            draining: false,
+        });
+        roundtrip(Msg::Drain);
+        roundtrip(Msg::MetricsRequest);
+        roundtrip(Msg::MetricsText {
+            text: b"swsimd_up 1\n".to_vec(),
+        });
+    }
+
+    #[test]
+    fn remote_error_codes_round_trip() {
+        use swsimd_core::{CancelReason, EngineKind};
+        let cases = vec![
+            RemoteError::Serve(ServeError::ShutDown),
+            RemoteError::Serve(ServeError::DeadlineExceeded),
+            RemoteError::Serve(ServeError::QueueFull),
+            RemoteError::Serve(ServeError::WorkerPanicked),
+            RemoteError::Serve(ServeError::InvalidQuery(AlignError::InvalidResidue {
+                position: 3,
+                value: 255,
+            })),
+            RemoteError::Serve(ServeError::InvalidQuery(AlignError::Cancelled {
+                reason: CancelReason::ClientDrop,
+            })),
+            RemoteError::Serve(ServeError::QueryTooLarge { len: 9, limit: 4 }),
+            RemoteError::Serve(ServeError::EngineUnavailable {
+                requested: EngineKind::Avx2,
+                reason: swsimd_core::error::REMOTE_UNAVAILABLE_REASON,
+            }),
+            RemoteError::Serve(ServeError::CostTooHigh {
+                cost: 1 << 40,
+                limit: 1 << 30,
+            }),
+            RemoteError::Serve(ServeError::BudgetExceeded {
+                requested: 100,
+                limit: 10,
+            }),
+            RemoteError::WrongShard { got: 1, want: 2 },
+            RemoteError::Draining,
+            RemoteError::Unavailable,
+        ];
+        for e in cases {
+            let (code, a, b, c) = e.wire_encode();
+            let back = RemoteError::wire_decode(code, a, b, c).expect("decodes");
+            assert_eq!(back, e);
+        }
+        assert!(RemoteError::wire_decode(0, 0, 0, 0).is_none());
+        assert!(RemoteError::wire_decode(99, 0, 0, 0).is_none());
+        // Out-of-range payloads are rejected, not clamped.
+        assert!(RemoteError::wire_decode(7, 99, 0, 0).is_none());
+        assert!(RemoteError::wire_decode(5, 77, 0, 0).is_none());
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_crc() {
+        let framed = frame(&Msg::Ping { nonce: 5 }.encode());
+        for i in 4..framed.len() - 4 {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x40;
+            let mut cursor = &bad[..];
+            assert!(
+                matches!(read_msg(&mut cursor), Err(WireError::BadCrc { .. })),
+                "flip at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let framed = frame(&Msg::Ping { nonce: 5 }.encode());
+        for cut in 1..framed.len() {
+            let mut cursor = &framed[..cut];
+            assert!(
+                matches!(read_msg(&mut cursor), Err(WireError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_msg(&mut empty), Err(WireError::Eof)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut framed = frame(&Msg::Ping { nonce: 5 }.encode());
+        framed[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = &framed[..];
+        assert!(matches!(read_msg(&mut cursor), Err(WireError::TooLarge(_))));
+    }
+}

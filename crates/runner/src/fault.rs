@@ -86,6 +86,32 @@ struct Inner {
     /// Simulated process death after this many journal appends
     /// (`None` = never).
     crash_after_chunks: Mutex<Option<u32>>,
+    /// replica ordinal → remaining refused connection attempts
+    /// (gateway-side network fault).
+    refuse_connects: Mutex<HashMap<usize, u32>>,
+    /// shard index → remaining torn reply frames (shard-side: the
+    /// frame is cut mid-write and the connection dropped).
+    torn_replies: Mutex<HashMap<usize, u32>>,
+    /// shard index → remaining bit-flipped reply frames (shard-side:
+    /// one payload byte is XORed so the client's CRC check fails).
+    flip_replies: Mutex<HashMap<usize, u32>>,
+    /// shard index → artificial delay before each reply is written
+    /// (simulates a slow shard for timeout/hedging tests).
+    reply_delays: Mutex<HashMap<usize, Duration>>,
+}
+
+/// How an injected network fault mangles one shard reply frame (see
+/// [`FaultPlan::reply_fault`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyFault {
+    /// Deliver the frame untouched.
+    None,
+    /// Write only a prefix of the frame, then drop the connection —
+    /// the client sees an unexpected EOF mid-frame.
+    Torn,
+    /// XOR one payload byte before writing — the frame arrives whole
+    /// but the client's CRC check rejects it.
+    BitFlip,
 }
 
 /// A deterministic schedule of injected faults (see module docs).
@@ -188,6 +214,98 @@ impl FaultPlan {
             *lock(&inner.crash_after_chunks) = Some(chunks);
         }
         this
+    }
+
+    /// Refuse the next `times` connection attempts to replica
+    /// `ordinal` (gateway-side: the dial fails like `ECONNREFUSED`
+    /// before any bytes move).
+    pub fn refuse_connect(self, ordinal: usize, times: u32) -> Self {
+        let this = self.armed();
+        if let Some(inner) = &this.inner {
+            lock(&inner.refuse_connects).insert(ordinal, times);
+        }
+        this
+    }
+
+    /// Tear the next `times` reply frames from `shard`: only a prefix
+    /// of the frame is written before the connection drops.
+    pub fn torn_reply_at(self, shard: usize, times: u32) -> Self {
+        let this = self.armed();
+        if let Some(inner) = &this.inner {
+            lock(&inner.torn_replies).insert(shard, times);
+        }
+        this
+    }
+
+    /// Flip one payload byte in the next `times` reply frames from
+    /// `shard`, so the client's frame CRC rejects them.
+    pub fn flip_reply_at(self, shard: usize, times: u32) -> Self {
+        let this = self.armed();
+        if let Some(inner) = &this.inner {
+            lock(&inner.flip_replies).insert(shard, times);
+        }
+        this
+    }
+
+    /// Sleep for `delay` before every reply `shard` writes (simulates
+    /// a slow shard for per-attempt timeout and hedging tests).
+    pub fn delay_reply_at(self, shard: usize, delay: Duration) -> Self {
+        let this = self.armed();
+        if let Some(inner) = &this.inner {
+            lock(&inner.reply_delays).insert(shard, delay);
+        }
+        this
+    }
+
+    /// Hook: called by the gateway before dialing replica `ordinal`.
+    /// Errors with `ConnectionRefused` while a refuse budget remains.
+    pub fn before_connect(&self, ordinal: usize) -> std::io::Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let mut budgets = lock(&inner.refuse_connects);
+        match budgets.get_mut(&ordinal) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    format!("fault-injected connection refused (replica {ordinal})"),
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Hook: called by a shard before writing each reply frame.
+    /// Consumes at most one fault budget per call; torn outranks
+    /// bit-flip when both are armed for the same shard.
+    pub fn reply_fault(&self, shard: usize) -> ReplyFault {
+        let Some(inner) = &self.inner else {
+            return ReplyFault::None;
+        };
+        let fire = |m: &Mutex<HashMap<usize, u32>>| {
+            let mut budgets = lock(m);
+            match budgets.get_mut(&shard) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if fire(&inner.torn_replies) {
+            ReplyFault::Torn
+        } else if fire(&inner.flip_replies) {
+            ReplyFault::BitFlip
+        } else {
+            ReplyFault::None
+        }
+    }
+
+    /// Hook: the artificial delay `shard` sleeps before each reply.
+    pub fn reply_delay(&self, shard: usize) -> Option<Duration> {
+        let inner = self.inner.as_ref()?;
+        lock(&inner.reply_delays).get(&shard).copied()
     }
 
     /// Hook: called by `checkpointed_search` before each chunk append.
@@ -517,6 +635,35 @@ mod tests {
             }
         );
         assert!(a.any());
+    }
+
+    #[test]
+    fn network_faults_budget_and_disarm() {
+        let plan = FaultPlan::new()
+            .refuse_connect(1, 2)
+            .torn_reply_at(0, 1)
+            .flip_reply_at(0, 1)
+            .delay_reply_at(2, Duration::from_millis(5));
+
+        assert!(plan.before_connect(0).is_ok(), "other replicas dial fine");
+        let err = plan.before_connect(1).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+        assert!(plan.before_connect(1).is_err());
+        assert!(plan.before_connect(1).is_ok(), "refuse budget exhausted");
+
+        // Torn outranks flip; each consumes its own budget once.
+        assert_eq!(plan.reply_fault(0), ReplyFault::Torn);
+        assert_eq!(plan.reply_fault(0), ReplyFault::BitFlip);
+        assert_eq!(plan.reply_fault(0), ReplyFault::None);
+        assert_eq!(plan.reply_fault(1), ReplyFault::None);
+
+        assert_eq!(plan.reply_delay(2), Some(Duration::from_millis(5)));
+        assert_eq!(plan.reply_delay(0), None);
+
+        let inert = FaultPlan::default();
+        assert!(inert.before_connect(1).is_ok());
+        assert_eq!(inert.reply_fault(0), ReplyFault::None);
+        assert_eq!(inert.reply_delay(2), None);
     }
 
     #[test]

@@ -523,7 +523,16 @@ where
                     token,
                     retry: cancel.as_ref(),
                 });
-                search_partition(query, db, range, chunk, plan, shadow, make_aligner, g.as_ref())
+                search_partition(
+                    query,
+                    db,
+                    range,
+                    chunk,
+                    plan,
+                    shadow,
+                    make_aligner,
+                    g.as_ref(),
+                )
             }));
         }
         // Join in chunk order and journal each result as it lands:
@@ -650,7 +659,16 @@ where
                     token,
                     retry: cancel.as_ref(),
                 });
-                search_partition(query, db, range, chunk, plan, shadow, make_aligner, g.as_ref())
+                search_partition(
+                    query,
+                    db,
+                    range,
+                    chunk,
+                    plan,
+                    shadow,
+                    make_aligner,
+                    g.as_ref(),
+                )
             }));
         }
         for handle in handles {

@@ -23,7 +23,7 @@ pub mod scenarios;
 pub mod server;
 pub mod shadow;
 
-pub use fault::{FaultPlan, FaultStats, FaultyWriter};
+pub use fault::{FaultPlan, FaultStats, FaultyWriter, ReplyFault};
 pub use journal::{
     checkpointed_search, read_journal, read_journal_file, resume_search, resume_search_file,
     Journal, JournalEntry, JournalError, JournalMeta, JournalSink, JournalWriter, ResumeStats,
@@ -32,5 +32,7 @@ pub use metrics::{query_latency, scenario_gcups, CellTimer, ServeCounters, Snaps
 pub use msa::{pairwise_scores, upgma, GuideTree, ScoreMatrix};
 pub use pool::{parallel_pairs, parallel_search, try_parallel_search, PoolConfig, SearchOutput};
 pub use scenarios::{scenario1, scenario1_durable, scenario2, scenario3, ScenarioReport};
-pub use server::{BatchServer, ServeError, ServerClient, ServerConfig, ServerStats};
+pub use server::{
+    rank_hits, BatchServer, PendingQuery, ServeError, ServerClient, ServerConfig, ServerStats,
+};
 pub use shadow::{OnMismatch, Sampler, ShadowConfig, ShadowOutcome, ShadowVerifier};

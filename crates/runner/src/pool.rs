@@ -145,10 +145,8 @@ fn watchdog_loop(slots: &[Arc<WatchSlot>], stall: Duration, done: &AtomicBool, f
         .max(Duration::from_millis(1))
         .min(Duration::from_millis(25));
     let start = Instant::now();
-    let mut seen: Vec<(u64, Instant)> = slots
-        .iter()
-        .map(|s| (s.token.heartbeat(), start))
-        .collect();
+    let mut seen: Vec<(u64, Instant)> =
+        slots.iter().map(|s| (s.token.heartbeat(), start)).collect();
     while !done.load(Ordering::Acquire) {
         std::thread::sleep(poll);
         let now = Instant::now();
@@ -172,11 +170,16 @@ fn watchdog_loop(slots: &[Arc<WatchSlot>], stall: Duration, done: &AtomicBool, f
     }
 }
 
+/// What one partition worker hands back: globally-indexed hits plus
+/// the kernel and fault ledgers, or the typed error that stopped it.
+pub(crate) type PartitionResult = Result<(Vec<Hit>, KernelStats, FaultStats), AlignError>;
+
 /// One partition's search with isolation: fast path under
 /// `catch_unwind` + result validation, then a single degraded retry on
 /// the scalar reference engine. Returns globally-indexed hits. Shared
 /// with [`crate::journal`], whose checkpointed/resumed chunks must go
 /// through the exact same compute path to stay bit-identical.
+#[allow(clippy::too_many_arguments)] // internal seam; callers are the pool and the journal only
 pub(crate) fn search_partition<F>(
     query: &[u8],
     db: &Database,
@@ -186,7 +189,7 @@ pub(crate) fn search_partition<F>(
     shadow: &ShadowVerifier,
     make_aligner: &F,
     govern: Option<&PartitionGovern<'_>>,
-) -> Result<(Vec<Hit>, KernelStats, FaultStats), AlignError>
+) -> PartitionResult
 where
     F: Fn() -> AlignerBuilder + Sync,
 {
@@ -322,7 +325,7 @@ where
     );
 
     let parts: Vec<Range<usize>> = if threads == 1 || db.len() <= 1 {
-        vec![0..db.len()]
+        std::iter::once(0..db.len()).collect()
     } else {
         db.partition(threads)
     };
@@ -351,8 +354,7 @@ where
     let fires = AtomicU64::new(0);
     let workers_done = AtomicBool::new(false);
 
-    let mut outputs: Vec<Result<(Vec<Hit>, KernelStats, FaultStats), AlignError>> =
-        Vec::with_capacity(parts.len());
+    let mut outputs: Vec<PartitionResult> = Vec::with_capacity(parts.len());
     std::thread::scope(|scope| {
         if let Some(stall) = cfg.stall_timeout {
             let slots = &slots;

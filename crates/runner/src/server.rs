@@ -138,7 +138,10 @@ impl std::fmt::Display for ServeError {
                 write!(f, "engine {} unavailable: {reason}", requested.name())
             }
             ServeError::CostTooHigh { cost, limit } => {
-                write!(f, "estimated cost {cost} cells exceeds admission ceiling {limit}")
+                write!(
+                    f,
+                    "estimated cost {cost} cells exceeds admission ceiling {limit}"
+                )
             }
             ServeError::BudgetExceeded { requested, limit } => {
                 write!(f, "needed {requested} bytes, per-query budget is {limit}")
@@ -465,6 +468,30 @@ impl ServerClient {
             },
             reply_rx,
         ))
+    }
+
+    /// Submit an encoded query without blocking for the reply. The
+    /// returned [`PendingQuery`] is polled in steps, so a network
+    /// front end can interleave waiting with connection-liveness
+    /// checks and cancel the job (`CancelReason::ClientDrop`) the
+    /// moment the requesting socket disconnects.
+    pub fn submit(
+        &self,
+        query: Vec<u8>,
+        top_k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<PendingQuery, ServeError> {
+        let (job, reply_rx) = self.make_job(query, top_k, deadline)?;
+        let token = job.cancel.clone();
+        self.tx
+            .send(Msg::Job(job))
+            .map_err(|_| ServeError::ShutDown)?;
+        self.obs.queue_depth.inc();
+        Ok(PendingQuery {
+            reply_rx,
+            token,
+            deadline,
+        })
     }
 
     /// Submit an encoded query; blocks until the batch containing it is
@@ -1017,8 +1044,7 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
         let batched =
             BatchedDatabase::build(&db, swsimd_core::batch::lanes_for(aligner.engine()), true);
         let budget = cfg.mem_budget.map(MemBudget::new);
-        obs.mem_budget_limit
-            .set(cfg.mem_budget.unwrap_or(0) as i64);
+        obs.mem_budget_limit.set(cfg.mem_budget.unwrap_or(0) as i64);
         let db_residues = db.total_residues() as u64;
         Self {
             db,
@@ -1134,24 +1160,25 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
         // Reserve the DP working-set estimate up front; held for the
         // whole job (fast path and retry share the buffers' bound).
         let _reserved = match &self.budget {
-            Some(b) => {
-                match b.try_reserve(swsimd_core::govern::score_bytes(query.len(), 4)) {
-                    Ok(r) => Some(r),
-                    Err(e) => {
-                        ServeCounters::bump(&self.counters.budget_rejected);
-                        self.obs.budget_rejected.inc();
-                        swsimd_obs::event!("job_rejected_budget", "slot" => slot);
-                        return Err(e.into());
-                    }
+            Some(b) => match b.try_reserve(swsimd_core::govern::score_bytes(query.len(), 4)) {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    ServeCounters::bump(&self.counters.budget_rejected);
+                    self.obs.budget_rejected.inc();
+                    swsimd_obs::event!("job_rejected_budget", "slot" => slot);
+                    return Err(e.into());
                 }
-            }
+            },
             None => None,
         };
         let fast = catch_unwind(AssertUnwindSafe(|| {
             self.plan.before_partition(slot);
-            let mut hits =
-                self.aligner
-                    .try_search_batched(query, &self.db, &self.batched, Some(&job.cancel))?;
+            let mut hits = self.aligner.try_search_batched(
+                query,
+                &self.db,
+                &self.batched,
+                Some(&job.cancel),
+            )?;
             self.plan.corrupt_hits(slot, &mut hits);
             self.plan.skew_hits(slot, &mut hits);
             Ok::<_, AlignError>(hits)
@@ -1175,7 +1202,7 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
                         .fetch_add(out.demotions, Relaxed);
                     self.obs.backend_demotions.add(out.demotions);
                 }
-                return Ok(finish_hits(hits, top_k));
+                return Ok(rank_hits(hits, top_k));
             }
             // Watchdog reap: the kernel was wedged and got cancelled
             // from outside. Not a client-visible failure — fall
@@ -1258,7 +1285,7 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             }))
         });
         match retry {
-            Some(Ok(Ok(hits))) if hits.len() == expected => Ok(finish_hits(hits, top_k)),
+            Some(Ok(Ok(hits))) if hits.len() == expected => Ok(rank_hits(hits, top_k)),
             Some(Ok(Err(AlignError::Cancelled { reason }))) => {
                 self.counters.record_cancel(reason);
                 self.obs.cancelled_counter(reason).inc();
@@ -1270,8 +1297,63 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
     }
 }
 
-/// Sort best-first (stable tie-break on database index) and truncate.
-fn finish_hits(mut hits: Vec<Hit>, top_k: usize) -> Vec<Hit> {
+/// A query submitted with [`ServerClient::submit`]: the reply is
+/// awaited in bounded steps instead of one blocking call, and the
+/// job's cancel token stays in the caller's hands.
+pub struct PendingQuery {
+    reply_rx: Receiver<Reply>,
+    token: CancelToken,
+    deadline: Option<Instant>,
+}
+
+impl PendingQuery {
+    /// The job's cancel token (a child of the server's).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Cancel the job; returns false if it was already cancelled.
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        self.token.cancel(reason)
+    }
+
+    /// Wait up to `step` for the reply. `None` means still pending;
+    /// expiry of the submit deadline cancels the job
+    /// ([`CancelReason::Deadline`]) and yields
+    /// [`ServeError::DeadlineExceeded`] exactly like
+    /// [`ServerClient::query_with_deadline`].
+    pub fn poll(&self, step: Duration) -> Option<Result<Vec<Hit>, ServeError>> {
+        let wait = match self.deadline {
+            Some(d) => {
+                let left = d.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    self.token.cancel(CancelReason::Deadline);
+                    return Some(Err(ServeError::DeadlineExceeded));
+                }
+                step.min(left)
+            }
+            None => step,
+        };
+        match self.reply_rx.recv_timeout(wait) {
+            Ok(result) => Some(result),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                Some(if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.token.cancel(CancelReason::Deadline);
+                    Err(ServeError::DeadlineExceeded)
+                } else {
+                    Err(ServeError::ShutDown)
+                })
+            }
+        }
+    }
+}
+
+/// Sort hits best-first (stable tie-break on database index) and
+/// truncate to `top_k` (0 keeps all). Shared by the batch server and
+/// the networked gateway's scatter-gather merge, so local and
+/// distributed rankings agree bit-for-bit.
+pub fn rank_hits(mut hits: Vec<Hit>, top_k: usize) -> Vec<Hit> {
     hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
     if top_k > 0 {
         hits.truncate(top_k);
@@ -1760,7 +1842,10 @@ mod tests {
         assert!(line.contains("watchdog_fires=1"), "{line}");
         assert!(line.contains("cancelled_watchdog=1"), "{line}");
         let text = server.prometheus_text();
-        assert!(text.contains("swsimd_server_watchdog_fires_total"), "{text}");
+        assert!(
+            text.contains("swsimd_server_watchdog_fires_total"),
+            "{text}"
+        );
         assert!(text.contains("reason=\"watchdog\""), "{text}");
 
         let stats = server.shutdown();

@@ -6,6 +6,24 @@
 //! swsimd info                                             engines & matrices
 //! swsimd selftest                                         kernel trust battery + conformance
 //!
+//! serving tier (see DESIGN.md §13):
+//! swsimd shard <db.fasta> [options]                       one shard worker process
+//!   --listen ADDR        bind address (default 127.0.0.1:0; bound addr printed)
+//!   --shard-index I      this worker's slice (default 0)
+//!   --shards N           total slices in the topology (default 1)
+//!   --journal DIR        checkpoint queries into DIR; resumed after restart
+//!   --drain-timeout MS   SIGTERM: wait MS for in-flight queries (default 5000)
+//! swsimd serve --shards "a,b;c;d" [options]               scatter-gather gateway
+//!   --listen ADDR        bind address (default 127.0.0.1:0)
+//!   --retry-budget N     attempts per shard group (default 3)
+//!   --hedge-after MS     hedge-delay floor; 0 disables hedging (default 50)
+//!   --drain-timeout MS   SIGTERM: wait MS for in-flight queries (default 5000)
+//!   --connect-timeout MS / --request-timeout MS / --probe-interval MS
+//!   --strike-threshold N / --readmit-after N               breaker tuning
+//! swsimd query <addr> <query.fasta> [--top K] [--deadline MS]
+//! swsimd net-metrics <addr>                               fetch Prometheus scrape
+//! swsimd net-drain <addr>                                 ask a peer to drain
+//!
 //! options:
 //!   --matrix NAME        BLOSUM45/50/62/80/90, PAM30/70/120/250 (default BLOSUM62)
 //!   --open N --extend N  affine gap penalties (default 11/1)
@@ -365,6 +383,302 @@ fn cmd_selftest() -> Result<(), String> {
     }
 }
 
+/// SIGTERM/SIGINT latch for graceful drain, via the C `signal(2)`
+/// entry point the process links anyway (no signal crate needed).
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_term as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    pub fn termed() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn termed() -> bool {
+        false
+    }
+}
+
+/// Does `--name` take a value? (Everything except the lone flag.)
+fn opt_takes_value(name: &str) -> bool {
+    name != "--no-traceback"
+}
+
+/// Split net-tier options out of `rest`, passing everything else
+/// through to [`parse_opts`].
+fn split_net_opts(
+    rest: &[String],
+    net_keys: &[&str],
+) -> Result<(std::collections::HashMap<String, String>, Vec<String>), String> {
+    let mut net = std::collections::HashMap::new();
+    let mut passthrough = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if net_keys.contains(&a.as_str()) {
+            let v = it
+                .next()
+                .cloned()
+                .ok_or_else(|| format!("{a} needs a value"))?;
+            net.insert(a.clone(), v);
+        } else {
+            passthrough.push(a.clone());
+            if opt_takes_value(a) {
+                if let Some(v) = it.next() {
+                    passthrough.push(v.clone());
+                }
+            }
+        }
+    }
+    Ok((net, passthrough))
+}
+
+fn net_u64(
+    net: &std::collections::HashMap<String, String>,
+    key: &str,
+    default: u64,
+) -> Result<u64, String> {
+    match net.get(key) {
+        Some(v) => v.parse().map_err(|e| format!("{key}: {e}")),
+        None => Ok(default),
+    }
+}
+
+/// Run one shard worker until SIGTERM, then drain gracefully.
+fn cmd_shard(db_path: &str, rest: &[String]) -> Result<(), String> {
+    let (net, passthrough) = split_net_opts(
+        rest,
+        &["--listen", "--shard-index", "--shards", "--drain-timeout"],
+    )?;
+    let o = parse_opts(&passthrough)?;
+    let alphabet = o.matrix.alphabet().clone();
+    let db_records = load_fasta(db_path)?;
+    let db = swsimd::seq::Database::from_records(db_records, &alphabet);
+
+    let cfg = swsimd::net::ShardConfig {
+        listen: net
+            .get("--listen")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".into()),
+        shard_index: net_u64(&net, "--shard-index", 0)? as u32,
+        shard_count: net_u64(&net, "--shards", 1)? as u32,
+        server: swsimd::runner::ServerConfig {
+            max_cost: o.max_cost,
+            mem_budget: o.mem_budget,
+            stall_timeout: o.stall_timeout,
+            ..Default::default()
+        },
+        journal_dir: o.journal.clone(),
+        drain_timeout: std::time::Duration::from_millis(net_u64(&net, "--drain-timeout", 5000)?),
+        threads: o.threads,
+        fault: Default::default(),
+    };
+    if cfg.shard_index >= cfg.shard_count {
+        return Err(format!(
+            "--shard-index {} out of range for --shards {}",
+            cfg.shard_index, cfg.shard_count
+        ));
+    }
+
+    sig::install();
+    let shard_index = cfg.shard_index;
+    let o = std::sync::Arc::new(o);
+    let factory_opts = std::sync::Arc::clone(&o);
+    let server =
+        swsimd::net::ShardServer::start(&db, &alphabet, cfg, move || builder_for(&factory_opts))
+            .map_err(|e| format!("shard: {e}"))?;
+    // The bound address is the process's contract with its supervisor
+    // (port 0 in tests): print and flush before blocking.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!("shard {shard_index}: serving {} sequences", db.len());
+
+    while !sig::termed() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("shard {shard_index}: draining");
+    let clean = server.shutdown();
+    if clean {
+        eprintln!("shard {shard_index}: drained clean");
+        Ok(())
+    } else {
+        Err(format!(
+            "shard {shard_index}: drain timeout expired with queries in flight"
+        ))
+    }
+}
+
+/// Run the gateway front door until SIGTERM, then drain gracefully.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (net, leftover) = split_net_opts(
+        args,
+        &[
+            "--shards",
+            "--listen",
+            "--retry-budget",
+            "--hedge-after",
+            "--drain-timeout",
+            "--connect-timeout",
+            "--request-timeout",
+            "--probe-interval",
+            "--strike-threshold",
+            "--readmit-after",
+        ],
+    )?;
+    if !leftover.is_empty() {
+        return Err(format!("serve: unknown option '{}'", leftover[0]));
+    }
+    let topology = net
+        .get("--shards")
+        .ok_or("serve: --shards \"addr,addr;addr\" is required")?;
+    let shards: Vec<Vec<String>> = topology
+        .split(';')
+        .map(|group| {
+            group
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .collect();
+    if shards.iter().any(Vec::is_empty) {
+        return Err("serve: every shard group needs at least one address".into());
+    }
+    let hedge_ms = net_u64(&net, "--hedge-after", 50)?;
+    let cfg = swsimd::net::GatewayConfig {
+        shards,
+        retry: swsimd::net::RetryPolicy {
+            budget: net_u64(&net, "--retry-budget", 3)? as u32,
+            ..Default::default()
+        },
+        connect_timeout: std::time::Duration::from_millis(net_u64(
+            &net,
+            "--connect-timeout",
+            1000,
+        )?),
+        request_timeout: std::time::Duration::from_millis(net_u64(
+            &net,
+            "--request-timeout",
+            10_000,
+        )?),
+        hedge_after: (hedge_ms > 0).then(|| std::time::Duration::from_millis(hedge_ms)),
+        strike_threshold: net_u64(&net, "--strike-threshold", 3)? as u32,
+        readmit_after: net_u64(&net, "--readmit-after", 2)? as u32,
+        fault: Default::default(),
+    };
+    let slices = cfg.shards.len();
+    let listen = net
+        .get("--listen")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".into());
+    let drain_timeout = std::time::Duration::from_millis(net_u64(&net, "--drain-timeout", 5000)?);
+    let probe_interval = std::time::Duration::from_millis(net_u64(&net, "--probe-interval", 500)?);
+
+    sig::install();
+    let gateway = swsimd::net::Gateway::new(cfg);
+    let prober = gateway.start_prober(probe_interval);
+    let server = swsimd::net::GatewayServer::start(gateway, &listen, drain_timeout)
+        .map_err(|e| format!("serve: {e}"))?;
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!("gateway: {slices} shard group(s)");
+
+    while !sig::termed() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("gateway: draining");
+    let clean = server.shutdown();
+    prober.stop();
+    if clean {
+        eprintln!("gateway: drained clean");
+        Ok(())
+    } else {
+        Err("gateway: drain timeout expired with queries in flight".into())
+    }
+}
+
+/// Query a shard or gateway over the wire.
+fn cmd_net_query(addr: &str, query_path: &str, rest: &[String]) -> Result<(), String> {
+    let (net, passthrough) = split_net_opts(rest, &["--deadline"])?;
+    let o = parse_opts(&passthrough)?;
+    let deadline_ms = net_u64(&net, "--deadline", 0)?;
+    let alphabet = o.matrix.alphabet().clone();
+    let queries = load_fasta(query_path)?;
+
+    let read_timeout = if deadline_ms > 0 {
+        std::time::Duration::from_millis(deadline_ms + 2000)
+    } else {
+        std::time::Duration::from_secs(60)
+    };
+    let mut client = swsimd::net::NetClient::connect(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    client
+        .set_read_timeout(Some(read_timeout))
+        .map_err(|e| e.to_string())?;
+
+    for q in &queries {
+        let qe = alphabet.encode(&q.seq);
+        let reply = client
+            .query(&qe, o.top, deadline_ms as u32)
+            .map_err(|e| format!("query {}: {e}", q.id))?;
+        if reply.degraded {
+            eprintln!(
+                "warning: degraded response; missing shard slice(s) {:?}",
+                reply.missing_shards
+            );
+        }
+        for hit in &reply.hits {
+            println!("{}\tdb#{}\tscore={}", q.id, hit.db_index, hit.score);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_net_metrics(addr: &str) -> Result<(), String> {
+    let mut client = swsimd::net::NetClient::connect(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let text = client.metrics().map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}
+
+fn cmd_net_drain(addr: &str) -> Result<(), String> {
+    let mut client = swsimd::net::NetClient::connect(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let pong = client.drain().map_err(|e| e.to_string())?;
+    println!(
+        "draining: shard={} (gateway={})",
+        pong.shard,
+        pong.shard == swsimd::net::GATEWAY_SHARD_ID
+    );
+    Ok(())
+}
+
 fn cmd_info() {
     println!("swsimd — Smith-Waterman with vector extensions");
     println!("engines available on this CPU:");
@@ -385,8 +699,7 @@ fn cmd_info() {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage =
-        "usage: swsimd <align|search|info|selftest> [paths...] [options] (see --help in source)";
+    let usage = "usage: swsimd <align|search|shard|serve|query|net-metrics|net-drain|info|selftest> [paths...] [options] (see --help in source)";
     let result = match args.first().map(String::as_str) {
         Some("align") if args.len() >= 3 => {
             // Boot battery runs before --engine parsing so that a
@@ -399,6 +712,14 @@ fn main() -> ExitCode {
             swsimd::core::selftest::boot();
             parse_opts(&args[3..]).and_then(|o| cmd_search(&args[1], &args[2], &o))
         }
+        Some("shard") if args.len() >= 2 => {
+            swsimd::core::selftest::boot();
+            cmd_shard(&args[1], &args[2..])
+        }
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") if args.len() >= 3 => cmd_net_query(&args[1], &args[2], &args[3..]),
+        Some("net-metrics") if args.len() >= 2 => cmd_net_metrics(&args[1]),
+        Some("net-drain") if args.len() >= 2 => cmd_net_drain(&args[1]),
         Some("info") => {
             cmd_info();
             Ok(())

@@ -32,12 +32,16 @@
 //! * [`perf`] — architecture profiles, frequency and top-down models;
 //! * [`tune`] — the genetic-algorithm hyperparameter tuner;
 //! * [`runner`] — threading, usage scenarios, the batch server;
+//! * [`net`] — the networked sharded serving tier: CRC-framed wire
+//!   protocol, shard workers, scatter-gather gateway with circuit
+//!   breakers, hedging, and graceful degradation;
 //! * [`obs`] — tracing spans, latency/GCUPS histograms, Prometheus and
 //!   JSON exposition for the serving layer.
 
 pub use swsimd_baselines as baselines;
 pub use swsimd_core as core;
 pub use swsimd_matrices as matrices;
+pub use swsimd_net as net;
 pub use swsimd_obs as obs;
 pub use swsimd_perf as perf;
 pub use swsimd_runner as runner;
@@ -45,11 +49,11 @@ pub use swsimd_seq as seq;
 pub use swsimd_simd as simd;
 pub use swsimd_tune as tune;
 
+pub use swsimd_core::{run_battery, SelftestReport, TrustLadder, TrustState};
 pub use swsimd_core::{
     validate_encoded, AlignError, AlignMode, AlignResult, Aligner, AlignerBuilder, Alignment,
     GapModel, GapPenalties, Hit, KernelStats, Op, Precision, Scoring,
 };
-pub use swsimd_core::{run_battery, SelftestReport, TrustLadder, TrustState};
 pub use swsimd_runner::{
     checkpointed_search, read_journal, read_journal_file, resume_search, resume_search_file,
     FaultPlan, FaultStats, FaultyWriter, Journal, JournalError, JournalWriter, ResumeStats,

@@ -64,7 +64,10 @@ fn hung_worker_is_reaped_and_query_still_answered_exactly() {
     assert!(line.contains("watchdog_fires=1"), "{line}");
     assert!(line.contains("cancelled_watchdog=1"), "{line}");
     let text = server.prometheus_text();
-    assert!(text.contains("swsimd_server_watchdog_fires_total"), "{text}");
+    assert!(
+        text.contains("swsimd_server_watchdog_fires_total"),
+        "{text}"
+    );
     assert!(text.contains("swsimd_server_cancelled_total"), "{text}");
     assert!(text.contains("reason=\"watchdog\""), "{text}");
 

@@ -1,0 +1,295 @@
+//! Wire-codec hardening: property-based round-trips for every frame
+//! kind, plus a seeded fuzz sweep over truncated and bit-flipped
+//! frames asserting the decoder returns typed errors and never
+//! panics. `SWSIMD_FUZZ_CASES` scales the sweep (default 10_000).
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use swsimd::core::{AlignError, Hit, Precision};
+use swsimd::net::wire::frame;
+use swsimd::net::{read_msg, write_msg, Msg, RemoteError, WireError, MAX_FRAME};
+use swsimd::runner::ServeError;
+use swsimd::EngineKind;
+
+fn roundtrip(msg: &Msg) -> Msg {
+    let mut buf = Vec::new();
+    write_msg(&mut buf, msg).expect("encode");
+    let mut cur = Cursor::new(buf);
+    let back = read_msg(&mut cur).expect("decode");
+    // The stream must be fully consumed: a second read is a clean EOF.
+    assert!(matches!(read_msg(&mut cur), Err(WireError::Eof)));
+    back
+}
+
+fn precision_strategy() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::I8),
+        Just(Precision::I16),
+        Just(Precision::I32),
+        Just(Precision::Adaptive),
+    ]
+}
+
+fn hit_strategy() -> impl Strategy<Value = Hit> {
+    (0usize..1_000_000, -100i32..10_000, precision_strategy()).prop_map(
+        |(db_index, score, precision)| Hit {
+            db_index,
+            score,
+            precision,
+        },
+    )
+}
+
+fn serve_error_strategy() -> impl Strategy<Value = ServeError> {
+    prop_oneof![
+        Just(ServeError::ShutDown),
+        Just(ServeError::DeadlineExceeded),
+        Just(ServeError::QueueFull),
+        Just(ServeError::WorkerPanicked),
+        (0usize..10_000, 0u8..255).prop_map(|(position, value)| {
+            ServeError::InvalidQuery(AlignError::InvalidResidue { position, value })
+        }),
+        precision_strategy()
+            .prop_map(|precision| ServeError::InvalidQuery(AlignError::Saturated { precision })),
+        (1usize..1_000_000, 1usize..1_000)
+            .prop_map(|(len, limit)| ServeError::QueryTooLarge { len, limit }),
+        prop_oneof![
+            Just(EngineKind::Scalar),
+            Just(EngineKind::Sse41),
+            Just(EngineKind::Avx2),
+            Just(EngineKind::Avx512),
+        ]
+        .prop_map(|requested| ServeError::EngineUnavailable {
+            requested,
+            reason: swsimd::core::error::REMOTE_UNAVAILABLE_REASON,
+        }),
+        (1u64..u64::MAX, 1u64..u64::MAX)
+            .prop_map(|(cost, limit)| ServeError::CostTooHigh { cost, limit }),
+        (1u64..u64::MAX, 1u64..u64::MAX)
+            .prop_map(|(requested, limit)| ServeError::BudgetExceeded { requested, limit }),
+    ]
+}
+
+fn remote_error_strategy() -> impl Strategy<Value = RemoteError> {
+    prop_oneof![
+        serve_error_strategy().prop_map(RemoteError::Serve),
+        (0u32..64, 0u32..64).prop_map(|(got, want)| RemoteError::WrongShard { got, want }),
+        Just(RemoteError::Draining),
+        Just(RemoteError::Unavailable),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn query_round_trips(
+        id in 0u64..u64::MAX,
+        top_k in 0u32..10_000,
+        deadline_ms in 0u32..u32::MAX,
+        slice_index in 0u32..64,
+        slice_count in 0u32..64,
+        query in prop::collection::vec(0u8..24, 0..512),
+    ) {
+        let msg = Msg::Query { id, top_k, deadline_ms, slice_index, slice_count, query };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn hits_round_trip(
+        id in 0u64..u64::MAX,
+        degraded in prop_oneof![Just(false), Just(true)],
+        missing in prop::collection::vec(0u32..64, 0..8),
+        hits in prop::collection::vec(hit_strategy(), 0..64),
+    ) {
+        let msg = Msg::Hits { id, degraded, missing_shards: missing, hits };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn error_round_trips(id in 0u64..u64::MAX, err in remote_error_strategy()) {
+        let msg = Msg::Error { id, err };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn control_frames_round_trip(
+        nonce in 0u64..u64::MAX,
+        shard in 0u32..u32::MAX,
+        draining in prop_oneof![Just(false), Just(true)],
+        text in prop::collection::vec(0u8..255, 0..2048),
+    ) {
+        for msg in [
+            Msg::Ping { nonce },
+            Msg::Pong { nonce, shard, draining },
+            Msg::Drain,
+            Msg::MetricsRequest,
+            Msg::MetricsText { text },
+        ] {
+            prop_assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+}
+
+/// splitmix64: the fuzz sweep's deterministic RNG.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fuzz_cases() -> u64 {
+    std::env::var("SWSIMD_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+/// A pseudo-random valid message to mutate.
+fn arbitrary_msg(seed: &mut u64) -> Msg {
+    match splitmix64(seed) % 8 {
+        0 => Msg::Ping {
+            nonce: splitmix64(seed),
+        },
+        1 => Msg::Pong {
+            nonce: splitmix64(seed),
+            shard: (splitmix64(seed) % 64) as u32,
+            draining: splitmix64(seed).is_multiple_of(2),
+        },
+        2 => Msg::Drain,
+        3 => Msg::MetricsRequest,
+        4 => Msg::MetricsText {
+            text: (0..splitmix64(seed) % 256)
+                .map(|_| (splitmix64(seed) & 0xFF) as u8)
+                .collect(),
+        },
+        5 => Msg::Error {
+            id: splitmix64(seed),
+            err: RemoteError::WrongShard {
+                got: (splitmix64(seed) % 64) as u32,
+                want: (splitmix64(seed) % 64) as u32,
+            },
+        },
+        6 => Msg::Hits {
+            id: splitmix64(seed),
+            degraded: splitmix64(seed).is_multiple_of(2),
+            missing_shards: (0..splitmix64(seed) % 4)
+                .map(|_| (splitmix64(seed) % 64) as u32)
+                .collect(),
+            hits: (0..splitmix64(seed) % 16)
+                .map(|_| Hit {
+                    db_index: (splitmix64(seed) % 1_000_000) as usize,
+                    score: (splitmix64(seed) % 10_000) as i32,
+                    precision: Precision::I16,
+                })
+                .collect(),
+        },
+        _ => Msg::Query {
+            id: splitmix64(seed),
+            top_k: (splitmix64(seed) % 100) as u32,
+            deadline_ms: (splitmix64(seed) % 100_000) as u32,
+            slice_index: (splitmix64(seed) % 8) as u32,
+            slice_count: (splitmix64(seed) % 8) as u32,
+            query: (0..splitmix64(seed) % 512)
+                .map(|_| (splitmix64(seed) % 24) as u8)
+                .collect(),
+        },
+    }
+}
+
+/// The decoder's contract under corruption: a typed result, never a
+/// panic, never an allocation driven by a hostile length prefix.
+fn decode_is_typed(bytes: &[u8]) {
+    let mut cur = Cursor::new(bytes);
+    loop {
+        match read_msg(&mut cur) {
+            Ok(_) => continue, // a prefix decoded cleanly; keep reading
+            Err(WireError::Eof) => break,
+            Err(
+                WireError::Truncated
+                | WireError::TooLarge(_)
+                | WireError::BadCrc { .. }
+                | WireError::UnknownKind(_)
+                | WireError::Malformed(_)
+                | WireError::Io(_),
+            ) => break,
+        }
+    }
+}
+
+#[test]
+fn fuzz_truncated_and_flipped_frames_never_panic() {
+    let cases = fuzz_cases();
+    let mut seed = 0x57495245_u64; // "WIRE"
+    let mut truncations = 0u64;
+    let mut flips = 0u64;
+    for _ in 0..cases {
+        let framed = frame(&arbitrary_msg(&mut seed).encode());
+        match splitmix64(&mut seed) % 3 {
+            0 => {
+                // Truncate anywhere, including inside the prefix.
+                let cut = (splitmix64(&mut seed) as usize) % framed.len();
+                decode_is_typed(&framed[..cut]);
+                truncations += 1;
+            }
+            1 => {
+                // Flip one bit anywhere (prefix, payload, or CRC).
+                let mut bytes = framed.clone();
+                let bit = (splitmix64(&mut seed) as usize) % (bytes.len() * 8);
+                bytes[bit / 8] ^= 1 << (bit % 8);
+                decode_is_typed(&bytes);
+                flips += 1;
+            }
+            _ => {
+                // Garbage prefix of random bytes before a valid frame.
+                let mut bytes: Vec<u8> = (0..splitmix64(&mut seed) % 16)
+                    .map(|_| (splitmix64(&mut seed) & 0xFF) as u8)
+                    .collect();
+                bytes.extend_from_slice(&framed);
+                decode_is_typed(&bytes);
+            }
+        }
+    }
+    assert!(
+        truncations > cases / 5,
+        "sweep skew: {truncations} truncations"
+    );
+    assert!(flips > cases / 5, "sweep skew: {flips} flips");
+}
+
+/// A payload-byte flip must surface as `BadCrc` specifically — the
+/// frame arrives complete, so only the checksum can catch it.
+#[test]
+fn payload_bit_flip_is_bad_crc() {
+    let msg = Msg::Query {
+        id: 7,
+        top_k: 10,
+        deadline_ms: 0,
+        slice_index: 0,
+        slice_count: 0,
+        query: vec![1, 2, 3, 4, 5],
+    };
+    let framed = frame(&msg.encode());
+    for i in 4..framed.len() - 4 {
+        let mut bytes = framed.clone();
+        bytes[i] ^= 0x01;
+        match read_msg(&mut Cursor::new(&bytes)) {
+            Err(WireError::BadCrc { .. }) => {}
+            other => panic!("payload flip at {i} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn hostile_length_prefix_is_rejected() {
+    let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+    match read_msg(&mut Cursor::new(&huge[..])) {
+        Err(WireError::TooLarge(n)) => assert_eq!(n as usize, MAX_FRAME + 1),
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
