@@ -1,0 +1,572 @@
+//! Continuous perf baseline: the `BENCH_<rev>.json` schema, a
+//! dependency-free reader/writer for it, and the tolerance-gated
+//! comparison CI runs on every push.
+//!
+//! A baseline captures three things (DESIGN.md §14.3):
+//!
+//! * GCUPS per engine × lane precision over the standard workload;
+//! * batch lane utilization (useful lane slots / total lane slots);
+//! * p50/p99 end-to-end latency of queries through a real local
+//!   3-shard cluster (TCP shards + scatter-gather gateway).
+//!
+//! [`compare`] gates a fresh measurement against a committed baseline:
+//! a tracked series may not regress by more than the tolerance
+//! fraction (GCUPS / utilization down, p99 up). Improvements and new
+//! series never fail the gate, so adding an engine does not require
+//! regenerating history. The JSON is written and parsed by hand —
+//! the baseline file format must stay readable by future revisions
+//! regardless of what serialization crates are doing.
+
+/// Format version stamped into every baseline file.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One engine × precision GCUPS measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineLine {
+    /// Engine name (`scalar`, `sse41`, `avx2`, `avx512`).
+    pub engine: String,
+    /// Lane precision (`i8`, `i16`, `i32`).
+    pub precision: String,
+    /// Billion DP cell updates per second.
+    pub gcups: f64,
+}
+
+/// End-to-end latency through the local 3-shard cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterLine {
+    /// Shard count in the measured topology.
+    pub shards: u32,
+    /// Queries timed.
+    pub queries: u32,
+    /// Median end-to-end latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// A complete perf baseline, as stored in `results/BENCH_<rev>.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Baseline {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Git revision (or other label) the numbers were measured at.
+    pub rev: String,
+    /// Workload scale (`quick` or `full`).
+    pub scale: String,
+    /// GCUPS per engine × precision.
+    pub engines: Vec<EngineLine>,
+    /// Batch lane utilization in `[0, 1]`.
+    pub lane_utilization: f64,
+    /// Cluster latency series (absent when measured with `--no-cluster`).
+    pub cluster: Option<ClusterLine>,
+}
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl Baseline {
+    /// Render as pretty JSON (stable key order, so diffs are readable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", self.schema));
+        out.push_str(&format!("  \"rev\": \"{}\",\n", esc(&self.rev)));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", esc(&self.scale)));
+        out.push_str("  \"engines\": [\n");
+        for (i, e) in self.engines.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"engine\": \"{}\", \"precision\": \"{}\", \"gcups\": {:.4}}}{}\n",
+                esc(&e.engine),
+                esc(&e.precision),
+                e.gcups,
+                if i + 1 < self.engines.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"lane_utilization\": {:.6},\n",
+            self.lane_utilization
+        ));
+        match &self.cluster {
+            Some(c) => out.push_str(&format!(
+                "  \"cluster\": {{\"shards\": {}, \"queries\": {}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}\n",
+                c.shards, c.queries, c.p50_ms, c.p99_ms
+            )),
+            None => out.push_str("  \"cluster\": null\n"),
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse a baseline file. Unknown keys are ignored so older
+    /// binaries can read newer files.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = Json::parse(text)?;
+        let obj = v.as_obj().ok_or("top level is not an object")?;
+        let schema = get_num(obj, "schema")? as u32;
+        let rev = get_str(obj, "rev")?;
+        let scale = get_str(obj, "scale")?;
+        let mut engines = Vec::new();
+        for item in get(obj, "engines")?
+            .as_arr()
+            .ok_or("\"engines\" is not an array")?
+        {
+            let eo = item.as_obj().ok_or("engine entry is not an object")?;
+            engines.push(EngineLine {
+                engine: get_str(eo, "engine")?,
+                precision: get_str(eo, "precision")?,
+                gcups: get_num(eo, "gcups")?,
+            });
+        }
+        let lane_utilization = get_num(obj, "lane_utilization")?;
+        let cluster = match get(obj, "cluster")? {
+            Json::Null => None,
+            c => {
+                let co = c.as_obj().ok_or("\"cluster\" is not an object")?;
+                Some(ClusterLine {
+                    shards: get_num(co, "shards")? as u32,
+                    queries: get_num(co, "queries")? as u32,
+                    p50_ms: get_num(co, "p50_ms")?,
+                    p99_ms: get_num(co, "p99_ms")?,
+                })
+            }
+        };
+        Ok(Baseline {
+            schema,
+            rev,
+            scale,
+            engines,
+            lane_utilization,
+            cluster,
+        })
+    }
+}
+
+/// Compare a fresh measurement against a committed baseline.
+///
+/// Returns one human-readable line per regression; an empty vector
+/// means the gate passes. `tolerance` is the allowed fractional slip
+/// (0.5 = new may be up to 50% worse) — wide on purpose, because CI
+/// runners are noisy; the gate exists to catch step-function
+/// regressions (a kernel falling off its vector path, a cluster
+/// stall), not single-digit drift.
+pub fn compare(old: &Baseline, new: &Baseline, tolerance: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    if old.scale != new.scale {
+        regressions.push(format!(
+            "scale mismatch: baseline measured at \"{}\", candidate at \"{}\"",
+            old.scale, new.scale
+        ));
+        return regressions;
+    }
+    for e in &old.engines {
+        match new
+            .engines
+            .iter()
+            .find(|n| n.engine == e.engine && n.precision == e.precision)
+        {
+            None => regressions.push(format!(
+                "{} {}: series disappeared (baseline {:.3} GCUPS)",
+                e.engine, e.precision, e.gcups
+            )),
+            Some(n) if n.gcups < e.gcups * (1.0 - tolerance) => regressions.push(format!(
+                "{} {}: {:.3} GCUPS, below floor {:.3} (baseline {:.3}, tolerance {:.0}%)",
+                e.engine,
+                e.precision,
+                n.gcups,
+                e.gcups * (1.0 - tolerance),
+                e.gcups,
+                tolerance * 100.0
+            )),
+            Some(_) => {}
+        }
+    }
+    if new.lane_utilization < old.lane_utilization * (1.0 - tolerance) {
+        regressions.push(format!(
+            "lane utilization: {:.3}, below floor {:.3} (baseline {:.3})",
+            new.lane_utilization,
+            old.lane_utilization * (1.0 - tolerance),
+            old.lane_utilization
+        ));
+    }
+    if let (Some(o), Some(n)) = (&old.cluster, &new.cluster) {
+        if n.p99_ms > o.p99_ms * (1.0 + tolerance) {
+            regressions.push(format!(
+                "cluster p99: {:.2}ms, above ceiling {:.2}ms (baseline {:.2}ms, tolerance {:.0}%)",
+                n.p99_ms,
+                o.p99_ms * (1.0 + tolerance),
+                o.p99_ms,
+                tolerance * 100.0
+            ));
+        }
+    } else if old.cluster.is_some() && new.cluster.is_none() {
+        regressions.push("cluster series disappeared from candidate".into());
+    }
+    regressions
+}
+
+/// Percentile by nearest-rank over an unsorted sample (q in `[0,1]`).
+pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — just enough for the baseline schema. The file
+// format outlives any particular serialization dependency.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key \"{key}\""))
+}
+
+fn get_num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Json::Num(n) => Ok(*n),
+        _ => Err(format!("\"{key}\" is not a number")),
+    }
+}
+
+fn get_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(format!("\"{key}\" is not a string")),
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut out = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                out.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(out));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut out = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            loop {
+                out.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(out));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {pos}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Copy the full UTF-8 sequence starting here.
+                        let start = *pos;
+                        let len = match c {
+                            0x00..=0x7F => 1,
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let end = (start + len).min(b.len());
+                        out.push_str(
+                            std::str::from_utf8(&b[start..end]).map_err(|e| e.to_string())?,
+                        );
+                        *pos = end;
+                    }
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) => Err(format!("unexpected '{}' at byte {}", *c as char, pos)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        Baseline {
+            schema: SCHEMA_VERSION,
+            rev: "abc1234".into(),
+            scale: "quick".into(),
+            engines: vec![
+                EngineLine {
+                    engine: "scalar".into(),
+                    precision: "i16".into(),
+                    gcups: 0.8,
+                },
+                EngineLine {
+                    engine: "avx2".into(),
+                    precision: "i16".into(),
+                    gcups: 6.0,
+                },
+            ],
+            lane_utilization: 0.85,
+            cluster: Some(ClusterLine {
+                shards: 3,
+                queries: 32,
+                p50_ms: 4.0,
+                p99_ms: 12.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let b = sample();
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed.rev, b.rev);
+        assert_eq!(parsed.engines, b.engines);
+        assert_eq!(parsed.cluster, b.cluster);
+        assert!((parsed.lane_utilization - b.lane_utilization).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_without_cluster() {
+        let mut b = sample();
+        b.cluster = None;
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed.cluster, None);
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let mut text = sample().to_json();
+        text = text.replacen(
+            "  \"rev\"",
+            "  \"future_field\": [1, {\"x\": true}],\n  \"rev\"",
+            1,
+        );
+        assert!(Baseline::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn identical_baselines_pass_gate() {
+        let b = sample();
+        assert!(compare(&b, &b, 0.5).is_empty());
+    }
+
+    #[test]
+    fn improvements_and_new_series_pass_gate() {
+        let old = sample();
+        let mut new = sample();
+        new.engines[1].gcups = 9.0;
+        new.engines.push(EngineLine {
+            engine: "avx512".into(),
+            precision: "i16".into(),
+            gcups: 11.0,
+        });
+        new.cluster.as_mut().unwrap().p99_ms = 6.0;
+        assert!(compare(&old, &new, 0.5).is_empty());
+    }
+
+    /// The CI tolerance gate fires on a synthetic step regression.
+    #[test]
+    fn gate_fails_on_synthetic_regression() {
+        let old = sample();
+
+        // GCUPS collapse (kernel fell off its vector path).
+        let mut slow = sample();
+        slow.engines[1].gcups = old.engines[1].gcups * 0.3;
+        let regs = compare(&old, &slow, 0.5);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("avx2"), "{regs:?}");
+
+        // Latency blow-up (cluster stall).
+        let mut stalled = sample();
+        stalled.cluster.as_mut().unwrap().p99_ms = old.cluster.as_ref().unwrap().p99_ms * 4.0;
+        let regs = compare(&old, &stalled, 0.5);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("p99"), "{regs:?}");
+
+        // Vanished series.
+        let mut missing = sample();
+        missing.engines.remove(1);
+        let regs = compare(&old, &missing, 0.5);
+        assert!(regs.iter().any(|r| r.contains("disappeared")), "{regs:?}");
+    }
+
+    #[test]
+    fn within_tolerance_slip_passes() {
+        let old = sample();
+        let mut new = sample();
+        new.engines[1].gcups = old.engines[1].gcups * 0.6; // -40% < 50% tolerance
+        new.cluster.as_mut().unwrap().p99_ms = old.cluster.as_ref().unwrap().p99_ms * 1.4;
+        assert!(compare(&old, &new, 0.5).is_empty());
+    }
+
+    #[test]
+    fn scale_mismatch_is_rejected() {
+        let old = sample();
+        let mut new = sample();
+        new.scale = "full".into();
+        assert!(!compare(&old, &new, 0.5).is_empty());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&mut s, 0.50), 50.0);
+        assert_eq!(percentile(&mut s, 0.99), 99.0);
+        assert_eq!(percentile(&mut [], 0.99), 0.0);
+        assert_eq!(percentile(&mut [7.0], 0.5), 7.0);
+    }
+}

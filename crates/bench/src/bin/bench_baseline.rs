@@ -1,0 +1,248 @@
+//! Continuous perf baseline driver.
+//!
+//! ```text
+//! # Measure the current tree and write results/BENCH_<rev>.json:
+//! cargo run -p swsimd-bench --release --bin bench_baseline -- \
+//!     measure --smoke --rev $(git rev-parse --short HEAD)
+//!
+//! # Gate a fresh measurement against a committed baseline:
+//! cargo run -p swsimd-bench --release --bin bench_baseline -- \
+//!     compare results/BENCH_abc1234.json /tmp/candidate.json --tolerance 0.5
+//! ```
+//!
+//! `measure` records GCUPS per engine × precision over the standard
+//! workload, batch lane utilization, and p50/p99 end-to-end latency
+//! through a real local 3-shard cluster (TCP shard workers behind a
+//! scatter-gather gateway). `compare` exits nonzero when any series
+//! regressed past the tolerance — that exit code is the CI gate.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use swsimd_bench::baseline::{percentile, Baseline, ClusterLine, EngineLine, SCHEMA_VERSION};
+use swsimd_bench::{gcups, Scale, Workload};
+use swsimd_core::{diag_score, GapModel, GapPenalties, KernelStats, Precision, Scoring};
+use swsimd_matrices::{blosum62, Alphabet};
+use swsimd_net::{Gateway, GatewayConfig, ShardConfig, ShardServer};
+use swsimd_simd::EngineKind;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let result = match strs.split_first() {
+        Some((&"measure", rest)) => cmd_measure(rest),
+        Some((&"compare", rest)) => cmd_compare(rest),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bench_baseline measure [--smoke] [--rev REV] [--out PATH] [--no-cluster]
+  bench_baseline compare <baseline.json> <candidate.json> [--tolerance FRAC]";
+
+fn cmd_measure(args: &[&str]) -> Result<ExitCode, String> {
+    let mut smoke = false;
+    let mut no_cluster = false;
+    let mut rev = String::from("worktree");
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match *a {
+            "--smoke" => smoke = true,
+            "--no-cluster" => no_cluster = true,
+            "--rev" => rev = it.next().ok_or("--rev needs a value")?.to_string(),
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.to_string()),
+            other => return Err(format!("unknown measure flag {other}\n{USAGE}")),
+        }
+    }
+    let scale = if smoke { Scale::Quick } else { Scale::Full };
+    let b = measure(scale, &rev, !no_cluster);
+    let json = b.to_json();
+    let path = out.unwrap_or_else(|| {
+        swsimd_bench::timing::results_dir()
+            .join(format!("BENCH_{rev}.json"))
+            .display()
+            .to_string()
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    print!("{json}");
+    eprintln!("baseline written to {path}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: &[&str]) -> Result<ExitCode, String> {
+    let mut tolerance = 0.5f64;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match *a {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad tolerance: {e}"))?;
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let regressions = swsimd_bench::baseline::compare(&old, &new, tolerance);
+    if regressions.is_empty() {
+        println!(
+            "perf gate PASS: {} vs baseline {} ({} series, tolerance {:.0}%)",
+            new.rev,
+            old.rev,
+            old.engines.len(),
+            tolerance * 100.0
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("perf gate FAIL: {} vs baseline {}", new.rev, old.rev);
+        for r in &regressions {
+            eprintln!("  regression: {r}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn load(path: &str) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    Baseline::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// Measure one complete baseline at `scale`.
+fn measure(scale: Scale, rev: &str, with_cluster: bool) -> Baseline {
+    let w = Workload::standard(scale);
+    let scoring = Scoring::matrix(blosum62());
+    let gaps = GapModel::Affine(GapPenalties::new(11, 1));
+    let min_ms = match scale {
+        Scale::Quick => 40,
+        Scale::Full => 400,
+    };
+    let sample = w.db_sample(24, 1_000);
+    let sample_residues: u64 = sample.iter().map(|t| t.len() as u64).sum();
+
+    let engines: Vec<EngineKind> = EngineKind::ALL
+        .into_iter()
+        .filter(|e| e.is_available())
+        .collect();
+    let mut lines = Vec::new();
+    let mut util_stats = KernelStats::default();
+    for &engine in &engines {
+        for (precision, pname) in [(Precision::I8, "i8"), (Precision::I16, "i16")] {
+            let mut stats = KernelStats::default();
+            let mut cells_done = 0u64;
+            let (_, q) = &w.queries[w.queries.len() / 2];
+            let secs = swsimd_bench::time_per_call(
+                || {
+                    for t in &sample {
+                        let r = diag_score(engine, precision, q, t, &scoring, gaps, 16, &mut stats);
+                        std::hint::black_box(r.score);
+                    }
+                    cells_done += q.len() as u64 * sample_residues;
+                },
+                min_ms,
+            );
+            let g = gcups(q.len() as u64 * sample_residues, secs);
+            eprintln!("measured {} {}: {:.3} GCUPS", engine.name(), pname, g);
+            lines.push(EngineLine {
+                engine: engine.name().to_string(),
+                precision: pname.to_string(),
+                gcups: g,
+            });
+            util_stats.merge(&stats);
+        }
+    }
+
+    let cluster = with_cluster.then(|| measure_cluster(&w, scale));
+
+    Baseline {
+        schema: SCHEMA_VERSION,
+        rev: rev.to_string(),
+        scale: match scale {
+            Scale::Quick => "quick".into(),
+            Scale::Full => "full".into(),
+        },
+        engines: lines,
+        lane_utilization: util_stats.lane_utilization(),
+        cluster,
+    }
+}
+
+/// End-to-end latency through a real local 3-shard cluster: three TCP
+/// shard workers, one scatter-gather gateway, timed client queries.
+fn measure_cluster(w: &Workload, scale: Scale) -> ClusterLine {
+    const SHARDS: u32 = 3;
+    let builder = || swsimd_core::Aligner::builder().matrix(blosum62());
+    let shards: Vec<ShardServer> = (0..SHARDS)
+        .map(|i| {
+            ShardServer::start(
+                &w.db,
+                &Alphabet::protein(),
+                ShardConfig {
+                    shard_index: i,
+                    shard_count: SHARDS,
+                    ..Default::default()
+                },
+                builder,
+            )
+            .expect("shard start")
+        })
+        .collect();
+    let gateway = Gateway::new(GatewayConfig {
+        shards: shards
+            .iter()
+            .map(|s| vec![s.local_addr().to_string()])
+            .collect(),
+        ..Default::default()
+    });
+
+    let queries = match scale {
+        Scale::Quick => 32u32,
+        Scale::Full => 200,
+    };
+    let q = &w.queries[0].1;
+    // Warm connections and the shard-side caches before timing.
+    for _ in 0..3 {
+        let _ = gateway.query(q, 10, Some(Duration::from_secs(10)));
+    }
+    let mut lat_ms = Vec::with_capacity(queries as usize);
+    for i in 0..queries {
+        let q = &w.queries[i as usize % w.queries.len()].1;
+        let t0 = Instant::now();
+        let resp = gateway
+            .query(q, 10, Some(Duration::from_secs(10)))
+            .expect("cluster query");
+        assert!(!resp.degraded, "baseline cluster degraded mid-measure");
+        lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let line = ClusterLine {
+        shards: SHARDS,
+        queries,
+        p50_ms: percentile(&mut lat_ms, 0.50),
+        p99_ms: percentile(&mut lat_ms, 0.99),
+    };
+    eprintln!(
+        "measured cluster: {} shards, {} queries, p50 {:.2}ms p99 {:.2}ms",
+        line.shards, line.queries, line.p50_ms, line.p99_ms
+    );
+    for s in shards {
+        s.shutdown();
+    }
+    line
+}

@@ -157,6 +157,69 @@ fn main() {
         cancel_overhead * 100.0
     );
 
+    // 2d. Trace-context plumbing: minting a request id and adopting a
+    //     propagated context around a job, as the batch server and the
+    //     shard do once per query. With no sink installed the adopt
+    //     guard is inert; mint_id is two atomics and a mix.
+    let trace_ctx_secs = time_per_call(
+        || {
+            let ctx = swsimd_obs::trace::TraceCtx {
+                trace_id: swsimd_obs::mint_id(),
+                span_id: swsimd_obs::mint_id(),
+            };
+            let guard = swsimd_obs::adopt(ctx);
+            std::hint::black_box(&guard);
+        },
+        budget_ms.min(50),
+    );
+    let trace_ctx_overhead = trace_ctx_secs / kernel_secs;
+    println!(
+        "  trace-ctx mint+adopt:      {:.1} ns per query ({:.4}% of kernel)",
+        trace_ctx_secs * 1e9,
+        trace_ctx_overhead * 100.0
+    );
+
+    // 2e. Flight recorder, enabled (its shipped state): one completed
+    //     request filed in the audit ring per query, including the
+    //     stage-breakdown allocation and the slow-log decision.
+    let recorder = swsimd_obs::flight::global();
+    let mut flight_seq = 0u64;
+    let flight_secs = time_per_call(
+        || {
+            flight_seq += 1;
+            recorder.record(swsimd_obs::flight::AuditRecord {
+                trace_id: flight_seq,
+                query_id: flight_seq,
+                total_ns: 1_000_000,
+                stages: vec![
+                    swsimd_obs::flight::StageTiming {
+                        stage: swsimd_obs::flight::Stage::Queue,
+                        ns: 400_000,
+                    },
+                    swsimd_obs::flight::StageTiming {
+                        stage: swsimd_obs::flight::Stage::Kernel,
+                        ns: 600_000,
+                    },
+                ],
+                shards: Vec::new(),
+                engine: "bench".into(),
+                retries: 0,
+                hedges: 0,
+                degraded: false,
+                cost: cells,
+                cancel: String::new(),
+                ok: true,
+            });
+        },
+        budget_ms.min(50),
+    );
+    let flight_overhead = flight_secs / kernel_secs;
+    println!(
+        "  flight-recorder record:    {:.1} ns per query ({:.4}% of kernel)",
+        flight_secs * 1e9,
+        flight_overhead * 100.0
+    );
+
     // 3. Informational: the same kernel with a counting sink installed
     //    (the cost ceiling a subscriber pays; not gated).
     let sink = Arc::new(CountingSink(AtomicU64::new(0)));
@@ -203,6 +266,8 @@ fn main() {
         ("disabled-tracing", overhead),
         ("disabled-shadow-sampling", shadow_overhead),
         ("idle-cancel-polling", cancel_overhead),
+        ("trace-ctx-plumbing", trace_ctx_overhead),
+        ("flight-recorder", flight_overhead),
     ] {
         if ratio < limit {
             println!(

@@ -77,6 +77,17 @@ impl KernelStats {
             self.scalar_cells as f64 / self.cells as f64
         }
     }
+
+    /// Fraction of vector lane slots that carried useful work — the
+    /// complement of [`KernelStats::padding_fraction`], reported by the
+    /// continuous perf baseline as batch lane utilization.
+    pub fn lane_utilization(&self) -> f64 {
+        if self.vector_lane_slots == 0 {
+            0.0
+        } else {
+            1.0 - self.padding_fraction()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +124,7 @@ mod tests {
         };
         assert!((s.padding_fraction() - 16.0 / 96.0).abs() < 1e-12);
         assert!((s.scalar_fraction() - 0.2).abs() < 1e-12);
+        assert!((s.lane_utilization() - 80.0 / 96.0).abs() < 1e-12);
     }
 
     #[test]
@@ -120,5 +132,6 @@ mod tests {
         let s = KernelStats::default();
         assert_eq!(s.padding_fraction(), 0.0);
         assert_eq!(s.scalar_fraction(), 0.0);
+        assert_eq!(s.lane_utilization(), 0.0);
     }
 }

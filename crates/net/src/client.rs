@@ -9,6 +9,8 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use swsimd_core::Hit;
+use swsimd_obs::flight::AuditRecord;
+use swsimd_obs::trace::TraceCtx;
 
 use crate::wire::{read_msg, write_msg, Msg, RemoteError, WireError};
 
@@ -58,6 +60,10 @@ pub struct HitsReply {
     pub degraded: bool,
     /// Slice indices missing from the answer.
     pub missing_shards: Vec<u32>,
+    /// Distributed trace id the server filed this request under
+    /// (0 when the peer predates trace propagation). Feed it to
+    /// [`NetClient::trace`] / `swsimd trace` for the stage breakdown.
+    pub trace_id: u64,
 }
 
 /// A pong, identifying the peer.
@@ -97,6 +103,20 @@ impl NetClient {
         top_k: usize,
         deadline_ms: u32,
     ) -> Result<HitsReply, NetError> {
+        self.query_traced(query, top_k, deadline_ms, TraceCtx::default())
+    }
+
+    /// [`NetClient::query`] under a caller-minted trace context, so the
+    /// server's span tree parents under the caller's request span. An
+    /// untraced context (the default) encodes byte-identically to the
+    /// pre-trace wire format.
+    pub fn query_traced(
+        &mut self,
+        query: &[u8],
+        top_k: usize,
+        deadline_ms: u32,
+        trace: TraceCtx,
+    ) -> Result<HitsReply, NetError> {
         let id = self.next_id;
         self.next_id += 1;
         write_msg(
@@ -110,6 +130,7 @@ impl NetClient {
                 slice_index: 0,
                 slice_count: 0,
                 query: query.to_vec(),
+                trace,
             },
         )?;
         match read_msg(&mut self.stream)? {
@@ -117,14 +138,60 @@ impl NetClient {
                 hits,
                 degraded,
                 missing_shards,
+                trace_id,
                 ..
             } => Ok(HitsReply {
                 hits,
                 degraded,
                 missing_shards,
+                trace_id,
             }),
             Msg::Error { err, .. } => Err(NetError::Remote(err)),
             _ => Err(NetError::Unexpected("non-answer frame for Query")),
+        }
+    }
+
+    /// Fetch the flight-recorder audit record for one trace id.
+    /// `Ok(None)` means the peer's recorder has no such trace (evicted
+    /// or never seen).
+    pub fn trace(&mut self, trace_id: u64) -> Result<Option<AuditRecord>, NetError> {
+        write_msg(&mut self.stream, &Msg::TraceRequest { trace_id })?;
+        match read_msg(&mut self.stream)? {
+            Msg::FlightRecords { mut records } => Ok(records.pop()),
+            _ => Err(NetError::Unexpected("non-flight frame for TraceRequest")),
+        }
+    }
+
+    /// Fetch the peer's slow-query log, newest first (`limit` 0 asks
+    /// for the server default).
+    pub fn slowlog(&mut self, limit: u32) -> Result<Vec<AuditRecord>, NetError> {
+        write_msg(&mut self.stream, &Msg::SlowlogRequest { limit })?;
+        match read_msg(&mut self.stream)? {
+            Msg::FlightRecords { records } => Ok(records),
+            _ => Err(NetError::Unexpected("non-flight frame for SlowlogRequest")),
+        }
+    }
+
+    /// Fetch flight-recorder records rendered as JSON: one object (or
+    /// `null`) when `trace_id` is nonzero, else an array of the most
+    /// recent (or slow-only) records.
+    pub fn flight_json(
+        &mut self,
+        trace_id: u64,
+        limit: u32,
+        slow_only: bool,
+    ) -> Result<String, NetError> {
+        write_msg(
+            &mut self.stream,
+            &Msg::FlightJsonRequest {
+                trace_id,
+                limit,
+                slow_only,
+            },
+        )?;
+        match read_msg(&mut self.stream)? {
+            Msg::FlightJson { text } => Ok(String::from_utf8_lossy(&text).into_owned()),
+            _ => Err(NetError::Unexpected("non-json frame for FlightJsonRequest")),
         }
     }
 

@@ -16,9 +16,11 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use swsimd_core::CancelReason;
+use swsimd_obs::trace::TraceCtx;
 
 use crate::gateway::Gateway;
 use crate::metrics::NetCancelled;
+use crate::shard::{flight_json, flight_limit};
 use crate::wire::{read_msg, write_msg, Msg, RemoteError, WireError};
 
 const POLL_STEP: Duration = Duration::from_millis(5);
@@ -236,8 +238,9 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<FrontShared>) -> std::io::Resul
                 top_k,
                 deadline_ms,
                 query,
+                trace,
                 ..
-            } => match handle_query(&shared, &stream, id, top_k, deadline_ms, query) {
+            } => match handle_query(&shared, &stream, id, top_k, deadline_ms, query, trace) {
                 Some(reply) => {
                     if write_msg(&mut stream, &reply).is_err() {
                         return Ok(());
@@ -245,9 +248,37 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<FrontShared>) -> std::io::Resul
                 }
                 None => return Ok(()),
             },
-            Msg::Hits { .. } | Msg::Error { .. } | Msg::Pong { .. } | Msg::MetricsText { .. } => {
-                return Ok(())
+            Msg::TraceRequest { trace_id } => {
+                let records = swsimd_obs::flight::global()
+                    .lookup(trace_id)
+                    .into_iter()
+                    .collect();
+                if write_msg(&mut stream, &Msg::FlightRecords { records }).is_err() {
+                    return Ok(());
+                }
             }
+            Msg::SlowlogRequest { limit } => {
+                let records = swsimd_obs::flight::global().slowlog(flight_limit(limit));
+                if write_msg(&mut stream, &Msg::FlightRecords { records }).is_err() {
+                    return Ok(());
+                }
+            }
+            Msg::FlightJsonRequest {
+                trace_id,
+                limit,
+                slow_only,
+            } => {
+                let text = flight_json(trace_id, limit, slow_only).into_bytes();
+                if write_msg(&mut stream, &Msg::FlightJson { text }).is_err() {
+                    return Ok(());
+                }
+            }
+            Msg::Hits { .. }
+            | Msg::Error { .. }
+            | Msg::Pong { .. }
+            | Msg::MetricsText { .. }
+            | Msg::FlightRecords { .. }
+            | Msg::FlightJson { .. } => return Ok(()),
         }
     }
 }
@@ -277,6 +308,7 @@ fn handle_query(
     top_k: u32,
     deadline_ms: u32,
     query: Vec<u8>,
+    trace: TraceCtx,
 ) -> Option<Msg> {
     if shared.draining.load(Ordering::Acquire) {
         return Some(Msg::Error {
@@ -289,7 +321,7 @@ fn handle_query(
     let (tx, rx) = mpsc::channel();
     let gw = shared.gateway.clone();
     std::thread::spawn(move || {
-        let _ = tx.send(gw.query(&query, top_k as usize, deadline));
+        let _ = tx.send(gw.query_traced(&query, top_k as usize, deadline, trace));
     });
     let result = loop {
         match rx.recv_timeout(POLL_STEP) {
@@ -321,6 +353,10 @@ fn handle_query(
             degraded: resp.degraded,
             missing_shards: resp.missing_shards,
             hits: resp.hits,
+            // Hand the trace id back so the client can pull this
+            // request's flight record with `swsimd trace <id>`.
+            trace_id: resp.trace_id,
+            timing: None,
         },
         Err(err) => Msg::Error { id, err },
     })

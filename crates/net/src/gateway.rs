@@ -27,11 +27,13 @@
 //!   failing the whole query; only a fully-missing topology errors.
 
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use swsimd_core::Hit;
+use swsimd_obs::flight::{AuditRecord, ShardTiming, Stage, StageTiming};
+use swsimd_obs::trace::TraceCtx;
 use swsimd_runner::{rank_hits, FaultPlan, ServeError};
 
 use crate::backoff::RetryPolicy;
@@ -85,6 +87,9 @@ pub struct GatewayResponse {
     pub degraded: bool,
     /// Slice indices that could not contribute within their budgets.
     pub missing_shards: Vec<u32>,
+    /// Distributed trace id this request was filed under in the
+    /// gateway's flight recorder (`swsimd trace <id>` looks it up).
+    pub trace_id: u64,
 }
 
 struct Replica {
@@ -112,7 +117,9 @@ pub struct Gateway {
 
 /// How one attempt against one replica ended.
 enum Attempt {
-    Ok(Vec<Hit>),
+    /// Hits plus the shard's timing summary (when the peer sent one;
+    /// `rtt_ns` is filled gateway-side by the attempt thread).
+    Ok(Vec<Hit>, Option<ShardTiming>),
     /// Retrying another replica (or the same one later) may help.
     Retryable,
     /// Retrying cannot change the outcome; fail the query.
@@ -121,10 +128,18 @@ enum Attempt {
 
 /// How one shard group ended.
 enum GroupOutcome {
-    Ok(Vec<Hit>),
+    Ok(Vec<Hit>, Option<ShardTiming>),
     /// Budget exhausted or no replica available: degrade.
     Missing,
     Fatal(RemoteError),
+}
+
+/// Per-query bookkeeping shared by the scatter threads, feeding the
+/// request's flight-recorder audit record.
+#[derive(Default)]
+struct QueryFlight {
+    retries: AtomicU32,
+    hedges: AtomicU32,
 }
 
 impl Gateway {
@@ -180,40 +195,147 @@ impl Gateway {
         top_k: usize,
         deadline: Option<Duration>,
     ) -> Result<GatewayResponse, RemoteError> {
+        self.query_traced(query, top_k, deadline, TraceCtx::default())
+    }
+
+    /// [`Gateway::query`] under a client-supplied trace context. The
+    /// request gets one trace id (the client's, or freshly minted), a
+    /// `gateway_request` root span, and the same context rides every
+    /// shard frame — so shard-side span trees parent under this span
+    /// and the whole request stitches into one distributed tree. The
+    /// completed request is filed in the process-global flight
+    /// recorder with its stage breakdown (admission → dispatch →
+    /// net_rtt → merge partition the gateway's wall time by
+    /// construction) plus the per-shard timing summaries that came
+    /// back on the replies.
+    pub fn query_traced(
+        &self,
+        query: &[u8],
+        top_k: usize,
+        deadline: Option<Duration>,
+        client: TraceCtx,
+    ) -> Result<GatewayResponse, RemoteError> {
         let inner = &self.inner;
         inner.metrics.requests.inc();
+        let t0 = Instant::now();
+        // One trace id for the whole distributed request.
+        let trace_id = if client.is_traced() {
+            client.trace_id
+        } else {
+            swsimd_obs::mint_id()
+        };
+        let _adopt = swsimd_obs::adopt(TraceCtx {
+            trace_id,
+            span_id: client.span_id,
+        });
+        let mut span = swsimd_obs::span!("gateway_request", "shards" => inner.groups.len());
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let ctx = TraceCtx {
+            trace_id,
+            span_id: if span.id() != 0 {
+                span.id()
+            } else {
+                client.span_id
+            },
+        };
         if inner.groups.is_empty() {
+            record_gateway_flight(&FlightInput {
+                trace_id,
+                id,
+                query_len: query.len(),
+                t0,
+                marks: vec![(Stage::Admission, t0.elapsed())],
+                shards: Vec::new(),
+                flight: &QueryFlight::default(),
+                degraded: false,
+                ok: false,
+                cancel: "unavailable",
+            });
             return Err(RemoteError::Unavailable);
         }
-        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let deadline_at = deadline.map(|d| Instant::now() + d);
+        let flight = Arc::new(QueryFlight::default());
+        let admitted = Instant::now();
 
         let (tx, rx) = mpsc::channel();
         for slice in 0..inner.groups.len() {
             let tx = tx.clone();
             let this = self.clone();
             let query = query.to_vec();
+            let flight = Arc::clone(&flight);
             std::thread::spawn(move || {
-                let outcome = query_group(&this.inner, slice, id, &query, top_k, deadline_at);
+                let outcome = query_group(
+                    &this.inner,
+                    slice,
+                    id,
+                    &query,
+                    top_k,
+                    deadline_at,
+                    ctx,
+                    &flight,
+                );
                 let _ = tx.send((slice, outcome));
             });
         }
         drop(tx);
+        let dispatched = Instant::now();
 
         let mut all_hits = Vec::new();
         let mut missing = Vec::new();
         let mut fatal = None;
+        let mut timings = Vec::new();
         for (slice, outcome) in rx {
             match outcome {
-                GroupOutcome::Ok(hits) => all_hits.extend(hits),
+                GroupOutcome::Ok(hits, timing) => {
+                    all_hits.extend(hits);
+                    timings.extend(timing);
+                }
                 GroupOutcome::Missing => missing.push(slice as u32),
                 GroupOutcome::Fatal(e) => fatal = Some(e),
             }
         }
+        let gathered = Instant::now();
+        timings.sort_by_key(|t| t.shard);
+        let marks = |merged: Option<Instant>| {
+            let mut m = vec![
+                (Stage::Admission, admitted.duration_since(t0)),
+                (Stage::Dispatch, dispatched.duration_since(admitted)),
+                (Stage::NetRtt, gathered.duration_since(dispatched)),
+            ];
+            if let Some(at) = merged {
+                m.push((Stage::Merge, at.duration_since(gathered)));
+            }
+            m
+        };
+
         if let Some(e) = fatal {
+            record_gateway_flight(&FlightInput {
+                trace_id,
+                id,
+                query_len: query.len(),
+                t0,
+                marks: marks(None),
+                shards: timings,
+                flight: &flight,
+                degraded: false,
+                ok: false,
+                cancel: cancel_label(&e),
+            });
             return Err(e);
         }
         if missing.len() == inner.groups.len() {
+            record_gateway_flight(&FlightInput {
+                trace_id,
+                id,
+                query_len: query.len(),
+                t0,
+                marks: marks(None),
+                shards: timings,
+                flight: &flight,
+                degraded: true,
+                ok: false,
+                cancel: "unavailable",
+            });
             return Err(RemoteError::Unavailable);
         }
         missing.sort_unstable();
@@ -221,11 +343,50 @@ impl Gateway {
         if degraded {
             inner.metrics.degraded.inc();
         }
+        let hits = rank_hits(all_hits, top_k);
+        let merged = Instant::now();
+        inner
+            .metrics
+            .latency
+            .record_duration(merged.duration_since(t0));
+        span.record("hits", hits.len() as u64);
+        span.record("degraded", degraded);
+        record_gateway_flight(&FlightInput {
+            trace_id,
+            id,
+            query_len: query.len(),
+            t0,
+            marks: marks(Some(merged)),
+            shards: timings,
+            flight: &flight,
+            degraded,
+            ok: true,
+            cancel: "",
+        });
         Ok(GatewayResponse {
-            hits: rank_hits(all_hits, top_k),
+            hits,
             degraded,
             missing_shards: missing,
+            trace_id,
         })
+    }
+
+    /// One-line human-readable health summary: per-replica breaker
+    /// state, observed RTT p99, and attempts currently in flight.
+    pub fn health_line(&self) -> String {
+        let inner = &self.inner;
+        let mut line = format!("gateway slices={}", inner.groups.len());
+        for (ordinal, replica) in inner.replicas.iter().enumerate() {
+            let snap = replica.metrics.rtt.snapshot();
+            line.push_str(&format!(
+                " | shard={ordinal} slice={} state={:?} rtt_p99={:.2}ms inflight={}",
+                replica.slice,
+                lock_ok(&replica.breaker).state(),
+                snap.p99 as f64 / 1e6,
+                replica.metrics.inflight.get(),
+            ));
+        }
+        line
     }
 
     /// Probe every non-healthy replica once; returns how many were
@@ -306,6 +467,69 @@ fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Everything one gateway audit record needs, gathered at an exit
+/// point of [`Gateway::query_traced`].
+struct FlightInput<'a> {
+    trace_id: u64,
+    id: u64,
+    query_len: usize,
+    t0: Instant,
+    marks: Vec<(Stage, Duration)>,
+    shards: Vec<ShardTiming>,
+    flight: &'a QueryFlight,
+    degraded: bool,
+    ok: bool,
+    cancel: &'a str,
+}
+
+/// File one gateway request into the process-global flight recorder.
+fn record_gateway_flight(input: &FlightInput<'_>) {
+    let recorder = swsimd_obs::flight::global();
+    if !recorder.enabled() {
+        return;
+    }
+    // Engine attribution: unanimous across shards, or "mixed".
+    let engine = match input.shards.first() {
+        Some(first) if input.shards.iter().all(|t| t.engine == first.engine) => {
+            first.engine.clone()
+        }
+        Some(_) => "mixed".to_string(),
+        None => String::new(),
+    };
+    recorder.record(AuditRecord {
+        trace_id: input.trace_id,
+        query_id: input.id,
+        total_ns: input.t0.elapsed().as_nanos() as u64,
+        stages: input
+            .marks
+            .iter()
+            .map(|(stage, d)| StageTiming {
+                stage: *stage,
+                ns: d.as_nanos() as u64,
+            })
+            .collect(),
+        shards: input.shards.clone(),
+        engine,
+        retries: input.flight.retries.load(Ordering::Relaxed),
+        hedges: input.flight.hedges.load(Ordering::Relaxed),
+        degraded: input.degraded,
+        cost: input.query_len as u64,
+        cancel: input.cancel.to_string(),
+        ok: input.ok,
+    });
+}
+
+/// Flight-recorder cancel label for a fatal gateway error.
+fn cancel_label(err: &RemoteError) -> &'static str {
+    match err {
+        RemoteError::Serve(ServeError::DeadlineExceeded) => "deadline",
+        RemoteError::Serve(ServeError::ShutDown) => "shutdown",
+        RemoteError::Serve(ServeError::WorkerPanicked) => "panic",
+        RemoteError::Unavailable => "unavailable",
+        _ => "error",
+    }
+}
+
 fn probe_replica(inner: &GatewayInner, replica: &Replica) -> bool {
     let Ok(addr) = resolve(&replica.addr) else {
         return false;
@@ -352,6 +576,7 @@ fn budget_ms(deadline_at: Option<Instant>) -> Option<u32> {
 
 /// Run one shard group to completion: retries, breaker bookkeeping,
 /// and hedging happen here.
+#[allow(clippy::too_many_arguments)] // group context travels together
 fn query_group(
     inner: &Arc<GatewayInner>,
     slice: usize,
@@ -359,6 +584,8 @@ fn query_group(
     query: &[u8],
     top_k: usize,
     deadline_at: Option<Instant>,
+    ctx: TraceCtx,
+    flight: &QueryFlight,
 ) -> GroupOutcome {
     let group = &inner.groups[slice];
     let mut attempt = 0u32;
@@ -368,6 +595,7 @@ fn query_group(
         }
         if attempt > 0 {
             inner.metrics.retries.inc();
+            flight.retries.fetch_add(1, Ordering::Relaxed);
             let delay = inner.cfg.retry.delay(attempt);
             if let Some(d) = deadline_at {
                 if Instant::now() + delay >= d {
@@ -390,8 +618,18 @@ fn query_group(
         let hedge = (available.len() > 1 && inner.cfg.hedge_after.is_some())
             .then(|| available[(attempt as usize + 1) % available.len()]);
 
-        match attempt_with_hedge(inner, primary, hedge, id, query, top_k, deadline_at) {
-            Attempt::Ok(hits) => return GroupOutcome::Ok(hits),
+        match attempt_with_hedge(
+            inner,
+            primary,
+            hedge,
+            id,
+            query,
+            top_k,
+            deadline_at,
+            ctx,
+            flight,
+        ) {
+            Attempt::Ok(hits, timing) => return GroupOutcome::Ok(hits, timing),
             Attempt::Fatal(e) => return GroupOutcome::Fatal(e),
             Attempt::Retryable => {
                 attempt += 1;
@@ -404,6 +642,7 @@ fn query_group(
 /// delay and a sibling exists, launch a duplicate and take the first
 /// answer. Each attempt thread does its own breaker/metric
 /// bookkeeping, so the loser's late result still updates state.
+#[allow(clippy::too_many_arguments)] // attempt context travels together
 fn attempt_with_hedge(
     inner: &Arc<GatewayInner>,
     primary: usize,
@@ -412,9 +651,20 @@ fn attempt_with_hedge(
     query: &[u8],
     top_k: usize,
     deadline_at: Option<Instant>,
+    ctx: TraceCtx,
+    flight: &QueryFlight,
 ) -> Attempt {
     let (tx, rx) = mpsc::channel();
-    spawn_attempt(inner, primary, id, query, top_k, deadline_at, tx.clone());
+    spawn_attempt(
+        inner,
+        primary,
+        id,
+        query,
+        top_k,
+        deadline_at,
+        ctx,
+        tx.clone(),
+    );
 
     let hedge_delay = hedge.and_then(|_| effective_hedge_delay(inner, primary));
     let mut launched = 1;
@@ -424,12 +674,22 @@ fn attempt_with_hedge(
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 let sibling = hedge.expect("hedge_delay implies sibling");
                 inner.metrics.hedges.inc();
+                flight.hedges.fetch_add(1, Ordering::Relaxed);
                 swsimd_obs::event!(
                     "hedged_request",
                     "primary" => primary,
                     "sibling" => sibling
                 );
-                spawn_attempt(inner, sibling, id, query, top_k, deadline_at, tx.clone());
+                spawn_attempt(
+                    inner,
+                    sibling,
+                    id,
+                    query,
+                    top_k,
+                    deadline_at,
+                    ctx,
+                    tx.clone(),
+                );
                 launched = 2;
                 None
             }
@@ -446,7 +706,7 @@ fn attempt_with_hedge(
     // Take the first success; otherwise drain what was launched.
     while results
         .iter()
-        .filter(|r| !matches!(r, Attempt::Ok(_)))
+        .filter(|r| !matches!(r, Attempt::Ok(..)))
         .count()
         == results.len()
         && results.len() < launched
@@ -461,7 +721,7 @@ fn attempt_with_hedge(
     let mut fatal = None;
     for outcome in results {
         match outcome {
-            Attempt::Ok(hits) => return Attempt::Ok(hits),
+            Attempt::Ok(hits, timing) => return Attempt::Ok(hits, timing),
             Attempt::Fatal(e) => fatal = Some(e),
             Attempt::Retryable => retryable = true,
         }
@@ -495,17 +755,26 @@ fn spawn_attempt(
     query: &[u8],
     top_k: usize,
     deadline_at: Option<Instant>,
+    ctx: TraceCtx,
     tx: mpsc::Sender<Attempt>,
 ) {
     let inner = Arc::clone(inner);
     let query = query.to_vec();
     std::thread::spawn(move || {
         let started = Instant::now();
-        let outcome = attempt_once(&inner, ordinal, id, &query, top_k, deadline_at);
+        inner.replicas[ordinal].metrics.inflight.inc();
+        let mut outcome = attempt_once(&inner, ordinal, id, &query, top_k, deadline_at, ctx);
+        let rtt = started.elapsed();
         let replica = &inner.replicas[ordinal];
+        replica.metrics.inflight.dec();
+        // Only the gateway can observe the round trip; stamp it onto
+        // the shard's timing summary for the stitched breakdown.
+        if let Attempt::Ok(_, Some(timing)) = &mut outcome {
+            timing.rtt_ns = rtt.as_nanos() as u64;
+        }
         match &outcome {
-            Attempt::Ok(_) => {
-                replica.metrics.rtt.record_duration(started.elapsed());
+            Attempt::Ok(..) => {
+                replica.metrics.rtt.record_duration(rtt);
                 lock_ok(&replica.breaker).record_success();
             }
             // Fatal outcomes are the *query's* fault, not the
@@ -524,6 +793,7 @@ fn spawn_attempt(
     });
 }
 
+#[allow(clippy::too_many_arguments)] // attempt context travels together
 fn attempt_once(
     inner: &GatewayInner,
     ordinal: usize,
@@ -531,6 +801,7 @@ fn attempt_once(
     query: &[u8],
     top_k: usize,
     deadline_at: Option<Instant>,
+    ctx: TraceCtx,
 ) -> Attempt {
     let replica = &inner.replicas[ordinal];
     let Some(deadline_ms) = budget_ms(deadline_at) else {
@@ -561,12 +832,13 @@ fn attempt_once(
         slice_index: replica.slice,
         slice_count: inner.groups.len() as u32,
         query: query.to_vec(),
+        trace: ctx,
     };
     if write_msg(&mut stream, &msg).is_err() {
         return Attempt::Retryable;
     }
     match read_msg(&mut stream) {
-        Ok(Msg::Hits { hits, .. }) => Attempt::Ok(hits),
+        Ok(Msg::Hits { hits, timing, .. }) => Attempt::Ok(hits, timing),
         Ok(Msg::Error { err, .. }) => classify(err),
         // A non-answer kind is a confused peer: don't trust it again
         // this attempt.

@@ -21,6 +21,8 @@ pub struct GatewayMetrics {
     pub hedges: Arc<Counter>,
     /// Responses returned with one or more shards missing.
     pub degraded: Arc<Counter>,
+    /// End-to-end latency of gateway scatter-gather requests.
+    pub latency: Arc<Histogram>,
 }
 
 impl GatewayMetrics {
@@ -48,6 +50,12 @@ impl GatewayMetrics {
                 "Responses served with one or more shards missing.",
                 &[],
             ),
+            latency: r.histogram_scaled(
+                "swsimd_gateway_latency_seconds",
+                "End-to-end gateway scatter-gather request latency.",
+                1e-9,
+                &[],
+            ),
         }
     }
 }
@@ -67,6 +75,8 @@ pub struct ReplicaMetrics {
     /// Request round-trip latency (recorded in nanoseconds, exposed
     /// in seconds).
     pub rtt: Arc<Histogram>,
+    /// Attempts currently in flight against this replica.
+    pub inflight: Arc<Gauge>,
 }
 
 impl ReplicaMetrics {
@@ -92,6 +102,11 @@ impl ReplicaMetrics {
                 "swsimd_shard_rtt_seconds",
                 "Shard request round-trip latency.",
                 1e-9,
+                labels,
+            ),
+            inflight: r.gauge(
+                "swsimd_shard_inflight",
+                "Attempts currently in flight against this replica.",
                 labels,
             ),
         }

@@ -29,9 +29,11 @@ use std::time::{Duration, Instant};
 
 use swsimd_core::{AlignerBuilder, CancelReason, CancelToken, Hit};
 use swsimd_matrices::Alphabet;
+use swsimd_obs::flight::{ShardTiming, Stage, StageTiming};
+use swsimd_obs::trace::TraceCtx;
 use swsimd_runner::{
     checkpointed_search, rank_hits, read_journal_file, resume_search, BatchServer, FaultPlan,
-    JournalWriter, PoolConfig, ServeError, ServerClient, ServerConfig,
+    JournalWriter, PoolConfig, QueryOutcome, ServeError, ServerClient, ServerConfig,
 };
 use swsimd_seq::{integrity::crc32, Database};
 
@@ -393,6 +395,7 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<ShardShared>) -> std::io::Resul
                 slice_index,
                 slice_count,
                 query,
+                trace,
             } => {
                 let reply = handle_query(
                     &shared,
@@ -403,6 +406,7 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<ShardShared>) -> std::io::Resul
                     slice_index,
                     slice_count,
                     query,
+                    trace,
                 );
                 match reply {
                     Some(msg) => {
@@ -414,11 +418,67 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<ShardShared>) -> std::io::Resul
                     None => return Ok(()),
                 }
             }
-            // Reply kinds have no meaning as requests.
-            Msg::Hits { .. } | Msg::Error { .. } | Msg::Pong { .. } | Msg::MetricsText { .. } => {
-                return Ok(())
+            Msg::TraceRequest { trace_id } => {
+                let records = swsimd_obs::flight::global()
+                    .lookup(trace_id)
+                    .into_iter()
+                    .collect();
+                if !write_reply(&mut stream, &shared, &Msg::FlightRecords { records }) {
+                    return Ok(());
+                }
             }
+            Msg::SlowlogRequest { limit } => {
+                let records = swsimd_obs::flight::global().slowlog(flight_limit(limit));
+                if !write_reply(&mut stream, &shared, &Msg::FlightRecords { records }) {
+                    return Ok(());
+                }
+            }
+            Msg::FlightJsonRequest {
+                trace_id,
+                limit,
+                slow_only,
+            } => {
+                let text = flight_json(trace_id, limit, slow_only).into_bytes();
+                if !write_reply(&mut stream, &shared, &Msg::FlightJson { text }) {
+                    return Ok(());
+                }
+            }
+            // Reply kinds have no meaning as requests.
+            Msg::Hits { .. }
+            | Msg::Error { .. }
+            | Msg::Pong { .. }
+            | Msg::MetricsText { .. }
+            | Msg::FlightRecords { .. }
+            | Msg::FlightJson { .. } => return Ok(()),
         }
+    }
+}
+
+/// Flight-recorder list limit: 0 on the wire means "server default".
+pub(crate) fn flight_limit(limit: u32) -> usize {
+    if limit == 0 {
+        32
+    } else {
+        limit as usize
+    }
+}
+
+/// Render a [`Msg::FlightJsonRequest`] against the process-global
+/// flight recorder: one record (or `null`) in single-trace mode, a
+/// JSON array in list mode. Shared by shard and gateway front ends.
+pub(crate) fn flight_json(trace_id: u64, limit: u32, slow_only: bool) -> String {
+    let recorder = swsimd_obs::flight::global();
+    if trace_id != 0 {
+        return match recorder.lookup(trace_id) {
+            Some(rec) => rec.to_json(),
+            None => "null".into(),
+        };
+    }
+    let n = flight_limit(limit);
+    if slow_only {
+        recorder.slowlog_json(n)
+    } else {
+        recorder.recent_json(n)
     }
 }
 
@@ -442,13 +502,13 @@ impl Drop for InFlight<'_> {
 enum Pending {
     Server(swsimd_runner::PendingQuery),
     Durable {
-        rx: mpsc::Receiver<Result<Vec<Hit>, ServeError>>,
+        rx: mpsc::Receiver<Result<QueryOutcome, ServeError>>,
         token: CancelToken,
     },
 }
 
 impl Pending {
-    fn poll(&self, step: Duration) -> Option<Result<Vec<Hit>, ServeError>> {
+    fn poll(&self, step: Duration) -> Option<Result<QueryOutcome, ServeError>> {
         match self {
             Pending::Server(p) => p.poll(step),
             Pending::Durable { rx, .. } => match rx.recv_timeout(step) {
@@ -481,6 +541,7 @@ fn handle_query(
     slice_index: u32,
     slice_count: u32,
     query: Vec<u8>,
+    trace: TraceCtx,
 ) -> Option<Msg> {
     if shared.draining.load(Ordering::Acquire) {
         return Some(Msg::Error {
@@ -501,13 +562,30 @@ fn handle_query(
         });
     }
     let _guard = InFlight::enter(&shared.in_flight);
+    // Adopt the trace context that crossed the wire: the shard-side
+    // span tree (this root, then the batch server's kernel spans)
+    // parents under the gateway's request span, stitching one
+    // distributed tree keyed by the shared trace id.
+    let _adopt = swsimd_obs::adopt(trace);
+    let mut span = swsimd_obs::span!("shard_query", "shard" => shared.shard_index, "id" => id);
+    let ctx = TraceCtx {
+        trace_id: trace.trace_id,
+        span_id: if span.id() != 0 {
+            span.id()
+        } else {
+            trace.span_id
+        },
+    };
     let deadline =
         (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
 
     let pending = if shared.journal_dir.is_some() {
-        durable_submit(shared, query, deadline)
+        durable_submit(shared, query, deadline, ctx)
     } else {
-        match shared.client.submit(query, top_k as usize, deadline) {
+        match shared
+            .client
+            .submit_traced(query, top_k as usize, deadline, ctx)
+        {
             Ok(p) => Pending::Server(p),
             Err(e) => {
                 return Some(Msg::Error {
@@ -540,17 +618,48 @@ fn handle_query(
     };
 
     Some(match result {
-        Ok(mut hits) => {
+        Ok(outcome) => {
+            let QueryOutcome {
+                mut hits,
+                queue_ns,
+                compute_ns,
+                engine,
+                retries,
+            } = outcome;
             // Slice-local → global indices; ranked within the slice.
             for h in &mut hits {
                 h.db_index += shared.offset;
             }
             let hits = rank_hits(hits, top_k as usize);
+            span.record("engine", engine);
+            span.record("retries", retries as u64);
+            // Per-shard timing summary rides back on the reply so the
+            // gateway can stitch a complete stage breakdown without a
+            // second round trip (rtt_ns is filled in by the gateway,
+            // which is the only side that can observe it).
+            let timing = ShardTiming {
+                shard: shared.shard_index,
+                root_span: span.id(),
+                engine: engine.to_string(),
+                rtt_ns: 0,
+                stages: vec![
+                    StageTiming {
+                        stage: Stage::Queue,
+                        ns: queue_ns,
+                    },
+                    StageTiming {
+                        stage: Stage::Kernel,
+                        ns: compute_ns,
+                    },
+                ],
+            };
             Msg::Hits {
                 id,
                 degraded: false,
                 missing_shards: Vec::new(),
                 hits,
+                trace_id: trace.trace_id,
+                timing: Some(timing),
             }
         }
         Err(e) => {
@@ -570,14 +679,30 @@ fn handle_query(
 /// the same query is resumed first. The journal file is deleted only
 /// after the reply is computed, so any interruption leaves a
 /// resumable checkpoint.
-fn durable_submit(shared: &Arc<ShardShared>, query: Vec<u8>, deadline: Option<Instant>) -> Pending {
+fn durable_submit(
+    shared: &Arc<ShardShared>,
+    query: Vec<u8>,
+    deadline: Option<Instant>,
+    trace: TraceCtx,
+) -> Pending {
     let token = shared.shard_cancel.child_with_deadline(deadline);
     let (tx, rx) = mpsc::channel();
     let shared = Arc::clone(shared);
     let worker_token = token.clone();
     std::thread::spawn(move || {
+        // Adopt on the worker thread: pool spans parent under the
+        // shard's request span even across this thread hop.
+        let _adopt = swsimd_obs::adopt(trace);
+        let started = Instant::now();
         let result = durable_compute(&shared, &query, worker_token);
-        let _ = tx.send(result);
+        let compute_ns = started.elapsed().as_nanos() as u64;
+        let _ = tx.send(result.map(|hits| QueryOutcome {
+            hits,
+            queue_ns: 0,
+            compute_ns,
+            engine: "pool",
+            retries: 0,
+        }));
     });
     Pending::Durable { rx, token }
 }

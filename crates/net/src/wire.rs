@@ -15,10 +15,23 @@
 //! are meaningless across hosts); typed errors travel back as
 //! [`RemoteError`] so every [`ServeError`] a shard raises arrives at
 //! the gateway as the same variant, not a stringly-typed blob.
+//!
+//! ## Version tolerance
+//!
+//! [`Msg::Query`] and [`Msg::Hits`] end in an *extension tail*: zero
+//! or more `u8 ext_kind | u16 len | bytes` records after the fixed
+//! body. A decoder skips extension kinds it does not recognize, so a
+//! frame carrying extensions minted by a newer peer (trace context,
+//! shard timing summaries, or whatever comes next) still decodes on
+//! an older one, and a frame with no tail — the pre-extension format
+//! byte for byte — decodes on a new one. Extension kinds, like
+//! message kinds, are append-only.
 
 use std::io::{self, Read, Write};
 
 use swsimd_core::{AlignError, Hit, Precision};
+use swsimd_obs::flight::{AuditRecord, ShardTiming, Stage, StageTiming};
+use swsimd_obs::trace::TraceCtx;
 use swsimd_runner::ServeError;
 use swsimd_seq::integrity::crc32;
 
@@ -239,6 +252,9 @@ pub enum Msg {
         slice_count: u32,
         /// Alphabet-encoded query residues.
         query: Vec<u8>,
+        /// Propagated trace context (extension; `TraceCtx::default()`
+        /// = untraced, encoded as an absent tail for old peers).
+        trace: TraceCtx,
     },
     /// Shard/gateway → client: the ranked hits.
     Hits {
@@ -250,6 +266,11 @@ pub enum Msg {
         missing_shards: Vec<u32>,
         /// Ranked hits (global database indices).
         hits: Vec<Hit>,
+        /// Trace id this reply belongs to (extension; 0 = untraced).
+        trace_id: u64,
+        /// Responder's timing summary (extension; shards fill this in
+        /// so the gateway can stitch a complete request tree).
+        timing: Option<ShardTiming>,
     },
     /// Shard/gateway → client: the query failed with a typed error.
     Error {
@@ -282,6 +303,37 @@ pub enum Msg {
         /// UTF-8 Prometheus exposition payload.
         text: Vec<u8>,
     },
+    /// Ask the flight recorder for the audit record of one trace.
+    TraceRequest {
+        /// Trace id to look up.
+        trace_id: u64,
+    },
+    /// Ask the flight recorder for its slow-query log.
+    SlowlogRequest {
+        /// Maximum records to return (0 = a server-chosen default).
+        limit: u32,
+    },
+    /// Flight-recorder reply: zero or more audit records.
+    FlightRecords {
+        /// Matching records, newest first.
+        records: Vec<AuditRecord>,
+    },
+    /// Ask the flight recorder for records rendered as JSON (the
+    /// gateway's machine-readable endpoint).
+    FlightJsonRequest {
+        /// Look up one trace (0 = list mode).
+        trace_id: u64,
+        /// Maximum records in list mode (0 = a server-chosen default).
+        limit: u32,
+        /// List only slow-log records.
+        slow_only: bool,
+    },
+    /// The JSON rendering of the requested records.
+    FlightJson {
+        /// UTF-8 JSON payload (an array in list mode, an object or
+        /// `null` in single-trace mode).
+        text: Vec<u8>,
+    },
 }
 
 const KIND_QUERY: u8 = 1;
@@ -292,6 +344,17 @@ const KIND_PONG: u8 = 5;
 const KIND_DRAIN: u8 = 6;
 const KIND_METRICS_REQ: u8 = 7;
 const KIND_METRICS_TEXT: u8 = 8;
+const KIND_TRACE_REQ: u8 = 9;
+const KIND_SLOWLOG_REQ: u8 = 10;
+const KIND_FLIGHT_RECORDS: u8 = 11;
+const KIND_FLIGHT_JSON_REQ: u8 = 12;
+const KIND_FLIGHT_JSON: u8 = 13;
+
+/// Extension-tail kinds for [`Msg::Query`]/[`Msg::Hits`]. Append-only;
+/// unknown kinds are skipped by the decoder.
+const EXT_TRACE_CTX: u8 = 1;
+const EXT_TRACE_ID: u8 = 2;
+const EXT_SHARD_TIMING: u8 = 3;
 
 /// Bounds-checked little-endian reader over a payload body.
 struct Reader<'a> {
@@ -310,6 +373,10 @@ impl<'a> Reader<'a> {
 
     fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
         Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
     }
 
     fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
@@ -333,6 +400,155 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Append one `ext_kind | u16 len | bytes` extension record.
+fn push_ext(out: &mut Vec<u8>, kind: u8, body: &[u8]) {
+    debug_assert!(body.len() <= u16::MAX as usize);
+    out.push(kind);
+    out.extend_from_slice(&(body.len() as u16).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Walk an extension tail, handing each known-or-unknown record to
+/// `f`. Unknown kinds MUST be ignored by the callback for forward
+/// compatibility; malformed framing (a length past the end of the
+/// payload) is still a hard error.
+fn read_exts(
+    r: &mut Reader<'_>,
+    mut f: impl FnMut(u8, &[u8]) -> Result<(), WireError>,
+) -> Result<(), WireError> {
+    while !r.buf.is_empty() {
+        let kind = r.u8("ext kind")?;
+        let len = r.u16("ext length")? as usize;
+        let body = r.take(len, "ext body")?;
+        f(kind, body)?;
+    }
+    Ok(())
+}
+
+fn push_len_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(u8::MAX as usize);
+    out.push(n as u8);
+    out.extend_from_slice(&bytes[..n]);
+}
+
+fn read_len_str(r: &mut Reader<'_>, what: &'static str) -> Result<String, WireError> {
+    let n = r.u8(what)? as usize;
+    let bytes = r.take(n, what)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed(what))
+}
+
+fn push_stage_timings(out: &mut Vec<u8>, stages: &[StageTiming]) {
+    out.push(stages.len().min(u8::MAX as usize) as u8);
+    for st in stages.iter().take(u8::MAX as usize) {
+        out.push(st.stage.as_u8());
+        out.extend_from_slice(&st.ns.to_le_bytes());
+    }
+}
+
+/// Unknown stage tags (from a newer peer) are skipped, not rejected.
+fn read_stage_timings(r: &mut Reader<'_>) -> Result<Vec<StageTiming>, WireError> {
+    let n = r.u8("stage count")? as usize;
+    let mut stages = Vec::with_capacity(n.min(Stage::ALL.len()));
+    for _ in 0..n {
+        let tag = r.u8("stage tag")?;
+        let ns = r.u64("stage ns")?;
+        if let Some(stage) = Stage::from_u8(tag) {
+            stages.push(StageTiming { stage, ns });
+        }
+    }
+    Ok(stages)
+}
+
+fn encode_shard_timing(t: &ShardTiming) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&t.shard.to_le_bytes());
+    out.extend_from_slice(&t.root_span.to_le_bytes());
+    out.extend_from_slice(&t.rtt_ns.to_le_bytes());
+    push_len_str(&mut out, &t.engine);
+    push_stage_timings(&mut out, &t.stages);
+    out
+}
+
+fn decode_shard_timing(bytes: &[u8]) -> Result<ShardTiming, WireError> {
+    let mut r = Reader { buf: bytes };
+    let shard = r.u32("timing shard")?;
+    let root_span = r.u64("timing root span")?;
+    let rtt_ns = r.u64("timing rtt")?;
+    let engine = read_len_str(&mut r, "timing engine")?;
+    let stages = read_stage_timings(&mut r)?;
+    // Deliberately no `done()`: a newer peer may append fields.
+    Ok(ShardTiming {
+        shard,
+        root_span,
+        engine,
+        rtt_ns,
+        stages,
+    })
+}
+
+const AUDIT_FLAG_OK: u8 = 1;
+const AUDIT_FLAG_DEGRADED: u8 = 2;
+
+fn encode_audit(rec: &AuditRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&rec.trace_id.to_le_bytes());
+    out.extend_from_slice(&rec.query_id.to_le_bytes());
+    out.extend_from_slice(&rec.total_ns.to_le_bytes());
+    out.extend_from_slice(&rec.cost.to_le_bytes());
+    out.extend_from_slice(&rec.retries.to_le_bytes());
+    out.extend_from_slice(&rec.hedges.to_le_bytes());
+    let mut flags = 0u8;
+    if rec.ok {
+        flags |= AUDIT_FLAG_OK;
+    }
+    if rec.degraded {
+        flags |= AUDIT_FLAG_DEGRADED;
+    }
+    out.push(flags);
+    push_len_str(out, &rec.engine);
+    push_len_str(out, &rec.cancel);
+    push_stage_timings(out, &rec.stages);
+    out.push(rec.shards.len().min(u8::MAX as usize) as u8);
+    for sh in rec.shards.iter().take(u8::MAX as usize) {
+        let body = encode_shard_timing(sh);
+        out.extend_from_slice(&(body.len() as u16).to_le_bytes());
+        out.extend_from_slice(&body);
+    }
+}
+
+fn decode_audit(r: &mut Reader<'_>) -> Result<AuditRecord, WireError> {
+    let trace_id = r.u64("audit trace id")?;
+    let query_id = r.u64("audit query id")?;
+    let total_ns = r.u64("audit total")?;
+    let cost = r.u64("audit cost")?;
+    let retries = r.u32("audit retries")?;
+    let hedges = r.u32("audit hedges")?;
+    let flags = r.u8("audit flags")?;
+    let engine = read_len_str(r, "audit engine")?;
+    let cancel = read_len_str(r, "audit cancel")?;
+    let stages = read_stage_timings(r)?;
+    let n_shards = r.u8("audit shard count")? as usize;
+    let mut shards = Vec::with_capacity(n_shards.min(64));
+    for _ in 0..n_shards {
+        let len = r.u16("audit shard timing length")? as usize;
+        shards.push(decode_shard_timing(r.take(len, "audit shard timing")?)?);
+    }
+    Ok(AuditRecord {
+        trace_id,
+        query_id,
+        total_ns,
+        stages,
+        shards,
+        engine,
+        retries,
+        hedges,
+        degraded: flags & AUDIT_FLAG_DEGRADED != 0,
+        cost,
+        cancel,
+        ok: flags & AUDIT_FLAG_OK != 0,
+    })
+}
+
 impl Msg {
     /// Serialize the payload (kind byte + body, no framing).
     pub fn encode(&self) -> Vec<u8> {
@@ -345,6 +561,7 @@ impl Msg {
                 slice_index,
                 slice_count,
                 query,
+                trace,
             } => {
                 out.push(KIND_QUERY);
                 out.extend_from_slice(&id.to_le_bytes());
@@ -354,12 +571,20 @@ impl Msg {
                 out.extend_from_slice(&slice_count.to_le_bytes());
                 out.extend_from_slice(&(query.len() as u32).to_le_bytes());
                 out.extend_from_slice(query);
+                if trace.is_traced() {
+                    let mut body = Vec::with_capacity(16);
+                    body.extend_from_slice(&trace.trace_id.to_le_bytes());
+                    body.extend_from_slice(&trace.span_id.to_le_bytes());
+                    push_ext(&mut out, EXT_TRACE_CTX, &body);
+                }
             }
             Msg::Hits {
                 id,
                 degraded,
                 missing_shards,
                 hits,
+                trace_id,
+                timing,
             } => {
                 out.push(KIND_HITS);
                 out.extend_from_slice(&id.to_le_bytes());
@@ -373,6 +598,12 @@ impl Msg {
                     out.extend_from_slice(&(h.db_index as u64).to_le_bytes());
                     out.extend_from_slice(&h.score.to_le_bytes());
                     out.push(precision_code(h.precision));
+                }
+                if *trace_id != 0 {
+                    push_ext(&mut out, EXT_TRACE_ID, &trace_id.to_le_bytes());
+                }
+                if let Some(t) = timing {
+                    push_ext(&mut out, EXT_SHARD_TIMING, &encode_shard_timing(t));
                 }
             }
             Msg::Error { id, err } => {
@@ -405,6 +636,36 @@ impl Msg {
                 out.extend_from_slice(&(text.len() as u32).to_le_bytes());
                 out.extend_from_slice(text);
             }
+            Msg::TraceRequest { trace_id } => {
+                out.push(KIND_TRACE_REQ);
+                out.extend_from_slice(&trace_id.to_le_bytes());
+            }
+            Msg::SlowlogRequest { limit } => {
+                out.push(KIND_SLOWLOG_REQ);
+                out.extend_from_slice(&limit.to_le_bytes());
+            }
+            Msg::FlightRecords { records } => {
+                out.push(KIND_FLIGHT_RECORDS);
+                out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+                for rec in records {
+                    encode_audit(rec, &mut out);
+                }
+            }
+            Msg::FlightJsonRequest {
+                trace_id,
+                limit,
+                slow_only,
+            } => {
+                out.push(KIND_FLIGHT_JSON_REQ);
+                out.extend_from_slice(&trace_id.to_le_bytes());
+                out.extend_from_slice(&limit.to_le_bytes());
+                out.push(u8::from(*slow_only));
+            }
+            Msg::FlightJson { text } => {
+                out.push(KIND_FLIGHT_JSON);
+                out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                out.extend_from_slice(text);
+            }
         }
         out
     }
@@ -423,6 +684,17 @@ impl Msg {
                 let slice_count = r.u32("query slice count")?;
                 let len = r.u32("query length")? as usize;
                 let query = r.take(len, "query residues")?.to_vec();
+                let mut trace = TraceCtx::default();
+                read_exts(&mut r, |kind, body| {
+                    if kind == EXT_TRACE_CTX {
+                        let mut er = Reader { buf: body };
+                        trace = TraceCtx {
+                            trace_id: er.u64("trace ctx id")?,
+                            span_id: er.u64("trace ctx span")?,
+                        };
+                    }
+                    Ok(())
+                })?;
                 Msg::Query {
                     id,
                     top_k,
@@ -430,6 +702,7 @@ impl Msg {
                     slice_index,
                     slice_count,
                     query,
+                    trace,
                 }
             }
             KIND_HITS => {
@@ -464,11 +737,26 @@ impl Msg {
                         precision,
                     });
                 }
+                let mut trace_id = 0u64;
+                let mut timing = None;
+                read_exts(&mut r, |kind, body| {
+                    match kind {
+                        EXT_TRACE_ID => {
+                            let mut er = Reader { buf: body };
+                            trace_id = er.u64("hits trace id")?;
+                        }
+                        EXT_SHARD_TIMING => timing = Some(decode_shard_timing(body)?),
+                        _ => {}
+                    }
+                    Ok(())
+                })?;
                 Msg::Hits {
                     id,
                     degraded,
                     missing_shards,
                     hits,
+                    trace_id,
+                    timing,
                 }
             }
             KIND_ERROR => {
@@ -504,6 +792,42 @@ impl Msg {
                 let len = r.u32("metrics length")? as usize;
                 let text = r.take(len, "metrics text")?.to_vec();
                 Msg::MetricsText { text }
+            }
+            KIND_TRACE_REQ => Msg::TraceRequest {
+                trace_id: r.u64("trace request id")?,
+            },
+            KIND_SLOWLOG_REQ => Msg::SlowlogRequest {
+                limit: r.u32("slowlog limit")?,
+            },
+            KIND_FLIGHT_RECORDS => {
+                let n = r.u32("flight record count")? as usize;
+                if n > payload.len() {
+                    return Err(WireError::Malformed("flight record count"));
+                }
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    records.push(decode_audit(&mut r)?);
+                }
+                Msg::FlightRecords { records }
+            }
+            KIND_FLIGHT_JSON_REQ => {
+                let trace_id = r.u64("flight json trace id")?;
+                let limit = r.u32("flight json limit")?;
+                let slow_only = match r.u8("flight json slow flag")? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("flight json slow flag")),
+                };
+                Msg::FlightJsonRequest {
+                    trace_id,
+                    limit,
+                    slow_only,
+                }
+            }
+            KIND_FLIGHT_JSON => {
+                let len = r.u32("flight json length")? as usize;
+                let text = r.take(len, "flight json text")?.to_vec();
+                Msg::FlightJson { text }
             }
             other => return Err(WireError::UnknownKind(other)),
         };
@@ -580,6 +904,25 @@ mod tests {
         assert_eq!(back, msg);
     }
 
+    fn sample_timing() -> ShardTiming {
+        ShardTiming {
+            shard: 2,
+            root_span: 0xABCD_EF01,
+            engine: "AVX2".into(),
+            rtt_ns: 12_345,
+            stages: vec![
+                StageTiming {
+                    stage: Stage::Queue,
+                    ns: 400,
+                },
+                StageTiming {
+                    stage: Stage::Kernel,
+                    ns: 9000,
+                },
+            ],
+        }
+    }
+
     #[test]
     fn all_kinds_round_trip() {
         roundtrip(Msg::Query {
@@ -589,6 +932,19 @@ mod tests {
             slice_index: 2,
             slice_count: 3,
             query: vec![1, 2, 3, 19],
+            trace: TraceCtx::default(),
+        });
+        roundtrip(Msg::Query {
+            id: 8,
+            top_k: 10,
+            deadline_ms: 1500,
+            slice_index: 2,
+            slice_count: 3,
+            query: vec![1, 2, 3, 19],
+            trace: TraceCtx {
+                trace_id: 0xFACE,
+                span_id: 0xB00C,
+            },
         });
         roundtrip(Msg::Hits {
             id: 7,
@@ -599,6 +955,16 @@ mod tests {
                 score: 117,
                 precision: Precision::I16,
             }],
+            trace_id: 0,
+            timing: None,
+        });
+        roundtrip(Msg::Hits {
+            id: 7,
+            degraded: false,
+            missing_shards: vec![],
+            hits: vec![],
+            trace_id: 0xFACE,
+            timing: Some(sample_timing()),
         });
         roundtrip(Msg::Error {
             id: 9,
@@ -615,6 +981,143 @@ mod tests {
         roundtrip(Msg::MetricsText {
             text: b"swsimd_up 1\n".to_vec(),
         });
+        roundtrip(Msg::TraceRequest { trace_id: 0xFACE });
+        roundtrip(Msg::SlowlogRequest { limit: 32 });
+        roundtrip(Msg::FlightRecords {
+            records: vec![AuditRecord {
+                trace_id: 0xFACE,
+                query_id: 7,
+                total_ns: 1_000_000,
+                stages: vec![StageTiming {
+                    stage: Stage::NetRtt,
+                    ns: 900_000,
+                }],
+                shards: vec![sample_timing()],
+                engine: "AVX2".into(),
+                retries: 1,
+                hedges: 2,
+                degraded: true,
+                cost: 640,
+                cancel: "deadline".into(),
+                ok: false,
+            }],
+        });
+        roundtrip(Msg::FlightJsonRequest {
+            trace_id: 0,
+            limit: 16,
+            slow_only: true,
+        });
+        roundtrip(Msg::FlightJson {
+            text: b"[]".to_vec(),
+        });
+    }
+
+    /// A pre-extension frame (fixed body, no tail) must decode on this
+    /// decoder — byte-for-byte what an old peer emits.
+    #[test]
+    fn pre_extension_frames_still_decode() {
+        let msg = Msg::Query {
+            id: 7,
+            top_k: 10,
+            deadline_ms: 1500,
+            slice_index: 2,
+            slice_count: 3,
+            query: vec![1, 2, 3],
+            trace: TraceCtx::default(),
+        };
+        // An untraced query encodes with no tail: identical to the old
+        // format. Hand-build the old bytes to prove it.
+        let mut old = vec![KIND_QUERY];
+        old.extend_from_slice(&7u64.to_le_bytes());
+        old.extend_from_slice(&10u32.to_le_bytes());
+        old.extend_from_slice(&1500u32.to_le_bytes());
+        old.extend_from_slice(&2u32.to_le_bytes());
+        old.extend_from_slice(&3u32.to_le_bytes());
+        old.extend_from_slice(&3u32.to_le_bytes());
+        old.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(msg.encode(), old, "untraced encoding matches old format");
+        assert_eq!(Msg::decode(&old).unwrap(), msg);
+    }
+
+    /// Extensions minted by a future peer are skipped, not rejected.
+    #[test]
+    fn unknown_extension_kinds_are_skipped() {
+        let msg = Msg::Query {
+            id: 1,
+            top_k: 5,
+            deadline_ms: 0,
+            slice_index: 0,
+            slice_count: 0,
+            query: vec![4, 5],
+            trace: TraceCtx {
+                trace_id: 77,
+                span_id: 88,
+            },
+        };
+        let mut bytes = msg.encode();
+        push_ext(&mut bytes, 0xEE, &[9, 9, 9, 9]); // future ext
+        push_ext(&mut bytes, 0xEF, &[]); // future empty ext
+        assert_eq!(Msg::decode(&bytes).unwrap(), msg);
+
+        // Same for Hits, with the unknown ext *before* the known ones.
+        let hits = Msg::Hits {
+            id: 1,
+            degraded: false,
+            missing_shards: vec![],
+            hits: vec![],
+            trace_id: 0,
+            timing: None,
+        };
+        let mut bytes = hits.encode();
+        push_ext(&mut bytes, 0xEE, b"future");
+        push_ext(&mut bytes, EXT_TRACE_ID, &42u64.to_le_bytes());
+        match Msg::decode(&bytes).unwrap() {
+            Msg::Hits { trace_id, .. } => assert_eq!(trace_id, 42),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// A torn extension (length past the payload end) is a typed
+    /// error, not a panic or a silent accept.
+    #[test]
+    fn torn_extension_is_malformed() {
+        let msg = Msg::Query {
+            id: 1,
+            top_k: 5,
+            deadline_ms: 0,
+            slice_index: 0,
+            slice_count: 0,
+            query: vec![],
+            trace: TraceCtx::default(),
+        };
+        let mut bytes = msg.encode();
+        bytes.push(EXT_TRACE_CTX);
+        bytes.extend_from_slice(&100u16.to_le_bytes()); // claims 100 bytes
+        bytes.extend_from_slice(&[0; 4]); // delivers 4
+        assert!(matches!(
+            Msg::decode(&bytes),
+            Err(WireError::Malformed("ext body"))
+        ));
+    }
+
+    /// Unknown stage tags inside a timing summary are skipped — a
+    /// newer shard can report stages this gateway doesn't know.
+    #[test]
+    fn unknown_stage_tags_are_skipped() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u32.to_le_bytes()); // shard
+        body.extend_from_slice(&5u64.to_le_bytes()); // root span
+        body.extend_from_slice(&0u64.to_le_bytes()); // rtt
+        body.push(4);
+        body.extend_from_slice(b"AVX2");
+        body.push(2); // two stages: one known, one future
+        body.push(Stage::Kernel.as_u8());
+        body.extend_from_slice(&123u64.to_le_bytes());
+        body.push(0xEE);
+        body.extend_from_slice(&456u64.to_le_bytes());
+        let t = decode_shard_timing(&body).unwrap();
+        assert_eq!(t.stages.len(), 1);
+        assert_eq!(t.stages[0].ns, 123);
     }
 
     #[test]

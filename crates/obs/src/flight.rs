@@ -1,0 +1,491 @@
+//! Per-query flight recorder: a bounded in-memory ring of completed
+//! request audit records, plus a slow-query log.
+//!
+//! Every completed request — whether it succeeded, degraded, or was
+//! cancelled — leaves one [`AuditRecord`] behind: its trace id, a
+//! stage-level latency breakdown (admission / queue / dispatch /
+//! kernel / traceback / net-rtt / merge), the engine that served it,
+//! retry/hedge/degradation counts, its admission cost, and the cancel
+//! reason if any. Records land in a fixed-capacity ring (oldest
+//! evicted first); records whose total latency crosses the slow-query
+//! threshold are *additionally* promoted to a separate slow-log ring
+//! so a burst of fast queries cannot evict the interesting ones.
+//!
+//! The recorder is process-global and enabled by default: its cost is
+//! one relaxed atomic load plus one short uncontended mutex push per
+//! completed request (bounded by the `obs_overhead` gate), which is
+//! noise next to even the smallest kernel call. It allocates nothing
+//! on the query path beyond the record itself.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+
+/// Capacity of the main audit ring.
+pub const RING_CAPACITY: usize = 512;
+/// Capacity of the slow-log ring.
+pub const SLOW_CAPACITY: usize = 128;
+/// Default slow-query threshold: 100ms end-to-end.
+pub const DEFAULT_SLOW_THRESHOLD_NS: u64 = 100_000_000;
+
+/// A stage of a request's lifecycle, for latency attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Admission control: validation + cost estimation at the edge.
+    Admission,
+    /// Time spent queued before a worker picked the job up.
+    Queue,
+    /// Scatter: building and sending per-shard sub-requests.
+    Dispatch,
+    /// Alignment kernel time.
+    Kernel,
+    /// Traceback reconstruction time.
+    Traceback,
+    /// Network round-trip: waiting on shard replies.
+    NetRtt,
+    /// Merging and ranking shard results.
+    Merge,
+}
+
+impl Stage {
+    /// Every stage, in lifecycle order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Admission,
+        Stage::Queue,
+        Stage::Dispatch,
+        Stage::Kernel,
+        Stage::Traceback,
+        Stage::NetRtt,
+        Stage::Merge,
+    ];
+
+    /// Stable lowercase name (used in wire encoding keys, JSON, CLI).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Stage::Admission => "admission",
+            Stage::Queue => "queue",
+            Stage::Dispatch => "dispatch",
+            Stage::Kernel => "kernel",
+            Stage::Traceback => "traceback",
+            Stage::NetRtt => "net_rtt",
+            Stage::Merge => "merge",
+        }
+    }
+
+    /// Stable wire tag. Append-only: never renumber.
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            Stage::Admission => 1,
+            Stage::Queue => 2,
+            Stage::Dispatch => 3,
+            Stage::Kernel => 4,
+            Stage::Traceback => 5,
+            Stage::NetRtt => 6,
+            Stage::Merge => 7,
+        }
+    }
+
+    /// Inverse of [`Stage::as_u8`]; unknown tags (from a newer peer)
+    /// return `None` and should be skipped, not rejected.
+    pub fn from_u8(tag: u8) -> Option<Stage> {
+        Some(match tag {
+            1 => Stage::Admission,
+            2 => Stage::Queue,
+            3 => Stage::Dispatch,
+            4 => Stage::Kernel,
+            5 => Stage::Traceback,
+            6 => Stage::NetRtt,
+            7 => Stage::Merge,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One stage's measured wall-clock contribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Which stage.
+    pub stage: Stage,
+    /// Nanoseconds spent in it.
+    pub ns: u64,
+}
+
+/// A shard's self-reported timing summary, returned in its reply and
+/// stitched into the gateway's audit record.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardTiming {
+    /// Shard (slice) index.
+    pub shard: u32,
+    /// The shard-side request span id (parents under the gateway's
+    /// request span in the stitched tree).
+    pub root_span: u64,
+    /// Engine/ISA the shard served with (e.g. "AVX2", "scalar").
+    pub engine: String,
+    /// Gateway-measured round-trip to this shard, nanoseconds.
+    pub rtt_ns: u64,
+    /// Shard-side stage breakdown (queue, kernel, ...).
+    pub stages: Vec<StageTiming>,
+}
+
+/// One completed request's audit record.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Distributed trace id (0 = untraced).
+    pub trace_id: u64,
+    /// Wire-level query id (0 when not applicable).
+    pub query_id: u64,
+    /// End-to-end wall clock, nanoseconds.
+    pub total_ns: u64,
+    /// Local stage breakdown; stages should roughly partition
+    /// `total_ns` so `swsimd trace` can cross-check the sum.
+    pub stages: Vec<StageTiming>,
+    /// Per-shard summaries (gateway records only).
+    pub shards: Vec<ShardTiming>,
+    /// Engine/ISA that served the request (merged view at a gateway).
+    pub engine: String,
+    /// Retries spent across all shards.
+    pub retries: u32,
+    /// Hedged sub-requests issued.
+    pub hedges: u32,
+    /// True if the response was served degraded (missing shards).
+    pub degraded: bool,
+    /// Admission cost units charged.
+    pub cost: u64,
+    /// Cancel reason (`deadline`, `client_drop`, ...) or error code;
+    /// empty string = completed normally.
+    pub cancel: String,
+    /// True if the request produced a successful reply.
+    pub ok: bool,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_stages(out: &mut String, stages: &[StageTiming]) {
+    out.push('{');
+    for (i, st) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, st.stage.as_str());
+        out.push(':');
+        out.push_str(&st.ns.to_string());
+    }
+    out.push('}');
+}
+
+impl AuditRecord {
+    /// Sum of the local stage breakdown, nanoseconds.
+    pub fn stage_sum_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.ns).sum()
+    }
+
+    /// Hand-rolled JSON object (the obs crate takes no serializer
+    /// dependency; the schema is documented in DESIGN.md §14).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"trace_id\":");
+        out.push_str(&self.trace_id.to_string());
+        out.push_str(",\"query_id\":");
+        out.push_str(&self.query_id.to_string());
+        out.push_str(",\"total_ns\":");
+        out.push_str(&self.total_ns.to_string());
+        out.push_str(",\"ok\":");
+        out.push_str(if self.ok { "true" } else { "false" });
+        out.push_str(",\"degraded\":");
+        out.push_str(if self.degraded { "true" } else { "false" });
+        out.push_str(",\"engine\":");
+        push_json_str(&mut out, &self.engine);
+        out.push_str(",\"retries\":");
+        out.push_str(&self.retries.to_string());
+        out.push_str(",\"hedges\":");
+        out.push_str(&self.hedges.to_string());
+        out.push_str(",\"cost\":");
+        out.push_str(&self.cost.to_string());
+        out.push_str(",\"cancel\":");
+        push_json_str(&mut out, &self.cancel);
+        out.push_str(",\"stages\":");
+        push_stages(&mut out, &self.stages);
+        out.push_str(",\"shards\":[");
+        for (i, sh) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"shard\":");
+            out.push_str(&sh.shard.to_string());
+            out.push_str(",\"root_span\":");
+            out.push_str(&sh.root_span.to_string());
+            out.push_str(",\"engine\":");
+            push_json_str(&mut out, &sh.engine);
+            out.push_str(",\"rtt_ns\":");
+            out.push_str(&sh.rtt_ns.to_string());
+            out.push_str(",\"stages\":");
+            push_stages(&mut out, &sh.stages);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+struct Rings {
+    ring: VecDeque<AuditRecord>,
+    slow: VecDeque<AuditRecord>,
+}
+
+/// The process-global per-query flight recorder.
+pub struct FlightRecorder {
+    rings: Mutex<Rings>,
+    enabled: AtomicBool,
+    slow_threshold_ns: AtomicU64,
+    recorded: AtomicU64,
+    promoted: AtomicU64,
+}
+
+static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// The process-global recorder (created on first use, enabled).
+pub fn global() -> &'static FlightRecorder {
+    GLOBAL.get_or_init(FlightRecorder::new)
+}
+
+impl FlightRecorder {
+    fn new() -> FlightRecorder {
+        FlightRecorder {
+            rings: Mutex::new(Rings {
+                ring: VecDeque::with_capacity(RING_CAPACITY),
+                slow: VecDeque::with_capacity(SLOW_CAPACITY),
+            }),
+            enabled: AtomicBool::new(true),
+            slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NS),
+            recorded: AtomicU64::new(0),
+            promoted: AtomicU64::new(0),
+        }
+    }
+
+    /// Turn recording on or off (it defaults to on).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Relaxed);
+    }
+
+    /// Is recording on?
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Current slow-query promotion threshold, nanoseconds.
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns.load(Relaxed)
+    }
+
+    /// Set the slow-query promotion threshold, nanoseconds.
+    pub fn set_slow_threshold_ns(&self, ns: u64) {
+        self.slow_threshold_ns.store(ns, Relaxed);
+    }
+
+    /// Total records accepted since process start.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Relaxed)
+    }
+
+    /// Records promoted to the slow log since process start.
+    pub fn promoted(&self) -> u64 {
+        self.promoted.load(Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Rings> {
+        self.rings.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record one completed request. Cheap: a relaxed load when
+    /// disabled; one short mutex push when enabled.
+    pub fn record(&self, rec: AuditRecord) {
+        if !self.enabled.load(Relaxed) {
+            return;
+        }
+        self.recorded.fetch_add(1, Relaxed);
+        let slow = rec.total_ns >= self.slow_threshold_ns.load(Relaxed);
+        let mut rings = self.lock();
+        if rings.ring.len() == RING_CAPACITY {
+            rings.ring.pop_front();
+        }
+        if slow {
+            self.promoted.fetch_add(1, Relaxed);
+            if rings.slow.len() == SLOW_CAPACITY {
+                rings.slow.pop_front();
+            }
+            rings.slow.push_back(rec.clone());
+        }
+        rings.ring.push_back(rec);
+    }
+
+    /// Find a record by trace id (checks the slow log too, which
+    /// outlives the main ring under fast-query churn).
+    pub fn lookup(&self, trace_id: u64) -> Option<AuditRecord> {
+        let rings = self.lock();
+        rings
+            .ring
+            .iter()
+            .rev()
+            .find(|r| r.trace_id == trace_id)
+            .or_else(|| rings.slow.iter().rev().find(|r| r.trace_id == trace_id))
+            .cloned()
+    }
+
+    /// The `n` most recent records, newest first.
+    pub fn recent(&self, n: usize) -> Vec<AuditRecord> {
+        self.lock().ring.iter().rev().take(n).cloned().collect()
+    }
+
+    /// The `n` most recent slow-log records, newest first.
+    pub fn slowlog(&self, n: usize) -> Vec<AuditRecord> {
+        self.lock().slow.iter().rev().take(n).cloned().collect()
+    }
+
+    /// JSON array of the `n` most recent slow-log records.
+    pub fn slowlog_json(&self, n: usize) -> String {
+        json_array(&self.slowlog(n))
+    }
+
+    /// JSON array of the `n` most recent records.
+    pub fn recent_json(&self, n: usize) -> String {
+        json_array(&self.recent(n))
+    }
+}
+
+/// Render records as a JSON array.
+pub fn json_array(records: &[AuditRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&r.to_json());
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace_id: u64, total_ns: u64) -> AuditRecord {
+        AuditRecord {
+            trace_id,
+            total_ns,
+            engine: "AVX2".into(),
+            stages: vec![
+                StageTiming {
+                    stage: Stage::Queue,
+                    ns: total_ns / 2,
+                },
+                StageTiming {
+                    stage: Stage::Kernel,
+                    ns: total_ns / 2,
+                },
+            ],
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_lookup_works() {
+        let fr = FlightRecorder::new();
+        fr.set_slow_threshold_ns(u64::MAX);
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            fr.record(rec(i + 1, 1000));
+        }
+        let rings = fr.lock();
+        assert_eq!(rings.ring.len(), RING_CAPACITY);
+        drop(rings);
+        // Oldest 10 evicted; newest still present.
+        assert!(fr.lookup(5).is_none());
+        assert!(fr.lookup(RING_CAPACITY as u64 + 10).is_some());
+        assert_eq!(fr.recorded(), RING_CAPACITY as u64 + 10);
+        assert_eq!(fr.promoted(), 0);
+    }
+
+    #[test]
+    fn slow_queries_are_promoted_and_survive_churn() {
+        let fr = FlightRecorder::new();
+        fr.set_slow_threshold_ns(1_000_000);
+        fr.record(rec(42, 5_000_000)); // slow
+        for i in 0..RING_CAPACITY as u64 + 1 {
+            fr.record(rec(1000 + i, 10)); // fast churn evicts the ring
+        }
+        assert_eq!(fr.promoted(), 1);
+        let found = fr.lookup(42).expect("slow record survives ring churn");
+        assert_eq!(found.total_ns, 5_000_000);
+        assert_eq!(fr.slowlog(10).len(), 1);
+    }
+
+    #[test]
+    fn disabled_recorder_drops_records() {
+        let fr = FlightRecorder::new();
+        fr.set_enabled(false);
+        fr.record(rec(7, 1000));
+        assert_eq!(fr.recorded(), 0);
+        assert!(fr.lookup(7).is_none());
+    }
+
+    #[test]
+    fn stage_tags_round_trip() {
+        for st in Stage::ALL {
+            assert_eq!(Stage::from_u8(st.as_u8()), Some(st));
+        }
+        assert_eq!(Stage::from_u8(0), None);
+        assert_eq!(Stage::from_u8(200), None);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = rec(3, 1000);
+        r.shards.push(ShardTiming {
+            shard: 1,
+            root_span: 9,
+            engine: "SSE4.1".into(),
+            rtt_ns: 777,
+            stages: vec![StageTiming {
+                stage: Stage::Kernel,
+                ns: 500,
+            }],
+        });
+        r.cancel = "deadline".into();
+        let j = r.to_json();
+        for needle in [
+            "\"trace_id\":3",
+            "\"total_ns\":1000",
+            "\"engine\":\"AVX2\"",
+            "\"stages\":{\"queue\":500,\"kernel\":500}",
+            "\"shards\":[{\"shard\":1,\"root_span\":9,\"engine\":\"SSE4.1\",\"rtt_ns\":777",
+            "\"cancel\":\"deadline\"",
+        ] {
+            assert!(j.contains(needle), "{needle} missing from {j}");
+        }
+        // Escaping: a hostile engine string stays valid JSON.
+        r.engine = "a\"b\\c\n".into();
+        assert!(r.to_json().contains("a\\\"b\\\\c\\u000a"));
+        assert_eq!(r.stage_sum_ns(), 1000);
+    }
+}

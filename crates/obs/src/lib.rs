@@ -21,17 +21,29 @@
 //!   label sets (scenario, kernel variant), with a process-global
 //!   default registry.
 //! * [`expo`] — Prometheus text format and JSON snapshot rendering.
+//! * [`flight`] — a per-query flight recorder: bounded ring of
+//!   completed-request audit records (trace id, stage breakdown,
+//!   engine, retries/hedges, cancel reason) with a slow-query log.
+//!
+//! Cross-process stitching: [`trace::TraceCtx`] carries a 64-bit trace
+//! id plus a parent span id across the wire; [`trace::adopt`] parents
+//! a remote process's (or thread's) spans under it, and span ids are
+//! offset by a per-process nonce so two processes in one stitched tree
+//! cannot reuse each other's ids.
 //!
 //! This crate is dependency-free and sits below `swsimd-core`, so the
 //! kernels can emit spans without a dependency cycle.
 
 pub mod expo;
+pub mod flight;
 pub mod hist;
 pub mod registry;
 pub mod trace;
 
+pub use flight::{AuditRecord, FlightRecorder, ShardTiming, Stage, StageTiming};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use registry::{global, Counter, Gauge, Registry};
 pub use trace::{
-    set_sink, Event, EventKind, Recorder, RecorderHandle, Sink, Span, StderrSink, Value,
+    adopt, current_trace, mint_id, set_sink, AdoptGuard, Event, EventKind, Recorder,
+    RecorderHandle, Sink, Span, StderrSink, TraceCtx, Value,
 };

@@ -33,6 +33,7 @@ pub use msa::{pairwise_scores, upgma, GuideTree, ScoreMatrix};
 pub use pool::{parallel_pairs, parallel_search, try_parallel_search, PoolConfig, SearchOutput};
 pub use scenarios::{scenario1, scenario1_durable, scenario2, scenario3, ScenarioReport};
 pub use server::{
-    rank_hits, BatchServer, PendingQuery, ServeError, ServerClient, ServerConfig, ServerStats,
+    rank_hits, BatchServer, PendingQuery, QueryOutcome, ServeError, ServerClient, ServerConfig,
+    ServerStats,
 };
 pub use shadow::{OnMismatch, Sampler, ShadowConfig, ShadowOutcome, ShadowVerifier};

@@ -63,6 +63,8 @@ use swsimd_core::{
     validate_encoded, AlignError, Aligner, AlignerBuilder, CancelReason, CancelToken, EngineKind,
     Hit, MemBudget,
 };
+use swsimd_obs::flight::{AuditRecord, Stage, StageTiming};
+use swsimd_obs::trace::TraceCtx;
 use swsimd_obs::{Counter, Gauge, Histogram};
 use swsimd_seq::{BatchedDatabase, Database};
 
@@ -207,14 +209,36 @@ fn stage_of(phase: &AtomicU8) -> &'static str {
     }
 }
 
-/// A submitted query awaiting results.
+/// A completed query's results plus the worker-side attribution the
+/// serving tier stitches into traces and flight-recorder records:
+/// where the time went (queue vs. kernel) and which engine computed it
+/// (`"scalar"` after a degraded retry, whatever the aligner dispatched
+/// otherwise).
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Ranked hits.
+    pub hits: Vec<Hit>,
+    /// Time the job waited in the queue before compute started.
+    pub queue_ns: u64,
+    /// Kernel + ranking compute time.
+    pub compute_ns: u64,
+    /// Engine that produced the served answer.
+    pub engine: &'static str,
+    /// Degraded scalar retries taken before the answer was produced.
+    pub retries: u32,
+}
+
 /// One query's outcome, sent back over its private reply channel.
-type Reply = Result<Vec<Hit>, ServeError>;
+type Reply = Result<QueryOutcome, ServeError>;
 
 struct Job {
     query: Vec<u8>,
     reply: Sender<Reply>,
     top_k: usize,
+    /// Propagated trace context: the worker adopts it around compute
+    /// so kernel spans parent under the submitter's (possibly remote)
+    /// request span, and flight-recorder records carry the trace id.
+    trace: TraceCtx,
     /// Client-imposed deadline; the server skips jobs that expire in
     /// the queue instead of computing answers nobody is waiting for.
     deadline: Option<Instant>,
@@ -425,6 +449,7 @@ impl ServerClient {
         query: Vec<u8>,
         top_k: usize,
         deadline: Option<Instant>,
+        trace: TraceCtx,
     ) -> Result<(Job, Receiver<Reply>), ServeError> {
         if query.len() > self.max_query_len {
             swsimd_obs::event!(
@@ -461,6 +486,7 @@ impl ServerClient {
                 query,
                 reply: reply_tx,
                 top_k,
+                trace,
                 deadline,
                 submitted: Instant::now(),
                 cancel: self.server_cancel.child_with_deadline(deadline),
@@ -481,7 +507,21 @@ impl ServerClient {
         top_k: usize,
         deadline: Option<Instant>,
     ) -> Result<PendingQuery, ServeError> {
-        let (job, reply_rx) = self.make_job(query, top_k, deadline)?;
+        self.submit_traced(query, top_k, deadline, TraceCtx::default())
+    }
+
+    /// [`ServerClient::submit`] with a distributed-trace context: the
+    /// worker adopts `trace` around the kernel, so compute spans parent
+    /// under the remote caller's request span and the flight-recorder
+    /// audit record carries its trace id.
+    pub fn submit_traced(
+        &self,
+        query: Vec<u8>,
+        top_k: usize,
+        deadline: Option<Instant>,
+        trace: TraceCtx,
+    ) -> Result<PendingQuery, ServeError> {
+        let (job, reply_rx) = self.make_job(query, top_k, deadline, trace)?;
         let token = job.cancel.clone();
         self.tx
             .send(Msg::Job(job))
@@ -505,13 +545,13 @@ impl ServerClient {
         if let Some(timeout) = self.default_timeout {
             return self.query_with_deadline(query, top_k, timeout);
         }
-        let (job, reply_rx) = self.make_job(query, top_k, None)?;
+        let (job, reply_rx) = self.make_job(query, top_k, None, TraceCtx::default())?;
         self.tx
             .send(Msg::Job(job))
             .map_err(|_| ServeError::ShutDown)?;
         self.obs.queue_depth.inc();
         match reply_rx.recv() {
-            Ok(result) => result,
+            Ok(result) => result.map(|o| o.hits),
             Err(_) => Err(ServeError::ShutDown),
         }
     }
@@ -528,7 +568,7 @@ impl ServerClient {
         timeout: Duration,
     ) -> Result<Vec<Hit>, ServeError> {
         let deadline = Instant::now() + timeout;
-        let (job, reply_rx) = self.make_job(query, top_k, Some(deadline))?;
+        let (job, reply_rx) = self.make_job(query, top_k, Some(deadline), TraceCtx::default())?;
         let token = job.cancel.clone();
         let phase = job.phase.clone();
         let remaining = deadline.saturating_duration_since(Instant::now());
@@ -542,7 +582,7 @@ impl ServerClient {
         }
         let remaining = deadline.saturating_duration_since(Instant::now());
         match reply_rx.recv_timeout(remaining) {
-            Ok(result) => result,
+            Ok(result) => result.map(|o| o.hits),
             Err(RecvTimeoutError::Timeout) => {
                 // Stop paying for an answer nobody will read. The
                 // expiry is charged to the stage the job is actually
@@ -577,7 +617,7 @@ impl ServerClient {
     /// (recorded in [`ServerStats::shed`]) instead of growing memory
     /// or latency without bound. Once admitted, blocks for the reply.
     pub fn try_query(&self, query: Vec<u8>, top_k: usize) -> Result<Vec<Hit>, ServeError> {
-        let (job, reply_rx) = self.make_job(query, top_k, None)?;
+        let (job, reply_rx) = self.make_job(query, top_k, None, TraceCtx::default())?;
         match self.tx.try_send(Msg::Job(job)) {
             Ok(()) => self.obs.queue_depth.inc(),
             Err(TrySendError::Full(_)) => {
@@ -589,7 +629,7 @@ impl ServerClient {
             Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShutDown),
         }
         match reply_rx.recv() {
-            Ok(result) => result,
+            Ok(result) => result.map(|o| o.hits),
             Err(_) => Err(ServeError::ShutDown),
         }
     }
@@ -1116,7 +1156,14 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             job.phase.store(PHASE_COMPUTING, Release);
             self.watch.begin(&job.cancel);
             let started = Instant::now();
-            let result = self.run_job(slot, &job);
+            let queue_ns = started.duration_since(job.submitted).as_nanos() as u64;
+            // Adopt the submitter's trace context for the duration of
+            // the compute, so kernel spans parent under the (possibly
+            // remote) request span instead of floating free.
+            let result = {
+                let _adopt = swsimd_obs::adopt(job.trace);
+                self.run_job(slot, &job)
+            };
             let compute = started.elapsed();
             self.watch.end();
             if result.is_ok() {
@@ -1132,7 +1179,16 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             if let Some(b) = &self.budget {
                 self.obs.mem_budget_used.set(b.used() as i64);
             }
-            self.obs.latency.record_duration(job.submitted.elapsed());
+            let total = job.submitted.elapsed();
+            self.obs.latency.record_duration(total);
+            self.record_flight(&job, &result, queue_ns, compute.as_nanos() as u64, total);
+            let result = result.map(|(hits, engine, retries)| QueryOutcome {
+                hits,
+                queue_ns,
+                compute_ns: compute.as_nanos() as u64,
+                engine,
+                retries,
+            });
             let was_ok = result.is_ok();
             job.phase.store(PHASE_REPLIED, Release);
             if job.reply.send(result).is_err() && was_ok {
@@ -1144,6 +1200,54 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
         }
     }
 
+    /// File one completed (or failed) job into the process-global
+    /// flight recorder: stage breakdown (queue wait + kernel compute),
+    /// engine attribution, retry/degradation flags and the cancel
+    /// reason, keyed by the job's propagated trace id.
+    fn record_flight(
+        &self,
+        job: &Job,
+        result: &Result<(Vec<Hit>, &'static str, u32), ServeError>,
+        queue_ns: u64,
+        kernel_ns: u64,
+        total: Duration,
+    ) {
+        let recorder = swsimd_obs::flight::global();
+        if !recorder.enabled() {
+            return;
+        }
+        let (engine, retries, ok, cancel) = match result {
+            Ok((_, engine, retries)) => (*engine, *retries, true, ""),
+            Err(ServeError::DeadlineExceeded) => ("", 0, false, "deadline"),
+            Err(ServeError::ShutDown) => ("", 0, false, "shutdown"),
+            Err(ServeError::WorkerPanicked) => ("", 0, false, "panic"),
+            Err(_) => ("", 0, false, "error"),
+        };
+        recorder.record(AuditRecord {
+            trace_id: job.trace.trace_id,
+            query_id: job.trace.span_id,
+            total_ns: total.as_nanos() as u64,
+            stages: vec![
+                StageTiming {
+                    stage: Stage::Queue,
+                    ns: queue_ns,
+                },
+                StageTiming {
+                    stage: Stage::Kernel,
+                    ns: kernel_ns,
+                },
+            ],
+            shards: Vec::new(),
+            engine: engine.to_string(),
+            retries,
+            hedges: 0,
+            degraded: retries > 0,
+            cost: job.query.len() as u64 * self.db_residues as u64,
+            cancel: cancel.to_string(),
+            ok,
+        });
+    }
+
     /// One job with isolation and governance: memory-budget
     /// reservation, then the fast path under `catch_unwind` with the
     /// job's cancel token threaded into the kernel, hit-count
@@ -1153,7 +1257,11 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
     /// typed errors without a retry — nobody is waiting for the
     /// answer. `slot` is the job's index within its batch — the unit
     /// [`FaultPlan`] targets for the server.
-    fn run_job(&mut self, slot: usize, job: &Job) -> Result<Vec<Hit>, ServeError> {
+    fn run_job(
+        &mut self,
+        slot: usize,
+        job: &Job,
+    ) -> Result<(Vec<Hit>, &'static str, u32), ServeError> {
         let query = &job.query;
         let top_k = job.top_k;
         let expected = self.db.len();
@@ -1202,7 +1310,8 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
                         .fetch_add(out.demotions, Relaxed);
                     self.obs.backend_demotions.add(out.demotions);
                 }
-                return Ok(rank_hits(hits, top_k));
+                let engine = swsimd_core::trust::effective_engine(self.aligner.engine()).name();
+                return Ok((rank_hits(hits, top_k), engine, 0));
             }
             // Watchdog reap: the kernel was wedged and got cancelled
             // from outside. Not a client-visible failure — fall
@@ -1285,7 +1394,9 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             }))
         });
         match retry {
-            Some(Ok(Ok(hits))) if hits.len() == expected => Ok(rank_hits(hits, top_k)),
+            Some(Ok(Ok(hits))) if hits.len() == expected => {
+                Ok((rank_hits(hits, top_k), EngineKind::Scalar.name(), 1))
+            }
             Some(Ok(Err(AlignError::Cancelled { reason }))) => {
                 self.counters.record_cancel(reason);
                 self.obs.cancelled_counter(reason).inc();
@@ -1321,8 +1432,11 @@ impl PendingQuery {
     /// expiry of the submit deadline cancels the job
     /// ([`CancelReason::Deadline`]) and yields
     /// [`ServeError::DeadlineExceeded`] exactly like
-    /// [`ServerClient::query_with_deadline`].
-    pub fn poll(&self, step: Duration) -> Option<Result<Vec<Hit>, ServeError>> {
+    /// [`ServerClient::query_with_deadline`]. A successful poll yields
+    /// the full [`QueryOutcome`] (hits plus queue/compute timing and
+    /// engine attribution) so a network front end can report per-shard
+    /// stage breakdowns upstream.
+    pub fn poll(&self, step: Duration) -> Option<Result<QueryOutcome, ServeError>> {
         let wait = match self.deadline {
             Some(d) => {
                 let left = d.saturating_duration_since(Instant::now());

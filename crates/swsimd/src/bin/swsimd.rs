@@ -20,7 +20,12 @@
 //!   --drain-timeout MS   SIGTERM: wait MS for in-flight queries (default 5000)
 //!   --connect-timeout MS / --request-timeout MS / --probe-interval MS
 //!   --strike-threshold N / --readmit-after N               breaker tuning
+//!   --health-period MS   print per-shard health (breaker state, RTT
+//!                        p99, in-flight) to stderr every MS (0 = off)
 //! swsimd query <addr> <query.fasta> [--top K] [--deadline MS]
+//!   prints `trace=0x<id>` per query; feed it to `swsimd trace`
+//! swsimd trace <addr> <trace-id> [--json]                 flight record for one request
+//! swsimd slowlog <addr> [--limit N] [--json]              peer's slow-query log
 //! swsimd net-metrics <addr>                               fetch Prometheus scrape
 //! swsimd net-drain <addr>                                 ask a peer to drain
 //!
@@ -33,6 +38,11 @@
 //!   --engine NAME        scalar | sse4.1 | avx2 | avx-512 (default: best)
 //!   --mode M             local | global | semiglobal (default local)
 //!   --no-traceback       scores only for align
+//!
+//! environment:
+//!   SWSIMD_TRACE=stderr  emit tracing spans/events to stderr (any
+//!                        command; gives serving processes nonzero
+//!                        span ids so distributed trees stitch)
 //!   --journal PATH       search: checkpoint completed chunks to PATH; if PATH
 //!                        already holds a journal from a crashed run, resume it
 //!                        (bit-identical results). Removed on completion.
@@ -422,9 +432,9 @@ mod sig {
     }
 }
 
-/// Does `--name` take a value? (Everything except the lone flag.)
+/// Does `--name` take a value? (Everything except the lone flags.)
 fn opt_takes_value(name: &str) -> bool {
-    name != "--no-traceback"
+    name != "--no-traceback" && name != "--json"
 }
 
 /// Split net-tier options out of `rest`, passing everything else
@@ -546,6 +556,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--probe-interval",
             "--strike-threshold",
             "--readmit-after",
+            "--health-period",
         ],
     )?;
     if !leftover.is_empty() {
@@ -597,10 +608,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(|| "127.0.0.1:0".into());
     let drain_timeout = std::time::Duration::from_millis(net_u64(&net, "--drain-timeout", 5000)?);
     let probe_interval = std::time::Duration::from_millis(net_u64(&net, "--probe-interval", 500)?);
+    let health_ms = net_u64(&net, "--health-period", 0)?;
 
     sig::install();
     let gateway = swsimd::net::Gateway::new(cfg);
     let prober = gateway.start_prober(probe_interval);
+    let health = gateway.clone();
     let server = swsimd::net::GatewayServer::start(gateway, &listen, drain_timeout)
         .map_err(|e| format!("serve: {e}"))?;
     println!("listening on {}", server.local_addr());
@@ -608,10 +621,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let _ = std::io::stdout().flush();
     eprintln!("gateway: {slices} shard group(s)");
 
+    let mut last_health = std::time::Instant::now();
     while !sig::termed() {
         std::thread::sleep(std::time::Duration::from_millis(50));
+        if health_ms > 0 && last_health.elapsed().as_millis() as u64 >= health_ms {
+            eprintln!("{}", health.health_line());
+            last_health = std::time::Instant::now();
+        }
     }
     eprintln!("gateway: draining");
+    eprintln!("{}", health.health_line());
     let clean = server.shutdown();
     prober.stop();
     if clean {
@@ -652,9 +671,122 @@ fn cmd_net_query(addr: &str, query_path: &str, rest: &[String]) -> Result<(), St
                 reply.missing_shards
             );
         }
+        if reply.trace_id != 0 {
+            eprintln!("query {}: trace={:#x}", q.id, reply.trace_id);
+        }
         for hit in &reply.hits {
             println!("{}\tdb#{}\tscore={}", q.id, hit.db_index, hit.score);
         }
+    }
+    Ok(())
+}
+
+/// Parse a trace id as printed by `swsimd query` (0x-hex) or decimal.
+fn parse_trace_id(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|e| format!("trace id '{s}': {e}"))
+}
+
+/// Pretty-print one flight-recorder audit record. Writes through a
+/// fallible sink so `swsimd trace | head` gets a clean exit instead
+/// of a broken-pipe panic.
+fn print_record(rec: &swsimd::obs::AuditRecord) {
+    use std::io::Write as _;
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace={:#x} query={} {} total={:.3}ms engine={} retries={} hedges={} degraded={}{}\n",
+        rec.trace_id,
+        rec.query_id,
+        if rec.ok { "ok" } else { "FAILED" },
+        ms(rec.total_ns),
+        if rec.engine.is_empty() {
+            "?"
+        } else {
+            &rec.engine
+        },
+        rec.retries,
+        rec.hedges,
+        rec.degraded,
+        if rec.cancel.is_empty() {
+            String::new()
+        } else {
+            format!(" cancel={}", rec.cancel)
+        },
+    ));
+    let mut stages = String::new();
+    for s in &rec.stages {
+        stages.push_str(&format!(" {}={:.3}ms", s.stage, ms(s.ns)));
+    }
+    out.push_str(&format!(
+        "  stages:{stages} (sum {:.3}ms of {:.3}ms e2e)\n",
+        ms(rec.stage_sum_ns()),
+        ms(rec.total_ns)
+    ));
+    for shard in &rec.shards {
+        let mut stages = String::new();
+        for s in &shard.stages {
+            stages.push_str(&format!(" {}={:.3}ms", s.stage, ms(s.ns)));
+        }
+        out.push_str(&format!(
+            "  shard={} engine={} rtt={:.3}ms{stages}\n",
+            shard.shard,
+            shard.engine,
+            ms(shard.rtt_ns)
+        ));
+    }
+    if std::io::stdout().write_all(out.as_bytes()).is_err() {
+        std::process::exit(0); // downstream pager closed the pipe
+    }
+}
+
+/// Fetch and print the flight record for one trace id.
+fn cmd_trace(addr: &str, id_arg: &str, rest: &[String]) -> Result<(), String> {
+    let trace_id = parse_trace_id(id_arg)?;
+    let json = rest.iter().any(|a| a == "--json");
+    let mut client = swsimd::net::NetClient::connect(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    if json {
+        let text = client
+            .flight_json(trace_id, 0, false)
+            .map_err(|e| e.to_string())?;
+        println!("{text}");
+        return Ok(());
+    }
+    match client.trace(trace_id).map_err(|e| e.to_string())? {
+        Some(rec) => {
+            print_record(&rec);
+            Ok(())
+        }
+        None => Err(format!(
+            "trace {trace_id:#x}: not in the peer's flight recorder (evicted or never recorded)"
+        )),
+    }
+}
+
+/// Fetch and print the peer's slow-query log.
+fn cmd_slowlog(addr: &str, rest: &[String]) -> Result<(), String> {
+    let (net, flags) = split_net_opts(rest, &["--limit"])?;
+    let json = flags.iter().any(|a| a == "--json");
+    let limit = net_u64(&net, "--limit", 0)? as u32;
+    let mut client = swsimd::net::NetClient::connect(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    if json {
+        let text = client
+            .flight_json(0, limit, true)
+            .map_err(|e| e.to_string())?;
+        println!("{text}");
+        return Ok(());
+    }
+    let records = client.slowlog(limit).map_err(|e| e.to_string())?;
+    if records.is_empty() {
+        println!("slowlog empty");
+    }
+    for rec in &records {
+        print_record(rec);
     }
     Ok(())
 }
@@ -697,9 +829,19 @@ fn cmd_info() {
     let _ = Alphabet::protein();
 }
 
+/// `SWSIMD_TRACE=stderr` installs the stderr span sink before any
+/// command runs, turning on live span emission (and nonzero span ids,
+/// so distributed span trees stitch across processes).
+fn maybe_install_trace_sink() {
+    if std::env::var("SWSIMD_TRACE").as_deref() == Ok("stderr") {
+        swsimd::obs::set_sink(Some(std::sync::Arc::new(swsimd::obs::StderrSink)));
+    }
+}
+
 fn main() -> ExitCode {
+    maybe_install_trace_sink();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: swsimd <align|search|shard|serve|query|net-metrics|net-drain|info|selftest> [paths...] [options] (see --help in source)";
+    let usage = "usage: swsimd <align|search|shard|serve|query|trace|slowlog|net-metrics|net-drain|info|selftest> [paths...] [options] (see --help in source)";
     let result = match args.first().map(String::as_str) {
         Some("align") if args.len() >= 3 => {
             // Boot battery runs before --engine parsing so that a
@@ -718,6 +860,8 @@ fn main() -> ExitCode {
         }
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") if args.len() >= 3 => cmd_net_query(&args[1], &args[2], &args[3..]),
+        Some("trace") if args.len() >= 3 => cmd_trace(&args[1], &args[2], &args[3..]),
+        Some("slowlog") if args.len() >= 2 => cmd_slowlog(&args[1], &args[2..]),
         Some("net-metrics") if args.len() >= 2 => cmd_net_metrics(&args[1]),
         Some("net-drain") if args.len() >= 2 => cmd_net_drain(&args[1]),
         Some("info") => {

@@ -373,6 +373,7 @@ fn real_tcp_disconnect_cancels_with_client_drop() {
                 slice_index: 0,
                 slice_count: 0,
                 query: q.clone(),
+                trace: Default::default(),
             },
         )
         .unwrap();
@@ -630,6 +631,7 @@ fn wrong_shard_coordinates_are_rejected_typed() {
             slice_index: 2, // addressed to the wrong slice
             slice_count: 3,
             query: enc(20, 420),
+            trace: Default::default(),
         },
     )
     .unwrap();

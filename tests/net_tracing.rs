@@ -1,0 +1,293 @@
+//! Distributed-tracing end-to-end test: real `swsimd shard` /
+//! `swsimd serve` processes over TCP, one traced query, one stitched
+//! request tree. Proves that the trace context minted at the gateway
+//! rides the wire into every shard (same trace id everywhere), that
+//! each shard's span tree hangs off the gateway request via the
+//! per-shard `root_span` handed back on the reply, that the flight
+//! recorder's stage breakdown partitions the observed end-to-end
+//! latency, and that `swsimd trace <id>` / `swsimd slowlog` surface
+//! all of it from a live cluster.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use swsimd::matrices::Alphabet;
+use swsimd::net::NetClient;
+use swsimd::obs::Stage;
+use swsimd::seq::{generate_database, generate_exact, SynthConfig};
+use swsimd::Database;
+
+const TOP_K: usize = 6;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_swsimd")
+}
+
+fn cluster_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swsimd-net-tracing-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_fasta(path: &std::path::Path, records: &[(String, Vec<u8>)]) {
+    let mut f = std::fs::File::create(path).unwrap();
+    for (id, seq) in records {
+        writeln!(f, ">{id}").unwrap();
+        f.write_all(seq).unwrap();
+        writeln!(f).unwrap();
+    }
+}
+
+/// Spawn a swsimd subcommand with live tracing (`SWSIMD_TRACE=stderr`
+/// installs a span sink, so span ids are nonzero and distributed
+/// trees stitch) and wait for its `listening on <addr>` line.
+fn spawn_listener(args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(bin())
+        .args(args)
+        .env("SWSIMD_TRACE", "stderr")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn swsimd");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read bound address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn sigterm(child: &Child) {
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status();
+}
+
+fn wait_exit(child: &mut Child, what: &str) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "{what} did not exit in time");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn stage_ns(stages: &[swsimd::obs::StageTiming], stage: Stage) -> Option<u64> {
+    stages.iter().find(|s| s.stage == stage).map(|s| s.ns)
+}
+
+#[test]
+fn one_query_through_a_real_cluster_stitches_one_trace() {
+    let dir = cluster_dir();
+    let db: Database = generate_database(&SynthConfig {
+        n_seqs: 24,
+        seed: 1401,
+        median_len: 40.0,
+        max_len: 90,
+        ..Default::default()
+    });
+    let query_rec = generate_exact(40, 1402);
+    let db_path = dir.join("db.fasta");
+    let q_path = dir.join("query.fasta");
+    write_fasta(
+        &db_path,
+        &(0..db.len())
+            .map(|i| (db.record(i).id.clone(), db.record(i).seq.clone()))
+            .collect::<Vec<_>>(),
+    );
+    write_fasta(&q_path, &[(query_rec.id.clone(), query_rec.seq.clone())]);
+    assert!(!Alphabet::protein().encode(&query_rec.seq).is_empty());
+
+    // Boot the cluster: three shard workers plus the gateway, all with
+    // live tracing.
+    let db_str = db_path.to_str().unwrap();
+    let mut shards = Vec::new();
+    let mut shard_addrs = Vec::new();
+    for i in 0..3 {
+        let idx = i.to_string();
+        let (child, addr) = spawn_listener(&[
+            "shard",
+            db_str,
+            "--listen",
+            "127.0.0.1:0",
+            "--shard-index",
+            &idx,
+            "--shards",
+            "3",
+            "--threads",
+            "1",
+        ]);
+        shards.push(child);
+        shard_addrs.push(addr);
+    }
+    let topology = shard_addrs.join(";");
+    let (mut gateway, gw_addr) = spawn_listener(&[
+        "serve",
+        "--shards",
+        &topology,
+        "--listen",
+        "127.0.0.1:0",
+        "--hedge-after",
+        "0",
+    ]);
+
+    // One query. The CLI prints the trace id the gateway minted.
+    let q_str = q_path.to_str().unwrap();
+    let top = TOP_K.to_string();
+    let t0 = Instant::now();
+    let out = Command::new(bin())
+        .args([
+            "query",
+            &gw_addr,
+            q_str,
+            "--top",
+            &top,
+            "--deadline",
+            "20000",
+        ])
+        .output()
+        .unwrap();
+    let observed_e2e = t0.elapsed();
+    assert!(out.status.success(), "query failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let trace_hex = stderr
+        .lines()
+        .find_map(|l| l.split("trace=0x").nth(1))
+        .unwrap_or_else(|| panic!("no trace id in query stderr: {stderr}"))
+        .trim()
+        .to_string();
+    let trace_id = u64::from_str_radix(&trace_hex, 16).expect("hex trace id");
+    assert_ne!(trace_id, 0);
+
+    // The gateway's flight record is the root of the stitched tree.
+    let mut gw_client = NetClient::connect(&gw_addr, Duration::from_secs(5)).unwrap();
+    let rec = gw_client
+        .trace(trace_id)
+        .expect("trace fetch")
+        .expect("gateway filed a flight record for the query");
+    assert_eq!(rec.trace_id, trace_id);
+    assert!(rec.ok, "query should have succeeded: {rec:?}");
+    assert!(!rec.degraded);
+    assert!(rec.cost > 0, "cost admission estimate recorded");
+
+    // Gateway stages partition the gateway's wall time by
+    // construction: their sum must explain the recorded end-to-end
+    // latency to within bookkeeping noise.
+    for stage in [
+        Stage::Admission,
+        Stage::Dispatch,
+        Stage::NetRtt,
+        Stage::Merge,
+    ] {
+        assert!(
+            stage_ns(&rec.stages, stage).is_some(),
+            "gateway record missing {stage:?}: {:?}",
+            rec.stages
+        );
+    }
+    let sum = rec.stage_sum_ns();
+    let slack = (rec.total_ns / 10).max(2_000_000); // 10% or 2ms
+    assert!(
+        sum.abs_diff(rec.total_ns) <= slack,
+        "stage sum {sum}ns must explain e2e {}ns (±{slack}ns)",
+        rec.total_ns
+    );
+    // And the recorder's e2e is bounded by what the client saw (which
+    // additionally pays process spawn and two socket hops).
+    assert!(
+        rec.total_ns <= observed_e2e.as_nanos() as u64,
+        "recorded total {}ns exceeds observed wall time {}ns",
+        rec.total_ns,
+        observed_e2e.as_nanos()
+    );
+
+    // Every shard contributed a timing summary carrying the root of
+    // its own span tree, parented under this trace.
+    assert_eq!(rec.shards.len(), 3, "all three shards in the tree: {rec:?}");
+    for (i, t) in rec.shards.iter().enumerate() {
+        assert_eq!(t.shard, i as u32, "timings sorted by slice");
+        assert_ne!(t.root_span, 0, "live tracing must mint span ids");
+        assert!(!t.engine.is_empty(), "shard reports its engine");
+        assert!(t.rtt_ns > 0, "gateway stamps the observed rtt");
+        assert!(
+            stage_ns(&t.stages, Stage::Kernel).unwrap_or(0) > 0,
+            "shard reports kernel time: {t:?}"
+        );
+        assert!(
+            t.rtt_ns >= stage_ns(&t.stages, Stage::Kernel).unwrap(),
+            "rtt includes the kernel stage"
+        );
+    }
+
+    // The same trace id resolves on each shard: its flight record is
+    // keyed by the propagated context, and its query id IS the span
+    // the gateway knows as that shard's root — one stitched tree.
+    for (i, addr) in shard_addrs.iter().enumerate() {
+        let mut sc = NetClient::connect(addr, Duration::from_secs(5)).unwrap();
+        let srec = sc
+            .trace(trace_id)
+            .expect("shard trace fetch")
+            .unwrap_or_else(|| panic!("shard {i} has no record for trace {trace_id:#x}"));
+        assert_eq!(srec.trace_id, trace_id, "one trace id across processes");
+        assert!(srec.ok);
+        assert_eq!(
+            srec.query_id, rec.shards[i].root_span,
+            "shard {i}'s record hangs off the span the gateway stitched"
+        );
+        assert!(
+            stage_ns(&srec.stages, Stage::Kernel).unwrap_or(0) > 0,
+            "shard record carries its own stage breakdown: {srec:?}"
+        );
+    }
+
+    // `swsimd trace <id>` renders the same tree for operators.
+    let cli = Command::new(bin())
+        .args(["trace", &gw_addr, &format!("0x{trace_hex}")])
+        .output()
+        .unwrap();
+    assert!(cli.status.success(), "swsimd trace failed: {cli:?}");
+    let text = String::from_utf8_lossy(&cli.stdout);
+    assert!(text.contains(&format!("trace=0x{trace_hex}")), "{text}");
+    assert!(text.contains("stages:") && text.contains("e2e"), "{text}");
+    for i in 0..3 {
+        assert!(text.contains(&format!("shard={i}")), "{text}");
+    }
+
+    // The JSON endpoint serves machine-readable records too.
+    let json = Command::new(bin())
+        .args(["trace", &gw_addr, &format!("0x{trace_hex}"), "--json"])
+        .output()
+        .unwrap();
+    assert!(json.status.success());
+    let jtext = String::from_utf8_lossy(&json.stdout);
+    assert!(
+        jtext.contains("trace_id") && jtext.trim() != "null",
+        "JSON flight record expected: {jtext}"
+    );
+
+    // `swsimd slowlog` answers from a live cluster (this query is
+    // likely under the slow threshold, so empty is acceptable).
+    let slow = Command::new(bin())
+        .args(["slowlog", &gw_addr, "--limit", "8"])
+        .output()
+        .unwrap();
+    assert!(slow.status.success(), "swsimd slowlog failed: {slow:?}");
+
+    // Clean drain.
+    sigterm(&gateway);
+    assert!(wait_exit(&mut gateway, "gateway").success());
+    for shard in shards.iter_mut() {
+        sigterm(shard);
+        assert!(wait_exit(shard, "shard").success());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -9,8 +9,56 @@ use proptest::prelude::*;
 use swsimd::core::{AlignError, Hit, Precision};
 use swsimd::net::wire::frame;
 use swsimd::net::{read_msg, write_msg, Msg, RemoteError, WireError, MAX_FRAME};
+use swsimd::obs::{ShardTiming, Stage, StageTiming, TraceCtx};
 use swsimd::runner::ServeError;
 use swsimd::EngineKind;
+
+fn trace_strategy() -> impl Strategy<Value = TraceCtx> {
+    // 0/0 is the untraced default; nonzero ids exercise the extension
+    // tail. A zero trace id with a nonzero span id still encodes as
+    // untraced (is_traced is keyed on trace_id alone).
+    prop_oneof![
+        Just(TraceCtx::default()),
+        (1u64..u64::MAX, 0u64..u64::MAX)
+            .prop_map(|(trace_id, span_id)| TraceCtx { trace_id, span_id }),
+    ]
+}
+
+fn stage_strategy() -> impl Strategy<Value = StageTiming> {
+    (
+        prop_oneof![
+            Just(Stage::Admission),
+            Just(Stage::Queue),
+            Just(Stage::Dispatch),
+            Just(Stage::Kernel),
+            Just(Stage::Traceback),
+            Just(Stage::NetRtt),
+            Just(Stage::Merge),
+        ],
+        0u64..u64::MAX,
+    )
+        .prop_map(|(stage, ns)| StageTiming { stage, ns })
+}
+
+fn timing_strategy() -> impl Strategy<Value = Option<ShardTiming>> {
+    prop_oneof![
+        Just(None),
+        (
+            (0u32..64, 0u64..u64::MAX, 0u64..u64::MAX),
+            prop_oneof![Just(""), Just("scalar"), Just("AVX2"), Just("AVX-512")],
+            prop::collection::vec(stage_strategy(), 0..7),
+        )
+            .prop_map(|((shard, root_span, rtt_ns), engine, stages)| {
+                Some(ShardTiming {
+                    shard,
+                    root_span,
+                    engine: engine.to_string(),
+                    rtt_ns,
+                    stages,
+                })
+            }),
+    ]
+}
 
 fn roundtrip(msg: &Msg) -> Msg {
     let mut buf = Vec::new();
@@ -91,8 +139,9 @@ proptest! {
         slice_index in 0u32..64,
         slice_count in 0u32..64,
         query in prop::collection::vec(0u8..24, 0..512),
+        trace in trace_strategy(),
     ) {
-        let msg = Msg::Query { id, top_k, deadline_ms, slice_index, slice_count, query };
+        let msg = Msg::Query { id, top_k, deadline_ms, slice_index, slice_count, query, trace };
         prop_assert_eq!(roundtrip(&msg), msg);
     }
 
@@ -102,9 +151,70 @@ proptest! {
         degraded in prop_oneof![Just(false), Just(true)],
         missing in prop::collection::vec(0u32..64, 0..8),
         hits in prop::collection::vec(hit_strategy(), 0..64),
+        trace_id in 0u64..u64::MAX,
+        timing in timing_strategy(),
     ) {
-        let msg = Msg::Hits { id, degraded, missing_shards: missing, hits };
+        let msg = Msg::Hits { id, degraded, missing_shards: missing, hits, trace_id, timing };
         prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    /// Forward compatibility over the extension tail: frames carrying
+    /// unknown (future) extension records decode to the same message,
+    /// for any record contents, in any position relative to the known
+    /// extensions.
+    #[test]
+    fn unknown_extensions_fuzz(
+        query in prop::collection::vec(0u8..24, 0..64),
+        trace in trace_strategy(),
+        trace_id in 0u64..u64::MAX,
+        timing in timing_strategy(),
+        exts in prop::collection::vec(
+            // Kinds 0x10.. are unassigned today; bodies are arbitrary.
+            (0x10u8..=0xFF, prop::collection::vec(any::<u8>(), 0..128)),
+            1..4,
+        ),
+        prepend in prop_oneof![Just(false), Just(true)],
+    ) {
+        let push_unknown = |bytes: &mut Vec<u8>| {
+            for (kind, body) in &exts {
+                bytes.push(*kind);
+                bytes.extend_from_slice(&(body.len() as u16).to_le_bytes());
+                bytes.extend_from_slice(body);
+            }
+        };
+
+        let msg = Msg::Query {
+            id: 1, top_k: 5, deadline_ms: 0, slice_index: 0, slice_count: 0,
+            query, trace,
+        };
+        let mut bytes = msg.encode();
+        push_unknown(&mut bytes);
+        prop_assert_eq!(Msg::decode(&bytes).expect("query decodes"), msg);
+
+        let hits = Msg::Hits {
+            id: 2, degraded: false, missing_shards: vec![], hits: vec![],
+            trace_id, timing,
+        };
+        let bytes = if prepend {
+            // Splice the unknown records *before* the known tail: take
+            // the fixed body (encode with no extensions), then append
+            // unknown + known records by re-encoding the full message
+            // and keeping only its tail.
+            let bare = Msg::Hits {
+                id: 2, degraded: false, missing_shards: vec![], hits: vec![],
+                trace_id: 0, timing: None,
+            }.encode();
+            let full = hits.encode();
+            let mut b = bare.clone();
+            push_unknown(&mut b);
+            b.extend_from_slice(&full[bare.len()..]);
+            b
+        } else {
+            let mut b = hits.encode();
+            push_unknown(&mut b);
+            b
+        };
+        prop_assert_eq!(Msg::decode(&bytes).expect("hits decode"), hits);
     }
 
     #[test]
@@ -188,6 +298,17 @@ fn arbitrary_msg(seed: &mut u64) -> Msg {
                     precision: Precision::I16,
                 })
                 .collect(),
+            trace_id: splitmix64(seed) % 2 * splitmix64(seed),
+            timing: splitmix64(seed).is_multiple_of(2).then(|| ShardTiming {
+                shard: (splitmix64(seed) % 64) as u32,
+                root_span: splitmix64(seed),
+                engine: "AVX2".into(),
+                rtt_ns: splitmix64(seed) % 1_000_000_000,
+                stages: vec![StageTiming {
+                    stage: Stage::Kernel,
+                    ns: splitmix64(seed) % 1_000_000_000,
+                }],
+            }),
         },
         _ => Msg::Query {
             id: splitmix64(seed),
@@ -198,6 +319,10 @@ fn arbitrary_msg(seed: &mut u64) -> Msg {
             query: (0..splitmix64(seed) % 512)
                 .map(|_| (splitmix64(seed) % 24) as u8)
                 .collect(),
+            trace: TraceCtx {
+                trace_id: splitmix64(seed) % 2 * splitmix64(seed),
+                span_id: splitmix64(seed),
+            },
         },
     }
 }
@@ -273,6 +398,10 @@ fn payload_bit_flip_is_bad_crc() {
         slice_index: 0,
         slice_count: 0,
         query: vec![1, 2, 3, 4, 5],
+        trace: TraceCtx {
+            trace_id: 0xFACE,
+            span_id: 0xB00C,
+        },
     };
     let framed = frame(&msg.encode());
     for i in 4..framed.len() - 4 {
