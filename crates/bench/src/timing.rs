@@ -3,7 +3,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use serde::Serialize;
+use serde_json::Value;
 
 /// Time a closure: one warmup call, then repeated calls until at least
 /// `min_millis` of accumulated runtime, returning seconds per call.
@@ -29,8 +29,7 @@ pub fn gcups(cells: u64, secs: f64) -> f64 {
 }
 
 /// One figure's machine-readable record, written to `results/`.
-#[derive(Serialize)]
-pub struct FigureRecord<T: Serialize> {
+pub struct FigureRecord {
     /// Figure identifier ("fig06", ...).
     pub figure: &'static str,
     /// Paper caption paraphrase.
@@ -38,7 +37,19 @@ pub struct FigureRecord<T: Serialize> {
     /// Scale the series was produced at.
     pub scale: String,
     /// The data series.
-    pub series: T,
+    pub series: Value,
+}
+
+impl FigureRecord {
+    /// The record as a JSON value (what `write_record` persists).
+    pub fn to_value(&self) -> Value {
+        let mut map = serde_json::Map::new();
+        map.insert("figure".into(), Value::String(self.figure.into()));
+        map.insert("title".into(), Value::String(self.title.into()));
+        map.insert("scale".into(), Value::String(self.scale.clone()));
+        map.insert("series".into(), self.series.clone());
+        Value::Object(map)
+    }
 }
 
 /// Directory experiment records are written to.
@@ -49,11 +60,11 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Write a figure record as pretty JSON; returns the path.
-pub fn write_record<T: Serialize>(rec: &FigureRecord<T>) -> std::io::Result<PathBuf> {
+pub fn write_record(rec: &FigureRecord) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{}.json", rec.figure));
-    std::fs::write(&path, serde_json::to_string_pretty(rec)?)?;
+    std::fs::write(&path, serde_json::to_string_pretty(&rec.to_value())?)?;
     Ok(path)
 }
 
@@ -90,11 +101,12 @@ mod tests {
             figure: "fig_test",
             title: "test",
             scale: "Quick".into(),
-            series: vec![1, 2, 3],
+            series: serde_json::json!([1, 2, 3]),
         };
         let path = write_record(&rec).unwrap();
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.contains("fig_test"));
+        assert!(text.contains('1') && text.contains('3'));
         std::env::remove_var("SWSIMD_RESULTS");
         let _ = std::fs::remove_dir_all(dir);
     }

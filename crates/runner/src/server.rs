@@ -1242,7 +1242,7 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             retries,
             hedges: 0,
             degraded: retries > 0,
-            cost: job.query.len() as u64 * self.db_residues as u64,
+            cost: job.query.len() as u64 * self.db_residues,
             cancel: cancel.to_string(),
             ok,
         });

@@ -1,0 +1,219 @@
+//! Offline stand-in for crossbeam: a functional MPMC channel built on
+//! std primitives, matching the `crossbeam::channel` API surface used
+//! by the workspace (bounded/unbounded channels, cloneable receivers,
+//! timeouts).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        q: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        Timeout(T),
+        Disconnected(T),
+    }
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    fn shared<T>(cap: Option<usize>) -> Arc<Shared<T>> {
+        Arc::new(Shared {
+            q: Mutex::new(State {
+                buf: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        })
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let s = shared(Some(cap));
+        (Sender(s.clone()), Receiver(s))
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let s = shared(None);
+        (Sender(s.clone()), Receiver(s))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.q.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.q.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.q.lock().unwrap().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.q.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+            match self.send_deadline(v, None) {
+                Ok(()) => Ok(()),
+                Err(SendTimeoutError::Disconnected(v)) | Err(SendTimeoutError::Timeout(v)) => {
+                    Err(SendError(v))
+                }
+            }
+        }
+
+        pub fn try_send(&self, v: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.q.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(v));
+            }
+            if st.cap.map(|c| st.buf.len() >= c).unwrap_or(false) {
+                return Err(TrySendError::Full(v));
+            }
+            st.buf.push_back(v);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        pub fn send_timeout(&self, v: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            self.send_deadline(v, Some(Instant::now() + timeout))
+        }
+
+        fn send_deadline(&self, v: T, deadline: Option<Instant>) -> Result<(), SendTimeoutError<T>> {
+            let mut st = self.0.q.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(v));
+                }
+                if !st.cap.map(|c| st.buf.len() >= c).unwrap_or(false) {
+                    st.buf.push_back(v);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                match deadline {
+                    None => st = self.0.not_full.wait(st).unwrap(),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(SendTimeoutError::Timeout(v));
+                        }
+                        st = self.0.not_full.wait_timeout(st, d - now).unwrap().0;
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.recv_deadline_opt(None).map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.q.lock().unwrap();
+            if let Some(v) = st.buf.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline_opt(Some(Instant::now() + timeout))
+        }
+
+        fn recv_deadline_opt(&self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
+            let mut st = self.0.q.lock().unwrap();
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                match deadline {
+                    None => st = self.0.not_empty.wait(st).unwrap(),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        st = self.0.not_empty.wait_timeout(st, d - now).unwrap().0;
+                    }
+                }
+            }
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for rand_chacha: ChaCha types aliased to the stub
+//! StdRng core. Deterministic per seed, but streams do not match the
+//! real ChaCha output.
+
+pub use rand::rngs::StdRng as ChaCha8Rng;
+pub use rand::rngs::StdRng as ChaCha12Rng;
+pub use rand::rngs::StdRng as ChaCha20Rng;

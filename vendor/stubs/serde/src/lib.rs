@@ -1,0 +1,22 @@
+//! Offline stand-in for serde: marker traits with blanket impls so
+//! `T: Serialize` bounds are always satisfiable; derives are no-ops.
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub trait DeserializeOwned: Sized {}
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

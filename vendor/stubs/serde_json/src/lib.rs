@@ -1,0 +1,365 @@
+//! Offline stand-in for serde_json: a small functional JSON `Value`
+//! (enough for the bench crate's figure emission), no-op `to_string`
+//! for derived types, always-erroring `from_str`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub type Map<K, V> = BTreeMap<K, V>;
+
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::other(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().map(|f| f as u64)
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_f64().map(|f| f as i64)
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write!(f, "{:?}", s),
+            Value::Array(a) => {
+                f.write_str("[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(o) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in o.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{:?}:{v}", k)?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+macro_rules! impl_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(v as f64) }
+        }
+    )*};
+}
+impl_from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if !matches!(self, Value::Object(_)) {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(o) => o.entry(key.to_string()).or_insert(Value::Null),
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+    }
+}
+
+
+/// By-reference conversion used by the `json!` stub so place
+/// expressions are borrowed, not moved (matching real serde_json).
+pub trait ToValueRef {
+    fn to_value_ref(&self) -> Value;
+}
+
+pub fn to_value_ref<T: ToValueRef + ?Sized>(v: &T) -> Value {
+    v.to_value_ref()
+}
+
+macro_rules! impl_tvr_num {
+    ($($t:ty),*) => {$(
+        impl ToValueRef for $t {
+            fn to_value_ref(&self) -> Value { Value::Number(*self as f64) }
+        }
+    )*};
+}
+impl_tvr_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl ToValueRef for bool {
+    fn to_value_ref(&self) -> Value { Value::Bool(*self) }
+}
+impl ToValueRef for str {
+    fn to_value_ref(&self) -> Value { Value::String(self.to_string()) }
+}
+impl ToValueRef for String {
+    fn to_value_ref(&self) -> Value { Value::String(self.clone()) }
+}
+impl ToValueRef for Value {
+    fn to_value_ref(&self) -> Value { self.clone() }
+}
+impl<T: ToValueRef> ToValueRef for Vec<T> {
+    fn to_value_ref(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_value_ref()).collect())
+    }
+}
+impl<T: ToValueRef> ToValueRef for [T] {
+    fn to_value_ref(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_value_ref()).collect())
+    }
+}
+impl ToValueRef for Map<String, Value> {
+    fn to_value_ref(&self) -> Value { Value::Object(self.clone()) }
+}
+impl<T: ToValueRef> ToValueRef for Option<T> {
+    fn to_value_ref(&self) -> Value {
+        match self { Some(v) => v.to_value_ref(), None => Value::Null }
+    }
+}
+impl<T: ToValueRef + ?Sized> ToValueRef for &T {
+    fn to_value_ref(&self) -> Value { (**self).to_value_ref() }
+}
+
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_internal!(@array [] $($tt)*) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () $($tt)*);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value_ref(&$other) };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // ---- arrays ----
+    (@array [$($elems:expr),*]) => {
+        $crate::Value::Array(vec![$($elems),*])
+    };
+    (@array [$($elems:expr),*] ,) => {
+        $crate::Value::Array(vec![$($elems),*])
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!([$($arr)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value_ref(&$next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value_ref(&$last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ---- objects ----
+    (@object $object:ident ()) => {};
+    (@object $object:ident () ,) => {};
+    // Insert with the pending key once a complete value is munched.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        $object.insert(($($key)+).to_string(), $value);
+        $crate::json_internal!(@object $object () $($rest)*);
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        $object.insert(($($key)+).to_string(), $value);
+    };
+    // Value forms after the colon.
+    (@object $object:ident ($($key:tt)+) : null $($rest:tt)*) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::Value::Null) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) : [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json!([$($arr)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) : {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) : $value:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::to_value_ref(&$value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) : $value:expr) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::to_value_ref(&$value)));
+    };
+    // Munch one token into the pending key.
+    (@object $object:ident ($($key:tt)*) $tt:tt $($rest:tt)*) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) $($rest)*);
+    };
+}
+
+/// Serializes real `Value`s faithfully; any other type (the stub serde
+/// derives carry no data) serializes to a placeholder object.
+pub fn to_string<T: ?Sized>(value: &T) -> Result<String> {
+    Ok(value_or_placeholder(value))
+}
+
+pub fn to_string_pretty<T: ?Sized>(value: &T) -> Result<String> {
+    Ok(value_or_placeholder(value))
+}
+
+fn value_or_placeholder<T: ?Sized>(value: &T) -> String {
+    // Best effort: if T is Value (or &Value), render it; otherwise a
+    // placeholder. Resolved dynamically to keep the signature bound-free.
+    let any: &dyn std::any::Any = &();
+    let _ = any;
+    render_maybe_value(value as *const T as *const (), std::any::type_name::<T>())
+        .unwrap_or_else(|| "{\"stub\":true}".to_string())
+}
+
+fn render_maybe_value(ptr: *const (), tyname: &str) -> Option<String> {
+    if tyname == std::any::type_name::<Value>() {
+        // SAFETY: type name matched the concrete Value type.
+        let v = unsafe { &*(ptr as *const Value) };
+        return Some(v.to_string());
+    }
+    None
+}
+
+pub fn from_str<'a, T>(_s: &'a str) -> Result<T> {
+    Err(Error("offline serde_json stub cannot deserialize".into()))
+}
+
+pub fn to_writer<W: std::io::Write, T: ?Sized>(mut w: W, value: &T) -> Result<()> {
+    let s = value_or_placeholder(value);
+    w.write_all(s.as_bytes()).map_err(|e| Error(e.to_string()))
+}
