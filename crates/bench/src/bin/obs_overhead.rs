@@ -209,6 +209,7 @@ fn main() {
                 cost: cells,
                 cancel: String::new(),
                 ok: true,
+                tenant: String::new(),
             });
         },
         budget_ms.min(50),
@@ -218,6 +219,27 @@ fn main() {
         "  flight-recorder record:    {:.1} ns per query ({:.4}% of kernel)",
         flight_secs * 1e9,
         flight_overhead * 100.0
+    );
+
+    // 2f. Brownout controller, disabled (its shipped state): the
+    //     worker feeds each job's queue delay to the controller; with
+    //     no watermarks configured each observation is one branch.
+    //     Budget a whole batch of jobs per kernel call.
+    const JOBS_PER_CALL: usize = 8;
+    let mut brownout = swsimd_runner::Brownout::new(None);
+    let brownout_secs = time_per_call(
+        || {
+            for i in 0..JOBS_PER_CALL {
+                std::hint::black_box(brownout.observe(i as u64 * 1_000));
+            }
+        },
+        budget_ms.min(50),
+    );
+    let brownout_overhead = brownout_secs / kernel_secs;
+    println!(
+        "  disabled brownout observe: {:.1} ns per {JOBS_PER_CALL}-job batch ({:.4}% of kernel)",
+        brownout_secs * 1e9,
+        brownout_overhead * 100.0
     );
 
     // 3. Informational: the same kernel with a counting sink installed
@@ -268,6 +290,7 @@ fn main() {
         ("idle-cancel-polling", cancel_overhead),
         ("trace-ctx-plumbing", trace_ctx_overhead),
         ("flight-recorder", flight_overhead),
+        ("brownout-idle", brownout_overhead),
     ] {
         if ratio < limit {
             println!(

@@ -68,6 +68,19 @@ impl RetryPolicy {
     pub fn allows(&self, attempt: u32) -> bool {
         attempt < self.budget.max(1)
     }
+
+    /// [`RetryPolicy::delay`], unless the rejecting peer attached an
+    /// explicit `retry_after_ms` backoff hint (overload rejections
+    /// do): the peer knows its own drain rate better than any generic
+    /// exponential schedule, so the hint wins — clamped to
+    /// `[1ms, cap]` so a hostile or confused peer cannot park the
+    /// retry loop.
+    pub fn delay_with_hint(&self, attempt: u32, hint_ms: Option<u64>) -> Duration {
+        match hint_ms {
+            Some(ms) => Duration::from_millis(ms.max(1)).min(self.cap),
+            None => self.delay(attempt),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +125,26 @@ mod tests {
             (1..=6).any(|a| p.delay(a) != r.delay(a)),
             "seeds decorrelate"
         );
+    }
+
+    #[test]
+    fn server_hint_overrides_schedule_within_bounds() {
+        let p = RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            budget: 8,
+            seed: 42,
+        };
+        // A hint replaces the exponential delay outright…
+        assert_eq!(p.delay_with_hint(5, Some(37)), Duration::from_millis(37));
+        // …but is clamped into [1ms, cap].
+        assert_eq!(p.delay_with_hint(1, Some(0)), Duration::from_millis(1));
+        assert_eq!(
+            p.delay_with_hint(1, Some(60_000)),
+            Duration::from_millis(100)
+        );
+        // No hint: identical to the generic schedule.
+        assert_eq!(p.delay_with_hint(3, None), p.delay(3));
     }
 
     #[test]

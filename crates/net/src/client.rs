@@ -11,6 +11,7 @@ use std::time::Duration;
 use swsimd_core::Hit;
 use swsimd_obs::flight::AuditRecord;
 use swsimd_obs::trace::TraceCtx;
+use swsimd_runner::Fidelity;
 
 use crate::wire::{read_msg, write_msg, Msg, RemoteError, WireError};
 
@@ -33,6 +34,18 @@ impl std::fmt::Display for NetError {
             NetError::Wire(e) => write!(f, "wire: {e}"),
             NetError::Remote(e) => write!(f, "remote: {e}"),
             NetError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl NetError {
+    /// Backoff hint attached to an overload rejection (shed or
+    /// rate-limited), if the server sent one. Callers should sleep
+    /// this long before retrying instead of guessing.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            NetError::Remote(e) => e.retry_after_ms(),
+            _ => None,
         }
     }
 }
@@ -64,6 +77,10 @@ pub struct HitsReply {
     /// (0 when the peer predates trace propagation). Feed it to
     /// [`NetClient::trace`] / `swsimd trace` for the stage breakdown.
     pub trace_id: u64,
+    /// Fidelity the server answered at ([`Fidelity::Full`] unless the
+    /// serving tier was browning out; scores are exact at every
+    /// level — degradation affects auxiliary work only).
+    pub fidelity: Fidelity,
 }
 
 /// A pong, identifying the peer.
@@ -117,6 +134,21 @@ impl NetClient {
         deadline_ms: u32,
         trace: TraceCtx,
     ) -> Result<HitsReply, NetError> {
+        self.query_tenant(query, top_k, deadline_ms, trace, "")
+    }
+
+    /// [`NetClient::query_traced`] billed to `tenant` (empty = the
+    /// default tenant; encodes byte-identically to the pre-tenant
+    /// wire format). The serving tier's fair-share scheduler, rate
+    /// limits, and per-tenant metrics all key on this name.
+    pub fn query_tenant(
+        &mut self,
+        query: &[u8],
+        top_k: usize,
+        deadline_ms: u32,
+        trace: TraceCtx,
+        tenant: &str,
+    ) -> Result<HitsReply, NetError> {
         let id = self.next_id;
         self.next_id += 1;
         write_msg(
@@ -131,6 +163,7 @@ impl NetClient {
                 slice_count: 0,
                 query: query.to_vec(),
                 trace,
+                tenant: tenant.to_string(),
             },
         )?;
         match read_msg(&mut self.stream)? {
@@ -139,12 +172,14 @@ impl NetClient {
                 degraded,
                 missing_shards,
                 trace_id,
+                fidelity,
                 ..
             } => Ok(HitsReply {
                 hits,
                 degraded,
                 missing_shards,
                 trace_id,
+                fidelity,
             }),
             Msg::Error { err, .. } => Err(NetError::Remote(err)),
             _ => Err(NetError::Unexpected("non-answer frame for Query")),

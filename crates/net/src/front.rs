@@ -239,8 +239,18 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<FrontShared>) -> std::io::Resul
                 deadline_ms,
                 query,
                 trace,
+                tenant,
                 ..
-            } => match handle_query(&shared, &stream, id, top_k, deadline_ms, query, trace) {
+            } => match handle_query(
+                &shared,
+                &stream,
+                id,
+                top_k,
+                deadline_ms,
+                query,
+                trace,
+                tenant,
+            ) {
                 Some(reply) => {
                     if write_msg(&mut stream, &reply).is_err() {
                         return Ok(());
@@ -301,6 +311,7 @@ impl Drop for InFlight<'_> {
 /// Run the scatter-gather on a worker thread while this connection
 /// thread watches for client disconnect; `None` means the client went
 /// away and the connection should close without a reply.
+#[allow(clippy::too_many_arguments)] // wire fields arrive together
 fn handle_query(
     shared: &Arc<FrontShared>,
     stream: &TcpStream,
@@ -309,6 +320,7 @@ fn handle_query(
     deadline_ms: u32,
     query: Vec<u8>,
     trace: TraceCtx,
+    tenant: String,
 ) -> Option<Msg> {
     if shared.draining.load(Ordering::Acquire) {
         return Some(Msg::Error {
@@ -321,7 +333,7 @@ fn handle_query(
     let (tx, rx) = mpsc::channel();
     let gw = shared.gateway.clone();
     std::thread::spawn(move || {
-        let _ = tx.send(gw.query_traced(&query, top_k as usize, deadline, trace));
+        let _ = tx.send(gw.query_traced_for(&tenant, &query, top_k as usize, deadline, trace));
     });
     let result = loop {
         match rx.recv_timeout(POLL_STEP) {
@@ -357,6 +369,7 @@ fn handle_query(
             // request's flight record with `swsimd trace <id>`.
             trace_id: resp.trace_id,
             timing: None,
+            fidelity: resp.fidelity,
         },
         Err(err) => Msg::Error { id, err },
     })

@@ -25,21 +25,48 @@
 //!   reported in `missing_shards` and the response is marked
 //!   `degraded` (`swsimd_degraded_responses_total`) instead of
 //!   failing the whole query; only a fully-missing topology errors.
+//! - **Tenant admission.** Each query bills to a tenant (the wire's
+//!   `EXT_TENANT` extension; absent = the default tenant). Per-tenant
+//!   concurrency caps and token buckets ([`GatewayQos`]) reject
+//!   excess load at the edge with typed overload errors carrying a
+//!   `retry_after_ms` hint, before any shard sees a frame. Overload
+//!   rejections from shards honor the same hints in the retry
+//!   schedule ([`RetryPolicy::delay_with_hint`]), and shard-reported
+//!   [`Fidelity`] reductions merge conservatively into the response.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use swsimd_core::Hit;
 use swsimd_obs::flight::{AuditRecord, ShardTiming, Stage, StageTiming};
 use swsimd_obs::trace::TraceCtx;
-use swsimd_runner::{rank_hits, FaultPlan, ServeError};
+use swsimd_runner::{
+    rank_hits, tenant_label, FaultPlan, Fidelity, RateConfig, ServeError, TokenBucket,
+};
 
 use crate::backoff::RetryPolicy;
 use crate::breaker::{BreakerState, ShardBreaker};
-use crate::metrics::{GatewayMetrics, ReplicaMetrics};
+use crate::metrics::{GatewayMetrics, ReplicaMetrics, TenantEdgeMetrics};
 use crate::wire::{read_msg, write_msg, Msg, RemoteError, WireError};
+
+/// Per-tenant admission controls enforced at the gateway edge, before
+/// any shard sees a frame. The cost unit here is *query bytes* (the
+/// gateway does not know the sharded database size; shard-side
+/// buckets meter in DP cells).
+#[derive(Clone, Default)]
+pub struct GatewayQos {
+    /// Max scatter-gather requests concurrently in flight per tenant
+    /// (0 = uncapped). Excess requests are shed with
+    /// [`ServeError::QueueFull`] and a backoff hint.
+    pub max_inflight: usize,
+    /// Per-tenant token buckets keyed by tenant name (use
+    /// `"default"` for anonymous traffic). Tenants without an entry
+    /// are not rate-limited at the gateway.
+    pub rates: HashMap<String, RateConfig>,
+}
 
 /// Gateway configuration.
 pub struct GatewayConfig {
@@ -61,6 +88,8 @@ pub struct GatewayConfig {
     pub readmit_after: u32,
     /// Deterministic network faults (connect refusals).
     pub fault: FaultPlan,
+    /// Per-tenant edge admission (concurrency caps, token buckets).
+    pub qos: GatewayQos,
 }
 
 impl Default for GatewayConfig {
@@ -74,6 +103,7 @@ impl Default for GatewayConfig {
             strike_threshold: 3,
             readmit_after: 2,
             fault: FaultPlan::default(),
+            qos: GatewayQos::default(),
         }
     }
 }
@@ -90,6 +120,11 @@ pub struct GatewayResponse {
     /// Distributed trace id this request was filed under in the
     /// gateway's flight recorder (`swsimd trace <id>` looks it up).
     pub trace_id: u64,
+    /// Worst (most-degraded) fidelity any contributing shard reported
+    /// — a brownout-era shard answers with exact scores but may skip
+    /// shadow verification or traceback detail; the reduction is
+    /// typed here, never silent.
+    pub fidelity: Fidelity,
 }
 
 struct Replica {
@@ -99,6 +134,13 @@ struct Replica {
     metrics: ReplicaMetrics,
 }
 
+/// Per-tenant edge-admission state, created lazily on first sight.
+struct TenantGate {
+    inflight: AtomicUsize,
+    bucket: Option<Mutex<TokenBucket>>,
+    metrics: TenantEdgeMetrics,
+}
+
 struct GatewayInner {
     cfg: GatewayConfig,
     replicas: Vec<Replica>,
@@ -106,6 +148,41 @@ struct GatewayInner {
     groups: Vec<Vec<usize>>,
     metrics: GatewayMetrics,
     next_id: AtomicU64,
+    /// Tenant label → edge-admission state.
+    tenants: Mutex<HashMap<String, Arc<TenantGate>>>,
+}
+
+impl GatewayInner {
+    fn tenant_gate(&self, tenant: &str) -> Arc<TenantGate> {
+        let label = tenant_label(tenant);
+        let mut map = lock_ok(&self.tenants);
+        if let Some(gate) = map.get(label) {
+            return Arc::clone(gate);
+        }
+        let gate = Arc::new(TenantGate {
+            inflight: AtomicUsize::new(0),
+            bucket: self
+                .cfg
+                .qos
+                .rates
+                .get(label)
+                .map(|rate| Mutex::new(TokenBucket::new(*rate))),
+            metrics: TenantEdgeMetrics::new(label),
+        });
+        map.insert(label.to_string(), Arc::clone(&gate));
+        gate
+    }
+}
+
+/// Decrements a tenant's in-flight count (and gauge) on every exit
+/// path of a scatter-gather request.
+struct InflightGuard(Arc<TenantGate>);
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.0.metrics.inflight.dec();
+    }
 }
 
 /// The scatter-gather client half of the serving tier. Cheap to
@@ -118,17 +195,19 @@ pub struct Gateway {
 /// How one attempt against one replica ended.
 enum Attempt {
     /// Hits plus the shard's timing summary (when the peer sent one;
-    /// `rtt_ns` is filled gateway-side by the attempt thread).
-    Ok(Vec<Hit>, Option<ShardTiming>),
-    /// Retrying another replica (or the same one later) may help.
-    Retryable,
+    /// `rtt_ns` is filled gateway-side by the attempt thread) and the
+    /// fidelity the shard served at.
+    Ok(Vec<Hit>, Option<ShardTiming>, Fidelity),
+    /// Retrying another replica (or the same one later) may help; an
+    /// overloaded shard attaches its `retry_after_ms` backoff hint.
+    Retryable(Option<u64>),
     /// Retrying cannot change the outcome; fail the query.
     Fatal(RemoteError),
 }
 
 /// How one shard group ended.
 enum GroupOutcome {
-    Ok(Vec<Hit>, Option<ShardTiming>),
+    Ok(Vec<Hit>, Option<ShardTiming>, Fidelity),
     /// Budget exhausted or no replica available: degrade.
     Missing,
     Fatal(RemoteError),
@@ -169,6 +248,7 @@ impl Gateway {
                 groups,
                 metrics: GatewayMetrics::new(),
                 next_id: AtomicU64::new(1),
+                tenants: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -198,6 +278,21 @@ impl Gateway {
         self.query_traced(query, top_k, deadline, TraceCtx::default())
     }
 
+    /// [`Gateway::query`] billed to `tenant` (empty = the default
+    /// tenant). The tenant's gateway-edge concurrency cap and token
+    /// bucket are enforced before any shard is contacted, and the
+    /// tenant rides every shard frame so shard-side fair-share
+    /// scheduling sees the same identity.
+    pub fn query_for(
+        &self,
+        tenant: &str,
+        query: &[u8],
+        top_k: usize,
+        deadline: Option<Duration>,
+    ) -> Result<GatewayResponse, RemoteError> {
+        self.query_traced_for(tenant, query, top_k, deadline, TraceCtx::default())
+    }
+
     /// [`Gateway::query`] under a client-supplied trace context. The
     /// request gets one trace id (the client's, or freshly minted), a
     /// `gateway_request` root span, and the same context rides every
@@ -215,9 +310,60 @@ impl Gateway {
         deadline: Option<Duration>,
         client: TraceCtx,
     ) -> Result<GatewayResponse, RemoteError> {
+        self.query_traced_for("", query, top_k, deadline, client)
+    }
+
+    /// [`Gateway::query_traced`] billed to `tenant` — see
+    /// [`Gateway::query_for`] for the admission rules.
+    pub fn query_traced_for(
+        &self,
+        tenant: &str,
+        query: &[u8],
+        top_k: usize,
+        deadline: Option<Duration>,
+        client: TraceCtx,
+    ) -> Result<GatewayResponse, RemoteError> {
         let inner = &self.inner;
         inner.metrics.requests.inc();
         let t0 = Instant::now();
+
+        // Edge admission: token bucket first (cheapest to explain to
+        // the caller), then the concurrency cap. Both reject with a
+        // typed error carrying a backoff hint; neither touches a
+        // shard.
+        let gate = inner.tenant_gate(tenant);
+        if let Some(bucket) = &gate.bucket {
+            let cost = query.len() as u64;
+            if let Err(retry_after_ms) = lock_ok(bucket).try_take(cost, Instant::now()) {
+                gate.metrics.rate_limited.inc();
+                swsimd_obs::event!(
+                    "gateway_rate_limited",
+                    "tenant" => tenant_label(tenant).to_string(),
+                    "retry_after_ms" => retry_after_ms
+                );
+                return Err(RemoteError::Serve(ServeError::RateLimited {
+                    retry_after_ms,
+                }));
+            }
+        }
+        let cap = inner.cfg.qos.max_inflight;
+        let admitted_inflight =
+            gate.inflight
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    (cap == 0 || n < cap).then_some(n + 1)
+                });
+        if admitted_inflight.is_err() {
+            gate.metrics.shed.inc();
+            let retry_after_ms = inner.cfg.retry.base.as_millis().max(1) as u64;
+            swsimd_obs::event!(
+                "gateway_load_shed",
+                "tenant" => tenant_label(tenant).to_string(),
+                "retry_after_ms" => retry_after_ms
+            );
+            return Err(RemoteError::Serve(ServeError::QueueFull { retry_after_ms }));
+        }
+        gate.metrics.inflight.inc();
+        let _inflight = InflightGuard(Arc::clone(&gate));
         // One trace id for the whole distributed request.
         let trace_id = if client.is_traced() {
             client.trace_id
@@ -250,6 +396,7 @@ impl Gateway {
                 degraded: false,
                 ok: false,
                 cancel: "unavailable",
+                tenant,
             });
             return Err(RemoteError::Unavailable);
         }
@@ -262,12 +409,14 @@ impl Gateway {
             let tx = tx.clone();
             let this = self.clone();
             let query = query.to_vec();
+            let tenant = tenant.to_string();
             let flight = Arc::clone(&flight);
             std::thread::spawn(move || {
                 let outcome = query_group(
                     &this.inner,
                     slice,
                     id,
+                    &tenant,
                     &query,
                     top_k,
                     deadline_at,
@@ -284,11 +433,15 @@ impl Gateway {
         let mut missing = Vec::new();
         let mut fatal = None;
         let mut timings = Vec::new();
+        let mut fidelity = Fidelity::Full;
         for (slice, outcome) in rx {
             match outcome {
-                GroupOutcome::Ok(hits, timing) => {
+                GroupOutcome::Ok(hits, timing, f) => {
                     all_hits.extend(hits);
                     timings.extend(timing);
+                    // Conservative merge: the response is only as
+                    // faithful as its least-faithful contributor.
+                    fidelity = fidelity.max(f);
                 }
                 GroupOutcome::Missing => missing.push(slice as u32),
                 GroupOutcome::Fatal(e) => fatal = Some(e),
@@ -320,6 +473,7 @@ impl Gateway {
                 degraded: false,
                 ok: false,
                 cancel: cancel_label(&e),
+                tenant,
             });
             return Err(e);
         }
@@ -335,6 +489,7 @@ impl Gateway {
                 degraded: true,
                 ok: false,
                 cancel: "unavailable",
+                tenant,
             });
             return Err(RemoteError::Unavailable);
         }
@@ -362,12 +517,14 @@ impl Gateway {
             degraded,
             ok: true,
             cancel: "",
+            tenant,
         });
         Ok(GatewayResponse {
             hits,
             degraded,
             missing_shards: missing,
             trace_id,
+            fidelity,
         })
     }
 
@@ -480,6 +637,7 @@ struct FlightInput<'a> {
     degraded: bool,
     ok: bool,
     cancel: &'a str,
+    tenant: &'a str,
 }
 
 /// File one gateway request into the process-global flight recorder.
@@ -516,6 +674,7 @@ fn record_gateway_flight(input: &FlightInput<'_>) {
         cost: input.query_len as u64,
         cancel: input.cancel.to_string(),
         ok: input.ok,
+        tenant: tenant_label(input.tenant).to_string(),
     });
 }
 
@@ -525,6 +684,7 @@ fn cancel_label(err: &RemoteError) -> &'static str {
         RemoteError::Serve(ServeError::DeadlineExceeded) => "deadline",
         RemoteError::Serve(ServeError::ShutDown) => "shutdown",
         RemoteError::Serve(ServeError::WorkerPanicked) => "panic",
+        RemoteError::Serve(ServeError::RateLimited { .. }) => "rate_limited",
         RemoteError::Unavailable => "unavailable",
         _ => "error",
     }
@@ -581,6 +741,7 @@ fn query_group(
     inner: &Arc<GatewayInner>,
     slice: usize,
     id: u64,
+    tenant: &str,
     query: &[u8],
     top_k: usize,
     deadline_at: Option<Instant>,
@@ -589,6 +750,9 @@ fn query_group(
 ) -> GroupOutcome {
     let group = &inner.groups[slice];
     let mut attempt = 0u32;
+    // Backoff hint from the previous attempt's overload rejection, if
+    // any; it overrides the exponential schedule for the next sleep.
+    let mut hint_ms: Option<u64> = None;
     loop {
         if !inner.cfg.retry.allows(attempt) {
             return GroupOutcome::Missing;
@@ -596,7 +760,7 @@ fn query_group(
         if attempt > 0 {
             inner.metrics.retries.inc();
             flight.retries.fetch_add(1, Ordering::Relaxed);
-            let delay = inner.cfg.retry.delay(attempt);
+            let delay = inner.cfg.retry.delay_with_hint(attempt, hint_ms);
             if let Some(d) = deadline_at {
                 if Instant::now() + delay >= d {
                     return GroupOutcome::Missing;
@@ -623,15 +787,17 @@ fn query_group(
             primary,
             hedge,
             id,
+            tenant,
             query,
             top_k,
             deadline_at,
             ctx,
             flight,
         ) {
-            Attempt::Ok(hits, timing) => return GroupOutcome::Ok(hits, timing),
+            Attempt::Ok(hits, timing, fidelity) => return GroupOutcome::Ok(hits, timing, fidelity),
             Attempt::Fatal(e) => return GroupOutcome::Fatal(e),
-            Attempt::Retryable => {
+            Attempt::Retryable(hint) => {
+                hint_ms = hint;
                 attempt += 1;
             }
         }
@@ -648,6 +814,7 @@ fn attempt_with_hedge(
     primary: usize,
     hedge: Option<usize>,
     id: u64,
+    tenant: &str,
     query: &[u8],
     top_k: usize,
     deadline_at: Option<Instant>,
@@ -659,6 +826,7 @@ fn attempt_with_hedge(
         inner,
         primary,
         id,
+        tenant,
         query,
         top_k,
         deadline_at,
@@ -684,6 +852,7 @@ fn attempt_with_hedge(
                     inner,
                     sibling,
                     id,
+                    tenant,
                     query,
                     top_k,
                     deadline_at,
@@ -718,19 +887,25 @@ fn attempt_with_hedge(
     }
     // Prefer success, then fatal (definitive), then retryable.
     let mut retryable = false;
+    let mut hint_ms: Option<u64> = None;
     let mut fatal = None;
     for outcome in results {
         match outcome {
-            Attempt::Ok(hits, timing) => return Attempt::Ok(hits, timing),
+            Attempt::Ok(hits, timing, fidelity) => return Attempt::Ok(hits, timing, fidelity),
             Attempt::Fatal(e) => fatal = Some(e),
-            Attempt::Retryable => retryable = true,
+            Attempt::Retryable(hint) => {
+                retryable = true;
+                // Back off by the most pessimistic hint any replica
+                // attached.
+                hint_ms = hint_ms.max(hint);
+            }
         }
     }
     match fatal {
         Some(e) => Attempt::Fatal(e),
         None => {
             debug_assert!(retryable);
-            Attempt::Retryable
+            Attempt::Retryable(hint_ms)
         }
     }
 }
@@ -752,6 +927,7 @@ fn spawn_attempt(
     inner: &Arc<GatewayInner>,
     ordinal: usize,
     id: u64,
+    tenant: &str,
     query: &[u8],
     top_k: usize,
     deadline_at: Option<Instant>,
@@ -760,16 +936,26 @@ fn spawn_attempt(
 ) {
     let inner = Arc::clone(inner);
     let query = query.to_vec();
+    let tenant = tenant.to_string();
     std::thread::spawn(move || {
         let started = Instant::now();
         inner.replicas[ordinal].metrics.inflight.inc();
-        let mut outcome = attempt_once(&inner, ordinal, id, &query, top_k, deadline_at, ctx);
+        let mut outcome = attempt_once(
+            &inner,
+            ordinal,
+            id,
+            &tenant,
+            &query,
+            top_k,
+            deadline_at,
+            ctx,
+        );
         let rtt = started.elapsed();
         let replica = &inner.replicas[ordinal];
         replica.metrics.inflight.dec();
         // Only the gateway can observe the round trip; stamp it onto
         // the shard's timing summary for the stitched breakdown.
-        if let Attempt::Ok(_, Some(timing)) = &mut outcome {
+        if let Attempt::Ok(_, Some(timing), _) = &mut outcome {
             timing.rtt_ns = rtt.as_nanos() as u64;
         }
         match &outcome {
@@ -780,7 +966,7 @@ fn spawn_attempt(
             // Fatal outcomes are the *query's* fault, not the
             // replica's — no strike.
             Attempt::Fatal(_) => {}
-            Attempt::Retryable => {
+            Attempt::Retryable(_) => {
                 let opened = lock_ok(&replica.breaker).record_failure();
                 if opened {
                     replica.metrics.down_total.inc();
@@ -798,6 +984,7 @@ fn attempt_once(
     inner: &GatewayInner,
     ordinal: usize,
     id: u64,
+    tenant: &str,
     query: &[u8],
     top_k: usize,
     deadline_at: Option<Instant>,
@@ -808,13 +995,13 @@ fn attempt_once(
         return Attempt::Fatal(RemoteError::Serve(ServeError::DeadlineExceeded));
     };
     if inner.cfg.fault.before_connect(ordinal).is_err() {
-        return Attempt::Retryable;
+        return Attempt::Retryable(None);
     }
     let Ok(addr) = resolve(&replica.addr) else {
-        return Attempt::Retryable;
+        return Attempt::Retryable(None);
     };
     let Ok(mut stream) = TcpStream::connect_timeout(&addr, inner.cfg.connect_timeout) else {
-        return Attempt::Retryable;
+        return Attempt::Retryable(None);
     };
     let _ = stream.set_nodelay(true);
     let mut read_timeout = inner.cfg.request_timeout;
@@ -833,26 +1020,35 @@ fn attempt_once(
         slice_count: inner.groups.len() as u32,
         query: query.to_vec(),
         trace: ctx,
+        tenant: tenant.to_string(),
     };
     if write_msg(&mut stream, &msg).is_err() {
-        return Attempt::Retryable;
+        return Attempt::Retryable(None);
     }
     match read_msg(&mut stream) {
-        Ok(Msg::Hits { hits, timing, .. }) => Attempt::Ok(hits, timing),
+        Ok(Msg::Hits {
+            hits,
+            timing,
+            fidelity,
+            ..
+        }) => Attempt::Ok(hits, timing, fidelity),
         Ok(Msg::Error { err, .. }) => classify(err),
         // A non-answer kind is a confused peer: don't trust it again
         // this attempt.
-        Ok(_) => Attempt::Retryable,
+        Ok(_) => Attempt::Retryable(None),
         // Torn frames, bit flips, timeouts, resets: all retryable.
         Err(WireError::BadCrc { want, got }) => {
             swsimd_obs::event!("reply_crc_mismatch", "want" => want, "got" => got);
-            Attempt::Retryable
+            Attempt::Retryable(None)
         }
-        Err(_) => Attempt::Retryable,
+        Err(_) => Attempt::Retryable(None),
     }
 }
 
-/// Fatal errors fail the query; everything else earns a retry.
+/// Fatal errors fail the query; everything else earns a retry. A
+/// shard-side overload rejection (shed or rate-limited) attaches its
+/// `retry_after_ms` hint so the retry sleeps what the shard asked
+/// for, not the generic schedule.
 fn classify(err: RemoteError) -> Attempt {
     use ServeError as S;
     match &err {
@@ -862,12 +1058,14 @@ fn classify(err: RemoteError) -> Attempt {
         | RemoteError::Serve(S::BudgetExceeded { .. })
         | RemoteError::Serve(S::EngineUnavailable { .. })
         | RemoteError::Serve(S::DeadlineExceeded) => Attempt::Fatal(err),
+        RemoteError::Serve(S::QueueFull { .. }) | RemoteError::Serve(S::RateLimited { .. }) => {
+            Attempt::Retryable(err.retry_after_ms())
+        }
         RemoteError::Serve(S::ShutDown)
-        | RemoteError::Serve(S::QueueFull)
         | RemoteError::Serve(S::WorkerPanicked)
         | RemoteError::WrongShard { .. }
         | RemoteError::Draining
-        | RemoteError::Unavailable => Attempt::Retryable,
+        | RemoteError::Unavailable => Attempt::Retryable(None),
     }
 }
 
@@ -890,14 +1088,103 @@ mod tests {
         ));
         for retryable in [
             RemoteError::Serve(ServeError::ShutDown),
-            RemoteError::Serve(ServeError::QueueFull),
             RemoteError::Serve(ServeError::WorkerPanicked),
             RemoteError::WrongShard { got: 0, want: 1 },
             RemoteError::Draining,
             RemoteError::Unavailable,
         ] {
-            assert!(matches!(classify(retryable), Attempt::Retryable));
+            assert!(matches!(classify(retryable), Attempt::Retryable(None)));
         }
+    }
+
+    /// Overload rejections retry with the shard's own backoff hint.
+    #[test]
+    fn classify_carries_overload_hints() {
+        assert!(matches!(
+            classify(RemoteError::Serve(ServeError::QueueFull {
+                retry_after_ms: 40
+            })),
+            Attempt::Retryable(Some(40))
+        ));
+        assert!(matches!(
+            classify(RemoteError::Serve(ServeError::RateLimited {
+                retry_after_ms: 900
+            })),
+            Attempt::Retryable(Some(900))
+        ));
+        // A hint-less shed from an old peer still retries.
+        assert!(matches!(
+            classify(RemoteError::Serve(ServeError::QueueFull {
+                retry_after_ms: 0
+            })),
+            Attempt::Retryable(Some(0))
+        ));
+    }
+
+    /// The edge concurrency cap sheds without touching any shard and
+    /// releases its slot on every exit path.
+    #[test]
+    fn tenant_inflight_cap_sheds_at_the_edge() {
+        let gw = Gateway::new(GatewayConfig {
+            qos: GatewayQos {
+                max_inflight: 1,
+                rates: HashMap::new(),
+            },
+            ..GatewayConfig::default()
+        });
+        // Hold the only slot by hand, then watch a query bounce.
+        let gate = gw.inner.tenant_gate("acme");
+        gate.inflight.fetch_add(1, Ordering::Relaxed);
+        match gw.query_for("acme", &[1, 2, 3], 5, None) {
+            Err(RemoteError::Serve(ServeError::QueueFull { retry_after_ms })) => {
+                assert!(retry_after_ms >= 1, "edge shed must carry a hint");
+            }
+            other => panic!("expected edge shed, got {other:?}"),
+        }
+        gate.inflight.fetch_sub(1, Ordering::Relaxed);
+        // Slot free again: admission passes and the (empty) topology
+        // reports Unavailable — past the QoS gate.
+        assert!(matches!(
+            gw.query_for("acme", &[1, 2, 3], 5, None),
+            Err(RemoteError::Unavailable)
+        ));
+        assert_eq!(gate.inflight.load(Ordering::Relaxed), 0, "slot released");
+        // A different tenant is not affected by acme's slot usage.
+        assert!(matches!(
+            gw.query_for("other", &[1, 2, 3], 5, None),
+            Err(RemoteError::Unavailable)
+        ));
+    }
+
+    /// The edge token bucket meters per tenant in query-byte units.
+    #[test]
+    fn tenant_bucket_rate_limits_at_the_edge() {
+        let mut rates = HashMap::new();
+        rates.insert("metered".to_string(), RateConfig { rate: 1, burst: 4 });
+        let gw = Gateway::new(GatewayConfig {
+            qos: GatewayQos {
+                max_inflight: 0,
+                rates,
+            },
+            ..GatewayConfig::default()
+        });
+        // Burst of 4 bytes: one 3-byte query passes the bucket (then
+        // fails on the empty topology), the next is rate-limited.
+        assert!(matches!(
+            gw.query_for("metered", &[1, 2, 3], 5, None),
+            Err(RemoteError::Unavailable)
+        ));
+        match gw.query_for("metered", &[1, 2, 3], 5, None) {
+            Err(RemoteError::Serve(ServeError::RateLimited { retry_after_ms })) => {
+                assert!(retry_after_ms >= 1);
+            }
+            other => panic!("expected rate limit, got {other:?}"),
+        }
+        // An unmetered tenant is untouched.
+        assert!(matches!(
+            gw.query_for("free", &[1, 2, 3], 5, None),
+            Err(RemoteError::Unavailable)
+        ));
     }
 
     #[test]

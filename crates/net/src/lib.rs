@@ -35,7 +35,7 @@ pub use backoff::RetryPolicy;
 pub use breaker::{BreakerState, ShardBreaker};
 pub use client::{HitsReply, NetClient, NetError, PongReply};
 pub use front::{GatewayServer, GATEWAY_SHARD_ID};
-pub use gateway::{Gateway, GatewayConfig, GatewayResponse, ProberHandle};
-pub use metrics::{GatewayMetrics, NetCancelled, ReplicaMetrics};
+pub use gateway::{Gateway, GatewayConfig, GatewayQos, GatewayResponse, ProberHandle};
+pub use metrics::{GatewayMetrics, NetCancelled, ReplicaMetrics, TenantEdgeMetrics};
 pub use shard::{ShardConfig, ShardServer};
 pub use wire::{read_msg, write_msg, Msg, RemoteError, WireError, MAX_FRAME};

@@ -113,6 +113,45 @@ impl ReplicaMetrics {
     }
 }
 
+/// Per-tenant gateway-edge admission families, labelled `tenant`.
+/// One instance per tenant the gateway has seen; re-attaching to the
+/// same family is idempotent.
+pub struct TenantEdgeMetrics {
+    /// Scatter-gather requests currently in flight for this tenant.
+    pub inflight: Arc<Gauge>,
+    /// Requests refused at the gateway edge because the tenant's
+    /// concurrency cap was reached.
+    pub shed: Arc<Counter>,
+    /// Requests refused at the gateway edge by the tenant's token
+    /// bucket.
+    pub rate_limited: Arc<Counter>,
+}
+
+impl TenantEdgeMetrics {
+    /// Register (or re-attach to) the families for `tenant`.
+    pub fn new(tenant: &str) -> Self {
+        let r = global();
+        let labels: &[(&str, &str)] = &[("tenant", tenant)];
+        Self {
+            inflight: r.gauge(
+                "swsimd_gateway_tenant_inflight",
+                "Scatter-gather requests currently in flight, per tenant.",
+                labels,
+            ),
+            shed: r.counter(
+                "swsimd_gateway_tenant_shed_total",
+                "Requests refused at the gateway concurrency cap, per tenant.",
+                labels,
+            ),
+            rate_limited: r.counter(
+                "swsimd_gateway_rate_limited_total",
+                "Requests refused by the gateway token bucket, per tenant.",
+                labels,
+            ),
+        }
+    }
+}
+
 /// Shard-side cancellation counters keyed by reason, mirroring
 /// `swsimd_server_cancelled_total` for cancellations that originate
 /// on the network (client drop, drain shutdown, wire deadline).
@@ -165,6 +204,10 @@ mod tests {
         rm.up.set(0);
         let nc = NetCancelled::new();
         nc.record(CancelReason::ClientDrop);
+        let te = TenantEdgeMetrics::new("acme");
+        te.inflight.inc();
+        te.shed.inc();
+        te.rate_limited.inc();
         let text = global().prometheus_text();
         for family in [
             "swsimd_gateway_requests_total",
@@ -173,9 +216,13 @@ mod tests {
             "swsimd_shard_down_total",
             "swsimd_shard_up",
             "swsimd_net_cancelled_total",
+            "swsimd_gateway_tenant_inflight",
+            "swsimd_gateway_tenant_shed_total",
+            "swsimd_gateway_rate_limited_total",
         ] {
             assert!(text.contains(family), "{family} missing from scrape");
         }
         assert!(text.contains("reason=\"client_drop\""));
+        assert!(text.contains("tenant=\"acme\""));
     }
 }

@@ -33,7 +33,7 @@ use swsimd_obs::flight::{ShardTiming, Stage, StageTiming};
 use swsimd_obs::trace::TraceCtx;
 use swsimd_runner::{
     checkpointed_search, rank_hits, read_journal_file, resume_search, BatchServer, FaultPlan,
-    JournalWriter, PoolConfig, QueryOutcome, ServeError, ServerClient, ServerConfig,
+    Fidelity, JournalWriter, PoolConfig, QueryOutcome, ServeError, ServerClient, ServerConfig,
 };
 use swsimd_seq::{integrity::crc32, Database};
 
@@ -396,6 +396,7 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<ShardShared>) -> std::io::Resul
                 slice_count,
                 query,
                 trace,
+                tenant,
             } => {
                 let reply = handle_query(
                     &shared,
@@ -407,6 +408,7 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<ShardShared>) -> std::io::Resul
                     slice_count,
                     query,
                     trace,
+                    &tenant,
                 );
                 match reply {
                     Some(msg) => {
@@ -542,6 +544,7 @@ fn handle_query(
     slice_count: u32,
     query: Vec<u8>,
     trace: TraceCtx,
+    tenant: &str,
 ) -> Option<Msg> {
     if shared.draining.load(Ordering::Acquire) {
         return Some(Msg::Error {
@@ -584,7 +587,7 @@ fn handle_query(
     } else {
         match shared
             .client
-            .submit_traced(query, top_k as usize, deadline, ctx)
+            .submit_traced_for(tenant, query, top_k as usize, deadline, ctx)
         {
             Ok(p) => Pending::Server(p),
             Err(e) => {
@@ -625,6 +628,7 @@ fn handle_query(
                 compute_ns,
                 engine,
                 retries,
+                fidelity,
             } = outcome;
             // Slice-local → global indices; ranked within the slice.
             for h in &mut hits {
@@ -660,6 +664,7 @@ fn handle_query(
                 hits,
                 trace_id: trace.trace_id,
                 timing: Some(timing),
+                fidelity,
             }
         }
         Err(e) => {
@@ -702,6 +707,7 @@ fn durable_submit(
             compute_ns,
             engine: "pool",
             retries: 0,
+            fidelity: Fidelity::Full,
         }));
     });
     Pending::Durable { rx, token }

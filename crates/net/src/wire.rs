@@ -32,7 +32,7 @@ use std::io::{self, Read, Write};
 use swsimd_core::{AlignError, Hit, Precision};
 use swsimd_obs::flight::{AuditRecord, ShardTiming, Stage, StageTiming};
 use swsimd_obs::trace::TraceCtx;
-use swsimd_runner::ServeError;
+use swsimd_runner::{Fidelity, ServeError, MAX_TENANT_LEN};
 use swsimd_seq::integrity::crc32;
 
 /// Frames larger than this are rejected before allocation — a
@@ -153,7 +153,7 @@ impl RemoteError {
         match self {
             RemoteError::Serve(S::ShutDown) => (1, 0, 0, 0),
             RemoteError::Serve(S::DeadlineExceeded) => (2, 0, 0, 0),
-            RemoteError::Serve(S::QueueFull) => (3, 0, 0, 0),
+            RemoteError::Serve(S::QueueFull { retry_after_ms }) => (3, *retry_after_ms, 0, 0),
             RemoteError::Serve(S::WorkerPanicked) => (4, 0, 0, 0),
             RemoteError::Serve(S::InvalidQuery(e)) => {
                 let (sub, a, b) = e.wire_encode();
@@ -172,6 +172,7 @@ impl RemoteError {
             RemoteError::WrongShard { got, want } => (10, *got as u64, *want as u64, 0),
             RemoteError::Draining => (11, 0, 0, 0),
             RemoteError::Unavailable => (12, 0, 0, 0),
+            RemoteError::Serve(S::RateLimited { retry_after_ms }) => (13, *retry_after_ms, 0, 0),
         }
     }
 
@@ -182,7 +183,7 @@ impl RemoteError {
         Some(match code {
             1 => RemoteError::Serve(S::ShutDown),
             2 => RemoteError::Serve(S::DeadlineExceeded),
-            3 => RemoteError::Serve(S::QueueFull),
+            3 => RemoteError::Serve(S::QueueFull { retry_after_ms: a }),
             4 => RemoteError::Serve(S::WorkerPanicked),
             5 => RemoteError::Serve(S::InvalidQuery(AlignError::wire_decode(
                 u8::try_from(a).ok()?,
@@ -208,8 +209,18 @@ impl RemoteError {
             },
             11 => RemoteError::Draining,
             12 => RemoteError::Unavailable,
+            13 => RemoteError::Serve(S::RateLimited { retry_after_ms: a }),
             _ => return None,
         })
+    }
+
+    /// Backoff hint carried by overload rejections, if any. Retry
+    /// schedules prefer this over their generic exponential delay.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            RemoteError::Serve(e) => e.retry_after_ms(),
+            _ => None,
+        }
     }
 }
 
@@ -255,6 +266,11 @@ pub enum Msg {
         /// Propagated trace context (extension; `TraceCtx::default()`
         /// = untraced, encoded as an absent tail for old peers).
         trace: TraceCtx,
+        /// Tenant this query bills to (extension; empty = the default
+        /// tenant, encoded as an absent tail for old peers). At most
+        /// [`MAX_TENANT_LEN`] bytes of UTF-8 — longer names are a
+        /// decode error, rejected before allocation.
+        tenant: String,
     },
     /// Shard/gateway → client: the ranked hits.
     Hits {
@@ -271,6 +287,10 @@ pub enum Msg {
         /// Responder's timing summary (extension; shards fill this in
         /// so the gateway can stitch a complete request tree).
         timing: Option<ShardTiming>,
+        /// Fidelity the responder served at (extension;
+        /// [`Fidelity::Full`] is encoded as an absent tail, so old
+        /// peers' replies decode as full-fidelity — which they are).
+        fidelity: Fidelity,
     },
     /// Shard/gateway → client: the query failed with a typed error.
     Error {
@@ -355,6 +375,8 @@ const KIND_FLIGHT_JSON: u8 = 13;
 const EXT_TRACE_CTX: u8 = 1;
 const EXT_TRACE_ID: u8 = 2;
 const EXT_SHARD_TIMING: u8 = 3;
+const EXT_TENANT: u8 = 4;
+const EXT_FIDELITY: u8 = 5;
 
 /// Bounds-checked little-endian reader over a payload body.
 struct Reader<'a> {
@@ -514,6 +536,7 @@ fn encode_audit(rec: &AuditRecord, out: &mut Vec<u8>) {
         out.extend_from_slice(&(body.len() as u16).to_le_bytes());
         out.extend_from_slice(&body);
     }
+    push_len_str(out, &rec.tenant);
 }
 
 fn decode_audit(r: &mut Reader<'_>) -> Result<AuditRecord, WireError> {
@@ -533,6 +556,13 @@ fn decode_audit(r: &mut Reader<'_>) -> Result<AuditRecord, WireError> {
         let len = r.u16("audit shard timing length")? as usize;
         shards.push(decode_shard_timing(r.take(len, "audit shard timing")?)?);
     }
+    // Tenant was appended to the record in a later protocol revision;
+    // a record from an older peer simply ends here (empty = unknown).
+    let tenant = if r.buf.is_empty() {
+        String::new()
+    } else {
+        read_len_str(r, "audit tenant")?
+    };
     Ok(AuditRecord {
         trace_id,
         query_id,
@@ -546,6 +576,7 @@ fn decode_audit(r: &mut Reader<'_>) -> Result<AuditRecord, WireError> {
         cost,
         cancel,
         ok: flags & AUDIT_FLAG_OK != 0,
+        tenant,
     })
 }
 
@@ -562,6 +593,7 @@ impl Msg {
                 slice_count,
                 query,
                 trace,
+                tenant,
             } => {
                 out.push(KIND_QUERY);
                 out.extend_from_slice(&id.to_le_bytes());
@@ -577,6 +609,15 @@ impl Msg {
                     body.extend_from_slice(&trace.span_id.to_le_bytes());
                     push_ext(&mut out, EXT_TRACE_CTX, &body);
                 }
+                if !tenant.is_empty() {
+                    let bytes = tenant.as_bytes();
+                    let n = bytes.len().min(MAX_TENANT_LEN);
+                    let mut end = n;
+                    while !tenant.is_char_boundary(end) {
+                        end -= 1;
+                    }
+                    push_ext(&mut out, EXT_TENANT, &bytes[..end]);
+                }
             }
             Msg::Hits {
                 id,
@@ -585,6 +626,7 @@ impl Msg {
                 hits,
                 trace_id,
                 timing,
+                fidelity,
             } => {
                 out.push(KIND_HITS);
                 out.extend_from_slice(&id.to_le_bytes());
@@ -604,6 +646,9 @@ impl Msg {
                 }
                 if let Some(t) = timing {
                     push_ext(&mut out, EXT_SHARD_TIMING, &encode_shard_timing(t));
+                }
+                if *fidelity != Fidelity::Full {
+                    push_ext(&mut out, EXT_FIDELITY, &[fidelity.as_u8()]);
                 }
             }
             Msg::Error { id, err } => {
@@ -685,13 +730,25 @@ impl Msg {
                 let len = r.u32("query length")? as usize;
                 let query = r.take(len, "query residues")?.to_vec();
                 let mut trace = TraceCtx::default();
+                let mut tenant = String::new();
                 read_exts(&mut r, |kind, body| {
-                    if kind == EXT_TRACE_CTX {
-                        let mut er = Reader { buf: body };
-                        trace = TraceCtx {
-                            trace_id: er.u64("trace ctx id")?,
-                            span_id: er.u64("trace ctx span")?,
-                        };
+                    match kind {
+                        EXT_TRACE_CTX => {
+                            let mut er = Reader { buf: body };
+                            trace = TraceCtx {
+                                trace_id: er.u64("trace ctx id")?,
+                                span_id: er.u64("trace ctx span")?,
+                            };
+                        }
+                        EXT_TENANT => {
+                            if body.len() > MAX_TENANT_LEN {
+                                return Err(WireError::Malformed("tenant name too long"));
+                            }
+                            tenant = std::str::from_utf8(body)
+                                .map_err(|_| WireError::Malformed("tenant name"))?
+                                .to_string();
+                        }
+                        _ => {}
                     }
                     Ok(())
                 })?;
@@ -703,6 +760,7 @@ impl Msg {
                     slice_count,
                     query,
                     trace,
+                    tenant,
                 }
             }
             KIND_HITS => {
@@ -739,6 +797,7 @@ impl Msg {
                 }
                 let mut trace_id = 0u64;
                 let mut timing = None;
+                let mut fidelity = Fidelity::Full;
                 read_exts(&mut r, |kind, body| {
                     match kind {
                         EXT_TRACE_ID => {
@@ -746,6 +805,10 @@ impl Msg {
                             trace_id = er.u64("hits trace id")?;
                         }
                         EXT_SHARD_TIMING => timing = Some(decode_shard_timing(body)?),
+                        EXT_FIDELITY => {
+                            let mut er = Reader { buf: body };
+                            fidelity = Fidelity::from_u8(er.u8("hits fidelity")?);
+                        }
                         _ => {}
                     }
                     Ok(())
@@ -757,6 +820,7 @@ impl Msg {
                     hits,
                     trace_id,
                     timing,
+                    fidelity,
                 }
             }
             KIND_ERROR => {
@@ -933,6 +997,7 @@ mod tests {
             slice_count: 3,
             query: vec![1, 2, 3, 19],
             trace: TraceCtx::default(),
+            tenant: String::new(),
         });
         roundtrip(Msg::Query {
             id: 8,
@@ -945,6 +1010,7 @@ mod tests {
                 trace_id: 0xFACE,
                 span_id: 0xB00C,
             },
+            tenant: "acme-prod".into(),
         });
         roundtrip(Msg::Hits {
             id: 7,
@@ -957,6 +1023,7 @@ mod tests {
             }],
             trace_id: 0,
             timing: None,
+            fidelity: Fidelity::Full,
         });
         roundtrip(Msg::Hits {
             id: 7,
@@ -965,10 +1032,19 @@ mod tests {
             hits: vec![],
             trace_id: 0xFACE,
             timing: Some(sample_timing()),
+            fidelity: Fidelity::NoShadow,
         });
         roundtrip(Msg::Error {
             id: 9,
-            err: RemoteError::Serve(ServeError::QueueFull),
+            err: RemoteError::Serve(ServeError::QueueFull {
+                retry_after_ms: 250,
+            }),
+        });
+        roundtrip(Msg::Error {
+            id: 10,
+            err: RemoteError::Serve(ServeError::RateLimited {
+                retry_after_ms: 1000,
+            }),
         });
         roundtrip(Msg::Ping { nonce: 0xDEAD });
         roundtrip(Msg::Pong {
@@ -1000,6 +1076,7 @@ mod tests {
                 cost: 640,
                 cancel: "deadline".into(),
                 ok: false,
+                tenant: "acme-prod".into(),
             }],
         });
         roundtrip(Msg::FlightJsonRequest {
@@ -1024,6 +1101,7 @@ mod tests {
             slice_count: 3,
             query: vec![1, 2, 3],
             trace: TraceCtx::default(),
+            tenant: String::new(),
         };
         // An untraced query encodes with no tail: identical to the old
         // format. Hand-build the old bytes to prove it.
@@ -1053,6 +1131,7 @@ mod tests {
                 trace_id: 77,
                 span_id: 88,
             },
+            tenant: "acme".into(),
         };
         let mut bytes = msg.encode();
         push_ext(&mut bytes, 0xEE, &[9, 9, 9, 9]); // future ext
@@ -1067,6 +1146,7 @@ mod tests {
             hits: vec![],
             trace_id: 0,
             timing: None,
+            fidelity: Fidelity::Full,
         };
         let mut bytes = hits.encode();
         push_ext(&mut bytes, 0xEE, b"future");
@@ -1089,6 +1169,7 @@ mod tests {
             slice_count: 0,
             query: vec![],
             trace: TraceCtx::default(),
+            tenant: String::new(),
         };
         let mut bytes = msg.encode();
         bytes.push(EXT_TRACE_CTX);
@@ -1126,7 +1207,13 @@ mod tests {
         let cases = vec![
             RemoteError::Serve(ServeError::ShutDown),
             RemoteError::Serve(ServeError::DeadlineExceeded),
-            RemoteError::Serve(ServeError::QueueFull),
+            RemoteError::Serve(ServeError::QueueFull { retry_after_ms: 0 }),
+            RemoteError::Serve(ServeError::QueueFull {
+                retry_after_ms: 750,
+            }),
+            RemoteError::Serve(ServeError::RateLimited {
+                retry_after_ms: 1500,
+            }),
             RemoteError::Serve(ServeError::WorkerPanicked),
             RemoteError::Serve(ServeError::InvalidQuery(AlignError::InvalidResidue {
                 position: 3,
@@ -1162,6 +1249,136 @@ mod tests {
         // Out-of-range payloads are rejected, not clamped.
         assert!(RemoteError::wire_decode(7, 99, 0, 0).is_none());
         assert!(RemoteError::wire_decode(5, 77, 0, 0).is_none());
+    }
+
+    /// Overload rejections carry their backoff hint across the wire;
+    /// nothing else claims one.
+    #[test]
+    fn retry_hints_survive_the_wire() {
+        let shed = RemoteError::Serve(ServeError::QueueFull {
+            retry_after_ms: 321,
+        });
+        let (code, a, b, c) = shed.wire_encode();
+        let back = RemoteError::wire_decode(code, a, b, c).unwrap();
+        assert_eq!(back.retry_after_ms(), Some(321));
+
+        let limited = RemoteError::Serve(ServeError::RateLimited {
+            retry_after_ms: 654,
+        });
+        let (code, a, b, c) = limited.wire_encode();
+        let back = RemoteError::wire_decode(code, a, b, c).unwrap();
+        assert_eq!(back.retry_after_ms(), Some(654));
+
+        assert_eq!(RemoteError::Draining.retry_after_ms(), None);
+        assert_eq!(
+            RemoteError::Serve(ServeError::DeadlineExceeded).retry_after_ms(),
+            None
+        );
+    }
+
+    /// The tenant extension round-trips; an absent ext decodes to the
+    /// empty (default) tenant — exactly what an old peer sends.
+    #[test]
+    fn tenant_extension_round_trips_and_defaults() {
+        let base = Msg::Query {
+            id: 1,
+            top_k: 5,
+            deadline_ms: 0,
+            slice_index: 0,
+            slice_count: 0,
+            query: vec![4, 5],
+            trace: TraceCtx::default(),
+            tenant: String::new(),
+        };
+        // Empty tenant ⇒ no extension tail at all.
+        let bytes = base.encode();
+        assert_eq!(Msg::decode(&bytes).unwrap(), base);
+
+        // A fidelity byte in a Hits reply round-trips, and Full is
+        // encoded as absence (identical to a pre-fidelity frame).
+        let full = Msg::Hits {
+            id: 2,
+            degraded: false,
+            missing_shards: vec![],
+            hits: vec![],
+            trace_id: 0,
+            timing: None,
+            fidelity: Fidelity::Full,
+        };
+        let full_bytes = full.encode();
+        assert_eq!(Msg::decode(&full_bytes).unwrap(), full);
+        let degraded = Msg::Hits {
+            id: 2,
+            degraded: false,
+            missing_shards: vec![],
+            hits: vec![],
+            trace_id: 0,
+            timing: None,
+            fidelity: Fidelity::ScoreOnly,
+        };
+        assert!(degraded.encode().len() > full_bytes.len());
+        assert_eq!(Msg::decode(&degraded.encode()).unwrap(), degraded);
+    }
+
+    /// Hostile tenant extensions — oversized or non-UTF-8 — are typed
+    /// decode errors, rejected before the name is allocated.
+    #[test]
+    fn hostile_tenant_extensions_are_rejected() {
+        let base = Msg::Query {
+            id: 1,
+            top_k: 5,
+            deadline_ms: 0,
+            slice_index: 0,
+            slice_count: 0,
+            query: vec![],
+            trace: TraceCtx::default(),
+            tenant: String::new(),
+        };
+        let mut oversized = base.encode();
+        push_ext(&mut oversized, EXT_TENANT, &[b'a'; MAX_TENANT_LEN + 1]);
+        assert!(matches!(
+            Msg::decode(&oversized),
+            Err(WireError::Malformed("tenant name too long"))
+        ));
+
+        let mut bad_utf8 = base.encode();
+        push_ext(&mut bad_utf8, EXT_TENANT, &[0xFF, 0xFE]);
+        assert!(matches!(
+            Msg::decode(&bad_utf8),
+            Err(WireError::Malformed("tenant name"))
+        ));
+
+        // Exactly at the cap is fine.
+        let mut at_cap = base.encode();
+        push_ext(&mut at_cap, EXT_TENANT, &[b'a'; MAX_TENANT_LEN]);
+        match Msg::decode(&at_cap).unwrap() {
+            Msg::Query { tenant, .. } => assert_eq!(tenant.len(), MAX_TENANT_LEN),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// The encoder clamps an over-long tenant name on a char boundary
+    /// rather than emitting an extension its peers must reject.
+    #[test]
+    fn encoder_clamps_overlong_tenant_names() {
+        let long = "é".repeat(MAX_TENANT_LEN); // 2 bytes per char
+        let msg = Msg::Query {
+            id: 1,
+            top_k: 0,
+            deadline_ms: 0,
+            slice_index: 0,
+            slice_count: 0,
+            query: vec![],
+            trace: TraceCtx::default(),
+            tenant: long,
+        };
+        match Msg::decode(&msg.encode()).unwrap() {
+            Msg::Query { tenant, .. } => {
+                assert!(tenant.len() <= MAX_TENANT_LEN);
+                assert!(tenant.chars().all(|c| c == 'é'));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -163,6 +163,11 @@ pub struct AuditRecord {
     pub cancel: String,
     /// True if the request produced a successful reply.
     pub ok: bool,
+    /// Tenant the request was admitted under (`"default"` for
+    /// anonymous traffic; empty in records from peers that predate
+    /// multi-tenancy), so slow-query triage can attribute noisy
+    /// neighbors.
+    pub tenant: String,
 }
 
 fn push_json_str(out: &mut String, s: &str) {
@@ -223,6 +228,8 @@ impl AuditRecord {
         out.push_str(&self.cost.to_string());
         out.push_str(",\"cancel\":");
         push_json_str(&mut out, &self.cancel);
+        out.push_str(",\"tenant\":");
+        push_json_str(&mut out, &self.tenant);
         out.push_str(",\"stages\":");
         push_stages(&mut out, &self.stages);
         out.push_str(",\"shards\":[");
@@ -472,6 +479,7 @@ mod tests {
             }],
         });
         r.cancel = "deadline".into();
+        r.tenant = "acme".into();
         let j = r.to_json();
         for needle in [
             "\"trace_id\":3",
@@ -480,6 +488,7 @@ mod tests {
             "\"stages\":{\"queue\":500,\"kernel\":500}",
             "\"shards\":[{\"shard\":1,\"root_span\":9,\"engine\":\"SSE4.1\",\"rtt_ns\":777",
             "\"cancel\":\"deadline\"",
+            "\"tenant\":\"acme\"",
         ] {
             assert!(j.contains(needle), "{needle} missing from {j}");
         }

@@ -19,6 +19,7 @@ pub mod journal;
 pub mod metrics;
 pub mod msa;
 pub mod pool;
+pub mod qos;
 pub mod scenarios;
 pub mod server;
 pub mod shadow;
@@ -31,6 +32,10 @@ pub use journal::{
 pub use metrics::{query_latency, scenario_gcups, CellTimer, ServeCounters, Snapshot, Throughput};
 pub use msa::{pairwise_scores, upgma, GuideTree, ScoreMatrix};
 pub use pool::{parallel_pairs, parallel_search, try_parallel_search, PoolConfig, SearchOutput};
+pub use qos::{
+    clamp_tenant, tenant_label, Brownout, BrownoutConfig, Fidelity, QosConfig, RateConfig,
+    TenantPolicy, TokenBucket, MAX_TENANT_LEN,
+};
 pub use scenarios::{scenario1, scenario1_durable, scenario2, scenario3, ScenarioReport};
 pub use server::{
     rank_hits, BatchServer, PendingQuery, QueryOutcome, ServeError, ServerClient, ServerConfig,

@@ -125,6 +125,8 @@ pub struct ServeCounters {
     pub timeouts: AtomicU64,
     /// Queries shed by `try_query` because the job queue was full.
     pub shed: AtomicU64,
+    /// Queries refused at admission by a tenant's token bucket.
+    pub rate_limited: AtomicU64,
     /// Worker panics isolated by the serving layer.
     pub worker_panics: AtomicU64,
     /// Fast-path results discarded (panic or failed validation).
@@ -186,6 +188,8 @@ pub struct Snapshot {
     pub timeouts: u64,
     /// Queries shed because the job queue was full.
     pub shed: u64,
+    /// Queries refused at admission by a tenant's token bucket.
+    pub rate_limited: u64,
     /// Worker panics isolated on the request path.
     pub worker_panics: u64,
     /// Fast-path results discarded (panic or failed validation).
@@ -235,6 +239,7 @@ impl ServeCounters {
             full_batches: self.full_batches.load(Relaxed),
             timeouts: self.timeouts.load(Relaxed),
             shed: self.shed.load(Relaxed),
+            rate_limited: self.rate_limited.load(Relaxed),
             worker_panics: self.worker_panics.load(Relaxed),
             degraded_batches: self.degraded_batches.load(Relaxed),
             retries: self.retries.load(Relaxed),
@@ -296,7 +301,7 @@ impl fmt::Display for Snapshot {
         write!(
             f,
             "batches={} queries={} full_batches={} timeouts={} shed={} \
-             worker_panics={} degraded_batches={} retries={} \
+             rate_limited={} worker_panics={} degraded_batches={} retries={} \
              journal_replays={} records_quarantined={} corrupt_images={} \
              shadow_checks={} shadow_mismatches={} backend_demotions={} \
              selftest_failures={} cost_rejected={} budget_rejected={} \
@@ -308,6 +313,7 @@ impl fmt::Display for Snapshot {
             self.full_batches,
             self.timeouts,
             self.shed,
+            self.rate_limited,
             self.worker_panics,
             self.degraded_batches,
             self.retries,
@@ -389,6 +395,7 @@ mod tests {
         assert_eq!(s.cancelled_watchdog, 2, "fires count as cancellations");
         let line = s.to_string();
         assert!(line.contains("shed=1"));
+        assert!(line.contains("rate_limited=0"));
         assert!(line.contains("retries=3"));
         assert!(line.contains("shadow_mismatches=4"));
         assert!(line.contains("backend_demotions=1"));

@@ -13,9 +13,18 @@
 //! The serving layer never panics on the request path; every failure
 //! is a typed [`ServeError`]:
 //!
-//! * the job queue is **bounded** (`queue_depth`): [`ServerClient::query`]
-//!   applies backpressure by blocking, [`ServerClient::try_query`] sheds
-//!   load with [`ServeError::QueueFull`];
+//! * the job queue is **bounded** (`queue_depth`) and partitioned into
+//!   bounded per-tenant fair-share lanes scheduled by deficit
+//!   round-robin ([`ServerConfig::qos`]): a full lane sheds with
+//!   [`ServeError::QueueFull`] (carrying a `retry_after_ms` hint) and
+//!   a tenant's token bucket refuses excess cost with
+//!   [`ServeError::RateLimited`], so one hot tenant cannot starve the
+//!   rest; [`ServerClient::query`] still applies backpressure by
+//!   blocking while its lane has room;
+//! * under sustained queue delay the brownout controller
+//!   ([`ServerConfig::brownout`]) cheapens work stepwise instead of
+//!   refusing it — each step is declared as a typed [`Fidelity`] on
+//!   the result, never applied silently;
 //! * [`ServerClient::query_with_deadline`] bounds enqueue + compute +
 //!   reply with one deadline and returns
 //!   [`ServeError::DeadlineExceeded`] when it expires — it never blocks
@@ -70,6 +79,9 @@ use swsimd_seq::{BatchedDatabase, Database};
 
 use crate::fault::FaultPlan;
 use crate::metrics::{self, ServeCounters, Snapshot};
+use crate::qos::{
+    tenant_label, Brownout, BrownoutConfig, Drr, Fidelity, QosConfig, QosShared, TenantShared,
+};
 use crate::shadow::{ShadowConfig, ShadowVerifier};
 
 /// A typed serving failure. Every client-facing entry point returns
@@ -81,8 +93,21 @@ pub enum ServeError {
     ShutDown,
     /// The deadline passed before enqueue, compute, or reply finished.
     DeadlineExceeded,
-    /// The bounded job queue is full (`try_query` only — load shed).
-    QueueFull,
+    /// The tenant's bounded fair-share lane is full (load shed).
+    QueueFull {
+        /// Hint: how long until the lane has likely drained, derived
+        /// from the worker's queue-delay EWMA. Milliseconds, ≥ 1; `0`
+        /// when the hint could not be computed (e.g. decoded from an
+        /// old peer that predates hints).
+        retry_after_ms: u64,
+    },
+    /// The tenant's token bucket refused the query's cost at admission
+    /// (fair-share rate limiting).
+    RateLimited {
+        /// Hint: how long until the bucket holds enough tokens.
+        /// Milliseconds, ≥ 1 (`0` only from hint-less old peers).
+        retry_after_ms: u64,
+    },
     /// A worker panicked and the degraded retry failed too.
     WorkerPanicked,
     /// The query is not a valid encoded sequence.
@@ -128,7 +153,12 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::ShutDown => write!(f, "server is shut down"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
-            ServeError::QueueFull => write!(f, "job queue full (load shed)"),
+            ServeError::QueueFull { retry_after_ms } => {
+                write!(f, "job queue full (load shed; retry in {retry_after_ms}ms)")
+            }
+            ServeError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited (retry in {retry_after_ms}ms)")
+            }
             ServeError::WorkerPanicked => {
                 write!(f, "worker panicked and degraded retry failed")
             }
@@ -167,6 +197,20 @@ fn cancel_to_serve(reason: CancelReason) -> ServeError {
             requested: 0,
             limit: 0,
         },
+    }
+}
+
+impl ServeError {
+    /// The backoff hint carried by overload rejections
+    /// ([`ServeError::QueueFull`], [`ServeError::RateLimited`]), if
+    /// any — clients should wait this long before retrying instead of
+    /// following a generic exponential schedule.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServeError::QueueFull { retry_after_ms }
+            | ServeError::RateLimited { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
     }
 }
 
@@ -226,6 +270,10 @@ pub struct QueryOutcome {
     pub engine: &'static str,
     /// Degraded scalar retries taken before the answer was produced.
     pub retries: u32,
+    /// Which work the brownout controller suspended while computing
+    /// this (always exact-score) answer. [`Fidelity::Full`] outside
+    /// overload.
+    pub fidelity: Fidelity,
 }
 
 /// One query's outcome, sent back over its private reply channel.
@@ -253,6 +301,13 @@ struct Job {
     /// [`PHASE_REPLIED`]), shared with the client for correct expiry
     /// stage attribution.
     phase: Arc<AtomicU8>,
+    /// The admitting tenant's shared QoS state: its fair-share lane
+    /// occupancy (incremented at admission, decremented when the
+    /// worker dequeues the job) and labelled metric series.
+    tenant: Arc<TenantShared>,
+    /// Estimated cost in DP cells (`|query| × Σ|db|`) — the currency
+    /// both the token bucket and the DRR scheduler charge in.
+    cost: u64,
 }
 
 /// Registry-backed instruments for one server instance: the latency
@@ -261,13 +316,18 @@ struct Job {
 /// gets a unique `instance` label so concurrent servers (and tests)
 /// record into disjoint series of the process-global registry.
 struct ServerObs {
+    /// This server's unique `instance` label value, reused for the
+    /// per-tenant metric families minted on demand by [`QosShared`].
+    instance: String,
     latency: Arc<Histogram>,
     queue_depth: Arc<Gauge>,
+    brownout_level: Arc<Gauge>,
     queries: Arc<Counter>,
     batches: Arc<Counter>,
     full_batches: Arc<Counter>,
     timeouts: Arc<Counter>,
     shed: Arc<Counter>,
+    rate_limited: Arc<Counter>,
     worker_panics: Arc<Counter>,
     retries: Arc<Counter>,
     journal_replays: Arc<Counter>,
@@ -306,6 +366,11 @@ impl ServerObs {
                 "Jobs waiting in the bounded server queue.",
                 labels,
             ),
+            brownout_level: r.gauge(
+                "swsimd_brownout_level",
+                "Current brownout degradation level (0 = full fidelity).",
+                labels,
+            ),
             queries: counter(
                 "swsimd_server_queries_total",
                 "Queries served (a reply was computed).",
@@ -322,6 +387,10 @@ impl ServerObs {
             shed: counter(
                 "swsimd_server_shed_total",
                 "Queries shed because the job queue was full.",
+            ),
+            rate_limited: counter(
+                "swsimd_server_rate_limited_total",
+                "Queries refused at admission by a tenant's token bucket.",
             ),
             worker_panics: counter(
                 "swsimd_server_worker_panics_total",
@@ -388,6 +457,7 @@ impl ServerObs {
                 "DP/traceback bytes currently reserved against the budget.",
                 labels,
             ),
+            instance: id.clone(),
         })
     }
 
@@ -441,11 +511,14 @@ pub struct ServerClient {
     /// Parent of every job token; cancelled with
     /// [`CancelReason::Shutdown`] when the server stops.
     server_cancel: CancelToken,
+    /// Shared multi-tenant admission state (lanes, buckets, hints).
+    qos: Arc<QosShared>,
 }
 
 impl ServerClient {
     fn make_job(
         &self,
+        tenant: &str,
         query: Vec<u8>,
         top_k: usize,
         deadline: Option<Instant>,
@@ -466,8 +539,8 @@ impl ServerClient {
         // worker before it is ever buffered. The estimate is exact in
         // cells (`|q| × Σ|db|`); the ceiling is calibrated against
         // measured CUPS by the operator.
+        let cost = query.len() as u64 * self.db_residues;
         if let Some(limit) = self.max_cost {
-            let cost = query.len() as u64 * self.db_residues;
             if cost > limit {
                 ServeCounters::bump(&self.counters.cost_rejected);
                 self.obs.cost_rejected.inc();
@@ -479,7 +552,50 @@ impl ServerClient {
                 return Err(ServeError::CostTooHigh { cost, limit });
             }
         }
+        // Token-bucket rate admission: charge the query's cost against
+        // the tenant's bucket before it is ever buffered; a refusal
+        // carries the refill time as the retry hint.
+        let shared = self.qos.tenant(tenant);
+        if let Some(bucket) = &shared.bucket {
+            let take = bucket
+                .lock()
+                .expect("token bucket lock")
+                .try_take(cost, Instant::now());
+            if let Err(retry_after_ms) = take {
+                ServeCounters::bump(&self.counters.rate_limited);
+                self.obs.rate_limited.inc();
+                shared.rate_limited.inc();
+                swsimd_obs::event!(
+                    "query_rate_limited",
+                    "tenant" => tenant_label(&shared.name).to_string(),
+                    "cost" => cost,
+                    "retry_after_ms" => retry_after_ms
+                );
+                return Err(ServeError::RateLimited { retry_after_ms });
+            }
+        }
         validate_encoded(&query)?;
+        // Fair-share lane admission: each tenant owns a bounded slice
+        // of the queue, so one hot tenant saturating its lane sheds
+        // its own traffic instead of starving everyone else's.
+        let lane_depth = self.qos.lane_depth();
+        let admitted = shared
+            .queued
+            .fetch_update(Relaxed, Relaxed, |q| (q < lane_depth).then_some(q + 1));
+        if admitted.is_err() {
+            let retry_after_ms = self.qos.retry_hint_ms();
+            ServeCounters::bump(&self.counters.shed);
+            self.obs.shed.inc();
+            shared.shed.inc();
+            swsimd_obs::event!(
+                "load_shed",
+                "tenant" => tenant_label(&shared.name).to_string(),
+                "lane_depth" => lane_depth,
+                "retry_after_ms" => retry_after_ms
+            );
+            return Err(ServeError::QueueFull { retry_after_ms });
+        }
+        shared.queue_depth.inc();
         let (reply_tx, reply_rx) = bounded(1);
         Ok((
             Job {
@@ -491,9 +607,18 @@ impl ServerClient {
                 submitted: Instant::now(),
                 cancel: self.server_cancel.child_with_deadline(deadline),
                 phase: Arc::new(AtomicU8::new(PHASE_QUEUED)),
+                tenant: shared,
+                cost,
             },
             reply_rx,
         ))
+    }
+
+    /// Undo a lane admission for a job that never reached the queue
+    /// (enqueue failed or timed out after [`ServerClient::make_job`]).
+    fn release_admission(&self, job: &Job) {
+        job.tenant.queued.fetch_sub(1, Relaxed);
+        job.tenant.queue_depth.dec();
     }
 
     /// Submit an encoded query without blocking for the reply. The
@@ -521,11 +646,30 @@ impl ServerClient {
         deadline: Option<Instant>,
         trace: TraceCtx,
     ) -> Result<PendingQuery, ServeError> {
-        let (job, reply_rx) = self.make_job(query, top_k, deadline, trace)?;
+        self.submit_traced_for("", query, top_k, deadline, trace)
+    }
+
+    /// [`ServerClient::submit_traced`] on behalf of `tenant`: the job
+    /// is admitted through the tenant's token bucket and bounded
+    /// fair-share lane, and scheduled by deficit round-robin against
+    /// other tenants' lanes. The empty name is the anonymous/default
+    /// tenant.
+    pub fn submit_traced_for(
+        &self,
+        tenant: &str,
+        query: Vec<u8>,
+        top_k: usize,
+        deadline: Option<Instant>,
+        trace: TraceCtx,
+    ) -> Result<PendingQuery, ServeError> {
+        let (job, reply_rx) = self.make_job(tenant, query, top_k, deadline, trace)?;
         let token = job.cancel.clone();
-        self.tx
-            .send(Msg::Job(job))
-            .map_err(|_| ServeError::ShutDown)?;
+        if let Err(send_err) = self.tx.send(Msg::Job(job)) {
+            if let Msg::Job(job) = send_err.0 {
+                self.release_admission(&job);
+            }
+            return Err(ServeError::ShutDown);
+        }
         self.obs.queue_depth.inc();
         Ok(PendingQuery {
             reply_rx,
@@ -536,19 +680,35 @@ impl ServerClient {
 
     /// Submit an encoded query; blocks until the batch containing it is
     /// processed and returns the top `top_k` hits (all if 0). When the
-    /// bounded job queue is full this applies backpressure by blocking
-    /// (use [`ServerClient::try_query`] to shed instead). When the
+    /// underlying transport queue is full this applies backpressure by
+    /// blocking, but a full per-tenant lane sheds immediately with
+    /// [`ServeError::QueueFull`] — a tenant cannot buffer more than
+    /// its lane bound no matter which entry point it uses. When the
     /// server has a [`ServerConfig::default_timeout`], the call is
     /// routed through the same deadline machinery as
     /// [`ServerClient::query_with_deadline`].
     pub fn query(&self, query: Vec<u8>, top_k: usize) -> Result<Vec<Hit>, ServeError> {
+        self.query_for("", query, top_k)
+    }
+
+    /// [`ServerClient::query`] on behalf of `tenant` (see
+    /// [`ServerClient::submit_traced_for`] for the admission rules).
+    pub fn query_for(
+        &self,
+        tenant: &str,
+        query: Vec<u8>,
+        top_k: usize,
+    ) -> Result<Vec<Hit>, ServeError> {
         if let Some(timeout) = self.default_timeout {
-            return self.query_with_deadline(query, top_k, timeout);
+            return self.query_with_deadline_for(tenant, query, top_k, timeout);
         }
-        let (job, reply_rx) = self.make_job(query, top_k, None, TraceCtx::default())?;
-        self.tx
-            .send(Msg::Job(job))
-            .map_err(|_| ServeError::ShutDown)?;
+        let (job, reply_rx) = self.make_job(tenant, query, top_k, None, TraceCtx::default())?;
+        if let Err(send_err) = self.tx.send(Msg::Job(job)) {
+            if let Msg::Job(job) = send_err.0 {
+                self.release_admission(&job);
+            }
+            return Err(ServeError::ShutDown);
+        }
         self.obs.queue_depth.inc();
         match reply_rx.recv() {
             Ok(result) => result.map(|o| o.hits),
@@ -567,18 +727,40 @@ impl ServerClient {
         top_k: usize,
         timeout: Duration,
     ) -> Result<Vec<Hit>, ServeError> {
+        self.query_with_deadline_for("", query, top_k, timeout)
+    }
+
+    /// [`ServerClient::query_with_deadline`] on behalf of `tenant`
+    /// (see [`ServerClient::submit_traced_for`] for the admission
+    /// rules).
+    pub fn query_with_deadline_for(
+        &self,
+        tenant: &str,
+        query: Vec<u8>,
+        top_k: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Hit>, ServeError> {
         let deadline = Instant::now() + timeout;
-        let (job, reply_rx) = self.make_job(query, top_k, Some(deadline), TraceCtx::default())?;
+        let (job, reply_rx) =
+            self.make_job(tenant, query, top_k, Some(deadline), TraceCtx::default())?;
         let token = job.cancel.clone();
         let phase = job.phase.clone();
         let remaining = deadline.saturating_duration_since(Instant::now());
         match self.tx.send_timeout(Msg::Job(job), remaining) {
             Ok(()) => self.obs.queue_depth.inc(),
-            Err(SendTimeoutError::Timeout(_)) => {
+            Err(SendTimeoutError::Timeout(msg)) => {
+                if let Msg::Job(job) = msg {
+                    self.release_admission(&job);
+                }
                 self.timed_out("enqueue");
                 return Err(ServeError::DeadlineExceeded);
             }
-            Err(SendTimeoutError::Disconnected(_)) => return Err(ServeError::ShutDown),
+            Err(SendTimeoutError::Disconnected(msg)) => {
+                if let Msg::Job(job) = msg {
+                    self.release_admission(&job);
+                }
+                return Err(ServeError::ShutDown);
+            }
         }
         let remaining = deadline.saturating_duration_since(Instant::now());
         match reply_rx.recv_timeout(remaining) {
@@ -612,21 +794,43 @@ impl ServerClient {
         swsimd_obs::event!("deadline_exceeded", "stage" => stage);
     }
 
-    /// Non-blocking admission: if the bounded job queue is full the
-    /// query is shed immediately with [`ServeError::QueueFull`]
-    /// (recorded in [`ServerStats::shed`]) instead of growing memory
-    /// or latency without bound. Once admitted, blocks for the reply.
+    /// Non-blocking admission: if the tenant's bounded lane (or the
+    /// underlying job queue) is full the query is shed immediately
+    /// with [`ServeError::QueueFull`] (recorded in
+    /// [`ServerStats::shed`]) instead of growing memory or latency
+    /// without bound. Once admitted, blocks for the reply.
     pub fn try_query(&self, query: Vec<u8>, top_k: usize) -> Result<Vec<Hit>, ServeError> {
-        let (job, reply_rx) = self.make_job(query, top_k, None, TraceCtx::default())?;
+        self.try_query_for("", query, top_k)
+    }
+
+    /// [`ServerClient::try_query`] on behalf of `tenant` (see
+    /// [`ServerClient::submit_traced_for`] for the admission rules).
+    pub fn try_query_for(
+        &self,
+        tenant: &str,
+        query: Vec<u8>,
+        top_k: usize,
+    ) -> Result<Vec<Hit>, ServeError> {
+        let (job, reply_rx) = self.make_job(tenant, query, top_k, None, TraceCtx::default())?;
         match self.tx.try_send(Msg::Job(job)) {
             Ok(()) => self.obs.queue_depth.inc(),
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(msg)) => {
+                let retry_after_ms = self.qos.retry_hint_ms();
+                if let Msg::Job(job) = msg {
+                    self.release_admission(&job);
+                    job.tenant.shed.inc();
+                }
                 ServeCounters::bump(&self.counters.shed);
                 self.obs.shed.inc();
                 swsimd_obs::event!("load_shed", "depth" => self.obs.queue_depth.get());
-                return Err(ServeError::QueueFull);
+                return Err(ServeError::QueueFull { retry_after_ms });
             }
-            Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShutDown),
+            Err(TrySendError::Disconnected(msg)) => {
+                if let Msg::Job(job) = msg {
+                    self.release_admission(&job);
+                }
+                return Err(ServeError::ShutDown);
+            }
         }
         match reply_rx.recv() {
             Ok(result) => result.map(|o| o.hits),
@@ -677,6 +881,16 @@ pub struct ServerConfig {
     /// trust-ladder strike is filed against the effective engine, and
     /// the job is retried on the scalar reference. `None` disables.
     pub stall_timeout: Option<Duration>,
+    /// Multi-tenant fair-share scheduling and token-bucket admission
+    /// (tenant weights, lane bounds, rate limits). The default is a
+    /// single anonymous lane sized to `queue_depth`, which preserves
+    /// the historical FIFO behaviour.
+    pub qos: QosConfig,
+    /// Brownout degradation watermarks: under sustained queue delay
+    /// the worker suspends work stepwise (shadow sampling → stage
+    /// detail → deadline headroom) instead of shedding, declaring each
+    /// step as a typed [`Fidelity`] on results. `None` disables.
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for ServerConfig {
@@ -693,6 +907,8 @@ impl Default for ServerConfig {
             max_cost: None,
             mem_budget: None,
             stall_timeout: None,
+            qos: QosConfig::default(),
+            brownout: None,
         }
     }
 }
@@ -786,6 +1002,15 @@ fn server_watchdog(
     }
 }
 
+/// File a freshly received job into its tenant's DRR lane. The job
+/// still counts as queued (gauges decrement when it is popped into a
+/// batch, not here) — a laned job has not been scheduled yet.
+fn stash(lanes: &mut Drr<Job>, job: Job) {
+    let lane = lanes.lane(&job.tenant.name, job.tenant.weight);
+    let cost = job.cost.max(1);
+    lanes.push(lane, cost, job);
+}
+
 /// A running batch server. Dropping the handle shuts the worker down
 /// after it drains pending queries.
 pub struct BatchServer {
@@ -800,6 +1025,10 @@ pub struct BatchServer {
     db_residues: u64,
     default_timeout: Option<Duration>,
     server_cancel: CancelToken,
+    qos: Arc<QosShared>,
+    /// Worker-published brownout level, mirrored for
+    /// [`BatchServer::brownout_level`].
+    brownout_level: Arc<AtomicU8>,
 }
 
 impl BatchServer {
@@ -829,6 +1058,8 @@ impl BatchServer {
         let default_timeout = cfg.default_timeout;
         let db_residues = db.total_residues() as u64;
         let server_cancel = CancelToken::new();
+        let qos = QosShared::new(cfg.qos.clone(), &obs.instance, cfg.queue_depth);
+        let brownout_level = Arc::new(AtomicU8::new(0));
         let watch = WorkerWatch::new();
         let watchdog = cfg.stall_timeout.map(|stall| {
             let watch = watch.clone();
@@ -839,6 +1070,9 @@ impl BatchServer {
         let worker_counters = counters.clone();
         let worker_obs = obs.clone();
         let worker_watch = watch.clone();
+        let worker_qos = qos.clone();
+        let brownout =
+            Brownout::new(cfg.brownout).publish(brownout_level.clone(), obs.brownout_level.clone());
         let worker = std::thread::spawn(move || {
             let mut ctx = WorkerCtx::new(
                 db,
@@ -847,33 +1081,56 @@ impl BatchServer {
                 worker_counters,
                 worker_obs,
                 worker_watch,
+                worker_qos,
+                brownout,
             );
+            // Jobs are transported over the bounded channel FIFO but
+            // scheduled from per-tenant deficit round-robin lanes, so
+            // a tenant flooding the queue still drains in proportion
+            // to its weight, not its arrival count.
+            let mut lanes: Drr<Job> = Drr::new(cfg.qos.quantum);
             let mut pending: Vec<Job> = Vec::with_capacity(cfg.batch_size);
             let mut shutting_down = false;
             let mut last_health = Instant::now();
 
             while !shutting_down {
-                // Wait for the first job of a batch.
-                match rx.recv() {
-                    Ok(Msg::Job(job)) => {
-                        ctx.obs.queue_depth.dec();
-                        pending.push(job);
+                // Wait for work: anything already laned, else block on
+                // the channel for the first job of a batch.
+                if lanes.is_empty() {
+                    match rx.recv() {
+                        Ok(Msg::Job(job)) => stash(&mut lanes, job),
+                        Ok(Msg::Shutdown) | Err(_) => break,
                     }
-                    Ok(Msg::Shutdown) | Err(_) => break,
                 }
-                // Accumulate until full, the wait budget expires, or a
-                // shutdown arrives (the batch still completes).
+                // Sort everything already buffered into its lane so
+                // DRR sees the full picture before picking the batch.
+                loop {
+                    match rx.try_recv() {
+                        Ok(Msg::Job(job)) => stash(&mut lanes, job),
+                        Ok(Msg::Shutdown) => {
+                            shutting_down = true;
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Fill the batch in DRR order; when the lanes run dry
+                // wait out the batching budget for company.
                 let deadline = Instant::now() + cfg.max_wait;
                 while pending.len() < cfg.batch_size.max(1) {
+                    if let Some(job) = ctx.pop_job(&mut lanes) {
+                        pending.push(job);
+                        continue;
+                    }
+                    if shutting_down {
+                        break;
+                    }
                     let now = Instant::now();
                     if now >= deadline {
                         break;
                     }
                     match rx.recv_timeout(deadline - now) {
-                        Ok(Msg::Job(job)) => {
-                            ctx.obs.queue_depth.dec();
-                            pending.push(job);
-                        }
+                        Ok(Msg::Job(job)) => stash(&mut lanes, job),
                         Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
                             shutting_down = true;
                             break;
@@ -892,10 +1149,19 @@ impl BatchServer {
                     }
                 }
             }
-            // Drain jobs that raced with the shutdown marker.
+            // Drain jobs that raced with the shutdown marker — both
+            // the channel and whatever the lanes still hold.
             while let Ok(Msg::Job(job)) = rx.try_recv() {
-                ctx.obs.queue_depth.dec();
-                pending.push(job);
+                stash(&mut lanes, job);
+            }
+            while !lanes.is_empty() {
+                while pending.len() < cfg.batch_size.max(1) {
+                    match ctx.pop_job(&mut lanes) {
+                        Some(job) => pending.push(job),
+                        None => break,
+                    }
+                }
+                ctx.process_batch(&mut pending);
             }
             ctx.process_batch(&mut pending);
             // Release the watchdog only after the drain: jobs without
@@ -914,6 +1180,8 @@ impl BatchServer {
             db_residues,
             default_timeout,
             server_cancel,
+            qos,
+            brownout_level,
         }
     }
 
@@ -946,6 +1214,7 @@ impl BatchServer {
             db_residues: self.db_residues,
             default_timeout: self.default_timeout,
             server_cancel: self.server_cancel.clone(),
+            qos: self.qos.clone(),
         }
     }
 
@@ -1005,6 +1274,12 @@ impl BatchServer {
     /// Live depth of the bounded job queue.
     pub fn queue_depth(&self) -> i64 {
         self.obs.queue_depth.get()
+    }
+
+    /// Current brownout degradation level (0 = full fidelity; see
+    /// [`Fidelity`] for what each level suspends).
+    pub fn brownout_level(&self) -> u8 {
+        self.brownout_level.load(Relaxed)
     }
 
     /// Shut down: stop accepting, drain, and return the final stats.
@@ -1069,9 +1344,19 @@ struct WorkerCtx<F> {
     db_residues: u64,
     /// Slot the stall watchdog observes; published around compute.
     watch: Arc<WorkerWatch>,
+    /// Shared QoS state: the worker publishes its queue-delay EWMA
+    /// here so admission can derive shed retry hints from it.
+    qos: Arc<QosShared>,
+    /// Brownout controller (worker-owned; level mirrored outward).
+    brownout: Brownout,
+    /// Was shadow verification configured at all? Keeps the level-1
+    /// fidelity marker honest: suspending sampling that never ran
+    /// reduces nothing.
+    shadow_enabled: bool,
 }
 
 impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring ServerConfig
     fn new(
         db: Arc<Database>,
         cfg: &ServerConfig,
@@ -1079,6 +1364,8 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
         counters: Arc<ServeCounters>,
         obs: Arc<ServerObs>,
         watch: Arc<WorkerWatch>,
+        qos: Arc<QosShared>,
+        brownout: Brownout,
     ) -> Self {
         let aligner: Aligner = make_aligner().build();
         let batched =
@@ -1101,7 +1388,20 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             cups_ewma: 0.0,
             db_residues,
             watch,
+            qos,
+            brownout,
+            shadow_enabled: cfg.shadow.enabled(),
         }
+    }
+
+    /// Take the next job in DRR order and settle its queued-state
+    /// accounting (global gauge, tenant lane occupancy and gauge).
+    fn pop_job(&self, lanes: &mut Drr<Job>) -> Option<Job> {
+        let job = lanes.pop()?;
+        self.obs.queue_depth.dec();
+        job.tenant.queued.fetch_sub(1, Relaxed);
+        job.tenant.queue_depth.dec();
+        Some(job)
     }
 
     /// Predicted compute time for a query of `qlen` residues, from the
@@ -1126,6 +1426,12 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             self.obs.full_batches.inc();
         }
         for (slot, job) in pending.drain(..).enumerate() {
+            // Feed the overload signals: this job's queue delay drives
+            // both the brownout ladder and the retry hints handed to
+            // shed clients.
+            let waited_ns = job.submitted.elapsed().as_nanos() as u64;
+            self.qos.observe_queue_delay(waited_ns);
+            self.brownout.observe(waited_ns);
             // Don't compute answers nobody is waiting for: the client
             // observed this same deadline and has already returned.
             if job.deadline.is_some_and(|d| Instant::now() >= d) {
@@ -1134,11 +1440,13 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             }
             // Deadline-aware scheduling: once CUPS is calibrated, skip
             // jobs predicted to overrun their remaining budget (with a
-            // 2x safety factor) instead of computing a dead answer.
-            // The client has NOT timed out yet, so reply explicitly.
+            // 2x safety factor — 4x at brownout level 3, where the
+            // ladder trades deadline headroom for queue drain) instead
+            // of computing a dead answer. The client has NOT timed out
+            // yet, so reply explicitly.
             if let (Some(d), Some(est)) = (job.deadline, self.estimate(job.query.len())) {
                 let remaining = d.saturating_duration_since(Instant::now());
-                if remaining < est * 2 {
+                if remaining < est * self.brownout.skip_factor() {
                     swsimd_obs::event!(
                         "job_skipped_predicted_overrun",
                         "slot" => slot,
@@ -1188,6 +1496,7 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
                 compute_ns: compute.as_nanos() as u64,
                 engine,
                 retries,
+                fidelity: self.brownout.fidelity(self.shadow_enabled),
             });
             let was_ok = result.is_ok();
             job.phase.store(PHASE_REPLIED, Release);
@@ -1223,11 +1532,13 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
             Err(ServeError::WorkerPanicked) => ("", 0, false, "panic"),
             Err(_) => ("", 0, false, "error"),
         };
-        recorder.record(AuditRecord {
-            trace_id: job.trace.trace_id,
-            query_id: job.trace.span_id,
-            total_ns: total.as_nanos() as u64,
-            stages: vec![
+        // Brownout level 2 (score-only service) drops per-stage
+        // timing detail from audit records — the record itself (and
+        // its tenant attribution) survives so triage still works.
+        let stages = if self.brownout.level() >= 2 {
+            Vec::new()
+        } else {
+            vec![
                 StageTiming {
                     stage: Stage::Queue,
                     ns: queue_ns,
@@ -1236,15 +1547,22 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
                     stage: Stage::Kernel,
                     ns: kernel_ns,
                 },
-            ],
+            ]
+        };
+        recorder.record(AuditRecord {
+            trace_id: job.trace.trace_id,
+            query_id: job.trace.span_id,
+            total_ns: total.as_nanos() as u64,
+            stages,
             shards: Vec::new(),
             engine: engine.to_string(),
             retries,
             hedges: 0,
             degraded: retries > 0,
-            cost: job.query.len() as u64 * self.db_residues,
+            cost: job.cost,
             cancel: cancel.to_string(),
             ok,
+            tenant: tenant_label(&job.tenant.name).to_string(),
         });
     }
 
@@ -1295,9 +1613,16 @@ impl<F: Fn() -> AlignerBuilder> WorkerCtx<F> {
         let mut reaped = false;
         match fast {
             Ok(Ok(mut hits)) if hits.len() == expected => {
-                let out = self
-                    .shadow
-                    .verify_hits(query, &self.db, &mut hits, &self.make_aligner);
+                // Brownout level ≥ 1 suspends shadow sampling — the
+                // first, cheapest rung of the degradation ladder. The
+                // suspension is declared on the result as
+                // [`Fidelity::NoShadow`], never silent.
+                let out = if self.brownout.shadow_suspended() {
+                    Default::default()
+                } else {
+                    self.shadow
+                        .verify_hits(query, &self.db, &mut hits, &self.make_aligner)
+                };
                 if out.checks > 0 {
                     self.counters.shadow_checks.fetch_add(out.checks, Relaxed);
                     self.obs.shadow_checks.add(out.checks);
@@ -1846,18 +2171,30 @@ mod tests {
             || Aligner::builder().matrix(blosum62()),
         );
         let client = server.client();
-        // Background clients keep the worker and the 1-slot queue busy.
+        // Background clients keep the worker and the 1-slot lane busy;
+        // they loop because a full lane sheds blocking queries too.
+        let stop = Arc::new(AtomicBool::new(false));
         let bg: Vec<_> = (0..3)
             .map(|i| {
                 let c = client.clone();
-                std::thread::spawn(move || c.query(enc(15, i), 1))
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    for n in 0..2000u64 {
+                        if stop.load(Relaxed) {
+                            break;
+                        }
+                        let _ = c.query(enc(15, i * 1000 + n), 1);
+                    }
+                })
             })
             .collect();
-        // With a full queue, try_query must shed rather than block.
+        // With a full lane, try_query must shed rather than block, and
+        // the typed error must carry a usable backoff hint.
         let mut shed = false;
         for i in 0..50 {
             match client.try_query(enc(15, 100 + i), 1) {
-                Err(ServeError::QueueFull) => {
+                Err(ServeError::QueueFull { retry_after_ms }) => {
+                    assert!(retry_after_ms >= 1, "shed must carry a backoff hint");
                     shed = true;
                     break;
                 }
@@ -1865,9 +2202,10 @@ mod tests {
                 Err(e) => panic!("unexpected error {e:?}"),
             }
         }
+        stop.store(true, Relaxed);
         assert!(shed, "try_query never shed under sustained load");
         for h in bg {
-            let _ = h.join().expect("client thread");
+            h.join().expect("client thread");
         }
         let stats = server.shutdown();
         assert!(stats.shed >= 1, "{stats:?}");

@@ -13,6 +13,13 @@
 //!   --shards N           total slices in the topology (default 1)
 //!   --journal DIR        checkpoint queries into DIR; resumed after restart
 //!   --drain-timeout MS   SIGTERM: wait MS for in-flight queries (default 5000)
+//!   --tenant-weights W   fair-share weights, "acme=3,free=1" (default all 1)
+//!   --rate R             per-tenant token buckets, "acme=RATE[:BURST],..."
+//!                        in DP cells/second (|q| x db residues per query)
+//!   --lane-depth N       queued jobs per tenant lane (default: queue depth)
+//!   --brownout-high MS / --brownout-low MS / --brownout-dwell MS
+//!                        queue-delay watermarks for stepwise brownout
+//!                        degradation (high 0 = off, the default)
 //! swsimd serve --shards "a,b;c;d" [options]               scatter-gather gateway
 //!   --listen ADDR        bind address (default 127.0.0.1:0)
 //!   --retry-budget N     attempts per shard group (default 3)
@@ -22,11 +29,14 @@
 //!   --strike-threshold N / --readmit-after N               breaker tuning
 //!   --health-period MS   print per-shard health (breaker state, RTT
 //!                        p99, in-flight) to stderr every MS (0 = off)
-//! swsimd query <addr> <query.fasta> [--top K] [--deadline MS]
+//!   --tenant-inflight N  per-tenant concurrent-query cap (0 = off)
+//!   --rate R             per-tenant edge buckets, "acme=RATE[:BURST],..."
+//!                        in query bytes/second
+//! swsimd query <addr> <query.fasta> [--top K] [--deadline MS] [--tenant NAME]
 //!   prints `trace=0x<id>` per query; feed it to `swsimd trace`
 //! swsimd trace <addr> <trace-id> [--json]                 flight record for one request
-//! swsimd slowlog <addr> [--limit N] [--json]              peer's slow-query log
-//! swsimd net-metrics <addr>                               fetch Prometheus scrape
+//! swsimd slowlog <addr> [--limit N] [--tenant NAME] [--json]  peer's slow-query log
+//! swsimd net-metrics <addr> [--tenant NAME]               fetch Prometheus scrape
 //! swsimd net-drain <addr>                                 ask a peer to drain
 //!
 //! options:
@@ -476,11 +486,113 @@ fn net_u64(
     }
 }
 
+/// Parse `--tenant-weights "acme=3,free=1"` into name → weight.
+fn parse_tenant_weights(spec: &str) -> Result<std::collections::HashMap<String, u32>, String> {
+    let mut out = std::collections::HashMap::new();
+    for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+        let (name, w) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("--tenant-weights: '{entry}' is not name=WEIGHT"))?;
+        let weight: u32 = w
+            .trim()
+            .parse()
+            .map_err(|e| format!("--tenant-weights {name}: {e}"))?;
+        if weight == 0 {
+            return Err(format!("--tenant-weights {name}: weight must be >= 1"));
+        }
+        out.insert(name.trim().to_string(), weight);
+    }
+    Ok(out)
+}
+
+/// Parse `--rate "acme=1000000[:2000000],free=50000"` into name →
+/// token-bucket config (`RATE` units/second, optional `BURST` cap,
+/// defaulting to one second of rate).
+fn parse_rates(
+    spec: &str,
+) -> Result<std::collections::HashMap<String, swsimd::runner::RateConfig>, String> {
+    let mut out = std::collections::HashMap::new();
+    for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+        let (name, rest) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("--rate: '{entry}' is not name=RATE[:BURST]"))?;
+        let (rate_s, burst_s) = match rest.split_once(':') {
+            Some((r, b)) => (r, Some(b)),
+            None => (rest, None),
+        };
+        let rate: u64 = rate_s
+            .trim()
+            .parse()
+            .map_err(|e| format!("--rate {name}: {e}"))?;
+        let mut cfg = swsimd::runner::RateConfig::per_second(rate);
+        if let Some(b) = burst_s {
+            cfg.burst = b
+                .trim()
+                .parse()
+                .map_err(|e| format!("--rate {name}: {e}"))?;
+        }
+        out.insert(name.trim().to_string(), cfg);
+    }
+    Ok(out)
+}
+
+/// Assemble the shard-side QoS config from `--tenant-weights`,
+/// `--rate`, and `--lane-depth`.
+fn qos_from_opts(
+    net: &std::collections::HashMap<String, String>,
+) -> Result<swsimd::runner::QosConfig, String> {
+    let mut qos = swsimd::runner::QosConfig::default();
+    if let Some(spec) = net.get("--tenant-weights") {
+        for (name, weight) in parse_tenant_weights(spec)? {
+            qos.tenants.entry(name).or_default().weight = weight;
+        }
+    }
+    if let Some(spec) = net.get("--rate") {
+        for (name, rate) in parse_rates(spec)? {
+            qos.tenants.entry(name).or_default().rate = Some(rate);
+        }
+    }
+    qos.lane_depth = net_u64(net, "--lane-depth", 0)? as usize;
+    Ok(qos)
+}
+
+/// Brownout watermarks from `--brownout-*` (high 0 = disabled).
+fn brownout_from_opts(
+    net: &std::collections::HashMap<String, String>,
+) -> Result<Option<swsimd::runner::BrownoutConfig>, String> {
+    let high = net_u64(net, "--brownout-high", 0)?;
+    if high == 0 {
+        return Ok(None);
+    }
+    let defaults = swsimd::runner::BrownoutConfig::default();
+    Ok(Some(swsimd::runner::BrownoutConfig {
+        high: std::time::Duration::from_millis(high),
+        low: std::time::Duration::from_millis(net_u64(net, "--brownout-low", (high / 4).max(1))?),
+        dwell: std::time::Duration::from_millis(net_u64(
+            net,
+            "--brownout-dwell",
+            defaults.dwell.as_millis() as u64,
+        )?),
+        max_level: defaults.max_level,
+    }))
+}
+
 /// Run one shard worker until SIGTERM, then drain gracefully.
 fn cmd_shard(db_path: &str, rest: &[String]) -> Result<(), String> {
     let (net, passthrough) = split_net_opts(
         rest,
-        &["--listen", "--shard-index", "--shards", "--drain-timeout"],
+        &[
+            "--listen",
+            "--shard-index",
+            "--shards",
+            "--drain-timeout",
+            "--tenant-weights",
+            "--rate",
+            "--lane-depth",
+            "--brownout-high",
+            "--brownout-low",
+            "--brownout-dwell",
+        ],
     )?;
     let o = parse_opts(&passthrough)?;
     let alphabet = o.matrix.alphabet().clone();
@@ -498,6 +610,8 @@ fn cmd_shard(db_path: &str, rest: &[String]) -> Result<(), String> {
             max_cost: o.max_cost,
             mem_budget: o.mem_budget,
             stall_timeout: o.stall_timeout,
+            qos: qos_from_opts(&net)?,
+            brownout: brownout_from_opts(&net)?,
             ..Default::default()
         },
         journal_dir: o.journal.clone(),
@@ -557,6 +671,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--strike-threshold",
             "--readmit-after",
             "--health-period",
+            "--tenant-inflight",
+            "--rate",
         ],
     )?;
     if !leftover.is_empty() {
@@ -599,6 +715,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         hedge_after: (hedge_ms > 0).then(|| std::time::Duration::from_millis(hedge_ms)),
         strike_threshold: net_u64(&net, "--strike-threshold", 3)? as u32,
         readmit_after: net_u64(&net, "--readmit-after", 2)? as u32,
+        qos: swsimd::net::GatewayQos {
+            max_inflight: net_u64(&net, "--tenant-inflight", 0)? as usize,
+            rates: match net.get("--rate") {
+                Some(spec) => parse_rates(spec)?,
+                None => Default::default(),
+            },
+        },
         fault: Default::default(),
     };
     let slices = cfg.shards.len();
@@ -643,9 +766,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 /// Query a shard or gateway over the wire.
 fn cmd_net_query(addr: &str, query_path: &str, rest: &[String]) -> Result<(), String> {
-    let (net, passthrough) = split_net_opts(rest, &["--deadline"])?;
+    let (net, passthrough) = split_net_opts(rest, &["--deadline", "--tenant"])?;
     let o = parse_opts(&passthrough)?;
     let deadline_ms = net_u64(&net, "--deadline", 0)?;
+    let tenant = net.get("--tenant").cloned().unwrap_or_default();
     let alphabet = o.matrix.alphabet().clone();
     let queries = load_fasta(query_path)?;
 
@@ -663,8 +787,23 @@ fn cmd_net_query(addr: &str, query_path: &str, rest: &[String]) -> Result<(), St
     for q in &queries {
         let qe = alphabet.encode(&q.seq);
         let reply = client
-            .query(&qe, o.top, deadline_ms as u32)
-            .map_err(|e| format!("query {}: {e}", q.id))?;
+            .query_tenant(
+                &qe,
+                o.top,
+                deadline_ms as u32,
+                swsimd::obs::trace::TraceCtx::default(),
+                &tenant,
+            )
+            .map_err(|e| match e.retry_after_ms() {
+                Some(ms) => format!("query {}: {e} (retry after {ms}ms)", q.id),
+                None => format!("query {}: {e}", q.id),
+            })?;
+        if reply.fidelity != swsimd::runner::Fidelity::Full {
+            eprintln!(
+                "warning: serving tier browning out; answered at fidelity {:?} (scores exact)",
+                reply.fidelity
+            );
+        }
         if reply.degraded {
             eprintln!(
                 "warning: degraded response; missing shard slice(s) {:?}",
@@ -698,7 +837,7 @@ fn print_record(rec: &swsimd::obs::AuditRecord) {
     let ms = |ns: u64| ns as f64 / 1e6;
     let mut out = String::new();
     out.push_str(&format!(
-        "trace={:#x} query={} {} total={:.3}ms engine={} retries={} hedges={} degraded={}{}\n",
+        "trace={:#x} query={} {} total={:.3}ms engine={} retries={} hedges={} degraded={}{}{}\n",
         rec.trace_id,
         rec.query_id,
         if rec.ok { "ok" } else { "FAILED" },
@@ -711,6 +850,11 @@ fn print_record(rec: &swsimd::obs::AuditRecord) {
         rec.retries,
         rec.hedges,
         rec.degraded,
+        if rec.tenant.is_empty() {
+            String::new()
+        } else {
+            format!(" tenant={}", rec.tenant)
+        },
         if rec.cancel.is_empty() {
             String::new()
         } else {
@@ -769,19 +913,30 @@ fn cmd_trace(addr: &str, id_arg: &str, rest: &[String]) -> Result<(), String> {
 
 /// Fetch and print the peer's slow-query log.
 fn cmd_slowlog(addr: &str, rest: &[String]) -> Result<(), String> {
-    let (net, flags) = split_net_opts(rest, &["--limit"])?;
+    let (net, flags) = split_net_opts(rest, &["--limit", "--tenant"])?;
     let json = flags.iter().any(|a| a == "--json");
     let limit = net_u64(&net, "--limit", 0)? as u32;
+    let tenant = net.get("--tenant").cloned();
     let mut client = swsimd::net::NetClient::connect(addr, std::time::Duration::from_secs(5))
         .map_err(|e| format!("{addr}: {e}"))?;
-    if json {
+    if json && tenant.is_none() {
         let text = client
             .flight_json(0, limit, true)
             .map_err(|e| e.to_string())?;
         println!("{text}");
         return Ok(());
     }
-    let records = client.slowlog(limit).map_err(|e| e.to_string())?;
+    let mut records = client.slowlog(limit).map_err(|e| e.to_string())?;
+    if let Some(want) = &tenant {
+        // "default" selects records with no tenant attribution, same
+        // label the metric families use for the anonymous lane.
+        records.retain(|r| swsimd::runner::tenant_label(&r.tenant) == want.as_str());
+    }
+    if json {
+        let body: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", body.join(","));
+        return Ok(());
+    }
     if records.is_empty() {
         println!("slowlog empty");
     }
@@ -791,11 +946,24 @@ fn cmd_slowlog(addr: &str, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_net_metrics(addr: &str) -> Result<(), String> {
+fn cmd_net_metrics(addr: &str, rest: &[String]) -> Result<(), String> {
+    let (net, leftover) = split_net_opts(rest, &["--tenant"])?;
+    if !leftover.is_empty() {
+        return Err(format!("net-metrics: unknown option '{}'", leftover[0]));
+    }
     let mut client = swsimd::net::NetClient::connect(addr, std::time::Duration::from_secs(5))
         .map_err(|e| format!("{addr}: {e}"))?;
     let text = client.metrics().map_err(|e| e.to_string())?;
-    print!("{text}");
+    match net.get("--tenant") {
+        // Scoped view: just the series labelled with this tenant.
+        Some(want) => {
+            let needle = format!("tenant=\"{want}\"");
+            for line in text.lines().filter(|l| l.contains(&needle)) {
+                println!("{line}");
+            }
+        }
+        None => print!("{text}"),
+    }
     Ok(())
 }
 
@@ -862,7 +1030,7 @@ fn main() -> ExitCode {
         Some("query") if args.len() >= 3 => cmd_net_query(&args[1], &args[2], &args[3..]),
         Some("trace") if args.len() >= 3 => cmd_trace(&args[1], &args[2], &args[3..]),
         Some("slowlog") if args.len() >= 2 => cmd_slowlog(&args[1], &args[2..]),
-        Some("net-metrics") if args.len() >= 2 => cmd_net_metrics(&args[1]),
+        Some("net-metrics") if args.len() >= 2 => cmd_net_metrics(&args[1], &args[2..]),
         Some("net-drain") if args.len() >= 2 => cmd_net_drain(&args[1]),
         Some("info") => {
             cmd_info();

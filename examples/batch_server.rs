@@ -86,7 +86,7 @@ fn main() {
     for q in &queries {
         match client.try_query(q.clone(), 1) {
             Ok(_) => admitted += 1,
-            Err(ServeError::QueueFull) => shed += 1,
+            Err(ServeError::QueueFull { .. }) => shed += 1,
             Err(e) => panic!("server failed: {e}"),
         }
     }

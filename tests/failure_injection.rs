@@ -277,22 +277,27 @@ mod server_faults {
             builder,
         );
         let client = server.client();
-        let bg: Vec<_> = (0..3)
-            .map(|i| {
-                let c = client.clone();
-                std::thread::spawn(move || c.query(enc(20, 30 + i), 1))
-            })
-            .collect();
-        let mut shed = 0;
-        for i in 0..60 {
-            if client.try_query(enc(20, 60 + i), 1) == Err(ServeError::QueueFull) {
-                shed += 1;
-                break;
-            }
+        // Plug the worker (every job computes ≥120ms), wait for it to
+        // pick the plug up, then occupy the single queue slot. The
+        // queue is now provably full for the plug's whole compute.
+        let plug = client.submit(enc(20, 30), 1, None).expect("plug admitted");
+        let t0 = Instant::now();
+        while server.queue_depth() > 0 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "plug never picked up");
+            std::thread::sleep(Duration::from_millis(1));
         }
-        assert!(shed >= 1, "sustained load never shed");
-        for h in bg {
-            let _ = h.join().expect("client thread");
+        let filler = client.submit(enc(20, 31), 1, None).expect("filler admitted");
+        match client.try_query(enc(20, 60), 1) {
+            Err(ServeError::QueueFull { .. }) => {}
+            other => panic!("sustained load never shed: {other:?}"),
+        }
+        for p in [plug, filler] {
+            loop {
+                if let Some(r) = p.poll(Duration::from_millis(5)) {
+                    r.expect("queued job served");
+                    break;
+                }
+            }
         }
         let stats = server.shutdown();
         assert!(stats.shed >= 1);

@@ -374,6 +374,7 @@ fn real_tcp_disconnect_cancels_with_client_drop() {
                 slice_count: 0,
                 query: q.clone(),
                 trace: Default::default(),
+                tenant: String::new(),
             },
         )
         .unwrap();
@@ -632,6 +633,7 @@ fn wrong_shard_coordinates_are_rejected_typed() {
             slice_count: 3,
             query: enc(20, 420),
             trace: Default::default(),
+            tenant: String::new(),
         },
     )
     .unwrap();

@@ -10,7 +10,7 @@ use swsimd::core::{AlignError, Hit, Precision};
 use swsimd::net::wire::frame;
 use swsimd::net::{read_msg, write_msg, Msg, RemoteError, WireError, MAX_FRAME};
 use swsimd::obs::{ShardTiming, Stage, StageTiming, TraceCtx};
-use swsimd::runner::ServeError;
+use swsimd::runner::{Fidelity, ServeError, MAX_TENANT_LEN};
 use swsimd::EngineKind;
 
 fn trace_strategy() -> impl Strategy<Value = TraceCtx> {
@@ -60,6 +60,26 @@ fn timing_strategy() -> impl Strategy<Value = Option<ShardTiming>> {
     ]
 }
 
+fn tenant_strategy() -> impl Strategy<Value = String> {
+    // Empty (the default tenant — encodes as ext absence), short ASCII
+    // names, and a multibyte UTF-8 name near the byte cap.
+    prop_oneof![
+        Just(String::new()),
+        prop::collection::vec(b'a'..=b'z', 1..=16)
+            .prop_map(|bs| bs.into_iter().map(char::from).collect()),
+        Just("équipe-β".to_string()),
+    ]
+}
+
+fn fidelity_strategy() -> impl Strategy<Value = Fidelity> {
+    prop_oneof![
+        Just(Fidelity::Full),
+        Just(Fidelity::NoShadow),
+        Just(Fidelity::ScoreOnly),
+        Just(Fidelity::TightDeadline),
+    ]
+}
+
 fn roundtrip(msg: &Msg) -> Msg {
     let mut buf = Vec::new();
     write_msg(&mut buf, msg).expect("encode");
@@ -93,7 +113,8 @@ fn serve_error_strategy() -> impl Strategy<Value = ServeError> {
     prop_oneof![
         Just(ServeError::ShutDown),
         Just(ServeError::DeadlineExceeded),
-        Just(ServeError::QueueFull),
+        (0u64..100_000).prop_map(|retry_after_ms| ServeError::QueueFull { retry_after_ms }),
+        (0u64..100_000).prop_map(|retry_after_ms| ServeError::RateLimited { retry_after_ms }),
         Just(ServeError::WorkerPanicked),
         (0usize..10_000, 0u8..255).prop_map(|(position, value)| {
             ServeError::InvalidQuery(AlignError::InvalidResidue { position, value })
@@ -140,8 +161,11 @@ proptest! {
         slice_count in 0u32..64,
         query in prop::collection::vec(0u8..24, 0..512),
         trace in trace_strategy(),
+        tenant in tenant_strategy(),
     ) {
-        let msg = Msg::Query { id, top_k, deadline_ms, slice_index, slice_count, query, trace };
+        let msg = Msg::Query {
+            id, top_k, deadline_ms, slice_index, slice_count, query, trace, tenant,
+        };
         prop_assert_eq!(roundtrip(&msg), msg);
     }
 
@@ -153,8 +177,11 @@ proptest! {
         hits in prop::collection::vec(hit_strategy(), 0..64),
         trace_id in 0u64..u64::MAX,
         timing in timing_strategy(),
+        fidelity in fidelity_strategy(),
     ) {
-        let msg = Msg::Hits { id, degraded, missing_shards: missing, hits, trace_id, timing };
+        let msg = Msg::Hits {
+            id, degraded, missing_shards: missing, hits, trace_id, timing, fidelity,
+        };
         prop_assert_eq!(roundtrip(&msg), msg);
     }
 
@@ -166,8 +193,10 @@ proptest! {
     fn unknown_extensions_fuzz(
         query in prop::collection::vec(0u8..24, 0..64),
         trace in trace_strategy(),
+        tenant in tenant_strategy(),
         trace_id in 0u64..u64::MAX,
         timing in timing_strategy(),
+        fidelity in fidelity_strategy(),
         exts in prop::collection::vec(
             // Kinds 0x10.. are unassigned today; bodies are arbitrary.
             (0x10u8..=0xFF, prop::collection::vec(any::<u8>(), 0..128)),
@@ -185,7 +214,7 @@ proptest! {
 
         let msg = Msg::Query {
             id: 1, top_k: 5, deadline_ms: 0, slice_index: 0, slice_count: 0,
-            query, trace,
+            query, trace, tenant,
         };
         let mut bytes = msg.encode();
         push_unknown(&mut bytes);
@@ -193,7 +222,7 @@ proptest! {
 
         let hits = Msg::Hits {
             id: 2, degraded: false, missing_shards: vec![], hits: vec![],
-            trace_id, timing,
+            trace_id, timing, fidelity,
         };
         let bytes = if prepend {
             // Splice the unknown records *before* the known tail: take
@@ -202,7 +231,7 @@ proptest! {
             // and keeping only its tail.
             let bare = Msg::Hits {
                 id: 2, degraded: false, missing_shards: vec![], hits: vec![],
-                trace_id: 0, timing: None,
+                trace_id: 0, timing: None, fidelity: Fidelity::Full,
             }.encode();
             let full = hits.encode();
             let mut b = bare.clone();
@@ -309,6 +338,7 @@ fn arbitrary_msg(seed: &mut u64) -> Msg {
                     ns: splitmix64(seed) % 1_000_000_000,
                 }],
             }),
+            fidelity: Fidelity::from_u8((splitmix64(seed) % 4) as u8),
         },
         _ => Msg::Query {
             id: splitmix64(seed),
@@ -322,6 +352,11 @@ fn arbitrary_msg(seed: &mut u64) -> Msg {
             trace: TraceCtx {
                 trace_id: splitmix64(seed) % 2 * splitmix64(seed),
                 span_id: splitmix64(seed),
+            },
+            tenant: match splitmix64(seed) % 3 {
+                0 => String::new(),
+                1 => "acme".into(),
+                _ => "free-tier".into(),
             },
         },
     }
@@ -402,6 +437,7 @@ fn payload_bit_flip_is_bad_crc() {
             trace_id: 0xFACE,
             span_id: 0xB00C,
         },
+        tenant: "acme".into(),
     };
     let framed = frame(&msg.encode());
     for i in 4..framed.len() - 4 {
@@ -410,6 +446,111 @@ fn payload_bit_flip_is_bad_crc() {
         match read_msg(&mut Cursor::new(&bytes)) {
             Err(WireError::BadCrc { .. }) => {}
             other => panic!("payload flip at {i} gave {other:?}"),
+        }
+    }
+}
+
+fn plain_query(tenant: &str) -> Msg {
+    Msg::Query {
+        id: 9,
+        top_k: 3,
+        deadline_ms: 0,
+        slice_index: 0,
+        slice_count: 0,
+        query: vec![1, 2, 3],
+        trace: TraceCtx::default(),
+        tenant: tenant.to_string(),
+    }
+}
+
+/// Append one raw extension record (kind, little-endian u16 length,
+/// body) — the layout new peers use for the tenant ext.
+fn push_raw_ext(bytes: &mut Vec<u8>, kind: u8, body: &[u8]) {
+    bytes.push(kind);
+    bytes.extend_from_slice(&(body.len() as u16).to_le_bytes());
+    bytes.extend_from_slice(body);
+}
+
+const RAW_EXT_TENANT: u8 = 4;
+
+/// Byte-level compatibility: the default tenant and full fidelity
+/// encode as extension *absence*, so a new peer's frames are
+/// byte-identical to an old peer's, and an old peer's (extension-free)
+/// frames decode to the defaults.
+#[test]
+fn default_tenant_and_full_fidelity_are_byte_compatible_with_old_frames() {
+    let bare = plain_query("").encode();
+    let named = plain_query("acme").encode();
+    // The tenant ext strictly appends to the old layout.
+    assert_eq!(&named[..bare.len()], &bare[..]);
+    assert_eq!(named.len(), bare.len() + 3 + 4); // header + "acme"
+    match Msg::decode(&bare).expect("old frame decodes") {
+        Msg::Query { tenant, .. } => assert_eq!(tenant, ""),
+        other => panic!("{other:?}"),
+    }
+
+    let full = Msg::Hits {
+        id: 9,
+        degraded: false,
+        missing_shards: vec![],
+        hits: vec![],
+        trace_id: 0,
+        timing: None,
+        fidelity: Fidelity::Full,
+    };
+    let full_bytes = full.encode();
+    match Msg::decode(&full_bytes).expect("hits decode") {
+        Msg::Hits { fidelity, .. } => assert_eq!(fidelity, Fidelity::Full),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Hostile tenant extensions are rejected with a typed error before
+/// the name is materialised: oversized names and invalid UTF-8.
+#[test]
+fn hostile_tenant_extensions_are_typed_errors() {
+    let mut oversized = plain_query("").encode();
+    push_raw_ext(&mut oversized, RAW_EXT_TENANT, &[b'x'; MAX_TENANT_LEN + 1]);
+    assert!(matches!(
+        Msg::decode(&oversized),
+        Err(WireError::Malformed(_))
+    ));
+
+    let mut bad_utf8 = plain_query("").encode();
+    push_raw_ext(&mut bad_utf8, RAW_EXT_TENANT, &[0xC0, 0x80]);
+    assert!(matches!(
+        Msg::decode(&bad_utf8),
+        Err(WireError::Malformed(_))
+    ));
+
+    // A name at exactly the cap is accepted.
+    let mut at_cap = plain_query("").encode();
+    push_raw_ext(&mut at_cap, RAW_EXT_TENANT, &[b'x'; MAX_TENANT_LEN]);
+    match Msg::decode(&at_cap).expect("cap-length tenant decodes") {
+        Msg::Query { tenant, .. } => assert_eq!(tenant.len(), MAX_TENANT_LEN),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Seeded fuzz over mangled tenant extensions: random bodies (any
+/// bytes, any length up to past the cap) must decode to Ok or a typed
+/// Malformed — never a panic, never an unbounded allocation.
+#[test]
+fn fuzz_tenant_extension_bodies_never_panic() {
+    let mut seed = 0x54454E54_u64; // "TENT"
+    let cases = fuzz_cases() / 10;
+    for _ in 0..cases.max(100) {
+        let mut bytes = plain_query("").encode();
+        let len = (splitmix64(&mut seed) as usize) % (MAX_TENANT_LEN * 2);
+        let body: Vec<u8> = (0..len)
+            .map(|_| (splitmix64(&mut seed) & 0xFF) as u8)
+            .collect();
+        push_raw_ext(&mut bytes, RAW_EXT_TENANT, &body);
+        match Msg::decode(&bytes) {
+            Ok(Msg::Query { tenant, .. }) => assert!(tenant.len() <= MAX_TENANT_LEN),
+            Ok(other) => panic!("query mutated into {other:?}"),
+            Err(WireError::Malformed(_)) => {}
+            Err(other) => panic!("unexpected error class {other:?}"),
         }
     }
 }
