@@ -115,6 +115,19 @@ impl ShardBreaker {
             self.passes = 0;
         }
     }
+
+    /// Open the breaker immediately, bypassing the strike counter.
+    /// Used when a replica *announces* it is leaving (a `Draining`
+    /// reply from a SIGTERM'd shard) — there is nothing to infer from
+    /// further strikes. Returns true exactly when this call did the
+    /// opening — the caller charges `shard_down_total` then.
+    pub fn force_open(&mut self) -> bool {
+        let opened = self.state == BreakerState::Healthy;
+        self.state = BreakerState::Down;
+        self.strikes = 0;
+        self.passes = 0;
+        opened
+    }
 }
 
 #[cfg(test)]
@@ -156,5 +169,16 @@ mod tests {
         assert!(b.probe_success(), "third consecutive pass re-admits");
         assert!(b.is_available());
         assert!(!b.probe_success(), "healthy probes are no-ops");
+    }
+
+    #[test]
+    fn force_open_skips_strikes() {
+        let mut b = ShardBreaker::new(5, 2);
+        assert!(b.force_open(), "first open charges the caller");
+        assert_eq!(b.state(), BreakerState::Down);
+        assert!(!b.force_open(), "already open: no double-charge");
+        assert!(!b.probe_success());
+        assert!(b.probe_success(), "normal re-admission path applies");
+        assert!(b.is_available());
     }
 }

@@ -253,6 +253,19 @@ impl NetClient {
         }
     }
 
+    /// Promote a warm standby shard to live duty. Returns the peer's
+    /// post-promotion pong (no longer `draining` once live). A no-op
+    /// on a peer that is already serving.
+    pub fn activate(&mut self) -> Result<PongReply, NetError> {
+        write_msg(&mut self.stream, &Msg::Activate)?;
+        match read_msg(&mut self.stream)? {
+            Msg::Pong {
+                shard, draining, ..
+            } => Ok(PongReply { shard, draining }),
+            _ => Err(NetError::Unexpected("non-pong frame for Activate")),
+        }
+    }
+
     /// Ask the peer to drain: stop admitting queries, finish what is
     /// in flight. Returns its post-drain pong.
     pub fn drain(&mut self) -> Result<PongReply, NetError> {

@@ -53,7 +53,9 @@ impl GatewayServer {
         listen: &str,
         drain_timeout: Duration,
     ) -> std::io::Result<GatewayServer> {
-        let listener = TcpListener::bind(listen)?;
+        // SO_REUSEADDR so a supervisor-respawned gateway rebinds its
+        // published port straight through TIME_WAIT.
+        let listener = crate::listen::bind_reuse(listen)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(FrontShared {
@@ -280,6 +282,18 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<FrontShared>) -> std::io::Resul
             } => {
                 let text = flight_json(trace_id, limit, slow_only).into_bytes();
                 if write_msg(&mut stream, &Msg::FlightJson { text }).is_err() {
+                    return Ok(());
+                }
+            }
+            Msg::Activate => {
+                // Gateways have no standby state; acknowledge so a
+                // supervisor can treat the frame uniformly.
+                let ack = Msg::Pong {
+                    nonce: 0,
+                    shard: GATEWAY_SHARD_ID,
+                    draining: shared.draining.load(Ordering::Acquire),
+                };
+                if write_msg(&mut stream, &ack).is_err() {
                     return Ok(());
                 }
             }

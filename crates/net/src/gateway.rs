@@ -90,6 +90,11 @@ pub struct GatewayConfig {
     pub fault: FaultPlan,
     /// Per-tenant edge admission (concurrency caps, token buckets).
     pub qos: GatewayQos,
+    /// Encoded canary query for re-admission probes. When non-empty, a
+    /// replica must answer this tiny real alignment — not just a ping —
+    /// before its breaker closes, so a shard that accepts TCP but
+    /// panics on work is never re-admitted. Empty = ping-only probes.
+    pub canary: Vec<u8>,
 }
 
 impl Default for GatewayConfig {
@@ -104,6 +109,7 @@ impl Default for GatewayConfig {
             readmit_after: 2,
             fault: FaultPlan::default(),
             qos: GatewayQos::default(),
+            canary: Vec::new(),
         }
     }
 }
@@ -201,6 +207,11 @@ enum Attempt {
     /// Retrying another replica (or the same one later) may help; an
     /// overloaded shard attaches its `retry_after_ms` backoff hint.
     Retryable(Option<u64>),
+    /// The replica announced it is draining (SIGTERM'd or a passive
+    /// standby): force its breaker open so no further attempts or
+    /// hedges burn budget discovering the same thing, then retry the
+    /// siblings.
+    Draining,
     /// Retrying cannot change the outcome; fail the query.
     Fatal(RemoteError),
 }
@@ -701,14 +712,45 @@ fn probe_replica(inner: &GatewayInner, replica: &Replica) -> bool {
     if write_msg(&mut stream, &Msg::Ping { nonce: 0x5157 }).is_err() {
         return false;
     }
-    matches!(
+    let pong_ok = matches!(
         read_msg(&mut stream),
         Ok(Msg::Pong {
             nonce: 0x5157,
             draining: false,
             ..
         })
-    )
+    );
+    if !pong_ok || inner.cfg.canary.is_empty() {
+        return pong_ok;
+    }
+    // Ping passed; now prove the replica can do *work*. A shard whose
+    // workers panic still answers pings, and re-admitting it would
+    // just bounce it open again on the next real query.
+    let canary = Msg::Query {
+        id: 0,
+        top_k: 1,
+        deadline_ms: inner.cfg.request_timeout.as_millis().min(u32::MAX as u128) as u32,
+        // slice_count 0 = whole-slice direct query; valid on any shard
+        // regardless of its coordinates.
+        slice_index: 0,
+        slice_count: 0,
+        query: inner.cfg.canary.clone(),
+        trace: TraceCtx::default(),
+        tenant: String::new(),
+    };
+    let _ = stream.set_read_timeout(Some(inner.cfg.request_timeout));
+    if write_msg(&mut stream, &canary).is_err() {
+        inner.metrics.canary_failures.inc();
+        return false;
+    }
+    match read_msg(&mut stream) {
+        Ok(Msg::Hits { .. }) => true,
+        _ => {
+            inner.metrics.canary_failures.inc();
+            swsimd_obs::event!("canary_failed", "replica" => replica.slice);
+            false
+        }
+    }
 }
 
 fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
@@ -800,6 +842,12 @@ fn query_group(
                 hint_ms = hint;
                 attempt += 1;
             }
+            // Draining folds into Retryable before reaching here; the
+            // next pass simply skips the force-opened replica.
+            Attempt::Draining => {
+                hint_ms = None;
+                attempt += 1;
+            }
         }
     }
 }
@@ -885,16 +933,17 @@ fn attempt_with_hedge(
             Err(_) => break,
         }
     }
-    // Prefer success, then fatal (definitive), then retryable.
-    let mut retryable = false;
+    // Prefer success, then fatal (definitive), then retryable. A
+    // draining reply folds into retryable here — its breaker is
+    // already force-open, so the next attempt picks a live sibling.
     let mut hint_ms: Option<u64> = None;
     let mut fatal = None;
     for outcome in results {
         match outcome {
             Attempt::Ok(hits, timing, fidelity) => return Attempt::Ok(hits, timing, fidelity),
             Attempt::Fatal(e) => fatal = Some(e),
+            Attempt::Draining => {}
             Attempt::Retryable(hint) => {
-                retryable = true;
                 // Back off by the most pessimistic hint any replica
                 // attached.
                 hint_ms = hint_ms.max(hint);
@@ -903,10 +952,7 @@ fn attempt_with_hedge(
     }
     match fatal {
         Some(e) => Attempt::Fatal(e),
-        None => {
-            debug_assert!(retryable);
-            Attempt::Retryable(hint_ms)
-        }
+        None => Attempt::Retryable(hint_ms),
     }
 }
 
@@ -966,6 +1012,17 @@ fn spawn_attempt(
             // Fatal outcomes are the *query's* fault, not the
             // replica's — no strike.
             Attempt::Fatal(_) => {}
+            // The replica said it is leaving: stop routing to it right
+            // now rather than strike-by-strike.
+            Attempt::Draining => {
+                inner.metrics.draining_replies.inc();
+                let opened = lock_ok(&replica.breaker).force_open();
+                if opened {
+                    replica.metrics.down_total.inc();
+                    replica.metrics.up.set(0);
+                    swsimd_obs::event!("shard_draining_unrouted", "replica" => ordinal);
+                }
+            }
             Attempt::Retryable(_) => {
                 let opened = lock_ok(&replica.breaker).record_failure();
                 if opened {
@@ -1061,10 +1118,12 @@ fn classify(err: RemoteError) -> Attempt {
         RemoteError::Serve(S::QueueFull { .. }) | RemoteError::Serve(S::RateLimited { .. }) => {
             Attempt::Retryable(err.retry_after_ms())
         }
+        // A draining peer *announced* its departure: force the breaker
+        // open instead of burning strikes (and retries) discovering it.
+        RemoteError::Draining => Attempt::Draining,
         RemoteError::Serve(S::ShutDown)
         | RemoteError::Serve(S::WorkerPanicked)
         | RemoteError::WrongShard { .. }
-        | RemoteError::Draining
         | RemoteError::Unavailable => Attempt::Retryable(None),
     }
 }
@@ -1090,11 +1149,13 @@ mod tests {
             RemoteError::Serve(ServeError::ShutDown),
             RemoteError::Serve(ServeError::WorkerPanicked),
             RemoteError::WrongShard { got: 0, want: 1 },
-            RemoteError::Draining,
             RemoteError::Unavailable,
         ] {
             assert!(matches!(classify(retryable), Attempt::Retryable(None)));
         }
+        // An announced departure is its own class: the breaker is
+        // force-opened instead of accumulating strikes.
+        assert!(matches!(classify(RemoteError::Draining), Attempt::Draining));
     }
 
     /// Overload rejections retry with the shard's own backoff hint.

@@ -24,18 +24,26 @@
 
 pub mod backoff;
 pub mod breaker;
+pub mod chaos;
 pub mod client;
 pub mod front;
 pub mod gateway;
+pub mod listen;
 pub mod metrics;
 pub mod shard;
+pub mod supervisor;
 pub mod wire;
 
 pub use backoff::RetryPolicy;
 pub use breaker::{BreakerState, ShardBreaker};
+pub use chaos::{seed_from_env, ChaosEvent, ChaosFault, ChaosSchedule};
 pub use client::{HitsReply, NetClient, NetError, PongReply};
 pub use front::{GatewayServer, GATEWAY_SHARD_ID};
 pub use gateway::{Gateway, GatewayConfig, GatewayQos, GatewayResponse, ProberHandle};
-pub use metrics::{GatewayMetrics, NetCancelled, ReplicaMetrics, TenantEdgeMetrics};
+pub use listen::bind_reuse;
+pub use metrics::{
+    GatewayMetrics, NetCancelled, ReplicaMetrics, SupervisorMetrics, TenantEdgeMetrics,
+};
 pub use shard::{ShardConfig, ShardServer};
+pub use supervisor::{ChildSpec, ChildState, Supervisor, SupervisorConfig};
 pub use wire::{read_msg, write_msg, Msg, RemoteError, WireError, MAX_FRAME};

@@ -1,0 +1,111 @@
+//! Listener binding with `SO_REUSEADDR`.
+//!
+//! A supervised shard that dies and respawns must rebind the *same*
+//! port immediately — the topology the gateway was handed is static.
+//! A plain [`TcpListener::bind`] can fail for up to a minute after a
+//! crash because the old socket lingers in `TIME_WAIT`. std does not
+//! expose `setsockopt`, so on Linux we make the three raw libc calls
+//! ourselves (the same pattern the CLI uses for `signal`); elsewhere
+//! we fall back to the std bind and accept the race.
+
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+
+/// Bind `addr` with `SO_REUSEADDR` set, ready to accept.
+pub fn bind_reuse(addr: &str) -> std::io::Result<TcpListener> {
+    let mut last = std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses resolved");
+    for sa in addr.to_socket_addrs()? {
+        match bind_one(&sa) {
+            Ok(l) => return Ok(l),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+#[cfg(target_os = "linux")]
+fn bind_one(sa: &SocketAddr) -> std::io::Result<TcpListener> {
+    let SocketAddr::V4(v4) = sa else {
+        // IPv6 goes through std; supervised topologies are v4.
+        return TcpListener::bind(sa);
+    };
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const u8, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    // struct sockaddr_in: family u16, port u16 (BE), addr u32 (BE),
+    // 8 bytes of zero padding.
+    let mut sockaddr = [0u8; 16];
+    sockaddr[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+    sockaddr[2..4].copy_from_slice(&v4.port().to_be_bytes());
+    sockaddr[4..8].copy_from_slice(&v4.ip().octets());
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let fail = |fd: i32| -> std::io::Error {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            e
+        };
+        let one: i32 = 1;
+        if setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            (&one as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        ) < 0
+        {
+            return Err(fail(fd));
+        }
+        if bind(fd, sockaddr.as_ptr(), sockaddr.len() as u32) < 0 {
+            return Err(fail(fd));
+        }
+        if listen(fd, 128) < 0 {
+            return Err(fail(fd));
+        }
+        Ok(std::os::fd::FromRawFd::from_raw_fd(fd))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_one(sa: &SocketAddr) -> std::io::Result<TcpListener> {
+    TcpListener::bind(sa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binds_and_accepts() {
+        let l = bind_reuse("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let t = std::thread::spawn(move || std::net::TcpStream::connect(addr).is_ok());
+        let (_s, _peer) = l.accept().unwrap();
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn rebinds_same_port_after_drop() {
+        let l = bind_reuse("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        // Leave a connection half-open so the port would sit in
+        // TIME_WAIT without SO_REUSEADDR.
+        let c = std::net::TcpStream::connect(addr).unwrap();
+        let (s, _peer) = l.accept().unwrap();
+        drop(s);
+        drop(c);
+        drop(l);
+        let l2 = bind_reuse(&addr.to_string()).expect("rebind with SO_REUSEADDR");
+        assert_eq!(l2.local_addr().unwrap(), addr);
+    }
+}

@@ -23,6 +23,12 @@ pub struct GatewayMetrics {
     pub degraded: Arc<Counter>,
     /// End-to-end latency of gateway scatter-gather requests.
     pub latency: Arc<Histogram>,
+    /// Re-admission canary queries that failed after the ping passed —
+    /// the shard accepts TCP but cannot do work.
+    pub canary_failures: Arc<Counter>,
+    /// Attempts answered with `Draining`: the replica announced its
+    /// own departure and its breaker was force-opened.
+    pub draining_replies: Arc<Counter>,
 }
 
 impl GatewayMetrics {
@@ -54,6 +60,16 @@ impl GatewayMetrics {
                 "swsimd_gateway_latency_seconds",
                 "End-to-end gateway scatter-gather request latency.",
                 1e-9,
+                &[],
+            ),
+            canary_failures: r.counter(
+                "swsimd_canary_failures_total",
+                "Re-admission canary queries that failed after a passing ping.",
+                &[],
+            ),
+            draining_replies: r.counter(
+                "swsimd_draining_replies_total",
+                "Attempts answered with Draining; the replica's breaker was force-opened.",
                 &[],
             ),
         }
@@ -152,6 +168,70 @@ impl TenantEdgeMetrics {
     }
 }
 
+/// Supervisor families: restart/quarantine/promotion counters plus
+/// the time-to-recovery histogram the chaos soak asserts its SLO
+/// against. One instance per supervisor.
+pub struct SupervisorMetrics {
+    /// Per-child gauge: 1 while the supervisor believes the child is
+    /// up, 0 while it is down/backing off/quarantined.
+    registry: &'static swsimd_obs::Registry,
+    /// Crash-loop quarantines (slice parked, standby promoted).
+    pub quarantines: Arc<Counter>,
+    /// Warm standbys promoted into quarantined slices.
+    pub promotions: Arc<Counter>,
+    /// Rolling restarts completed (whole-topology sweeps).
+    pub rolling_restarts: Arc<Counter>,
+    /// Death-detection → first passing re-admission probe, per
+    /// recovered child.
+    pub recovery: Arc<Histogram>,
+}
+
+impl SupervisorMetrics {
+    /// Register (or re-attach to) the supervisor families.
+    pub fn new() -> Self {
+        let r = global();
+        Self {
+            registry: r,
+            quarantines: r.counter(
+                "swsimd_crash_loop_quarantines_total",
+                "Slices quarantined by the crash-loop breaker.",
+                &[],
+            ),
+            promotions: r.counter(
+                "swsimd_standby_promotions_total",
+                "Warm standby replicas promoted to live duty.",
+                &[],
+            ),
+            rolling_restarts: r.counter(
+                "swsimd_rolling_restarts_total",
+                "Rolling restart sweeps completed across the topology.",
+                &[],
+            ),
+            recovery: r.histogram_scaled(
+                "swsimd_supervisor_recovery_seconds",
+                "Time from death detection to a passing re-admission probe.",
+                1e-9,
+                &[],
+            ),
+        }
+    }
+
+    /// Per-child restart counter, labelled `shard="<name>"`.
+    pub fn restarts(&self, child: &str) -> Arc<Counter> {
+        self.registry.counter(
+            "swsimd_supervisor_restarts_total",
+            "Child processes respawned by the supervisor, per child.",
+            &[("shard", child)],
+        )
+    }
+}
+
+impl Default for SupervisorMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Shard-side cancellation counters keyed by reason, mirroring
 /// `swsimd_server_cancelled_total` for cancellations that originate
 /// on the network (client drop, drain shutdown, wire deadline).
@@ -208,6 +288,14 @@ mod tests {
         te.inflight.inc();
         te.shed.inc();
         te.rate_limited.inc();
+        g.canary_failures.inc();
+        g.draining_replies.inc();
+        let sm = SupervisorMetrics::new();
+        sm.restarts("shard0-r0").inc();
+        sm.quarantines.inc();
+        sm.promotions.inc();
+        sm.rolling_restarts.inc();
+        sm.recovery.record(1_000_000);
         let text = global().prometheus_text();
         for family in [
             "swsimd_gateway_requests_total",
@@ -219,6 +307,13 @@ mod tests {
             "swsimd_gateway_tenant_inflight",
             "swsimd_gateway_tenant_shed_total",
             "swsimd_gateway_rate_limited_total",
+            "swsimd_canary_failures_total",
+            "swsimd_draining_replies_total",
+            "swsimd_supervisor_restarts_total",
+            "swsimd_crash_loop_quarantines_total",
+            "swsimd_standby_promotions_total",
+            "swsimd_rolling_restarts_total",
+            "swsimd_supervisor_recovery_seconds",
         ] {
             assert!(text.contains(family), "{family} missing from scrape");
         }

@@ -32,8 +32,9 @@ use swsimd_matrices::Alphabet;
 use swsimd_obs::flight::{ShardTiming, Stage, StageTiming};
 use swsimd_obs::trace::TraceCtx;
 use swsimd_runner::{
-    checkpointed_search, rank_hits, read_journal_file, resume_search, BatchServer, FaultPlan,
-    Fidelity, JournalWriter, PoolConfig, QueryOutcome, ServeError, ServerClient, ServerConfig,
+    checkpointed_search, rank_hits, read_journal_file, resume_checkpointed_search, BatchServer,
+    FaultPlan, Fidelity, JournalError, JournalWriter, PoolConfig, QueryOutcome, ServeError,
+    ServerClient, ServerConfig,
 };
 use swsimd_seq::{integrity::crc32, Database};
 
@@ -67,6 +68,11 @@ pub struct ShardConfig {
     pub threads: usize,
     /// Deterministic network faults (reply tears/flips/delays).
     pub fault: FaultPlan,
+    /// Start as a warm standby: the slice is loaded and the batch
+    /// server is hot, but pongs advertise `draining` and queries are
+    /// refused with [`RemoteError::Draining`] until a supervisor sends
+    /// [`Msg::Activate`] to promote this replica to live duty.
+    pub standby: bool,
 }
 
 impl Default for ShardConfig {
@@ -80,6 +86,7 @@ impl Default for ShardConfig {
             drain_timeout: Duration::from_secs(5),
             threads: 1,
             fault: FaultPlan::default(),
+            standby: false,
         }
     }
 }
@@ -98,6 +105,7 @@ struct ShardShared {
     threads: usize,
     fault: FaultPlan,
     draining: AtomicBool,
+    standby: AtomicBool,
     stopping: AtomicBool,
     in_flight: AtomicUsize,
     cancelled: NetCancelled,
@@ -149,7 +157,9 @@ impl ShardServer {
             std::fs::create_dir_all(dir)?;
         }
 
-        let listener = TcpListener::bind(&cfg.listen)?;
+        // SO_REUSEADDR: a supervised respawn must rebind this exact
+        // port even while the dead process's socket sits in TIME_WAIT.
+        let listener = crate::listen::bind_reuse(&cfg.listen)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
@@ -164,6 +174,7 @@ impl ShardServer {
             threads: cfg.threads.max(1),
             fault: cfg.fault,
             draining: AtomicBool::new(false),
+            standby: AtomicBool::new(cfg.standby),
             stopping: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             cancelled: NetCancelled::new(),
@@ -196,6 +207,18 @@ impl ShardServer {
     /// [`Msg::Drain`] frame).
     pub fn is_draining(&self) -> bool {
         self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// True while this replica is a warm standby awaiting promotion.
+    pub fn is_standby(&self) -> bool {
+        self.shared.standby.load(Ordering::Acquire)
+    }
+
+    /// Promote a warm standby to live duty (the in-process equivalent
+    /// of a [`Msg::Activate`] frame). Returns true when this call did
+    /// the promotion.
+    pub fn activate(&self) -> bool {
+        self.shared.standby.swap(false, Ordering::AcqRel)
     }
 
     /// Queries currently computing.
@@ -362,12 +385,28 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<ShardShared>) -> std::io::Resul
         };
         match msg {
             Msg::Ping { nonce } => {
+                // A standby advertises `draining` so gateways keep it
+                // unrouted until the supervisor promotes it.
                 let pong = Msg::Pong {
                     nonce,
                     shard: shared.shard_index,
-                    draining: shared.draining.load(Ordering::Acquire),
+                    draining: shared.draining.load(Ordering::Acquire)
+                        || shared.standby.load(Ordering::Acquire),
                 };
                 if !write_reply(&mut stream, &shared, &pong) {
+                    return Ok(());
+                }
+            }
+            Msg::Activate => {
+                if shared.standby.swap(false, Ordering::AcqRel) {
+                    swsimd_obs::event!("standby_activated", "shard" => shared.shard_index);
+                }
+                let ack = Msg::Pong {
+                    nonce: 0,
+                    shard: shared.shard_index,
+                    draining: shared.draining.load(Ordering::Acquire),
+                };
+                if !write_reply(&mut stream, &shared, &ack) {
                     return Ok(());
                 }
             }
@@ -546,7 +585,7 @@ fn handle_query(
     trace: TraceCtx,
     tenant: &str,
 ) -> Option<Msg> {
-    if shared.draining.load(Ordering::Acquire) {
+    if shared.draining.load(Ordering::Acquire) || shared.standby.load(Ordering::Acquire) {
         return Some(Msg::Error {
             id,
             err: RemoteError::Draining,
@@ -736,7 +775,14 @@ fn durable_compute(
 
     if path.exists() {
         if let Ok(journal) = read_journal_file(&path) {
-            match resume_search(&journal, query, &shared.slice_db, &cfg, || factory()) {
+            match resume_checkpointed_search(
+                &journal,
+                query,
+                &shared.slice_db,
+                &cfg,
+                || factory(),
+                &path,
+            ) {
                 Ok((out, _stats)) => {
                     if let Some(server) = lock_ok(&shared.server).as_ref() {
                         server.note_journal_replay();
@@ -744,8 +790,19 @@ fn durable_compute(
                     let _ = std::fs::remove_file(&path);
                     return Ok(out.hits);
                 }
-                // Journal/database mismatch or resume failure: start
-                // over from scratch below.
+                // Interrupted mid-resume (cancel, crash fault, real
+                // I/O): the durable resume already checkpointed its
+                // progress, so keep the journal — a crash-looping
+                // shard makes monotone progress across respawns.
+                Err(JournalError::Io(_)) => {
+                    return Err(match token.reason() {
+                        Some(CancelReason::Deadline) => ServeError::DeadlineExceeded,
+                        Some(_) => ServeError::ShutDown,
+                        None => ServeError::WorkerPanicked,
+                    });
+                }
+                // Journal/database mismatch or corruption: start over
+                // from scratch below.
                 Err(_) => {
                     let _ = std::fs::remove_file(&path);
                 }

@@ -1,0 +1,707 @@
+//! Process supervisor for a self-healing swsimd cluster.
+//!
+//! The supervisor owns the whole topology: it spawns shard and
+//! gateway child processes from declarative [`ChildSpec`]s, watches
+//! liveness through child exit status *and* the wire [`Msg::Ping`]
+//! probe (a SIGSTOP'd process is alive to `waitpid` but dead to
+//! pings), restarts dead children with exponential backoff, trips a
+//! crash-loop breaker (N deaths inside a window → quarantine, never
+//! spin), promotes a warm standby replica into a quarantined slice
+//! with [`Msg::Activate`], and orchestrates rolling restarts
+//! (drain → SIGTERM → respawn → wait for readiness, one live replica
+//! at a time).
+//!
+//! State machine per child (DESIGN.md §16):
+//!
+//! ```text
+//!            spawn            ready probe
+//! Stopped ─────────▶ Starting ───────────▶ Up
+//!                      ▲  │ exit/wedge      │ exit/wedge
+//!              backoff │  ▼                 ▼
+//!                    Backoff ◀────────── (death) ──▶ Quarantined
+//!                              < N in window    ≥ N in window
+//! ```
+//!
+//! Every transition emits an event and moves a metric, so the chaos
+//! soak can assert healing happened by scraping, not by trusting.
+
+use std::process::{Child as OsChild, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::chaos::send_signal;
+use crate::client::NetClient;
+use crate::metrics::SupervisorMetrics;
+use crate::wire::{read_msg, write_msg, Msg};
+
+/// Declarative description of one supervised process.
+#[derive(Debug, Clone)]
+pub struct ChildSpec {
+    /// Stable name for logs and the `shard` metric label
+    /// (e.g. `shard0-r0`, `gateway`).
+    pub name: String,
+    /// Slice this child serves; `None` for the gateway.
+    pub slice: Option<u32>,
+    /// Executable to spawn.
+    pub program: std::path::PathBuf,
+    /// Full argument list (must include the pre-picked `--listen`
+    /// address, which is also how the supervisor probes it).
+    pub args: Vec<String>,
+    /// The address the child will listen on (pre-picked so the
+    /// topology stays static across respawns).
+    pub addr: String,
+    /// True for a warm standby awaiting [`Msg::Activate`]: probed for
+    /// liveness only (its pongs say `draining` by design) until it is
+    /// promoted into its slice.
+    pub standby: bool,
+}
+
+/// Supervisor lifecycle state for one child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildState {
+    /// Not yet spawned (or deliberately stopped).
+    Stopped,
+    /// Spawned; waiting for the first passing readiness probe.
+    Starting,
+    /// Ready and serving.
+    Up,
+    /// Dead; respawn scheduled after the backoff delay.
+    Backoff,
+    /// Crash-loop breaker tripped: parked, never respawned
+    /// automatically. A standby covers the slice if one exists.
+    Quarantined,
+}
+
+/// Supervisor tuning.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Target cadence for [`Supervisor::tick`] (the run loop sleeps
+    /// this long between passes).
+    pub probe_interval: Duration,
+    /// Connect/read timeout for one liveness or readiness probe.
+    pub probe_timeout: Duration,
+    /// Consecutive failed liveness probes after which a child that
+    /// still reports "running" is presumed wedged and SIGKILLed.
+    pub probe_misses: u32,
+    /// First respawn delay; doubles per consecutive death.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Crash-loop window: deaths older than this are forgotten.
+    pub crash_loop_window: Duration,
+    /// Deaths inside the window that trip quarantine.
+    pub crash_loop_threshold: usize,
+    /// Encoded canary query a live shard must answer before it counts
+    /// as ready (empty = ping-only readiness).
+    pub canary: Vec<u8>,
+    /// Recovery SLO (death detection → ready); recoveries beyond it
+    /// emit a `recovery_slo_breach` event. The histogram records all.
+    pub recovery_slo: Duration,
+    /// How long a rolling restart waits for drain/exit/readiness per
+    /// child before moving on.
+    pub rolling_timeout: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            probe_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_millis(500),
+            probe_misses: 5,
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(5),
+            crash_loop_window: Duration::from_secs(10),
+            crash_loop_threshold: 4,
+            canary: Vec::new(),
+            recovery_slo: Duration::from_secs(10),
+            rolling_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What one [`Supervisor::tick`] pass did (all counts are this pass
+/// only; cumulative numbers live in the metrics).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TickReport {
+    /// Child exits reaped (crash or kill detected).
+    pub deaths: usize,
+    /// Children respawned out of backoff.
+    pub respawns: usize,
+    /// Crash-loop quarantines tripped.
+    pub quarantines: usize,
+    /// Standby promotions performed.
+    pub promotions: usize,
+    /// Wedged children SIGKILLed after consecutive probe misses.
+    pub wedge_kills: usize,
+}
+
+struct Child {
+    spec: ChildSpec,
+    proc: Option<OsChild>,
+    state: ChildState,
+    /// Death timestamps inside the crash-loop window.
+    deaths: Vec<Instant>,
+    /// Consecutive liveness-probe misses while nominally running.
+    misses: u32,
+    /// When the current outage was detected (drives the recovery
+    /// histogram; `None` while up or never started).
+    down_since: Option<Instant>,
+    backoff_until: Option<Instant>,
+    /// Consecutive-death exponent for the backoff schedule.
+    backoff_exp: u32,
+    restarts: std::sync::Arc<swsimd_obs::Counter>,
+}
+
+/// The supervisor. Synchronous and single-threaded by design: drive
+/// it with [`Supervisor::tick`] from a loop (the `swsimd cluster`
+/// subcommand) or directly from tests — no sleeps-and-hope inside.
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    children: Vec<Child>,
+    metrics: SupervisorMetrics,
+}
+
+impl Supervisor {
+    /// A supervisor over `specs`; nothing is spawned until
+    /// [`Supervisor::start`].
+    pub fn new(cfg: SupervisorConfig, specs: Vec<ChildSpec>) -> Supervisor {
+        let metrics = SupervisorMetrics::new();
+        let children = specs
+            .into_iter()
+            .map(|spec| {
+                let restarts = metrics.restarts(&spec.name);
+                Child {
+                    spec,
+                    proc: None,
+                    state: ChildState::Stopped,
+                    deaths: Vec::new(),
+                    misses: 0,
+                    down_since: None,
+                    backoff_until: None,
+                    backoff_exp: 0,
+                    restarts,
+                }
+            })
+            .collect();
+        Supervisor {
+            cfg,
+            children,
+            metrics,
+        }
+    }
+
+    /// Pick a free port on localhost and release it immediately, so a
+    /// topology can be laid out before any child exists. The released
+    /// port stays claimable because every server side binds with
+    /// `SO_REUSEADDR`.
+    pub fn pick_addr() -> std::io::Result<String> {
+        let l = std::net::TcpListener::bind("127.0.0.1:0")?;
+        Ok(l.local_addr()?.to_string())
+    }
+
+    /// Spawn every child. A spec whose process cannot even be spawned
+    /// surfaces the error; a child that spawns and then dies is the
+    /// tick loop's job.
+    pub fn start(&mut self) -> std::io::Result<()> {
+        for i in 0..self.children.len() {
+            self.spawn_child(i)?;
+        }
+        Ok(())
+    }
+
+    /// The supervisor metrics handle (for wiring into scrape tests).
+    pub fn metrics(&self) -> &SupervisorMetrics {
+        &self.metrics
+    }
+
+    /// Current state of the named child.
+    pub fn state(&self, name: &str) -> Option<ChildState> {
+        self.children
+            .iter()
+            .find(|c| c.spec.name == name)
+            .map(|c| c.state)
+    }
+
+    /// Names and states of every child, in spec order.
+    pub fn states(&self) -> Vec<(String, ChildState)> {
+        self.children
+            .iter()
+            .map(|c| (c.spec.name.clone(), c.state))
+            .collect()
+    }
+
+    /// OS pid of the named child's current process, if running.
+    pub fn pid(&self, name: &str) -> Option<u32> {
+        self.children
+            .iter()
+            .find(|c| c.spec.name == name)
+            .and_then(|c| c.proc.as_ref())
+            .map(|p| p.id())
+    }
+
+    fn spawn_child(&mut self, i: usize) -> std::io::Result<()> {
+        let child = &mut self.children[i];
+        let proc = Command::new(&child.spec.program)
+            .args(&child.spec.args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()?;
+        child.proc = Some(proc);
+        child.state = ChildState::Starting;
+        child.misses = 0;
+        child.backoff_until = None;
+        Ok(())
+    }
+
+    /// Liveness: does the child answer *any* pong within the probe
+    /// timeout? (A standby answers `draining: true`; that still
+    /// proves the process is alive and serving its socket.)
+    fn probe_alive(&self, i: usize) -> bool {
+        let child = &self.children[i];
+        match NetClient::connect(&child.spec.addr, self.cfg.probe_timeout) {
+            Ok(mut c) => c.ping().is_ok(),
+            Err(_) => false,
+        }
+    }
+
+    /// Readiness: live duty proven. A live shard must pong
+    /// non-draining and (when a canary is configured) answer a tiny
+    /// real alignment; a standby or gateway only has to pong.
+    fn probe_ready(&self, i: usize) -> bool {
+        let child = &self.children[i];
+        let Ok(mut c) = NetClient::connect(&child.spec.addr, self.cfg.probe_timeout) else {
+            return false;
+        };
+        let Ok(pong) = c.ping() else {
+            return false;
+        };
+        if child.spec.standby || child.spec.slice.is_none() {
+            return true;
+        }
+        if pong.draining {
+            return false;
+        }
+        if self.cfg.canary.is_empty() {
+            return true;
+        }
+        c.query(&self.cfg.canary, 1, 0).is_ok()
+    }
+
+    /// One supervision pass: reap exits, probe liveness, kill wedged
+    /// children, respawn out of backoff, trip quarantines, promote
+    /// standbys. Deterministic — no sleeps — so tests drive the state
+    /// machine directly.
+    pub fn tick(&mut self) -> TickReport {
+        let mut report = TickReport::default();
+        let now = Instant::now();
+        for i in 0..self.children.len() {
+            match self.children[i].state {
+                ChildState::Stopped | ChildState::Quarantined => continue,
+                ChildState::Backoff => {
+                    if self.children[i].backoff_until.is_some_and(|t| now >= t)
+                        && self.spawn_child(i).is_ok()
+                    {
+                        self.children[i].restarts.inc();
+                        report.respawns += 1;
+                        swsimd_obs::event!(
+                            "supervisor_restart",
+                            "child" => self.children[i].spec.name.clone()
+                        );
+                    }
+                    continue;
+                }
+                ChildState::Starting | ChildState::Up => {}
+            }
+
+            // Reap a real exit first: `try_wait` is the ground truth
+            // for a crashed process.
+            let exited = self.children[i]
+                .proc
+                .as_mut()
+                .map(|p| matches!(p.try_wait(), Ok(Some(_))))
+                .unwrap_or(true);
+            if exited {
+                report.deaths += 1;
+                self.on_death(i, now, &mut report);
+                continue;
+            }
+
+            // The process claims to run; does it answer the wire? A
+            // SIGSTOP'd or wedged child fails here and, after enough
+            // consecutive misses, is killed and treated as dead.
+            if self.probe_alive(i) {
+                self.children[i].misses = 0;
+                if self.children[i].state == ChildState::Starting && self.probe_ready(i) {
+                    self.children[i].state = ChildState::Up;
+                    self.children[i].backoff_exp = 0;
+                    if let Some(t0) = self.children[i].down_since.take() {
+                        let dt = now.saturating_duration_since(t0);
+                        self.metrics.recovery.record(dt.as_nanos() as u64);
+                        if dt > self.cfg.recovery_slo {
+                            swsimd_obs::event!(
+                                "recovery_slo_breach",
+                                "child" => self.children[i].spec.name.clone(),
+                                "ms" => dt.as_millis() as u64
+                            );
+                        }
+                    }
+                }
+            } else if self.children[i].state == ChildState::Up {
+                // Only an `Up` child accrues wedge misses: a `Starting`
+                // child is still loading its slice and legitimately not
+                // answering yet (a boot-time crash is caught by
+                // `try_wait` above, not by the wedge detector).
+                self.children[i].misses += 1;
+                if self.children[i].misses >= self.cfg.probe_misses {
+                    if let Some(proc) = self.children[i].proc.as_mut() {
+                        let pid = proc.id();
+                        send_signal(pid, "KILL");
+                        let _ = proc.wait();
+                        report.wedge_kills += 1;
+                        swsimd_obs::event!(
+                            "supervisor_wedge_kill",
+                            "child" => self.children[i].spec.name.clone()
+                        );
+                    }
+                    report.deaths += 1;
+                    self.on_death(i, now, &mut report);
+                }
+            }
+        }
+        report
+    }
+
+    fn on_death(&mut self, i: usize, now: Instant, report: &mut TickReport) {
+        let window = self.cfg.crash_loop_window;
+        let child = &mut self.children[i];
+        if let Some(mut proc) = child.proc.take() {
+            let _ = proc.wait();
+        }
+        child.misses = 0;
+        child.down_since.get_or_insert(now);
+        child.deaths.push(now);
+        child
+            .deaths
+            .retain(|t| now.saturating_duration_since(*t) <= window);
+
+        if child.deaths.len() >= self.cfg.crash_loop_threshold {
+            child.state = ChildState::Quarantined;
+            let name = child.spec.name.clone();
+            let slice = child.spec.slice;
+            self.metrics.quarantines.inc();
+            report.quarantines += 1;
+            swsimd_obs::event!("crash_loop_quarantine", "child" => name.clone());
+            if let Some(slice) = slice {
+                if self.promote_standby(slice) {
+                    report.promotions += 1;
+                }
+            }
+        } else {
+            // Exponential backoff: base * 2^n, capped. Never spin.
+            let exp = child.backoff_exp.min(16);
+            let delay = self
+                .cfg
+                .backoff_base
+                .saturating_mul(1u32 << exp)
+                .min(self.cfg.backoff_max);
+            child.backoff_exp += 1;
+            child.backoff_until = Some(now + delay);
+            child.state = ChildState::Backoff;
+            swsimd_obs::event!(
+                "supervisor_backoff",
+                "child" => child.spec.name.clone(),
+                "delay_ms" => delay.as_millis() as u64
+            );
+        }
+    }
+
+    /// Promote a warm standby covering `slice` (if any) with
+    /// [`Msg::Activate`]. Returns true when a standby was promoted.
+    pub fn promote_standby(&mut self, slice: u32) -> bool {
+        for child in &mut self.children {
+            let eligible = child.spec.standby
+                && child.spec.slice == Some(slice)
+                && matches!(child.state, ChildState::Starting | ChildState::Up);
+            if !eligible {
+                continue;
+            }
+            let Ok(mut c) = NetClient::connect(&child.spec.addr, self.cfg.probe_timeout) else {
+                continue;
+            };
+            if c.activate().is_err() {
+                continue;
+            }
+            child.spec.standby = false;
+            self.metrics.promotions.inc();
+            swsimd_obs::event!(
+                "standby_promoted",
+                "child" => child.spec.name.clone(),
+                "slice" => slice
+            );
+            return true;
+        }
+        false
+    }
+
+    /// Rolling restart: for each live shard replica in turn, drain it
+    /// over the wire, SIGTERM it, wait for the exit, respawn it, and
+    /// wait until it probes ready before touching the next one. The
+    /// gateway (slice `None`) and standbys are left running. Returns
+    /// how many replicas were cycled.
+    pub fn rolling_restart(&mut self) -> usize {
+        let mut cycled = 0;
+        for i in 0..self.children.len() {
+            let is_live_shard = self.children[i].spec.slice.is_some()
+                && !self.children[i].spec.standby
+                && matches!(
+                    self.children[i].state,
+                    ChildState::Up | ChildState::Starting
+                );
+            if !is_live_shard {
+                continue;
+            }
+            let name = self.children[i].spec.name.clone();
+            swsimd_obs::event!("rolling_restart_child", "child" => name.clone());
+            // Drain first so the gateway force-opens this replica's
+            // breaker off one Draining reply instead of burning
+            // retries, then terminate.
+            if let Ok(mut c) =
+                NetClient::connect(&self.children[i].spec.addr, self.cfg.probe_timeout)
+            {
+                let _ = c.drain();
+            }
+            if let Some(proc) = self.children[i].proc.as_mut() {
+                send_signal(proc.id(), "TERM");
+                let deadline = Instant::now() + self.cfg.rolling_timeout;
+                loop {
+                    match proc.try_wait() {
+                        Ok(Some(_)) => break,
+                        _ if Instant::now() >= deadline => {
+                            send_signal(proc.id(), "KILL");
+                            let _ = proc.wait();
+                            break;
+                        }
+                        _ => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            }
+            self.children[i].proc = None;
+            if self.spawn_child(i).is_err() {
+                continue;
+            }
+            self.children[i].restarts.inc();
+            swsimd_obs::event!("supervisor_restart", "child" => name.clone());
+            // Hold the sweep until this replica is back on live duty:
+            // that is what bounds the degraded window to one replica
+            // at a time.
+            let deadline = Instant::now() + self.cfg.rolling_timeout;
+            while Instant::now() < deadline {
+                if self.probe_ready(i) {
+                    self.children[i].state = ChildState::Up;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            cycled += 1;
+        }
+        if cycled > 0 {
+            self.metrics.rolling_restarts.inc();
+        }
+        cycled
+    }
+
+    /// SIGTERM every running child and wait (bounded) for exits.
+    pub fn shutdown(&mut self) {
+        for child in &mut self.children {
+            if let Some(proc) = child.proc.as_mut() {
+                send_signal(proc.id(), "TERM");
+            }
+        }
+        let deadline = Instant::now() + self.cfg.rolling_timeout;
+        for child in &mut self.children {
+            if let Some(mut proc) = child.proc.take() {
+                loop {
+                    match proc.try_wait() {
+                        Ok(Some(_)) => break,
+                        _ if Instant::now() >= deadline => {
+                            send_signal(proc.id(), "KILL");
+                            let _ = proc.wait();
+                            break;
+                        }
+                        _ => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            }
+            child.state = ChildState::Stopped;
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        // Never leak child processes, even on a panicking test path.
+        for child in &mut self.children {
+            if let Some(mut proc) = child.proc.take() {
+                send_signal(proc.id(), "KILL");
+                let _ = proc.wait();
+            }
+        }
+    }
+}
+
+/// Shard id the supervisor control endpoint reports in pongs (one
+/// below the gateway's `u32::MAX`).
+pub const SUPERVISOR_SHARD_ID: u32 = u32::MAX - 1;
+
+/// Minimal control endpoint: answers [`Msg::Ping`] and
+/// [`Msg::MetricsRequest`] (the process-global scrape, which includes
+/// every supervisor family) so `swsimd net-metrics <ctl-addr>` can
+/// read restart/quarantine counters off a running cluster.
+pub struct ControlServer {
+    addr: std::net::SocketAddr,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ControlServer {
+    /// Bind `listen` and serve until dropped.
+    pub fn start(listen: &str) -> std::io::Result<ControlServer> {
+        let listener = crate::listen::bind_reuse(listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !flag.load(std::sync::atomic::Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                        while let Ok(msg) = read_msg(&mut stream) {
+                            let reply = match msg {
+                                Msg::Ping { nonce } => Msg::Pong {
+                                    nonce,
+                                    shard: SUPERVISOR_SHARD_ID,
+                                    draining: false,
+                                },
+                                Msg::MetricsRequest => Msg::MetricsText {
+                                    text: swsimd_obs::global().prometheus_text().into_bytes(),
+                                },
+                                _ => break,
+                            };
+                            if write_msg(&mut stream, &reply).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        });
+        Ok(ControlServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound control address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ControlServer {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, slice: Option<u32>, standby: bool) -> ChildSpec {
+        ChildSpec {
+            name: name.into(),
+            slice,
+            program: "/bin/sh".into(),
+            args: vec!["-c".into(), "exit 1".into()],
+            addr: "127.0.0.1:1".into(),
+            standby,
+        }
+    }
+
+    fn fast_cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            probe_interval: Duration::from_millis(10),
+            probe_timeout: Duration::from_millis(100),
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(10),
+            crash_loop_window: Duration::from_secs(30),
+            crash_loop_threshold: 3,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    /// A child that exits immediately is reaped, backed off, and —
+    /// after `crash_loop_threshold` deaths — quarantined instead of
+    /// spinning forever.
+    #[test]
+    fn crash_loop_quarantines_instead_of_spinning() {
+        let mut sup = Supervisor::new(fast_cfg(), vec![spec("s0", Some(0), false)]);
+        sup.start().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut quarantines = 0;
+        while quarantines == 0 && Instant::now() < deadline {
+            let r = sup.tick();
+            quarantines += r.quarantines;
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(quarantines, 1, "crash loop must trip quarantine");
+        assert_eq!(sup.state("s0"), Some(ChildState::Quarantined));
+        // Parked for good: further ticks change nothing.
+        let r = sup.tick();
+        assert_eq!(r, TickReport::default());
+    }
+
+    #[test]
+    fn backoff_delay_doubles_and_caps() {
+        let cfg = SupervisorConfig {
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_millis(350),
+            ..SupervisorConfig::default()
+        };
+        // Exercised through on_death's arithmetic: 100, 200, 350, 350…
+        let mut sup = Supervisor::new(cfg, vec![spec("s0", Some(0), false)]);
+        sup.children[0].state = ChildState::Up;
+        let mut report = TickReport::default();
+        let now = Instant::now();
+        for want_ms in [100u64, 200, 350, 350] {
+            let before = Instant::now();
+            sup.children[0].deaths.clear(); // isolate backoff from quarantine
+            sup.on_death(0, now, &mut report);
+            let until = sup.children[0].backoff_until.expect("scheduled");
+            let delay = until.saturating_duration_since(now);
+            assert_eq!(delay.as_millis() as u64, want_ms, "backoff schedule");
+            assert!(before.elapsed() < Duration::from_secs(1));
+            sup.children[0].state = ChildState::Up;
+        }
+    }
+
+    #[test]
+    fn control_server_answers_ping_and_metrics() {
+        let ctl = ControlServer::start("127.0.0.1:0").unwrap();
+        let addr = ctl.local_addr().to_string();
+        let mut c = NetClient::connect(&addr, Duration::from_secs(2)).unwrap();
+        let pong = c.ping().unwrap();
+        assert_eq!(pong.shard, SUPERVISOR_SHARD_ID);
+        assert!(!pong.draining);
+        let metrics = SupervisorMetrics::new();
+        metrics.quarantines.inc();
+        let text = c.metrics().unwrap();
+        assert!(text.contains("swsimd_crash_loop_quarantines_total"));
+    }
+}

@@ -354,6 +354,11 @@ pub enum Msg {
         /// `null` in single-trace mode).
         text: Vec<u8>,
     },
+    /// Supervisor → shard: promote a warm standby to live duty. The
+    /// shard stops advertising `draining` in pongs and starts taking
+    /// queries; acknowledged with [`Msg::Pong`]. A no-op on a shard
+    /// that is already live.
+    Activate,
 }
 
 const KIND_QUERY: u8 = 1;
@@ -369,6 +374,7 @@ const KIND_SLOWLOG_REQ: u8 = 10;
 const KIND_FLIGHT_RECORDS: u8 = 11;
 const KIND_FLIGHT_JSON_REQ: u8 = 12;
 const KIND_FLIGHT_JSON: u8 = 13;
+const KIND_ACTIVATE: u8 = 14;
 
 /// Extension-tail kinds for [`Msg::Query`]/[`Msg::Hits`]. Append-only;
 /// unknown kinds are skipped by the decoder.
@@ -711,6 +717,7 @@ impl Msg {
                 out.extend_from_slice(&(text.len() as u32).to_le_bytes());
                 out.extend_from_slice(text);
             }
+            Msg::Activate => out.push(KIND_ACTIVATE),
         }
         out
     }
@@ -893,6 +900,7 @@ impl Msg {
                 let text = r.take(len, "flight json text")?.to_vec();
                 Msg::FlightJson { text }
             }
+            KIND_ACTIVATE => Msg::Activate,
             other => return Err(WireError::UnknownKind(other)),
         };
         r.done("trailing bytes")?;
@@ -1087,6 +1095,7 @@ mod tests {
         roundtrip(Msg::FlightJson {
             text: b"[]".to_vec(),
         });
+        roundtrip(Msg::Activate);
     }
 
     /// A pre-extension frame (fixed body, no tail) must decode on this

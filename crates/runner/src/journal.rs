@@ -579,23 +579,14 @@ fn merge(outputs: Vec<(Vec<Hit>, KernelStats, FaultStats)>) -> SearchOutput {
     }
 }
 
-/// Finish a search from a verified [`Journal`]: replay the journaled
-/// chunks (after validating each against the deterministic partition
-/// map) and recompute only the missing ones. The returned hits are
-/// bit-identical to an uninterrupted [`crate::parallel_search`] /
-/// [`checkpointed_search`] run; `SearchOutput::stats` covers only the
-/// recomputed chunks (replayed ones cost no cell updates — that is
-/// the point).
-pub fn resume_search<F>(
+/// Validate a journal's identity and every entry against the search
+/// it claims to checkpoint; returns the deterministic partition map
+/// replay will use.
+fn validate_journal(
     journal: &Journal,
     query: &[u8],
     db: &Database,
-    cfg: &PoolConfig,
-    make_aligner: F,
-) -> Result<(SearchOutput, ResumeStats), JournalError>
-where
-    F: Fn() -> AlignerBuilder + Sync,
-{
+) -> Result<Vec<Range<usize>>, JournalError> {
     let meta = &journal.meta;
     if meta.db_len != db.len() || meta.db_residues != db.total_residues() {
         return Err(JournalError::Mismatch("database changed"));
@@ -618,6 +609,27 @@ where
             return Err(JournalError::Corrupt("chunk hit index"));
         }
     }
+    Ok(ranges)
+}
+
+/// Finish a search from a verified [`Journal`]: replay the journaled
+/// chunks (after validating each against the deterministic partition
+/// map) and recompute only the missing ones. The returned hits are
+/// bit-identical to an uninterrupted [`crate::parallel_search`] /
+/// [`checkpointed_search`] run; `SearchOutput::stats` covers only the
+/// recomputed chunks (replayed ones cost no cell updates — that is
+/// the point).
+pub fn resume_search<F>(
+    journal: &Journal,
+    query: &[u8],
+    db: &Database,
+    cfg: &PoolConfig,
+    make_aligner: F,
+) -> Result<(SearchOutput, ResumeStats), JournalError>
+where
+    F: Fn() -> AlignerBuilder + Sync,
+{
+    let ranges = validate_journal(journal, query, db)?;
 
     let replayed: Vec<usize> = journal.entries.iter().map(|e| e.chunk).collect();
     let missing: Vec<usize> = (0..ranges.len())
@@ -705,6 +717,124 @@ where
     resume_search(&journal, query, db, cfg, make_aligner)
 }
 
+/// Like [`resume_search`], but *durable*: recomputed chunks are
+/// checkpointed back into the journal at `path` as they complete, so
+/// a crash during the resume itself still strictly grows the
+/// checkpoint. Repeated crash/resume cycles therefore make monotone
+/// progress — each resume replays everything every earlier run
+/// finished, instead of recomputing the same tail forever.
+///
+/// The on-disk journal is first rewritten through an atomic rename
+/// (header + meta + the validated replayed prefix land in a sibling
+/// `.tmp` file which then replaces `path`), which also sheds any torn
+/// tail record — appending after a torn frame would leave the new
+/// records unreachable to replay. A crash before the rename leaves
+/// the old journal intact; after it, the journal only ever grows.
+pub fn resume_checkpointed_search<F>(
+    journal: &Journal,
+    query: &[u8],
+    db: &Database,
+    cfg: &PoolConfig,
+    make_aligner: F,
+    path: &Path,
+) -> Result<(SearchOutput, ResumeStats), JournalError>
+where
+    F: Fn() -> AlignerBuilder + Sync,
+{
+    let ranges = validate_journal(journal, query, db)?;
+
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut writer = JournalWriter::create(&tmp)?;
+    writer.write_meta(&journal.meta)?;
+    for e in &journal.entries {
+        writer.append_chunk(e)?;
+    }
+    std::fs::rename(&tmp, path)?;
+
+    let replayed: Vec<usize> = journal.entries.iter().map(|e| e.chunk).collect();
+    let missing: Vec<usize> = (0..ranges.len())
+        .filter(|c| !replayed.contains(c))
+        .collect();
+    swsimd_obs::event!(
+        "journal_replay",
+        "replayed_chunks" => replayed.len(),
+        "recomputed_chunks" => missing.len(),
+        "truncated" => journal.truncated,
+        "durable" => true
+    );
+
+    let plan = &cfg.fault_plan;
+    let shadow = crate::shadow::ShadowVerifier::new(cfg.shadow);
+    let mut outputs: Vec<(Vec<Hit>, KernelStats, FaultStats)> = Vec::new();
+    let mut resume = ResumeStats {
+        replayed_chunks: replayed.len(),
+        recomputed_chunks: missing.len(),
+        replayed_hits: 0,
+    };
+    for e in &journal.entries {
+        resume.replayed_hits += e.hits.len();
+        outputs.push((
+            e.hits.clone(),
+            KernelStats::default(),
+            FaultStats::default(),
+        ));
+    }
+    std::thread::scope(|scope| -> Result<(), JournalError> {
+        let mut handles = Vec::with_capacity(missing.len());
+        for &chunk in &missing {
+            let range = ranges[chunk].clone();
+            let make_aligner = &make_aligner;
+            let shadow = &shadow;
+            let cancel = cfg.cancel.clone();
+            handles.push(scope.spawn(move || {
+                let child = cancel.as_ref().map(|parent| parent.child());
+                let g = child.as_ref().map(|token| crate::pool::PartitionGovern {
+                    token,
+                    retry: cancel.as_ref(),
+                });
+                search_partition(
+                    query,
+                    db,
+                    range,
+                    chunk,
+                    plan,
+                    shadow,
+                    make_aligner,
+                    g.as_ref(),
+                )
+            }));
+        }
+        // Join in missing-chunk order and checkpoint each result
+        // before accepting it, mirroring `checkpointed_search`: crash
+        // points stay deterministic and the journal stays a clean
+        // prefix of fully-computed chunks.
+        for (i, handle) in handles.into_iter().enumerate() {
+            let out = match handle.join() {
+                Ok(Ok(out)) => out,
+                Ok(Err(e)) => {
+                    return Err(JournalError::Io(io::Error::other(format!(
+                        "resume aborted mid-recompute: {e}"
+                    ))))
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            let chunk = missing[i];
+            plan.before_journal_append()?;
+            writer.append_chunk(&JournalEntry {
+                chunk,
+                range: ranges[chunk].clone(),
+                hits: out.0.clone(),
+            })?;
+            outputs.push(out);
+        }
+        Ok(())
+    })?;
+
+    Ok((merge(outputs), resume))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -789,6 +919,96 @@ mod tests {
             assert_eq!(stats.replayed_chunks, survive);
             assert_eq!(stats.recomputed_chunks, n_chunks - survive);
         }
+    }
+
+    /// Crash-loop coverage: kill the search at two *different*
+    /// checkpoint boundaries back-to-back — once during the initial
+    /// checkpointed run, once during the first resume — and prove the
+    /// second resume is still bit-identical to an uninterrupted run.
+    /// The durable resume must grow the journal between crashes
+    /// (monotone progress), not replay the same prefix forever.
+    #[test]
+    fn back_to_back_crashes_resume_bit_identical() {
+        let db = small_db(60, 31);
+        let q = Alphabet::protein().encode(b"MKVLAADTWGHKDDTWGHK");
+        let oracle = parallel_search(&q, &db, &cfg(4), builder);
+        let n_chunks = db.partition(4).len();
+        assert!(n_chunks >= 3, "need at least three checkpoint boundaries");
+
+        let dir = std::env::temp_dir().join(format!("swsimd-double-crash-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crashloop.swjl");
+
+        // Crash #1: initial run dies after checkpointing one chunk.
+        let mut jw = JournalWriter::create(&path).unwrap();
+        let crash1 = PoolConfig {
+            threads: 4,
+            fault_plan: FaultPlan::new().crash_after_chunks(1),
+            ..PoolConfig::default()
+        };
+        assert!(checkpointed_search(&q, &db, &crash1, builder, &mut jw).is_err());
+        drop(jw);
+        assert_eq!(read_journal_file(&path).unwrap().entries.len(), 1);
+
+        // Crash #2: the resume itself dies one checkpoint later — a
+        // different boundary than the first crash.
+        let journal = read_journal_file(&path).unwrap();
+        let crash2 = PoolConfig {
+            threads: 4,
+            fault_plan: FaultPlan::new().crash_after_chunks(1),
+            ..PoolConfig::default()
+        };
+        let died = resume_checkpointed_search(&journal, &q, &db, &crash2, builder, &path);
+        assert!(died.is_err(), "second crash must surface");
+        let grown = read_journal_file(&path).unwrap();
+        assert_eq!(
+            grown.entries.len(),
+            2,
+            "interrupted resume must have checkpointed its progress"
+        );
+
+        // Second resume: finishes clean and matches the oracle bit
+        // for bit, replaying the work both crashed runs banked.
+        let (out, stats) =
+            resume_checkpointed_search(&grown, &q, &db, &cfg(4), builder, &path).unwrap();
+        assert_eq!(out.hits, oracle.hits, "second resume must be bit-identical");
+        assert_eq!(stats.replayed_chunks, 2);
+        assert_eq!(stats.recomputed_chunks, n_chunks - 2);
+        let finished = read_journal_file(&path).unwrap();
+        assert_eq!(
+            finished.entries.len(),
+            n_chunks,
+            "journal holds every chunk"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The durable resume's rename step sheds a torn tail record, so
+    /// fresh checkpoints are never appended into unreachable space.
+    #[test]
+    fn durable_resume_sheds_torn_tail() {
+        let db = small_db(40, 32);
+        let q = Alphabet::protein().encode(b"MKVLAADTW");
+        let oracle = parallel_search(&q, &db, &cfg(3), builder);
+        let mut jw = JournalWriter::new(Vec::new()).unwrap();
+        checkpointed_search(&q, &db, &cfg(3), builder, &mut jw).unwrap();
+        let full = jw.into_inner();
+        // Tear mid-way through the final record.
+        let torn = &full[..full.len() - 7];
+        let journal = read_journal(torn).unwrap();
+        assert!(journal.truncated);
+
+        let dir = std::env::temp_dir().join(format!("swsimd-torn-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.swjl");
+        std::fs::write(&path, torn).unwrap();
+        let (out, _) =
+            resume_checkpointed_search(&journal, &q, &db, &cfg(3), builder, &path).unwrap();
+        assert_eq!(out.hits, oracle.hits);
+        let reread = read_journal_file(&path).unwrap();
+        assert!(!reread.truncated, "rewritten journal must be clean");
+        assert_eq!(reread.entries.len(), db.partition(3).len());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   --brownout-high MS / --brownout-low MS / --brownout-dwell MS
 //!                        queue-delay watermarks for stepwise brownout
 //!                        degradation (high 0 = off, the default)
+//!   --standby            start as a warm standby: slice loaded and hot,
+//!                        pongs say draining, queries refused until a
+//!                        supervisor promotes it with an Activate frame
 //! swsimd serve --shards "a,b;c;d" [options]               scatter-gather gateway
 //!   --listen ADDR        bind address (default 127.0.0.1:0)
 //!   --retry-budget N     attempts per shard group (default 3)
@@ -32,6 +35,28 @@
 //!   --tenant-inflight N  per-tenant concurrent-query cap (0 = off)
 //!   --rate R             per-tenant edge buckets, "acme=RATE[:BURST],..."
 //!                        in query bytes/second
+//!   --canary SEQ         re-admission canary: a breaker only closes after
+//!                        the replica answers this tiny real alignment,
+//!                        not just a ping (protein residues; off by default)
+//! swsimd cluster <db.fasta> [options]                     self-healing supervisor
+//!   spawns shards + gateway as child processes, restarts crashes with
+//!   exponential backoff, quarantines crash loops, promotes standbys.
+//!   SIGTERM drains the topology; SIGHUP triggers a rolling restart.
+//!   --shards N           slices (default 1)
+//!   --replicas N         live replicas per slice (default 1)
+//!   --standbys N         warm standbys per slice (default 0)
+//!   --listen ADDR        gateway bind address (default: picked, printed)
+//!   --control ADDR       supervisor control endpoint answering ping +
+//!                        net-metrics (default: picked; printed as the
+//!                        "listening on" contract line)
+//!   --journal-dir DIR    per-child journal dirs DIR/<child-name>
+//!   --probe-interval MS / --probe-timeout MS / --probe-misses N
+//!   --backoff-base MS / --backoff-max MS                  respawn schedule
+//!   --crash-window MS / --crash-threshold N               quarantine policy
+//!   --recovery-slo MS    log recovery_slo_breach beyond this (default 10000)
+//!   --chaos-seed N       inject a seeded fault schedule against the shard
+//!                        children (0 = off; SWSIMD_CHAOS_SEED overrides)
+//!   --chaos-events N / --chaos-horizon MS                 schedule shape
 //! swsimd query <addr> <query.fasta> [--top K] [--deadline MS] [--tenant NAME]
 //!   prints `trace=0x<id>` per query; feed it to `swsimd trace`
 //! swsimd trace <addr> <trace-id> [--json]                 flight record for one request
@@ -410,9 +435,14 @@ mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static TERM: AtomicBool = AtomicBool::new(false);
+    static HUP: AtomicBool = AtomicBool::new(false);
 
     extern "C" fn on_term(_sig: i32) {
         TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_hup(_sig: i32) {
+        HUP.store(true, Ordering::SeqCst);
     }
 
     extern "C" {
@@ -429,15 +459,33 @@ mod sig {
         }
     }
 
+    /// SIGHUP latch for the cluster supervisor's rolling restart.
+    pub fn install_hup() {
+        const SIGHUP: i32 = 1;
+        let handler = on_hup as *const () as usize;
+        unsafe {
+            signal(SIGHUP, handler);
+        }
+    }
+
     pub fn termed() -> bool {
         TERM.load(Ordering::SeqCst)
+    }
+
+    /// Consume a pending SIGHUP (true at most once per signal).
+    pub fn take_hupped() -> bool {
+        HUP.swap(false, Ordering::SeqCst)
     }
 }
 
 #[cfg(not(unix))]
 mod sig {
     pub fn install() {}
+    pub fn install_hup() {}
     pub fn termed() -> bool {
+        false
+    }
+    pub fn take_hupped() -> bool {
         false
     }
 }
@@ -579,8 +627,12 @@ fn brownout_from_opts(
 
 /// Run one shard worker until SIGTERM, then drain gracefully.
 fn cmd_shard(db_path: &str, rest: &[String]) -> Result<(), String> {
+    // `--standby` is a bare flag, not a key=value pair: peel it off
+    // before the splitter (which would otherwise eat the next arg).
+    let standby = rest.iter().any(|a| a == "--standby");
+    let rest: Vec<String> = rest.iter().filter(|a| *a != "--standby").cloned().collect();
     let (net, passthrough) = split_net_opts(
-        rest,
+        &rest,
         &[
             "--listen",
             "--shard-index",
@@ -617,6 +669,7 @@ fn cmd_shard(db_path: &str, rest: &[String]) -> Result<(), String> {
         journal_dir: o.journal.clone(),
         drain_timeout: std::time::Duration::from_millis(net_u64(&net, "--drain-timeout", 5000)?),
         threads: o.threads,
+        standby,
         fault: Default::default(),
     };
     if cfg.shard_index >= cfg.shard_count {
@@ -673,6 +726,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--health-period",
             "--tenant-inflight",
             "--rate",
+            "--canary",
         ],
     )?;
     if !leftover.is_empty() {
@@ -722,6 +776,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 None => Default::default(),
             },
         },
+        canary: match net.get("--canary") {
+            Some(seq) => swsimd::matrices::Alphabet::protein().encode(seq.as_bytes()),
+            None => Vec::new(),
+        },
         fault: Default::default(),
     };
     let slices = cfg.shards.len();
@@ -762,6 +820,281 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     } else {
         Err("gateway: drain timeout expired with queries in flight".into())
     }
+}
+
+/// Canary alignment used for breaker re-admission and supervisor
+/// readiness: tiny, real, and cheap against any slice.
+const CLUSTER_CANARY: &str = "MKVLAADTW";
+
+/// Run the self-healing cluster supervisor: spawn shards, standbys,
+/// and the gateway as children, then babysit them until SIGTERM.
+fn cmd_cluster(db_path: &str, rest: &[String]) -> Result<(), String> {
+    let (net, passthrough) = split_net_opts(
+        rest,
+        &[
+            "--shards",
+            "--replicas",
+            "--standbys",
+            "--listen",
+            "--control",
+            "--journal-dir",
+            "--probe-interval",
+            "--probe-timeout",
+            "--probe-misses",
+            "--backoff-base",
+            "--backoff-max",
+            "--crash-window",
+            "--crash-threshold",
+            "--recovery-slo",
+            "--chaos-seed",
+            "--chaos-events",
+            "--chaos-horizon",
+        ],
+    )?;
+    if passthrough.iter().any(|a| a == "--journal") {
+        return Err("cluster: use --journal-dir; per-child journal paths are derived".into());
+    }
+    // Validate the passthrough opts here rather than letting N children
+    // die on the same typo.
+    parse_opts(&passthrough)?;
+
+    let shards = net_u64(&net, "--shards", 1)? as u32;
+    let replicas = net_u64(&net, "--replicas", 1)? as u32;
+    let standbys = net_u64(&net, "--standbys", 0)? as u32;
+    if shards == 0 || replicas == 0 {
+        return Err("cluster: --shards and --replicas must be >= 1".into());
+    }
+    let journal_dir = net.get("--journal-dir").cloned();
+    if let Some(dir) = &journal_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cluster: --journal-dir: {e}"))?;
+    }
+
+    let exe = std::env::current_exe().map_err(|e| format!("cluster: current_exe: {e}"))?;
+    let pick = |key: &str| -> Result<String, String> {
+        match net.get(key) {
+            Some(a) => Ok(a.clone()),
+            None => swsimd::net::Supervisor::pick_addr().map_err(|e| format!("cluster: {e}")),
+        }
+    };
+
+    // Build the topology: every replica and standby gets a pre-picked
+    // port so the gateway can list standbys up front — promotion needs
+    // no reconfiguration, the breaker just starts admitting it.
+    let mut specs: Vec<swsimd::net::ChildSpec> = Vec::new();
+    let mut groups: Vec<Vec<String>> = vec![Vec::new(); shards as usize];
+    for s in 0..shards {
+        for r in 0..replicas + standbys {
+            let standby = r >= replicas;
+            let name = if standby {
+                format!("shard{s}-standby{}", r - replicas)
+            } else {
+                format!("shard{s}-r{r}")
+            };
+            let addr = swsimd::net::Supervisor::pick_addr().map_err(|e| format!("cluster: {e}"))?;
+            let mut args: Vec<String> = vec![
+                "shard".into(),
+                db_path.into(),
+                "--listen".into(),
+                addr.clone(),
+                "--shard-index".into(),
+                s.to_string(),
+                "--shards".into(),
+                shards.to_string(),
+            ];
+            if standby {
+                args.push("--standby".into());
+            }
+            if let Some(dir) = &journal_dir {
+                let child_dir = std::path::Path::new(dir).join(&name);
+                std::fs::create_dir_all(&child_dir)
+                    .map_err(|e| format!("cluster: journal dir for {name}: {e}"))?;
+                args.push("--journal".into());
+                args.push(child_dir.display().to_string());
+            }
+            args.extend(passthrough.iter().cloned());
+            groups[s as usize].push(addr.clone());
+            specs.push(swsimd::net::ChildSpec {
+                name,
+                slice: Some(s),
+                program: exe.clone(),
+                args,
+                addr,
+                standby,
+            });
+        }
+    }
+    let gw_addr = pick("--listen")?;
+    let topology: String = groups
+        .iter()
+        .map(|g| g.join(","))
+        .collect::<Vec<_>>()
+        .join(";");
+    specs.push(swsimd::net::ChildSpec {
+        name: "gateway".into(),
+        slice: None,
+        program: exe,
+        args: vec![
+            "serve".into(),
+            "--shards".into(),
+            topology,
+            "--listen".into(),
+            gw_addr.clone(),
+            "--canary".into(),
+            CLUSTER_CANARY.into(),
+        ],
+        addr: gw_addr.clone(),
+        standby: false,
+    });
+
+    let defaults = swsimd::net::SupervisorConfig::default();
+    let cfg = swsimd::net::SupervisorConfig {
+        probe_interval: std::time::Duration::from_millis(net_u64(
+            &net,
+            "--probe-interval",
+            defaults.probe_interval.as_millis() as u64,
+        )?),
+        probe_timeout: std::time::Duration::from_millis(net_u64(
+            &net,
+            "--probe-timeout",
+            defaults.probe_timeout.as_millis() as u64,
+        )?),
+        probe_misses: net_u64(&net, "--probe-misses", defaults.probe_misses as u64)? as u32,
+        backoff_base: std::time::Duration::from_millis(net_u64(
+            &net,
+            "--backoff-base",
+            defaults.backoff_base.as_millis() as u64,
+        )?),
+        backoff_max: std::time::Duration::from_millis(net_u64(
+            &net,
+            "--backoff-max",
+            defaults.backoff_max.as_millis() as u64,
+        )?),
+        crash_loop_window: std::time::Duration::from_millis(net_u64(
+            &net,
+            "--crash-window",
+            defaults.crash_loop_window.as_millis() as u64,
+        )?),
+        crash_loop_threshold: net_u64(
+            &net,
+            "--crash-threshold",
+            defaults.crash_loop_threshold as u64,
+        )? as usize,
+        canary: swsimd::matrices::Alphabet::protein().encode(CLUSTER_CANARY.as_bytes()),
+        recovery_slo: std::time::Duration::from_millis(net_u64(
+            &net,
+            "--recovery-slo",
+            defaults.recovery_slo.as_millis() as u64,
+        )?),
+        rolling_timeout: defaults.rolling_timeout,
+    };
+    let probe_interval = cfg.probe_interval;
+
+    // Seeded chaos against the shard children (never the gateway):
+    // only built when requested, and the seed is always logged so a
+    // bad run replays exactly.
+    let chaos_seed = swsimd::net::seed_from_env(net_u64(&net, "--chaos-seed", 0)?);
+    let chaos_targets: Vec<String> = specs
+        .iter()
+        .filter(|s| s.slice.is_some() && !s.standby)
+        .map(|s| s.name.clone())
+        .collect();
+    let chaos = if chaos_seed != 0 {
+        let horizon = std::time::Duration::from_millis(net_u64(&net, "--chaos-horizon", 30_000)?);
+        let count = net_u64(&net, "--chaos-events", 20)? as usize;
+        let schedule =
+            swsimd::net::ChaosSchedule::generate(chaos_seed, chaos_targets.len(), horizon, count);
+        eprintln!(
+            "cluster: chaos seed {} ({} events over {:?})",
+            schedule.seed,
+            schedule.events.len(),
+            horizon
+        );
+        Some(schedule)
+    } else {
+        None
+    };
+
+    sig::install();
+    sig::install_hup();
+    let mut sup = swsimd::net::Supervisor::new(cfg, specs);
+    sup.start().map_err(|e| format!("cluster: start: {e}"))?;
+    let ctl_addr = pick("--control")?;
+    let ctl = swsimd::net::supervisor::ControlServer::start(&ctl_addr)
+        .map_err(|e| format!("cluster: control: {e}"))?;
+    // The control endpoint is the supervisor's contract line: ping it,
+    // scrape it with `swsimd net-metrics`.
+    println!("listening on {}", ctl.local_addr());
+    println!("gateway listening on {gw_addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "cluster: {shards} slice(s) x {replicas} replica(s) + {standbys} standby(s), gateway {gw_addr}"
+    );
+
+    let started = std::time::Instant::now();
+    let mut last_poll = std::time::Duration::ZERO;
+    while !sig::termed() {
+        if sig::take_hupped() {
+            eprintln!("cluster: SIGHUP -> rolling restart");
+            let cycled = sup.rolling_restart();
+            eprintln!("cluster: rolling restart cycled {cycled} replica(s)");
+        }
+        let report = sup.tick();
+        if report.deaths + report.respawns + report.quarantines + report.promotions > 0 {
+            eprintln!(
+                "cluster: tick deaths={} respawns={} quarantines={} promotions={} wedge_kills={}",
+                report.deaths,
+                report.respawns,
+                report.quarantines,
+                report.promotions,
+                report.wedge_kills
+            );
+        }
+        if let Some(schedule) = &chaos {
+            let now = started.elapsed();
+            for event in schedule.due(last_poll, now) {
+                let name = &chaos_targets[event.target];
+                let Some(pid) = sup.pid(name) else { continue };
+                match event.fault {
+                    swsimd::net::ChaosFault::Kill => {
+                        eprintln!("chaos: KILL {name} (pid {pid})");
+                        swsimd::net::chaos::send_signal(pid, "KILL");
+                    }
+                    swsimd::net::ChaosFault::Stop { ms }
+                    | swsimd::net::ChaosFault::Delay { ms } => {
+                        eprintln!("chaos: STOP {name} (pid {pid}) for {ms}ms");
+                        if swsimd::net::chaos::send_signal(pid, "STOP") {
+                            std::thread::spawn(move || {
+                                std::thread::sleep(std::time::Duration::from_millis(ms));
+                                swsimd::net::chaos::send_signal(pid, "CONT");
+                            });
+                        }
+                    }
+                    swsimd::net::ChaosFault::Partition { attempts } => {
+                        // Gateway-side connect refusal lives in the
+                        // soak test harness; from the CLI a partition
+                        // degrades to a short stall.
+                        eprintln!("chaos: partition({attempts}) on {name} -> 250ms stall");
+                        if swsimd::net::chaos::send_signal(pid, "STOP") {
+                            std::thread::spawn(move || {
+                                std::thread::sleep(std::time::Duration::from_millis(250));
+                                swsimd::net::chaos::send_signal(pid, "CONT");
+                            });
+                        }
+                    }
+                }
+            }
+            last_poll = now;
+        }
+        std::thread::sleep(probe_interval);
+    }
+    eprintln!("cluster: SIGTERM -> draining topology");
+    sup.shutdown();
+    for (name, state) in sup.states() {
+        eprintln!("cluster: {name} final state {state:?}");
+    }
+    eprintln!("cluster: down");
+    Ok(())
 }
 
 /// Query a shard or gateway over the wire.
@@ -1009,7 +1342,7 @@ fn maybe_install_trace_sink() {
 fn main() -> ExitCode {
     maybe_install_trace_sink();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: swsimd <align|search|shard|serve|query|trace|slowlog|net-metrics|net-drain|info|selftest> [paths...] [options] (see --help in source)";
+    let usage = "usage: swsimd <align|search|shard|serve|cluster|query|trace|slowlog|net-metrics|net-drain|info|selftest> [paths...] [options] (see --help in source)";
     let result = match args.first().map(String::as_str) {
         Some("align") if args.len() >= 3 => {
             // Boot battery runs before --engine parsing so that a
@@ -1027,6 +1360,7 @@ fn main() -> ExitCode {
             cmd_shard(&args[1], &args[2..])
         }
         Some("serve") => cmd_serve(&args[1..]),
+        Some("cluster") if args.len() >= 2 => cmd_cluster(&args[1], &args[2..]),
         Some("query") if args.len() >= 3 => cmd_net_query(&args[1], &args[2], &args[3..]),
         Some("trace") if args.len() >= 3 => cmd_trace(&args[1], &args[2], &args[3..]),
         Some("slowlog") if args.len() >= 2 => cmd_slowlog(&args[1], &args[2..]),

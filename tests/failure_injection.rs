@@ -283,10 +283,15 @@ mod server_faults {
         let plug = client.submit(enc(20, 30), 1, None).expect("plug admitted");
         let t0 = Instant::now();
         while server.queue_depth() > 0 {
-            assert!(t0.elapsed() < Duration::from_secs(5), "plug never picked up");
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "plug never picked up"
+            );
             std::thread::sleep(Duration::from_millis(1));
         }
-        let filler = client.submit(enc(20, 31), 1, None).expect("filler admitted");
+        let filler = client
+            .submit(enc(20, 31), 1, None)
+            .expect("filler admitted");
         match client.try_query(enc(20, 60), 1) {
             Err(ServeError::QueueFull { .. }) => {}
             other => panic!("sustained load never shed: {other:?}"),

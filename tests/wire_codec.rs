@@ -265,6 +265,7 @@ proptest! {
             Msg::Drain,
             Msg::MetricsRequest,
             Msg::MetricsText { text },
+            Msg::Activate,
         ] {
             prop_assert_eq!(roundtrip(&msg), msg);
         }
@@ -291,10 +292,11 @@ fn fuzz_cases() -> u64 {
 
 /// A pseudo-random valid message to mutate.
 fn arbitrary_msg(seed: &mut u64) -> Msg {
-    match splitmix64(seed) % 8 {
+    match splitmix64(seed) % 9 {
         0 => Msg::Ping {
             nonce: splitmix64(seed),
         },
+        8 => Msg::Activate,
         1 => Msg::Pong {
             nonce: splitmix64(seed),
             shard: (splitmix64(seed) % 64) as u32,
