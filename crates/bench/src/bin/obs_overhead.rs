@@ -242,6 +242,45 @@ fn main() {
         brownout_overhead * 100.0
     );
 
+    // 2g. Stream-path bookkeeping: what the streaming result path adds
+    //     per delivered chunk on top of the search itself — digesting
+    //     the chunk's top-k-capped ranking, re-encoding the resume
+    //     token (binary wire form; hex only happens on an operator
+    //     interrupt), and the heartbeat clock checks the front performs
+    //     while forwarding. None of it touches the kernel, so it is
+    //     gated like the rest of the idle machinery.
+    const CHUNK_HITS: usize = 8;
+    let chunk_hits: Vec<swsimd_core::Hit> = (0..CHUNK_HITS)
+        .map(|i| swsimd_core::Hit {
+            db_index: i * 37,
+            score: 1000 - i as i32,
+            precision: Precision::I16,
+        })
+        .collect();
+    let token = swsimd_net::StreamToken {
+        trace_id: 0xFACE,
+        query_crc: 0xB00C,
+        top_k: CHUNK_HITS as u32,
+        cursors: (0..3u32).map(|s| (s, 1 + s as u64)).collect(),
+    };
+    const HEARTBEAT_CHECKS: usize = 4;
+    let stream_secs = time_per_call(
+        || {
+            std::hint::black_box(swsimd_net::ranking_digest(&chunk_hits));
+            std::hint::black_box(token.encode());
+            for _ in 0..HEARTBEAT_CHECKS {
+                std::hint::black_box(std::time::Instant::now());
+            }
+        },
+        budget_ms.min(50),
+    );
+    let stream_overhead = stream_secs / kernel_secs;
+    println!(
+        "  stream-path bookkeeping:   {:.1} ns per {CHUNK_HITS}-hit chunk ({:.4}% of kernel)",
+        stream_secs * 1e9,
+        stream_overhead * 100.0
+    );
+
     // 3. Informational: the same kernel with a counting sink installed
     //    (the cost ceiling a subscriber pays; not gated).
     let sink = Arc::new(CountingSink(AtomicU64::new(0)));
@@ -291,6 +330,7 @@ fn main() {
         ("trace-ctx-plumbing", trace_ctx_overhead),
         ("flight-recorder", flight_overhead),
         ("brownout-idle", brownout_overhead),
+        ("stream-bookkeeping", stream_overhead),
     ] {
         if ratio < limit {
             println!(

@@ -4,6 +4,7 @@
 //! both answer the same frames. One request per call; the connection
 //! is reused across calls on the same [`NetClient`].
 
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -11,9 +12,10 @@ use std::time::Duration;
 use swsimd_core::Hit;
 use swsimd_obs::flight::AuditRecord;
 use swsimd_obs::trace::TraceCtx;
-use swsimd_runner::Fidelity;
+use swsimd_runner::{rank_hits, Fidelity};
+use swsimd_seq::integrity::crc32;
 
-use crate::wire::{read_msg, write_msg, Msg, RemoteError, WireError};
+use crate::wire::{ranking_digest, read_msg, write_msg, Msg, RemoteError, StreamToken, WireError};
 
 /// Client-side failure: transport/framing, a typed remote error, or a
 /// protocol violation (unexpected frame kind).
@@ -276,6 +278,263 @@ impl NetClient {
             } => Ok(PongReply { shard, draining }),
             _ => Err(NetError::Unexpected("non-pong frame for Drain")),
         }
+    }
+
+    /// Open a streaming query: chunks of ranked hits arrive
+    /// incrementally, interleaved with [`StreamEvent::Progress`]
+    /// heartbeats, terminated by [`StreamEvent::Fin`]. `credit` is
+    /// the number of chunks the server may push before waiting for
+    /// [`StreamHandle::grant`] — the client's receive-buffer bound.
+    pub fn stream_query(
+        &mut self,
+        query: &[u8],
+        top_k: usize,
+        deadline_ms: u32,
+        credit: u32,
+    ) -> Result<StreamHandle<'_>, NetError> {
+        self.stream_query_traced(query, top_k, deadline_ms, credit, TraceCtx::default(), "")
+    }
+
+    /// [`NetClient::stream_query`] under a caller trace context,
+    /// billed to `tenant`.
+    pub fn stream_query_traced(
+        &mut self,
+        query: &[u8],
+        top_k: usize,
+        deadline_ms: u32,
+        credit: u32,
+        trace: TraceCtx,
+        tenant: &str,
+    ) -> Result<StreamHandle<'_>, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_msg(
+            &mut self.stream,
+            &Msg::StreamQuery {
+                id,
+                top_k: top_k as u32,
+                deadline_ms,
+                slice_index: 0,
+                slice_count: 0,
+                credit: credit.max(1),
+                cursor: 0,
+                query: query.to_vec(),
+                trace,
+                tenant: tenant.to_string(),
+            },
+        )?;
+        Ok(StreamHandle {
+            client: self,
+            id,
+            top_k: top_k as u32,
+            query_crc: crc32(query),
+            trace_id: 0,
+            delivered: BTreeMap::new(),
+            hits: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Continue an interrupted stream from its resume token. Chunks
+    /// the token already covers are not re-sent; the terminal
+    /// [`StreamEvent::Fin`] digest still describes the *complete*
+    /// ranking, so a caller that kept the pre-interrupt chunks can
+    /// verify the stitched result byte-for-byte.
+    pub fn resume_stream(
+        &mut self,
+        token: &StreamToken,
+        query: &[u8],
+        deadline_ms: u32,
+        credit: u32,
+    ) -> Result<StreamHandle<'_>, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_msg(
+            &mut self.stream,
+            &Msg::Resume {
+                id,
+                deadline_ms,
+                credit: credit.max(1),
+                token: token.clone(),
+                query: query.to_vec(),
+                trace: TraceCtx::default(),
+                tenant: String::new(),
+            },
+        )?;
+        Ok(StreamHandle {
+            client: self,
+            id,
+            top_k: token.top_k,
+            query_crc: token.query_crc,
+            trace_id: token.trace_id,
+            delivered: token.cursors.iter().copied().collect(),
+            hits: Vec::new(),
+            finished: false,
+        })
+    }
+}
+
+/// One increment of a streamed query, as seen by the client.
+#[derive(Debug)]
+pub enum StreamEvent {
+    /// A new chunk of ranked hits (duplicates are filtered out before
+    /// this surfaces).
+    Chunk {
+        /// Slice the chunk came from.
+        shard: u32,
+        /// Monotone 1-based cursor within that slice's stream.
+        cursor: u64,
+        /// The chunk's ranked hits.
+        hits: Vec<Hit>,
+    },
+    /// Liveness heartbeat with work accounting (`cells_total` 0 =
+    /// unknown).
+    Progress {
+        /// Matrix cells computed so far.
+        cells_done: u64,
+        /// Total matrix cells the query costs.
+        cells_total: u64,
+    },
+    /// Terminal event: the stream completed.
+    Fin(FinReply),
+}
+
+/// The terminal frame of a completed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinReply {
+    /// [`ranking_digest`] of the complete final ranking; compare with
+    /// [`StreamHandle::digest`] to verify the assembled result.
+    pub digest: u32,
+    /// True when one or more shards could not contribute.
+    pub degraded: bool,
+    /// Slice indices missing from a degraded stream.
+    pub missing_shards: Vec<u32>,
+    /// Distributed trace id of the stream (0 = untraced peer).
+    pub trace_id: u64,
+    /// Fidelity the stream was served at.
+    pub fidelity: Fidelity,
+}
+
+/// An in-progress streamed query. Holds the connection exclusively
+/// until [`StreamEvent::Fin`] (or an error) ends it. The handle folds
+/// every chunk into a running client-side ranking and tracks
+/// per-slice cursors, so [`StreamHandle::token`] can mint a resume
+/// token at any moment — including after an interrupt.
+pub struct StreamHandle<'a> {
+    client: &'a mut NetClient,
+    id: u64,
+    top_k: u32,
+    query_crc: u32,
+    trace_id: u64,
+    delivered: BTreeMap<u32, u64>,
+    hits: Vec<Hit>,
+    finished: bool,
+}
+
+impl StreamHandle<'_> {
+    /// Block for the next stream event. Duplicate chunks (hedged or
+    /// resumed upstream streams) are deduplicated by `(shard,
+    /// cursor)` and never surface.
+    ///
+    /// Not an [`Iterator`]: events are fallible and the handle also
+    /// exposes credit/token state between calls.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<StreamEvent, NetError> {
+        loop {
+            match read_msg(&mut self.client.stream)? {
+                Msg::StreamChunk {
+                    id,
+                    shard,
+                    cursor,
+                    hits,
+                } if id == self.id => {
+                    let seen = self.delivered.get(&shard).copied().unwrap_or(0);
+                    if cursor <= seen {
+                        continue;
+                    }
+                    self.delivered.insert(shard, cursor);
+                    self.hits.extend(hits.iter().cloned());
+                    self.hits = rank_hits(std::mem::take(&mut self.hits), self.top_k as usize);
+                    return Ok(StreamEvent::Chunk {
+                        shard,
+                        cursor,
+                        hits,
+                    });
+                }
+                Msg::Progress {
+                    id,
+                    cells_done,
+                    cells_total,
+                } if id == self.id => {
+                    return Ok(StreamEvent::Progress {
+                        cells_done,
+                        cells_total,
+                    })
+                }
+                Msg::Fin {
+                    id,
+                    digest,
+                    degraded,
+                    missing_shards,
+                    trace_id,
+                    fidelity,
+                } if id == self.id => {
+                    self.finished = true;
+                    if trace_id != 0 {
+                        self.trace_id = trace_id;
+                    }
+                    return Ok(StreamEvent::Fin(FinReply {
+                        digest,
+                        degraded,
+                        missing_shards,
+                        trace_id,
+                        fidelity,
+                    }));
+                }
+                Msg::Error { err, .. } => return Err(NetError::Remote(err)),
+                _ => return Err(NetError::Unexpected("non-stream frame mid-stream")),
+            }
+        }
+    }
+
+    /// Grant the server permission to push `credits` more chunks.
+    pub fn grant(&mut self, credits: u32) -> Result<(), NetError> {
+        write_msg(
+            &mut self.client.stream,
+            &Msg::Credit {
+                id: self.id,
+                credits,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Mint a resume token describing everything delivered so far.
+    /// Feed it to [`NetClient::resume_stream`] (with the same query
+    /// bytes) to continue after an interruption.
+    pub fn token(&self) -> StreamToken {
+        StreamToken {
+            trace_id: self.trace_id,
+            query_crc: self.query_crc,
+            top_k: self.top_k,
+            cursors: self.delivered.iter().map(|(&s, &c)| (s, c)).collect(),
+        }
+    }
+
+    /// The running client-side fold of every chunk received by *this*
+    /// handle (a resumed handle only holds post-resume chunks).
+    pub fn ranking(&self) -> &[Hit] {
+        &self.hits
+    }
+
+    /// [`ranking_digest`] of [`StreamHandle::ranking`].
+    pub fn digest(&self) -> u32 {
+        ranking_digest(&self.hits)
+    }
+
+    /// True once [`StreamEvent::Fin`] has been observed.
+    pub fn finished(&self) -> bool {
+        self.finished
     }
 }
 

@@ -10,21 +10,30 @@
 //! queries get [`RemoteError::Draining`] while health and metrics
 //! frames still answer.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use swsimd_core::CancelReason;
+use swsimd_core::{CancelReason, Hit};
 use swsimd_obs::trace::TraceCtx;
+use swsimd_seq::integrity::crc32;
 
-use crate::gateway::Gateway;
-use crate::metrics::NetCancelled;
+use crate::gateway::{Gateway, StreamItem};
+use crate::metrics::{AbandonReason, NetCancelled, StreamMetrics};
 use crate::shard::{flight_json, flight_limit};
-use crate::wire::{read_msg, write_msg, Msg, RemoteError, WireError};
+use crate::wire::{ranking_digest, read_msg, write_msg, Msg, RemoteError, WireError};
 
 const POLL_STEP: Duration = Duration::from_millis(5);
 const ACCEPT_STEP: Duration = Duration::from_millis(10);
+
+/// Cadence of [`Msg::Progress`] heartbeats on an otherwise-quiet
+/// client stream: liveness proof between chunks.
+const STREAM_HEARTBEAT: Duration = Duration::from_millis(250);
+
+/// Default idle cutoff for a silent peer when none is configured.
+const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Shard id a gateway reports in [`Msg::Pong`].
 pub const GATEWAY_SHARD_ID: u32 = u32::MAX;
@@ -35,6 +44,10 @@ struct FrontShared {
     stopping: AtomicBool,
     in_flight: AtomicUsize,
     cancelled: NetCancelled,
+    stream: StreamMetrics,
+    /// Per-connection read timeout: the cutoff for a peer that sends
+    /// *nothing* — streams stay alive under it via heartbeats.
+    idle_timeout: Duration,
 }
 
 /// A running gateway front door.
@@ -47,11 +60,25 @@ pub struct GatewayServer {
 }
 
 impl GatewayServer {
-    /// Bind `listen` and serve `gateway` until shutdown.
+    /// Bind `listen` and serve `gateway` until shutdown, with the
+    /// default idle timeout.
     pub fn start(
         gateway: Gateway,
         listen: &str,
         drain_timeout: Duration,
+    ) -> std::io::Result<GatewayServer> {
+        Self::start_with_idle_timeout(gateway, listen, drain_timeout, DEFAULT_IDLE_TIMEOUT)
+    }
+
+    /// [`GatewayServer::start`] with an explicit idle timeout — the
+    /// read cutoff for a completely silent peer. Streams outlive it
+    /// through [`Msg::Progress`] heartbeats; only a dead connection
+    /// trips it.
+    pub fn start_with_idle_timeout(
+        gateway: Gateway,
+        listen: &str,
+        drain_timeout: Duration,
+        idle_timeout: Duration,
     ) -> std::io::Result<GatewayServer> {
         // SO_REUSEADDR so a supervisor-respawned gateway rebinds its
         // published port straight through TIME_WAIT.
@@ -64,6 +91,8 @@ impl GatewayServer {
             stopping: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             cancelled: NetCancelled::new(),
+            stream: StreamMetrics::new(),
+            idle_timeout,
         });
         let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
         let accept_shared = Arc::clone(&shared);
@@ -183,8 +212,7 @@ fn peer_gone(stream: &TcpStream) -> bool {
 }
 
 fn serve_conn(mut stream: TcpStream, shared: Arc<FrontShared>) -> std::io::Result<()> {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    crate::listen::apply_socket_opts(&stream, Some(shared.idle_timeout), "gateway_front");
     loop {
         loop {
             if shared.stopping.load(Ordering::Acquire) {
@@ -297,14 +325,292 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<FrontShared>) -> std::io::Resul
                     return Ok(());
                 }
             }
+            Msg::StreamQuery {
+                id,
+                top_k,
+                deadline_ms,
+                credit,
+                query,
+                trace,
+                tenant,
+                ..
+            } => {
+                let req = StreamReq {
+                    id,
+                    top_k,
+                    deadline_ms,
+                    credit,
+                    query,
+                    trace,
+                    tenant,
+                    filter: HashMap::new(),
+                };
+                if !handle_stream(&shared, &mut stream, req) {
+                    return Ok(());
+                }
+            }
+            Msg::Resume {
+                id,
+                deadline_ms,
+                credit,
+                token,
+                query,
+                trace,
+                tenant,
+            } => {
+                if token.query_crc != crc32(&query) {
+                    // The token binds the query by hash; these bytes
+                    // are not the query it claims to continue.
+                    if write_msg(
+                        &mut stream,
+                        &Msg::Error {
+                            id,
+                            err: RemoteError::BadResumeToken,
+                        },
+                    )
+                    .is_err()
+                    {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                shared.stream.resumes.inc();
+                swsimd_obs::event!(
+                    "stream_resume",
+                    "id" => id,
+                    "trace_id" => token.trace_id,
+                    "slices" => token.cursors.len()
+                );
+                let req = StreamReq {
+                    id,
+                    // The resumed merge must run at the original depth
+                    // or the Fin digest would describe a different
+                    // ranking than the one the client assembled.
+                    top_k: token.top_k,
+                    deadline_ms,
+                    credit,
+                    query,
+                    trace,
+                    tenant,
+                    filter: token.cursors.iter().copied().collect(),
+                };
+                if !handle_stream(&shared, &mut stream, req) {
+                    return Ok(());
+                }
+            }
+            // Reply kinds (and mid-stream frames outside a stream) on
+            // a fresh request slot are a protocol violation: close.
             Msg::Hits { .. }
             | Msg::Error { .. }
             | Msg::Pong { .. }
             | Msg::MetricsText { .. }
             | Msg::FlightRecords { .. }
-            | Msg::FlightJson { .. } => return Ok(()),
+            | Msg::FlightJson { .. }
+            | Msg::StreamChunk { .. }
+            | Msg::Progress { .. }
+            | Msg::Credit { .. }
+            | Msg::Fin { .. } => return Ok(()),
         }
     }
+}
+
+/// One client stream request (fresh or resumed) as the front door
+/// sees it.
+struct StreamReq {
+    id: u64,
+    top_k: u32,
+    deadline_ms: u32,
+    credit: u32,
+    query: Vec<u8>,
+    trace: TraceCtx,
+    tenant: String,
+    /// Per-slice cursors already delivered to *this client* (from a
+    /// resume token); chunks at or below them are folded into the
+    /// final digest but not re-sent.
+    filter: HashMap<u32, u64>,
+}
+
+/// Serve one streaming query on `stream`. Returns false when the
+/// connection should close (client gone or protocol violation); true
+/// keeps it open for the next request.
+fn handle_stream(shared: &Arc<FrontShared>, stream: &mut TcpStream, req: StreamReq) -> bool {
+    let StreamReq {
+        id,
+        top_k,
+        deadline_ms,
+        credit,
+        query,
+        trace,
+        tenant,
+        filter,
+    } = req;
+    if shared.draining.load(Ordering::Acquire) {
+        return write_msg(
+            stream,
+            &Msg::Error {
+                id,
+                err: RemoteError::Draining,
+            },
+        )
+        .is_ok();
+    }
+    let _guard = InFlight::enter(&shared.in_flight);
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
+    // The gateway always re-pulls every slice from cursor 0 — a
+    // resume replays cheap durable journal state — so the final merge
+    // and Fin digest always cover the whole ranking; `delivered`
+    // (seeded from the resume token) only gates what is re-sent.
+    let mut gs = match shared.gateway.stream_query_traced_for(
+        &tenant,
+        &query,
+        top_k as usize,
+        deadline,
+        trace,
+        credit,
+    ) {
+        Ok(gs) => gs,
+        Err(err) => return write_msg(stream, &Msg::Error { id, err }).is_ok(),
+    };
+    let mut delivered = filter;
+    let mut client_credit = credit;
+    let mut stall_counted = false;
+    let mut last_write = Instant::now();
+    let mut pending: Option<(u32, u64, Vec<Hit>)> = None;
+    let abandon = |reason: AbandonReason| {
+        shared.stream.abandon(reason);
+        swsimd_obs::event!(
+            "stream_abandoned",
+            "id" => id,
+            "at" => "gateway",
+            "reason" => reason.as_str()
+        );
+    };
+    loop {
+        // 1. Absorb client frames: only Credit grants are legal
+        //    mid-stream.
+        while frame_ready(stream) {
+            match read_msg(stream) {
+                Ok(Msg::Credit { id: cid, credits }) if cid == id => {
+                    client_credit = client_credit.saturating_add(credits);
+                    stall_counted = false;
+                }
+                _ => {
+                    abandon(AbandonReason::Error);
+                    return false;
+                }
+            }
+        }
+        // 2. Liveness and shutdown.
+        if peer_gone(stream) {
+            shared.cancelled.record(CancelReason::ClientDrop);
+            abandon(AbandonReason::ClientDrop);
+            return false;
+        }
+        if shared.stopping.load(Ordering::Acquire) {
+            shared.cancelled.record(CancelReason::Shutdown);
+            abandon(AbandonReason::Shutdown);
+            let _ = write_msg(
+                stream,
+                &Msg::Error {
+                    id,
+                    err: RemoteError::Serve(swsimd_runner::ServeError::ShutDown),
+                },
+            );
+            return false;
+        }
+        // 3. Pull the next merge item unless one is already waiting
+        //    on client credit. Holding at most one chunk here keeps
+        //    the rest in the gateway's bounded buffer, so
+        //    backpressure reaches the shards through their own
+        //    credit windows — and `Fin` (which needs no credit) can
+        //    still surface once the last chunk drains.
+        if pending.is_none() {
+            match gs.next_timeout(POLL_STEP) {
+                Some(StreamItem::Chunk {
+                    slice,
+                    cursor,
+                    hits,
+                }) => {
+                    let seen = delivered.get(&slice).copied().unwrap_or(0);
+                    // A chunk the resume token already covers is
+                    // folded upstream but not re-sent — and spends no
+                    // client credit.
+                    if cursor > seen {
+                        pending = Some((slice, cursor, hits));
+                    }
+                }
+                Some(StreamItem::Fin(result)) => {
+                    let fin = match result {
+                        Ok(resp) => Msg::Fin {
+                            id,
+                            digest: ranking_digest(&resp.hits),
+                            degraded: resp.degraded,
+                            missing_shards: resp.missing_shards,
+                            trace_id: resp.trace_id,
+                            fidelity: resp.fidelity,
+                        },
+                        Err(err) => Msg::Error { id, err },
+                    };
+                    return write_msg(stream, &fin).is_ok();
+                }
+                None => {}
+            }
+        }
+        // 4. Deliver the held chunk once credit allows.
+        if let Some((slice, cursor, hits)) = pending.take() {
+            if client_credit > 0 {
+                let chunk = Msg::StreamChunk {
+                    id,
+                    shard: slice,
+                    cursor,
+                    hits,
+                };
+                if write_msg(stream, &chunk).is_err() {
+                    shared.cancelled.record(CancelReason::ClientDrop);
+                    abandon(AbandonReason::ClientDrop);
+                    return false;
+                }
+                shared.stream.chunks.inc();
+                client_credit -= 1;
+                delivered.insert(slice, cursor);
+                last_write = Instant::now();
+            } else {
+                if !stall_counted {
+                    shared.stream.credit_stalls.inc();
+                    stall_counted = true;
+                }
+                pending = Some((slice, cursor, hits));
+                std::thread::sleep(POLL_STEP);
+            }
+        }
+        // 5. Heartbeat: prove liveness (and carry cost accounting)
+        //    whenever no chunk went out recently.
+        if last_write.elapsed() >= STREAM_HEARTBEAT {
+            let (cells_done, cells_total) = gs.progress();
+            let beat = Msg::Progress {
+                id,
+                cells_done,
+                cells_total,
+            };
+            if write_msg(stream, &beat).is_err() {
+                shared.cancelled.record(CancelReason::ClientDrop);
+                abandon(AbandonReason::ClientDrop);
+                return false;
+            }
+            last_write = Instant::now();
+        }
+    }
+}
+
+/// Nonblocking "is a frame waiting" probe.
+fn frame_ready(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let ready = matches!(stream.peek(&mut probe), Ok(n) if n > 0);
+    let _ = stream.set_nonblocking(false);
+    ready
 }
 
 struct InFlight<'a>(&'a AtomicUsize);

@@ -36,7 +36,7 @@
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -49,8 +49,8 @@ use swsimd_runner::{
 
 use crate::backoff::RetryPolicy;
 use crate::breaker::{BreakerState, ShardBreaker};
-use crate::metrics::{GatewayMetrics, ReplicaMetrics, TenantEdgeMetrics};
-use crate::wire::{read_msg, write_msg, Msg, RemoteError, WireError};
+use crate::metrics::{GatewayMetrics, ReplicaMetrics, StreamMetrics, TenantEdgeMetrics};
+use crate::wire::{ranking_digest, read_msg, write_msg, Msg, RemoteError, WireError};
 
 /// Per-tenant admission controls enforced at the gateway edge, before
 /// any shard sees a frame. The cost unit here is *query bytes* (the
@@ -153,6 +153,7 @@ struct GatewayInner {
     /// slice → flat replica ordinals.
     groups: Vec<Vec<usize>>,
     metrics: GatewayMetrics,
+    stream: StreamMetrics,
     next_id: AtomicU64,
     /// Tenant label → edge-admission state.
     tenants: Mutex<HashMap<String, Arc<TenantGate>>>,
@@ -258,6 +259,7 @@ impl Gateway {
                 replicas,
                 groups,
                 metrics: GatewayMetrics::new(),
+                stream: StreamMetrics::new(),
                 next_id: AtomicU64::new(1),
                 tenants: Mutex::new(HashMap::new()),
             }),
@@ -338,43 +340,7 @@ impl Gateway {
         inner.metrics.requests.inc();
         let t0 = Instant::now();
 
-        // Edge admission: token bucket first (cheapest to explain to
-        // the caller), then the concurrency cap. Both reject with a
-        // typed error carrying a backoff hint; neither touches a
-        // shard.
-        let gate = inner.tenant_gate(tenant);
-        if let Some(bucket) = &gate.bucket {
-            let cost = query.len() as u64;
-            if let Err(retry_after_ms) = lock_ok(bucket).try_take(cost, Instant::now()) {
-                gate.metrics.rate_limited.inc();
-                swsimd_obs::event!(
-                    "gateway_rate_limited",
-                    "tenant" => tenant_label(tenant).to_string(),
-                    "retry_after_ms" => retry_after_ms
-                );
-                return Err(RemoteError::Serve(ServeError::RateLimited {
-                    retry_after_ms,
-                }));
-            }
-        }
-        let cap = inner.cfg.qos.max_inflight;
-        let admitted_inflight =
-            gate.inflight
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
-                    (cap == 0 || n < cap).then_some(n + 1)
-                });
-        if admitted_inflight.is_err() {
-            gate.metrics.shed.inc();
-            let retry_after_ms = inner.cfg.retry.base.as_millis().max(1) as u64;
-            swsimd_obs::event!(
-                "gateway_load_shed",
-                "tenant" => tenant_label(tenant).to_string(),
-                "retry_after_ms" => retry_after_ms
-            );
-            return Err(RemoteError::Serve(ServeError::QueueFull { retry_after_ms }));
-        }
-        gate.metrics.inflight.inc();
-        let _inflight = InflightGuard(Arc::clone(&gate));
+        let _inflight = edge_admit(inner, tenant, query.len() as u64)?;
         // One trace id for the whole distributed request.
         let trace_id = if client.is_traced() {
             client.trace_id
@@ -539,6 +505,167 @@ impl Gateway {
         })
     }
 
+    /// Streamed [`Gateway::query`]: chunks of ranked hits arrive
+    /// incrementally as shards clear their checkpoint boundaries. See
+    /// [`Gateway::stream_query_traced_for`].
+    pub fn stream_query(
+        &self,
+        query: &[u8],
+        top_k: usize,
+        deadline: Option<Duration>,
+        client_credit: u32,
+    ) -> Result<GatewayStream, RemoteError> {
+        self.stream_query_traced_for(
+            "",
+            query,
+            top_k,
+            deadline,
+            TraceCtx::default(),
+            client_credit,
+        )
+    }
+
+    /// Open a streaming scatter-gather query. One reader thread per
+    /// slice holds a [`Msg::StreamQuery`] conversation with a replica
+    /// (breaker-aware pick, bounded retries with the shared backoff
+    /// schedule), relaying chunks into a bounded buffer of at most
+    /// `client_credit` chunks — the gateway never holds more than
+    /// `credit × chunk` bytes per client; backpressure propagates to
+    /// the shards through their own credit windows. A replica that
+    /// dies mid-stream is replaced by a sibling and the conversation
+    /// resumes from the last delivered cursor (the shard replays its
+    /// durable journal); chunks are deduplicated by `(slice, cursor)`
+    /// so replays and replica switches never double-deliver. A slice
+    /// that exhausts its retry budget folds into the `degraded` /
+    /// `missing_shards` machinery exactly like the one-shot path.
+    ///
+    /// The returned handle yields [`StreamItem`]s; the terminal
+    /// [`StreamItem::Fin`] carries the same merged
+    /// [`GatewayResponse`] the one-shot path would have produced (the
+    /// gateway folds every chunk incrementally, so the final ranking
+    /// is byte-identical to an unsharded search).
+    pub fn stream_query_traced_for(
+        &self,
+        tenant: &str,
+        query: &[u8],
+        top_k: usize,
+        deadline: Option<Duration>,
+        client: TraceCtx,
+        client_credit: u32,
+    ) -> Result<GatewayStream, RemoteError> {
+        let inner = &self.inner;
+        inner.metrics.requests.inc();
+        let guard = edge_admit(inner, tenant, query.len() as u64)?;
+        if inner.groups.is_empty() {
+            return Err(RemoteError::Unavailable);
+        }
+        let trace_id = if client.is_traced() {
+            client.trace_id
+        } else {
+            swsimd_obs::mint_id()
+        };
+        let _adopt = swsimd_obs::adopt(TraceCtx {
+            trace_id,
+            span_id: client.span_id,
+        });
+        let span = swsimd_obs::span!("gateway_stream", "shards" => inner.groups.len());
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let ctx = TraceCtx {
+            trace_id,
+            span_id: if span.id() != 0 {
+                span.id()
+            } else {
+                client.span_id
+            },
+        };
+        let deadline_at = deadline.map(|d| Instant::now() + d);
+        // The client's credit window sizes the only gateway-side chunk
+        // buffer; a zero or absurd window is clamped, not trusted.
+        let bound = (client_credit.max(1) as usize).min(MAX_BUFFERED_CHUNKS);
+        let (tx, rx) = mpsc::sync_channel::<StreamItem>(bound);
+        let progress = Arc::new(StreamProgress::new(inner.groups.len()));
+        let (end_tx, end_rx) = mpsc::channel();
+        for slice in 0..inner.groups.len() {
+            let this = self.clone();
+            let query = query.to_vec();
+            let tenant = tenant.to_string();
+            let tx = tx.clone();
+            let end_tx = end_tx.clone();
+            let progress = Arc::clone(&progress);
+            std::thread::spawn(move || {
+                let end = stream_group(
+                    &this.inner,
+                    slice,
+                    id,
+                    &tenant,
+                    &query,
+                    top_k,
+                    deadline_at,
+                    ctx,
+                    &tx,
+                    &progress,
+                );
+                let _ = end_tx.send((slice, end));
+            });
+        }
+        drop(end_tx);
+        let this = self.clone();
+        let slices = inner.groups.len();
+        std::thread::spawn(move || {
+            // Holds the tenant's in-flight slot for the stream's whole
+            // lifetime, not just the setup call.
+            let _guard = guard;
+            let inner = &this.inner;
+            let mut merged = Vec::new();
+            let mut missing = Vec::new();
+            let mut fatal = None;
+            let mut fidelity = Fidelity::Full;
+            let mut abandoned = false;
+            for (slice, end) in end_rx {
+                match end {
+                    StreamGroupEnd::Ok(hits, f) => {
+                        merged.extend(hits);
+                        fidelity = fidelity.max(f);
+                    }
+                    StreamGroupEnd::Missing => missing.push(slice as u32),
+                    StreamGroupEnd::Fatal(e) => fatal = Some(e),
+                    StreamGroupEnd::Abandoned => abandoned = true,
+                }
+            }
+            if abandoned {
+                // The client side of the buffer is gone; there is
+                // nobody left to tell.
+                return;
+            }
+            let result = if let Some(e) = fatal {
+                Err(e)
+            } else if missing.len() == slices {
+                Err(RemoteError::Unavailable)
+            } else {
+                missing.sort_unstable();
+                let degraded = !missing.is_empty();
+                if degraded {
+                    inner.metrics.degraded.inc();
+                }
+                Ok(GatewayResponse {
+                    hits: rank_hits(merged, top_k),
+                    degraded,
+                    missing_shards: missing,
+                    trace_id,
+                    fidelity,
+                })
+            };
+            let _ = tx.send(StreamItem::Fin(result));
+        });
+        Ok(GatewayStream {
+            rx,
+            progress,
+            metrics: inner.stream.clone(),
+            trace_id,
+            finished: false,
+        })
+    }
+
     /// One-line human-readable health summary: per-replica breaker
     /// state, observed RTT p99, and attempts currently in flight.
     pub fn health_line(&self) -> String {
@@ -554,6 +681,14 @@ impl Gateway {
                 replica.metrics.inflight.get(),
             ));
         }
+        line.push_str(&format!(
+            " | stream chunks={} resumes={} credit_stalls={} buffered={}B peak={}B",
+            inner.stream.chunks.get(),
+            inner.stream.resumes.get(),
+            inner.stream.credit_stalls.get(),
+            inner.stream.buffered_bytes.get(),
+            inner.stream.buffered_peak.get(),
+        ));
         line
     }
 
@@ -633,6 +768,46 @@ impl Drop for ProberHandle {
 
 fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Edge admission shared by the one-shot and streaming paths: token
+/// bucket first (cheapest to explain to the caller), then the
+/// concurrency cap. Both reject with a typed error carrying a backoff
+/// hint; neither touches a shard. On success the returned guard holds
+/// the tenant's in-flight slot until dropped.
+fn edge_admit(inner: &GatewayInner, tenant: &str, cost: u64) -> Result<InflightGuard, RemoteError> {
+    let gate = inner.tenant_gate(tenant);
+    if let Some(bucket) = &gate.bucket {
+        if let Err(retry_after_ms) = lock_ok(bucket).try_take(cost, Instant::now()) {
+            gate.metrics.rate_limited.inc();
+            swsimd_obs::event!(
+                "gateway_rate_limited",
+                "tenant" => tenant_label(tenant).to_string(),
+                "retry_after_ms" => retry_after_ms
+            );
+            return Err(RemoteError::Serve(ServeError::RateLimited {
+                retry_after_ms,
+            }));
+        }
+    }
+    let cap = inner.cfg.qos.max_inflight;
+    let admitted = gate
+        .inflight
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+            (cap == 0 || n < cap).then_some(n + 1)
+        });
+    if admitted.is_err() {
+        gate.metrics.shed.inc();
+        let retry_after_ms = inner.cfg.retry.base.as_millis().max(1) as u64;
+        swsimd_obs::event!(
+            "gateway_load_shed",
+            "tenant" => tenant_label(tenant).to_string(),
+            "retry_after_ms" => retry_after_ms
+        );
+        return Err(RemoteError::Serve(ServeError::QueueFull { retry_after_ms }));
+    }
+    gate.metrics.inflight.inc();
+    Ok(InflightGuard(gate))
 }
 
 /// Everything one gateway audit record needs, gathered at an exit
@@ -848,6 +1023,416 @@ fn query_group(
                 hint_ms = None;
                 attempt += 1;
             }
+        }
+    }
+}
+
+/// Per-shard credit window the gateway's slice readers extend: the
+/// shard may have this many chunks in flight toward the gateway
+/// before it must wait for a grant. Small enough to bound shard-side
+/// buffering, large enough to keep the pipe full across one RTT.
+const SHARD_CREDIT: u32 = 4;
+
+/// Ceiling on the client-credit-sized gateway chunk buffer; a client
+/// asking for a million credits does not get a million-chunk buffer.
+const MAX_BUFFERED_CHUNKS: usize = 64;
+
+/// One increment of a streaming scatter-gather query.
+#[derive(Debug)]
+pub enum StreamItem {
+    /// The next undelivered chunk from one slice: globally-indexed,
+    /// per-chunk-ranked hits with the slice's monotone cursor.
+    Chunk {
+        /// Slice the chunk came from.
+        slice: u32,
+        /// 1-based checkpoint cursor within that slice's stream.
+        cursor: u64,
+        /// Ranked hits for the chunk's database range.
+        hits: Vec<Hit>,
+    },
+    /// Terminal item: the merged ranking (byte-identical to the
+    /// one-shot path) or the fatal error that ended the stream.
+    Fin(Result<GatewayResponse, RemoteError>),
+}
+
+/// Per-slice progress cells shared between the reader threads (which
+/// write what shards report) and the stream handle (which sums them
+/// for heartbeats).
+struct StreamProgress {
+    done: Vec<AtomicU64>,
+    total: Vec<AtomicU64>,
+}
+
+impl StreamProgress {
+    fn new(slices: usize) -> Self {
+        Self {
+            done: (0..slices).map(|_| AtomicU64::new(0)).collect(),
+            total: (0..slices).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn set(&self, slice: usize, done: u64, total: u64) {
+        self.done[slice].store(done, Ordering::Relaxed);
+        self.total[slice].store(total, Ordering::Relaxed);
+    }
+
+    /// A finished slice counts as fully done even if its last
+    /// `Progress` frame never arrived.
+    fn finish(&self, slice: usize) {
+        let t = self.total[slice].load(Ordering::Relaxed);
+        self.done[slice].store(t, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> (u64, u64) {
+        let done = self.done.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let total = self.total.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        (done, total)
+    }
+}
+
+/// Client half of one streaming scatter-gather query. Dropping the
+/// handle abandons the stream: reader threads notice their buffer is
+/// gone, close their shard sockets, and the shards keep their
+/// journals for a later resume.
+pub struct GatewayStream {
+    rx: mpsc::Receiver<StreamItem>,
+    progress: Arc<StreamProgress>,
+    metrics: StreamMetrics,
+    trace_id: u64,
+    finished: bool,
+}
+
+impl GatewayStream {
+    /// Trace id the stream's shard conversations ride under.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Aggregate `(cells_done, cells_total)` across every slice, as
+    /// last reported by shard `Progress` heartbeats.
+    pub fn progress(&self) -> (u64, u64) {
+        self.progress.sum()
+    }
+
+    /// Next item, or `None` if nothing arrived within `timeout`.
+    /// After [`StreamItem::Fin`] every call returns `None`.
+    pub fn next_timeout(&mut self, timeout: Duration) -> Option<StreamItem> {
+        if self.finished {
+            return None;
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(StreamItem::Chunk {
+                slice,
+                cursor,
+                hits,
+            }) => {
+                buffered_sub(&self.metrics, chunk_bytes(&hits));
+                Some(StreamItem::Chunk {
+                    slice,
+                    cursor,
+                    hits,
+                })
+            }
+            Ok(item @ StreamItem::Fin(_)) => {
+                self.finished = true;
+                Some(item)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            // Every sender died without a Fin: only possible if the
+            // coordinator panicked; surface it as an outage rather
+            // than hanging the caller.
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.finished = true;
+                Some(StreamItem::Fin(Err(RemoteError::Unavailable)))
+            }
+        }
+    }
+}
+
+impl Drop for GatewayStream {
+    fn drop(&mut self) {
+        // Undelivered chunks stop being "buffered for a client" the
+        // moment the client lets go of the handle.
+        while let Ok(item) = self.rx.try_recv() {
+            if let StreamItem::Chunk { hits, .. } = item {
+                buffered_sub(&self.metrics, chunk_bytes(&hits));
+            }
+        }
+    }
+}
+
+/// Wire-shaped size estimate for one chunk held in the gateway
+/// buffer: frame overhead plus 16 bytes per hit.
+fn chunk_bytes(hits: &[Hit]) -> usize {
+    24 + hits.len() * 16
+}
+
+/// Process-wide buffered-bytes ledger behind the
+/// `swsimd_stream_buffered_bytes` gauge (gauges have no fetch-add, so
+/// the true value lives here and the gauge mirrors it).
+static BUFFERED_BYTES: AtomicI64 = AtomicI64::new(0);
+
+fn buffered_add(metrics: &StreamMetrics, bytes: usize) {
+    let now = BUFFERED_BYTES.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    metrics.buffered_bytes.set(now);
+    if now > metrics.buffered_peak.get() {
+        metrics.buffered_peak.set(now);
+    }
+}
+
+fn buffered_sub(metrics: &StreamMetrics, bytes: usize) {
+    let now = BUFFERED_BYTES.fetch_sub(bytes as i64, Ordering::Relaxed) - bytes as i64;
+    metrics.buffered_bytes.set(now);
+}
+
+/// How one slice's streaming conversation ended, after retries.
+enum StreamGroupEnd {
+    /// Every chunk delivered and folded; the slice's contribution to
+    /// the final merge plus the fidelity its shard served at.
+    Ok(Vec<Hit>, Fidelity),
+    /// Retry budget exhausted or no replica available: degrade.
+    Missing,
+    Fatal(RemoteError),
+    /// The client dropped the stream handle; stop without a verdict.
+    Abandoned,
+}
+
+/// How one streaming attempt against one replica ended.
+enum StreamAttemptEnd {
+    Done(Fidelity),
+    Retryable(Option<u64>),
+    Draining,
+    Fatal(RemoteError),
+    Abandoned,
+}
+
+/// Run one slice's stream to completion: breaker-aware replica picks,
+/// bounded retries, and mid-stream reconnects that resume from the
+/// last delivered cursor.
+#[allow(clippy::too_many_arguments)] // stream context travels together
+fn stream_group(
+    inner: &Arc<GatewayInner>,
+    slice: usize,
+    id: u64,
+    tenant: &str,
+    query: &[u8],
+    top_k: usize,
+    deadline_at: Option<Instant>,
+    ctx: TraceCtx,
+    tx: &mpsc::SyncSender<StreamItem>,
+    progress: &StreamProgress,
+) -> StreamGroupEnd {
+    let group = &inner.groups[slice];
+    let mut attempt = 0u32;
+    let mut hint_ms: Option<u64> = None;
+    // Highest cursor forwarded into the client buffer; reconnects ask
+    // the next replica to skip everything at or below it.
+    let mut delivered = 0u64;
+    // Incremental fold of every chunk: per-chunk top-k capping
+    // preserves the global top-k, so this stays bounded by `top_k`.
+    let mut merged: Vec<Hit> = Vec::new();
+    loop {
+        if !inner.cfg.retry.allows(attempt) {
+            return StreamGroupEnd::Missing;
+        }
+        if attempt > 0 {
+            inner.metrics.retries.inc();
+            let delay = inner.cfg.retry.delay_with_hint(attempt, hint_ms);
+            if let Some(d) = deadline_at {
+                if Instant::now() + delay >= d {
+                    return StreamGroupEnd::Missing;
+                }
+            }
+            std::thread::sleep(delay);
+        }
+        let available: Vec<usize> = group
+            .iter()
+            .copied()
+            .filter(|&ord| lock_ok(&inner.replicas[ord].breaker).is_available())
+            .collect();
+        if available.is_empty() {
+            return StreamGroupEnd::Missing;
+        }
+        let ordinal = available[attempt as usize % available.len()];
+        if attempt > 0 && delivered > 0 {
+            // This attempt continues a partially-delivered stream from
+            // durable shard state rather than starting over.
+            inner.stream.resumes.inc();
+            swsimd_obs::event!(
+                "stream_shard_reconnect",
+                "slice" => slice,
+                "cursor" => delivered
+            );
+        }
+        let replica = &inner.replicas[ordinal];
+        replica.metrics.inflight.inc();
+        let end = stream_attempt(
+            inner,
+            ordinal,
+            id,
+            tenant,
+            query,
+            top_k,
+            deadline_at,
+            ctx,
+            &mut delivered,
+            &mut merged,
+            tx,
+            progress,
+        );
+        replica.metrics.inflight.dec();
+        match end {
+            StreamAttemptEnd::Done(fidelity) => {
+                lock_ok(&replica.breaker).record_success();
+                return StreamGroupEnd::Ok(merged, fidelity);
+            }
+            StreamAttemptEnd::Fatal(e) => return StreamGroupEnd::Fatal(e),
+            StreamAttemptEnd::Abandoned => return StreamGroupEnd::Abandoned,
+            StreamAttemptEnd::Draining => {
+                inner.metrics.draining_replies.inc();
+                let opened = lock_ok(&replica.breaker).force_open();
+                if opened {
+                    replica.metrics.down_total.inc();
+                    replica.metrics.up.set(0);
+                    swsimd_obs::event!("shard_draining_unrouted", "replica" => ordinal);
+                }
+                hint_ms = None;
+                attempt += 1;
+            }
+            StreamAttemptEnd::Retryable(hint) => {
+                let opened = lock_ok(&replica.breaker).record_failure();
+                if opened {
+                    replica.metrics.down_total.inc();
+                    replica.metrics.up.set(0);
+                    swsimd_obs::event!("shard_breaker_open", "replica" => ordinal);
+                }
+                hint_ms = hint;
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// One streaming conversation with one replica: relay chunks into the
+/// client buffer (deduplicated by cursor), grant the shard one credit
+/// per chunk consumed, track progress heartbeats, and fold every new
+/// chunk into the slice's running merge.
+#[allow(clippy::too_many_arguments)] // stream context travels together
+fn stream_attempt(
+    inner: &GatewayInner,
+    ordinal: usize,
+    id: u64,
+    tenant: &str,
+    query: &[u8],
+    top_k: usize,
+    deadline_at: Option<Instant>,
+    ctx: TraceCtx,
+    delivered: &mut u64,
+    merged: &mut Vec<Hit>,
+    tx: &mpsc::SyncSender<StreamItem>,
+    progress: &StreamProgress,
+) -> StreamAttemptEnd {
+    let replica = &inner.replicas[ordinal];
+    let slice = replica.slice;
+    let Some(deadline_ms) = budget_ms(deadline_at) else {
+        return StreamAttemptEnd::Fatal(RemoteError::Serve(ServeError::DeadlineExceeded));
+    };
+    if inner.cfg.fault.before_connect(ordinal).is_err() {
+        return StreamAttemptEnd::Retryable(None);
+    }
+    let Ok(addr) = resolve(&replica.addr) else {
+        return StreamAttemptEnd::Retryable(None);
+    };
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, inner.cfg.connect_timeout) else {
+        return StreamAttemptEnd::Retryable(None);
+    };
+    // The read timeout bounds *silence*, not the stream: the shard
+    // proves liveness with sub-second Progress heartbeats, so a long
+    // stream never trips it while a dead peer still does.
+    crate::listen::apply_socket_opts(&stream, Some(inner.cfg.request_timeout), "gateway_stream");
+    let msg = Msg::StreamQuery {
+        id,
+        top_k: top_k as u32,
+        deadline_ms,
+        slice_index: slice,
+        slice_count: inner.groups.len() as u32,
+        credit: SHARD_CREDIT,
+        cursor: *delivered,
+        query: query.to_vec(),
+        trace: ctx,
+        tenant: tenant.to_string(),
+    };
+    if write_msg(&mut stream, &msg).is_err() {
+        return StreamAttemptEnd::Retryable(None);
+    }
+    loop {
+        match read_msg(&mut stream) {
+            Ok(Msg::StreamChunk { cursor, hits, .. }) => {
+                if cursor > *delivered {
+                    merged.extend(hits.iter().cloned());
+                    *merged = rank_hits(std::mem::take(merged), top_k);
+                    let bytes = chunk_bytes(&hits);
+                    buffered_add(&inner.stream, bytes);
+                    if tx
+                        .send(StreamItem::Chunk {
+                            slice,
+                            cursor,
+                            hits,
+                        })
+                        .is_err()
+                    {
+                        // Client buffer gone; the chunk was never
+                        // delivered, so it no longer counts as
+                        // buffered either.
+                        buffered_sub(&inner.stream, bytes);
+                        return StreamAttemptEnd::Abandoned;
+                    }
+                    inner.stream.chunks.inc();
+                    *delivered = cursor;
+                }
+                // Grant one credit per chunk consumed — a deduplicated
+                // replay still spent shard credit to arrive.
+                if write_msg(&mut stream, &Msg::Credit { id, credits: 1 }).is_err() {
+                    return StreamAttemptEnd::Retryable(None);
+                }
+            }
+            Ok(Msg::Progress {
+                cells_done,
+                cells_total,
+                ..
+            }) => progress.set(slice as usize, cells_done, cells_total),
+            Ok(Msg::Fin {
+                digest, fidelity, ..
+            }) => {
+                progress.finish(slice as usize);
+                if digest != ranking_digest(merged) {
+                    // The fold should always agree with the shard's
+                    // own final ranking; a mismatch is a bug worth an
+                    // alertable breadcrumb, not a query failure.
+                    swsimd_obs::event!(
+                        "stream_digest_mismatch",
+                        "slice" => slice,
+                        "shard_digest" => digest,
+                        "fold_digest" => ranking_digest(merged)
+                    );
+                }
+                return StreamAttemptEnd::Done(fidelity);
+            }
+            Ok(Msg::Error { err, .. }) => {
+                return match classify(err) {
+                    Attempt::Fatal(e) => StreamAttemptEnd::Fatal(e),
+                    Attempt::Draining => StreamAttemptEnd::Draining,
+                    Attempt::Retryable(hint) => StreamAttemptEnd::Retryable(hint),
+                    Attempt::Ok(..) => StreamAttemptEnd::Retryable(None),
+                }
+            }
+            // A non-stream kind is a confused peer: reconnect.
+            Ok(_) => return StreamAttemptEnd::Retryable(None),
+            Err(WireError::BadCrc { want, got }) => {
+                swsimd_obs::event!("reply_crc_mismatch", "want" => want, "got" => got);
+                return StreamAttemptEnd::Retryable(None);
+            }
+            Err(_) => return StreamAttemptEnd::Retryable(None),
         }
     }
 }
@@ -1114,7 +1699,11 @@ fn classify(err: RemoteError) -> Attempt {
         | RemoteError::Serve(S::CostTooHigh { .. })
         | RemoteError::Serve(S::BudgetExceeded { .. })
         | RemoteError::Serve(S::EngineUnavailable { .. })
-        | RemoteError::Serve(S::DeadlineExceeded) => Attempt::Fatal(err),
+        | RemoteError::Serve(S::DeadlineExceeded)
+        // A rejected resume token means the caller's cursor state does
+        // not describe this query; replaying the same token elsewhere
+        // cannot succeed either.
+        | RemoteError::BadResumeToken => Attempt::Fatal(err),
         RemoteError::Serve(S::QueueFull { .. }) | RemoteError::Serve(S::RateLimited { .. }) => {
             Attempt::Retryable(err.retry_after_ms())
         }
@@ -1145,6 +1734,10 @@ mod tests {
             })),
             Attempt::Fatal(_)
         ));
+        assert!(
+            matches!(classify(RemoteError::BadResumeToken), Attempt::Fatal(_)),
+            "a rejected resume token cannot be fixed by retrying"
+        );
         for retryable in [
             RemoteError::Serve(ServeError::ShutDown),
             RemoteError::Serve(ServeError::WorkerPanicked),

@@ -37,13 +37,18 @@ pub mod wire;
 pub use backoff::RetryPolicy;
 pub use breaker::{BreakerState, ShardBreaker};
 pub use chaos::{seed_from_env, ChaosEvent, ChaosFault, ChaosSchedule};
-pub use client::{HitsReply, NetClient, NetError, PongReply};
+pub use client::{FinReply, HitsReply, NetClient, NetError, PongReply, StreamEvent, StreamHandle};
 pub use front::{GatewayServer, GATEWAY_SHARD_ID};
-pub use gateway::{Gateway, GatewayConfig, GatewayQos, GatewayResponse, ProberHandle};
-pub use listen::bind_reuse;
+pub use gateway::{
+    Gateway, GatewayConfig, GatewayQos, GatewayResponse, GatewayStream, ProberHandle, StreamItem,
+};
+pub use listen::{apply_socket_opts, bind_reuse};
 pub use metrics::{
-    GatewayMetrics, NetCancelled, ReplicaMetrics, SupervisorMetrics, TenantEdgeMetrics,
+    socket_opt_failures, AbandonReason, GatewayMetrics, NetCancelled, ReplicaMetrics,
+    StreamMetrics, SupervisorMetrics, TenantEdgeMetrics,
 };
 pub use shard::{ShardConfig, ShardServer};
 pub use supervisor::{ChildSpec, ChildState, Supervisor, SupervisorConfig};
-pub use wire::{read_msg, write_msg, Msg, RemoteError, WireError, MAX_FRAME};
+pub use wire::{
+    ranking_digest, read_msg, write_msg, Msg, RemoteError, StreamToken, WireError, MAX_FRAME,
+};

@@ -8,7 +8,26 @@
 //! ourselves (the same pattern the CLI uses for `signal`); elsewhere
 //! we fall back to the std bind and accept the race.
 
-use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Apply the per-connection socket options every accept path wants:
+/// `TCP_NODELAY` (small request/reply frames must not wait on Nagle)
+/// and a read timeout (the idle cutoff for a silent peer). Failures
+/// are not fatal — the connection still works, just with degraded
+/// latency or liveness detection — but they are no longer silent:
+/// each failed option logs an obs event and counts
+/// `swsimd_socket_opt_failures_total`.
+pub fn apply_socket_opts(stream: &TcpStream, read_timeout: Option<Duration>, site: &'static str) {
+    if let Err(e) = stream.set_nodelay(true) {
+        crate::metrics::socket_opt_failures().inc();
+        swsimd_obs::event!("socket_opt_failed", "site" => site, "opt" => "nodelay", "error" => e.to_string());
+    }
+    if let Err(e) = stream.set_read_timeout(read_timeout) {
+        crate::metrics::socket_opt_failures().inc();
+        swsimd_obs::event!("socket_opt_failed", "site" => site, "opt" => "read_timeout", "error" => e.to_string());
+    }
+}
 
 /// Bind `addr` with `SO_REUSEADDR` set, ready to accept.
 pub fn bind_reuse(addr: &str) -> std::io::Result<TcpListener> {

@@ -232,6 +232,124 @@ impl Default for SupervisorMetrics {
     }
 }
 
+/// Why a stream ended before its `Fin` frame. Labels for
+/// `swsimd_stream_abandoned_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbandonReason {
+    /// The receiving peer dropped the connection mid-stream.
+    ClientDrop,
+    /// The sender shut down (drain or stop) mid-stream.
+    Shutdown,
+    /// The stream died on a serve or transport error.
+    Error,
+}
+
+impl AbandonReason {
+    /// Every reason, in label order.
+    pub const ALL: [AbandonReason; 3] = [
+        AbandonReason::ClientDrop,
+        AbandonReason::Shutdown,
+        AbandonReason::Error,
+    ];
+
+    /// Stable Prometheus label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AbandonReason::ClientDrop => "client_drop",
+            AbandonReason::Shutdown => "shutdown",
+            AbandonReason::Error => "error",
+        }
+    }
+}
+
+/// Streaming-path families, shared by shards and gateways (the
+/// registry deduplicates, so one process hosting both sides still
+/// exposes a single family of each).
+#[derive(Clone)]
+pub struct StreamMetrics {
+    /// Stream chunks written to the wire.
+    pub chunks: Arc<Counter>,
+    /// Streams continued from a resume token (or a mid-stream shard
+    /// reconnect at the gateway).
+    pub resumes: Arc<Counter>,
+    /// Times a sender had chunks ready but no credit and had to wait.
+    pub credit_stalls: Arc<Counter>,
+    /// Streams that ended before `Fin`, by reason.
+    abandoned: [Arc<Counter>; AbandonReason::ALL.len()],
+    /// Bytes of merged-but-undelivered chunks currently buffered for
+    /// clients (bounded by `credit × chunk`).
+    pub buffered_bytes: Arc<Gauge>,
+    /// High-water mark of `buffered_bytes` since process start.
+    pub buffered_peak: Arc<Gauge>,
+}
+
+impl StreamMetrics {
+    /// Register (or re-attach to) the streaming families.
+    pub fn new() -> Self {
+        let r = global();
+        Self {
+            chunks: r.counter(
+                "swsimd_stream_chunks_total",
+                "Stream result chunks written to the wire.",
+                &[],
+            ),
+            resumes: r.counter(
+                "swsimd_stream_resumes_total",
+                "Streams continued from a resume token or mid-stream reconnect.",
+                &[],
+            ),
+            credit_stalls: r.counter(
+                "swsimd_stream_credit_stalls_total",
+                "Times a stream sender waited on the receiver's credit window.",
+                &[],
+            ),
+            abandoned: AbandonReason::ALL.map(|reason| {
+                r.counter(
+                    "swsimd_stream_abandoned_total",
+                    "Streams that ended before their Fin frame, by reason.",
+                    &[("reason", reason.as_str())],
+                )
+            }),
+            buffered_bytes: r.gauge(
+                "swsimd_stream_buffered_bytes",
+                "Merged-but-undelivered stream bytes buffered for clients.",
+                &[],
+            ),
+            buffered_peak: r.gauge(
+                "swsimd_stream_buffered_peak_bytes",
+                "High-water mark of buffered stream bytes since start.",
+                &[],
+            ),
+        }
+    }
+
+    /// Charge one abandoned stream to `reason`.
+    pub fn abandon(&self, reason: AbandonReason) {
+        let idx = AbandonReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("ALL covers every reason");
+        self.abandoned[idx].inc();
+    }
+}
+
+impl Default for StreamMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Counter for socket options (`set_nodelay`/`set_read_timeout`) that
+/// failed to apply — rare, but silently degraded latency or liveness
+/// detection is worth an alert.
+pub fn socket_opt_failures() -> Arc<Counter> {
+    global().counter(
+        "swsimd_socket_opt_failures_total",
+        "Socket options that failed to apply on an accepted connection.",
+        &[],
+    )
+}
+
 /// Shard-side cancellation counters keyed by reason, mirroring
 /// `swsimd_server_cancelled_total` for cancellations that originate
 /// on the network (client drop, drain shutdown, wire deadline).
@@ -296,6 +414,14 @@ mod tests {
         sm.promotions.inc();
         sm.rolling_restarts.inc();
         sm.recovery.record(1_000_000);
+        let st = StreamMetrics::new();
+        st.chunks.inc();
+        st.resumes.inc();
+        st.credit_stalls.inc();
+        st.abandon(AbandonReason::ClientDrop);
+        st.buffered_bytes.set(1024);
+        st.buffered_peak.set(4096);
+        socket_opt_failures().inc();
         let text = global().prometheus_text();
         for family in [
             "swsimd_gateway_requests_total",
@@ -314,6 +440,13 @@ mod tests {
             "swsimd_standby_promotions_total",
             "swsimd_rolling_restarts_total",
             "swsimd_supervisor_recovery_seconds",
+            "swsimd_stream_chunks_total",
+            "swsimd_stream_resumes_total",
+            "swsimd_stream_credit_stalls_total",
+            "swsimd_stream_abandoned_total",
+            "swsimd_stream_buffered_bytes",
+            "swsimd_stream_buffered_peak_bytes",
+            "swsimd_socket_opt_failures_total",
         ] {
             assert!(text.contains(family), "{family} missing from scrape");
         }

@@ -32,14 +32,14 @@ use swsimd_matrices::Alphabet;
 use swsimd_obs::flight::{ShardTiming, Stage, StageTiming};
 use swsimd_obs::trace::TraceCtx;
 use swsimd_runner::{
-    checkpointed_search, rank_hits, read_journal_file, resume_checkpointed_search, BatchServer,
-    FaultPlan, Fidelity, JournalError, JournalWriter, PoolConfig, QueryOutcome, ServeError,
-    ServerClient, ServerConfig,
+    checkpointed_search_observed, rank_hits, read_journal_file,
+    resume_checkpointed_search_observed, BatchServer, FaultPlan, Fidelity, JournalError,
+    JournalWriter, PoolConfig, QueryOutcome, ServeError, ServerClient, ServerConfig,
 };
 use swsimd_seq::{integrity::crc32, Database};
 
-use crate::metrics::NetCancelled;
-use crate::wire::{read_msg, Msg, RemoteError, WireError};
+use crate::metrics::{AbandonReason, NetCancelled, StreamMetrics};
+use crate::wire::{ranking_digest, read_msg, Msg, RemoteError, WireError};
 
 /// How often a blocked reply poll interleaves a connection-liveness
 /// check.
@@ -47,6 +47,12 @@ const POLL_STEP: Duration = Duration::from_millis(5);
 
 /// Accept-loop poll period for stop/drain flags.
 const ACCEPT_STEP: Duration = Duration::from_millis(10);
+
+/// How often a streaming connection proves liveness with a
+/// [`Msg::Progress`] frame when no chunk is ready. Receivers treat
+/// any stream frame as activity, so their idle timeout only fires
+/// after several missed heartbeats — "slow but alive" stays alive.
+const STREAM_HEARTBEAT: Duration = Duration::from_millis(250);
 
 /// Configuration for one shard worker.
 pub struct ShardConfig {
@@ -73,6 +79,11 @@ pub struct ShardConfig {
     /// refused with [`RemoteError::Draining`] until a supervisor sends
     /// [`Msg::Activate`] to promote this replica to live duty.
     pub standby: bool,
+    /// Read-timeout backstop on accepted connections: how long a
+    /// blocking mid-frame read may stall before the peer is declared
+    /// wedged. Streams heartbeat well inside this, so only a truly
+    /// silent peer trips it — a slow query no longer can.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ShardConfig {
@@ -87,6 +98,7 @@ impl Default for ShardConfig {
             threads: 1,
             fault: FaultPlan::default(),
             standby: false,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -109,6 +121,8 @@ struct ShardShared {
     stopping: AtomicBool,
     in_flight: AtomicUsize,
     cancelled: NetCancelled,
+    stream: StreamMetrics,
+    idle_timeout: Duration,
     /// Parent token for journaled queries (the batch server governs
     /// its own jobs).
     shard_cancel: CancelToken,
@@ -178,6 +192,8 @@ impl ShardServer {
             stopping: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             cancelled: NetCancelled::new(),
+            stream: StreamMetrics::new(),
+            idle_timeout: cfg.idle_timeout,
             shard_cancel: CancelToken::new(),
             server: Mutex::new(Some(server)),
         });
@@ -353,11 +369,11 @@ fn write_reply(stream: &mut TcpStream, shared: &ShardShared, msg: &Msg) -> bool 
 }
 
 fn serve_conn(mut stream: TcpStream, shared: Arc<ShardShared>) -> std::io::Result<()> {
-    let _ = stream.set_nodelay(true);
     // Backstop so a wedged peer cannot pin this thread forever; the
     // idle wait below uses non-blocking peeks, so this only bounds
-    // mid-frame stalls.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    // mid-frame stalls. Configurable (and heartbeat-complemented on
+    // the stream path) rather than a hardcoded 30s.
+    crate::listen::apply_socket_opts(&stream, Some(shared.idle_timeout), "shard");
     loop {
         // Idle wait: watch for the first byte of a frame without
         // committing to a blocking read, so stop/drain flags stay
@@ -484,13 +500,52 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<ShardShared>) -> std::io::Resul
                     return Ok(());
                 }
             }
-            // Reply kinds have no meaning as requests.
+            Msg::StreamQuery {
+                id,
+                top_k,
+                deadline_ms,
+                slice_index,
+                slice_count,
+                credit,
+                cursor,
+                query,
+                trace,
+                tenant,
+            } => {
+                let keep = handle_stream_query(
+                    &mut stream,
+                    &shared,
+                    StreamReq {
+                        id,
+                        top_k,
+                        deadline_ms,
+                        slice_index,
+                        slice_count,
+                        credit,
+                        cursor,
+                        query,
+                        trace,
+                        tenant,
+                    },
+                );
+                if !keep {
+                    return Ok(());
+                }
+            }
+            // Reply kinds have no meaning as requests, a stray Credit
+            // has no stream to feed, and Resume is a gateway-only
+            // request (shards reconnect with a StreamQuery cursor).
             Msg::Hits { .. }
             | Msg::Error { .. }
             | Msg::Pong { .. }
             | Msg::MetricsText { .. }
             | Msg::FlightRecords { .. }
-            | Msg::FlightJson { .. } => return Ok(()),
+            | Msg::FlightJson { .. }
+            | Msg::StreamChunk { .. }
+            | Msg::Progress { .. }
+            | Msg::Credit { .. }
+            | Msg::Resume { .. }
+            | Msg::Fin { .. } => return Ok(()),
         }
     }
 }
@@ -718,11 +773,401 @@ fn handle_query(
     })
 }
 
+/// A [`Msg::StreamQuery`]'s fields, bundled so the handler signature
+/// stays readable.
+struct StreamReq {
+    id: u64,
+    top_k: u32,
+    deadline_ms: u32,
+    slice_index: u32,
+    slice_count: u32,
+    credit: u32,
+    cursor: u64,
+    query: Vec<u8>,
+    trace: TraceCtx,
+    tenant: String,
+}
+
+/// Worker → connection events for one stream. The worker sends every
+/// chunk before `Done`, and mpsc preserves per-sender order, so the
+/// connection thread has flushed all chunks once it sees `Done`.
+enum StreamEv {
+    /// `(cursor, globalized top-k hits)` for one journal chunk.
+    Chunk(u64, Vec<Hit>),
+    Done(Result<QueryOutcome, ServeError>),
+}
+
+/// Either compute path backing one stream, awaited in steps.
+enum StreamWaiter {
+    Durable {
+        rx: mpsc::Receiver<StreamEv>,
+        token: CancelToken,
+    },
+    Server(swsimd_runner::PendingQuery),
+}
+
+impl StreamWaiter {
+    fn cancel(&self, reason: CancelReason) {
+        match self {
+            StreamWaiter::Durable { token, .. } => {
+                token.cancel(reason);
+            }
+            StreamWaiter::Server(p) => {
+                p.cancel(reason);
+            }
+        }
+    }
+}
+
+/// Serve one streamed query on this connection. Returns true when the
+/// connection may continue serving requests, false when it must close
+/// (peer gone, protocol violation, or an injected tear).
+fn handle_stream_query(stream: &mut TcpStream, shared: &Arc<ShardShared>, req: StreamReq) -> bool {
+    let StreamReq {
+        id,
+        top_k,
+        deadline_ms,
+        slice_index,
+        slice_count,
+        credit,
+        cursor: resume_cursor,
+        query,
+        trace,
+        tenant,
+    } = req;
+    if shared.draining.load(Ordering::Acquire) || shared.standby.load(Ordering::Acquire) {
+        return write_reply(
+            stream,
+            shared,
+            &Msg::Error {
+                id,
+                err: RemoteError::Draining,
+            },
+        );
+    }
+    if slice_count != 0 && (slice_count != shared.shard_count || slice_index != shared.shard_index)
+    {
+        return write_reply(
+            stream,
+            shared,
+            &Msg::Error {
+                id,
+                err: RemoteError::WrongShard {
+                    got: slice_index,
+                    want: shared.shard_index,
+                },
+            },
+        );
+    }
+    let _guard = InFlight::enter(&shared.in_flight);
+    let _adopt = swsimd_obs::adopt(trace);
+    let mut span = swsimd_obs::span!(
+        "shard_stream",
+        "shard" => shared.shard_index,
+        "id" => id,
+        "cursor" => resume_cursor
+    );
+    let ctx = TraceCtx {
+        trace_id: trace.trace_id,
+        span_id: if span.id() != 0 {
+            span.id()
+        } else {
+            trace.span_id
+        },
+    };
+    if resume_cursor > 0 {
+        // A non-zero cursor is a reconnect continuing from durable
+        // state — the stream-resume event the soak test asserts on.
+        shared.stream.resumes.inc();
+        swsimd_obs::event!("stream_resume", "shard" => shared.shard_index, "cursor" => resume_cursor);
+    }
+    let deadline =
+        (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
+
+    // Cost accounting for Progress frames: exact per-chunk cell counts
+    // from the same deterministic partition the journal uses.
+    let query_len = query.len() as u64;
+    let cells_total = shared.slice_db.total_residues() as u64 * query_len;
+    let chunk_cells: Vec<u64> = shared
+        .slice_db
+        .partition(shared.threads)
+        .iter()
+        .map(|r| {
+            r.clone()
+                .map(|i| shared.slice_db.record(i).len() as u64)
+                .sum::<u64>()
+                * query_len
+        })
+        .collect();
+
+    let (tx, rx) = mpsc::channel();
+    let durable = shared.journal_dir.is_some();
+    let waiter = if durable {
+        let token = durable_stream_submit(shared, query, top_k as usize, deadline, ctx, tx);
+        StreamWaiter::Durable { rx, token }
+    } else {
+        // Without a journal there are no checkpoint boundaries to
+        // align to: stream degenerately as one chunk plus Fin.
+        match shared
+            .client
+            .submit_traced_for(&tenant, query, top_k as usize, deadline, ctx)
+        {
+            Ok(p) => StreamWaiter::Server(p),
+            Err(e) => {
+                return write_reply(
+                    stream,
+                    shared,
+                    &Msg::Error {
+                        id,
+                        err: RemoteError::Serve(e),
+                    },
+                );
+            }
+        }
+    };
+
+    let mut queued: std::collections::VecDeque<(u64, Vec<Hit>)> = std::collections::VecDeque::new();
+    let mut done: Option<Result<QueryOutcome, ServeError>> = None;
+    let mut credit_left = u64::from(credit);
+    let mut stall_counted = false;
+    let mut cells_done: u64 = 0;
+    let mut last_write = Instant::now();
+
+    let mut sent_chunks: u64 = 0;
+    let abandon = |reason: AbandonReason, cancel: Option<CancelReason>| {
+        if let Some(r) = cancel {
+            waiter.cancel(r);
+            shared.cancelled.record(r);
+        }
+        shared.stream.abandon(reason);
+        swsimd_obs::event!("stream_abandoned", "id" => id, "reason" => reason.as_str());
+    };
+
+    loop {
+        // 1. Absorb worker events (both paths park for POLL_STEP here).
+        match &waiter {
+            StreamWaiter::Durable { rx, .. } => match rx.recv_timeout(POLL_STEP) {
+                Ok(StreamEv::Chunk(c, hits)) => queued.push_back((c, hits)),
+                Ok(StreamEv::Done(r)) => done = Some(r),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    if done.is_none() {
+                        done = Some(Err(ServeError::WorkerPanicked));
+                    }
+                }
+            },
+            StreamWaiter::Server(p) => {
+                if done.is_none() {
+                    if let Some(r) = p.poll(POLL_STEP) {
+                        if let Ok(outcome) = &r {
+                            let mut hits = outcome.hits.clone();
+                            for h in &mut hits {
+                                h.db_index += shared.offset;
+                            }
+                            let hits = rank_hits(hits, top_k as usize);
+                            cells_done = cells_total;
+                            queued.push_back((1, hits));
+                        }
+                        done = Some(r);
+                    }
+                } else {
+                    std::thread::sleep(POLL_STEP);
+                }
+            }
+        }
+
+        // 2. Drain Credit frames the peer pushed (the only frames a
+        // stream client legally sends mid-stream).
+        let mut probe = [0u8; 1];
+        let _ = stream.set_nonblocking(true);
+        let ready = matches!(stream.peek(&mut probe), Ok(n) if n > 0);
+        let _ = stream.set_nonblocking(false);
+        if ready {
+            match read_msg(stream) {
+                Ok(Msg::Credit { id: cid, credits }) if cid == id => {
+                    credit_left += u64::from(credits);
+                    stall_counted = false;
+                }
+                Ok(_) | Err(_) => {
+                    // Protocol violation or torn frame mid-stream: the
+                    // connection state is unrecoverable.
+                    abandon(AbandonReason::Error, Some(CancelReason::ClientDrop));
+                    return false;
+                }
+            }
+        }
+
+        // 3. Liveness, shutdown, and deadline checks.
+        if peer_gone(stream) {
+            // The journal stays on disk: this stream is resumable.
+            abandon(AbandonReason::ClientDrop, Some(CancelReason::ClientDrop));
+            return false;
+        }
+        if shared.stopping.load(Ordering::Acquire) {
+            abandon(AbandonReason::Shutdown, Some(CancelReason::Shutdown));
+            let _ = write_reply(
+                stream,
+                shared,
+                &Msg::Error {
+                    id,
+                    err: RemoteError::Serve(ServeError::ShutDown),
+                },
+            );
+            return false;
+        }
+        if let Some(d) = deadline {
+            if Instant::now() > d && done.is_none() {
+                waiter.cancel(CancelReason::Deadline);
+            }
+        }
+
+        // 4. Deliver ready chunks while the credit window allows.
+        while let Some((c, _)) = queued.front() {
+            if *c <= resume_cursor {
+                // Already delivered before the interruption.
+                queued.pop_front();
+                continue;
+            }
+            if credit_left == 0 {
+                if !stall_counted {
+                    shared.stream.credit_stalls.inc();
+                    stall_counted = true;
+                }
+                break;
+            }
+            let (c, hits) = queued.pop_front().expect("front checked");
+            if !write_reply(
+                stream,
+                shared,
+                &Msg::StreamChunk {
+                    id,
+                    shard: shared.shard_index,
+                    cursor: c,
+                    hits,
+                },
+            ) {
+                abandon(AbandonReason::ClientDrop, Some(CancelReason::ClientDrop));
+                return false;
+            }
+            shared.stream.chunks.inc();
+            sent_chunks += 1;
+            credit_left -= 1;
+            if durable {
+                cells_done += chunk_cells.get((c - 1) as usize).copied().unwrap_or(0);
+            }
+            last_write = Instant::now();
+        }
+
+        // 5. Heartbeat when nothing else proved liveness recently.
+        if last_write.elapsed() >= STREAM_HEARTBEAT {
+            if !write_reply(
+                stream,
+                shared,
+                &Msg::Progress {
+                    id,
+                    cells_done,
+                    cells_total,
+                },
+            ) {
+                abandon(AbandonReason::ClientDrop, Some(CancelReason::ClientDrop));
+                return false;
+            }
+            last_write = Instant::now();
+        }
+
+        // 6. Everything delivered and the worker is done: finish.
+        if queued.is_empty() && done.is_some() {
+            let result = done.take().expect("checked");
+            return match result {
+                Ok(outcome) => {
+                    let mut hits = outcome.hits;
+                    for h in &mut hits {
+                        h.db_index += shared.offset;
+                    }
+                    let hits = rank_hits(hits, top_k as usize);
+                    span.record("engine", outcome.engine);
+                    span.record("chunks", sent_chunks);
+                    write_reply(
+                        stream,
+                        shared,
+                        &Msg::Fin {
+                            id,
+                            digest: ranking_digest(&hits),
+                            degraded: false,
+                            missing_shards: Vec::new(),
+                            trace_id: trace.trace_id,
+                            fidelity: outcome.fidelity,
+                        },
+                    )
+                }
+                Err(e) => {
+                    if e == ServeError::DeadlineExceeded {
+                        shared.cancelled.record(CancelReason::Deadline);
+                    }
+                    shared.stream.abandon(AbandonReason::Error);
+                    write_reply(
+                        stream,
+                        shared,
+                        &Msg::Error {
+                            id,
+                            err: RemoteError::Serve(e),
+                        },
+                    )
+                }
+            };
+        }
+    }
+}
+
+/// Submit a streamed query on the durable path: the worker runs the
+/// observed checkpointed search (resuming an existing journal first)
+/// and forwards every checkpoint chunk — globalized and top-k ranked —
+/// over `tx` before the final outcome.
+fn durable_stream_submit(
+    shared: &Arc<ShardShared>,
+    query: Vec<u8>,
+    top_k: usize,
+    deadline: Option<Instant>,
+    trace: TraceCtx,
+    tx: mpsc::Sender<StreamEv>,
+) -> CancelToken {
+    let token = shared.shard_cancel.child_with_deadline(deadline);
+    let shared = Arc::clone(shared);
+    let worker_token = token.clone();
+    std::thread::spawn(move || {
+        let _adopt = swsimd_obs::adopt(trace);
+        let started = Instant::now();
+        let chunk_tx = tx.clone();
+        let offset = shared.offset;
+        let result = durable_compute(&shared, &query, worker_token, &mut |chunk, hits| {
+            // Rank inside the observer so only `top_k` hits per chunk
+            // cross the channel: the full per-chunk hit list is
+            // journal state, not stream payload.
+            let mut hits = hits.to_vec();
+            for h in &mut hits {
+                h.db_index += offset;
+            }
+            let hits = rank_hits(hits, top_k);
+            let _ = chunk_tx.send(StreamEv::Chunk(chunk as u64 + 1, hits));
+        });
+        let compute_ns = started.elapsed().as_nanos() as u64;
+        let _ = tx.send(StreamEv::Done(result.map(|hits| QueryOutcome {
+            hits,
+            queue_ns: 0,
+            compute_ns,
+            engine: "pool",
+            retries: 0,
+            fidelity: Fidelity::Full,
+        })));
+    });
+    token
+}
+
 /// Submit on the durable (journaled) path: the query runs under
-/// [`checkpointed_search`] on a worker thread; an existing journal for
-/// the same query is resumed first. The journal file is deleted only
-/// after the reply is computed, so any interruption leaves a
-/// resumable checkpoint.
+/// [`checkpointed_search_observed`] on a worker thread; an existing
+/// journal for the same query is resumed first. The journal file is
+/// deleted only after the reply is computed, so any interruption
+/// leaves a resumable checkpoint.
 fn durable_submit(
     shared: &Arc<ShardShared>,
     query: Vec<u8>,
@@ -738,7 +1183,7 @@ fn durable_submit(
         // shard's request span even across this thread hop.
         let _adopt = swsimd_obs::adopt(trace);
         let started = Instant::now();
-        let result = durable_compute(&shared, &query, worker_token);
+        let result = durable_compute(&shared, &query, worker_token, &mut |_, _| {});
         let compute_ns = started.elapsed().as_nanos() as u64;
         let _ = tx.send(result.map(|hits| QueryOutcome {
             hits,
@@ -756,6 +1201,7 @@ fn durable_compute(
     shared: &ShardShared,
     query: &[u8],
     token: CancelToken,
+    on_chunk: &mut dyn FnMut(usize, &[Hit]),
 ) -> Result<Vec<Hit>, ServeError> {
     swsimd_core::validate_encoded(query).map_err(ServeError::InvalidQuery)?;
     let dir = shared.journal_dir.as_ref().expect("durable path");
@@ -775,13 +1221,14 @@ fn durable_compute(
 
     if path.exists() {
         if let Ok(journal) = read_journal_file(&path) {
-            match resume_checkpointed_search(
+            match resume_checkpointed_search_observed(
                 &journal,
                 query,
                 &shared.slice_db,
                 &cfg,
                 || factory(),
                 &path,
+                on_chunk,
             ) {
                 Ok((out, _stats)) => {
                     if let Some(server) = lock_ok(&shared.server).as_ref() {
@@ -813,7 +1260,14 @@ fn durable_compute(
     }
 
     let mut writer = JournalWriter::create(&path).map_err(|_| ServeError::ShutDown)?;
-    match checkpointed_search(query, &shared.slice_db, &cfg, || factory(), &mut writer) {
+    match checkpointed_search_observed(
+        query,
+        &shared.slice_db,
+        &cfg,
+        || factory(),
+        &mut writer,
+        on_chunk,
+    ) {
         Ok(out) => {
             drop(writer);
             let _ = std::fs::remove_file(&path);

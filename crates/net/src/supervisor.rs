@@ -564,8 +564,17 @@ pub struct ControlServer {
 }
 
 impl ControlServer {
-    /// Bind `listen` and serve until dropped.
+    /// Bind `listen` and serve until dropped, with a 5s idle timeout.
     pub fn start(listen: &str) -> std::io::Result<ControlServer> {
+        Self::start_with_idle_timeout(listen, Duration::from_secs(5))
+    }
+
+    /// [`ControlServer::start`] with an explicit idle timeout — the
+    /// read cutoff for a silent control connection.
+    pub fn start_with_idle_timeout(
+        listen: &str,
+        idle_timeout: Duration,
+    ) -> std::io::Result<ControlServer> {
         let listener = crate::listen::bind_reuse(listen)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -575,7 +584,11 @@ impl ControlServer {
             while !flag.load(std::sync::atomic::Ordering::Acquire) {
                 match listener.accept() {
                     Ok((mut stream, _)) => {
-                        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                        crate::listen::apply_socket_opts(
+                            &stream,
+                            Some(idle_timeout),
+                            "supervisor_ctl",
+                        );
                         while let Ok(msg) = read_msg(&mut stream) {
                             let reply = match msg {
                                 Msg::Ping { nonce } => Msg::Pong {

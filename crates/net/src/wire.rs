@@ -106,6 +106,9 @@ pub enum RemoteError {
     Draining,
     /// The gateway exhausted every replica's retry budget.
     Unavailable,
+    /// A [`Msg::Resume`] token did not match the query it claims to
+    /// continue (wrong query hash, or undecodable token bytes).
+    BadResumeToken,
 }
 
 impl std::fmt::Display for RemoteError {
@@ -117,6 +120,12 @@ impl std::fmt::Display for RemoteError {
             }
             RemoteError::Draining => write!(f, "shard is draining"),
             RemoteError::Unavailable => write!(f, "no replica could serve within the retry budget"),
+            RemoteError::BadResumeToken => {
+                write!(
+                    f,
+                    "resume token does not match the query it claims to continue"
+                )
+            }
         }
     }
 }
@@ -173,6 +182,7 @@ impl RemoteError {
             RemoteError::Draining => (11, 0, 0, 0),
             RemoteError::Unavailable => (12, 0, 0, 0),
             RemoteError::Serve(S::RateLimited { retry_after_ms }) => (13, *retry_after_ms, 0, 0),
+            RemoteError::BadResumeToken => (14, 0, 0, 0),
         }
     }
 
@@ -210,6 +220,7 @@ impl RemoteError {
             11 => RemoteError::Draining,
             12 => RemoteError::Unavailable,
             13 => RemoteError::Serve(S::RateLimited { retry_after_ms: a }),
+            14 => RemoteError::BadResumeToken,
             _ => return None,
         })
     }
@@ -242,6 +253,110 @@ fn precision_from_code(v: u8) -> Option<Precision> {
         3 => Precision::Adaptive,
         _ => return None,
     })
+}
+
+/// A resumable position in a streamed search: which trace it belongs
+/// to, a hash binding it to the query bytes, the requested ranking
+/// depth, and how far delivery got per database slice. The cursor for
+/// a slice is the number of journal chunks already delivered to the
+/// client — chunk indices below it are skipped on resume.
+///
+/// The binary form is `u64 trace_id | u32 query_crc | u32 top_k |
+/// u16 n | n × (u32 slice, u64 cursor)`; the hex form is the binary
+/// form hex-encoded, compact enough to print on interrupt and paste
+/// back into `swsimd query --stream --resume <token>`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamToken {
+    /// Trace id of the original streamed query.
+    pub trace_id: u64,
+    /// `crc32` of the alphabet-encoded query residues; a resume with
+    /// different query bytes is rejected with
+    /// [`RemoteError::BadResumeToken`].
+    pub query_crc: u32,
+    /// `top_k` of the original query (the merged ranking depth).
+    pub top_k: u32,
+    /// `(slice_index, chunks_delivered)` per slice, ascending slice.
+    pub cursors: Vec<(u32, u64)>,
+}
+
+impl StreamToken {
+    /// Serialize to the binary wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let n = self.cursors.len().min(u16::MAX as usize);
+        let mut out = Vec::with_capacity(18 + n * 12);
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.query_crc.to_le_bytes());
+        out.extend_from_slice(&self.top_k.to_le_bytes());
+        out.extend_from_slice(&(n as u16).to_le_bytes());
+        for (slice, cursor) in self.cursors.iter().take(n) {
+            out.extend_from_slice(&slice.to_le_bytes());
+            out.extend_from_slice(&cursor.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse the binary wire form; every failure is typed, no panics.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader { buf: bytes };
+        let trace_id = r.u64("token trace id")?;
+        let query_crc = r.u32("token query crc")?;
+        let top_k = r.u32("token top_k")?;
+        let n = r.u16("token cursor count")? as usize;
+        if n * 12 > r.buf.len() {
+            return Err(WireError::Malformed("token cursor count"));
+        }
+        let mut cursors = Vec::with_capacity(n);
+        for _ in 0..n {
+            let slice = r.u32("token slice")?;
+            let cursor = r.u64("token cursor")?;
+            cursors.push((slice, cursor));
+        }
+        r.done("token trailing bytes")?;
+        Ok(StreamToken {
+            trace_id,
+            query_crc,
+            top_k,
+            cursors,
+        })
+    }
+
+    /// Hex rendering of [`StreamToken::encode`] for human transport.
+    pub fn to_hex(&self) -> String {
+        let bytes = self.encode();
+        let mut s = String::with_capacity(bytes.len() * 2);
+        for b in bytes {
+            use std::fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// Inverse of [`StreamToken::to_hex`].
+    pub fn from_hex(s: &str) -> Result<Self, WireError> {
+        let s = s.trim();
+        if !s.len().is_multiple_of(2) || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(WireError::Malformed("token hex"));
+        }
+        let bytes: Vec<u8> = (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap())
+            .collect();
+        StreamToken::decode(&bytes)
+    }
+}
+
+/// Canonical digest of a final ranking: `crc32` over each hit's
+/// `u64 db_index | i32 score` in rank order. Both ends of a stream
+/// compute this over the complete merged ranking, so a resumed stream
+/// can prove its concatenated result is byte-identical to what an
+/// uninterrupted run would have delivered. Precision is deliberately
+/// excluded — it describes how a score was computed, not the ranking.
+pub fn ranking_digest(hits: &[Hit]) -> u32 {
+    let mut bytes = Vec::with_capacity(hits.len() * 12);
+    for h in hits {
+        bytes.extend_from_slice(&(h.db_index as u64).to_le_bytes());
+        bytes.extend_from_slice(&h.score.to_le_bytes());
+    }
+    crc32(&bytes)
 }
 
 /// Every message the serving tier exchanges. Kind bytes are
@@ -359,6 +474,106 @@ pub enum Msg {
     /// queries; acknowledged with [`Msg::Pong`]. A no-op on a shard
     /// that is already live.
     Activate,
+    /// Client → gateway (or gateway → shard): run one search with
+    /// incremental delivery. The peer replies with a sequence of
+    /// [`Msg::StreamChunk`]/[`Msg::Progress`] frames terminated by a
+    /// [`Msg::Fin`] (or [`Msg::Error`]) — the one frame kind that
+    /// suspends the tier's strict request-response discipline.
+    StreamQuery {
+        /// Caller-chosen correlation id, echoed in every stream frame.
+        id: u64,
+        /// Hits to rank per chunk and in the final merge (0 = all).
+        top_k: u32,
+        /// Relative deadline budget in milliseconds (0 = none).
+        deadline_ms: u32,
+        /// Which database slice this query addresses (gateway → shard;
+        /// end clients send 0).
+        slice_index: u32,
+        /// Total slices in the topology (0 = unsharded).
+        slice_count: u32,
+        /// Initial credit: chunks the sender may push before waiting
+        /// for a [`Msg::Credit`] grant (0 = decoder-rejected).
+        credit: u32,
+        /// Skip chunks with cursor ≤ this (0 = from the start). Lets a
+        /// reconnecting peer continue from durable journal state.
+        cursor: u64,
+        /// Alphabet-encoded query residues.
+        query: Vec<u8>,
+        /// Propagated trace context (extension).
+        trace: TraceCtx,
+        /// Tenant this query bills to (extension).
+        tenant: String,
+    },
+    /// One increment of a streamed result: the top-k hits of a single
+    /// journal checkpoint chunk, already globalized and ranked.
+    StreamChunk {
+        /// Correlation id from the stream query.
+        id: u64,
+        /// Slice the chunk came from (`u32::MAX` from a gateway's
+        /// merged stream).
+        shard: u32,
+        /// 1-based monotone position within the shard's stream
+        /// (`journal chunk index + 1`); receivers dedupe hedged or
+        /// resumed streams by `(shard, cursor)`.
+        cursor: u64,
+        /// The chunk's ranked hits (global database indices).
+        hits: Vec<Hit>,
+    },
+    /// Stream heartbeat: proof of liveness plus work accounting, sent
+    /// between chunks so "slow but alive" never trips an idle timeout.
+    Progress {
+        /// Correlation id from the stream query.
+        id: u64,
+        /// Matrix cells computed so far.
+        cells_done: u64,
+        /// Total matrix cells the query costs (0 = unknown).
+        cells_total: u64,
+    },
+    /// Receiver → sender: permission to push `credits` more chunks.
+    Credit {
+        /// Correlation id from the stream query.
+        id: u64,
+        /// Additional chunks the sender may push (> 0).
+        credits: u32,
+    },
+    /// Client → gateway: continue a previously interrupted stream from
+    /// its [`StreamToken`]. The query bytes ride along because the
+    /// token only binds their hash.
+    Resume {
+        /// Caller-chosen correlation id for the resumed stream.
+        id: u64,
+        /// Relative deadline budget in milliseconds (0 = none).
+        deadline_ms: u32,
+        /// Initial credit for the resumed stream (> 0).
+        credit: u32,
+        /// Where the interrupted stream left off.
+        token: StreamToken,
+        /// Alphabet-encoded query residues (must hash to
+        /// `token.query_crc`).
+        query: Vec<u8>,
+        /// Propagated trace context (extension).
+        trace: TraceCtx,
+        /// Tenant this query bills to (extension).
+        tenant: String,
+    },
+    /// Terminal stream frame: the search completed. Carries a digest
+    /// of the full merged ranking so the client can verify that what
+    /// it assembled — possibly across a resume — is byte-identical to
+    /// an uninterrupted run.
+    Fin {
+        /// Correlation id from the stream query.
+        id: u64,
+        /// [`ranking_digest`] of the complete final ranking.
+        digest: u32,
+        /// True when one or more shards could not contribute.
+        degraded: bool,
+        /// Slice indices missing from a degraded stream.
+        missing_shards: Vec<u32>,
+        /// Trace id this stream belongs to (extension; 0 = untraced).
+        trace_id: u64,
+        /// Fidelity the stream was served at (extension).
+        fidelity: Fidelity,
+    },
 }
 
 const KIND_QUERY: u8 = 1;
@@ -375,6 +590,12 @@ const KIND_FLIGHT_RECORDS: u8 = 11;
 const KIND_FLIGHT_JSON_REQ: u8 = 12;
 const KIND_FLIGHT_JSON: u8 = 13;
 const KIND_ACTIVATE: u8 = 14;
+const KIND_STREAM_QUERY: u8 = 15;
+const KIND_STREAM_CHUNK: u8 = 16;
+const KIND_PROGRESS: u8 = 17;
+const KIND_CREDIT: u8 = 18;
+const KIND_RESUME: u8 = 19;
+const KIND_FIN: u8 = 20;
 
 /// Extension-tail kinds for [`Msg::Query`]/[`Msg::Hits`]. Append-only;
 /// unknown kinds are skipped by the decoder.
@@ -426,6 +647,41 @@ impl<'a> Reader<'a> {
             Err(WireError::Malformed(what))
         }
     }
+}
+
+/// `u32 count | count × (u64 db_index | i32 score | u8 precision)` —
+/// the hit-list wire form shared by [`Msg::Hits`] and
+/// [`Msg::StreamChunk`].
+fn push_hits(out: &mut Vec<u8>, hits: &[Hit]) {
+    out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+    for h in hits {
+        out.extend_from_slice(&(h.db_index as u64).to_le_bytes());
+        out.extend_from_slice(&h.score.to_le_bytes());
+        out.push(precision_code(h.precision));
+    }
+}
+
+/// Inverse of [`push_hits`]; `payload_len` bounds the claimed count
+/// so a hostile length cannot force a huge allocation.
+fn read_hits(r: &mut Reader<'_>, payload_len: usize) -> Result<Vec<Hit>, WireError> {
+    let n = r.u32("hit count")? as usize;
+    if n > payload_len {
+        return Err(WireError::Malformed("hit count"));
+    }
+    let mut hits = Vec::with_capacity(n);
+    for _ in 0..n {
+        let db_index = usize::try_from(r.u64("hit db index")?)
+            .map_err(|_| WireError::Malformed("hit db index"))?;
+        let score = r.i32("hit score")?;
+        let precision = precision_from_code(r.u8("hit precision")?)
+            .ok_or(WireError::Malformed("hit precision"))?;
+        hits.push(Hit {
+            db_index,
+            score,
+            precision,
+        });
+    }
+    Ok(hits)
 }
 
 /// Append one `ext_kind | u16 len | bytes` extension record.
@@ -718,6 +974,128 @@ impl Msg {
                 out.extend_from_slice(text);
             }
             Msg::Activate => out.push(KIND_ACTIVATE),
+            Msg::StreamQuery {
+                id,
+                top_k,
+                deadline_ms,
+                slice_index,
+                slice_count,
+                credit,
+                cursor,
+                query,
+                trace,
+                tenant,
+            } => {
+                out.push(KIND_STREAM_QUERY);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&top_k.to_le_bytes());
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&slice_index.to_le_bytes());
+                out.extend_from_slice(&slice_count.to_le_bytes());
+                out.extend_from_slice(&credit.to_le_bytes());
+                out.extend_from_slice(&cursor.to_le_bytes());
+                out.extend_from_slice(&(query.len() as u32).to_le_bytes());
+                out.extend_from_slice(query);
+                if trace.is_traced() {
+                    let mut body = Vec::with_capacity(16);
+                    body.extend_from_slice(&trace.trace_id.to_le_bytes());
+                    body.extend_from_slice(&trace.span_id.to_le_bytes());
+                    push_ext(&mut out, EXT_TRACE_CTX, &body);
+                }
+                if !tenant.is_empty() {
+                    let bytes = tenant.as_bytes();
+                    let n = bytes.len().min(MAX_TENANT_LEN);
+                    let mut end = n;
+                    while !tenant.is_char_boundary(end) {
+                        end -= 1;
+                    }
+                    push_ext(&mut out, EXT_TENANT, &bytes[..end]);
+                }
+            }
+            Msg::StreamChunk {
+                id,
+                shard,
+                cursor,
+                hits,
+            } => {
+                out.push(KIND_STREAM_CHUNK);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&cursor.to_le_bytes());
+                push_hits(&mut out, hits);
+            }
+            Msg::Progress {
+                id,
+                cells_done,
+                cells_total,
+            } => {
+                out.push(KIND_PROGRESS);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&cells_done.to_le_bytes());
+                out.extend_from_slice(&cells_total.to_le_bytes());
+            }
+            Msg::Credit { id, credits } => {
+                out.push(KIND_CREDIT);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&credits.to_le_bytes());
+            }
+            Msg::Resume {
+                id,
+                deadline_ms,
+                credit,
+                token,
+                query,
+                trace,
+                tenant,
+            } => {
+                out.push(KIND_RESUME);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&credit.to_le_bytes());
+                let tok = token.encode();
+                out.extend_from_slice(&(tok.len() as u16).to_le_bytes());
+                out.extend_from_slice(&tok);
+                out.extend_from_slice(&(query.len() as u32).to_le_bytes());
+                out.extend_from_slice(query);
+                if trace.is_traced() {
+                    let mut body = Vec::with_capacity(16);
+                    body.extend_from_slice(&trace.trace_id.to_le_bytes());
+                    body.extend_from_slice(&trace.span_id.to_le_bytes());
+                    push_ext(&mut out, EXT_TRACE_CTX, &body);
+                }
+                if !tenant.is_empty() {
+                    let bytes = tenant.as_bytes();
+                    let n = bytes.len().min(MAX_TENANT_LEN);
+                    let mut end = n;
+                    while !tenant.is_char_boundary(end) {
+                        end -= 1;
+                    }
+                    push_ext(&mut out, EXT_TENANT, &bytes[..end]);
+                }
+            }
+            Msg::Fin {
+                id,
+                digest,
+                degraded,
+                missing_shards,
+                trace_id,
+                fidelity,
+            } => {
+                out.push(KIND_FIN);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&digest.to_le_bytes());
+                out.push(u8::from(*degraded));
+                out.extend_from_slice(&(missing_shards.len() as u32).to_le_bytes());
+                for s in missing_shards {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+                if *trace_id != 0 {
+                    push_ext(&mut out, EXT_TRACE_ID, &trace_id.to_le_bytes());
+                }
+                if *fidelity != Fidelity::Full {
+                    push_ext(&mut out, EXT_FIDELITY, &[fidelity.as_u8()]);
+                }
+            }
         }
         out
     }
@@ -901,6 +1279,177 @@ impl Msg {
                 Msg::FlightJson { text }
             }
             KIND_ACTIVATE => Msg::Activate,
+            KIND_STREAM_QUERY => {
+                let id = r.u64("stream query id")?;
+                let top_k = r.u32("stream query top_k")?;
+                let deadline_ms = r.u32("stream query deadline")?;
+                let slice_index = r.u32("stream query slice index")?;
+                let slice_count = r.u32("stream query slice count")?;
+                let credit = r.u32("stream query credit")?;
+                if credit == 0 {
+                    return Err(WireError::Malformed("stream query credit"));
+                }
+                let cursor = r.u64("stream query cursor")?;
+                let len = r.u32("stream query length")? as usize;
+                let query = r.take(len, "stream query residues")?.to_vec();
+                let mut trace = TraceCtx::default();
+                let mut tenant = String::new();
+                read_exts(&mut r, |kind, body| {
+                    match kind {
+                        EXT_TRACE_CTX => {
+                            let mut er = Reader { buf: body };
+                            trace = TraceCtx {
+                                trace_id: er.u64("trace ctx id")?,
+                                span_id: er.u64("trace ctx span")?,
+                            };
+                        }
+                        EXT_TENANT => {
+                            if body.len() > MAX_TENANT_LEN {
+                                return Err(WireError::Malformed("tenant name too long"));
+                            }
+                            tenant = std::str::from_utf8(body)
+                                .map_err(|_| WireError::Malformed("tenant name"))?
+                                .to_string();
+                        }
+                        _ => {}
+                    }
+                    Ok(())
+                })?;
+                Msg::StreamQuery {
+                    id,
+                    top_k,
+                    deadline_ms,
+                    slice_index,
+                    slice_count,
+                    credit,
+                    cursor,
+                    query,
+                    trace,
+                    tenant,
+                }
+            }
+            KIND_STREAM_CHUNK => {
+                let id = r.u64("chunk id")?;
+                let shard = r.u32("chunk shard")?;
+                let cursor = r.u64("chunk cursor")?;
+                if cursor == 0 {
+                    return Err(WireError::Malformed("chunk cursor"));
+                }
+                let hits = read_hits(&mut r, payload.len())?;
+                // A newer peer may append an extension tail; skip it.
+                read_exts(&mut r, |_, _| Ok(()))?;
+                Msg::StreamChunk {
+                    id,
+                    shard,
+                    cursor,
+                    hits,
+                }
+            }
+            KIND_PROGRESS => {
+                let id = r.u64("progress id")?;
+                let cells_done = r.u64("progress cells done")?;
+                let cells_total = r.u64("progress cells total")?;
+                read_exts(&mut r, |_, _| Ok(()))?;
+                Msg::Progress {
+                    id,
+                    cells_done,
+                    cells_total,
+                }
+            }
+            KIND_CREDIT => {
+                let id = r.u64("credit id")?;
+                let credits = r.u32("credit amount")?;
+                if credits == 0 {
+                    return Err(WireError::Malformed("credit amount"));
+                }
+                read_exts(&mut r, |_, _| Ok(()))?;
+                Msg::Credit { id, credits }
+            }
+            KIND_RESUME => {
+                let id = r.u64("resume id")?;
+                let deadline_ms = r.u32("resume deadline")?;
+                let credit = r.u32("resume credit")?;
+                if credit == 0 {
+                    return Err(WireError::Malformed("resume credit"));
+                }
+                let tok_len = r.u16("resume token length")? as usize;
+                let token = StreamToken::decode(r.take(tok_len, "resume token")?)?;
+                let len = r.u32("resume query length")? as usize;
+                let query = r.take(len, "resume query residues")?.to_vec();
+                let mut trace = TraceCtx::default();
+                let mut tenant = String::new();
+                read_exts(&mut r, |kind, body| {
+                    match kind {
+                        EXT_TRACE_CTX => {
+                            let mut er = Reader { buf: body };
+                            trace = TraceCtx {
+                                trace_id: er.u64("trace ctx id")?,
+                                span_id: er.u64("trace ctx span")?,
+                            };
+                        }
+                        EXT_TENANT => {
+                            if body.len() > MAX_TENANT_LEN {
+                                return Err(WireError::Malformed("tenant name too long"));
+                            }
+                            tenant = std::str::from_utf8(body)
+                                .map_err(|_| WireError::Malformed("tenant name"))?
+                                .to_string();
+                        }
+                        _ => {}
+                    }
+                    Ok(())
+                })?;
+                Msg::Resume {
+                    id,
+                    deadline_ms,
+                    credit,
+                    token,
+                    query,
+                    trace,
+                    tenant,
+                }
+            }
+            KIND_FIN => {
+                let id = r.u64("fin id")?;
+                let digest = r.u32("fin digest")?;
+                let degraded = match r.u8("fin degraded flag")? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("fin degraded flag")),
+                };
+                let n_missing = r.u32("fin missing shard count")? as usize;
+                if n_missing > payload.len() {
+                    return Err(WireError::Malformed("fin missing shard count"));
+                }
+                let mut missing_shards = Vec::with_capacity(n_missing);
+                for _ in 0..n_missing {
+                    missing_shards.push(r.u32("fin missing shard index")?);
+                }
+                let mut trace_id = 0u64;
+                let mut fidelity = Fidelity::Full;
+                read_exts(&mut r, |kind, body| {
+                    match kind {
+                        EXT_TRACE_ID => {
+                            let mut er = Reader { buf: body };
+                            trace_id = er.u64("fin trace id")?;
+                        }
+                        EXT_FIDELITY => {
+                            let mut er = Reader { buf: body };
+                            fidelity = Fidelity::from_u8(er.u8("fin fidelity")?);
+                        }
+                        _ => {}
+                    }
+                    Ok(())
+                })?;
+                Msg::Fin {
+                    id,
+                    digest,
+                    degraded,
+                    missing_shards,
+                    trace_id,
+                    fidelity,
+                }
+            }
             other => return Err(WireError::UnknownKind(other)),
         };
         r.done("trailing bytes")?;
@@ -1096,6 +1645,192 @@ mod tests {
             text: b"[]".to_vec(),
         });
         roundtrip(Msg::Activate);
+        roundtrip(Msg::StreamQuery {
+            id: 11,
+            top_k: 10,
+            deadline_ms: 0,
+            slice_index: 1,
+            slice_count: 3,
+            credit: 4,
+            cursor: 2,
+            query: vec![1, 2, 3],
+            trace: TraceCtx {
+                trace_id: 0xFACE,
+                span_id: 0xB00C,
+            },
+            tenant: "acme-prod".into(),
+        });
+        roundtrip(Msg::StreamChunk {
+            id: 11,
+            shard: 1,
+            cursor: 3,
+            hits: vec![Hit {
+                db_index: 99,
+                score: 41,
+                precision: Precision::I8,
+            }],
+        });
+        roundtrip(Msg::Progress {
+            id: 11,
+            cells_done: 1 << 33,
+            cells_total: 1 << 40,
+        });
+        roundtrip(Msg::Credit { id: 11, credits: 2 });
+        roundtrip(Msg::Resume {
+            id: 12,
+            deadline_ms: 5000,
+            credit: 8,
+            token: StreamToken {
+                trace_id: 0xFACE,
+                query_crc: 0xC0FFEE,
+                top_k: 10,
+                cursors: vec![(0, 4), (1, 2), (2, 0)],
+            },
+            query: vec![1, 2, 3],
+            trace: TraceCtx::default(),
+            tenant: String::new(),
+        });
+        roundtrip(Msg::Fin {
+            id: 11,
+            digest: 0xDEAD_BEEF,
+            degraded: true,
+            missing_shards: vec![2],
+            trace_id: 0xFACE,
+            fidelity: Fidelity::ScoreOnly,
+        });
+    }
+
+    /// The resume token survives both its binary and hex transports,
+    /// and hostile bytes are typed errors.
+    #[test]
+    fn stream_token_round_trips_and_rejects_hostile_bytes() {
+        let tok = StreamToken {
+            trace_id: 0x1234_5678_9ABC_DEF0,
+            query_crc: 0xCAFE_F00D,
+            top_k: 25,
+            cursors: vec![(0, 7), (1, 0), (7, 1 << 50)],
+        };
+        assert_eq!(StreamToken::decode(&tok.encode()).unwrap(), tok);
+        assert_eq!(StreamToken::from_hex(&tok.to_hex()).unwrap(), tok);
+        // Whitespace around a pasted token is forgiven.
+        assert_eq!(
+            StreamToken::from_hex(&format!("  {}\n", tok.to_hex())).unwrap(),
+            tok
+        );
+
+        // A cursor count past the end of the bytes is rejected before
+        // allocation, as are truncations, odd hex, and trailing junk.
+        let mut hostile = tok.encode();
+        hostile[16] = 0xFF;
+        hostile[17] = 0xFF;
+        assert!(matches!(
+            StreamToken::decode(&hostile),
+            Err(WireError::Malformed("token cursor count"))
+        ));
+        let good = tok.encode();
+        for cut in 0..good.len() {
+            assert!(StreamToken::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(StreamToken::from_hex("abc").is_err());
+        assert!(StreamToken::from_hex("zz").is_err());
+        let mut trailing = tok.encode();
+        trailing.push(0);
+        assert!(matches!(
+            StreamToken::decode(&trailing),
+            Err(WireError::Malformed("token trailing bytes"))
+        ));
+    }
+
+    /// Zero credit and a zero chunk cursor are protocol violations —
+    /// a zero grant would wedge the stream, and cursors are 1-based.
+    #[test]
+    fn zero_credit_and_zero_cursor_are_rejected() {
+        let mut credit = Msg::Credit { id: 1, credits: 9 }.encode();
+        credit[9..13].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            Msg::decode(&credit),
+            Err(WireError::Malformed("credit amount"))
+        ));
+
+        let mut chunk = Msg::StreamChunk {
+            id: 1,
+            shard: 0,
+            cursor: 5,
+            hits: vec![],
+        }
+        .encode();
+        chunk[13..21].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            Msg::decode(&chunk),
+            Err(WireError::Malformed("chunk cursor"))
+        ));
+    }
+
+    /// Stream frames end in the same skip-unknown extension tail as
+    /// Query/Hits, so a newer peer can extend them compatibly.
+    #[test]
+    fn stream_frames_skip_future_extensions() {
+        let chunk = Msg::StreamChunk {
+            id: 3,
+            shard: 1,
+            cursor: 2,
+            hits: vec![],
+        };
+        let mut bytes = chunk.encode();
+        push_ext(&mut bytes, 0xEE, b"future");
+        assert_eq!(Msg::decode(&bytes).unwrap(), chunk);
+
+        let fin = Msg::Fin {
+            id: 3,
+            digest: 7,
+            degraded: false,
+            missing_shards: vec![],
+            trace_id: 0,
+            fidelity: Fidelity::Full,
+        };
+        let mut bytes = fin.encode();
+        push_ext(&mut bytes, 0xEE, &[1, 2, 3]);
+        push_ext(&mut bytes, EXT_TRACE_ID, &99u64.to_le_bytes());
+        match Msg::decode(&bytes).unwrap() {
+            Msg::Fin { trace_id, .. } => assert_eq!(trace_id, 99),
+            other => panic!("{other:?}"),
+        }
+
+        let progress = Msg::Progress {
+            id: 3,
+            cells_done: 1,
+            cells_total: 2,
+        };
+        let mut bytes = progress.encode();
+        push_ext(&mut bytes, 0xEF, &[]);
+        assert_eq!(Msg::decode(&bytes).unwrap(), progress);
+    }
+
+    /// The ranking digest is order-sensitive, precision-blind, and
+    /// stable across concatenation boundaries — the properties the
+    /// resume oracle check relies on.
+    #[test]
+    fn ranking_digest_properties() {
+        let a = Hit {
+            db_index: 1,
+            score: 50,
+            precision: Precision::I8,
+        };
+        let b = Hit {
+            db_index: 2,
+            score: 40,
+            precision: Precision::I16,
+        };
+        assert_eq!(ranking_digest(&[]), ranking_digest(&[]));
+        assert_ne!(
+            ranking_digest(&[a.clone(), b.clone()]),
+            ranking_digest(&[b.clone(), a.clone()])
+        );
+        let a32 = Hit {
+            precision: Precision::I32,
+            ..a.clone()
+        };
+        assert_eq!(ranking_digest(&[a, b.clone()]), ranking_digest(&[a32, b]));
     }
 
     /// A pre-extension frame (fixed body, no tail) must decode on this

@@ -498,6 +498,26 @@ where
     S: JournalSink,
     F: Fn() -> AlignerBuilder + Sync,
 {
+    checkpointed_search_observed(query, db, cfg, make_aligner, journal, &mut |_, _| {})
+}
+
+/// [`checkpointed_search`] with a chunk observer: `on_chunk(chunk,
+/// hits)` fires after each chunk is durably appended to the journal,
+/// in ascending contiguous chunk order (the join is in chunk order).
+/// This is the alignment point for streamed delivery — a chunk is
+/// only ever announced once it is resumable from disk.
+pub fn checkpointed_search_observed<S, F>(
+    query: &[u8],
+    db: &Database,
+    cfg: &PoolConfig,
+    make_aligner: F,
+    journal: &mut JournalWriter<S>,
+    on_chunk: &mut dyn FnMut(usize, &[Hit]),
+) -> io::Result<SearchOutput>
+where
+    S: JournalSink,
+    F: Fn() -> AlignerBuilder + Sync,
+{
     let threads = cfg.threads.max(1);
     let meta = JournalMeta::for_search(query, db, threads);
     journal.write_meta(&meta)?;
@@ -554,6 +574,7 @@ where
                 range: ranges[chunk].clone(),
                 hits: out.0.clone(),
             })?;
+            on_chunk(chunk, &out.0);
             outputs.push(out);
         }
         Ok(())
@@ -741,6 +762,29 @@ pub fn resume_checkpointed_search<F>(
 where
     F: Fn() -> AlignerBuilder + Sync,
 {
+    resume_checkpointed_search_observed(journal, query, db, cfg, make_aligner, path, &mut |_, _| {})
+}
+
+/// [`resume_checkpointed_search`] with a chunk observer, the resume
+/// half of streamed delivery. `on_chunk(chunk, hits)` fires for every
+/// replayed entry (immediately after the atomic rewrite — those
+/// chunks are durable by definition) and then after each recomputed
+/// chunk's append. Because a valid journal is a contiguous ascending
+/// prefix and recomputation joins in ascending order, the observer
+/// always sees ascending contiguous chunks, so `chunk + 1` is a
+/// monotone stream cursor.
+pub fn resume_checkpointed_search_observed<F>(
+    journal: &Journal,
+    query: &[u8],
+    db: &Database,
+    cfg: &PoolConfig,
+    make_aligner: F,
+    path: &Path,
+    on_chunk: &mut dyn FnMut(usize, &[Hit]),
+) -> Result<(SearchOutput, ResumeStats), JournalError>
+where
+    F: Fn() -> AlignerBuilder + Sync,
+{
     let ranges = validate_journal(journal, query, db)?;
 
     let mut tmp = path.as_os_str().to_owned();
@@ -775,6 +819,7 @@ where
     };
     for e in &journal.entries {
         resume.replayed_hits += e.hits.len();
+        on_chunk(e.chunk, &e.hits);
         outputs.push((
             e.hits.clone(),
             KernelStats::default(),
@@ -827,6 +872,7 @@ where
                 range: ranges[chunk].clone(),
                 hits: out.0.clone(),
             })?;
+            on_chunk(chunk, &out.0);
             outputs.push(out);
         }
         Ok(())

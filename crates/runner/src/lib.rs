@@ -26,9 +26,10 @@ pub mod shadow;
 
 pub use fault::{FaultPlan, FaultStats, FaultyWriter, ReplyFault};
 pub use journal::{
-    checkpointed_search, read_journal, read_journal_file, resume_checkpointed_search,
-    resume_search, resume_search_file, Journal, JournalEntry, JournalError, JournalMeta,
-    JournalSink, JournalWriter, ResumeStats,
+    checkpointed_search, checkpointed_search_observed, read_journal, read_journal_file,
+    resume_checkpointed_search, resume_checkpointed_search_observed, resume_search,
+    resume_search_file, Journal, JournalEntry, JournalError, JournalMeta, JournalSink,
+    JournalWriter, ResumeStats,
 };
 pub use metrics::{query_latency, scenario_gcups, CellTimer, ServeCounters, Snapshot, Throughput};
 pub use msa::{pairwise_scores, upgma, GuideTree, ScoreMatrix};

@@ -644,6 +644,7 @@ fn cmd_shard(db_path: &str, rest: &[String]) -> Result<(), String> {
             "--brownout-high",
             "--brownout-low",
             "--brownout-dwell",
+            "--idle-timeout",
         ],
     )?;
     let o = parse_opts(&passthrough)?;
@@ -668,6 +669,7 @@ fn cmd_shard(db_path: &str, rest: &[String]) -> Result<(), String> {
         },
         journal_dir: o.journal.clone(),
         drain_timeout: std::time::Duration::from_millis(net_u64(&net, "--drain-timeout", 5000)?),
+        idle_timeout: std::time::Duration::from_millis(net_u64(&net, "--idle-timeout", 30_000)?),
         threads: o.threads,
         standby,
         fault: Default::default(),
@@ -727,6 +729,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--tenant-inflight",
             "--rate",
             "--canary",
+            "--idle-timeout",
         ],
     )?;
     if !leftover.is_empty() {
@@ -788,6 +791,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:0".into());
     let drain_timeout = std::time::Duration::from_millis(net_u64(&net, "--drain-timeout", 5000)?);
+    let idle_timeout = std::time::Duration::from_millis(net_u64(&net, "--idle-timeout", 30_000)?);
     let probe_interval = std::time::Duration::from_millis(net_u64(&net, "--probe-interval", 500)?);
     let health_ms = net_u64(&net, "--health-period", 0)?;
 
@@ -795,8 +799,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let gateway = swsimd::net::Gateway::new(cfg);
     let prober = gateway.start_prober(probe_interval);
     let health = gateway.clone();
-    let server = swsimd::net::GatewayServer::start(gateway, &listen, drain_timeout)
-        .map_err(|e| format!("serve: {e}"))?;
+    let server = swsimd::net::GatewayServer::start_with_idle_timeout(
+        gateway,
+        &listen,
+        drain_timeout,
+        idle_timeout,
+    )
+    .map_err(|e| format!("serve: {e}"))?;
     println!("listening on {}", server.local_addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -1097,12 +1106,37 @@ fn cmd_cluster(db_path: &str, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Query a shard or gateway over the wire.
+/// Query a shard or gateway over the wire. With `--stream`, results
+/// arrive incrementally (chunk lines as shards clear checkpoint
+/// boundaries, live progress on stderr) and an interrupt prints a
+/// resume token; `--resume <token>` continues where that stream
+/// stopped.
 fn cmd_net_query(addr: &str, query_path: &str, rest: &[String]) -> Result<(), String> {
-    let (net, passthrough) = split_net_opts(rest, &["--deadline", "--tenant"])?;
+    // `--stream` is a lone flag; peel it before the value-taking
+    // option splitter sees it.
+    let mut stream_mode = false;
+    let rest: Vec<String> = rest
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--stream" {
+                stream_mode = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    let (net, passthrough) =
+        split_net_opts(&rest, &["--deadline", "--tenant", "--credit", "--resume"])?;
     let o = parse_opts(&passthrough)?;
     let deadline_ms = net_u64(&net, "--deadline", 0)?;
     let tenant = net.get("--tenant").cloned().unwrap_or_default();
+    let credit = net_u64(&net, "--credit", 8)?.clamp(1, u64::from(u32::MAX)) as u32;
+    let resume = net.get("--resume").cloned();
+    if resume.is_some() {
+        stream_mode = true;
+    }
     let alphabet = o.matrix.alphabet().clone();
     let queries = load_fasta(query_path)?;
 
@@ -1116,6 +1150,19 @@ fn cmd_net_query(addr: &str, query_path: &str, rest: &[String]) -> Result<(), St
     client
         .set_read_timeout(Some(read_timeout))
         .map_err(|e| e.to_string())?;
+
+    if stream_mode {
+        return cmd_net_query_stream(
+            &mut client,
+            &queries,
+            &alphabet,
+            &o,
+            deadline_ms as u32,
+            &tenant,
+            credit,
+            resume.as_deref(),
+        );
+    }
 
     for q in &queries {
         let qe = alphabet.encode(&q.seq);
@@ -1148,6 +1195,149 @@ fn cmd_net_query(addr: &str, query_path: &str, rest: &[String]) -> Result<(), St
         }
         for hit in &reply.hits {
             println!("{}\tdb#{}\tscore={}", q.id, hit.db_index, hit.score);
+        }
+    }
+    Ok(())
+}
+
+/// Streaming arm of `swsimd query`: incremental chunk delivery with
+/// live progress, credit-based flow control (one grant per consumed
+/// chunk keeps the sender's window full), and a resume token printed
+/// on interrupt so `--resume <token>` can continue from durable shard
+/// state.
+#[allow(clippy::too_many_arguments)] // CLI options travel together
+fn cmd_net_query_stream(
+    client: &mut swsimd::net::NetClient,
+    queries: &[swsimd::SeqRecord],
+    alphabet: &Alphabet,
+    o: &Opts,
+    deadline_ms: u32,
+    tenant: &str,
+    credit: u32,
+    resume: Option<&str>,
+) -> Result<(), String> {
+    use swsimd::net::{StreamEvent, StreamToken};
+    if resume.is_some() && queries.len() != 1 {
+        return Err(format!(
+            "--resume continues exactly one interrupted query; the FASTA has {}",
+            queries.len()
+        ));
+    }
+    sig::install();
+    for q in queries {
+        let qe = alphabet.encode(&q.seq);
+        let mut handle = match resume {
+            Some(hex) => {
+                let token = StreamToken::from_hex(hex).map_err(|e| format!("--resume: {e}"))?;
+                client
+                    .resume_stream(&token, &qe, deadline_ms, credit)
+                    .map_err(|e| format!("resume {}: {e}", q.id))?
+            }
+            None => client
+                .stream_query_traced(
+                    &qe,
+                    o.top,
+                    deadline_ms,
+                    credit,
+                    swsimd::obs::trace::TraceCtx::default(),
+                    tenant,
+                )
+                .map_err(|e| format!("stream {}: {e}", q.id))?,
+        };
+        let mut progress_drawn = false;
+        let clear_progress = |drawn: &mut bool| {
+            if *drawn {
+                eprint!("\r\x1b[2K");
+                *drawn = false;
+            }
+        };
+        loop {
+            if sig::termed() {
+                clear_progress(&mut progress_drawn);
+                let token = handle.token();
+                eprintln!("stream interrupted; resume with:");
+                eprintln!(
+                    "  swsimd query <addr> <query.fa> --stream --resume {}",
+                    token.to_hex()
+                );
+                return Ok(());
+            }
+            match handle.next() {
+                Ok(StreamEvent::Chunk {
+                    shard,
+                    cursor,
+                    hits,
+                }) => {
+                    clear_progress(&mut progress_drawn);
+                    for hit in &hits {
+                        println!(
+                            "{}\tslice{}#{}\tdb#{}\tscore={}",
+                            q.id, shard, cursor, hit.db_index, hit.score
+                        );
+                    }
+                    // Replace the spent credit so the window never
+                    // drains to a stall.
+                    handle
+                        .grant(1)
+                        .map_err(|e| format!("credit grant {}: {e}", q.id))?;
+                }
+                Ok(StreamEvent::Progress {
+                    cells_done,
+                    cells_total,
+                }) => {
+                    if cells_total > 0 {
+                        let pct = cells_done as f64 * 100.0 / cells_total as f64;
+                        eprint!("\rstream {:>5.1}% of {} cells", pct, cells_total);
+                        progress_drawn = true;
+                    }
+                }
+                Ok(StreamEvent::Fin(fin)) => {
+                    clear_progress(&mut progress_drawn);
+                    if fin.fidelity != swsimd::runner::Fidelity::Full {
+                        eprintln!(
+                            "warning: serving tier browning out; streamed at fidelity {:?} (scores exact)",
+                            fin.fidelity
+                        );
+                    }
+                    if fin.degraded {
+                        eprintln!(
+                            "warning: degraded stream; missing shard slice(s) {:?}",
+                            fin.missing_shards
+                        );
+                    }
+                    if fin.trace_id != 0 {
+                        eprintln!("query {}: trace={:#x}", q.id, fin.trace_id);
+                    }
+                    if resume.is_some() {
+                        // A resumed handle only folded post-resume
+                        // chunks; the digest describes the complete
+                        // ranking across both sessions.
+                        eprintln!(
+                            "stream complete: final ranking digest {:#010x} (stitch pre-interrupt chunks to verify)",
+                            fin.digest
+                        );
+                    } else if fin.digest == handle.digest() {
+                        eprintln!(
+                            "stream complete: assembled ranking verified (digest {:#010x})",
+                            fin.digest
+                        );
+                    } else {
+                        return Err(format!(
+                            "query {}: assembled ranking digest {:#010x} != server digest {:#010x}",
+                            q.id,
+                            handle.digest(),
+                            fin.digest
+                        ));
+                    }
+                    break;
+                }
+                Err(e) => {
+                    clear_progress(&mut progress_drawn);
+                    let token = handle.token();
+                    eprintln!("stream error; resume with --resume {}", token.to_hex());
+                    return Err(format!("stream {}: {e}", q.id));
+                }
+            }
         }
     }
     Ok(())

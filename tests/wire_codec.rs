@@ -8,7 +8,7 @@ use std::io::Cursor;
 use proptest::prelude::*;
 use swsimd::core::{AlignError, Hit, Precision};
 use swsimd::net::wire::frame;
-use swsimd::net::{read_msg, write_msg, Msg, RemoteError, WireError, MAX_FRAME};
+use swsimd::net::{read_msg, write_msg, Msg, RemoteError, StreamToken, WireError, MAX_FRAME};
 use swsimd::obs::{ShardTiming, Stage, StageTiming, TraceCtx};
 use swsimd::runner::{Fidelity, ServeError, MAX_TENANT_LEN};
 use swsimd::EngineKind;
@@ -146,7 +146,23 @@ fn remote_error_strategy() -> impl Strategy<Value = RemoteError> {
         (0u32..64, 0u32..64).prop_map(|(got, want)| RemoteError::WrongShard { got, want }),
         Just(RemoteError::Draining),
         Just(RemoteError::Unavailable),
+        Just(RemoteError::BadResumeToken),
     ]
+}
+
+fn token_strategy() -> impl Strategy<Value = StreamToken> {
+    (
+        0u64..u64::MAX,
+        0u32..u32::MAX,
+        0u32..10_000,
+        prop::collection::vec((0u32..64, 0u64..u64::MAX), 0..8),
+    )
+        .prop_map(|(trace_id, query_crc, top_k, cursors)| StreamToken {
+            trace_id,
+            query_crc,
+            top_k,
+            cursors,
+        })
 }
 
 proptest! {
@@ -253,6 +269,89 @@ proptest! {
     }
 
     #[test]
+    fn stream_query_round_trips(
+        id in 0u64..u64::MAX,
+        top_k in 0u32..10_000,
+        deadline_ms in 0u32..u32::MAX,
+        slice_index in 0u32..64,
+        slice_count in 0u32..64,
+        credit in 1u32..u32::MAX,
+        cursor in 0u64..u64::MAX,
+        query in prop::collection::vec(0u8..24, 0..512),
+        trace in trace_strategy(),
+        tenant in tenant_strategy(),
+    ) {
+        let msg = Msg::StreamQuery {
+            id, top_k, deadline_ms, slice_index, slice_count, credit, cursor,
+            query, trace, tenant,
+        };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn stream_chunk_round_trips(
+        id in 0u64..u64::MAX,
+        shard in 0u32..u32::MAX,
+        cursor in 1u64..u64::MAX,
+        hits in prop::collection::vec(hit_strategy(), 0..64),
+    ) {
+        let msg = Msg::StreamChunk { id, shard, cursor, hits };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn progress_and_credit_round_trip(
+        id in 0u64..u64::MAX,
+        cells_done in 0u64..u64::MAX,
+        cells_total in 0u64..u64::MAX,
+        credits in 1u32..u32::MAX,
+    ) {
+        for msg in [
+            Msg::Progress { id, cells_done, cells_total },
+            Msg::Credit { id, credits },
+        ] {
+            prop_assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn resume_round_trips(
+        id in 0u64..u64::MAX,
+        deadline_ms in 0u32..u32::MAX,
+        credit in 1u32..u32::MAX,
+        token in token_strategy(),
+        query in prop::collection::vec(0u8..24, 0..512),
+        trace in trace_strategy(),
+        tenant in tenant_strategy(),
+    ) {
+        let msg = Msg::Resume { id, deadline_ms, credit, token, query, trace, tenant };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn fin_round_trips(
+        id in 0u64..u64::MAX,
+        digest in 0u32..u32::MAX,
+        degraded in prop_oneof![Just(false), Just(true)],
+        missing in prop::collection::vec(0u32..64, 0..8),
+        trace_id in 0u64..u64::MAX,
+        fidelity in fidelity_strategy(),
+    ) {
+        let msg = Msg::Fin {
+            id, digest, degraded, missing_shards: missing, trace_id, fidelity,
+        };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    /// The hex form a user pastes back on `--resume` is a faithful
+    /// transport for any token, including the empty-cursor degenerate.
+    #[test]
+    fn stream_token_hex_round_trips(token in token_strategy()) {
+        let hex = token.to_hex();
+        prop_assert_eq!(StreamToken::from_hex(&hex).expect("hex decodes"), token);
+    }
+
+    #[test]
     fn control_frames_round_trip(
         nonce in 0u64..u64::MAX,
         shard in 0u32..u32::MAX,
@@ -292,11 +391,81 @@ fn fuzz_cases() -> u64 {
 
 /// A pseudo-random valid message to mutate.
 fn arbitrary_msg(seed: &mut u64) -> Msg {
-    match splitmix64(seed) % 9 {
+    match splitmix64(seed) % 15 {
         0 => Msg::Ping {
             nonce: splitmix64(seed),
         },
         8 => Msg::Activate,
+        9 => Msg::StreamQuery {
+            id: splitmix64(seed),
+            top_k: (splitmix64(seed) % 100) as u32,
+            deadline_ms: (splitmix64(seed) % 100_000) as u32,
+            slice_index: (splitmix64(seed) % 8) as u32,
+            slice_count: (splitmix64(seed) % 8) as u32,
+            credit: 1 + (splitmix64(seed) % 64) as u32,
+            cursor: splitmix64(seed) % 1024,
+            query: (0..splitmix64(seed) % 256)
+                .map(|_| (splitmix64(seed) % 24) as u8)
+                .collect(),
+            trace: TraceCtx {
+                trace_id: splitmix64(seed) % 2 * splitmix64(seed),
+                span_id: splitmix64(seed),
+            },
+            tenant: match splitmix64(seed) % 3 {
+                0 => String::new(),
+                1 => "acme".into(),
+                _ => "free-tier".into(),
+            },
+        },
+        10 => Msg::StreamChunk {
+            id: splitmix64(seed),
+            shard: (splitmix64(seed) % 64) as u32,
+            cursor: 1 + splitmix64(seed) % 100_000,
+            hits: (0..splitmix64(seed) % 16)
+                .map(|_| Hit {
+                    db_index: (splitmix64(seed) % 1_000_000) as usize,
+                    score: (splitmix64(seed) % 10_000) as i32,
+                    precision: Precision::I16,
+                })
+                .collect(),
+        },
+        11 => Msg::Progress {
+            id: splitmix64(seed),
+            cells_done: splitmix64(seed),
+            cells_total: splitmix64(seed),
+        },
+        12 => Msg::Credit {
+            id: splitmix64(seed),
+            credits: 1 + (splitmix64(seed) % 1024) as u32,
+        },
+        13 => Msg::Resume {
+            id: splitmix64(seed),
+            deadline_ms: (splitmix64(seed) % 100_000) as u32,
+            credit: 1 + (splitmix64(seed) % 64) as u32,
+            token: StreamToken {
+                trace_id: splitmix64(seed),
+                query_crc: (splitmix64(seed) & 0xFFFF_FFFF) as u32,
+                top_k: (splitmix64(seed) % 100) as u32,
+                cursors: (0..splitmix64(seed) % 5)
+                    .map(|i| (i as u32, splitmix64(seed) % 10_000))
+                    .collect(),
+            },
+            query: (0..splitmix64(seed) % 128)
+                .map(|_| (splitmix64(seed) % 24) as u8)
+                .collect(),
+            trace: TraceCtx::default(),
+            tenant: String::new(),
+        },
+        14 => Msg::Fin {
+            id: splitmix64(seed),
+            digest: (splitmix64(seed) & 0xFFFF_FFFF) as u32,
+            degraded: splitmix64(seed).is_multiple_of(2),
+            missing_shards: (0..splitmix64(seed) % 4)
+                .map(|_| (splitmix64(seed) % 64) as u32)
+                .collect(),
+            trace_id: splitmix64(seed) % 2 * splitmix64(seed),
+            fidelity: Fidelity::from_u8((splitmix64(seed) % 4) as u8),
+        },
         1 => Msg::Pong {
             nonce: splitmix64(seed),
             shard: (splitmix64(seed) % 64) as u32,
@@ -564,4 +733,230 @@ fn hostile_length_prefix_is_rejected() {
         Err(WireError::TooLarge(n)) => assert_eq!(n as usize, MAX_FRAME + 1),
         other => panic!("expected TooLarge, got {other:?}"),
     }
+}
+
+/// Zero credit and a zero chunk cursor are protocol violations the
+/// decoder rejects before the stream machinery ever sees them — a
+/// zero-credit stream can never make progress, and cursors are 1-based
+/// so 0 would defeat resume dedupe.
+#[test]
+fn zero_credit_and_zero_cursor_frames_are_typed_errors() {
+    let mut sq = Msg::StreamQuery {
+        id: 1,
+        top_k: 5,
+        deadline_ms: 0,
+        slice_index: 0,
+        slice_count: 0,
+        credit: 1,
+        cursor: 0,
+        query: vec![1, 2, 3],
+        trace: TraceCtx::default(),
+        tenant: String::new(),
+    }
+    .encode();
+    // Zero the credit field in place: kind(1) id(8) top_k(4)
+    // deadline(4) slice_index(4) slice_count(4) → credit at 25.
+    sq[25..29].fill(0);
+    assert!(matches!(Msg::decode(&sq), Err(WireError::Malformed(_))));
+
+    let mut chunk = Msg::StreamChunk {
+        id: 1,
+        shard: 0,
+        cursor: 1,
+        hits: vec![],
+    }
+    .encode();
+    // kind(1) id(8) shard(4) → cursor at 13.
+    chunk[13..21].fill(0);
+    assert!(matches!(Msg::decode(&chunk), Err(WireError::Malformed(_))));
+
+    let mut credit = Msg::Credit { id: 1, credits: 1 }.encode();
+    credit[9..13].fill(0);
+    assert!(matches!(Msg::decode(&credit), Err(WireError::Malformed(_))));
+
+    let mut resume = Msg::Resume {
+        id: 1,
+        deadline_ms: 0,
+        credit: 1,
+        token: StreamToken::default(),
+        query: vec![],
+        trace: TraceCtx::default(),
+        tenant: String::new(),
+    }
+    .encode();
+    // kind(1) id(8) deadline(4) → credit at 13.
+    resume[13..17].fill(0);
+    assert!(matches!(Msg::decode(&resume), Err(WireError::Malformed(_))));
+}
+
+/// Seeded fuzz over resume-token bodies: random binary blobs through
+/// `StreamToken::decode`, random strings through `from_hex`, and valid
+/// tokens with a lying cursor-count field. All must yield Ok or a
+/// typed Malformed — never a panic, never a count-driven allocation.
+#[test]
+fn fuzz_stream_token_bodies_never_panic() {
+    let mut seed = 0x0054_4F4B_454E_u64; // "TOKEN"
+    let cases = fuzz_cases() / 10;
+    for _ in 0..cases.max(100) {
+        match splitmix64(&mut seed) % 3 {
+            0 => {
+                // Arbitrary binary bodies.
+                let len = (splitmix64(&mut seed) as usize) % 256;
+                let bytes: Vec<u8> = (0..len)
+                    .map(|_| (splitmix64(&mut seed) & 0xFF) as u8)
+                    .collect();
+                match StreamToken::decode(&bytes) {
+                    Ok(t) => assert!(t.cursors.len() <= bytes.len() / 12),
+                    Err(WireError::Malformed(_)) => {}
+                    Err(other) => panic!("unexpected error class {other:?}"),
+                }
+            }
+            1 => {
+                // Arbitrary hex-ish strings, some with non-hex bytes.
+                let len = (splitmix64(&mut seed) as usize) % 128;
+                let s: String = (0..len)
+                    .map(|_| {
+                        let c = (splitmix64(&mut seed) % 20) as u8;
+                        (b'0' + c.min(b'z' - b'0')) as char
+                    })
+                    .collect();
+                match StreamToken::from_hex(&s) {
+                    Ok(_) | Err(WireError::Malformed(_)) => {}
+                    Err(other) => panic!("unexpected error class {other:?}"),
+                }
+            }
+            _ => {
+                // A valid token whose cursor-count field lies upward:
+                // the decoder must bound-check against the remaining
+                // bytes instead of allocating `count` entries.
+                let token = StreamToken {
+                    trace_id: splitmix64(&mut seed),
+                    query_crc: (splitmix64(&mut seed) & 0xFFFF_FFFF) as u32,
+                    top_k: 10,
+                    cursors: vec![(0, 1 + splitmix64(&mut seed) % 100)],
+                };
+                let mut bytes = token.encode();
+                let lie = (1 + splitmix64(&mut seed) % u16::MAX as u64) as u16;
+                bytes[16..18].copy_from_slice(&lie.to_le_bytes());
+                match StreamToken::decode(&bytes) {
+                    Ok(t) => assert_eq!(t.cursors.len(), lie as usize),
+                    Err(WireError::Malformed(_)) => {}
+                    Err(other) => panic!("unexpected error class {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// The stream frames are strictly *new* kind bytes: a pre-stream
+/// decoder sees `UnknownKind` (typed, recoverable) — and, the other
+/// way, the non-stream reply a current server sends to an old client
+/// is byte-for-byte what a pre-stream server would have sent. The
+/// golden vectors pin the encodings; changing them breaks rolling
+/// restarts.
+#[test]
+fn non_stream_replies_are_byte_stable_for_old_clients() {
+    // Stream kinds occupy 15..=20 — outside the pre-stream kind space.
+    for (msg, kind) in [
+        (
+            Msg::StreamQuery {
+                id: 1,
+                top_k: 5,
+                deadline_ms: 0,
+                slice_index: 0,
+                slice_count: 0,
+                credit: 4,
+                cursor: 0,
+                query: vec![],
+                trace: TraceCtx::default(),
+                tenant: String::new(),
+            },
+            15u8,
+        ),
+        (
+            Msg::StreamChunk {
+                id: 1,
+                shard: 0,
+                cursor: 1,
+                hits: vec![],
+            },
+            16,
+        ),
+        (
+            Msg::Progress {
+                id: 1,
+                cells_done: 0,
+                cells_total: 0,
+            },
+            17,
+        ),
+        (Msg::Credit { id: 1, credits: 1 }, 18),
+        (
+            Msg::Resume {
+                id: 1,
+                deadline_ms: 0,
+                credit: 1,
+                token: StreamToken::default(),
+                query: vec![],
+                trace: TraceCtx::default(),
+                tenant: String::new(),
+            },
+            19,
+        ),
+        (
+            Msg::Fin {
+                id: 1,
+                digest: 0,
+                degraded: false,
+                missing_shards: vec![],
+                trace_id: 0,
+                fidelity: Fidelity::Full,
+            },
+            20,
+        ),
+    ] {
+        assert_eq!(msg.encode()[0], kind, "{msg:?} kind byte moved");
+    }
+
+    // Golden bytes for the one-shot reply path old clients decode.
+    let hits = Msg::Hits {
+        id: 0x0102_0304_0506_0708,
+        degraded: false,
+        missing_shards: vec![],
+        hits: vec![Hit {
+            db_index: 7,
+            score: 42,
+            precision: Precision::I16,
+        }],
+        trace_id: 0,
+        timing: None,
+        fidelity: Fidelity::Full,
+    };
+    let expect_hits: Vec<u8> = {
+        let mut b = vec![2u8]; // KIND_HITS
+        b.extend_from_slice(&0x0102_0304_0506_0708u64.to_le_bytes());
+        b.push(0); // degraded
+        b.extend_from_slice(&0u32.to_le_bytes()); // missing count
+        b.extend_from_slice(&1u32.to_le_bytes()); // hit count
+        b.extend_from_slice(&7u64.to_le_bytes()); // db_index
+        b.extend_from_slice(&42i32.to_le_bytes()); // score
+        b.push(1); // precision code I16
+        b // no extension tail: untraced, untimed, full fidelity
+    };
+    assert_eq!(hits.encode(), expect_hits, "Hits reply encoding moved");
+
+    let err = Msg::Error {
+        id: 9,
+        err: RemoteError::Draining,
+    };
+    let expect_err: Vec<u8> = {
+        let mut b = vec![3u8]; // KIND_ERROR
+        b.extend_from_slice(&9u64.to_le_bytes());
+        b.push(11); // Draining error code
+        b.extend_from_slice(&0u64.to_le_bytes()); // a field
+        b.extend_from_slice(&0u64.to_le_bytes()); // b field
+        b.extend_from_slice(&0u64.to_le_bytes()); // c field
+        b
+    };
+    assert_eq!(err.encode(), expect_err, "Error reply encoding moved");
 }
